@@ -1,0 +1,59 @@
+//! T-block / A-3: blocking performance at paper scale — attribute
+//! equivalence, the overlap blocker with and without prefix filtering
+//! (the footnote-4 "string filtering techniques" ablation), and the
+//! overlap-coefficient blocker.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use em_bench::fixtures;
+use em_blocking::{AttrEquivalenceBlocker, Blocker, OverlapBlocker, SetSimBlocker};
+use em_core::blocking_plan::{run_blocking, BlockingPlan};
+
+fn bench_blockers(c: &mut Criterion) {
+    let fx = fixtures(true); // paper scale: 1336 × 1915
+    let u = &fx.umetrics;
+    let s = &fx.usda;
+
+    let mut g = c.benchmark_group("blocking_paper_scale");
+    g.sample_size(10);
+
+    g.bench_function("attr_equivalence", |b| {
+        let blocker = AttrEquivalenceBlocker::new("AwardNumber", "AwardNumber");
+        b.iter(|| blocker.block(u, s).unwrap())
+    });
+
+    g.bench_function("overlap_k3_prefix_filter", |b| {
+        let blocker = OverlapBlocker::new("AwardTitle", "AwardTitle", 3).with_prefix_filter();
+        b.iter(|| blocker.block(u, s).unwrap())
+    });
+
+    g.bench_function("overlap_k3_no_filter", |b| {
+        let blocker = OverlapBlocker::new("AwardTitle", "AwardTitle", 3);
+        b.iter(|| blocker.block(u, s).unwrap())
+    });
+
+    // At K = 6 each record's canonical prefix is only a few rare tokens, so
+    // filtering should start to pay (the classic prefix-filter regime).
+    g.bench_function("overlap_k6_prefix_filter", |b| {
+        let blocker = OverlapBlocker::new("AwardTitle", "AwardTitle", 6).with_prefix_filter();
+        b.iter(|| blocker.block(u, s).unwrap())
+    });
+
+    g.bench_function("overlap_k6_no_filter", |b| {
+        let blocker = OverlapBlocker::new("AwardTitle", "AwardTitle", 6);
+        b.iter(|| blocker.block(u, s).unwrap())
+    });
+
+    g.bench_function("overlap_coefficient_0_7", |b| {
+        let blocker = SetSimBlocker::overlap_coefficient("AwardTitle", "AwardTitle", 0.7);
+        b.iter(|| blocker.block(u, s).unwrap())
+    });
+
+    g.bench_function("full_plan_c1_c2_c3", |b| {
+        b.iter(|| run_blocking(u, s, &BlockingPlan::default()).unwrap())
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_blockers);
+criterion_main!(benches);

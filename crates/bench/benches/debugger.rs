@@ -1,0 +1,25 @@
+//! T-debug: the blocking debugger at paper scale — ranking the most
+//! match-like pairs excluded by the consolidated candidate set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use em_bench::fixtures;
+use em_blocking::{debug_blocking, BlockingDebugger};
+use em_core::blocking_plan::{run_blocking, BlockingPlan};
+
+fn bench_debugger(c: &mut Criterion) {
+    let fx = fixtures(true);
+    let u = &fx.umetrics;
+    let s = &fx.usda;
+    let candidates = run_blocking(u, s, &BlockingPlan::default()).unwrap().consolidated;
+
+    let mut g = c.benchmark_group("blocking_debugger");
+    g.sample_size(10);
+    g.bench_function("top_100_title_audit", |b| {
+        let cfg = BlockingDebugger::new("AwardTitle", "AwardTitle").with_top_k(100);
+        b.iter(|| debug_blocking(&cfg, u, s, &candidates).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_debugger);
+criterion_main!(benches);

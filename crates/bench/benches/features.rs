@@ -1,0 +1,33 @@
+//! P-3: feature generation and extraction over the paper-scale candidate
+//! set (the matrix every matcher trains and predicts on).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use em_bench::fixtures;
+use em_core::blocking_plan::{run_blocking, BlockingPlan};
+use em_features::{auto_features, extract_vectors, FeatureOptions};
+
+fn bench_features(c: &mut Criterion) {
+    let fx = fixtures(true);
+    let u = &fx.umetrics;
+    let s = &fx.usda;
+    let candidates = run_blocking(u, s, &BlockingPlan::default()).unwrap().consolidated;
+    let pairs = candidates.to_vec();
+    let opts = FeatureOptions::excluding(&["RecordId", "AccessionNumber"]).with_case_insensitive();
+    let features = auto_features(u, s, &opts);
+
+    let mut g = c.benchmark_group("features");
+    g.sample_size(10);
+
+    g.bench_function("auto_generate", |b| b.iter(|| auto_features(u, s, &opts)));
+
+    for n in [100usize, 1000, pairs.len()] {
+        let n = n.min(pairs.len());
+        g.bench_with_input(BenchmarkId::new("extract_pairs", n), &n, |b, &n| {
+            b.iter(|| extract_vectors(&features, u, s, &pairs[..n]).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_features);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! P-4 / T-cv: fit and predict timings for the six matchers on a
+//! case-study-shaped training set (~300 labeled pairs, ~40 features), and
+//! a five-fold cross-validation pass (the Section 9 selection step).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use em_bench::fixtures;
+use em_core::blocking_plan::{run_blocking, BlockingPlan};
+use em_core::labeling::run_labeling;
+use em_core::matcher::build_training_data;
+use em_datagen::{Oracle, OracleConfig};
+use em_features::{auto_features, FeatureOptions};
+use em_ml::cv::cross_validate;
+use em_ml::standard_learners;
+use em_rules::{EqualityRule, RuleSet};
+
+fn bench_matchers(c: &mut Criterion) {
+    let fx = fixtures(true);
+    let u = &fx.umetrics;
+    let s = &fx.usda;
+    let candidates = run_blocking(u, s, &BlockingPlan::default()).unwrap().consolidated;
+    let oracle = Oracle::new(&fx.scenario.truth, OracleConfig::default());
+    let (labeled, _) = run_labeling(u, s, &candidates, &oracle, &[100, 100, 100], 42).unwrap();
+    let rules = RuleSet {
+        positive: vec![EqualityRule::suffix_equals("M1", "AwardNumber", "AwardNumber")],
+        negative: vec![],
+    };
+    let opts = FeatureOptions::excluding(&["RecordId", "AccessionNumber"]).with_case_insensitive();
+    let features = auto_features(u, s, &opts);
+    let (data, _) = build_training_data(u, s, &features, &labeled, &rules).unwrap();
+
+    let mut fit = c.benchmark_group("matcher_fit");
+    fit.sample_size(10);
+    for learner in standard_learners(1) {
+        fit.bench_function(learner.name(), |b| b.iter(|| learner.fit(&data).unwrap()));
+    }
+    fit.finish();
+
+    let mut predict = c.benchmark_group("matcher_predict_1k_rows");
+    predict.sample_size(10);
+    let rows: Vec<Vec<f64>> = data.x.iter().cycle().take(1000).cloned().collect();
+    for learner in standard_learners(1) {
+        let model = learner.fit(&data).unwrap();
+        predict.bench_function(learner.name(), |b| {
+            b.iter(|| rows.iter().filter(|r| model.predict(r)).count())
+        });
+    }
+    predict.finish();
+
+    let mut cv = c.benchmark_group("selection");
+    cv.sample_size(10);
+    cv.bench_function("five_fold_cv_decision_tree", |b| {
+        let learners = standard_learners(1);
+        b.iter(|| cross_validate(learners[0].as_ref(), &data, 5, 1).unwrap())
+    });
+    cv.finish();
+}
+
+criterion_group!(benches, bench_matchers);
+criterion_main!(benches);

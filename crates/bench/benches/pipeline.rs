@@ -1,0 +1,34 @@
+//! Macro benchmarks: scenario generation, pre-processing, and the full
+//! end-to-end case study at small scale (the complete Sections 4-12 loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use em_core::pipeline::{CaseStudy, CaseStudyConfig};
+use em_core::preprocess::{project_umetrics, project_usda};
+use em_datagen::{Scenario, ScenarioConfig};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+
+    g.bench_function("generate_scenario_paper_scale", |b| {
+        b.iter(|| Scenario::generate(ScenarioConfig::paper()).unwrap())
+    });
+
+    let scenario = Scenario::generate(ScenarioConfig::paper()).unwrap();
+    g.bench_function("preprocess_paper_scale", |b| {
+        b.iter(|| {
+            let u = project_umetrics(&scenario.award_agg, &scenario.employees).unwrap();
+            let s = project_usda(&scenario.usda, true).unwrap();
+            (u.n_rows(), s.n_rows())
+        })
+    });
+
+    g.bench_function("case_study_end_to_end_small", |b| {
+        b.iter(|| CaseStudy::new(CaseStudyConfig::small()).run().unwrap())
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

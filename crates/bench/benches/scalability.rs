@@ -1,0 +1,28 @@
+//! P-5: how the front half of the pipeline scales with input size —
+//! generation, pre-processing, and the three-scheme blocking plan at
+//! 0.5×, 1×, 2×, and 4× the paper's table sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use em_core::blocking_plan::{run_blocking, BlockingPlan};
+use em_core::preprocess::{project_umetrics, project_usda};
+use em_datagen::{Scenario, ScenarioConfig};
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scalability");
+    g.sample_size(10);
+
+    for &factor in &[0.5f64, 1.0, 2.0, 4.0] {
+        let scenario = Scenario::generate(ScenarioConfig::scaled(factor)).unwrap();
+        let u = project_umetrics(&scenario.award_agg, &scenario.employees).unwrap();
+        let s = project_usda(&scenario.usda, true).unwrap();
+        let label = format!("{:.1}x_{}x{}", factor, u.n_rows(), s.n_rows());
+
+        g.bench_with_input(BenchmarkId::new("blocking_plan", &label), &(), |b, ()| {
+            b.iter(|| run_blocking(&u, &s, &BlockingPlan::default()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

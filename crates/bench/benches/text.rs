@@ -1,0 +1,81 @@
+//! P-1: tokenizer and string-similarity microbenchmarks on realistic award
+//! titles (the strings every feature and blocker touches).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use em_text::corpus::TfIdfCorpus;
+use em_text::seq;
+use em_text::set;
+use em_text::tokenize::{AlphanumericTokenizer, QgramTokenizer, Tokenizer};
+use em_text::Normalizer;
+
+const TITLE_A: &str = "DEVELOPMENT OF IPM-BASED CORN FUNGICIDE GUIDELINES FOR THE NORTH CENTRAL STATES";
+const TITLE_B: &str = "Development of IPM-Based Corn Fungicide Guidelines for the North Central States";
+const TITLE_C: &str = "Swamp Dodder (Cuscuta gronovii) Applied Ecology and Management in Carrot Production";
+
+fn bench_tokenizers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tokenize");
+    g.bench_function("alnum_words", |b| {
+        b.iter(|| AlphanumericTokenizer.tokenize(black_box(TITLE_A)))
+    });
+    g.bench_function("qgram3", |b| {
+        b.iter(|| QgramTokenizer::new(3).tokenize(black_box(TITLE_A)))
+    });
+    g.bench_function("normalize_for_blocking", |b| {
+        let n = Normalizer::for_blocking();
+        b.iter(|| n.apply(black_box(TITLE_C)))
+    });
+    g.finish();
+}
+
+fn bench_sequence_sims(c: &mut Criterion) {
+    let mut g = c.benchmark_group("seq_sim");
+    g.bench_function("levenshtein", |b| {
+        b.iter(|| seq::levenshtein(black_box(TITLE_A), black_box(TITLE_B)))
+    });
+    g.bench_function("jaro_winkler", |b| {
+        b.iter(|| seq::jaro_winkler(black_box(TITLE_A), black_box(TITLE_B)))
+    });
+    g.bench_function("smith_waterman", |b| {
+        b.iter(|| seq::smith_waterman(black_box(TITLE_A), black_box(TITLE_B), 1.0))
+    });
+    g.bench_function("needleman_wunsch", |b| {
+        b.iter(|| seq::needleman_wunsch(black_box(TITLE_A), black_box(TITLE_B), 1.0))
+    });
+    g.finish();
+}
+
+fn bench_set_sims(c: &mut Criterion) {
+    let ta = QgramTokenizer::new(3).tokenize(TITLE_A);
+    let tb = QgramTokenizer::new(3).tokenize(TITLE_B);
+    let wa = AlphanumericTokenizer.tokenize(TITLE_A);
+    let wb = AlphanumericTokenizer.tokenize(TITLE_B);
+    let mut g = c.benchmark_group("set_sim");
+    g.bench_function("jaccard_q3", |b| b.iter(|| set::jaccard(black_box(&ta), black_box(&tb))));
+    g.bench_function("overlap_coeff_words", |b| {
+        b.iter(|| set::overlap_coefficient(black_box(&wa), black_box(&wb)))
+    });
+    g.bench_function("monge_elkan_jw", |b| {
+        b.iter(|| set::monge_elkan_sym(black_box(&wa), black_box(&wb), seq::jaro_winkler))
+    });
+    g.finish();
+}
+
+fn bench_tfidf(c: &mut Criterion) {
+    let docs: Vec<Vec<String>> = (0..500)
+        .map(|i| {
+            AlphanumericTokenizer.tokenize(if i % 2 == 0 { TITLE_A } else { TITLE_C })
+        })
+        .collect();
+    let corpus = TfIdfCorpus::from_documents(docs.iter().map(Vec::as_slice));
+    let wa = AlphanumericTokenizer.tokenize(TITLE_A);
+    let wb = AlphanumericTokenizer.tokenize(TITLE_B);
+    let mut g = c.benchmark_group("tfidf");
+    g.bench_function("cosine", |b| b.iter(|| corpus.cosine(black_box(&wa), black_box(&wb))));
+    g.bench_function("soft_cosine", |b| {
+        b.iter(|| corpus.soft_cosine(black_box(&wa), black_box(&wb), 0.9, seq::jaro_winkler))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tokenizers, bench_sequence_sims, bench_set_sims, bench_tfidf);
+criterion_main!(benches);

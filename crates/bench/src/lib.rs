@@ -1,0 +1,51 @@
+//! # em-bench — the paper-reproduction harness and benchmarks
+//!
+//! - `cargo run -p em-bench --bin reproduce [-- --scale paper --section all]`
+//!   regenerates every table and figure of the paper (see EXPERIMENTS.md for
+//!   the paper-vs-measured record).
+//! - `cargo bench -p em-bench` runs the Criterion suites: tokenizer and
+//!   similarity microbenchmarks, blocking with and without string filtering
+//!   (ablation A-3), feature extraction, matcher fit/predict, and the
+//!   blocking debugger.
+//!
+//! This crate exposes small shared helpers for the benches; the binary
+//! lives in `src/bin/reproduce.rs`.
+
+#![warn(missing_docs)]
+
+use em_core::preprocess::{project_umetrics, project_usda};
+use em_datagen::{Scenario, ScenarioConfig};
+use em_table::Table;
+
+/// A prepared pair of projected tables plus the scenario behind them, used
+/// by benches so each bench does not re-derive the fixtures.
+pub struct Fixtures {
+    /// Projected UMETRICS table.
+    pub umetrics: Table,
+    /// Projected USDA table (with ProjectNumber).
+    pub usda: Table,
+    /// The full scenario.
+    pub scenario: Scenario,
+}
+
+/// Builds fixtures at the given scale (`true` = paper scale).
+pub fn fixtures(paper_scale: bool) -> Fixtures {
+    let cfg = if paper_scale { ScenarioConfig::paper() } else { ScenarioConfig::small() };
+    let scenario = Scenario::generate(cfg).expect("valid preset");
+    let umetrics = project_umetrics(&scenario.award_agg, &scenario.employees)
+        .expect("generated tables are consistent");
+    let usda = project_usda(&scenario.usda, true).expect("generated tables are consistent");
+    Fixtures { umetrics, usda, scenario }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build_at_small_scale() {
+        let f = fixtures(false);
+        assert!(f.umetrics.n_rows() > 0);
+        assert!(f.usda.schema().contains("ProjectNumber"));
+    }
+}

@@ -1,0 +1,674 @@
+//! The blockers of Section 7: attribute equivalence, token overlap,
+//! overlap coefficient — plus a Jaccard blocker (used in the paper's
+//! footnote 2 to audit short titles) and a black-box predicate blocker.
+//!
+//! Every blocker exposes both table-level [`Blocker::block`] (efficient,
+//! index-based where possible) and pair-level [`Blocker::accepts`] (used to
+//! re-check single pairs and to filter an existing candidate set with
+//! [`Blocker::block_candidates`], PyMatcher's `block_candset`).
+
+use crate::candidate::{CandidateSet, Pair};
+use crate::error::BlockError;
+use em_table::{RowRef, Table};
+use em_text::tokenize::{AlphanumericTokenizer, Tokenizer};
+use em_text::Normalizer;
+use std::collections::{HashMap, HashSet};
+
+/// A blocking scheme over two tables.
+pub trait Blocker {
+    /// Short, stable name used as the provenance tag of admitted pairs.
+    fn name(&self) -> String;
+
+    /// Pair-level semantics: would this blocker admit `(a, b)`?
+    fn accepts(&self, a: RowRef<'_>, b: RowRef<'_>) -> Result<bool, BlockError>;
+
+    /// Blocks two whole tables. The default scans the Cartesian product
+    /// with [`accepts`](Self::accepts); index-based blockers override it.
+    fn block(&self, a: &Table, b: &Table) -> Result<CandidateSet, BlockError> {
+        let mut out = CandidateSet::new(self.name());
+        let tag = self.name();
+        for (i, ra) in a.iter().enumerate() {
+            for (j, rb) in b.iter().enumerate() {
+                if self.accepts(ra, rb)? {
+                    out.add(Pair::new(i, j), &tag);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Filters an existing candidate set down to the pairs this blocker
+    /// also admits (sequential blocker composition).
+    fn block_candidates(
+        &self,
+        a: &Table,
+        b: &Table,
+        candidates: &CandidateSet,
+    ) -> Result<CandidateSet, BlockError> {
+        let mut out = CandidateSet::new(self.name());
+        let tag = self.name();
+        for pair in candidates.iter() {
+            let (ra, rb) = rows(a, b, pair)?;
+            if self.accepts(ra, rb)? {
+                out.add(pair, &tag);
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn rows<'t>(a: &'t Table, b: &'t Table, pair: Pair) -> Result<(RowRef<'t>, RowRef<'t>), BlockError> {
+    let ra = a.row(pair.left).ok_or_else(|| {
+        BlockError::BadParameter(format!("pair references row {} past table A", pair.left))
+    })?;
+    let rb = b.row(pair.right).ok_or_else(|| {
+        BlockError::BadParameter(format!("pair references row {} past table B", pair.right))
+    })?;
+    Ok((ra, rb))
+}
+
+/// Attribute-equivalence blocker: admit `(a, b)` iff the (non-null) blocking
+/// attributes agree exactly. Table-level blocking is a hash join.
+#[derive(Debug, Clone)]
+pub struct AttrEquivalenceBlocker {
+    /// Blocking attribute in the left table.
+    pub left_attr: String,
+    /// Blocking attribute in the right table.
+    pub right_attr: String,
+}
+
+impl AttrEquivalenceBlocker {
+    /// Creates the blocker.
+    pub fn new(left_attr: impl Into<String>, right_attr: impl Into<String>) -> Self {
+        AttrEquivalenceBlocker { left_attr: left_attr.into(), right_attr: right_attr.into() }
+    }
+}
+
+impl Blocker for AttrEquivalenceBlocker {
+    fn name(&self) -> String {
+        format!("ae({}={})", self.left_attr, self.right_attr)
+    }
+
+    fn accepts(&self, a: RowRef<'_>, b: RowRef<'_>) -> Result<bool, BlockError> {
+        let va = a
+            .get(&self.left_attr)
+            .ok_or_else(|| BlockError::Table(em_table::TableError::NoSuchColumn(self.left_attr.clone())))?;
+        let vb = b
+            .get(&self.right_attr)
+            .ok_or_else(|| BlockError::Table(em_table::TableError::NoSuchColumn(self.right_attr.clone())))?;
+        Ok(!va.is_null() && !vb.is_null() && va.dedup_key() == vb.dedup_key())
+    }
+
+    fn block(&self, a: &Table, b: &Table) -> Result<CandidateSet, BlockError> {
+        a.schema().require(&self.left_attr)?;
+        b.schema().require(&self.right_attr)?;
+        let tag = self.name();
+        let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+        for (j, rb) in b.iter().enumerate() {
+            let v = rb.get(&self.right_attr).expect("column checked above");
+            if !v.is_null() {
+                index.entry(v.dedup_key()).or_default().push(j);
+            }
+        }
+        let mut out = CandidateSet::new(tag.clone());
+        for (i, ra) in a.iter().enumerate() {
+            let v = ra.get(&self.left_attr).expect("column checked above");
+            if v.is_null() {
+                continue;
+            }
+            if let Some(js) = index.get(&v.dedup_key()) {
+                for &j in js {
+                    out.add(Pair::new(i, j), &tag);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Shared tokenization used by the token blockers: normalize then word
+/// tokenize, returning the *distinct* token set.
+fn distinct_tokens(text: Option<&str>, normalizer: &Normalizer) -> Vec<String> {
+    let Some(text) = text else { return Vec::new() };
+    let toks = AlphanumericTokenizer.tokenize(&normalizer.apply(text));
+    let mut seen = HashSet::with_capacity(toks.len());
+    toks.into_iter().filter(|t| seen.insert(t.clone())).collect()
+}
+
+/// Orders tokens by ascending global frequency (rarest first), lexical tie
+/// break — the canonical order prefix filtering requires. Keys borrow from
+/// the token lists, so no strings are copied.
+fn canonical_ranks<'a>(token_lists: &[&'a [String]]) -> HashMap<&'a str, usize> {
+    let mut freq: HashMap<&str, usize> = HashMap::new();
+    for list in token_lists {
+        for t in *list {
+            *freq.entry(t).or_insert(0) += 1;
+        }
+    }
+    let mut order: Vec<(&str, usize)> = freq.into_iter().collect();
+    order.sort_unstable_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(b.0)));
+    order.into_iter().enumerate().map(|(rank, (tok, _))| (tok, rank)).collect()
+}
+
+/// Token-overlap blocker: admit `(a, b)` iff the blocking attributes share
+/// at least `threshold` distinct word tokens (Section 7, step 2; the paper
+/// used threshold 3 after sweeping 1 and 7).
+///
+/// Table-level blocking uses an inverted index; with
+/// `use_prefix_filter = true` only each record's canonical prefix
+/// (`n − K + 1` rarest tokens) is indexed/probed, then survivors are
+/// verified exactly — the "string filtering techniques" of footnote 4.
+#[derive(Debug, Clone)]
+pub struct OverlapBlocker {
+    /// Blocking attribute in the left table.
+    pub left_attr: String,
+    /// Blocking attribute in the right table.
+    pub right_attr: String,
+    /// Minimum number of shared distinct tokens (≥ 1).
+    pub threshold: usize,
+    /// Normalization applied before tokenizing.
+    pub normalizer: Normalizer,
+    /// Enable prefix filtering.
+    pub use_prefix_filter: bool,
+}
+
+impl OverlapBlocker {
+    /// Overlap blocker with the paper's normalization. Prefix filtering is
+    /// off by default: at low thresholds over short titles the canonical
+    /// prefix covers almost every token, so the filter generates nearly as
+    /// many candidates as the plain inverted index while paying an extra
+    /// verification pass (measured in `bench_blocking`; see EXPERIMENTS.md
+    /// ablation A-3). Enable it for high thresholds on long token lists.
+    pub fn new(
+        left_attr: impl Into<String>,
+        right_attr: impl Into<String>,
+        threshold: usize,
+    ) -> Self {
+        OverlapBlocker {
+            left_attr: left_attr.into(),
+            right_attr: right_attr.into(),
+            threshold,
+            normalizer: Normalizer::for_blocking(),
+            use_prefix_filter: false,
+        }
+    }
+
+    /// Enables canonical prefix filtering (builder style).
+    pub fn with_prefix_filter(mut self) -> Self {
+        self.use_prefix_filter = true;
+        self
+    }
+
+    fn check_params(&self) -> Result<(), BlockError> {
+        if self.threshold == 0 {
+            return Err(BlockError::BadParameter(
+                "overlap threshold must be >= 1".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Blocker for OverlapBlocker {
+    fn name(&self) -> String {
+        format!("overlap({},{},K={})", self.left_attr, self.right_attr, self.threshold)
+    }
+
+    fn accepts(&self, a: RowRef<'_>, b: RowRef<'_>) -> Result<bool, BlockError> {
+        self.check_params()?;
+        require_attr(a, &self.left_attr)?;
+        require_attr(b, &self.right_attr)?;
+        let ta = distinct_tokens(a.str(&self.left_attr), &self.normalizer);
+        let tb = distinct_tokens(b.str(&self.right_attr), &self.normalizer);
+        Ok(em_text::set::overlap_size(&ta, &tb) >= self.threshold)
+    }
+
+    fn block(&self, a: &Table, b: &Table) -> Result<CandidateSet, BlockError> {
+        self.check_params()?;
+        a.schema().require(&self.left_attr)?;
+        b.schema().require(&self.right_attr)?;
+        let tag = self.name();
+        let k = self.threshold;
+
+        let left_tokens: Vec<Vec<String>> = a
+            .iter()
+            .map(|r| distinct_tokens(r.str(&self.left_attr), &self.normalizer))
+            .collect();
+        let right_tokens: Vec<Vec<String>> = b
+            .iter()
+            .map(|r| distinct_tokens(r.str(&self.right_attr), &self.normalizer))
+            .collect();
+
+        let mut out = CandidateSet::new(tag.clone());
+        if self.use_prefix_filter {
+            // Canonical order: rarest token first. Ranks borrow from the
+            // token lists; records are re-ordered in place as index lists.
+            let all: Vec<&[String]> = left_tokens
+                .iter()
+                .map(Vec::as_slice)
+                .chain(right_tokens.iter().map(Vec::as_slice))
+                .collect();
+            let ranks = canonical_ranks(&all);
+            fn sorted_refs<'t>(
+                toks: &'t [String],
+                ranks: &HashMap<&str, usize>,
+            ) -> Vec<&'t str> {
+                let mut v: Vec<&str> = toks.iter().map(String::as_str).collect();
+                v.sort_unstable_by_key(|t| ranks[*t]);
+                v
+            }
+
+            // Right side: pre-sorted token refs, prefix index, and hash
+            // sets for O(1) verification probes.
+            let right_sets: Vec<HashSet<&str>> = right_tokens
+                .iter()
+                .map(|toks| toks.iter().map(String::as_str).collect())
+                .collect();
+            let mut index: HashMap<&str, Vec<usize>> = HashMap::new();
+            for (j, toks) in right_tokens.iter().enumerate() {
+                if toks.len() < k {
+                    continue; // cannot reach K distinct shared tokens
+                }
+                let sorted = sorted_refs(toks, &ranks);
+                for t in &sorted[..sorted.len() - k + 1] {
+                    index.entry(t).or_default().push(j);
+                }
+            }
+            for (i, toks) in left_tokens.iter().enumerate() {
+                if toks.len() < k {
+                    continue;
+                }
+                let sorted = sorted_refs(toks, &ranks);
+                let mut seen: HashSet<usize> = HashSet::new();
+                for t in &sorted[..sorted.len() - k + 1] {
+                    if let Some(js) = index.get(t) {
+                        seen.extend(js.iter().copied());
+                    }
+                }
+                for j in seen {
+                    // Verify: count left tokens present in the right set.
+                    let overlap =
+                        toks.iter().filter(|t| right_sets[j].contains(t.as_str())).count();
+                    if overlap >= k {
+                        out.add(Pair::new(i, j), &tag);
+                    }
+                }
+            }
+        } else {
+            // Exact counting over a full inverted index: since token lists
+            // are distinct per record, per-pair counts equal the overlap.
+            let mut index: HashMap<&str, Vec<usize>> = HashMap::new();
+            for (j, toks) in right_tokens.iter().enumerate() {
+                for t in toks {
+                    index.entry(t).or_default().push(j);
+                }
+            }
+            for (i, toks) in left_tokens.iter().enumerate() {
+                let mut counts: HashMap<usize, usize> = HashMap::new();
+                for t in toks {
+                    if let Some(js) = index.get(t.as_str()) {
+                        for &j in js {
+                            *counts.entry(j).or_insert(0) += 1;
+                        }
+                    }
+                }
+                for (j, c) in counts {
+                    if c >= k {
+                        out.add(Pair::new(i, j), &tag);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn require_attr(r: RowRef<'_>, attr: &str) -> Result<(), BlockError> {
+    if r.schema().contains(attr) {
+        Ok(())
+    } else {
+        Err(BlockError::Table(em_table::TableError::NoSuchColumn(attr.to_string())))
+    }
+}
+
+/// Set-similarity blocker over word tokens: admit `(a, b)` iff
+/// `measure(tokens_a, tokens_b) >= threshold`. Backs both the
+/// overlap-coefficient blocker (Section 7, step 3; threshold 0.7) and the
+/// Jaccard blocker of footnote 2.
+#[derive(Debug, Clone)]
+pub struct SetSimBlocker {
+    /// Blocking attribute in the left table.
+    pub left_attr: String,
+    /// Blocking attribute in the right table.
+    pub right_attr: String,
+    /// Which set measure to threshold.
+    pub measure: SetMeasure,
+    /// Admission threshold in `(0, 1]`.
+    pub threshold: f64,
+    /// Normalization applied before tokenizing.
+    pub normalizer: Normalizer,
+}
+
+/// The set measure a [`SetSimBlocker`] thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetMeasure {
+    /// `|A∩B| / min(|A|,|B|)`.
+    OverlapCoefficient,
+    /// `|A∩B| / |A∪B|`.
+    Jaccard,
+}
+
+impl SetSimBlocker {
+    /// The paper's overlap-coefficient blocker (threshold 0.7 over
+    /// normalized word tokens).
+    pub fn overlap_coefficient(
+        left_attr: impl Into<String>,
+        right_attr: impl Into<String>,
+        threshold: f64,
+    ) -> Self {
+        SetSimBlocker {
+            left_attr: left_attr.into(),
+            right_attr: right_attr.into(),
+            measure: SetMeasure::OverlapCoefficient,
+            threshold,
+            normalizer: Normalizer::for_blocking(),
+        }
+    }
+
+    /// Jaccard blocker over word tokens.
+    pub fn jaccard(
+        left_attr: impl Into<String>,
+        right_attr: impl Into<String>,
+        threshold: f64,
+    ) -> Self {
+        SetSimBlocker {
+            left_attr: left_attr.into(),
+            right_attr: right_attr.into(),
+            measure: SetMeasure::Jaccard,
+            threshold,
+            normalizer: Normalizer::for_blocking(),
+        }
+    }
+
+    fn check_params(&self) -> Result<(), BlockError> {
+        if !(self.threshold > 0.0 && self.threshold <= 1.0) {
+            return Err(BlockError::BadParameter(format!(
+                "set-similarity threshold must be in (0, 1], got {}",
+                self.threshold
+            )));
+        }
+        Ok(())
+    }
+
+    fn score(&self, ta: &[String], tb: &[String]) -> f64 {
+        match self.measure {
+            SetMeasure::OverlapCoefficient => em_text::set::overlap_coefficient(ta, tb),
+            SetMeasure::Jaccard => em_text::set::jaccard(ta, tb),
+        }
+    }
+}
+
+impl Blocker for SetSimBlocker {
+    fn name(&self) -> String {
+        let m = match self.measure {
+            SetMeasure::OverlapCoefficient => "oc",
+            SetMeasure::Jaccard => "jac",
+        };
+        format!("{m}({},{},t={})", self.left_attr, self.right_attr, self.threshold)
+    }
+
+    fn accepts(&self, a: RowRef<'_>, b: RowRef<'_>) -> Result<bool, BlockError> {
+        self.check_params()?;
+        require_attr(a, &self.left_attr)?;
+        require_attr(b, &self.right_attr)?;
+        let ta = distinct_tokens(a.str(&self.left_attr), &self.normalizer);
+        let tb = distinct_tokens(b.str(&self.right_attr), &self.normalizer);
+        if ta.is_empty() || tb.is_empty() {
+            return Ok(false); // missing titles cannot be admitted by similarity
+        }
+        Ok(self.score(&ta, &tb) >= self.threshold)
+    }
+
+    fn block(&self, a: &Table, b: &Table) -> Result<CandidateSet, BlockError> {
+        self.check_params()?;
+        a.schema().require(&self.left_attr)?;
+        b.schema().require(&self.right_attr)?;
+        let tag = self.name();
+        let left_tokens: Vec<Vec<String>> = a
+            .iter()
+            .map(|r| distinct_tokens(r.str(&self.left_attr), &self.normalizer))
+            .collect();
+        let right_tokens: Vec<Vec<String>> = b
+            .iter()
+            .map(|r| distinct_tokens(r.str(&self.right_attr), &self.normalizer))
+            .collect();
+        let mut index: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (j, toks) in right_tokens.iter().enumerate() {
+            for t in toks {
+                index.entry(t).or_default().push(j);
+            }
+        }
+        let mut out = CandidateSet::new(tag.clone());
+        for (i, toks) in left_tokens.iter().enumerate() {
+            if toks.is_empty() {
+                continue;
+            }
+            let mut counts: HashMap<usize, usize> = HashMap::new();
+            for t in toks {
+                if let Some(js) = index.get(t.as_str()) {
+                    for &j in js {
+                        *counts.entry(j).or_insert(0) += 1;
+                    }
+                }
+            }
+            for (j, inter) in counts {
+                let (na, nb) = (toks.len(), right_tokens[j].len());
+                let score = match self.measure {
+                    SetMeasure::OverlapCoefficient => inter as f64 / na.min(nb) as f64,
+                    SetMeasure::Jaccard => inter as f64 / (na + nb - inter) as f64,
+                };
+                if score >= self.threshold {
+                    out.add(Pair::new(i, j), &tag);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Black-box blocker: admit `(a, b)` iff a user predicate says so. This is
+/// how ad-hoc rules (like M1's suffix-equality pre-check) enter the blocking
+/// pipeline.
+pub struct BlackboxBlocker<F> {
+    label: String,
+    predicate: F,
+}
+
+impl<F> BlackboxBlocker<F>
+where
+    F: Fn(RowRef<'_>, RowRef<'_>) -> bool,
+{
+    /// Wraps a predicate with a provenance label.
+    pub fn new(label: impl Into<String>, predicate: F) -> Self {
+        BlackboxBlocker { label: label.into(), predicate }
+    }
+}
+
+impl<F> Blocker for BlackboxBlocker<F>
+where
+    F: Fn(RowRef<'_>, RowRef<'_>) -> bool,
+{
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn accepts(&self, a: RowRef<'_>, b: RowRef<'_>) -> Result<bool, BlockError> {
+        Ok((self.predicate)(a, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_table::csv::read_str;
+
+    fn left() -> Table {
+        read_str(
+            "A",
+            "AwardNumber,AwardTitle\n\
+             2008-34103-19449,DEVELOPMENT OF IPM-BASED CORN FUNGICIDE GUIDELINES\n\
+             WIS01040,SWAMP DODDER APPLIED ECOLOGY AND MANAGEMENT\n\
+             WIS04059,Lab Supplies\n\
+             ,Genetic Organization of Maize R Genes\n",
+        )
+        .unwrap()
+    }
+
+    fn right() -> Table {
+        read_str(
+            "B",
+            "AwardNumber,AwardTitle\n\
+             2008-34103-19449,Development of IPM-Based Corn Fungicide Guidelines\n\
+             ,Swamp Dodder Applied Ecology and Management in Carrot Production\n\
+             WIS99999,Lab Supplies\n\
+             ,Unrelated Title Entirely Different Words\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ae_blocker_joins_on_equality() {
+        let b = AttrEquivalenceBlocker::new("AwardNumber", "AwardNumber");
+        let c = b.block(&left(), &right()).unwrap();
+        assert_eq!(c.len(), 1);
+        assert!(c.contains(&Pair::new(0, 0)));
+    }
+
+    #[test]
+    fn ae_blocker_skips_nulls() {
+        let a = read_str("A", "K\n\n\n").unwrap();
+        let b2 = read_str("B", "K\n\n\n").unwrap();
+        let c = AttrEquivalenceBlocker::new("K", "K").block(&a, &b2).unwrap();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn ae_accepts_matches_block() {
+        let (a, b) = (left(), right());
+        let blocker = AttrEquivalenceBlocker::new("AwardNumber", "AwardNumber");
+        let c = blocker.block(&a, &b).unwrap();
+        for i in 0..a.n_rows() {
+            for j in 0..b.n_rows() {
+                let acc =
+                    blocker.accepts(a.row(i).unwrap(), b.row(j).unwrap()).unwrap();
+                assert_eq!(acc, c.contains(&Pair::new(i, j)), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_blocker_thresholds_shared_tokens() {
+        let b = OverlapBlocker::new("AwardTitle", "AwardTitle", 3);
+        let c = b.block(&left(), &right()).unwrap();
+        assert!(c.contains(&Pair::new(0, 0)), "fungicide titles share >= 3 tokens");
+        assert!(c.contains(&Pair::new(1, 1)), "dodder titles share >= 3 tokens");
+        assert!(!c.contains(&Pair::new(2, 2)), "'lab supplies' shares only 2 tokens");
+        assert!(!c.contains(&Pair::new(0, 3)));
+    }
+
+    #[test]
+    fn overlap_blocker_filter_matches_unfiltered() {
+        let (a, b) = (left(), right());
+        for k in 1..=4 {
+            let fast = OverlapBlocker::new("AwardTitle", "AwardTitle", k).with_prefix_filter();
+            let slow = OverlapBlocker::new("AwardTitle", "AwardTitle", k);
+            let cf = fast.block(&a, &b).unwrap();
+            let cs = slow.block(&a, &b).unwrap();
+            assert_eq!(cf.to_vec(), cs.to_vec(), "K={k}");
+        }
+    }
+
+    #[test]
+    fn overlap_blocker_case_insensitive_via_normalizer() {
+        // Same title, different case: must be admitted (normalizer lowercases).
+        let b = OverlapBlocker::new("AwardTitle", "AwardTitle", 3);
+        let c = b.block(&left(), &right()).unwrap();
+        assert!(c.contains(&Pair::new(0, 0)));
+    }
+
+    #[test]
+    fn overlap_rejects_zero_threshold() {
+        let b = OverlapBlocker::new("AwardTitle", "AwardTitle", 0);
+        assert!(b.block(&left(), &right()).is_err());
+    }
+
+    #[test]
+    fn oc_blocker_admits_short_titles() {
+        // "Lab Supplies" vs "Lab Supplies": 2 shared / min 2 = 1.0 ≥ 0.7,
+        // exactly the case the overlap blocker with K=3 misses.
+        let b = SetSimBlocker::overlap_coefficient("AwardTitle", "AwardTitle", 0.7);
+        let c = b.block(&left(), &right()).unwrap();
+        assert!(c.contains(&Pair::new(2, 2)));
+        assert!(!c.contains(&Pair::new(3, 3)));
+    }
+
+    #[test]
+    fn oc_blocker_accepts_agrees_with_block() {
+        let (a, b) = (left(), right());
+        let blocker = SetSimBlocker::overlap_coefficient("AwardTitle", "AwardTitle", 0.7);
+        let c = blocker.block(&a, &b).unwrap();
+        for i in 0..a.n_rows() {
+            for j in 0..b.n_rows() {
+                let acc =
+                    blocker.accepts(a.row(i).unwrap(), b.row(j).unwrap()).unwrap();
+                assert_eq!(acc, c.contains(&Pair::new(i, j)), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn jaccard_blocker_thresholds() {
+        let b = SetSimBlocker::jaccard("AwardTitle", "AwardTitle", 0.5);
+        let c = b.block(&left(), &right()).unwrap();
+        assert!(c.contains(&Pair::new(2, 2)));
+        assert!(!c.contains(&Pair::new(1, 3)));
+    }
+
+    #[test]
+    fn setsim_threshold_validation() {
+        for t in [0.0, -0.5, 1.5] {
+            let b = SetSimBlocker::jaccard("AwardTitle", "AwardTitle", t);
+            assert!(b.block(&left(), &right()).is_err(), "t={t}");
+        }
+    }
+
+    #[test]
+    fn blackbox_blocker_runs_predicate() {
+        let blocker = BlackboxBlocker::new("same-prefix", |a: RowRef<'_>, b: RowRef<'_>| {
+            match (a.str("AwardNumber"), b.str("AwardNumber")) {
+                (Some(x), Some(y)) => x.get(..3) == y.get(..3),
+                _ => false,
+            }
+        });
+        let c = blocker.block(&left(), &right()).unwrap();
+        assert!(c.contains(&Pair::new(0, 0)));
+        assert!(c.contains(&Pair::new(1, 2))); // WIS vs WIS
+        assert!(c.contains(&Pair::new(2, 2)));
+    }
+
+    #[test]
+    fn block_candidates_composes() {
+        let (a, b) = (left(), right());
+        let wide = OverlapBlocker::new("AwardTitle", "AwardTitle", 1).block(&a, &b).unwrap();
+        let narrow = OverlapBlocker::new("AwardTitle", "AwardTitle", 3);
+        let refined = narrow.block_candidates(&a, &b, &wide).unwrap();
+        let direct = narrow.block(&a, &b).unwrap();
+        assert_eq!(refined.to_vec(), direct.to_vec());
+    }
+
+    #[test]
+    fn missing_column_is_reported() {
+        let b = OverlapBlocker::new("Nope", "AwardTitle", 2);
+        assert!(matches!(b.block(&left(), &right()), Err(BlockError::Table(_))));
+    }
+}

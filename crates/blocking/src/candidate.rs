@@ -1,0 +1,220 @@
+//! Candidate sets: pairs of record indices that survive blocking, with
+//! provenance recording *which* blocker or rule admitted each pair.
+//!
+//! Section 7 manipulates candidate sets as first-class values — `C1 ∪ C2 ∪
+//! C3`, `C2 ∩ C3`, `C2 − C3`, `C2 − C1` — and Section 10's workflow patching
+//! subtracts sure matches from candidate sets. [`CandidateSet`] supports
+//! exactly that algebra, keeping pairs deduplicated and provenance merged.
+
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+
+/// A pair of row indices: `left` into table A, `right` into table B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pair {
+    /// Row index into the left table.
+    pub left: usize,
+    /// Row index into the right table.
+    pub right: usize,
+}
+
+impl Pair {
+    /// Creates a pair.
+    pub fn new(left: usize, right: usize) -> Pair {
+        Pair { left, right }
+    }
+}
+
+/// An ordered, deduplicated set of candidate pairs with provenance.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CandidateSet {
+    name: String,
+    pairs: BTreeMap<Pair, Vec<String>>,
+}
+
+impl CandidateSet {
+    /// An empty candidate set.
+    pub fn new(name: impl Into<String>) -> CandidateSet {
+        CandidateSet { name: name.into(), pairs: BTreeMap::new() }
+    }
+
+    /// Builds a set from pairs, all attributed to `source`.
+    pub fn from_pairs(
+        name: impl Into<String>,
+        pairs: impl IntoIterator<Item = Pair>,
+        source: &str,
+    ) -> CandidateSet {
+        let mut c = CandidateSet::new(name);
+        for p in pairs {
+            c.add(p, source);
+        }
+        c
+    }
+
+    /// The set's name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the set.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Adds a pair with a provenance tag; duplicate (pair, tag) insertions
+    /// are collapsed.
+    pub fn add(&mut self, pair: Pair, source: &str) {
+        match self.pairs.entry(pair) {
+            Entry::Vacant(e) => {
+                e.insert(vec![source.to_string()]);
+            }
+            Entry::Occupied(mut e) => {
+                if !e.get().iter().any(|s| s == source) {
+                    e.get_mut().push(source.to_string());
+                }
+            }
+        }
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, pair: &Pair) -> bool {
+        self.pairs.contains_key(pair)
+    }
+
+    /// Iterates pairs in `(left, right)` order.
+    pub fn iter(&self) -> impl Iterator<Item = Pair> + '_ {
+        self.pairs.keys().copied()
+    }
+
+    /// The provenance tags of a pair, if present.
+    pub fn provenance(&self, pair: &Pair) -> Option<&[String]> {
+        self.pairs.get(pair).map(Vec::as_slice)
+    }
+
+    /// Union: pairs from either set, provenance merged.
+    pub fn union(&self, other: &CandidateSet) -> CandidateSet {
+        let mut out = self.clone();
+        out.name = format!("{}∪{}", self.name, other.name);
+        for (pair, sources) in &other.pairs {
+            for s in sources {
+                out.add(*pair, s);
+            }
+        }
+        out
+    }
+
+    /// Intersection: pairs present in both, provenance merged from both.
+    pub fn intersect(&self, other: &CandidateSet) -> CandidateSet {
+        let mut out = CandidateSet::new(format!("{}∩{}", self.name, other.name));
+        for (pair, sources) in &self.pairs {
+            if let Some(other_sources) = other.pairs.get(pair) {
+                for s in sources.iter().chain(other_sources) {
+                    out.add(*pair, s);
+                }
+            }
+        }
+        out
+    }
+
+    /// Difference: pairs of `self` not in `other` (provenance kept).
+    pub fn minus(&self, other: &CandidateSet) -> CandidateSet {
+        let mut out = CandidateSet::new(format!("{}−{}", self.name, other.name));
+        for (pair, sources) in &self.pairs {
+            if !other.pairs.contains_key(pair) {
+                for s in sources {
+                    out.add(*pair, s);
+                }
+            }
+        }
+        out
+    }
+
+    /// The pairs as a plain vector.
+    pub fn to_vec(&self) -> Vec<Pair> {
+        self.pairs.keys().copied().collect()
+    }
+}
+
+impl FromIterator<Pair> for CandidateSet {
+    fn from_iter<T: IntoIterator<Item = Pair>>(iter: T) -> Self {
+        CandidateSet::from_pairs("candidates", iter, "iter")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(name: &str, pairs: &[(usize, usize)], src: &str) -> CandidateSet {
+        CandidateSet::from_pairs(name, pairs.iter().map(|&(l, r)| Pair::new(l, r)), src)
+    }
+
+    #[test]
+    fn add_dedups_pairs_and_sources() {
+        let mut c = CandidateSet::new("c");
+        c.add(Pair::new(1, 2), "ae");
+        c.add(Pair::new(1, 2), "ae");
+        c.add(Pair::new(1, 2), "overlap");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.provenance(&Pair::new(1, 2)).unwrap(), &["ae", "overlap"]);
+    }
+
+    #[test]
+    fn union_matches_paper_algebra() {
+        // Mirrors footnote 3: |C2|=3, |C3|=2, |C2∩C3|=1 → |C2∪C3|=4.
+        let c2 = set("C2", &[(0, 0), (0, 1), (1, 1)], "overlap");
+        let c3 = set("C3", &[(1, 1), (2, 2)], "oc");
+        let u = c2.union(&c3);
+        assert_eq!(u.len(), 4);
+        assert_eq!(c2.intersect(&c3).len(), 1);
+        assert_eq!(c2.minus(&c3).len(), 2);
+        assert_eq!(c3.minus(&c2).len(), 1);
+        // inclusion–exclusion
+        assert_eq!(u.len(), c2.len() + c3.len() - c2.intersect(&c3).len());
+    }
+
+    #[test]
+    fn union_merges_provenance() {
+        let a = set("a", &[(5, 5)], "ae");
+        let b = set("b", &[(5, 5)], "rule");
+        let u = a.union(&b);
+        assert_eq!(u.provenance(&Pair::new(5, 5)).unwrap(), &["ae", "rule"]);
+    }
+
+    #[test]
+    fn minus_keeps_provenance() {
+        let a = set("a", &[(1, 1), (2, 2)], "x");
+        let b = set("b", &[(2, 2)], "y");
+        let d = a.minus(&b);
+        assert_eq!(d.len(), 1);
+        assert!(d.contains(&Pair::new(1, 1)));
+        assert_eq!(d.provenance(&Pair::new(1, 1)).unwrap(), &["x"]);
+    }
+
+    #[test]
+    fn iter_is_ordered() {
+        let c = set("c", &[(2, 0), (0, 5), (0, 1)], "s");
+        let v = c.to_vec();
+        assert_eq!(v, vec![Pair::new(0, 1), Pair::new(0, 5), Pair::new(2, 0)]);
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let e = CandidateSet::new("e");
+        assert!(e.is_empty());
+        let a = set("a", &[(1, 1)], "s");
+        assert_eq!(a.union(&e).len(), 1);
+        assert_eq!(a.intersect(&e).len(), 0);
+        assert_eq!(a.minus(&e).len(), 1);
+    }
+}

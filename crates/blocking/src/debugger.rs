@@ -1,0 +1,243 @@
+//! Blocking debugger — the MatchCatcher \[23\] step of Section 7.
+//!
+//! Given the two input tables and the consolidated candidate set `C`, the
+//! debugger surfaces record pairs that are **not** in `C` but look like
+//! matches, ranked by decreasing likelihood. The user eyeballs the top of
+//! the list: if it contains no true matches, blocking probably "has not
+//! killed off many true matches" and can be frozen.
+
+use crate::candidate::{CandidateSet, Pair};
+use crate::error::BlockError;
+use em_table::Table;
+use em_text::seq::jaro_winkler;
+use em_text::set::jaccard;
+use em_text::tokenize::{AlphanumericTokenizer, Tokenizer};
+use em_text::Normalizer;
+use std::collections::{HashMap, HashSet};
+
+/// A potentially missed match surfaced by the debugger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DebugPair {
+    /// The pair of row indices.
+    pub pair: Pair,
+    /// Likelihood score in `[0, 1]` (higher = more match-like).
+    pub score: f64,
+}
+
+/// Configuration for [`debug_blocking`].
+#[derive(Debug, Clone)]
+pub struct BlockingDebugger {
+    /// `(left attribute, right attribute)` pairs to compare.
+    pub attrs: Vec<(String, String)>,
+    /// How many top pairs to return.
+    pub top_k: usize,
+    /// Normalization before comparison.
+    pub normalizer: Normalizer,
+}
+
+impl BlockingDebugger {
+    /// Debugger over one attribute pair with the paper's top-100 audit size.
+    pub fn new(left_attr: impl Into<String>, right_attr: impl Into<String>) -> Self {
+        BlockingDebugger {
+            attrs: vec![(left_attr.into(), right_attr.into())],
+            top_k: 100,
+            normalizer: Normalizer::for_blocking(),
+        }
+    }
+
+    /// Adds another attribute pair to compare.
+    pub fn with_attrs(mut self, left_attr: impl Into<String>, right_attr: impl Into<String>) -> Self {
+        self.attrs.push((left_attr.into(), right_attr.into()));
+        self
+    }
+
+    /// Sets the number of returned pairs.
+    pub fn with_top_k(mut self, k: usize) -> Self {
+        self.top_k = k;
+        self
+    }
+}
+
+/// Scores one pair of normalized strings: the better of token Jaccard and
+/// Jaro-Winkler (tokens catch word reorderings, JW catches short strings).
+fn pair_score(a: &str, b: &str) -> f64 {
+    let ta = AlphanumericTokenizer.tokenize(a);
+    let tb = AlphanumericTokenizer.tokenize(b);
+    if ta.is_empty() && tb.is_empty() {
+        return 0.0; // two missing values carry no evidence of a match
+    }
+    jaccard(&ta, &tb).max(jaro_winkler(a, b))
+}
+
+/// Runs the debugger: returns the `top_k` most match-like pairs that are in
+/// `A × B` but **not** in `candidates`, ranked by decreasing score (ties
+/// broken by pair order for determinism).
+///
+/// Pairs sharing no word token in any compared attribute are skipped — they
+/// cannot outrank pairs that do, and skipping them is what makes the
+/// debugger "fast" in the paper's sense (inverted-index candidate
+/// generation rather than a Cartesian scan).
+pub fn debug_blocking(
+    config: &BlockingDebugger,
+    a: &Table,
+    b: &Table,
+    candidates: &CandidateSet,
+) -> Result<Vec<DebugPair>, BlockError> {
+    if config.attrs.is_empty() {
+        return Err(BlockError::BadParameter("debugger needs >= 1 attribute pair".to_string()));
+    }
+    for (la, ra) in &config.attrs {
+        a.schema().require(la)?;
+        b.schema().require(ra)?;
+    }
+
+    // Normalized attribute texts.
+    let norm = |t: &Table, attr: &str| -> Vec<String> {
+        t.iter()
+            .map(|r| r.str(attr).map(|s| config.normalizer.apply(s)).unwrap_or_default())
+            .collect()
+    };
+
+    let mut survivors: HashSet<Pair> = HashSet::new();
+    let mut texts: Vec<(Vec<String>, Vec<String>)> = Vec::with_capacity(config.attrs.len());
+    for (la, ra) in &config.attrs {
+        let left = norm(a, la);
+        let right = norm(b, ra);
+        // Inverted index on right tokens for this attribute.
+        let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+        for (j, text) in right.iter().enumerate() {
+            for tok in AlphanumericTokenizer.tokenize(text) {
+                index.entry(tok).or_default().push(j);
+            }
+        }
+        for (i, text) in left.iter().enumerate() {
+            let mut seen: HashSet<usize> = HashSet::new();
+            for tok in AlphanumericTokenizer.tokenize(text) {
+                if let Some(js) = index.get(&tok) {
+                    seen.extend(js.iter().copied());
+                }
+            }
+            for j in seen {
+                let p = Pair::new(i, j);
+                if !candidates.contains(&p) {
+                    survivors.insert(p);
+                }
+            }
+        }
+        texts.push((left, right));
+    }
+
+    let mut scored: Vec<DebugPair> = survivors
+        .into_iter()
+        .map(|pair| {
+            let score = texts
+                .iter()
+                .map(|(l, r)| pair_score(&l[pair.left], &r[pair.right]))
+                .sum::<f64>()
+                / texts.len() as f64;
+            DebugPair { pair, score }
+        })
+        .collect();
+    scored.sort_by(|x, y| {
+        y.score
+            .partial_cmp(&x.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| x.pair.cmp(&y.pair))
+    });
+    scored.truncate(config.top_k);
+    Ok(scored)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blockers::{Blocker, OverlapBlocker};
+    use em_table::csv::read_str;
+
+    fn tables() -> (Table, Table) {
+        let a = read_str(
+            "A",
+            "Title\n\
+             Corn Fungicide Guidelines for the North Central States\n\
+             Lab Supplies\n\
+             Maize Gene Silencing\n",
+        )
+        .unwrap();
+        let b = read_str(
+            "B",
+            "Title\n\
+             Corn Fungicide Guidelines North Central\n\
+             LAB SUPPLIES\n\
+             Completely Different Research Topic\n",
+        )
+        .unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn surfaces_missed_match() {
+        let (a, b) = tables();
+        // Overlap K=3 blocks (0,0) in but misses the short (1,1) pair.
+        let c = OverlapBlocker::new("Title", "Title", 3).block(&a, &b).unwrap();
+        assert!(!c.contains(&Pair::new(1, 1)));
+        let dbg = debug_blocking(&BlockingDebugger::new("Title", "Title"), &a, &b, &c).unwrap();
+        assert_eq!(dbg[0].pair, Pair::new(1, 1), "missed 'lab supplies' pair should rank first");
+        assert!(dbg[0].score > 0.9);
+    }
+
+    #[test]
+    fn excludes_candidate_pairs() {
+        let (a, b) = tables();
+        let c = OverlapBlocker::new("Title", "Title", 1).block(&a, &b).unwrap();
+        let dbg = debug_blocking(&BlockingDebugger::new("Title", "Title"), &a, &b, &c).unwrap();
+        for d in &dbg {
+            assert!(!c.contains(&d.pair));
+        }
+    }
+
+    #[test]
+    fn scores_descend() {
+        let (a, b) = tables();
+        let c = CandidateSet::new("empty");
+        let dbg = debug_blocking(&BlockingDebugger::new("Title", "Title"), &a, &b, &c).unwrap();
+        for w in dbg.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let (a, b) = tables();
+        let c = CandidateSet::new("empty");
+        let dbg = debug_blocking(
+            &BlockingDebugger::new("Title", "Title").with_top_k(1),
+            &a,
+            &b,
+            &c,
+        )
+        .unwrap();
+        assert_eq!(dbg.len(), 1);
+    }
+
+    #[test]
+    fn no_attrs_is_error() {
+        let (a, b) = tables();
+        let cfg = BlockingDebugger {
+            attrs: vec![],
+            top_k: 10,
+            normalizer: Normalizer::for_blocking(),
+        };
+        assert!(debug_blocking(&cfg, &a, &b, &CandidateSet::new("c")).is_err());
+    }
+
+    #[test]
+    fn multiple_attr_pairs_average() {
+        let a = read_str("A", "T,N\nLab Supplies,W1\n").unwrap();
+        let b = read_str("B", "T,N\nLab Supplies,W1\nLab Supplies,XX\n").unwrap();
+        let cfg = BlockingDebugger::new("T", "T").with_attrs("N", "N");
+        let dbg = debug_blocking(&cfg, &a, &b, &CandidateSet::new("c")).unwrap();
+        // The pair agreeing on both attributes must outrank the other.
+        assert_eq!(dbg[0].pair, Pair::new(0, 0));
+        assert!(dbg[0].score > dbg[1].score);
+    }
+}

@@ -1,0 +1,37 @@
+//! Error type for blocking operations.
+
+use em_table::TableError;
+use std::fmt;
+
+/// Errors raised while blocking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockError {
+    /// Underlying table error (missing column, …).
+    Table(TableError),
+    /// A parameter was out of range (zero threshold, empty attribute list…).
+    BadParameter(String),
+}
+
+impl fmt::Display for BlockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockError::Table(e) => write!(f, "table error: {e}"),
+            BlockError::BadParameter(m) => write!(f, "bad parameter: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BlockError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BlockError::Table(e) => Some(e),
+            BlockError::BadParameter(_) => None,
+        }
+    }
+}
+
+impl From<TableError> for BlockError {
+    fn from(e: TableError) -> Self {
+        BlockError::Table(e)
+    }
+}

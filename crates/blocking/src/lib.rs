@@ -1,0 +1,36 @@
+//! # em-blocking — blockers, candidate-set algebra, and the blocking debugger
+//!
+//! The blocking stage of the EM pipeline (Section 7 of the case study):
+//!
+//! - [`candidate::CandidateSet`]: deduplicated pairs with provenance, plus
+//!   the union / intersection / difference algebra the paper's candidate-set
+//!   accounting uses (`C = C1 ∪ C2 ∪ C3`, `C − sure matches`, …).
+//! - [`blockers`]: attribute equivalence (hash join), token overlap
+//!   (inverted index + prefix filter), overlap-coefficient and Jaccard
+//!   set-similarity blockers, and a black-box predicate blocker.
+//! - [`debugger`]: a MatchCatcher-style audit that ranks the most
+//!   match-like pairs *excluded* by blocking.
+//!
+//! ```
+//! use em_blocking::blockers::{Blocker, OverlapBlocker};
+//! use em_table::csv::read_str;
+//!
+//! let a = read_str("A", "Title\nCorn Fungicide Guidelines For States\n").unwrap();
+//! let b = read_str("B", "Title\ncorn fungicide guidelines\n").unwrap();
+//! let c = OverlapBlocker::new("Title", "Title", 3).block(&a, &b).unwrap();
+//! assert_eq!(c.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod blockers;
+pub mod candidate;
+pub mod debugger;
+pub mod error;
+
+pub use blockers::{
+    AttrEquivalenceBlocker, BlackboxBlocker, Blocker, OverlapBlocker, SetMeasure, SetSimBlocker,
+};
+pub use candidate::{CandidateSet, Pair};
+pub use debugger::{debug_blocking, BlockingDebugger, DebugPair};
+pub use error::BlockError;

@@ -1,0 +1,238 @@
+//! Match-multiplicity analysis — the Section 10 "Should We Match at the
+//! Cluster Level?" investigation.
+//!
+//! The UMETRICS team initially insisted matches be one-to-one; the EM team
+//! "analyzed the one-to-one, one-to-many, and many-to-one match predictions
+//! and shared our analysis … if a problem affects only a small number of
+//! matches, then it is not worth spending a lot of effort to solve".
+//! [`analyze_multiplicity`] produces exactly that analysis, and
+//! [`cluster_matches`] builds the cluster-level view (connected components
+//! over the match graph) the team considered and ultimately declined.
+
+use crate::workflow::MatchIds;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Breakdown of a match list by multiplicity.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MultiplicityReport {
+    /// Matches where both sides appear exactly once (1:1).
+    pub one_to_one: usize,
+    /// Matches whose award maps to several accessions (1:N, N > 1),
+    /// counted as pairs.
+    pub one_to_many: usize,
+    /// Matches whose accession maps to several awards (M:1, M > 1),
+    /// counted as pairs.
+    pub many_to_one: usize,
+    /// Matches in a many-to-many tangle (both sides repeated).
+    pub many_to_many: usize,
+    /// Example award numbers with the highest fan-out (up to 3).
+    pub example_fanout_awards: Vec<(String, usize)>,
+}
+
+impl MultiplicityReport {
+    /// Total pairs analyzed.
+    pub fn total(&self) -> usize {
+        self.one_to_one + self.one_to_many + self.many_to_one + self.many_to_many
+    }
+
+    /// Fraction of pairs that are not 1:1 — the number the teams used to
+    /// decide the problem "would have an insignificant effect".
+    pub fn non_one_to_one_rate(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            (t - self.one_to_one) as f64 / t as f64
+        }
+    }
+}
+
+/// Classifies every match pair by the multiplicity of its endpoints.
+pub fn analyze_multiplicity(matches: &MatchIds) -> MultiplicityReport {
+    let mut award_deg: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut acc_deg: BTreeMap<&str, usize> = BTreeMap::new();
+    for (a, c) in matches.iter() {
+        *award_deg.entry(a).or_insert(0) += 1;
+        *acc_deg.entry(c).or_insert(0) += 1;
+    }
+    let mut report = MultiplicityReport::default();
+    for (a, c) in matches.iter() {
+        let fan_a = award_deg[a];
+        let fan_c = acc_deg[c];
+        match (fan_a > 1, fan_c > 1) {
+            (false, false) => report.one_to_one += 1,
+            (true, false) => report.one_to_many += 1,
+            (false, true) => report.many_to_one += 1,
+            (true, true) => report.many_to_many += 1,
+        }
+    }
+    let mut fanout: Vec<(String, usize)> = award_deg
+        .into_iter()
+        .filter(|(_, d)| *d > 1)
+        .map(|(a, d)| (a.to_string(), d))
+        .collect();
+    fanout.sort_by(|x, y| y.1.cmp(&x.1).then_with(|| x.0.cmp(&y.0)));
+    fanout.truncate(3);
+    report.example_fanout_awards = fanout;
+    report
+}
+
+/// One cluster-level match: a set of awards matched to a set of accessions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterMatch {
+    /// Awards in the cluster.
+    pub awards: BTreeSet<String>,
+    /// Accession numbers in the cluster.
+    pub accessions: BTreeSet<String>,
+}
+
+impl ClusterMatch {
+    /// True when the cluster is a plain 1:1 match.
+    pub fn is_one_to_one(&self) -> bool {
+        self.awards.len() == 1 && self.accessions.len() == 1
+    }
+}
+
+/// Groups record-level matches into cluster-level matches: connected
+/// components of the bipartite match graph. At this level the "matches
+/// must be one-to-one" requirement is satisfiable — each component pairs
+/// one award-cluster with one accession-cluster (the alternative design
+/// the teams discussed before deciding to stay at the record level).
+pub fn cluster_matches(matches: &MatchIds) -> Vec<ClusterMatch> {
+    // Union-find over string keys (prefixed to keep the two sides distinct).
+    let mut parent: BTreeMap<String, String> = BTreeMap::new();
+    fn find(parent: &mut BTreeMap<String, String>, k: &str) -> String {
+        let p = parent.get(k).cloned().unwrap_or_else(|| k.to_string());
+        if p == k {
+            return p;
+        }
+        let root = find(parent, &p);
+        parent.insert(k.to_string(), root.clone());
+        root
+    }
+    let union = |parent: &mut BTreeMap<String, String>, a: &str, b: &str| {
+        let ra = find(parent, a);
+        let rb = find(parent, b);
+        if ra != rb {
+            parent.insert(ra, rb);
+        }
+    };
+    for (a, c) in matches.iter() {
+        let ka = format!("A:{a}");
+        let kc = format!("C:{c}");
+        parent.entry(ka.clone()).or_insert_with(|| ka.clone());
+        parent.entry(kc.clone()).or_insert_with(|| kc.clone());
+        union(&mut parent, &ka, &kc);
+    }
+    let keys: Vec<String> = parent.keys().cloned().collect();
+    let mut components: BTreeMap<String, ClusterMatch> = BTreeMap::new();
+    for k in keys {
+        let root = find(&mut parent, &k);
+        let entry = components.entry(root).or_insert_with(|| ClusterMatch {
+            awards: BTreeSet::new(),
+            accessions: BTreeSet::new(),
+        });
+        if let Some(a) = k.strip_prefix("A:") {
+            entry.awards.insert(a.to_string());
+        } else if let Some(c) = k.strip_prefix("C:") {
+            entry.accessions.insert(c.to_string());
+        }
+    }
+    components.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workflow::MatchIds;
+    use em_blocking::{CandidateSet, Pair};
+    use em_table::csv::read_str;
+
+    fn ids(pairs: &[(&str, &str)]) -> MatchIds {
+        // Build through from_candidates to exercise the real path.
+        let mut u_csv = String::from("AwardNumber\n");
+        let mut s_csv = String::from("AccessionNumber\n");
+        let mut cands = CandidateSet::new("m");
+        let mut awards: Vec<&str> = Vec::new();
+        let mut accs: Vec<&str> = Vec::new();
+        for (a, c) in pairs {
+            if !awards.contains(a) {
+                awards.push(a);
+                u_csv.push_str(&format!("{a}\n"));
+            }
+            if !accs.contains(c) {
+                accs.push(c);
+                s_csv.push_str(&format!("{c}\n"));
+            }
+            let i = awards.iter().position(|x| x == a).unwrap();
+            let j = accs.iter().position(|x| x == c).unwrap();
+            cands.add(Pair::new(i, j), "t");
+        }
+        let u = read_str("u", &u_csv).unwrap();
+        let s = read_str("s", &s_csv).unwrap();
+        MatchIds::from_candidates(&u, &s, &cands).unwrap()
+    }
+
+    #[test]
+    fn classifies_multiplicities() {
+        let m = ids(&[
+            ("W1", "100"),            // 1:1
+            ("W2", "200"), ("W2", "201"), // 1:2
+            ("W3", "300"), ("W4", "300"), // 2:1
+        ]);
+        let r = analyze_multiplicity(&m);
+        assert_eq!(r.one_to_one, 1);
+        assert_eq!(r.one_to_many, 2);
+        assert_eq!(r.many_to_one, 2);
+        assert_eq!(r.many_to_many, 0);
+        assert_eq!(r.total(), 5);
+        assert!((r.non_one_to_one_rate() - 0.8).abs() < 1e-9);
+        assert_eq!(r.example_fanout_awards, vec![("W2".to_string(), 2)]);
+    }
+
+    #[test]
+    fn many_to_many_detected() {
+        let m = ids(&[("W1", "100"), ("W1", "101"), ("W2", "100")]);
+        let r = analyze_multiplicity(&m);
+        assert_eq!(r.many_to_many, 1, "W1-100 has fanout on both sides");
+        assert_eq!(r.one_to_many, 1);
+        assert_eq!(r.many_to_one, 1);
+    }
+
+    #[test]
+    fn clusters_are_connected_components() {
+        let m = ids(&[
+            ("W1", "100"),
+            ("W2", "200"), ("W2", "201"),
+            ("W3", "300"), ("W4", "300"),
+        ]);
+        let clusters = cluster_matches(&m);
+        assert_eq!(clusters.len(), 3);
+        let one_to_one = clusters.iter().filter(|c| c.is_one_to_one()).count();
+        assert_eq!(one_to_one, 1);
+        // The W2 cluster holds one award and two accessions.
+        let w2 = clusters.iter().find(|c| c.awards.contains("W2")).unwrap();
+        assert_eq!(w2.accessions.len(), 2);
+        // The 300 cluster holds two awards and one accession.
+        let c300 = clusters.iter().find(|c| c.accessions.contains("300")).unwrap();
+        assert_eq!(c300.awards.len(), 2);
+    }
+
+    #[test]
+    fn chained_matches_merge_into_one_cluster() {
+        // W1-100, W2-100, W2-200, W3-200: all connected.
+        let m = ids(&[("W1", "100"), ("W2", "100"), ("W2", "200"), ("W3", "200")]);
+        let clusters = cluster_matches(&m);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].awards.len(), 3);
+        assert_eq!(clusters[0].accessions.len(), 2);
+    }
+
+    #[test]
+    fn empty_matches_empty_analysis() {
+        let m = ids(&[]);
+        assert_eq!(analyze_multiplicity(&m).total(), 0);
+        assert!(cluster_matches(&m).is_empty());
+        assert_eq!(analyze_multiplicity(&m).non_one_to_one_rate(), 0.0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Unified error type for the end-to-end pipeline.
+
+use std::fmt;
+
+/// Errors raised anywhere in the EM pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Table-layer failure.
+    Table(em_table::TableError),
+    /// Blocking failure.
+    Block(em_blocking::BlockError),
+    /// Rule failure.
+    Rule(em_rules::RuleError),
+    /// ML failure.
+    Ml(em_ml::MlError),
+    /// Data-generation failure.
+    Datagen(String),
+    /// A pipeline-stage invariant was violated.
+    Pipeline(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Table(e) => write!(f, "table: {e}"),
+            CoreError::Block(e) => write!(f, "blocking: {e}"),
+            CoreError::Rule(e) => write!(f, "rules: {e}"),
+            CoreError::Ml(e) => write!(f, "ml: {e}"),
+            CoreError::Datagen(m) => write!(f, "datagen: {m}"),
+            CoreError::Pipeline(m) => write!(f, "pipeline: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<em_table::TableError> for CoreError {
+    fn from(e: em_table::TableError) -> Self {
+        CoreError::Table(e)
+    }
+}
+impl From<em_blocking::BlockError> for CoreError {
+    fn from(e: em_blocking::BlockError) -> Self {
+        CoreError::Block(e)
+    }
+}
+impl From<em_rules::RuleError> for CoreError {
+    fn from(e: em_rules::RuleError) -> Self {
+        CoreError::Rule(e)
+    }
+}
+impl From<em_ml::MlError> for CoreError {
+    fn from(e: em_ml::MlError) -> Self {
+        CoreError::Ml(e)
+    }
+}

@@ -1,0 +1,259 @@
+//! The how-to guide — Section 13's first challenge: "it is critical to have
+//! some how-to guides that tell both teams how to conduct this
+//! conversation, what to do first, what to do second, and so on."
+//!
+//! [`how_to_guide`] is the case study's process, encoded: the canonical
+//! step sequence with, for each step, what to do, which API runs it, and
+//! which paper section motivates it. [`GuideProgress`] is the checklist the
+//! teams keep: mark steps done (or revisited — the "zig-zag" the paper
+//! stresses), render the current state, and ask what to do next.
+
+use std::fmt;
+
+/// One step of the end-to-end EM process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuideStep {
+    /// Stable identifier (kebab-case).
+    pub id: &'static str,
+    /// Imperative title.
+    pub title: &'static str,
+    /// What the step entails, in one or two sentences.
+    pub what: &'static str,
+    /// The API that runs it.
+    pub api: &'static str,
+    /// Paper section it mirrors.
+    pub section: &'static str,
+}
+
+/// The canonical guide, in execution order.
+pub fn how_to_guide() -> Vec<GuideStep> {
+    vec![
+        GuideStep {
+            id: "understand-data",
+            title: "Understand the data",
+            what: "Browse sample rows; profile every table (missing, unique, mean/median); \
+                   infer entities and key/foreign-key relationships.",
+            api: "em_table::profile::profile_table, Table::check_key/check_foreign_key",
+            section: "Section 4",
+        },
+        GuideStep {
+            id: "match-definition",
+            title: "Converge on a match definition",
+            what: "Obtain the matching document; extract precise positive rules (M1); flag \
+                   the imprecise instructions (M2/M3) for iterative refinement with the \
+                   domain experts.",
+            api: "em_rules::EqualityRule, em_rules::pattern",
+            section: "Section 5",
+        },
+        GuideStep {
+            id: "preprocess",
+            title: "Pre-process into two aligned tables",
+            what: "Select the matching-relevant tables, validate keys, project and rename \
+                   columns, fold one-to-many attributes, add record ids.",
+            api: "em_core::preprocess::{project_umetrics, project_usda}",
+            section: "Section 6",
+        },
+        GuideStep {
+            id: "block",
+            title: "Block",
+            what: "Cover every positive rule with an equivalence scheme, add token-overlap \
+                   and overlap-coefficient schemes for the fuzzy definition, sweep thresholds, \
+                   union the candidate sets.",
+            api: "em_core::blocking_plan::run_blocking",
+            section: "Section 7",
+        },
+        GuideStep {
+            id: "debug-blocking",
+            title: "Audit what blocking excluded",
+            what: "Rank the most match-like excluded pairs; eyeball the top of the list; \
+                   freeze blocking only when it contains no true matches.",
+            api: "em_blocking::debug_blocking",
+            section: "Section 7 / MatchCatcher [23]",
+        },
+        GuideStep {
+            id: "label",
+            title: "Sample and label iteratively",
+            what: "Label in small rounds until enough positives accumulate; cross-check the \
+                   first round between teams; settle disagreements face to face.",
+            api: "em_core::labeling::run_labeling, em_core::labelstore::LabelStore",
+            section: "Section 8",
+        },
+        GuideStep {
+            id: "debug-labels",
+            title: "Debug the labels",
+            what: "Leave-one-out predict every labeled pair; bring the disagreements back to \
+                   the experts as discrepancy classes.",
+            api: "em_core::matcher::debug_labels",
+            section: "Section 8",
+        },
+        GuideStep {
+            id: "select-matcher",
+            title: "Select and debug a matcher",
+            what: "Cross-validate the standard learners; mine mismatches with the winner; \
+                   extend the feature set (e.g. case-insensitive variants) and re-select.",
+            api: "em_core::matcher::{select_matcher, train_matcher}, em_ml::debug",
+            section: "Section 9",
+        },
+        GuideStep {
+            id: "run-workflow",
+            title: "Run the workflow and review with the experts",
+            what: "Sure-match rules first, model on the remainder; deliver identifier pairs; \
+                   expect the review to change the match definition or the data.",
+            api: "em_core::workflow::EmWorkflow",
+            section: "Sections 9-10",
+        },
+        GuideStep {
+            id: "patch",
+            title: "Patch, don't redo",
+            what: "Fold new rules and late-arriving data in as patch workflows over the \
+                   untouched original; union by identifier.",
+            api: "EmWorkflow::run_patched, em_core::analysis",
+            section: "Section 10",
+        },
+        GuideStep {
+            id: "estimate",
+            title: "Estimate accuracy",
+            what: "Label a random sample of the candidate universe; estimate precision and \
+                   recall with intervals; compare against the incumbent matcher; grow the \
+                   sample until the intervals are tight enough to act on.",
+            api: "em_estimate::estimate_accuracy",
+            section: "Section 11",
+        },
+        GuideStep {
+            id: "repair-precision",
+            title: "Repair precision with rules, then package",
+            what: "Solicit negative rules from the experts; apply them to the model output; \
+                   package the workflow as a spec and monitor it per slice in production.",
+            api: "em_rules::NegativeRule, em_core::{spec, monitor}",
+            section: "Section 12",
+        },
+    ]
+}
+
+/// Progress through the guide. Steps may be revisited — the paper's
+/// "zig-zag" — which the history records.
+#[derive(Debug, Clone, Default)]
+pub struct GuideProgress {
+    completed: Vec<&'static str>,
+    history: Vec<String>,
+}
+
+impl GuideProgress {
+    /// Fresh progress: nothing done.
+    pub fn new() -> GuideProgress {
+        GuideProgress::default()
+    }
+
+    /// Marks a step complete (idempotent) with a note for the history.
+    /// Unknown ids are rejected so typos do not silently pass.
+    pub fn complete(&mut self, id: &str, note: &str) -> Result<(), String> {
+        let step = how_to_guide()
+            .into_iter()
+            .find(|s| s.id == id)
+            .ok_or_else(|| format!("unknown guide step {id:?}"))?;
+        if !self.completed.contains(&step.id) {
+            self.completed.push(step.id);
+        }
+        self.history.push(format!("{}: {}", step.id, note));
+        Ok(())
+    }
+
+    /// Re-opens a completed step (a revision arrived — new data, new rule).
+    pub fn revisit(&mut self, id: &str, reason: &str) -> Result<(), String> {
+        let pos = self
+            .completed
+            .iter()
+            .position(|s| *s == id)
+            .ok_or_else(|| format!("step {id:?} is not complete"))?;
+        self.completed.remove(pos);
+        self.history.push(format!("{id}: REOPENED — {reason}"));
+        Ok(())
+    }
+
+    /// True when the step is currently complete.
+    pub fn is_complete(&self, id: &str) -> bool {
+        self.completed.contains(&id)
+    }
+
+    /// The first incomplete step, in guide order (what to do next).
+    pub fn next_step(&self) -> Option<GuideStep> {
+        how_to_guide().into_iter().find(|s| !self.is_complete(s.id))
+    }
+
+    /// The append-only activity log.
+    pub fn history(&self) -> &[String] {
+        &self.history
+    }
+}
+
+impl fmt::Display for GuideProgress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for step in how_to_guide() {
+            let mark = if self.is_complete(step.id) { "x" } else { " " };
+            writeln!(f, "[{mark}] {:<18} {} ({})", step.id, step.title, step.section)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guide_is_ordered_and_unique() {
+        let steps = how_to_guide();
+        assert_eq!(steps.len(), 12);
+        let mut ids: Vec<&str> = steps.iter().map(|s| s.id).collect();
+        assert_eq!(ids[0], "understand-data");
+        assert_eq!(*ids.last().unwrap(), "repair-precision");
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), steps.len(), "duplicate step ids");
+    }
+
+    #[test]
+    fn progress_walks_the_guide() {
+        let mut p = GuideProgress::new();
+        assert_eq!(p.next_step().unwrap().id, "understand-data");
+        p.complete("understand-data", "profiled all seven tables").unwrap();
+        assert_eq!(p.next_step().unwrap().id, "match-definition");
+        assert!(p.is_complete("understand-data"));
+    }
+
+    #[test]
+    fn zig_zag_reopens_steps() {
+        let mut p = GuideProgress::new();
+        p.complete("block", "C = C1∪C2∪C3").unwrap();
+        p.revisit("block", "new positive rule arrived").unwrap();
+        assert!(!p.is_complete("block"));
+        assert!(p.history().iter().any(|h| h.contains("REOPENED")));
+        assert!(p.revisit("block", "twice").is_err(), "cannot reopen an open step");
+    }
+
+    #[test]
+    fn unknown_step_rejected() {
+        let mut p = GuideProgress::new();
+        assert!(p.complete("teleport", "x").is_err());
+    }
+
+    #[test]
+    fn completing_everything_exhausts_the_guide() {
+        let mut p = GuideProgress::new();
+        for s in how_to_guide() {
+            p.complete(s.id, "done").unwrap();
+        }
+        assert!(p.next_step().is_none());
+        let rendered = p.to_string();
+        assert!(!rendered.contains("[ ]"));
+    }
+
+    #[test]
+    fn display_lists_every_step() {
+        let p = GuideProgress::new();
+        let s = p.to_string();
+        for step in how_to_guide() {
+            assert!(s.contains(step.id), "missing {}", step.id);
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Sampling and labeling (Section 8): iterative sampling from the candidate
+//! set, simulated expert labeling with a first-round cross-check, and the
+//! bookkeeping of label counts per round.
+
+use crate::error::CoreError;
+use em_blocking::{CandidateSet, Pair};
+use em_datagen::{Oracle, PairView};
+use em_estimate::Label;
+use em_table::Table;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// One labeled candidate pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabeledPair {
+    /// The candidate pair (row indices into the projected tables).
+    pub pair: Pair,
+    /// The expert label.
+    pub label: Label,
+}
+
+/// An accumulating set of labeled pairs (pair-keyed; relabeling replaces).
+#[derive(Debug, Clone, Default)]
+pub struct LabeledSet {
+    by_pair: HashMap<Pair, Label>,
+    order: Vec<Pair>,
+}
+
+impl LabeledSet {
+    /// Empty set.
+    pub fn new() -> LabeledSet {
+        LabeledSet::default()
+    }
+
+    /// Adds or replaces a label.
+    pub fn insert(&mut self, pair: Pair, label: Label) {
+        if self.by_pair.insert(pair, label).is_none() {
+            self.order.push(pair);
+        }
+    }
+
+    /// The label of a pair, if labeled.
+    pub fn get(&self, pair: &Pair) -> Option<Label> {
+        self.by_pair.get(pair).copied()
+    }
+
+    /// True when the pair has been labeled.
+    pub fn contains(&self, pair: &Pair) -> bool {
+        self.by_pair.contains_key(pair)
+    }
+
+    /// Number of labeled pairs.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Iterates labeled pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = LabeledPair> + '_ {
+        self.order.iter().map(move |p| LabeledPair { pair: *p, label: self.by_pair[p] })
+    }
+
+    /// `(yes, no, unsure)` counts.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for p in self.order.iter() {
+            match self.by_pair[p] {
+                Label::Yes => c.0 += 1,
+                Label::No => c.1 += 1,
+                Label::Unsure => c.2 += 1,
+            }
+        }
+        c
+    }
+}
+
+/// What one labeling round produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelingRound {
+    /// Pairs sampled and labeled this round.
+    pub sampled: usize,
+    /// Yes labels this round (after any cross-check correction).
+    pub yes: usize,
+    /// No labels this round.
+    pub no: usize,
+    /// Unsure labels this round.
+    pub unsure: usize,
+    /// First round only: labels that disagreed with the EM team's own pass
+    /// (the paper found 22).
+    pub crosscheck_mismatches: usize,
+    /// First round only: labels the experts corrected after discussion
+    /// (the paper: 4 updated to Yes).
+    pub corrections: usize,
+}
+
+/// Renders the accession number of a USDA row (int-typed in the raw data).
+pub fn accession_of(usda: &Table, row: usize) -> String {
+    usda.get(row, "AccessionNumber").map(|v| v.render()).unwrap_or_default()
+}
+
+/// Renders the award number of a UMETRICS row.
+pub fn award_of(umetrics: &Table, row: usize) -> String {
+    umetrics.get(row, "AwardNumber").map(|v| v.render()).unwrap_or_default()
+}
+
+/// Samples `n` not-yet-labeled pairs from the candidate set,
+/// deterministically in `seed`.
+pub fn sample_unlabeled(
+    candidates: &CandidateSet,
+    already: &LabeledSet,
+    n: usize,
+    seed: u64,
+) -> Vec<Pair> {
+    let mut pool: Vec<Pair> = candidates.iter().filter(|p| !already.contains(p)).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    pool.shuffle(&mut rng);
+    pool.truncate(n);
+    pool.sort(); // deterministic presentation order
+    pool
+}
+
+/// Labels one pair with the oracle, using the *initial* (mistake-prone)
+/// behaviour when `first_round`, and building the view from projected rows.
+fn oracle_label(
+    oracle: &Oracle<'_>,
+    umetrics: &Table,
+    usda: &Table,
+    pair: Pair,
+    first_round: bool,
+) -> Result<(Label, Label), CoreError> {
+    let u = umetrics
+        .row(pair.left)
+        .ok_or_else(|| CoreError::Pipeline(format!("pair row {} outside UMETRICS", pair.left)))?;
+    let s = usda
+        .row(pair.right)
+        .ok_or_else(|| CoreError::Pipeline(format!("pair row {} outside USDA", pair.right)))?;
+    let accession = accession_of(usda, pair.right);
+    let view = PairView {
+        award_number: u.str("AwardNumber").unwrap_or(""),
+        accession: &accession,
+        left_title: u.str("AwardTitle").unwrap_or(""),
+        right_title: s.str("AwardTitle").unwrap_or(""),
+        right_award_number: s.str("AwardNumber"),
+        right_project_number: s.str("ProjectNumber"),
+    };
+    let settled = oracle.label(&view);
+    let first = if first_round { oracle.label_initial(&view) } else { settled };
+    Ok((first, settled))
+}
+
+/// Runs the Section 8 labeling loop: one round per entry of `round_sizes`.
+///
+/// The first round reproduces the cross-check: the experts label with their
+/// mistake-prone first pass, the EM team's own pass (the settled labels)
+/// is compared, mismatches are discussed, and the settled labels win.
+/// Later rounds use settled labels directly (the experts have converged on
+/// the match definition).
+pub fn run_labeling(
+    umetrics: &Table,
+    usda: &Table,
+    candidates: &CandidateSet,
+    oracle: &Oracle<'_>,
+    round_sizes: &[usize],
+    seed: u64,
+) -> Result<(LabeledSet, Vec<LabelingRound>), CoreError> {
+    let mut labeled = LabeledSet::new();
+    let mut rounds = Vec::with_capacity(round_sizes.len());
+    for (round_idx, &n) in round_sizes.iter().enumerate() {
+        let first_round = round_idx == 0;
+        let pairs = sample_unlabeled(candidates, &labeled, n, seed.wrapping_add(round_idx as u64));
+        let mut mismatches = 0usize;
+        let mut corrections = 0usize;
+        let (mut yes, mut no, mut unsure) = (0usize, 0usize, 0usize);
+        for pair in pairs.iter().copied() {
+            let (first, settled) = oracle_label(oracle, umetrics, usda, pair, first_round)?;
+            if first != settled {
+                mismatches += 1;
+                if settled == Label::Yes {
+                    corrections += 1;
+                }
+            }
+            // After the cross-check discussion the settled label stands.
+            labeled.insert(pair, settled);
+            match settled {
+                Label::Yes => yes += 1,
+                Label::No => no += 1,
+                Label::Unsure => unsure += 1,
+            }
+        }
+        rounds.push(LabelingRound {
+            sampled: pairs.len(),
+            yes,
+            no,
+            unsure,
+            crosscheck_mismatches: if first_round { mismatches } else { 0 },
+            corrections: if first_round { corrections } else { 0 },
+        });
+    }
+    Ok((labeled, rounds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocking_plan::{run_blocking, BlockingPlan};
+    use crate::preprocess::{project_umetrics, project_usda};
+    use em_datagen::{OracleConfig, Scenario, ScenarioConfig};
+
+    struct Fixture {
+        u: Table,
+        s: Table,
+        scenario: Scenario,
+        candidates: CandidateSet,
+    }
+
+    fn fixture() -> Fixture {
+        let scenario = Scenario::generate(ScenarioConfig::small()).unwrap();
+        let u = project_umetrics(&scenario.award_agg, &scenario.employees).unwrap();
+        let s = project_usda(&scenario.usda, false).unwrap();
+        let candidates = run_blocking(&u, &s, &BlockingPlan::default()).unwrap().consolidated;
+        Fixture { u, s, scenario, candidates }
+    }
+
+    #[test]
+    fn labeled_set_counts_and_replace() {
+        let mut ls = LabeledSet::new();
+        ls.insert(Pair::new(0, 0), Label::Yes);
+        ls.insert(Pair::new(0, 1), Label::No);
+        ls.insert(Pair::new(0, 2), Label::Unsure);
+        assert_eq!(ls.counts(), (1, 1, 1));
+        ls.insert(Pair::new(0, 0), Label::No); // relabel
+        assert_eq!(ls.counts(), (0, 2, 1));
+        assert_eq!(ls.len(), 3);
+    }
+
+    #[test]
+    fn sampling_avoids_already_labeled() {
+        let f = fixture();
+        let mut labeled = LabeledSet::new();
+        let first = sample_unlabeled(&f.candidates, &labeled, 20, 1);
+        for p in &first {
+            labeled.insert(*p, Label::No);
+        }
+        let second = sample_unlabeled(&f.candidates, &labeled, 20, 2);
+        for p in &second {
+            assert!(!first.contains(p), "resampled an already-labeled pair");
+        }
+    }
+
+    #[test]
+    fn sampling_deterministic() {
+        let f = fixture();
+        let e = LabeledSet::new();
+        assert_eq!(
+            sample_unlabeled(&f.candidates, &e, 30, 9),
+            sample_unlabeled(&f.candidates, &e, 30, 9)
+        );
+    }
+
+    #[test]
+    fn rounds_accumulate_and_report() {
+        let f = fixture();
+        let oracle = Oracle::new(&f.scenario.truth, OracleConfig::default());
+        let (labeled, rounds) =
+            run_labeling(&f.u, &f.s, &f.candidates, &oracle, &[40, 30, 30], 7).unwrap();
+        assert_eq!(rounds.len(), 3);
+        assert_eq!(labeled.len(), rounds.iter().map(|r| r.sampled).sum::<usize>());
+        let (yes, no, unsure) = labeled.counts();
+        assert_eq!(yes, rounds.iter().map(|r| r.yes).sum::<usize>());
+        assert_eq!(no, rounds.iter().map(|r| r.no).sum::<usize>());
+        assert_eq!(unsure, rounds.iter().map(|r| r.unsure).sum::<usize>());
+        assert!(yes > 0, "sampling the candidate set should find positives");
+        // cross-check only happens in round one
+        assert!(rounds[1].crosscheck_mismatches == 0 && rounds[2].crosscheck_mismatches == 0);
+    }
+
+    #[test]
+    fn labels_agree_with_truth_for_clear_pairs() {
+        let f = fixture();
+        let oracle = Oracle::new(&f.scenario.truth, OracleConfig::default());
+        let (labeled, _) = run_labeling(&f.u, &f.s, &f.candidates, &oracle, &[80], 3).unwrap();
+        for lp in labeled.iter() {
+            let award = award_of(&f.u, lp.pair.left);
+            let acc = accession_of(&f.s, lp.pair.right);
+            let truth = f.scenario.truth.is_match(&award, &acc);
+            match lp.label {
+                Label::Yes => assert!(truth, "Yes label on a non-match ({award}, {acc})"),
+                Label::No => assert!(!truth, "No label on a true match ({award}, {acc})"),
+                Label::Unsure => {}
+            }
+        }
+    }
+}

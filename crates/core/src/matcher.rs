@@ -1,0 +1,426 @@
+//! The matching stage (Section 9): feature preparation, matcher selection
+//! by five-fold cross-validation, training, prediction, and the two
+//! debugging passes (label debugging via leave-one-out, matcher debugging
+//! via split-half mismatch mining).
+
+use crate::error::CoreError;
+use crate::labeling::LabeledSet;
+use em_blocking::{CandidateSet, Pair};
+use em_estimate::Label;
+use em_features::{extract_vectors, FeatureOptions, FeatureSet};
+use em_ml::cv::{cross_validate, leave_one_out_predictions, CvResult};
+use em_ml::dataset::{impute_mean, Dataset, Imputer};
+use em_ml::model::{Learner, Model};
+use em_rules::RuleSet;
+use em_table::Table;
+
+/// Configuration of the matching stage.
+#[derive(Debug, Clone)]
+pub struct MatcherStage {
+    /// Feature-generation options (Section 9 round 2 turns
+    /// `case_insensitive` on).
+    pub feature_opts: FeatureOptions,
+    /// Cross-validation folds (paper: 5).
+    pub cv_folds: usize,
+    /// Seed for CV shuffles and stochastic learners.
+    pub seed: u64,
+}
+
+impl MatcherStage {
+    /// The paper's defaults (5-fold CV, ids excluded from features).
+    pub fn new(seed: u64) -> MatcherStage {
+        MatcherStage {
+            feature_opts: FeatureOptions::excluding(&["RecordId", "AccessionNumber"]),
+            cv_folds: 5,
+            seed,
+        }
+    }
+
+    /// Enables case-insensitive feature variants (the Section 9 fix).
+    pub fn with_case_insensitive(mut self) -> MatcherStage {
+        self.feature_opts = self.feature_opts.clone().with_case_insensitive();
+        self
+    }
+}
+
+/// A matcher ready to predict: features, the imputer fitted on training
+/// data, and the trained model.
+pub struct TrainedMatcher {
+    /// The generated feature set.
+    pub features: FeatureSet,
+    /// Mean imputer fitted on the training matrix.
+    pub imputer: Imputer,
+    /// The trained model.
+    pub model: Box<dyn Model>,
+    /// Which learner won selection.
+    pub learner_name: String,
+    /// Normalized Gini feature importances, when the winning learner is
+    /// tree-based (the PyMatcher debugger's "which features matter" view).
+    pub feature_importance: Option<Vec<f64>>,
+}
+
+/// Builds the training dataset from labeled pairs, excluding `Unsure`
+/// labels and pairs any positive rule already decides ("removed the unsure
+/// and sure matches … from the labeled data"). Missing values are imputed
+/// in place; the fitted imputer is returned for prediction-time use.
+pub fn build_training_data(
+    umetrics: &Table,
+    usda: &Table,
+    features: &FeatureSet,
+    labeled: &LabeledSet,
+    sure_rules: &RuleSet,
+) -> Result<(Dataset, Imputer), CoreError> {
+    let mut pairs = Vec::new();
+    let mut labels = Vec::new();
+    for lp in labeled.iter() {
+        let Some(as_bool) = lp.label.as_bool() else {
+            continue; // Unsure
+        };
+        let (Some(u), Some(s)) = (umetrics.row(lp.pair.left), usda.row(lp.pair.right)) else {
+            return Err(CoreError::Pipeline(format!(
+                "labeled pair ({}, {}) out of range",
+                lp.pair.left, lp.pair.right
+            )));
+        };
+        if sure_rules.any_positive_fires(u, s) {
+            continue; // sure matches are handled by rules, not learning
+        }
+        pairs.push(lp.pair);
+        labels.push(as_bool);
+    }
+    let x = extract_vectors(features, umetrics, usda, &pairs)?;
+    let mut data = Dataset::new(features.names(), x, labels)?;
+    let imputer = impute_mean(&mut data);
+    Ok((data, imputer))
+}
+
+/// Cross-validates the six standard learners on the training data and
+/// returns the ranking (best first) — the Section 9 bake-off.
+pub fn select_matcher(
+    data: &Dataset,
+    stage: &MatcherStage,
+) -> Result<Vec<CvResult>, CoreError> {
+    let learners = em_ml::standard_learners(stage.seed);
+    let mut rows: Vec<CvResult> = learners
+        .iter()
+        .map(|l| cross_validate(l.as_ref(), data, stage.cv_folds, stage.seed))
+        .collect::<Result<_, _>>()?;
+    rows.sort_by(|a, b| {
+        b.f1()
+            .partial_cmp(&a.f1())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.learner.cmp(&b.learner))
+    });
+    Ok(rows)
+}
+
+/// Trains the named learner (one of the standard six) on the full training
+/// data, packaging features + imputer + model for prediction.
+pub fn train_matcher(
+    features: FeatureSet,
+    imputer: Imputer,
+    data: &Dataset,
+    learner_name: &str,
+    stage: &MatcherStage,
+) -> Result<TrainedMatcher, CoreError> {
+    let learners = em_ml::standard_learners(stage.seed);
+    let learner = learners
+        .iter()
+        .find(|l| l.name() == learner_name)
+        .ok_or_else(|| CoreError::Pipeline(format!("unknown learner {learner_name:?}")))?;
+    let model = learner.fit(data)?;
+    // Tree-based winners expose Gini importances for the debugging view.
+    let feature_importance = match learner_name {
+        "Decision Tree" => Some(
+            em_ml::tree::DecisionTreeLearner::default()
+                .fit_tree(data)?
+                .feature_importance(data.n_features()),
+        ),
+        "Random Forest" => Some(
+            em_ml::forest::RandomForestLearner { seed: stage.seed, ..Default::default() }
+                .fit_forest(data)?
+                .feature_importance(data.n_features()),
+        ),
+        _ => None,
+    };
+    Ok(TrainedMatcher {
+        features,
+        imputer,
+        model,
+        learner_name: learner_name.to_string(),
+        feature_importance,
+    })
+}
+
+impl TrainedMatcher {
+    /// The `k` most important features with their normalized importances,
+    /// when the winning learner exposes them.
+    pub fn top_features(&self, k: usize) -> Option<Vec<(String, f64)>> {
+        let imp = self.feature_importance.as_ref()?;
+        let mut ranked: Vec<(String, f64)> = self
+            .features
+            .names()
+            .into_iter()
+            .zip(imp.iter().copied())
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then_with(|| a.0.cmp(&b.0))
+        });
+        ranked.truncate(k);
+        Some(ranked)
+    }
+
+    /// Predicts matches among `pairs`, returning the predicted-match set
+    /// (provenance `model:<learner>`).
+    pub fn predict(
+        &self,
+        umetrics: &Table,
+        usda: &Table,
+        pairs: &CandidateSet,
+    ) -> Result<CandidateSet, CoreError> {
+        let list: Vec<Pair> = pairs.to_vec();
+        let mut x = extract_vectors(&self.features, umetrics, usda, &list)?;
+        self.imputer.transform(&mut x);
+        let tag = format!("model:{}", self.learner_name);
+        let mut out = CandidateSet::new("predicted");
+        for (pair, row) in list.iter().zip(&x) {
+            if self.model.predict(row) {
+                out.add(*pair, &tag);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Match probabilities for every pair of a candidate set, in set order.
+    pub fn probabilities(
+        &self,
+        umetrics: &Table,
+        usda: &Table,
+        pairs: &CandidateSet,
+    ) -> Result<Vec<(Pair, f64)>, CoreError> {
+        let list: Vec<Pair> = pairs.to_vec();
+        let mut x = extract_vectors(&self.features, umetrics, usda, &list)?;
+        self.imputer.transform(&mut x);
+        Ok(list
+            .into_iter()
+            .zip(x.iter().map(|row| self.model.predict_proba(row)))
+            .collect())
+    }
+
+    /// Match probability for one pair.
+    pub fn proba(
+        &self,
+        umetrics: &Table,
+        usda: &Table,
+        pair: Pair,
+    ) -> Result<f64, CoreError> {
+        let mut x = extract_vectors(&self.features, umetrics, usda, &[pair])?;
+        self.imputer.transform(&mut x);
+        Ok(self.model.predict_proba(&x[0]))
+    }
+}
+
+/// One label-debugging lead: a labeled pair whose held-out prediction
+/// disagrees with its label (Section 8's leave-one-out pass).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelDebugHit {
+    /// The labeled pair.
+    pub pair: Pair,
+    /// The held-out model prediction.
+    pub predicted: bool,
+    /// The expert label it contradicts.
+    pub labeled: Label,
+}
+
+/// Runs leave-one-out label debugging with the given learner over the
+/// training data built by [`build_training_data`]'s exclusion semantics.
+pub fn debug_labels(
+    umetrics: &Table,
+    usda: &Table,
+    features: &FeatureSet,
+    labeled: &LabeledSet,
+    sure_rules: &RuleSet,
+    learner: &dyn Learner,
+) -> Result<Vec<LabelDebugHit>, CoreError> {
+    let mut pairs = Vec::new();
+    let mut labels = Vec::new();
+    for lp in labeled.iter() {
+        let Some(as_bool) = lp.label.as_bool() else { continue };
+        let (Some(u), Some(s)) = (umetrics.row(lp.pair.left), usda.row(lp.pair.right)) else {
+            continue;
+        };
+        if sure_rules.any_positive_fires(u, s) {
+            continue;
+        }
+        pairs.push((lp.pair, lp.label));
+        labels.push(as_bool);
+    }
+    let x = extract_vectors(features, umetrics, usda, &pairs.iter().map(|(p, _)| *p).collect::<Vec<_>>())?;
+    let mut data = Dataset::new(features.names(), x, labels)?;
+    let _ = impute_mean(&mut data);
+    let preds = leave_one_out_predictions(learner, &data)?;
+    Ok(pairs
+        .iter()
+        .zip(preds)
+        .filter(|((_, label), pred)| label.as_bool() != Some(*pred))
+        .map(|((pair, label), pred)| LabelDebugHit { pair: *pair, predicted: pred, labeled: *label })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocking_plan::{run_blocking, BlockingPlan};
+    use crate::labeling::run_labeling;
+    use crate::preprocess::{project_umetrics, project_usda};
+    use em_datagen::{Oracle, OracleConfig, Scenario, ScenarioConfig};
+    use em_features::auto_features;
+    use em_rules::EqualityRule;
+
+    struct Fixture {
+        u: Table,
+        s: Table,
+        scenario: Scenario,
+        candidates: CandidateSet,
+        labeled: LabeledSet,
+        rules: RuleSet,
+    }
+
+    fn fixture() -> Fixture {
+        let scenario = Scenario::generate(ScenarioConfig::small().with_seed(11)).unwrap();
+        let u = project_umetrics(&scenario.award_agg, &scenario.employees).unwrap();
+        let s = project_usda(&scenario.usda, false).unwrap();
+        let candidates = run_blocking(&u, &s, &BlockingPlan::default()).unwrap().consolidated;
+        let oracle = Oracle::new(&scenario.truth, OracleConfig::default());
+        let (labeled, _) =
+            run_labeling(&u, &s, &candidates, &oracle, &[100, 100], 5).unwrap();
+        let rules = RuleSet {
+            positive: vec![EqualityRule::suffix_equals("M1", "AwardNumber", "AwardNumber")],
+            negative: vec![],
+        };
+        Fixture { u, s, scenario, candidates, labeled, rules }
+    }
+
+    #[test]
+    fn training_data_excludes_unsure_and_sure() {
+        let f = fixture();
+        let stage = MatcherStage::new(1).with_case_insensitive();
+        let features = auto_features(&f.u, &f.s, &stage.feature_opts);
+        let (data, _) =
+            build_training_data(&f.u, &f.s, &features, &f.labeled, &f.rules).unwrap();
+        let (yes, no, unsure) = f.labeled.counts();
+        assert!(data.len() <= yes + no, "unsure pairs must be dropped");
+        assert!(unsure > 0 || data.len() == yes + no);
+        data.check_finite().unwrap();
+        assert!(data.n_positive() > 0, "need positive examples to train");
+    }
+
+    #[test]
+    fn selection_ranks_and_winner_is_strong() {
+        let f = fixture();
+        let stage = MatcherStage::new(1).with_case_insensitive();
+        let features = auto_features(&f.u, &f.s, &stage.feature_opts);
+        let (data, _) =
+            build_training_data(&f.u, &f.s, &features, &f.labeled, &f.rules).unwrap();
+        let ranking = select_matcher(&data, &stage).unwrap();
+        assert_eq!(ranking.len(), 6);
+        for w in ranking.windows(2) {
+            assert!(w[0].f1() >= w[1].f1());
+        }
+        assert!(ranking[0].f1() > 0.7, "best F1 = {}", ranking[0].f1());
+    }
+
+    #[test]
+    fn case_insensitive_features_beat_case_sensitive() {
+        // The Section 9 story: UMETRICS titles are uppercase, USDA titles
+        // title-case, so the case-insensitive feature set must outperform.
+        let f = fixture();
+        let cs_stage = MatcherStage::new(1);
+        let ci_stage = MatcherStage::new(1).with_case_insensitive();
+        let mut f1s = Vec::new();
+        for stage in [&cs_stage, &ci_stage] {
+            let features = auto_features(&f.u, &f.s, &stage.feature_opts);
+            let (data, _) =
+                build_training_data(&f.u, &f.s, &features, &f.labeled, &f.rules).unwrap();
+            f1s.push(select_matcher(&data, stage).unwrap()[0].f1());
+        }
+        assert!(
+            f1s[1] >= f1s[0],
+            "case-insensitive ({}) should not lose to case-sensitive ({})",
+            f1s[1],
+            f1s[0]
+        );
+    }
+
+    #[test]
+    fn trained_matcher_predicts_candidates() {
+        let f = fixture();
+        let stage = MatcherStage::new(1).with_case_insensitive();
+        let features = auto_features(&f.u, &f.s, &stage.feature_opts);
+        let (data, imputer) =
+            build_training_data(&f.u, &f.s, &features, &f.labeled, &f.rules).unwrap();
+        let ranking = select_matcher(&data, &stage).unwrap();
+        let matcher =
+            train_matcher(features, imputer, &data, &ranking[0].learner, &stage).unwrap();
+        let predicted = matcher.predict(&f.u, &f.s, &f.candidates).unwrap();
+        assert!(!predicted.is_empty());
+        assert!(predicted.len() < f.candidates.len());
+        // Predictions should be mostly true matches.
+        let mut tp = 0usize;
+        for p in predicted.iter() {
+            let award = f.u.get(p.left, "AwardNumber").unwrap().render();
+            let acc = f.s.get(p.right, "AccessionNumber").unwrap().render();
+            if f.scenario.truth.is_match(&award, &acc) {
+                tp += 1;
+            }
+        }
+        let precision = tp as f64 / predicted.len() as f64;
+        assert!(precision > 0.5, "model precision {precision} too low");
+    }
+
+    #[test]
+    fn unknown_learner_rejected() {
+        let f = fixture();
+        let stage = MatcherStage::new(1);
+        let features = auto_features(&f.u, &f.s, &stage.feature_opts);
+        let (data, imputer) =
+            build_training_data(&f.u, &f.s, &features, &f.labeled, &f.rules).unwrap();
+        assert!(train_matcher(features, imputer, &data, "Oracle", &stage).is_err());
+    }
+
+    #[test]
+    fn label_debug_finds_planted_error() {
+        let f = fixture();
+        let stage = MatcherStage::new(1).with_case_insensitive();
+        let features = auto_features(&f.u, &f.s, &stage.feature_opts);
+        // Plant a wrong label on a labeled Yes pair not covered by M1.
+        let mut labeled = f.labeled.clone();
+        let victim = labeled
+            .iter()
+            .find(|lp| {
+                lp.label == Label::Yes
+                    && !f.rules.any_positive_fires(
+                        f.u.row(lp.pair.left).unwrap(),
+                        f.s.row(lp.pair.right).unwrap(),
+                    )
+            })
+            .map(|lp| lp.pair);
+        let Some(victim) = victim else {
+            return; // no eligible victim under this seed; other seeds cover it
+        };
+        labeled.insert(victim, Label::No);
+        let hits = debug_labels(
+            &f.u,
+            &f.s,
+            &features,
+            &labeled,
+            &f.rules,
+            &em_ml::tree::DecisionTreeLearner::default(),
+        )
+        .unwrap();
+        assert!(
+            hits.iter().any(|h| h.pair == victim && h.predicted),
+            "planted bad label not flagged"
+        );
+    }
+}

@@ -1,0 +1,225 @@
+//! Production accuracy monitoring — the Section 12 challenge the teams were
+//! "currently working on": "the new data may be dirty, so we need to
+//! monitor the accuracy of the match results. This is typically done by
+//! taking a random sample of the predicted matches at regular intervals,
+//! manually labeling it, then using the labeled sample to estimate the
+//! accuracy" (footnote 11, citing the Chimera production monitor).
+//!
+//! [`AccuracyMonitor`] wraps a deployed workflow: for each new data slice
+//! it runs the workflow, samples the *predicted matches*, obtains expert
+//! labels (the oracle stands in for the production labeling rota), and
+//! estimates precision with a confidence interval. When the interval's
+//! upper bound falls below the configured floor, the slice is flagged for
+//! a return "to the development stage".
+
+use crate::blocking_plan::BlockingPlan;
+use crate::error::CoreError;
+use crate::labeling::{accession_of, award_of};
+use crate::matcher::TrainedMatcher;
+use crate::workflow::EmWorkflow;
+use em_blocking::Pair;
+use em_datagen::{Oracle, PairView};
+use em_estimate::{estimate_accuracy, AccuracyEstimate, SampleItem, Z95};
+use em_rules::RuleSet;
+use em_table::Table;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Monitor configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonitorConfig {
+    /// Predicted matches sampled per slice.
+    pub sample_size: usize,
+    /// Alert when the precision interval's *upper* bound drops below this.
+    pub precision_floor: f64,
+    /// Sampling seed.
+    pub seed: u64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig { sample_size: 100, precision_floor: 0.9, seed: 13 }
+    }
+}
+
+/// One slice's health report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SliceReport {
+    /// Slice label (e.g. the data-file year or university).
+    pub slice: String,
+    /// Matches the workflow produced on the slice.
+    pub n_matches: usize,
+    /// Matches sampled and labeled.
+    pub n_sampled: usize,
+    /// The precision estimate from the labeled sample.
+    pub estimate: AccuracyEstimate,
+    /// True when the slice breaches the precision floor.
+    pub alert: bool,
+}
+
+/// A deployed workflow plus monitoring policy.
+pub struct AccuracyMonitor<'m> {
+    /// The packaged rules.
+    pub rules: RuleSet,
+    /// The packaged blocking plan.
+    pub plan: BlockingPlan,
+    /// The trained matcher being monitored.
+    pub matcher: &'m TrainedMatcher,
+    /// Whether negative rules are applied (the deployed configuration).
+    pub apply_negative: bool,
+    /// Monitoring policy.
+    pub config: MonitorConfig,
+}
+
+impl<'m> AccuracyMonitor<'m> {
+    /// Runs the deployed workflow on one new slice and estimates precision
+    /// from a labeled sample of its predicted matches.
+    pub fn check_slice(
+        &self,
+        slice_name: &str,
+        umetrics: &Table,
+        usda: &Table,
+        oracle: &Oracle<'_>,
+    ) -> Result<SliceReport, CoreError> {
+        let wf = EmWorkflow {
+            rules: self.rules.clone(),
+            plan: self.plan,
+            matcher: self.matcher,
+            apply_negative: self.apply_negative,
+        };
+        let result = wf.run(umetrics, usda)?;
+        let mut matches: Vec<Pair> = result.matches.to_vec();
+        let n_matches = matches.len();
+
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        matches.shuffle(&mut rng);
+        matches.truncate(self.config.sample_size);
+
+        let sample: Vec<SampleItem> = matches
+            .iter()
+            .map(|p| {
+                let award = award_of(umetrics, p.left);
+                let acc = accession_of(usda, p.right);
+                let u = umetrics.row(p.left).expect("pair from this table");
+                let s = usda.row(p.right).expect("pair from this table");
+                let view = PairView {
+                    award_number: &award,
+                    accession: &acc,
+                    left_title: u.str("AwardTitle").unwrap_or(""),
+                    right_title: s.str("AwardTitle").unwrap_or(""),
+                    right_award_number: s.str("AwardNumber"),
+                    right_project_number: s.str("ProjectNumber"),
+                };
+                SampleItem { predicted: true, label: oracle.label(&view) }
+            })
+            .collect();
+        let estimate = estimate_accuracy(&sample, Z95);
+        // With every sampled pair predicted, the precision interval is the
+        // fraction labeled Yes; an empty sample stays vacuous (no alert).
+        let alert = !sample.is_empty() && estimate.precision.hi < self.config.precision_floor;
+        Ok(SliceReport {
+            slice: slice_name.to_string(),
+            n_matches,
+            n_sampled: sample.len(),
+            estimate,
+            alert,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocking_plan::run_blocking;
+    use crate::labeling::run_labeling;
+    use crate::matcher::{build_training_data, select_matcher, train_matcher};
+    use crate::pipeline::standard_rules;
+    use crate::preprocess::{project_umetrics, project_usda};
+    use crate::spec::WorkflowSpec;
+    use em_datagen::{OracleConfig, Scenario, ScenarioConfig};
+    use em_features::auto_features;
+
+    fn trained_matcher(
+        scenario: &Scenario,
+        u: &Table,
+        s: &Table,
+    ) -> TrainedMatcher {
+        let candidates = run_blocking(u, s, &BlockingPlan::default()).unwrap().consolidated;
+        let oracle = Oracle::new(&scenario.truth, OracleConfig::default());
+        let (labeled, _) = run_labeling(u, s, &candidates, &oracle, &[100, 100], 5).unwrap();
+        let spec = WorkflowSpec::umetrics_usda();
+        let stage = spec.matcher_stage(1);
+        let features = auto_features(u, s, &stage.feature_opts);
+        let (data, imputer) =
+            build_training_data(u, s, &features, &labeled, &spec.rules()).unwrap();
+        let ranking = select_matcher(&data, &stage).unwrap();
+        train_matcher(features, imputer, &data, &ranking[0].learner, &stage).unwrap()
+    }
+
+    #[test]
+    fn healthy_slice_passes_dirty_slice_alerts() {
+        // Train on one slice.
+        let train_scenario = Scenario::generate(ScenarioConfig::small().with_seed(31)).unwrap();
+        let u = project_umetrics(&train_scenario.award_agg, &train_scenario.employees).unwrap();
+        let s = project_usda(&train_scenario.usda, true).unwrap();
+        let matcher = trained_matcher(&train_scenario, &u, &s);
+        let monitor = AccuracyMonitor {
+            rules: standard_rules(),
+            plan: BlockingPlan::default(),
+            matcher: &matcher,
+            apply_negative: true,
+            config: MonitorConfig { precision_floor: 0.8, ..Default::default() },
+        };
+
+        // A fresh healthy slice: same generator, new seed.
+        let healthy = Scenario::generate(ScenarioConfig::small().with_seed(32)).unwrap();
+        let hu = project_umetrics(&healthy.award_agg, &healthy.employees).unwrap();
+        let hs = project_usda(&healthy.usda, true).unwrap();
+        let healthy_oracle = Oracle::new(&healthy.truth, OracleConfig::default());
+        let report = monitor.check_slice("2016", &hu, &hs, &healthy_oracle).unwrap();
+        assert!(report.n_matches > 0);
+        assert!(!report.alert, "healthy slice flagged: {report:?}");
+        assert!(report.estimate.precision.hi >= 0.8);
+
+        // A degraded slice: sibling/garble rates cranked up so titles lie.
+        let mut dirty_cfg = ScenarioConfig::small().with_seed(33);
+        dirty_cfg.p_sibling_title = 0.85;
+        dirty_cfg.p_project_number_present = 0.0; // negative rules blinded
+        dirty_cfg.p_federal_award_present = 0.0; // and sure rules too
+        dirty_cfg.frac_federal = 0.0;
+        let dirty = Scenario::generate(dirty_cfg).unwrap();
+        let du = project_umetrics(&dirty.award_agg, &dirty.employees).unwrap();
+        let ds = project_usda(&dirty.usda, true).unwrap();
+        let dirty_oracle = Oracle::new(&dirty.truth, OracleConfig::default());
+        let dirty_report = monitor.check_slice("2017-dirty", &du, &ds, &dirty_oracle).unwrap();
+        assert!(
+            dirty_report.estimate.precision.mid() < report.estimate.precision.mid(),
+            "dirty slice should estimate lower precision ({:?} vs {:?})",
+            dirty_report.estimate.precision,
+            report.estimate.precision
+        );
+    }
+
+    #[test]
+    fn empty_slice_does_not_alert() {
+        let scenario = Scenario::generate(ScenarioConfig::small().with_seed(41)).unwrap();
+        let u = project_umetrics(&scenario.award_agg, &scenario.employees).unwrap();
+        let s = project_usda(&scenario.usda, true).unwrap();
+        let matcher = trained_matcher(&scenario, &u, &s);
+        let monitor = AccuracyMonitor {
+            rules: standard_rules(),
+            plan: BlockingPlan::default(),
+            matcher: &matcher,
+            apply_negative: true,
+            config: MonitorConfig::default(),
+        };
+        // Slice with no rows → no matches → vacuous estimate, no alert.
+        let empty_u = Table::new("u", u.schema().clone());
+        let empty_s = Table::new("s", s.schema().clone());
+        let oracle = Oracle::new(&scenario.truth, OracleConfig::default());
+        let r = monitor.check_slice("empty", &empty_u, &empty_s, &oracle).unwrap();
+        assert_eq!(r.n_matches, 0);
+        assert!(!r.alert);
+    }
+}

@@ -1,0 +1,777 @@
+//! The end-to-end case study (Sections 4–12), orchestrated.
+//!
+//! [`CaseStudy::run`] replays the whole paper on a generated scenario:
+//! understanding the data → blocking (with the footnote-3 accounting and
+//! the threshold sweep) → blocking-debugger audit → iterative labeling with
+//! the first-round cross-check → leave-one-out label debugging → two-round
+//! matcher selection (case-sensitive, then + case-insensitive features) →
+//! the Figure 8 initial workflow → the Section 10 complications (revised
+//! match definition, extra data) via the Figure 9 patch → Corleone accuracy
+//! estimation at 200 and 400 labels, ours vs IRIS → the Figure 10 negative
+//! rules. The resulting [`CaseStudyReport`] carries every number the
+//! paper's narrative quotes, plus ground-truth scores the paper could not
+//! compute (we own the generator).
+
+use crate::analysis::{analyze_multiplicity, cluster_matches, MultiplicityReport};
+use crate::blocking_plan::{overlap_threshold_sweep, run_blocking, BlockingPlan};
+use crate::error::CoreError;
+use crate::labeling::{accession_of, award_of, run_labeling, LabelingRound};
+use crate::matcher::{build_training_data, debug_labels, select_matcher, train_matcher, MatcherStage};
+use crate::preprocess::{project_umetrics, project_usda};
+use crate::workflow::{EmWorkflow, MatchIds};
+use em_blocking::{debug_blocking, BlockingDebugger, Pair};
+use em_datagen::{Oracle, OracleConfig, PairView, Scenario, ScenarioConfig};
+use em_estimate::{estimate_accuracy, AccuracyEstimate, SampleItem, Z95};
+use em_rules::{EqualityRule, IrisMatcher, NegativeRule, RuleSet};
+use em_table::Table;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Configuration of a full case-study run.
+#[derive(Debug, Clone)]
+pub struct CaseStudyConfig {
+    /// Scenario (data) configuration.
+    pub scenario: ScenarioConfig,
+    /// Labeling-oracle behaviour.
+    pub oracle: OracleConfig,
+    /// Pipeline seed (sampling, CV, stochastic learners).
+    pub seed: u64,
+    /// Blocking-plan parameters.
+    pub plan: BlockingPlan,
+    /// Training-label rounds (paper: 100 + 100 + 100).
+    pub label_rounds: Vec<usize>,
+    /// Evaluation-label rounds for estimation (paper: 200 + 200).
+    pub eval_rounds: Vec<usize>,
+    /// Blocking-debugger audit size (paper: top 100).
+    pub debugger_top_k: usize,
+}
+
+impl CaseStudyConfig {
+    /// Paper-scale configuration.
+    pub fn paper() -> CaseStudyConfig {
+        CaseStudyConfig {
+            scenario: ScenarioConfig::paper(),
+            oracle: OracleConfig::default(),
+            seed: 42,
+            plan: BlockingPlan::default(),
+            label_rounds: vec![100, 100, 100],
+            eval_rounds: vec![200, 200],
+            debugger_top_k: 100,
+        }
+    }
+
+    /// Small configuration for tests.
+    pub fn small() -> CaseStudyConfig {
+        CaseStudyConfig {
+            scenario: ScenarioConfig::small(),
+            label_rounds: vec![60, 40],
+            eval_rounds: vec![60, 60],
+            debugger_top_k: 30,
+            ..CaseStudyConfig::paper()
+        }
+    }
+}
+
+/// One matcher's cross-validation scores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatcherScore {
+    /// Learner name.
+    pub name: String,
+    /// Mean CV precision.
+    pub precision: f64,
+    /// Mean CV recall.
+    pub recall: f64,
+    /// Mean CV F1 (the selection criterion).
+    pub f1: f64,
+}
+
+/// Ground-truth evaluation of one match list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TruthScore {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// Missed true matches.
+    pub fn_: usize,
+    /// Precision.
+    pub precision: f64,
+    /// Recall.
+    pub recall: f64,
+    /// F1.
+    pub f1: f64,
+}
+
+/// One Corleone estimate row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimateRow {
+    /// Which matcher.
+    pub matcher: String,
+    /// Labels used.
+    pub n_labels: usize,
+    /// The estimate.
+    pub estimate: AccuracyEstimate,
+}
+
+/// Counts from the patched (Figure 9) run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatchedCounts {
+    /// Sure matches from the original tables (paper: 683).
+    pub sure_original: usize,
+    /// Sure matches from the extra records (paper: 55).
+    pub sure_extra: usize,
+    /// Candidate pairs from the original tables after removing sure
+    /// matches (paper: 2,556).
+    pub candidates_original: usize,
+    /// Candidate pairs from the extra records (paper: 1,220).
+    pub candidates_extra: usize,
+    /// Model matches from the original tables (paper: 399).
+    pub predicted_original: usize,
+    /// Model matches from the extra records (paper: 0).
+    pub predicted_extra: usize,
+    /// Total matches (paper: 1,137).
+    pub total: usize,
+}
+
+/// Everything a full run produced.
+#[derive(Debug, Clone)]
+pub struct CaseStudyReport {
+    /// Figure 2: `(table name, rows, cols)` for the seven raw tables.
+    pub table_summaries: Vec<(String, usize, usize)>,
+    /// Section 7: `|C1|`.
+    pub c1: usize,
+    /// `|C2|` (paper: 2,937).
+    pub c2: usize,
+    /// `|C3|` (paper: 1,375).
+    pub c3: usize,
+    /// `|C2 ∩ C3|` (paper: 1,140).
+    pub c2_and_c3: usize,
+    /// `|C2 − C3|` (paper: 1,797).
+    pub c2_only: usize,
+    /// `|C3 − C2|` (paper: 235).
+    pub c3_only: usize,
+    /// `|C1 ∪ C2 ∪ C3|` (paper: 3,177).
+    pub consolidated: usize,
+    /// Overlap-threshold sweep `(K, |C2(K)|)` (paper: K=1 → 200K, K=7 →
+    /// hundreds).
+    pub sweep: Vec<(usize, usize)>,
+    /// Blocking recall against ground truth (not observable in the paper).
+    pub blocking_recall: f64,
+    /// Debugger audit: pairs inspected.
+    pub debugger_inspected: usize,
+    /// Debugger audit: how many of those were true matches (paper: top
+    /// pairs "were not matches").
+    pub debugger_true_matches: usize,
+    /// Section 8 labeling rounds.
+    pub label_rounds: Vec<LabelingRound>,
+    /// Final training-label counts `(yes, no, unsure)` (paper: 68/200/32).
+    pub label_counts: (usize, usize, usize),
+    /// Leave-one-out label-debug hits (the D1–D3 lead list).
+    pub label_debug_hits: usize,
+    /// Section 9 selection, round 1 (case-sensitive features only).
+    pub selection_round1: Vec<MatcherScore>,
+    /// Split-half mismatches mined with the round-1 winner (what motivated
+    /// the case-insensitive features).
+    pub mismatches_round1: usize,
+    /// Section 9 selection, round 2 (+ case-insensitive features; paper:
+    /// decision tree wins at P=97%, R=95%, F1≈95%).
+    pub selection_round2: Vec<MatcherScore>,
+    /// Figure 8: sure (M1) matches (paper: 210).
+    pub initial_sure: usize,
+    /// Figure 8: model-predicted matches (paper: 807).
+    pub initial_predicted: usize,
+    /// Figure 8: total (paper: 1,017).
+    pub initial_total: usize,
+    /// Section 10: pairs satisfying the new positive rule in `A × B`
+    /// (paper: 473).
+    pub rule2_in_cartesian: usize,
+    /// … of which inside the candidate set `C` (paper: 411).
+    pub rule2_in_candidates: usize,
+    /// … of which the model already predicted as matches (paper: 397).
+    pub rule2_predicted: usize,
+    /// Figure 9 patched-run counts.
+    pub patched: PatchedCounts,
+    /// Section 10's multiplicity analysis of the combined matches (the
+    /// "should we match at the cluster level?" numbers).
+    pub multiplicity: MultiplicityReport,
+    /// Cluster-level view: total clusters and how many are plain 1:1.
+    pub clusters: (usize, usize),
+    /// Section 11 estimates: ours and IRIS at each cumulative label count.
+    pub estimates: Vec<EstimateRow>,
+    /// Section 12 estimates for the final (learning + negative rules)
+    /// matcher.
+    pub final_estimates: Vec<EstimateRow>,
+    /// Predictions flipped by the negative rules.
+    pub flipped: usize,
+    /// Final match count (paper: 845).
+    pub final_total: usize,
+    /// Ground-truth scores: `(matcher name, score)` for IRIS,
+    /// learning-only, and learning + negative rules.
+    pub truth_scores: Vec<(String, TruthScore)>,
+}
+
+/// The standard rule set of the final workflow.
+pub fn standard_rules() -> RuleSet {
+    RuleSet {
+        positive: vec![
+            EqualityRule::suffix_equals("M1", "AwardNumber", "AwardNumber"),
+            EqualityRule::suffix_equals("award=project", "AwardNumber", "ProjectNumber"),
+        ],
+        negative: vec![
+            NegativeRule::comparable_suffix("neg:award", "AwardNumber", "AwardNumber"),
+            NegativeRule::comparable_suffix("neg:project", "AwardNumber", "ProjectNumber"),
+        ],
+    }
+}
+
+/// Scores a match list against ground truth. Recall counts every true
+/// match whose award exists in the delivered data (initial + extra).
+pub fn score_ids(ids: &MatchIds, scenario: &Scenario) -> TruthScore {
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    for (award, acc) in ids.iter() {
+        if scenario.truth.is_match(award, acc) {
+            tp += 1;
+        } else {
+            fp += 1;
+        }
+    }
+    let fn_ = scenario.truth.len() - tp;
+    let precision = if tp + fp == 0 { 1.0 } else { tp as f64 / (tp + fp) as f64 };
+    let recall = if tp + fn_ == 0 { 1.0 } else { tp as f64 / (tp + fn_) as f64 };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    TruthScore { tp, fp, fn_, precision, recall, f1 }
+}
+
+impl std::fmt::Display for CaseStudyReport {
+    /// Renders the run as the narrative summary a teammate would read:
+    /// one line per pipeline stage, outcomes first.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "end-to-end entity-matching run")?;
+        writeln!(
+            f,
+            "  data: {} tables; blocking C1={} C2={} C3={} -> |C|={} (recall {:.1}%)",
+            self.table_summaries.len(),
+            self.c1,
+            self.c2,
+            self.c3,
+            self.consolidated,
+            100.0 * self.blocking_recall
+        )?;
+        let (y, n, u) = self.label_counts;
+        writeln!(
+            f,
+            "  labels: {y} yes / {n} no / {u} unsure over {} rounds; {} LOO debug leads",
+            self.label_rounds.len(),
+            self.label_debug_hits
+        )?;
+        if let Some(best) = self.selection_round2.first() {
+            writeln!(
+                f,
+                "  matcher: {} (F1 {:.1}% in 5-fold CV; round-1 winner {})",
+                best.name,
+                100.0 * best.f1,
+                self.selection_round1.first().map(|m| m.name.as_str()).unwrap_or("-")
+            )?;
+        }
+        writeln!(
+            f,
+            "  matches: {} initial -> {} after patch (+rules) -> {} final ({} flipped by negative rules)",
+            self.initial_total, self.patched.total, self.final_total, self.flipped
+        )?;
+        writeln!(
+            f,
+            "  multiplicity: {:.1}% of matches not one-to-one across {} clusters",
+            100.0 * self.multiplicity.non_one_to_one_rate(),
+            self.clusters.0
+        )?;
+        for (name, score) in &self.truth_scores {
+            writeln!(
+                f,
+                "  truth[{name}]: P={:.1}% R={:.1}% F1={:.1}%",
+                100.0 * score.precision,
+                100.0 * score.recall,
+                100.0 * score.f1
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The case study runner.
+pub struct CaseStudy {
+    cfg: CaseStudyConfig,
+}
+
+/// Identifier-level pair catalog used for estimation sampling: which
+/// `(award, accession)` pairs exist in the evaluation universe, and the
+/// row coordinates to build the oracle's view from.
+struct PairCatalog<'t> {
+    entries: Vec<(String, String, &'t Table, Pair)>,
+}
+
+impl<'t> PairCatalog<'t> {
+    fn build(
+        universes: &[(&'t Table, &'t Table, Vec<Pair>)],
+    ) -> PairCatalog<'t> {
+        let mut seen: HashMap<(String, String), usize> = HashMap::new();
+        let mut entries = Vec::new();
+        for (u, s, pairs) in universes {
+            for p in pairs {
+                let award = award_of(u, p.left);
+                let acc = accession_of(s, p.right);
+                let key = (award.clone(), acc.clone());
+                if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(key) {
+                    e.insert(entries.len());
+                    // The USDA table is shared; store the UMETRICS side.
+                    entries.push((award, acc, *u, *p));
+                }
+            }
+        }
+        PairCatalog { entries }
+    }
+}
+
+impl CaseStudy {
+    /// Creates a runner.
+    pub fn new(cfg: CaseStudyConfig) -> CaseStudy {
+        CaseStudy { cfg }
+    }
+
+    /// Replays the whole case study. Deterministic in the configured seeds.
+    pub fn run(&self) -> Result<CaseStudyReport, CoreError> {
+        let cfg = &self.cfg;
+        let scenario =
+            Scenario::generate(cfg.scenario.clone()).map_err(CoreError::Datagen)?;
+        let oracle = Oracle::new(&scenario.truth, cfg.oracle);
+
+        // ---- Section 4: understanding the data (Figure 2). ----
+        let table_summaries: Vec<(String, usize, usize)> = scenario
+            .raw_tables()
+            .iter()
+            .map(|t| (t.name().to_string(), t.n_rows(), t.n_cols()))
+            .collect();
+
+        // ---- Section 6: pre-processing. ProjectNumber joins later
+        // (Section 10), but carrying it from the start simplifies the run;
+        // the initial rules simply do not look at it. ----
+        let u = project_umetrics(&scenario.award_agg, &scenario.employees)?;
+        let empty_emp = Table::new("emp", scenario.employees.schema().clone());
+        let u_extra = project_umetrics(&scenario.extra_award_agg, &empty_emp)?;
+        let s = project_usda(&scenario.usda, true)?;
+
+        // ---- Section 7: blocking. ----
+        let blocking = run_blocking(&u, &s, &cfg.plan)?;
+        let sweep = overlap_threshold_sweep(&u, &s, &[1, 2, 3, 4, 5, 6, 7])?;
+        let blocking_recall = {
+            let ids =
+                MatchIds::from_candidates(&u, &s, &blocking.consolidated)?;
+            let initial_truth = scenario.truth.n_matches_initial();
+            if initial_truth == 0 {
+                1.0
+            } else {
+                let kept = scenario
+                    .truth
+                    .iter()
+                    .filter(|(a, c)| !scenario.truth.is_extra_award(a) && ids.contains(a, c))
+                    .count();
+                kept as f64 / initial_truth as f64
+            }
+        };
+
+        // Blocking-debugger audit (MatchCatcher).
+        let debug = debug_blocking(
+            &BlockingDebugger::new("AwardTitle", "AwardTitle")
+                .with_top_k(cfg.debugger_top_k),
+            &u,
+            &s,
+            &blocking.consolidated,
+        )?;
+        let debugger_true_matches = debug
+            .iter()
+            .filter(|d| {
+                scenario
+                    .truth
+                    .is_match(&award_of(&u, d.pair.left), &accession_of(&s, d.pair.right))
+            })
+            .count();
+
+        // ---- Section 8: sampling and labeling. ----
+        let (labeled, label_rounds) = run_labeling(
+            &u,
+            &s,
+            &blocking.consolidated,
+            &oracle,
+            &cfg.label_rounds,
+            cfg.seed,
+        )?;
+        let label_counts = labeled.counts();
+
+        // Initial rules: M1 only (the revised definition arrives later).
+        let m1_rules = RuleSet {
+            positive: vec![EqualityRule::suffix_equals("M1", "AwardNumber", "AwardNumber")],
+            negative: vec![],
+        };
+
+        // Label debugging by leave-one-out (random forest, as the paper).
+        let stage1 = MatcherStage::new(cfg.seed);
+        let features1 = em_features::auto_features(&u, &s, &stage1.feature_opts);
+        let label_debug_hits = debug_labels(
+            &u,
+            &s,
+            &features1,
+            &labeled,
+            &m1_rules,
+            &em_ml::forest::RandomForestLearner { seed: cfg.seed, ..Default::default() },
+        )?
+        .len();
+
+        // ---- Section 9: matcher selection, two rounds. ----
+        let (data1, _imp1) = build_training_data(&u, &s, &features1, &labeled, &m1_rules)?;
+        let ranking1 = select_matcher(&data1, &stage1)?;
+        let selection_round1: Vec<MatcherScore> = ranking1
+            .iter()
+            .map(|r| MatcherScore {
+                name: r.learner.clone(),
+                precision: r.precision(),
+                recall: r.recall(),
+                f1: r.f1(),
+            })
+            .collect();
+        // Debug the round-1 winner: split-half mismatch mining.
+        let mismatches_round1 = {
+            let learners = em_ml::standard_learners(cfg.seed);
+            let winner = learners
+                .iter()
+                .find(|l| l.name() == ranking1[0].learner)
+                .expect("winner is a standard learner");
+            em_ml::debug::mine_mismatches(winner.as_ref(), &data1, cfg.seed)?.len()
+        };
+
+        let stage2 = MatcherStage::new(cfg.seed).with_case_insensitive();
+        let features2 = em_features::auto_features(&u, &s, &stage2.feature_opts);
+        let (data2, imp2) = build_training_data(&u, &s, &features2, &labeled, &m1_rules)?;
+        let ranking2 = select_matcher(&data2, &stage2)?;
+        let selection_round2: Vec<MatcherScore> = ranking2
+            .iter()
+            .map(|r| MatcherScore {
+                name: r.learner.clone(),
+                precision: r.precision(),
+                recall: r.recall(),
+                f1: r.f1(),
+            })
+            .collect();
+        let matcher = train_matcher(
+            features2,
+            imp2,
+            &data2,
+            &ranking2[0].learner,
+            &stage2,
+        )?;
+
+        // ---- Figure 8: the initial workflow (M1 + model). ----
+        let initial_wf = EmWorkflow {
+            rules: m1_rules.clone(),
+            plan: cfg.plan,
+            matcher: &matcher,
+            apply_negative: false,
+        };
+        let initial = initial_wf.run(&u, &s)?;
+
+        // ---- Section 10: the revised match definition. ----
+        let rule2 = EqualityRule::suffix_equals("award=project", "AwardNumber", "ProjectNumber");
+        let rule2_all = rule2.find_all(&u, &s)?;
+        let rule2_in_candidates = rule2_all
+            .iter()
+            .filter(|p| initial.candidates.contains(p))
+            .count();
+        let rule2_predicted =
+            rule2_all.iter().filter(|p| initial.predicted.contains(p)).count();
+
+        // ---- Figure 9: patched workflow with full rules + extra data. ----
+        let full_rules = standard_rules();
+        let patched_wf = EmWorkflow {
+            rules: full_rules.clone(),
+            plan: cfg.plan,
+            matcher: &matcher,
+            apply_negative: false,
+        };
+        let (orig, patch) = patched_wf.run_patched(&u, &u_extra, &s)?;
+        let ids_orig = MatchIds::from_candidates(&u, &s, &orig.matches)?;
+        let ids_patch = MatchIds::from_candidates(&u_extra, &s, &patch.matches)?;
+        let combined = ids_orig.union(&ids_patch);
+        let patched = PatchedCounts {
+            sure_original: orig.sure.len(),
+            sure_extra: patch.sure.len(),
+            candidates_original: orig.candidates.len(),
+            candidates_extra: patch.candidates.len(),
+            predicted_original: orig.predicted.len(),
+            predicted_extra: patch.predicted.len(),
+            total: combined.len(),
+        };
+
+        // ---- Section 10: the cluster-level question. ----
+        let multiplicity = analyze_multiplicity(&combined);
+        let cluster_list = cluster_matches(&combined);
+        let clusters = (
+            cluster_list.len(),
+            cluster_list.iter().filter(|c| c.is_one_to_one()).count(),
+        );
+
+        // ---- Section 11: Corleone estimation, ours vs IRIS. ----
+        let iris = IrisMatcher::standard("AwardNumber", "AwardNumber", "ProjectNumber");
+        let u_all = {
+            let mut t = u.drop_column("RecordId")?
+                .union(&u_extra.drop_column("RecordId")?)?;
+            t.set_name("UMETRICSProjectedAll");
+            t.add_id_column("RecordId")?
+        };
+        let iris_ids = MatchIds::from_candidates(&u_all, &s, &iris.predict(&u_all, &s)?)?;
+
+        let catalog = PairCatalog::build(&[
+            (&u, &s, orig.universe().to_vec()),
+            (&u_extra, &s, patch.universe().to_vec()),
+        ]);
+        let mut eval_order: Vec<usize> = (0..catalog.entries.len()).collect();
+        eval_order.shuffle(&mut StdRng::seed_from_u64(cfg.seed ^ 0x5eed));
+
+        let label_item = |idx: usize, predicted: &MatchIds| -> SampleItem {
+            let (award, acc, table, pair) = &catalog.entries[idx];
+            let row = table.row(pair.left).expect("catalog rows valid");
+            let srow = s.row(pair.right).expect("catalog rows valid");
+            let view = PairView {
+                award_number: award,
+                accession: acc,
+                left_title: row.str("AwardTitle").unwrap_or(""),
+                right_title: srow.str("AwardTitle").unwrap_or(""),
+                right_award_number: srow.str("AwardNumber"),
+                right_project_number: srow.str("ProjectNumber"),
+            };
+            SampleItem { predicted: predicted.contains(award, acc), label: oracle.label(&view) }
+        };
+
+        let mut estimates = Vec::new();
+        let mut final_estimates = Vec::new();
+
+        // ---- Section 12: negative rules (Figure 10). ----
+        let final_wf = EmWorkflow { apply_negative: true, ..patched_wf };
+        let (forig, fpatch) = final_wf.run_patched(&u, &u_extra, &s)?;
+        let fids = MatchIds::from_candidates(&u, &s, &forig.matches)?
+            .union(&MatchIds::from_candidates(&u_extra, &s, &fpatch.matches)?);
+        let flipped = forig.flipped.len() + fpatch.flipped.len();
+
+        let mut cumulative = 0usize;
+        for &round in &cfg.eval_rounds {
+            cumulative = (cumulative + round).min(eval_order.len());
+            let sample_idx = &eval_order[..cumulative];
+            let ours: Vec<SampleItem> =
+                sample_idx.iter().map(|&i| label_item(i, &combined)).collect();
+            let iris_sample: Vec<SampleItem> =
+                sample_idx.iter().map(|&i| label_item(i, &iris_ids)).collect();
+            let final_sample: Vec<SampleItem> =
+                sample_idx.iter().map(|&i| label_item(i, &fids)).collect();
+            estimates.push(EstimateRow {
+                matcher: "learning".to_string(),
+                n_labels: cumulative,
+                estimate: estimate_accuracy(&ours, Z95),
+            });
+            estimates.push(EstimateRow {
+                matcher: "IRIS".to_string(),
+                n_labels: cumulative,
+                estimate: estimate_accuracy(&iris_sample, Z95),
+            });
+            final_estimates.push(EstimateRow {
+                matcher: "learning+rules".to_string(),
+                n_labels: cumulative,
+                estimate: estimate_accuracy(&final_sample, Z95),
+            });
+        }
+
+        // ---- Ground-truth scores (generator privilege). ----
+        let truth_scores = vec![
+            ("IRIS".to_string(), score_ids(&iris_ids, &scenario)),
+            ("learning".to_string(), score_ids(&combined, &scenario)),
+            ("learning+rules".to_string(), score_ids(&fids, &scenario)),
+        ];
+
+        Ok(CaseStudyReport {
+            table_summaries,
+            c1: blocking.c1.len(),
+            c2: blocking.c2.len(),
+            c3: blocking.c3.len(),
+            c2_and_c3: blocking.c2_and_c3(),
+            c2_only: blocking.c2_only(),
+            c3_only: blocking.c3_only(),
+            consolidated: blocking.consolidated.len(),
+            sweep,
+            blocking_recall,
+            debugger_inspected: debug.len(),
+            debugger_true_matches,
+            label_rounds,
+            label_counts,
+            label_debug_hits,
+            selection_round1,
+            mismatches_round1,
+            selection_round2,
+            initial_sure: initial.sure.len(),
+            initial_predicted: initial.predicted.len(),
+            initial_total: initial.matches.len(),
+            rule2_in_cartesian: rule2_all.len(),
+            rule2_in_candidates,
+            rule2_predicted,
+            patched,
+            multiplicity,
+            clusters,
+            estimates,
+            final_estimates,
+            flipped,
+            final_total: fids.len(),
+            truth_scores,
+        })
+    }
+
+    /// Runs just the scenario + projection + blocking prefix (used by
+    /// benches that do not need the ML stages).
+    pub fn prepare_tables(&self) -> Result<(Table, Table, Scenario), CoreError> {
+        let scenario =
+            Scenario::generate(self.cfg.scenario.clone()).map_err(CoreError::Datagen)?;
+        let u = project_umetrics(&scenario.award_agg, &scenario.employees)?;
+        let s = project_usda(&scenario.usda, true)?;
+        Ok((u, s, scenario))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> CaseStudyReport {
+        CaseStudy::new(CaseStudyConfig::small()).run().unwrap()
+    }
+
+    #[test]
+    fn end_to_end_shape_holds() {
+        let r = report();
+
+        // Figure 2: seven tables with the configured sizes.
+        assert_eq!(r.table_summaries.len(), 7);
+
+        // Blocking algebra consistent.
+        assert_eq!(r.c2_and_c3 + r.c2_only, r.c2);
+        assert_eq!(r.c2_and_c3 + r.c3_only, r.c3);
+        assert!(r.consolidated >= r.c1.max(r.c2).max(r.c3));
+        assert!(r.blocking_recall > 0.85, "blocking recall {}", r.blocking_recall);
+
+        // Sweep monotone.
+        for w in r.sweep.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+
+        // Labeling totals consistent.
+        let (yes, no, unsure) = r.label_counts;
+        assert_eq!(
+            yes + no + unsure,
+            r.label_rounds.iter().map(|x| x.sampled).sum::<usize>()
+        );
+        assert!(yes > 0);
+
+        // Selection: six matchers in both rounds; round-2 winner strong.
+        assert_eq!(r.selection_round1.len(), 6);
+        assert_eq!(r.selection_round2.len(), 6);
+        assert!(r.selection_round2[0].f1 >= 0.7);
+
+        // Figure 8 accounting.
+        assert_eq!(r.initial_total, r.initial_sure + r.initial_predicted);
+
+        // Section 10 containment chain: predicted ⊆ in-candidates ⊆ all.
+        assert!(r.rule2_predicted <= r.rule2_in_candidates);
+        assert!(r.rule2_in_candidates <= r.rule2_in_cartesian);
+        assert!(r.rule2_in_cartesian > 0);
+
+        // Patch accounting: total = all four parts (id-level, disjoint).
+        assert_eq!(
+            r.patched.total,
+            r.patched.sure_original
+                + r.patched.sure_extra
+                + r.patched.predicted_original
+                + r.patched.predicted_extra
+        );
+
+        // Multiplicity analysis covers every combined match, and clusters
+        // can never outnumber matches.
+        assert_eq!(r.multiplicity.total(), r.patched.total);
+        assert!(r.clusters.0 <= r.patched.total);
+        assert!(r.clusters.1 <= r.clusters.0);
+        assert!(
+            r.multiplicity.one_to_many + r.multiplicity.many_to_many > 0,
+            "the generator's annual-report structure must produce 1:N matches"
+        );
+
+        // Estimation rows present for both cumulative label counts.
+        assert_eq!(r.estimates.len(), 4);
+        assert_eq!(r.final_estimates.len(), 2);
+
+        // Final matches exist and negative rules flipped something.
+        assert!(r.final_total > 0);
+        assert!(r.final_total <= r.patched.total);
+    }
+
+    #[test]
+    fn headline_result_shape() {
+        // The paper's headline: IRIS has (near-)perfect precision but low
+        // recall; learning has much higher recall; learning + negative
+        // rules recovers precision while keeping recall high.
+        let r = report();
+        let get = |name: &str| {
+            r.truth_scores
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, s)| s.clone())
+                .unwrap()
+        };
+        let iris = get("IRIS");
+        let learning = get("learning");
+        let final_ = get("learning+rules");
+
+        assert!(iris.precision > 0.99, "IRIS precision {}", iris.precision);
+        assert!(
+            learning.recall > iris.recall + 0.1,
+            "learning recall {} should beat IRIS {} clearly",
+            learning.recall,
+            iris.recall
+        );
+        assert!(
+            final_.precision > learning.precision,
+            "negative rules must improve precision ({} vs {})",
+            final_.precision,
+            learning.precision
+        );
+        assert!(final_.recall > iris.recall, "final recall still beats IRIS");
+        assert!(final_.f1 >= learning.f1, "final F1 should not regress");
+    }
+
+    #[test]
+    fn display_narrative_covers_the_stages() {
+        let r = report();
+        let text = r.to_string();
+        for needle in ["blocking", "labels:", "matcher:", "matches:", "multiplicity", "truth[IRIS]"] {
+            assert!(text.contains(needle), "narrative missing {needle:?}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn deterministic_report() {
+        let a = CaseStudy::new(CaseStudyConfig::small()).run().unwrap();
+        let b = CaseStudy::new(CaseStudyConfig::small()).run().unwrap();
+        assert_eq!(a.consolidated, b.consolidated);
+        assert_eq!(a.label_counts, b.label_counts);
+        assert_eq!(a.final_total, b.final_total);
+        assert_eq!(a.patched, b.patched);
+    }
+}

@@ -1,0 +1,177 @@
+//! Pre-processing (Section 6): from the seven raw tables to the two aligned
+//! tables that get matched.
+//!
+//! Steps, exactly as the paper runs them:
+//!
+//! 1. keep `UMETRICSAwardAggMatching`, `UMETRICSEmployeesMatching`, and
+//!    `USDAAwardMatching` (the matching document's judgment);
+//! 2. validate keys (`UniqueAwardNumber`, `AccessionNumber`) and the
+//!    employees foreign key;
+//! 3. (the other four tables were checked for shared information and
+//!    dropped — see [`shares_columns_with_usda`]);
+//! 4. project to matching-relevant columns, align column names, fold the
+//!    employees of each award into one `|`-separated `EmployeeName` field,
+//!    and prepend a `RecordId`.
+
+use crate::error::CoreError;
+use em_table::{DataType, Table, Value};
+
+/// The `|` separator used for concatenated employee names (Section 6,
+/// step 4.b).
+pub const EMPLOYEE_SEP: &str = "|";
+
+/// Checks whether any column name of `candidate` also appears (exactly) in
+/// the USDA table — the paper's step-3 triage of the four leftover UMETRICS
+/// tables. (Value-overlap checking then confirmed they share nothing; the
+/// generator reproduces that, see the vendor DUNS ranges.)
+pub fn shares_columns_with_usda(candidate: &Table, usda: &Table) -> Vec<String> {
+    candidate
+        .schema()
+        .names()
+        .into_iter()
+        .filter(|n| usda.schema().contains(n))
+        .map(str::to_string)
+        .collect()
+}
+
+/// Builds `UMETRICSProjected(RecordId, AwardNumber, AwardTitle,
+/// FirstTransDate, LastTransDate, EmployeeName)` from the award table and
+/// the employees table.
+pub fn project_umetrics(award_agg: &Table, employees: &Table) -> Result<Table, CoreError> {
+    award_agg.check_key("UniqueAwardNumber")?;
+    employees.check_foreign_key("UniqueAwardNumber", award_agg, "UniqueAwardNumber")?;
+
+    let projected = award_agg
+        .project(&["UniqueAwardNumber", "AwardTitle", "FirstTransDate", "LastTransDate"])?
+        .rename_column("UniqueAwardNumber", "AwardNumber")?;
+
+    // One employee list per award, '|'-separated, in employees-table order.
+    let by_award = employees.group_concat("UniqueAwardNumber", "FullName", EMPLOYEE_SEP)?;
+    let with_names = projected.add_column("EmployeeName", DataType::Str, |r| {
+        r.str("AwardNumber")
+            .and_then(|k| by_award.get(k))
+            .map(|names| Value::Str(names.clone()))
+            .unwrap_or(Value::Null)
+    })?;
+
+    let mut out = with_names.add_id_column("RecordId")?;
+    out.set_name("UMETRICSProjected");
+    Ok(out)
+}
+
+/// Builds `USDAProjected(RecordId, AwardNumber, AwardTitle, FirstTransDate,
+/// LastTransDate, AccessionNumber, EmployeeName[, ProjectNumber])`.
+///
+/// `include_project_number` is the Section 10 extension: `ProjectNumber`
+/// "is not in table USDAProjected. However, it is in USDAAwardMatching and
+/// thus can be easily added" once the revised match definition needs it.
+pub fn project_usda(usda: &Table, include_project_number: bool) -> Result<Table, CoreError> {
+    usda.check_key("AccessionNumber")?;
+    let mut cols = vec![
+        "AwardNumber",
+        "ProjectTitle",
+        "ProjectStartDate",
+        "ProjectEndDate",
+        "AccessionNumber",
+        "ProjectDirector",
+    ];
+    if include_project_number {
+        cols.push("ProjectNumber");
+    }
+    let projected = usda
+        .project(&cols)?
+        .rename_column("ProjectTitle", "AwardTitle")?
+        .rename_column("ProjectStartDate", "FirstTransDate")?
+        .rename_column("ProjectEndDate", "LastTransDate")?
+        .rename_column("ProjectDirector", "EmployeeName")?;
+    let mut out = projected.add_id_column("RecordId")?;
+    out.set_name("USDAProjected");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_datagen::{Scenario, ScenarioConfig};
+
+    fn scenario() -> Scenario {
+        Scenario::generate(ScenarioConfig::small()).unwrap()
+    }
+
+    #[test]
+    fn umetrics_projected_shape() {
+        let s = scenario();
+        let u = project_umetrics(&s.award_agg, &s.employees).unwrap();
+        assert_eq!(
+            u.schema().names(),
+            vec![
+                "RecordId",
+                "AwardNumber",
+                "AwardTitle",
+                "FirstTransDate",
+                "LastTransDate",
+                "EmployeeName"
+            ]
+        );
+        assert_eq!(u.n_rows(), s.award_agg.n_rows());
+        u.check_key("RecordId").unwrap();
+        u.check_key("AwardNumber").unwrap();
+    }
+
+    #[test]
+    fn employee_names_concatenated() {
+        let s = scenario();
+        let u = project_umetrics(&s.award_agg, &s.employees).unwrap();
+        let with_names = u
+            .iter()
+            .filter(|r| r.str("EmployeeName").is_some_and(|e| e.contains(EMPLOYEE_SEP)))
+            .count();
+        assert!(with_names > 0, "some award should have multiple employees");
+    }
+
+    #[test]
+    fn usda_projected_shape() {
+        let s = scenario();
+        let t = project_usda(&s.usda, false).unwrap();
+        assert_eq!(
+            t.schema().names(),
+            vec![
+                "RecordId",
+                "AwardNumber",
+                "AwardTitle",
+                "FirstTransDate",
+                "LastTransDate",
+                "AccessionNumber",
+                "EmployeeName"
+            ]
+        );
+        assert_eq!(t.n_rows(), s.usda.n_rows());
+    }
+
+    #[test]
+    fn usda_projected_with_project_number() {
+        let s = scenario();
+        let t = project_usda(&s.usda, true).unwrap();
+        assert!(t.schema().contains("ProjectNumber"));
+        assert_eq!(t.n_cols(), 8);
+    }
+
+    #[test]
+    fn leftover_tables_share_no_columns_with_usda() {
+        let s = scenario();
+        for t in [&s.object_codes, &s.org_units, &s.sub_awards, &s.vendors] {
+            assert!(
+                shares_columns_with_usda(t, &s.usda).is_empty(),
+                "{} unexpectedly shares columns",
+                t.name()
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_award_number_is_caught() {
+        let s = scenario();
+        let dup = s.award_agg.union(&s.award_agg).unwrap();
+        assert!(project_umetrics(&dup, &s.employees).is_err());
+    }
+}

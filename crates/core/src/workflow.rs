@@ -1,0 +1,334 @@
+//! The EM workflows of Figures 8, 9, and 10, and workflow patching.
+//!
+//! A workflow run over a `(UMETRICS, USDA)` table pair proceeds:
+//!
+//! 1. apply the positive sure-match rules to the whole tables → `C1`;
+//! 2. run the blocking plan → `C2`; the learning matcher's input is
+//!    `C = C2 − C1`;
+//! 3. predict `C` with the trained matcher → `R`;
+//! 4. optionally apply the negative rules to `R` → `S` (Figure 10);
+//! 5. matches = `C1 ∪ S`.
+//!
+//! Section 10's patching strategy — "leave the current EM workflow alone
+//! and create a new EM workflow … a 'patch' of the current EM workflow" —
+//! is [`EmWorkflow::run_patched`]: the same workflow runs over the extra
+//! table against the whole USDA table, and the results are unioned (with
+//! the patch winning on overlap, which union with provenance-merge makes
+//! explicit).
+
+use crate::blocking_plan::{run_blocking, BlockingPlan};
+use crate::error::CoreError;
+use crate::matcher::TrainedMatcher;
+use em_blocking::CandidateSet;
+use em_rules::RuleSet;
+use em_table::Table;
+
+/// A complete EM workflow: rules + blocking plan + trained matcher.
+pub struct EmWorkflow<'m> {
+    /// Positive (sure-match) and negative rules.
+    pub rules: RuleSet,
+    /// The blocking plan.
+    pub plan: BlockingPlan,
+    /// The trained learning-based matcher.
+    pub matcher: &'m TrainedMatcher,
+    /// Whether to apply the negative rules to model predictions
+    /// (Figure 10; `false` reproduces Figures 8/9).
+    pub apply_negative: bool,
+}
+
+/// Everything one workflow run produced, with the intermediate sets the
+/// paper's accounting quotes.
+#[derive(Debug, Clone)]
+pub struct WorkflowResult {
+    /// Sure matches from the positive rules (`C1` / `D1`).
+    pub sure: CandidateSet,
+    /// The blocked candidate set before removing sure matches (`C2`/`D2`).
+    pub blocked: CandidateSet,
+    /// The matcher's input: `blocked − sure` (`C` / `D`).
+    pub candidates: CandidateSet,
+    /// Model-predicted matches over `candidates` (`R1` / `R2`).
+    pub predicted: CandidateSet,
+    /// Predictions flipped to non-match by the negative rules.
+    pub flipped: CandidateSet,
+    /// Final matches: `sure ∪ (predicted − flipped)`.
+    pub matches: CandidateSet,
+}
+
+impl WorkflowResult {
+    /// The full evaluation candidate universe of this run:
+    /// `sure ∪ blocked` (the paper's consolidated set `E`).
+    pub fn universe(&self) -> CandidateSet {
+        let mut u = self.sure.union(&self.blocked);
+        u.set_name("E");
+        u
+    }
+}
+
+impl<'m> EmWorkflow<'m> {
+    /// Runs the workflow over one table pair.
+    pub fn run(&self, umetrics: &Table, usda: &Table) -> Result<WorkflowResult, CoreError> {
+        let mut sure = self.rules.sure_matches(umetrics, usda)?;
+        sure.set_name("sure");
+        let blocked = run_blocking(umetrics, usda, &self.plan)?.consolidated;
+        let mut candidates = blocked.minus(&sure);
+        candidates.set_name("C");
+        let predicted = self.matcher.predict(umetrics, usda, &candidates)?;
+        let (kept, flipped) = if self.apply_negative {
+            self.rules.apply_negative(umetrics, usda, &predicted)?
+        } else {
+            (predicted.clone(), CandidateSet::new("flipped"))
+        };
+        let mut matches = sure.union(&kept);
+        matches.set_name("matches");
+        Ok(WorkflowResult { sure, blocked, candidates, predicted, flipped, matches })
+    }
+
+    /// Runs the original workflow untouched and a patch workflow over the
+    /// extra records, returning `(original, patch, combined matches)` —
+    /// Figure 9's composition. The patch's predictions win on overlap by
+    /// construction (identical pairs cannot conflict; distinct row spaces
+    /// cannot overlap at all, which this encodes by unioning match *id*
+    /// sets downstream).
+    pub fn run_patched(
+        &self,
+        umetrics: &Table,
+        extra_umetrics: &Table,
+        usda: &Table,
+    ) -> Result<(WorkflowResult, WorkflowResult), CoreError> {
+        let original = self.run(umetrics, usda)?;
+        let patch = self.run(extra_umetrics, usda)?;
+        Ok((original, patch))
+    }
+}
+
+/// A matcher-agnostic match list keyed by business identifiers —
+/// `(UniqueAwardNumber, AccessionNumber)`, the deliverable format of
+/// Section 6 — so that results from different workflows (different row
+/// spaces) can be unioned, compared, and scored against ground truth.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MatchIds {
+    pairs: std::collections::BTreeSet<(String, String)>,
+}
+
+impl MatchIds {
+    /// Converts a candidate set over `(umetrics, usda)` row indices into
+    /// identifier pairs.
+    pub fn from_candidates(
+        umetrics: &Table,
+        usda: &Table,
+        set: &CandidateSet,
+    ) -> Result<MatchIds, CoreError> {
+        let mut pairs = std::collections::BTreeSet::new();
+        for p in set.iter() {
+            let award = umetrics
+                .get(p.left, "AwardNumber")
+                .ok_or_else(|| CoreError::Pipeline(format!("row {} missing", p.left)))?
+                .render();
+            let acc = usda
+                .get(p.right, "AccessionNumber")
+                .ok_or_else(|| CoreError::Pipeline(format!("row {} missing", p.right)))?
+                .render();
+            pairs.insert((award, acc));
+        }
+        Ok(MatchIds { pairs })
+    }
+
+    /// Number of identifier pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, award: &str, accession: &str) -> bool {
+        self.pairs.contains(&(award.to_string(), accession.to_string()))
+    }
+
+    /// Union of two match lists (the Figure 9 combination step; identifier
+    /// keying makes "new workflow wins" trivial — identical pairs agree).
+    pub fn union(&self, other: &MatchIds) -> MatchIds {
+        MatchIds { pairs: self.pairs.union(&other.pairs).cloned().collect() }
+    }
+
+    /// Iterates `(award, accession)` pairs in order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.pairs.iter().map(|(a, b)| (a.as_str(), b.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocking_plan::BlockingPlan;
+    use crate::labeling::run_labeling;
+    use crate::matcher::{build_training_data, select_matcher, train_matcher, MatcherStage};
+    use crate::preprocess::{project_umetrics, project_usda};
+    use em_datagen::{Oracle, OracleConfig, Scenario, ScenarioConfig};
+    use em_features::auto_features;
+    use em_rules::{EqualityRule, NegativeRule};
+
+    struct Fixture {
+        u: Table,
+        extra_u: Table,
+        s: Table,
+        scenario: Scenario,
+        matcher: TrainedMatcher,
+    }
+
+    fn rules() -> RuleSet {
+        RuleSet {
+            positive: vec![
+                EqualityRule::suffix_equals("M1", "AwardNumber", "AwardNumber"),
+                EqualityRule::suffix_equals("R2", "AwardNumber", "ProjectNumber"),
+            ],
+            negative: vec![
+                NegativeRule::comparable_suffix("neg-award", "AwardNumber", "AwardNumber"),
+                NegativeRule::comparable_suffix("neg-project", "AwardNumber", "ProjectNumber"),
+            ],
+        }
+    }
+
+    fn fixture() -> Fixture {
+        let scenario = Scenario::generate(ScenarioConfig::small().with_seed(21)).unwrap();
+        let u = project_umetrics(&scenario.award_agg, &scenario.employees).unwrap();
+        let extra_u = {
+            // The extra batch has no employee rows; project it with an
+            // empty employees table of the right schema.
+            let empty = Table::new("emp", scenario.employees.schema().clone());
+            project_umetrics(&scenario.extra_award_agg, &empty).unwrap()
+        };
+        let s = project_usda(&scenario.usda, true).unwrap();
+        let candidates =
+            crate::blocking_plan::run_blocking(&u, &s, &BlockingPlan::default()).unwrap().consolidated;
+        let oracle = Oracle::new(&scenario.truth, OracleConfig::default());
+        let (labeled, _) = run_labeling(&u, &s, &candidates, &oracle, &[100, 100], 5).unwrap();
+        let stage = MatcherStage::new(1).with_case_insensitive();
+        let features = auto_features(&u, &s, &stage.feature_opts);
+        let (data, imputer) =
+            build_training_data(&u, &s, &features, &labeled, &rules()).unwrap();
+        let ranking = select_matcher(&data, &stage).unwrap();
+        let matcher =
+            train_matcher(features, imputer, &data, &ranking[0].learner, &stage).unwrap();
+        Fixture { u, extra_u, s, scenario, matcher }
+    }
+
+    #[test]
+    fn workflow_accounting_is_consistent() {
+        let f = fixture();
+        let wf = EmWorkflow {
+            rules: rules(),
+            plan: BlockingPlan::default(),
+            matcher: &f.matcher,
+            apply_negative: false,
+        };
+        let r = wf.run(&f.u, &f.s).unwrap();
+        // candidates = blocked − sure
+        assert_eq!(r.candidates.len(), r.blocked.minus(&r.sure).len());
+        // predictions come from the candidate set only
+        for p in r.predicted.iter() {
+            assert!(r.candidates.contains(&p));
+            assert!(!r.sure.contains(&p));
+        }
+        // final = sure + predicted (no negative rules here)
+        assert_eq!(r.matches.len(), r.sure.len() + r.predicted.len());
+        assert!(r.flipped.is_empty());
+    }
+
+    #[test]
+    fn negative_rules_only_remove_predictions() {
+        let f = fixture();
+        let base = EmWorkflow {
+            rules: rules(),
+            plan: BlockingPlan::default(),
+            matcher: &f.matcher,
+            apply_negative: false,
+        };
+        let with_neg = EmWorkflow { apply_negative: true, ..base };
+        let r0 = EmWorkflow {
+            rules: rules(),
+            plan: BlockingPlan::default(),
+            matcher: &f.matcher,
+            apply_negative: false,
+        }
+        .run(&f.u, &f.s)
+        .unwrap();
+        let r1 = with_neg.run(&f.u, &f.s).unwrap();
+        assert!(r1.matches.len() <= r0.matches.len());
+        assert_eq!(r1.matches.len() + r1.flipped.len(), r0.matches.len());
+        // sure matches are never flipped
+        for p in r1.sure.iter() {
+            assert!(r1.matches.contains(&p));
+        }
+    }
+
+    #[test]
+    fn negative_rules_improve_precision(){
+        let f = fixture();
+        let score = |matches: &CandidateSet| -> (usize, usize) {
+            let ids = MatchIds::from_candidates(&f.u, &f.s, matches).unwrap();
+            let tp = ids
+                .iter()
+                .filter(|(a, c)| f.scenario.truth.is_match(a, c))
+                .count();
+            (tp, ids.len())
+        };
+        let wf = |neg: bool| EmWorkflow {
+            rules: rules(),
+            plan: BlockingPlan::default(),
+            matcher: &f.matcher,
+            apply_negative: neg,
+        };
+        let (tp0, n0) = score(&wf(false).run(&f.u, &f.s).unwrap().matches);
+        let (tp1, n1) = score(&wf(true).run(&f.u, &f.s).unwrap().matches);
+        let p0 = tp0 as f64 / n0.max(1) as f64;
+        let p1 = tp1 as f64 / n1.max(1) as f64;
+        assert!(p1 >= p0, "negative rules reduced precision: {p0} -> {p1}");
+    }
+
+    #[test]
+    fn patched_run_covers_extra_awards() {
+        let f = fixture();
+        let wf = EmWorkflow {
+            rules: rules(),
+            plan: BlockingPlan::default(),
+            matcher: &f.matcher,
+            apply_negative: true,
+        };
+        let (orig, patch) = wf.run_patched(&f.u, &f.extra_u, &f.s).unwrap();
+        let ids_orig = MatchIds::from_candidates(&f.u, &f.s, &orig.matches).unwrap();
+        let ids_patch = MatchIds::from_candidates(&f.extra_u, &f.s, &patch.matches).unwrap();
+        let combined = ids_orig.union(&ids_patch);
+        assert_eq!(combined.len(), ids_orig.len() + ids_patch.len(),
+            "original and patch operate on disjoint award sets");
+        // The patch must recover matches for extra awards.
+        let extra_matches = combined
+            .iter()
+            .filter(|(a, _)| f.scenario.truth.is_extra_award(a))
+            .count();
+        assert!(extra_matches > 0, "patch found no extra-award matches");
+        assert_eq!(extra_matches, ids_patch.len());
+    }
+
+    #[test]
+    fn match_ids_round_trip() {
+        let f = fixture();
+        let wf = EmWorkflow {
+            rules: rules(),
+            plan: BlockingPlan::default(),
+            matcher: &f.matcher,
+            apply_negative: false,
+        };
+        let r = wf.run(&f.u, &f.s).unwrap();
+        let ids = MatchIds::from_candidates(&f.u, &f.s, &r.matches).unwrap();
+        assert_eq!(ids.len(), r.matches.len(), "distinct keys per pair");
+        for p in r.matches.iter().take(20) {
+            let award = f.u.get(p.left, "AwardNumber").unwrap().render();
+            let acc = f.s.get(p.right, "AccessionNumber").unwrap().render();
+            assert!(ids.contains(&award, &acc));
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests for workflow specs and the label store.
+
+use em_core::labelstore::{LabelRecord, LabelStore, MergePolicy};
+use em_core::spec::{NegativeRuleSpec, PositiveRuleSpec, WorkflowSpec};
+use em_estimate::Label;
+use proptest::prelude::*;
+
+fn attr() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[A-Za-z][A-Za-z0-9]{0,12}").expect("valid regex")
+}
+
+fn positive_rule() -> impl Strategy<Value = PositiveRuleSpec> {
+    (any::<bool>(), attr(), attr()).prop_map(|(suffix, left, right)| {
+        if suffix {
+            PositiveRuleSpec::SuffixEquals { left, right }
+        } else {
+            PositiveRuleSpec::AttrEquals { left, right }
+        }
+    })
+}
+
+fn negative_rule() -> impl Strategy<Value = NegativeRuleSpec> {
+    (any::<bool>(), attr(), attr()).prop_map(|(suffix, left, right)| {
+        if suffix {
+            NegativeRuleSpec::ComparableSuffix { left, right }
+        } else {
+            NegativeRuleSpec::ComparableAttrs { left, right }
+        }
+    })
+}
+
+fn spec() -> impl Strategy<Value = WorkflowSpec> {
+    (
+        proptest::string::string_regex("[a-z][a-z0-9-]{0,15}").expect("valid regex"),
+        1usize..8,
+        prop_oneof![Just(0.3), Just(0.5), Just(0.7), Just(0.85)],
+        proptest::collection::vec(positive_rule(), 0..4),
+        proptest::collection::vec(negative_rule(), 0..4),
+        proptest::sample::select(vec![
+            "Decision Tree",
+            "Random Forest",
+            "SVM",
+            "Naive Bayes",
+        ]),
+        any::<bool>(),
+        proptest::collection::vec(attr(), 0..4),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(name, k, oc, positive, negative, learner, ci, exclude, neg)| WorkflowSpec {
+                name,
+                blocking: em_core::blocking_plan::BlockingPlan {
+                    overlap_k: k,
+                    oc_threshold: oc,
+                },
+                positive_rules: positive,
+                negative_rules: negative,
+                learner: learner.to_string(),
+                case_insensitive: ci,
+                exclude_attrs: exclude,
+                apply_negative: neg,
+            },
+        )
+}
+
+fn label() -> impl Strategy<Value = Label> {
+    prop_oneof![Just(Label::Yes), Just(Label::No), Just(Label::Unsure)]
+}
+
+fn records() -> impl Strategy<Value = Vec<LabelRecord>> {
+    proptest::collection::vec(
+        (0usize..8, 0usize..8, label(), 0usize..3).prop_map(|(a, c, label, who)| LabelRecord {
+            award: format!("W{a}"),
+            accession: format!("{}", 100 + c),
+            label,
+            labeler: format!("labeler-{who}"),
+        }),
+        0..60,
+    )
+}
+
+proptest! {
+    /// Any well-formed spec round-trips through the text format exactly.
+    #[test]
+    fn spec_round_trips(s in spec()) {
+        let text = s.to_text();
+        let back = WorkflowSpec::parse(&text).unwrap();
+        prop_assert_eq!(s, back);
+    }
+
+    /// The built rule set mirrors the spec's rule counts.
+    #[test]
+    fn spec_builds_matching_rules(s in spec()) {
+        let rules = s.rules();
+        prop_assert_eq!(rules.positive.len(), s.positive_rules.len());
+        prop_assert_eq!(rules.negative.len(), s.negative_rules.len());
+    }
+
+    /// Label-store merge invariants: one merged label per labeled pair;
+    /// unanimous pairs keep their label under both policies; the conflict
+    /// list contains exactly the pairs with disagreeing votes.
+    #[test]
+    fn labelstore_merge_laws(recs in records()) {
+        let mut store = LabelStore::new();
+        for r in recs.clone() {
+            store.record(r);
+        }
+        for policy in [MergePolicy::UnanimousOrUnsure, MergePolicy::Majority] {
+            let (merged, conflicts) = store.merge(policy);
+            prop_assert_eq!(merged.len(), store.n_pairs());
+            for c in &conflicts {
+                let mut labels: Vec<Label> = c.votes.iter().map(|(_, l)| *l).collect();
+                labels.dedup();
+                prop_assert!(c.votes.len() >= 2);
+                prop_assert!(
+                    c.votes.iter().any(|(_, l)| *l != c.votes[0].1),
+                    "conflict without disagreement: {c:?}"
+                );
+            }
+            // Non-conflicting pairs keep the (unanimous) vote.
+            let labelers = store.labelers();
+            for ((award, acc), label) in &merged {
+                let in_conflict = conflicts
+                    .iter()
+                    .any(|c| &c.award == award && &c.accession == acc);
+                if in_conflict {
+                    continue;
+                }
+                let votes: Vec<Label> = labelers
+                    .iter()
+                    .filter_map(|who| store.get(award, acc, who))
+                    .collect();
+                prop_assert!(!votes.is_empty());
+                for v in votes {
+                    prop_assert_eq!(v, *label, "unanimous pair ({}, {}) relabeled", award, acc);
+                }
+            }
+        }
+    }
+
+    /// CSV round trip preserves the store for identifier-shaped keys.
+    #[test]
+    fn labelstore_table_round_trip(recs in records()) {
+        let mut store = LabelStore::new();
+        for r in recs {
+            store.record(r);
+        }
+        let table = store.to_table();
+        let back = LabelStore::from_table(&table).unwrap();
+        prop_assert_eq!(store, back);
+    }
+}

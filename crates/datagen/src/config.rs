@@ -1,0 +1,235 @@
+//! Scenario configuration: sizes and noise rates of the synthetic data.
+//!
+//! The `paper()` preset reproduces the case study's matching-relevant row
+//! counts exactly (1336 + 496 UMETRICS awards, 1915 USDA rows) and scales
+//! the bulk auxiliary tables (employees, vendors) down ~100×: they
+//! contribute only profiling workload, not matching signal, and the paper's
+//! 1.45M-row employees table would dominate test time for no fidelity gain
+//! (documented substitution in DESIGN.md).
+
+/// All knobs of the synthetic scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioConfig {
+    /// RNG seed; every table and the ground truth are deterministic in it.
+    pub seed: u64,
+    /// UMETRICS award rows delivered initially (paper: 1336).
+    pub n_awards: usize,
+    /// UMETRICS award rows withheld and delivered later (paper: 496).
+    pub n_extra_awards: usize,
+    /// Total USDA rows (paper: 1915).
+    pub n_usda: usize,
+    /// Rows in the employees table (paper: 1,454,070; scaled down).
+    pub n_employees: usize,
+    /// Rows in the vendors table (paper: 377,746; scaled down).
+    pub n_vendors: usize,
+    /// Rows in the sub-awards table (paper: 21,470; scaled down).
+    pub n_subawards: usize,
+    /// Rows in the object-codes table (paper: 4,574).
+    pub n_object_codes: usize,
+    /// Rows in the org-units table (paper: 264).
+    pub n_org_units: usize,
+
+    /// Fraction of projects funded by federal mechanisms (their identifiers
+    /// follow `YYYY-#####-#####`); the rest are state projects (`WIS#####`).
+    pub frac_federal: f64,
+    /// Probability a project also appears in the USDA table at all.
+    pub p_in_usda: f64,
+    /// Probability a matched project has 2 (resp. 3) annual USDA records —
+    /// the one-to-many structure of Section 10.
+    pub p_two_records: f64,
+    /// See [`ScenarioConfig::p_two_records`].
+    pub p_three_records: f64,
+    /// Probability a *federal* USDA record still has its award number
+    /// populated (missing numbers are the M2 cases).
+    pub p_federal_award_present: f64,
+    /// Probability a USDA record carries its state project number.
+    pub p_project_number_present: f64,
+    /// Probability a project draws a generic title ("Lab Supplies") shared
+    /// with unrelated projects.
+    pub p_generic_title: f64,
+    /// Probability of a small typo injected into the USDA copy of a title.
+    pub p_title_typo: f64,
+    /// Fraction of USDA filler rows whose title is a near-copy of a real
+    /// project title plus a multistate `NC/NRSP` marker (discrepancy D1).
+    pub p_filler_multistate_clone: f64,
+    /// Probability a project is a *sibling* of the previous one: same title
+    /// (a continuation re-awarded under a new number). Sibling cross-pairs
+    /// are the D2 false positives the negative rule repairs.
+    pub p_sibling_title: f64,
+    /// Probability a matched USDA record carries a *wrong* project number
+    /// (clerical error) — the negative rule then flips a true match,
+    /// reproducing the paper's small recall cost of the rules.
+    pub p_wrong_project_number: f64,
+    /// Probability a matched USDA record's title is garbled beyond token
+    /// overlap — such matches escape every blocking scheme and are only
+    /// recoverable through the Section 10 project-number rule.
+    pub p_usda_title_garbled: f64,
+    /// Probability a USDA record's project director is missing.
+    pub p_director_missing: f64,
+    /// Probability a project's director does not appear in the employees
+    /// table (stale staff lists) — removing the name-overlap signal that
+    /// would otherwise separate sibling projects from true matches.
+    pub p_director_unlisted: f64,
+}
+
+impl ScenarioConfig {
+    /// Paper-scale preset: matching-relevant tables at exact paper sizes.
+    pub fn paper() -> ScenarioConfig {
+        ScenarioConfig {
+            seed: 20190326, // EDBT 2019 opening day
+            n_awards: 1336,
+            n_extra_awards: 496,
+            n_usda: 1915,
+            n_employees: 14_540,
+            n_vendors: 3_777,
+            n_subawards: 2_147,
+            n_object_codes: 4_574,
+            n_org_units: 264,
+            frac_federal: 0.42,
+            p_in_usda: 0.58,
+            p_two_records: 0.12,
+            p_three_records: 0.04,
+            p_federal_award_present: 0.65,
+            p_project_number_present: 0.72,
+            p_generic_title: 0.03,
+            p_title_typo: 0.06,
+            p_filler_multistate_clone: 0.08,
+            p_sibling_title: 0.07,
+            p_wrong_project_number: 0.03,
+            p_usda_title_garbled: 0.05,
+            p_director_missing: 0.12,
+            p_director_unlisted: 0.30,
+        }
+    }
+
+    /// Small preset for unit/integration tests: same structure, ~20× fewer
+    /// rows.
+    pub fn small() -> ScenarioConfig {
+        ScenarioConfig {
+            n_awards: 70,
+            n_extra_awards: 25,
+            n_usda: 100,
+            n_employees: 700,
+            n_vendors: 150,
+            n_subawards: 100,
+            n_object_codes: 40,
+            n_org_units: 12,
+            // Denser generic titles so the small scenario still exercises
+            // the short-title (C3 − C2) blocking path.
+            p_generic_title: 0.10,
+            ..ScenarioConfig::paper()
+        }
+    }
+
+    /// A scenario scaled by `factor` relative to the paper preset in every
+    /// table (used by the scalability benches; `scaled(1.0)` is `paper()`).
+    pub fn scaled(factor: f64) -> ScenarioConfig {
+        let f = factor.max(0.01);
+        let scale = |n: usize| ((n as f64 * f).round() as usize).max(1);
+        let p = ScenarioConfig::paper();
+        ScenarioConfig {
+            n_awards: scale(p.n_awards),
+            n_extra_awards: scale(p.n_extra_awards),
+            n_usda: scale(p.n_usda),
+            n_employees: scale(p.n_employees),
+            n_vendors: scale(p.n_vendors),
+            n_subawards: scale(p.n_subawards),
+            n_object_codes: scale(p.n_object_codes),
+            n_org_units: scale(p.n_org_units),
+            ..p
+        }
+    }
+
+    /// Replaces the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> ScenarioConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Total projects in the ground-truth universe.
+    pub fn n_projects(&self) -> usize {
+        self.n_awards + self.n_extra_awards
+    }
+
+    /// Sanity-checks rates and sizes; generation calls this first.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("frac_federal", self.frac_federal),
+            ("p_in_usda", self.p_in_usda),
+            ("p_two_records", self.p_two_records),
+            ("p_three_records", self.p_three_records),
+            ("p_federal_award_present", self.p_federal_award_present),
+            ("p_project_number_present", self.p_project_number_present),
+            ("p_generic_title", self.p_generic_title),
+            ("p_title_typo", self.p_title_typo),
+            ("p_filler_multistate_clone", self.p_filler_multistate_clone),
+            ("p_sibling_title", self.p_sibling_title),
+            ("p_wrong_project_number", self.p_wrong_project_number),
+            ("p_usda_title_garbled", self.p_usda_title_garbled),
+            ("p_director_missing", self.p_director_missing),
+            ("p_director_unlisted", self.p_director_unlisted),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} must be a probability, got {p}"));
+            }
+        }
+        if self.p_two_records + self.p_three_records > 1.0 {
+            return Err("p_two_records + p_three_records exceed 1".to_string());
+        }
+        if self.n_projects() == 0 {
+            return Err("need at least one project".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        ScenarioConfig::paper().validate().unwrap();
+        ScenarioConfig::small().validate().unwrap();
+    }
+
+    #[test]
+    fn paper_preset_matches_figure2_counts() {
+        let c = ScenarioConfig::paper();
+        assert_eq!(c.n_awards, 1336);
+        assert_eq!(c.n_extra_awards, 496);
+        assert_eq!(c.n_usda, 1915);
+        assert_eq!(c.n_object_codes, 4574);
+        assert_eq!(c.n_org_units, 264);
+    }
+
+    #[test]
+    fn validate_rejects_bad_rates() {
+        let mut c = ScenarioConfig::small();
+        c.p_in_usda = 1.5;
+        assert!(c.validate().is_err());
+        let mut c2 = ScenarioConfig::small();
+        c2.p_two_records = 0.7;
+        c2.p_three_records = 0.7;
+        assert!(c2.validate().is_err());
+    }
+
+    #[test]
+    fn scaled_preset() {
+        let x1 = ScenarioConfig::scaled(1.0);
+        assert_eq!(x1.n_awards, 1336);
+        let x2 = ScenarioConfig::scaled(2.0);
+        assert_eq!(x2.n_awards, 2672);
+        assert_eq!(x2.n_usda, 3830);
+        x2.validate().unwrap();
+        let tiny = ScenarioConfig::scaled(0.001);
+        assert!(tiny.n_awards >= 1);
+        tiny.validate().unwrap();
+    }
+
+    #[test]
+    fn with_seed_builder() {
+        let c = ScenarioConfig::small().with_seed(99);
+        assert_eq!(c.seed, 99);
+    }
+}

@@ -1,0 +1,328 @@
+//! The simulated domain-expert labeling team.
+//!
+//! The UMETRICS team labeled sampled pairs `Yes` / `No` / `Unsure`, made
+//! correctable first-round mistakes (Section 8: one M1-satisfying pair
+//! labeled non-match; ~21 similar-title pairs labeled "a mix of match,
+//! non-match, and primarily unsures"), and settled discrepancy classes D1-D3
+//! after discussion. [`Oracle`] reproduces those behaviours on top of the
+//! hidden ground truth:
+//!
+//! - [`Oracle::label`] — the *settled* labels (after all the paper's
+//!   cross-checking and discussion rounds).
+//! - [`Oracle::label_initial`] — the first-round labels with the mistakes
+//!   the cross-check catches.
+//!
+//! Both are deterministic in the oracle seed and the pair identity.
+
+use crate::truth::GroundTruth;
+use crate::vocab;
+use em_estimate::Label;
+use std::hash::{Hash, Hasher};
+
+/// Everything the expert looks at when labeling one pair.
+#[derive(Debug, Clone, Copy)]
+pub struct PairView<'a> {
+    /// Left (UMETRICS) key: `UniqueAwardNumber`.
+    pub award_number: &'a str,
+    /// Right (USDA) key: `AccessionNumber`.
+    pub accession: &'a str,
+    /// Left title as shown to the expert.
+    pub left_title: &'a str,
+    /// Right title as shown to the expert.
+    pub right_title: &'a str,
+    /// USDA `AwardNumber`, when present.
+    pub right_award_number: Option<&'a str>,
+    /// USDA `ProjectNumber`, when present (and carried through projection).
+    pub right_project_number: Option<&'a str>,
+}
+
+/// Behavioural knobs of the simulated experts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OracleConfig {
+    /// Seed mixed into every per-pair decision.
+    pub seed: u64,
+    /// P(label `Unsure`) for true matches whose titles are generic and
+    /// whose USDA award number is missing — "not unique enough to be
+    /// declared matches".
+    pub p_unsure_generic: f64,
+    /// P(label `Unsure`) for non-matches with (near-)identical titles.
+    pub p_unsure_similar: f64,
+    /// First round only: P(mistakenly label a true match `No`).
+    pub p_initial_miss: f64,
+    /// First round only: P(downgrade a decided label to `Unsure`) on
+    /// similar-title pairs.
+    pub p_initial_waffle: f64,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            seed: 77,
+            p_unsure_generic: 0.6,
+            p_unsure_similar: 0.5,
+            p_initial_miss: 0.04,
+            p_initial_waffle: 0.5,
+        }
+    }
+}
+
+/// The simulated expert team.
+#[derive(Debug, Clone)]
+pub struct Oracle<'a> {
+    truth: &'a GroundTruth,
+    cfg: OracleConfig,
+}
+
+/// Deterministic per-(pair, channel) uniform draw in `[0, 1)`.
+fn pair_draw(seed: u64, award: &str, accession: &str, channel: u32) -> f64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    seed.hash(&mut h);
+    award.hash(&mut h);
+    accession.hash(&mut h);
+    channel.hash(&mut h);
+    (h.finish() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn normalize_title(t: &str) -> String {
+    t.split_whitespace().collect::<Vec<_>>().join(" ").to_lowercase()
+}
+
+fn is_generic_title(t: &str) -> bool {
+    let n = normalize_title(t);
+    vocab::GENERIC_TITLES.iter().any(|g| normalize_title(g) == n)
+}
+
+fn has_multistate_marker(t: &str) -> bool {
+    vocab::MULTISTATE_MARKERS.iter().any(|m| t.contains(m))
+}
+
+/// Titles the experts call "very similar": equal after case folding, or
+/// one extends the other by a multistate marker.
+fn titles_similar(left: &str, right: &str) -> bool {
+    let (l, r) = (normalize_title(left), normalize_title(right));
+    if l.is_empty() || r.is_empty() {
+        return false;
+    }
+    l == r || r.starts_with(&l) || l.starts_with(&r)
+}
+
+impl<'a> Oracle<'a> {
+    /// Creates the oracle over a ground truth.
+    pub fn new(truth: &'a GroundTruth, cfg: OracleConfig) -> Oracle<'a> {
+        Oracle { truth, cfg }
+    }
+
+    /// The settled (post-discussion) label for a pair.
+    pub fn label(&self, v: &PairView<'_>) -> Label {
+        let is_match = self.truth.is_match(v.award_number, v.accession);
+        if is_match {
+            // Generic title with no identifier to confirm: sometimes the
+            // experts cannot commit even though the pair is truly a match.
+            if is_generic_title(v.left_title) && v.right_award_number.is_none() {
+                let p = pair_draw(self.cfg.seed, v.award_number, v.accession, 1);
+                if p < self.cfg.p_unsure_generic {
+                    return Label::Unsure;
+                }
+            }
+            return Label::Yes;
+        }
+        // D1: a similar title carrying a multistate NC/NRSP marker — the
+        // experts settled all of these as Unsure ("even they did not know").
+        if has_multistate_marker(v.right_title) && titles_similar(v.left_title, v.right_title) {
+            return Label::Unsure;
+        }
+        // D2: similar titles but *different* identifiers — "labels must be
+        // retained" as No: the experts trust the numbers over the titles.
+        if titles_similar(v.left_title, v.right_title) {
+            let suffix = v.award_number.split_whitespace().last().unwrap_or("");
+            for num in [v.right_award_number, v.right_project_number].into_iter().flatten() {
+                if !num.trim().is_empty() && suffix != num.trim() {
+                    return Label::No;
+                }
+            }
+        }
+        // Similar titles that are not unique enough: sometimes Unsure.
+        if titles_similar(v.left_title, v.right_title) {
+            let p = pair_draw(self.cfg.seed, v.award_number, v.accession, 2);
+            if p < self.cfg.p_unsure_similar {
+                return Label::Unsure;
+            }
+        }
+        Label::No
+    }
+
+    /// The first-round label, with the mistakes the Section 8 cross-check
+    /// later catches: occasional misses of true matches and waffling
+    /// (Unsure) on similar-title pairs.
+    pub fn label_initial(&self, v: &PairView<'_>) -> Label {
+        let settled = self.label(v);
+        let is_match = self.truth.is_match(v.award_number, v.accession);
+        if is_match && settled == Label::Yes {
+            let p = pair_draw(self.cfg.seed, v.award_number, v.accession, 3);
+            if p < self.cfg.p_initial_miss {
+                return Label::No;
+            }
+        }
+        if titles_similar(v.left_title, v.right_title) && settled != Label::Unsure {
+            let p = pair_draw(self.cfg.seed, v.award_number, v.accession, 4);
+            if p < self.cfg.p_initial_waffle {
+                return Label::Unsure;
+            }
+        }
+        settled
+    }
+
+    /// The ground truth this oracle consults (exposed for evaluation code).
+    pub fn truth(&self) -> &GroundTruth {
+        self.truth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> GroundTruth {
+        let mut t = GroundTruth::default();
+        t.add_match("10.200 2008-11111-22222", "200001");
+        t.add_match("10.203 WIS01040", "200002");
+        t
+    }
+
+    fn view<'a>(
+        award: &'a str,
+        acc: &'a str,
+        lt: &'a str,
+        rt: &'a str,
+        ran: Option<&'a str>,
+    ) -> PairView<'a> {
+        PairView {
+            award_number: award,
+            accession: acc,
+            left_title: lt,
+            right_title: rt,
+            right_award_number: ran,
+            right_project_number: None,
+        }
+    }
+
+    #[test]
+    fn true_match_with_identifier_is_yes() {
+        let t = truth();
+        let o = Oracle::new(&t, OracleConfig::default());
+        let v = view(
+            "10.200 2008-11111-22222",
+            "200001",
+            "CORN FUNGICIDE GUIDELINES",
+            "Corn Fungicide Guidelines",
+            Some("2008-11111-22222"),
+        );
+        assert_eq!(o.label(&v), Label::Yes);
+    }
+
+    #[test]
+    fn clear_non_match_is_no() {
+        let t = truth();
+        let o = Oracle::new(&t, OracleConfig::default());
+        let v = view(
+            "10.200 2008-11111-22222",
+            "200099",
+            "CORN FUNGICIDE GUIDELINES",
+            "Completely Unrelated Topic",
+            None,
+        );
+        assert_eq!(o.label(&v), Label::No);
+    }
+
+    #[test]
+    fn d1_multistate_clone_is_unsure() {
+        let t = truth();
+        let o = Oracle::new(&t, OracleConfig::default());
+        let v = view(
+            "10.203 WIS01040",
+            "200777",
+            "Swamp Dodder Ecology",
+            "Swamp Dodder Ecology NC-1234",
+            None,
+        );
+        assert_eq!(o.label(&v), Label::Unsure);
+    }
+
+    #[test]
+    fn generic_match_without_identifier_can_be_unsure() {
+        let mut t = GroundTruth::default();
+        // Create enough generic matches that some draw Unsure.
+        for i in 0..40 {
+            t.add_match(&format!("10.250 WIS{i:05}"), &format!("3000{i:02}"));
+        }
+        let o = Oracle::new(&t, OracleConfig::default());
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            let award = format!("10.250 WIS{i:05}");
+            let acc = format!("3000{i:02}");
+            let v = view(&award, &acc, "Lab Supplies", "Lab Supplies", None);
+            labels.push(o.label(&v));
+        }
+        assert!(labels.contains(&Label::Unsure));
+        assert!(labels.contains(&Label::Yes));
+        assert!(!labels.contains(&Label::No), "a true match is never settled as No");
+    }
+
+    #[test]
+    fn initial_round_makes_correctable_mistakes() {
+        let mut t = GroundTruth::default();
+        for i in 0..200 {
+            t.add_match(&format!("10.250 A{i}"), &format!("4000{i:03}"));
+        }
+        let o = Oracle::new(&t, OracleConfig::default());
+        let mut initial_wrong = 0;
+        for i in 0..200 {
+            let award = format!("10.250 A{i}");
+            let acc = format!("4000{i:03}");
+            let v = view(&award, &acc, "Soil Nutrient Cycling", "Unrelated", Some("A9"));
+            let settled = o.label(&v);
+            let first = o.label_initial(&v);
+            if first != settled {
+                initial_wrong += 1;
+                assert_eq!(first, Label::No, "initial miss labels a match as No");
+            }
+        }
+        assert!(initial_wrong > 0, "expected some first-round misses");
+        assert!(initial_wrong < 40, "misses should be rare, got {initial_wrong}");
+    }
+
+    #[test]
+    fn labels_deterministic() {
+        let t = truth();
+        let o = Oracle::new(&t, OracleConfig::default());
+        let v = view("10.203 WIS01040", "200555", "Lab Supplies", "Lab Supplies", None);
+        assert_eq!(o.label(&v), o.label(&v));
+        assert_eq!(o.label_initial(&v), o.label_initial(&v));
+    }
+
+    #[test]
+    fn similar_title_nonmatch_waffles_more_initially() {
+        let t = truth();
+        let o = Oracle::new(&t, OracleConfig::default());
+        let mut settled_unsure = 0;
+        let mut initial_unsure = 0;
+        for i in 0..100 {
+            let acc = format!("5000{i:02}");
+            let v = view(
+                "10.203 WIS01040",
+                &acc,
+                "Swamp Dodder Applied Ecology",
+                "Swamp Dodder Applied Ecology",
+                None,
+            );
+            if o.label(&v) == Label::Unsure {
+                settled_unsure += 1;
+            }
+            if o.label_initial(&v) == Label::Unsure {
+                initial_unsure += 1;
+            }
+        }
+        assert!(initial_unsure >= settled_unsure);
+        assert!(initial_unsure > 50, "primarily unsures in round one");
+    }
+}

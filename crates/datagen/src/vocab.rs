@@ -1,0 +1,140 @@
+//! Vocabulary pools for the synthetic UMETRICS/USDA generator: agricultural
+//! research terms (so generated titles look like Figure 3/4's), person
+//! names, organization units, and the generic titles that made title-based
+//! labeling hard in the case study.
+
+/// Topic words for award titles, drawn from the flavor of the real examples
+/// ("GENETIC ORGANIZATION AND EPIGENETIC SILENCING OF MAIZE R GENES",
+/// "Development of IPM-Based Corn Fungicide Guidelines…").
+pub const TITLE_WORDS: &[&str] = &[
+    "genetic", "organization", "epigenetic", "silencing", "maize", "genes", "development",
+    "ipm", "based", "corn", "fungicide", "guidelines", "north", "central", "states",
+    "changing", "location", "extent", "wildland", "urban", "interface", "swamp", "dodder",
+    "cuscuta", "applied", "ecology", "management", "carrot", "production", "soil",
+    "nutrient", "cycling", "dairy", "cattle", "grazing", "systems", "wisconsin",
+    "cranberry", "pest", "resistance", "breeding", "potato", "blight", "forecasting",
+    "models", "economic", "impacts", "rural", "communities", "water", "quality",
+    "watershed", "nitrogen", "phosphorus", "runoff", "cover", "crops", "rotation", "yield",
+    "stability", "organic", "transition", "weed", "suppression", "biological", "control",
+    "aphid", "predators", "pollinator", "habitat", "restoration", "prairie",
+    "agroforestry", "silvopasture", "market", "analysis", "specialty", "vegetable",
+    "growers", "food", "safety", "listeria", "cheese", "aging", "microbial",
+    "fermentation", "bovine", "genomics", "selection", "drought", "tolerance", "wheat",
+    "cultivar", "evaluation", "trials", "tillage", "conservation", "carbon",
+    "sequestration", "pasture", "forage", "alfalfa", "harvest", "storage", "losses",
+    "apple", "orchard", "canopy", "irrigation", "scheduling", "sensor", "networks",
+    "precision", "agriculture", "remote", "sensing", "landscape", "climate", "adaptation",
+    "extension", "outreach", "education", "farmer", "cooperatives", "hydrology",
+    "sediment", "stream", "buffer", "strips", "grassland", "bird", "nesting", "survey",
+    "monitoring", "protocols", "invasive", "species", "detection", "emerald", "ash",
+    "borer", "gypsy", "moth", "quarantine", "compliance", "biosecurity", "swine", "herd",
+    "health", "vaccination", "strategies", "poultry", "litter", "amendments", "compost",
+    "standards", "certification", "hemp", "fiber", "processing", "ginseng", "shade",
+    "structures", "maple", "syrup", "tapping", "efficiency", "hops", "trellis", "design",
+    "barley", "malting", "varieties", "oat", "rust", "screening", "soybean", "cyst",
+    "nematode", "sampling", "density", "mapping", "spatial", "variability", "zone",
+    "fertility", "recommendations", "manure", "digestate", "biogas", "methane",
+    "emissions", "mitigation", "greenhouse", "gas", "inventory", "renewable", "energy",
+    "onfarm", "solar", "wind", "feasibility", "assessments", "labor", "availability",
+    "immigration", "policy", "wage", "trends", "succession", "planning", "beginning",
+    "farmers", "land", "access", "credit", "insurance", "participation", "risk",
+    "perception", "behavioral", "experiments", "auction", "mechanisms", "supply", "chain",
+    "traceability", "blockchain", "pilot", "consumer", "preferences", "willingness",
+    "premiums", "grassfed", "beef", "branding", "direct", "marketing", "farmstand",
+    "agritourism", "revenue", "diversification", "value", "added", "artisan", "creamery",
+    "incubator", "kitchens",
+];
+
+/// Generic, non-discriminative titles — the "Lab Supplies" problem of
+/// Section 5: exact title equality on these says nothing about matching.
+pub const GENERIC_TITLES: &[&str] = &[
+    "Lab Supplies",
+    "Field Equipment",
+    "Research Support",
+    "Graduate Student Support",
+    "Summer Research",
+    "Departmental Research",
+];
+
+/// First names for employees and project directors.
+pub const FIRST_NAMES: &[&str] = &[
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda", "David",
+    "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas",
+    "Karen", "Charles", "Nancy", "Paul", "Lisa", "Mark", "Betty", "Donald", "Helen", "George",
+    "Sandra", "Kenneth", "Donna", "Steven", "Carol", "Edward", "Ruth", "Brian", "Sharon",
+    "Ronald", "Michelle", "Anthony", "Laura", "Kevin", "Sarah", "Jason", "Kimberly",
+];
+
+/// Last names for employees and project directors.
+pub const LAST_NAMES: &[&str] = &[
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis",
+    "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson",
+    "Thomas", "Taylor", "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White",
+    "Harris", "Sanchez", "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young",
+    "Allen", "King", "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
+    "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell", "Carter",
+    "Kermicle", "Hammer", "Esker", "Colquhoun",
+];
+
+/// Sub-organization unit names (colleges/departments).
+pub const ORG_UNITS: &[&str] = &[
+    "Agronomy", "Horticulture", "Plant Pathology", "Entomology", "Soil Science",
+    "Dairy Science", "Animal Sciences", "Agricultural Economics", "Food Science",
+    "Forest and Wildlife Ecology", "Biological Systems Engineering", "Bacteriology",
+];
+
+/// Vendor organization names.
+pub const VENDOR_ORGS: &[&str] = &[
+    "Midwest Scientific Supply", "Badger Lab Instruments", "Prairie Seed Co",
+    "Great Lakes Chemical", "Capitol Office Products", "Dane County Implements",
+    "Northern Greenhouse Systems", "Mendota Analytical", "Arlington Field Services",
+    "Wisconsin Irrigation Works",
+];
+
+/// Recipient organizations for USDA rows that do not belong to UW-Madison
+/// (the unmatched filler rows).
+pub const OTHER_RECIPIENTS: &[&str] = &[
+    "SAES - MICHIGAN STATE UNIVERSITY",
+    "SAES - UNIVERSITY OF MINNESOTA",
+    "SAES - IOWA STATE UNIVERSITY",
+    "SAES - UNIVERSITY OF ILLINOIS",
+    "SAES - PURDUE UNIVERSITY",
+];
+
+/// The UW-Madison recipient string used on matching USDA rows (Figure 4).
+pub const UW_RECIPIENT: &str = "SAES - UNIVERSITY OF WISCONSIN";
+
+/// Multistate project markers appended to some USDA-only titles — the
+/// `NC/NRSP` suffixes behind discrepancy D1 in Section 8.
+pub const MULTISTATE_MARKERS: &[&str] = &["NC-1234", "NC-507", "NRSP-8", "NC-140", "NRSP-3"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_nonempty_and_distinct() {
+        assert!(TITLE_WORDS.len() >= 100);
+        assert!(FIRST_NAMES.len() >= 40);
+        assert!(LAST_NAMES.len() >= 40);
+        let mut words = TITLE_WORDS.to_vec();
+        words.sort_unstable();
+        let before = words.len();
+        words.dedup();
+        assert_eq!(words.len(), before, "duplicate title words");
+    }
+
+    #[test]
+    fn generic_titles_are_short() {
+        for t in GENERIC_TITLES {
+            assert!(t.split_whitespace().count() <= 3, "{t} is not short");
+        }
+    }
+
+    #[test]
+    fn markers_look_multistate() {
+        for m in MULTISTATE_MARKERS {
+            assert!(m.starts_with("NC") || m.starts_with("NRSP"));
+        }
+    }
+}

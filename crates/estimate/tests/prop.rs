@@ -1,0 +1,88 @@
+//! Property-based tests for the accuracy estimator.
+
+use em_estimate::{estimate_accuracy, Interval, Label, SampleItem, Z95};
+use proptest::prelude::*;
+
+fn sample() -> impl Strategy<Value = Vec<SampleItem>> {
+    proptest::collection::vec(
+        (any::<bool>(), 0u8..3).prop_map(|(predicted, l)| SampleItem {
+            predicted,
+            label: match l {
+                0 => Label::Yes,
+                1 => Label::No,
+                _ => Label::Unsure,
+            },
+        }),
+        0..200,
+    )
+}
+
+proptest! {
+    /// Intervals are always well-formed, inside [0, 1], and contain the
+    /// point estimate computed directly from the sample.
+    #[test]
+    fn intervals_contain_point_estimates(items in sample()) {
+        let est = estimate_accuracy(&items, Z95);
+        for iv in [est.precision, est.recall] {
+            prop_assert!(iv.lo >= 0.0 && iv.hi <= 1.0 && iv.lo <= iv.hi);
+        }
+        let decided: Vec<&SampleItem> =
+            items.iter().filter(|i| i.label != Label::Unsure).collect();
+        let predicted: Vec<&&SampleItem> = decided.iter().filter(|i| i.predicted).collect();
+        if !predicted.is_empty() {
+            let p = predicted.iter().filter(|i| i.label == Label::Yes).count() as f64
+                / predicted.len() as f64;
+            prop_assert!(est.precision.contains(p), "{p} not in {:?}", est.precision);
+        }
+        let actual: Vec<&&SampleItem> =
+            decided.iter().filter(|i| i.label == Label::Yes).collect();
+        if !actual.is_empty() {
+            let r = actual.iter().filter(|i| i.predicted).count() as f64 / actual.len() as f64;
+            prop_assert!(est.recall.contains(r), "{r} not in {:?}", est.recall);
+        }
+    }
+
+    /// Bookkeeping identities: used + unsure = total; predicted and actual
+    /// counts never exceed used.
+    #[test]
+    fn counts_are_consistent(items in sample()) {
+        let est = estimate_accuracy(&items, Z95);
+        prop_assert_eq!(est.n_used + est.n_unsure, items.len());
+        prop_assert!(est.n_predicted <= est.n_used);
+        prop_assert!(est.n_actual <= est.n_used);
+    }
+
+    /// A larger critical value never narrows an interval.
+    #[test]
+    fn z_monotonicity(items in sample(), z1 in 0.5f64..2.0, z2 in 0.0f64..1.5) {
+        let (lo_z, hi_z) = if z1 <= z1 + z2 { (z1, z1 + z2) } else { (z1 + z2, z1) };
+        let narrow = estimate_accuracy(&items, lo_z);
+        let wide = estimate_accuracy(&items, hi_z);
+        prop_assert!(wide.precision.width() >= narrow.precision.width() - 1e-12);
+        prop_assert!(wide.recall.width() >= narrow.recall.width() - 1e-12);
+    }
+
+    /// Duplicating the sample (same rates, double n) never widens the
+    /// unclamped interval; with clamping it never widens either, because
+    /// the half-width shrinks by 1/sqrt(2).
+    #[test]
+    fn doubling_never_widens(items in sample()) {
+        prop_assume!(!items.is_empty());
+        let once = estimate_accuracy(&items, Z95);
+        let mut doubled = items.clone();
+        doubled.extend(items.iter().copied());
+        let twice = estimate_accuracy(&doubled, Z95);
+        prop_assert!(twice.precision.width() <= once.precision.width() + 1e-12);
+        prop_assert!(twice.recall.width() <= once.recall.width() + 1e-12);
+    }
+
+    /// Interval::new normalizes any pair of endpoints.
+    #[test]
+    fn interval_normalization(a in -2.0f64..3.0, b in -2.0f64..3.0) {
+        let iv = Interval::new(a, b);
+        prop_assert!(iv.lo <= iv.hi);
+        prop_assert!((0.0..=1.0).contains(&iv.lo));
+        prop_assert!((0.0..=1.0).contains(&iv.hi));
+        prop_assert!(iv.contains(iv.mid()));
+    }
+}

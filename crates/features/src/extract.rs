@@ -1,0 +1,161 @@
+//! Feature-vector extraction: turning candidate pairs into the matrix the
+//! matchers consume. Extraction is embarrassingly parallel across pairs, so
+//! it fans out over scoped threads (crossbeam) when the workload is large
+//! enough to pay for them.
+
+use crate::generate::FeatureSet;
+use em_blocking::Pair;
+use em_table::{Table, TableError, Value};
+
+/// Below this many (pair × feature) computations, extraction stays
+/// single-threaded — thread setup would dominate.
+const PARALLEL_THRESHOLD: usize = 20_000;
+
+/// Extracts the feature matrix for `pairs`: one row per pair, one column
+/// per feature, `NaN` for missing values.
+///
+/// Fails fast if any feature references a column absent from its table or
+/// any pair indexes past a table.
+pub fn extract_vectors(
+    features: &FeatureSet,
+    a: &Table,
+    b: &Table,
+    pairs: &[Pair],
+) -> Result<Vec<Vec<f64>>, TableError> {
+    // Pre-resolve column indices so the hot loop is index math only.
+    let mut left_idx = Vec::with_capacity(features.len());
+    let mut right_idx = Vec::with_capacity(features.len());
+    for f in &features.features {
+        left_idx.push(a.schema().require(&f.left_attr)?);
+        right_idx.push(b.schema().require(&f.right_attr)?);
+    }
+    for p in pairs {
+        if p.left >= a.n_rows() || p.right >= b.n_rows() {
+            return Err(TableError::KeyViolation {
+                column: "pair".to_string(),
+                detail: format!("pair ({}, {}) out of range", p.left, p.right),
+            });
+        }
+    }
+
+    let compute_chunk = |chunk: &[Pair]| -> Vec<Vec<f64>> {
+        chunk
+            .iter()
+            .map(|p| {
+                let ra = &a.rows()[p.left];
+                let rb = &b.rows()[p.right];
+                features
+                    .features
+                    .iter()
+                    .enumerate()
+                    .map(|(k, f)| {
+                        let va: &Value = &ra[left_idx[k]];
+                        let vb: &Value = &rb[right_idx[k]];
+                        f.compute(va, vb)
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+
+    let work = pairs.len().saturating_mul(features.len());
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    if work < PARALLEL_THRESHOLD || threads < 2 || pairs.len() < 2 * threads {
+        return Ok(compute_chunk(pairs));
+    }
+
+    let chunk_size = pairs.len().div_ceil(threads);
+    let chunks: Vec<&[Pair]> = pairs.chunks(chunk_size).collect();
+    let mut results: Vec<Vec<Vec<f64>>> = Vec::with_capacity(chunks.len());
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| scope.spawn(move |_| compute_chunk(chunk)))
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("extraction worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    Ok(results.into_iter().flatten().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{auto_features, FeatureOptions};
+    use em_table::csv::read_str;
+
+    fn tables() -> (Table, Table) {
+        let a = read_str(
+            "A",
+            "Title,Amount\nCorn Fungicide Guidelines,10\nSwamp Dodder Ecology,\n",
+        )
+        .unwrap();
+        let b = read_str(
+            "B",
+            "Title,Amount\ncorn fungicide guidelines,10\nTotally Different,5\n",
+        )
+        .unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn extracts_rows_in_pair_order() {
+        let (a, b) = tables();
+        let fs = auto_features(&a, &b, &FeatureOptions::default().with_case_insensitive());
+        let pairs = vec![Pair::new(0, 0), Pair::new(1, 1), Pair::new(0, 1)];
+        let x = extract_vectors(&fs, &a, &b, &pairs).unwrap();
+        assert_eq!(x.len(), 3);
+        assert_eq!(x[0].len(), fs.len());
+        // case-insensitive jaccard on pair (0,0) must be 1.0
+        let idx = fs.names().iter().position(|n| n == "Title_jac_q3_lc").unwrap();
+        assert_eq!(x[0][idx], 1.0);
+        assert!(x[2][idx] < 0.5);
+    }
+
+    #[test]
+    fn missing_values_become_nan() {
+        let (a, b) = tables();
+        let fs = auto_features(&a, &b, &FeatureOptions::default());
+        let idx = fs.names().iter().position(|n| n == "Amount_abs_diff").unwrap();
+        let x = extract_vectors(&fs, &a, &b, &[Pair::new(1, 0)]).unwrap();
+        assert!(x[0][idx].is_nan());
+    }
+
+    #[test]
+    fn out_of_range_pair_is_error() {
+        let (a, b) = tables();
+        let fs = auto_features(&a, &b, &FeatureOptions::default());
+        assert!(extract_vectors(&fs, &a, &b, &[Pair::new(9, 0)]).is_err());
+    }
+
+    #[test]
+    fn parallel_path_matches_serial() {
+        // Build enough pairs to cross the parallel threshold.
+        let (a, b) = tables();
+        let fs = auto_features(&a, &b, &FeatureOptions::default().with_case_insensitive());
+        let mut pairs = Vec::new();
+        for _ in 0..2000 {
+            pairs.push(Pair::new(0, 0));
+            pairs.push(Pair::new(0, 1));
+            pairs.push(Pair::new(1, 0));
+            pairs.push(Pair::new(1, 1));
+        }
+        let x = extract_vectors(&fs, &a, &b, &pairs).unwrap();
+        let serial = extract_vectors(&fs, &a, &b, &pairs[..4]).unwrap();
+        assert_eq!(x.len(), pairs.len());
+        for k in 0..4 {
+            for (u, v) in x[k].iter().zip(&serial[k]) {
+                assert!(u == v || (u.is_nan() && v.is_nan()));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_pairs_ok() {
+        let (a, b) = tables();
+        let fs = auto_features(&a, &b, &FeatureOptions::default());
+        assert!(extract_vectors(&fs, &a, &b, &[]).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,331 @@
+//! Individual similarity features: one `(attribute pair, measure)` pairing.
+//!
+//! A [`Feature`] turns a pair of cell values into one `f64`; a missing input
+//! yields `NaN` (imputed downstream, exactly as PyMatcher fills missing
+//! feature values with column means). Every string measure exists in a
+//! case-sensitive and a case-insensitive variant — adding the
+//! case-insensitive ones is precisely the Section 9 fix that promoted the
+//! decision tree to best matcher.
+
+use em_text::seq;
+use em_text::set;
+use em_text::tokenize::{AlphanumericTokenizer, QgramTokenizer, Tokenizer};
+use em_table::Value;
+
+/// The similarity measure a feature computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureKind {
+    /// Exact string equality (0/1).
+    ExactStr,
+    /// Levenshtein similarity.
+    LevSim,
+    /// Jaro similarity.
+    Jaro,
+    /// Jaro-Winkler similarity.
+    JaroWinkler,
+    /// Normalized Needleman-Wunsch score.
+    NeedlemanWunsch,
+    /// Normalized Smith-Waterman score.
+    SmithWaterman,
+    /// Jaccard over 3-grams — the canonical PyMatcher string feature.
+    JaccardQgram3,
+    /// Jaccard over word tokens.
+    JaccardWord,
+    /// Set cosine over word tokens.
+    CosineWord,
+    /// Overlap coefficient over word tokens.
+    OverlapCoeffWord,
+    /// Dice over 3-grams.
+    DiceQgram3,
+    /// Monge-Elkan (Jaro-Winkler inner) over word tokens.
+    MongeElkanJw,
+    /// Monge-Elkan with a Soundex 0/1 inner over word tokens — the
+    /// person-name signal of the paper's M3 hint ("matched by comparing
+    /// the individuals involved").
+    MongeElkanSoundex,
+    /// Numeric exact equality (0/1).
+    NumExact,
+    /// Numeric absolute difference.
+    NumAbsDiff,
+    /// Numeric relative similarity `1 − min(reldiff, 1)`.
+    NumRelSim,
+    /// Date gap in years (absolute).
+    DateYearGap,
+    /// Date exact equality (0/1).
+    DateExact,
+    /// Boolean equality (0/1).
+    BoolExact,
+}
+
+impl FeatureKind {
+    /// Short suffix used in feature names.
+    pub fn tag(&self) -> &'static str {
+        use FeatureKind::*;
+        match self {
+            ExactStr => "exact",
+            LevSim => "lev",
+            Jaro => "jaro",
+            JaroWinkler => "jw",
+            NeedlemanWunsch => "nw",
+            SmithWaterman => "sw",
+            JaccardQgram3 => "jac_q3",
+            JaccardWord => "jac_ws",
+            CosineWord => "cos_ws",
+            OverlapCoeffWord => "oc_ws",
+            DiceQgram3 => "dice_q3",
+            MongeElkanJw => "me_jw",
+            MongeElkanSoundex => "me_sdx",
+            NumExact => "num_exact",
+            NumAbsDiff => "abs_diff",
+            NumRelSim => "rel_sim",
+            DateYearGap => "year_gap",
+            DateExact => "date_exact",
+            BoolExact => "bool_exact",
+        }
+    }
+
+    /// True for measures computed on strings.
+    pub fn is_string_measure(&self) -> bool {
+        use FeatureKind::*;
+        matches!(
+            self,
+            ExactStr
+                | LevSim
+                | Jaro
+                | JaroWinkler
+                | NeedlemanWunsch
+                | SmithWaterman
+                | JaccardQgram3
+                | JaccardWord
+                | CosineWord
+                | OverlapCoeffWord
+                | DiceQgram3
+                | MongeElkanJw
+                | MongeElkanSoundex
+        )
+    }
+}
+
+/// One feature: a measure applied to an attribute pair, optionally
+/// case-folded first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Feature {
+    /// Unique feature name, e.g. `AwardTitle_jac_q3_lc`.
+    pub name: String,
+    /// Attribute in the left table.
+    pub left_attr: String,
+    /// Attribute in the right table.
+    pub right_attr: String,
+    /// The measure.
+    pub kind: FeatureKind,
+    /// Lowercase both strings before measuring (case-insensitive variant).
+    pub lowercase: bool,
+}
+
+impl Feature {
+    /// Builds a feature with the canonical name.
+    pub fn new(
+        left_attr: impl Into<String>,
+        right_attr: impl Into<String>,
+        kind: FeatureKind,
+        lowercase: bool,
+    ) -> Feature {
+        let left_attr = left_attr.into();
+        let right_attr = right_attr.into();
+        let lc = if lowercase { "_lc" } else { "" };
+        let name = if left_attr == right_attr {
+            format!("{left_attr}_{}{lc}", kind.tag())
+        } else {
+            format!("{left_attr}~{right_attr}_{}{lc}", kind.tag())
+        };
+        Feature { name, left_attr, right_attr, kind, lowercase }
+    }
+
+    /// Computes the feature value; `NaN` when either side is missing or not
+    /// of a usable type.
+    pub fn compute(&self, a: &Value, b: &Value) -> f64 {
+        if a.is_null() || b.is_null() {
+            return f64::NAN;
+        }
+        use FeatureKind::*;
+        match self.kind {
+            NumExact => nums(a, b).map_or(f64::NAN, |(x, y)| f64::from(x == y)),
+            NumAbsDiff => nums(a, b).map_or(f64::NAN, |(x, y)| (x - y).abs()),
+            NumRelSim => nums(a, b).map_or(f64::NAN, |(x, y)| {
+                let denom = x.abs().max(y.abs());
+                if denom == 0.0 {
+                    1.0
+                } else {
+                    1.0 - ((x - y).abs() / denom).min(1.0)
+                }
+            }),
+            DateYearGap => dates(a, b)
+                .map_or(f64::NAN, |(x, y)| (x.days_between(&y).abs() as f64) / 365.25),
+            DateExact => dates(a, b).map_or(f64::NAN, |(x, y)| f64::from(x == y)),
+            BoolExact => match (a.as_bool(), b.as_bool()) {
+                (Some(x), Some(y)) => f64::from(x == y),
+                _ => f64::NAN,
+            },
+            _ => {
+                // String measures operate on rendered text so that numeric
+                // identifiers stored as ints still compare as strings.
+                let (sa, sb) = (a.render(), b.render());
+                let (sa, sb) = if self.lowercase {
+                    (sa.to_lowercase(), sb.to_lowercase())
+                } else {
+                    (sa, sb)
+                };
+                self.string_measure(&sa, &sb)
+            }
+        }
+    }
+
+    fn string_measure(&self, a: &str, b: &str) -> f64 {
+        use FeatureKind::*;
+        let q3 = QgramTokenizer::new(3);
+        match self.kind {
+            ExactStr => f64::from(a == b),
+            LevSim => seq::levenshtein_sim(a, b),
+            Jaro => seq::jaro(a, b),
+            JaroWinkler => seq::jaro_winkler(a, b),
+            NeedlemanWunsch => seq::needleman_wunsch_sim(a, b),
+            SmithWaterman => seq::smith_waterman_sim(a, b),
+            JaccardQgram3 => set::jaccard(&q3.tokenize(a), &q3.tokenize(b)),
+            JaccardWord => {
+                set::jaccard(&AlphanumericTokenizer.tokenize(a), &AlphanumericTokenizer.tokenize(b))
+            }
+            CosineWord => {
+                set::cosine(&AlphanumericTokenizer.tokenize(a), &AlphanumericTokenizer.tokenize(b))
+            }
+            OverlapCoeffWord => set::overlap_coefficient(
+                &AlphanumericTokenizer.tokenize(a),
+                &AlphanumericTokenizer.tokenize(b),
+            ),
+            DiceQgram3 => set::dice(&q3.tokenize(a), &q3.tokenize(b)),
+            MongeElkanJw => set::monge_elkan_sym(
+                &AlphanumericTokenizer.tokenize(a),
+                &AlphanumericTokenizer.tokenize(b),
+                seq::jaro_winkler,
+            ),
+            MongeElkanSoundex => set::monge_elkan_sym(
+                &AlphanumericTokenizer.tokenize(a),
+                &AlphanumericTokenizer.tokenize(b),
+                em_text::phonetic::soundex_sim,
+            ),
+            _ => unreachable!("non-string kinds handled in compute"),
+        }
+    }
+}
+
+fn nums(a: &Value, b: &Value) -> Option<(f64, f64)> {
+    Some((a.as_f64()?, b.as_f64()?))
+}
+
+fn dates(a: &Value, b: &Value) -> Option<(em_table::Date, em_table::Date)> {
+    Some((a.as_date()?, b.as_date()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_table::Date;
+
+    fn s(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+
+    #[test]
+    fn names_are_canonical() {
+        let f = Feature::new("AwardTitle", "AwardTitle", FeatureKind::JaccardQgram3, false);
+        assert_eq!(f.name, "AwardTitle_jac_q3");
+        let g = Feature::new("A", "B", FeatureKind::LevSim, true);
+        assert_eq!(g.name, "A~B_lev_lc");
+    }
+
+    #[test]
+    fn missing_yields_nan() {
+        let f = Feature::new("t", "t", FeatureKind::JaccardQgram3, false);
+        assert!(f.compute(&Value::Null, &s("x")).is_nan());
+        assert!(f.compute(&s("x"), &Value::Null).is_nan());
+    }
+
+    #[test]
+    fn case_sensitivity_is_the_section9_story() {
+        // Same title, different case: the case-sensitive feature scores low,
+        // the case-insensitive variant scores 1.0.
+        let a = s("CORN FUNGICIDE GUIDELINES");
+        let b = s("Corn Fungicide Guidelines");
+        let cs = Feature::new("t", "t", FeatureKind::JaccardQgram3, false);
+        let ci = Feature::new("t", "t", FeatureKind::JaccardQgram3, true);
+        assert!(cs.compute(&a, &b) < 0.2, "case-sensitive q-grams barely overlap");
+        assert_eq!(ci.compute(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn numeric_features() {
+        let f = Feature::new("n", "n", FeatureKind::NumAbsDiff, false);
+        assert_eq!(f.compute(&Value::Int(10), &Value::Float(4.0)), 6.0);
+        let e = Feature::new("n", "n", FeatureKind::NumExact, false);
+        assert_eq!(e.compute(&Value::Int(3), &Value::Int(3)), 1.0);
+        let r = Feature::new("n", "n", FeatureKind::NumRelSim, false);
+        assert_eq!(r.compute(&Value::Int(5), &Value::Int(10)), 0.5);
+        assert_eq!(r.compute(&Value::Int(0), &Value::Int(0)), 1.0);
+    }
+
+    #[test]
+    fn numeric_feature_on_strings_is_nan() {
+        let f = Feature::new("n", "n", FeatureKind::NumAbsDiff, false);
+        assert!(f.compute(&s("ten"), &Value::Int(10)).is_nan());
+    }
+
+    #[test]
+    fn date_features() {
+        let d1 = Value::Date(Date::new(2008, 10, 1).unwrap());
+        let d2 = Value::Date(Date::new(2010, 10, 1).unwrap());
+        let gap = Feature::new("d", "d", FeatureKind::DateYearGap, false);
+        assert!((gap.compute(&d1, &d2) - 2.0).abs() < 0.01);
+        let ex = Feature::new("d", "d", FeatureKind::DateExact, false);
+        assert_eq!(ex.compute(&d1, &d1), 1.0);
+        assert_eq!(ex.compute(&d1, &d2), 0.0);
+    }
+
+    #[test]
+    fn string_measures_accept_rendered_numbers() {
+        let f = Feature::new("id", "id", FeatureKind::ExactStr, false);
+        assert_eq!(f.compute(&Value::Int(19449), &s("19449")), 1.0);
+    }
+
+    #[test]
+    fn all_string_kinds_bounded() {
+        use FeatureKind::*;
+        for kind in [
+            ExactStr, LevSim, Jaro, JaroWinkler, NeedlemanWunsch, SmithWaterman,
+            JaccardQgram3, JaccardWord, CosineWord, OverlapCoeffWord, DiceQgram3, MongeElkanJw,
+        ] {
+            let f = Feature::new("t", "t", kind, false);
+            let v = f.compute(&s("corn fungicide"), &s("corn fungicides"));
+            assert!((0.0..=1.0).contains(&v), "{kind:?} gave {v}");
+            let same = f.compute(&s("abc def"), &s("abc def"));
+            assert!((same - 1.0).abs() < 1e-9, "{kind:?} on equal strings gave {same}");
+        }
+    }
+
+    #[test]
+    fn soundex_monge_elkan_matches_name_variants() {
+        let f = Feature::new("EmployeeName", "EmployeeName", FeatureKind::MongeElkanSoundex, false);
+        let a = s("Paul Esker|Mary Smyth");
+        let b = s("Esker, P.|Smith, M.");
+        let v = f.compute(&a, &b);
+        assert!(v > 0.4, "soundex overlap on surnames expected, got {v}");
+        let unrelated = f.compute(&s("Paul Esker"), &s("Jones, K."));
+        assert!(unrelated < v);
+    }
+
+    #[test]
+    fn bool_exact() {
+        let f = Feature::new("b", "b", FeatureKind::BoolExact, false);
+        assert_eq!(f.compute(&Value::Bool(true), &Value::Bool(true)), 1.0);
+        assert_eq!(f.compute(&Value::Bool(true), &Value::Bool(false)), 0.0);
+        assert!(f.compute(&Value::Bool(true), &s("true")).is_nan());
+    }
+}

@@ -1,0 +1,206 @@
+//! Automatic feature generation — PyMatcher's "apply … to the schemas of
+//! the two tables to automatically generate a large set of features"
+//! (Section 9, footnote 7).
+//!
+//! Attributes are paired by identical name (the tables have been aligned in
+//! pre-processing); each pair's joint [`AttrType`] selects a menu of
+//! measures. [`FeatureOptions::case_insensitive`] additionally emits
+//! lowercase variants of every string feature — the Section 9 fix.
+
+use crate::feature::{Feature, FeatureKind};
+use crate::types::{infer_attr_type, joint_attr_type, AttrType};
+use em_table::Table;
+
+/// Options controlling automatic generation.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureOptions {
+    /// Attributes to skip entirely (ids, bookkeeping columns).
+    pub exclude: Vec<String>,
+    /// Also generate lowercase variants of every string feature.
+    pub case_insensitive: bool,
+}
+
+impl FeatureOptions {
+    /// Excludes the given attributes.
+    pub fn excluding(attrs: &[&str]) -> FeatureOptions {
+        FeatureOptions {
+            exclude: attrs.iter().map(|s| s.to_string()).collect(),
+            ..Default::default()
+        }
+    }
+
+    /// Enables case-insensitive variants.
+    pub fn with_case_insensitive(mut self) -> FeatureOptions {
+        self.case_insensitive = true;
+        self
+    }
+}
+
+/// An ordered set of features plus the names the ML layer will see.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureSet {
+    /// The features, in generation order.
+    pub features: Vec<Feature>,
+}
+
+impl FeatureSet {
+    /// Number of features.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// True when no features were generated.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Feature names in order (column names of the extracted matrix).
+    pub fn names(&self) -> Vec<String> {
+        self.features.iter().map(|f| f.name.clone()).collect()
+    }
+
+    /// Adds a hand-crafted feature (the escape hatch PyMatcher's scripting
+    /// layer offers).
+    pub fn push(&mut self, feature: Feature) {
+        self.features.push(feature);
+    }
+}
+
+/// The measure menu for a joint attribute type.
+fn menu(t: AttrType) -> &'static [FeatureKind] {
+    use FeatureKind::*;
+    match t {
+        AttrType::Numeric => &[NumExact, NumAbsDiff, NumRelSim],
+        AttrType::Date => &[DateExact, DateYearGap],
+        AttrType::Boolean => &[BoolExact],
+        AttrType::ShortString => {
+            &[ExactStr, LevSim, Jaro, JaroWinkler, NeedlemanWunsch, SmithWaterman, JaccardQgram3]
+        }
+        AttrType::LongText => &[
+            JaccardQgram3,
+            JaccardWord,
+            CosineWord,
+            OverlapCoeffWord,
+            DiceQgram3,
+            MongeElkanJw,
+            MongeElkanSoundex,
+        ],
+    }
+}
+
+/// Generates features for every same-named attribute pair of the two tables.
+pub fn auto_features(a: &Table, b: &Table, opts: &FeatureOptions) -> FeatureSet {
+    let mut out = FeatureSet::default();
+    for col in a.schema().columns() {
+        let name = &col.name;
+        if opts.exclude.iter().any(|e| e == name) || !b.schema().contains(name) {
+            continue;
+        }
+        let (Some(ta), Some(tb)) = (infer_attr_type(a, name), infer_attr_type(b, name)) else {
+            continue;
+        };
+        let Some(joint) = joint_attr_type(ta, tb) else {
+            continue;
+        };
+        for &kind in menu(joint) {
+            out.push(Feature::new(name, name, kind, false));
+            if opts.case_insensitive && kind.is_string_measure() {
+                out.push(Feature::new(name, name, kind, true));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_table::csv::read_str;
+
+    fn tables() -> (Table, Table) {
+        let a = read_str(
+            "A",
+            "RecordId,AwardNumber,AwardTitle,FirstTransDate,Amount\n\
+             0,10.200 2008-34103-19449,Development of IPM Based Corn Fungicide Guidelines,2008-10-01,100\n\
+             1,10.203 WIS01040,Swamp Dodder Applied Ecology and Management Production,2007-10-01,50\n",
+        )
+        .unwrap();
+        let b = read_str(
+            "B",
+            "RecordId,AwardNumber,AwardTitle,FirstTransDate,Amount\n\
+             0,2008-34103-19449,Development of IPM Based Corn Fungicide Guidelines,2008-08-15,100\n\
+             1,,Swamp Dodder Applied Ecology and Management in Carrots,2006-10-01,51\n",
+        )
+        .unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn generates_per_type_menus() {
+        let (a, b) = tables();
+        let fs = auto_features(&a, &b, &FeatureOptions::excluding(&["RecordId"]));
+        let names = fs.names();
+        // long-text title gets token measures
+        assert!(names.contains(&"AwardTitle_jac_q3".to_string()));
+        assert!(names.contains(&"AwardTitle_me_jw".to_string()));
+        // short-string award number gets edit measures
+        assert!(names.contains(&"AwardNumber_lev".to_string()));
+        assert!(names.contains(&"AwardNumber_jw".to_string()));
+        // date and numeric menus
+        assert!(names.contains(&"FirstTransDate_year_gap".to_string()));
+        assert!(names.contains(&"Amount_abs_diff".to_string()));
+        // excluded id produces nothing
+        assert!(!names.iter().any(|n| n.starts_with("RecordId")));
+    }
+
+    #[test]
+    fn case_insensitive_doubles_string_features() {
+        let (a, b) = tables();
+        let base = auto_features(&a, &b, &FeatureOptions::excluding(&["RecordId"]));
+        let ci = auto_features(
+            &a,
+            &b,
+            &FeatureOptions::excluding(&["RecordId"]).with_case_insensitive(),
+        );
+        let string_features = base
+            .features
+            .iter()
+            .filter(|f| f.kind.is_string_measure())
+            .count();
+        assert_eq!(ci.len(), base.len() + string_features);
+        assert!(ci.names().contains(&"AwardTitle_jac_q3_lc".to_string()));
+        // numeric/date features do not get lowercase variants
+        assert!(!ci.names().iter().any(|n| n == "Amount_abs_diff_lc"));
+    }
+
+    #[test]
+    fn only_shared_names_pair_up() {
+        let a = read_str("A", "x,y\n1,2\n").unwrap();
+        let b = read_str("B", "x,z\n1,2\n").unwrap();
+        let fs = auto_features(&a, &b, &FeatureOptions::default());
+        assert!(fs.names().iter().all(|n| n.starts_with("x_")));
+    }
+
+    #[test]
+    fn incompatible_types_skipped() {
+        let a = read_str("A", "v\n1\n2\n").unwrap(); // numeric
+        let b = read_str("B", "v\nabc\ndef\n").unwrap(); // string
+        let fs = auto_features(&a, &b, &FeatureOptions::default());
+        assert!(fs.is_empty());
+    }
+
+    #[test]
+    fn feature_names_unique() {
+        let (a, b) = tables();
+        let fs = auto_features(
+            &a,
+            &b,
+            &FeatureOptions::excluding(&["RecordId"]).with_case_insensitive(),
+        );
+        let mut names = fs.names();
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+}

@@ -1,0 +1,117 @@
+//! Attribute-type inference for feature generation.
+//!
+//! PyMatcher decides which similarity features to generate for an attribute
+//! pair from the attributes' types and string lengths (short strings get
+//! edit-distance-style measures; long texts get token-set measures). This
+//! module reproduces that triage.
+
+use em_table::{DataType, Table};
+
+/// The feature-generation type of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttrType {
+    /// Numeric (int or float).
+    Numeric,
+    /// Calendar date.
+    Date,
+    /// Boolean.
+    Boolean,
+    /// String averaging few words (≤ `SHORT_STRING_MAX_WORDS`).
+    ShortString,
+    /// String averaging many words (titles, descriptions, name lists).
+    LongText,
+}
+
+/// Strings averaging more than this many word tokens are treated as long
+/// text (PyMatcher's boundary between "short string" and "medium/long
+/// string" feature menus).
+pub const SHORT_STRING_MAX_WORDS: f64 = 4.0;
+
+/// Infers the feature type of a column by declared type, falling back to
+/// word-count statistics for strings. Columns with no non-null values are
+/// `ShortString` (the conservative menu).
+pub fn infer_attr_type(table: &Table, column: &str) -> Option<AttrType> {
+    let col = table.schema().column(column)?;
+    Some(match col.dtype {
+        DataType::Int | DataType::Float => AttrType::Numeric,
+        DataType::Date => AttrType::Date,
+        DataType::Bool => AttrType::Boolean,
+        DataType::Str | DataType::Any => {
+            let mut words = 0usize;
+            let mut n = 0usize;
+            for r in table.iter() {
+                if let Some(s) = r.str(column) {
+                    words += s.split_whitespace().count();
+                    n += 1;
+                }
+            }
+            if n > 0 && words as f64 / n as f64 > SHORT_STRING_MAX_WORDS {
+                AttrType::LongText
+            } else {
+                AttrType::ShortString
+            }
+        }
+    })
+}
+
+/// The joint type of an attribute pair: both sides must agree on the broad
+/// class; a short/long disagreement resolves to long text (the richer
+/// token-based menu still applies).
+pub fn joint_attr_type(a: AttrType, b: AttrType) -> Option<AttrType> {
+    use AttrType::*;
+    match (a, b) {
+        (Numeric, Numeric) => Some(Numeric),
+        (Date, Date) => Some(Date),
+        (Boolean, Boolean) => Some(Boolean),
+        (ShortString, ShortString) => Some(ShortString),
+        (LongText, LongText) | (ShortString, LongText) | (LongText, ShortString) => {
+            Some(LongText)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_table::csv::read_str;
+
+    #[test]
+    fn numeric_and_date_by_declared_type() {
+        let t = read_str("t", "n,d\n1,2008-10-01\n2,2009-01-01\n").unwrap();
+        assert_eq!(infer_attr_type(&t, "n"), Some(AttrType::Numeric));
+        assert_eq!(infer_attr_type(&t, "d"), Some(AttrType::Date));
+    }
+
+    #[test]
+    fn short_vs_long_strings_by_word_count() {
+        let t = read_str(
+            "t",
+            "id,title\nW1,Development of IPM Based Corn Fungicide Guidelines\nW2,Swamp Dodder Applied Ecology and Management\n",
+        )
+        .unwrap();
+        assert_eq!(infer_attr_type(&t, "id"), Some(AttrType::ShortString));
+        assert_eq!(infer_attr_type(&t, "title"), Some(AttrType::LongText));
+    }
+
+    #[test]
+    fn empty_column_defaults_short() {
+        let t = read_str("t", "a,b\n,1\n,2\n").unwrap();
+        assert_eq!(infer_attr_type(&t, "a"), Some(AttrType::ShortString));
+    }
+
+    #[test]
+    fn missing_column_is_none() {
+        let t = read_str("t", "a\n1\n").unwrap();
+        assert_eq!(infer_attr_type(&t, "nope"), None);
+    }
+
+    #[test]
+    fn joint_types() {
+        use AttrType::*;
+        assert_eq!(joint_attr_type(Numeric, Numeric), Some(Numeric));
+        assert_eq!(joint_attr_type(ShortString, LongText), Some(LongText));
+        assert_eq!(joint_attr_type(Numeric, ShortString), None);
+        assert_eq!(joint_attr_type(Date, Numeric), None);
+    }
+}

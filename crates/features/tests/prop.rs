@@ -1,0 +1,98 @@
+//! Property-based tests for feature computation.
+
+use em_features::{Feature, FeatureKind};
+use em_table::{Date, Value};
+use proptest::prelude::*;
+
+fn text() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[A-Za-z0-9 ]{0,30}").expect("valid regex")
+}
+
+const STRING_KINDS: &[FeatureKind] = &[
+    FeatureKind::ExactStr,
+    FeatureKind::LevSim,
+    FeatureKind::Jaro,
+    FeatureKind::JaroWinkler,
+    FeatureKind::NeedlemanWunsch,
+    FeatureKind::SmithWaterman,
+    FeatureKind::JaccardQgram3,
+    FeatureKind::JaccardWord,
+    FeatureKind::CosineWord,
+    FeatureKind::OverlapCoeffWord,
+    FeatureKind::DiceQgram3,
+    FeatureKind::MongeElkanJw,
+];
+
+proptest! {
+    /// Every string measure is bounded in [0,1], scores 1 on identical
+    /// strings, and is symmetric.
+    #[test]
+    fn string_features_bounded_symmetric(a in text(), b in text()) {
+        for &kind in STRING_KINDS {
+            let f = Feature::new("t", "t", kind, false);
+            let ab = f.compute(&Value::Str(a.clone()), &Value::Str(b.clone()));
+            let ba = f.compute(&Value::Str(b.clone()), &Value::Str(a.clone()));
+            prop_assert!((0.0..=1.0).contains(&ab), "{kind:?} gave {ab} for ({a:?}, {b:?})");
+            prop_assert!((ab - ba).abs() < 1e-9, "{kind:?} asymmetric: {ab} vs {ba}");
+            let aa = f.compute(&Value::Str(a.clone()), &Value::Str(a.clone()));
+            prop_assert!((aa - 1.0).abs() < 1e-9, "{kind:?} self-sim {aa} for {a:?}");
+        }
+    }
+
+    /// The case-insensitive variant dominates or equals the case-sensitive
+    /// score whenever the strings differ only by case.
+    #[test]
+    fn lowercase_variant_fixes_case_mangling(a in text()) {
+        let upper = Value::Str(a.to_uppercase());
+        let lower = Value::Str(a.to_lowercase());
+        for &kind in STRING_KINDS {
+            let ci = Feature::new("t", "t", kind, true);
+            let v = ci.compute(&upper, &lower);
+            prop_assert!((v - 1.0).abs() < 1e-9, "{kind:?} case-insensitive gave {v} on {a:?}");
+        }
+    }
+
+    /// Null on either side always yields NaN, for every kind.
+    #[test]
+    fn nulls_always_nan(a in text(), lowercase in any::<bool>()) {
+        for &kind in STRING_KINDS {
+            let f = Feature::new("t", "t", kind, lowercase);
+            prop_assert!(f.compute(&Value::Null, &Value::Str(a.clone())).is_nan());
+            prop_assert!(f.compute(&Value::Str(a.clone()), &Value::Null).is_nan());
+        }
+    }
+
+    /// Numeric features: abs diff is symmetric and zero iff equal; rel sim
+    /// is bounded and 1 iff equal.
+    #[test]
+    fn numeric_feature_laws(x in -1e6f64..1e6, y in -1e6f64..1e6) {
+        let abs = Feature::new("n", "n", FeatureKind::NumAbsDiff, false);
+        let d_xy = abs.compute(&Value::Float(x), &Value::Float(y));
+        let d_yx = abs.compute(&Value::Float(y), &Value::Float(x));
+        prop_assert!((d_xy - d_yx).abs() < 1e-9);
+        prop_assert_eq!(d_xy == 0.0, x == y);
+
+        let rel = Feature::new("n", "n", FeatureKind::NumRelSim, false);
+        let r = rel.compute(&Value::Float(x), &Value::Float(y));
+        prop_assert!((0.0..=1.0).contains(&r));
+        if x == y {
+            prop_assert!((r - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Date year-gap is symmetric, non-negative, and zero for equal dates.
+    #[test]
+    fn date_gap_laws(
+        y1 in 1990i32..2030, m1 in 1u8..=12, d1 in 1u8..=28,
+        y2 in 1990i32..2030, m2 in 1u8..=12, d2 in 1u8..=28,
+    ) {
+        let gap = Feature::new("d", "d", FeatureKind::DateYearGap, false);
+        let a = Value::Date(Date::new(y1, m1, d1).unwrap());
+        let b = Value::Date(Date::new(y2, m2, d2).unwrap());
+        let ab = gap.compute(&a, &b);
+        let ba = gap.compute(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!(ab >= 0.0);
+        prop_assert_eq!(gap.compute(&a, &a), 0.0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Cross-validation and matcher selection.
+//!
+//! Section 9 selects "the best (i.e., the most accurate) matcher using
+//! five-fold cross validation", ranking six learners by mean F1;
+//! [`select_matcher`] reproduces that procedure. Leave-one-out prediction
+//! ([`leave_one_out_predictions`]) backs the Section 8 *label debugging*
+//! step, which flags labeled pairs whose held-out prediction disagrees with
+//! the expert label.
+
+use crate::dataset::Dataset;
+use crate::error::MlError;
+use crate::metrics::Confusion;
+use crate::model::Learner;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Splits `0..n` into `k` near-equal shuffled folds.
+pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Result<Vec<Vec<usize>>, MlError> {
+    if k < 2 {
+        return Err(MlError::BadParameter(format!("k-fold needs k >= 2, got {k}")));
+    }
+    if n < k {
+        return Err(MlError::BadParameter(format!("{n} examples cannot fill {k} folds")));
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(seed));
+    let mut folds = vec![Vec::with_capacity(n / k + 1); k];
+    for (pos, i) in order.into_iter().enumerate() {
+        folds[pos % k].push(i);
+    }
+    Ok(folds)
+}
+
+/// Stratified k-fold: positives and negatives are distributed separately so
+/// every fold sees roughly the training positive rate — important when
+/// matches are rare, as they are after blocking.
+pub fn stratified_kfold_indices(
+    y: &[bool],
+    k: usize,
+    seed: u64,
+) -> Result<Vec<Vec<usize>>, MlError> {
+    if k < 2 {
+        return Err(MlError::BadParameter(format!("k-fold needs k >= 2, got {k}")));
+    }
+    let mut pos: Vec<usize> = (0..y.len()).filter(|&i| y[i]).collect();
+    let mut neg: Vec<usize> = (0..y.len()).filter(|&i| !y[i]).collect();
+    if pos.len() < k || neg.len() < k {
+        // Not enough of one class to stratify; fall back to plain folding.
+        return kfold_indices(y.len(), k, seed);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    pos.shuffle(&mut rng);
+    neg.shuffle(&mut rng);
+    let mut folds = vec![Vec::new(); k];
+    for (p, i) in pos.into_iter().enumerate() {
+        folds[p % k].push(i);
+    }
+    for (p, i) in neg.into_iter().enumerate() {
+        folds[p % k].push(i);
+    }
+    Ok(folds)
+}
+
+/// Per-fold and averaged scores from one cross-validation run.
+#[derive(Debug, Clone)]
+pub struct CvResult {
+    /// Learner display name.
+    pub learner: String,
+    /// One confusion matrix per fold.
+    pub folds: Vec<Confusion>,
+}
+
+impl CvResult {
+    /// Mean precision over folds.
+    pub fn precision(&self) -> f64 {
+        mean(self.folds.iter().map(Confusion::precision))
+    }
+    /// Mean recall over folds.
+    pub fn recall(&self) -> f64 {
+        mean(self.folds.iter().map(Confusion::recall))
+    }
+    /// Mean F1 over folds — the selection criterion.
+    pub fn f1(&self) -> f64 {
+        mean(self.folds.iter().map(Confusion::f1))
+    }
+}
+
+fn mean(it: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0, 0usize);
+    for v in it {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Runs stratified k-fold cross-validation for one learner.
+pub fn cross_validate(
+    learner: &dyn Learner,
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+) -> Result<CvResult, MlError> {
+    let folds = stratified_kfold_indices(&data.y, k, seed)?;
+    let mut results = Vec::with_capacity(k);
+    for test_fold in &folds {
+        let train_idx: Vec<usize> = folds
+            .iter()
+            .filter(|f| !std::ptr::eq(*f, test_fold))
+            .flatten()
+            .copied()
+            .collect();
+        let train = data.subset(&train_idx);
+        let model = learner.fit(&train)?;
+        let predicted: Vec<bool> =
+            test_fold.iter().map(|&i| model.predict(&data.x[i])).collect();
+        let actual: Vec<bool> = test_fold.iter().map(|&i| data.y[i]).collect();
+        results.push(Confusion::from_predictions(&predicted, &actual));
+    }
+    Ok(CvResult { learner: learner.name(), folds: results })
+}
+
+/// Cross-validates every learner and ranks by mean F1 (descending,
+/// name-tie-broken for determinism). The first entry is "the best matcher".
+pub fn select_matcher(
+    learners: &[&dyn Learner],
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+) -> Result<Vec<CvResult>, MlError> {
+    let mut rows: Vec<CvResult> = learners
+        .iter()
+        .map(|l| cross_validate(*l, data, k, seed))
+        .collect::<Result<_, _>>()?;
+    rows.sort_by(|a, b| {
+        b.f1()
+            .partial_cmp(&a.f1())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.learner.cmp(&b.learner))
+    });
+    Ok(rows)
+}
+
+/// For every example, trains on all the others and predicts it — the
+/// leave-one-out pass used to debug labels in Section 8.
+///
+/// `O(n)` model fits: intended for the small labeled sets it is used on
+/// (hundreds of pairs).
+pub fn leave_one_out_predictions(
+    learner: &dyn Learner,
+    data: &Dataset,
+) -> Result<Vec<bool>, MlError> {
+    if data.len() < 2 {
+        return Err(MlError::BadParameter("leave-one-out needs >= 2 examples".to_string()));
+    }
+    let mut out = Vec::with_capacity(data.len());
+    for i in 0..data.len() {
+        let train_idx: Vec<usize> = (0..data.len()).filter(|&j| j != i).collect();
+        let model = learner.fit(&data.subset(&train_idx))?;
+        out.push(model.predict(&data.x[i]));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::DecisionTreeLearner;
+
+    fn dataset(n: usize) -> Dataset {
+        // Separable: y = f0 > 0.5, with 30% positives.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let v = (i % 10) as f64 / 10.0;
+            x.push(vec![v]);
+            y.push(v > 0.65);
+        }
+        Dataset::new(vec!["f0".into()], x, y).unwrap()
+    }
+
+    #[test]
+    fn kfold_partitions_everything_once() {
+        let folds = kfold_indices(23, 5, 1).unwrap();
+        assert_eq!(folds.len(), 5);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..23).collect::<Vec<_>>());
+        for f in &folds {
+            assert!(f.len() == 4 || f.len() == 5);
+        }
+    }
+
+    #[test]
+    fn kfold_rejects_bad_k() {
+        assert!(kfold_indices(10, 1, 0).is_err());
+        assert!(kfold_indices(3, 5, 0).is_err());
+    }
+
+    #[test]
+    fn stratified_folds_balance_positives() {
+        let y: Vec<bool> = (0..100).map(|i| i % 5 == 0).collect(); // 20 positives
+        let folds = stratified_kfold_indices(&y, 5, 3).unwrap();
+        for f in &folds {
+            let pos = f.iter().filter(|&&i| y[i]).count();
+            assert_eq!(pos, 4, "each fold should hold 4 of the 20 positives");
+        }
+    }
+
+    #[test]
+    fn stratified_falls_back_when_class_too_small() {
+        let y = vec![true, false, false, false, false, false];
+        let folds = stratified_kfold_indices(&y, 3, 3).unwrap();
+        let total: usize = folds.iter().map(Vec::len).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn cross_validate_scores_separable_data_high() {
+        let d = dataset(100);
+        let cv = cross_validate(&DecisionTreeLearner::default(), &d, 5, 1).unwrap();
+        assert_eq!(cv.folds.len(), 5);
+        assert!(cv.f1() > 0.95, "f1 = {}", cv.f1());
+    }
+
+    #[test]
+    fn select_matcher_ranks_by_f1() {
+        let d = dataset(100);
+        let dt = DecisionTreeLearner::default();
+        let stump = DecisionTreeLearner { max_depth: 0, ..Default::default() };
+        let ranked = select_matcher(&[&stump, &dt], &d, 5, 1).unwrap();
+        assert_eq!(ranked.len(), 2);
+        assert!(ranked[0].f1() >= ranked[1].f1());
+        assert!(ranked[0].f1() > 0.9);
+    }
+
+    #[test]
+    fn loo_flags_mislabeled_point() {
+        // One deliberately wrong label in otherwise clean data.
+        let mut d = dataset(60);
+        let flip = d.y.iter().position(|&b| b).unwrap();
+        d.y[flip] = false;
+        let preds = leave_one_out_predictions(&DecisionTreeLearner::default(), &d).unwrap();
+        assert!(preds[flip], "held-out prediction should disagree with the bad label");
+        let mismatches = preds.iter().zip(&d.y).filter(|(p, a)| p != a).count();
+        assert!(mismatches <= 5, "only a few mismatches expected, got {mismatches}");
+    }
+
+    #[test]
+    fn loo_needs_two_examples() {
+        let d = Dataset::new(vec!["f".into()], vec![vec![0.0]], vec![true]).unwrap();
+        assert!(leave_one_out_predictions(&DecisionTreeLearner::default(), &d).is_err());
+    }
+
+    #[test]
+    fn cv_deterministic_in_seed() {
+        let d = dataset(80);
+        let a = cross_validate(&DecisionTreeLearner::default(), &d, 4, 9).unwrap();
+        let b = cross_validate(&DecisionTreeLearner::default(), &d, 4, 9).unwrap();
+        assert_eq!(a.folds, b.folds);
+    }
+}

@@ -1,0 +1,219 @@
+//! Feature datasets: the matrix a matcher is trained on.
+//!
+//! A [`Dataset`] is a dense `f64` matrix plus boolean labels. Missing feature
+//! values are `NaN` at construction time and must be imputed (PyMatcher
+//! "filled in the missing values … with the mean values of the respective
+//! columns" — [`Imputer`] reproduces exactly that, and is fitted on training
+//! data so the same means are reused at prediction time).
+
+use crate::error::MlError;
+
+/// A labeled feature matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Feature names, one per column.
+    pub feature_names: Vec<String>,
+    /// Row-major feature matrix; `NaN` marks a missing value.
+    pub x: Vec<Vec<f64>>,
+    /// Binary labels (`true` = match).
+    pub y: Vec<bool>,
+}
+
+impl Dataset {
+    /// Builds a dataset, validating shapes.
+    pub fn new(
+        feature_names: Vec<String>,
+        x: Vec<Vec<f64>>,
+        y: Vec<bool>,
+    ) -> Result<Dataset, MlError> {
+        if x.len() != y.len() {
+            return Err(MlError::ShapeMismatch(format!(
+                "{} rows but {} labels",
+                x.len(),
+                y.len()
+            )));
+        }
+        for (i, row) in x.iter().enumerate() {
+            if row.len() != feature_names.len() {
+                return Err(MlError::ShapeMismatch(format!(
+                    "row {i} has {} features, expected {}",
+                    row.len(),
+                    feature_names.len()
+                )));
+            }
+        }
+        Ok(Dataset { feature_names, x, y })
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Number of feature columns.
+    pub fn n_features(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// Number of positive labels.
+    pub fn n_positive(&self) -> usize {
+        self.y.iter().filter(|&&b| b).count()
+    }
+
+    /// A new dataset containing the given row indices, in order.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            feature_names: self.feature_names.clone(),
+            x: indices.iter().map(|&i| self.x[i].clone()).collect(),
+            y: indices.iter().map(|&i| self.y[i]).collect(),
+        }
+    }
+
+    /// Verifies every value is finite (call after imputation, before fit).
+    pub fn check_finite(&self) -> Result<(), MlError> {
+        for (r, row) in self.x.iter().enumerate() {
+            for (c, v) in row.iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(MlError::NonFiniteFeature { row: r, col: c });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Column-mean imputer fitted on training data.
+///
+/// Columns that are entirely missing in the fit data impute to `0.0` (an
+/// arbitrary but deterministic constant — the model sees the same value at
+/// train and predict time, so it carries no signal).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Imputer {
+    /// Per-column fill values.
+    pub means: Vec<f64>,
+}
+
+impl Imputer {
+    /// Learns per-column means over the finite values of `x`.
+    pub fn fit(x: &[Vec<f64>], n_features: usize) -> Imputer {
+        let mut sums = vec![0.0f64; n_features];
+        let mut counts = vec![0usize; n_features];
+        for row in x {
+            for (c, v) in row.iter().enumerate() {
+                if v.is_finite() {
+                    sums[c] += v;
+                    counts[c] += 1;
+                }
+            }
+        }
+        let means = sums
+            .into_iter()
+            .zip(counts)
+            .map(|(s, n)| if n == 0 { 0.0 } else { s / n as f64 })
+            .collect();
+        Imputer { means }
+    }
+
+    /// Replaces non-finite values in a single row with the fitted means.
+    pub fn transform_row(&self, row: &mut [f64]) {
+        for (c, v) in row.iter_mut().enumerate() {
+            if !v.is_finite() {
+                *v = self.means[c];
+            }
+        }
+    }
+
+    /// Replaces non-finite values in a whole matrix.
+    pub fn transform(&self, x: &mut [Vec<f64>]) {
+        for row in x {
+            self.transform_row(row);
+        }
+    }
+}
+
+/// Convenience: fit an imputer on the dataset and apply it in place,
+/// returning the imputer for later use on unseen rows.
+pub fn impute_mean(data: &mut Dataset) -> Imputer {
+    let imputer = Imputer::fit(&data.x, data.n_features());
+    imputer.transform(&mut data.x);
+    imputer
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("f{i}")).collect()
+    }
+
+    #[test]
+    fn new_validates_shapes() {
+        assert!(Dataset::new(names(2), vec![vec![1.0]], vec![true]).is_err());
+        assert!(Dataset::new(names(1), vec![vec![1.0]], vec![true, false]).is_err());
+        assert!(Dataset::new(names(1), vec![vec![1.0]], vec![true]).is_ok());
+    }
+
+    #[test]
+    fn subset_picks_rows() {
+        let d = Dataset::new(
+            names(1),
+            vec![vec![0.0], vec![1.0], vec![2.0]],
+            vec![false, true, false],
+        )
+        .unwrap();
+        let s = d.subset(&[2, 0]);
+        assert_eq!(s.x, vec![vec![2.0], vec![0.0]]);
+        assert_eq!(s.y, vec![false, false]);
+    }
+
+    #[test]
+    fn imputer_fills_with_column_means() {
+        let mut d = Dataset::new(
+            names(2),
+            vec![vec![1.0, f64::NAN], vec![3.0, 10.0], vec![f64::NAN, 20.0]],
+            vec![true, false, true],
+        )
+        .unwrap();
+        let imp = impute_mean(&mut d);
+        assert_eq!(imp.means, vec![2.0, 15.0]);
+        assert_eq!(d.x[0][1], 15.0);
+        assert_eq!(d.x[2][0], 2.0);
+        d.check_finite().unwrap();
+    }
+
+    #[test]
+    fn imputer_applies_to_unseen_rows() {
+        let imp = Imputer { means: vec![5.0, 6.0] };
+        let mut row = vec![f64::NAN, 1.0];
+        imp.transform_row(&mut row);
+        assert_eq!(row, vec![5.0, 1.0]);
+    }
+
+    #[test]
+    fn all_missing_column_imputes_zero() {
+        let imp = Imputer::fit(&[vec![f64::NAN], vec![f64::NAN]], 1);
+        assert_eq!(imp.means, vec![0.0]);
+    }
+
+    #[test]
+    fn check_finite_reports_position() {
+        let d = Dataset::new(names(2), vec![vec![1.0, f64::INFINITY]], vec![true]).unwrap();
+        assert_eq!(
+            d.check_finite(),
+            Err(MlError::NonFiniteFeature { row: 0, col: 1 })
+        );
+    }
+
+    #[test]
+    fn n_positive_counts() {
+        let d =
+            Dataset::new(names(1), vec![vec![0.0]; 3], vec![true, false, true]).unwrap();
+        assert_eq!(d.n_positive(), 2);
+    }
+}

@@ -1,0 +1,40 @@
+//! Error type for ML operations.
+
+use std::fmt;
+
+/// Errors raised while building datasets or fitting/evaluating models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MlError {
+    /// Training data was empty.
+    EmptyTrainingSet,
+    /// Rows disagree on feature count, or labels/rows differ in length.
+    ShapeMismatch(String),
+    /// A feature value was NaN/infinite where a finite value is required
+    /// (impute before fitting).
+    NonFiniteFeature {
+        /// Row index of the offending value.
+        row: usize,
+        /// Column index of the offending value.
+        col: usize,
+    },
+    /// Training data contained a single class where two are required.
+    SingleClass,
+    /// A parameter was out of range (e.g. `k < 2` folds).
+    BadParameter(String),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::EmptyTrainingSet => write!(f, "empty training set"),
+            MlError::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
+            MlError::NonFiniteFeature { row, col } => {
+                write!(f, "non-finite feature at row {row}, column {col} (impute first)")
+            }
+            MlError::SingleClass => write!(f, "training set has a single class"),
+            MlError::BadParameter(m) => write!(f, "bad parameter: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}

@@ -1,0 +1,198 @@
+//! Random forests: bagged CART trees with per-split feature subsetting —
+//! the matcher that won the case study's first selection round before the
+//! case-insensitive feature fix (Section 9).
+
+use crate::dataset::Dataset;
+use crate::error::MlError;
+use crate::model::{validate_training, Learner, Model};
+use crate::tree::{seeded_rng, DecisionTreeLearner, DecisionTreeModel};
+use rand::Rng;
+
+/// Hyper-parameters for a random forest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomForestLearner {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree parameters.
+    pub tree: DecisionTreeLearner,
+    /// Features considered per split; `None` → `ceil(sqrt(d))`.
+    pub mtry: Option<usize>,
+    /// RNG seed for bootstrap sampling and feature subsetting.
+    pub seed: u64,
+}
+
+impl Default for RandomForestLearner {
+    fn default() -> Self {
+        RandomForestLearner {
+            n_trees: 25,
+            tree: DecisionTreeLearner::default(),
+            mtry: None,
+            seed: 7,
+        }
+    }
+}
+
+/// A fitted forest: mean of member-tree probabilities.
+pub struct RandomForestModel {
+    trees: Vec<DecisionTreeModel>,
+}
+
+impl RandomForestModel {
+    /// Number of member trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Mean Gini feature importance over the member trees, normalized to
+    /// sum to 1 (zeros if no tree split at all).
+    pub fn feature_importance(&self, n_features: usize) -> Vec<f64> {
+        let mut acc = vec![0.0; n_features];
+        for t in &self.trees {
+            for (slot, v) in acc.iter_mut().zip(t.feature_importance(n_features)) {
+                *slot += v;
+            }
+        }
+        let total: f64 = acc.iter().sum();
+        if total > 0.0 {
+            for v in &mut acc {
+                *v /= total;
+            }
+        }
+        acc
+    }
+}
+
+impl Model for RandomForestModel {
+    fn predict_proba(&self, row: &[f64]) -> f64 {
+        if self.trees.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self.trees.iter().map(|t| t.predict_proba(row)).sum();
+        sum / self.trees.len() as f64
+    }
+}
+
+impl RandomForestLearner {
+    /// Like [`Learner::fit`] but returns the concrete model, for callers
+    /// that need [`RandomForestModel::feature_importance`].
+    pub fn fit_forest(&self, data: &Dataset) -> Result<RandomForestModel, MlError> {
+        validate_training(data)?;
+        if self.n_trees == 0 {
+            return Err(MlError::BadParameter("n_trees must be >= 1".to_string()));
+        }
+        let d = data.n_features();
+        let mtry = self
+            .mtry
+            .unwrap_or_else(|| (d as f64).sqrt().ceil() as usize)
+            .clamp(1, d.max(1));
+        let mut rng = seeded_rng(self.seed);
+        let n = data.len();
+        let mut trees = Vec::with_capacity(self.n_trees);
+        for _ in 0..self.n_trees {
+            // Bootstrap sample: n draws with replacement.
+            let idx: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+            trees.push(self.tree.fit_on_indices(&data.x, &data.y, &idx, mtry, &mut rng));
+        }
+        Ok(RandomForestModel { trees })
+    }
+}
+
+impl Learner for RandomForestLearner {
+    fn name(&self) -> String {
+        "Random Forest".to_string()
+    }
+
+    fn fit(&self, data: &Dataset) -> Result<Box<dyn Model>, MlError> {
+        Ok(Box::new(self.fit_forest(data)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn noisy_threshold_data(n: usize, seed: u64) -> Dataset {
+        // y = (f0 + small noise) > 0.5, plus an irrelevant feature
+        let mut rng = seeded_rng(seed);
+        let mut x = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v: f64 = rng.gen();
+            let noise: f64 = rng.gen_range(-0.05..0.05);
+            let junk: f64 = rng.gen();
+            x.push(vec![v, junk]);
+            y.push(v + noise > 0.5);
+        }
+        Dataset::new(vec!["signal".into(), "junk".into()], x, y).unwrap()
+    }
+
+    #[test]
+    fn forest_learns_noisy_threshold() {
+        let d = noisy_threshold_data(300, 1);
+        let m = RandomForestLearner::default().fit(&d).unwrap();
+        assert!(m.predict(&[0.95, 0.5]));
+        assert!(!m.predict(&[0.05, 0.5]));
+    }
+
+    #[test]
+    fn forest_probability_is_mean_of_trees() {
+        let d = noisy_threshold_data(100, 2);
+        let m = RandomForestLearner { n_trees: 5, ..Default::default() }.fit(&d).unwrap();
+        let p = m.predict_proba(&[0.9, 0.0]);
+        assert!((0.0..=1.0).contains(&p));
+        assert!(p > 0.5);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let d = noisy_threshold_data(120, 3);
+        let l = RandomForestLearner { seed: 42, ..Default::default() };
+        let m1 = l.fit(&d).unwrap();
+        let m2 = l.fit(&d).unwrap();
+        for v in [0.1, 0.4, 0.6, 0.9] {
+            assert_eq!(m1.predict_proba(&[v, 0.3]), m2.predict_proba(&[v, 0.3]));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ_somewhere() {
+        let d = noisy_threshold_data(120, 3);
+        let m1 = RandomForestLearner { seed: 1, ..Default::default() }.fit(&d).unwrap();
+        let m2 = RandomForestLearner { seed: 2, ..Default::default() }.fit(&d).unwrap();
+        let differs = (0..100).any(|i| {
+            let v = i as f64 / 100.0;
+            (m1.predict_proba(&[v, 0.5]) - m2.predict_proba(&[v, 0.5])).abs() > 1e-12
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn forest_importance_finds_signal() {
+        let d = noisy_threshold_data(200, 9);
+        let learner = RandomForestLearner::default();
+        let forest = learner.fit_forest(&d).unwrap();
+        let imp = forest.feature_importance(2);
+        assert!(imp[0] > 0.8, "signal feature under-credited: {imp:?}");
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_trees_is_an_error() {
+        let d = noisy_threshold_data(10, 4);
+        let l = RandomForestLearner { n_trees: 0, ..Default::default() };
+        assert!(l.fit(&d).is_err());
+    }
+
+    #[test]
+    fn single_class_training_predicts_that_class() {
+        let d = Dataset::new(
+            vec!["f".into()],
+            vec![vec![0.0], vec![1.0], vec![2.0]],
+            vec![true, true, true],
+        )
+        .unwrap();
+        let m = RandomForestLearner::default().fit(&d).unwrap();
+        assert!(m.predict(&[7.0]));
+    }
+}

@@ -1,0 +1,224 @@
+//! Evaluation metrics: confusion matrix, precision, recall, F1.
+
+/// Counts of prediction outcomes against reference labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Confusion {
+    /// Predicted match, labeled match.
+    pub tp: usize,
+    /// Predicted match, labeled non-match.
+    pub fp: usize,
+    /// Predicted non-match, labeled non-match.
+    pub tn: usize,
+    /// Predicted non-match, labeled match.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Tallies predictions against labels. Panics in debug builds if the
+    /// slices disagree in length (programming error, not data error).
+    pub fn from_predictions(predicted: &[bool], actual: &[bool]) -> Confusion {
+        debug_assert_eq!(predicted.len(), actual.len());
+        let mut c = Confusion::default();
+        for (&p, &a) in predicted.iter().zip(actual) {
+            match (p, a) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Merges two confusion matrices (summing counts).
+    pub fn merge(&self, other: &Confusion) -> Confusion {
+        Confusion {
+            tp: self.tp + other.tp,
+            fp: self.fp + other.fp,
+            tn: self.tn + other.tn,
+            fn_: self.fn_ + other.fn_,
+        }
+    }
+
+    /// Total examples.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Precision `tp / (tp + fp)`; `1.0` when nothing was predicted
+    /// positive (the vacuous-precision convention the paper's 100%-precision
+    /// IRIS baseline relies on).
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            1.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)`; `1.0` when there are no actual positives.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            1.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// F1: harmonic mean of precision and recall (`0.0` when both are 0).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Accuracy `(tp + tn) / total`; `1.0` on empty input.
+    pub fn accuracy(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            1.0
+        } else {
+            (self.tp + self.tn) as f64 / t as f64
+        }
+    }
+}
+
+/// Area under the ROC curve from scores and labels, by the rank statistic
+/// (probability a random positive outscores a random negative; ties count
+/// half). Returns `None` when either class is absent — AUC is undefined.
+pub fn roc_auc(scores: &[f64], labels: &[bool]) -> Option<f64> {
+    debug_assert_eq!(scores.len(), labels.len());
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return None;
+    }
+    // Rank-sum (Mann-Whitney U): sort by score, assign average ranks.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&i, &j| {
+        scores[i].partial_cmp(&scores[j]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < order.len() {
+        // Tie group [i, j): average rank over the group.
+        let mut j = i + 1;
+        while j < order.len() && scores[order[j]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = ((i + 1 + j) as f64) / 2.0; // 1-based ranks i+1 ..= j
+        for &k in &order[i..j] {
+            if labels[k] {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j;
+    }
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    Some(u / (n_pos * n_neg) as f64)
+}
+
+impl std::fmt::Display for Confusion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "tp={} fp={} tn={} fn={} | P={:.1}% R={:.1}% F1={:.1}%",
+            self.tp,
+            self.fp,
+            self.tn,
+            self.fn_,
+            100.0 * self.precision(),
+            100.0 * self.recall(),
+            100.0 * self.f1()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tallies_outcomes() {
+        let c = Confusion::from_predictions(
+            &[true, true, false, false, true],
+            &[true, false, false, true, true],
+        );
+        assert_eq!(c, Confusion { tp: 2, fp: 1, tn: 1, fn_: 1 });
+    }
+
+    #[test]
+    fn perfect_prediction() {
+        let c = Confusion::from_predictions(&[true, false], &[true, false]);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+        assert_eq!(c.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn known_fractions() {
+        let c = Confusion { tp: 3, fp: 1, tn: 5, fn_: 1 };
+        assert!((c.precision() - 0.75).abs() < 1e-12);
+        assert!((c.recall() - 0.75).abs() < 1e-12);
+        assert!((c.f1() - 0.75).abs() < 1e-12);
+        assert!((c.accuracy() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_conventions() {
+        let none_predicted = Confusion { tp: 0, fp: 0, tn: 4, fn_: 2 };
+        assert_eq!(none_predicted.precision(), 1.0);
+        assert_eq!(none_predicted.recall(), 0.0);
+        assert_eq!(none_predicted.f1(), 0.0);
+        let no_positives = Confusion { tp: 0, fp: 0, tn: 4, fn_: 0 };
+        assert_eq!(no_positives.recall(), 1.0);
+        assert_eq!(Confusion::default().accuracy(), 1.0);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let a = Confusion { tp: 1, fp: 2, tn: 3, fn_: 4 };
+        let b = Confusion { tp: 10, fp: 20, tn: 30, fn_: 40 };
+        assert_eq!(a.merge(&b), Confusion { tp: 11, fp: 22, tn: 33, fn_: 44 });
+    }
+
+    #[test]
+    fn auc_known_values() {
+        // Perfect separation.
+        assert_eq!(
+            roc_auc(&[0.1, 0.2, 0.8, 0.9], &[false, false, true, true]),
+            Some(1.0)
+        );
+        // Perfectly wrong.
+        assert_eq!(
+            roc_auc(&[0.9, 0.8, 0.2, 0.1], &[false, false, true, true]),
+            Some(0.0)
+        );
+        // All scores tied → 0.5.
+        assert_eq!(roc_auc(&[0.5, 0.5, 0.5, 0.5], &[true, false, true, false]), Some(0.5));
+        // Undefined with one class.
+        assert_eq!(roc_auc(&[0.1, 0.9], &[true, true]), None);
+    }
+
+    #[test]
+    fn auc_partial_overlap() {
+        // positives {0.4, 0.8}, negatives {0.3, 0.6}:
+        // pairs: (0.4>0.3)=1, (0.4<0.6)=0, (0.8>0.3)=1, (0.8>0.6)=1 → 3/4.
+        let auc = roc_auc(&[0.4, 0.8, 0.3, 0.6], &[true, true, false, false]).unwrap();
+        assert!((auc - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_renders_percentages() {
+        let c = Confusion { tp: 1, fp: 1, tn: 1, fn_: 1 };
+        let s = c.to_string();
+        assert!(s.contains("P=50.0%"));
+    }
+}

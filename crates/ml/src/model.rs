@@ -1,0 +1,101 @@
+//! The learner/model abstraction shared by all matchers.
+//!
+//! PyMatcher wraps six scikit-learn classifiers behind one interface; this
+//! module is the Rust equivalent. A [`Learner`] is a (hyper-)parameterized
+//! algorithm; [`Learner::fit`] produces an immutable [`Model`] that scores
+//! feature rows. Keeping learners stateless makes cross-validation trivial:
+//! the same learner is fitted independently per fold.
+
+use crate::dataset::Dataset;
+use crate::error::MlError;
+
+/// A trained binary classifier.
+pub trait Model: Send + Sync {
+    /// Probability (or score calibrated into `[0, 1]`) that `row` is a
+    /// match. Rows must be finite (impute first).
+    fn predict_proba(&self, row: &[f64]) -> f64;
+
+    /// Hard decision at the 0.5 threshold.
+    fn predict(&self, row: &[f64]) -> bool {
+        self.predict_proba(row) >= 0.5
+    }
+}
+
+/// A fittable learning algorithm.
+pub trait Learner: Send + Sync {
+    /// Short display name ("Decision Tree", "RF", …).
+    fn name(&self) -> String;
+
+    /// Fits a model on the dataset. Implementations must not mutate
+    /// `data`; they may assume `check_finite` would pass (and should fail
+    /// with [`MlError::NonFiniteFeature`] otherwise).
+    fn fit(&self, data: &Dataset) -> Result<Box<dyn Model>, MlError>;
+}
+
+/// Applies a trained model to many rows.
+pub fn predict_all(model: &dyn Model, x: &[Vec<f64>]) -> Vec<bool> {
+    x.iter().map(|r| model.predict(r)).collect()
+}
+
+/// A constant-probability model; useful as a baseline and for degenerate
+/// single-class training sets.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantModel {
+    /// The probability returned for every row.
+    pub proba: f64,
+}
+
+impl Model for ConstantModel {
+    fn predict_proba(&self, _row: &[f64]) -> f64 {
+        self.proba
+    }
+}
+
+/// Shared guard used by learners: non-empty, finite, returns the positive
+/// rate (learners that need both classes can then handle 0.0/1.0 by
+/// returning a [`ConstantModel`]).
+pub(crate) fn validate_training(data: &Dataset) -> Result<f64, MlError> {
+    if data.is_empty() {
+        return Err(MlError::EmptyTrainingSet);
+    }
+    data.check_finite()?;
+    Ok(data.n_positive() as f64 / data.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_model_predicts() {
+        let m = ConstantModel { proba: 0.7 };
+        assert!(m.predict(&[1.0, 2.0]));
+        assert_eq!(m.predict_proba(&[]), 0.7);
+        assert!(!ConstantModel { proba: 0.3 }.predict(&[]));
+    }
+
+    #[test]
+    fn predict_all_maps_rows() {
+        let m = ConstantModel { proba: 1.0 };
+        assert_eq!(predict_all(&m, &[vec![0.0], vec![1.0]]), vec![true, true]);
+    }
+
+    #[test]
+    fn validate_rejects_empty_and_nan() {
+        let d = Dataset::new(vec!["f".into()], vec![], vec![]).unwrap();
+        assert_eq!(validate_training(&d), Err(MlError::EmptyTrainingSet));
+        let d = Dataset::new(vec!["f".into()], vec![vec![f64::NAN]], vec![true]).unwrap();
+        assert!(matches!(validate_training(&d), Err(MlError::NonFiniteFeature { .. })));
+    }
+
+    #[test]
+    fn validate_returns_positive_rate() {
+        let d = Dataset::new(
+            vec!["f".into()],
+            vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]],
+            vec![true, false, false, false],
+        )
+        .unwrap();
+        assert_eq!(validate_training(&d), Ok(0.25));
+    }
+}

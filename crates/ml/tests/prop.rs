@@ -1,0 +1,113 @@
+//! Property-based tests for ML invariants.
+
+use em_ml::cv::kfold_indices;
+use em_ml::dataset::{Dataset, Imputer};
+use em_ml::metrics::Confusion;
+use em_ml::model::Learner;
+use em_ml::tree::DecisionTreeLearner;
+use proptest::prelude::*;
+
+fn labeled_rows() -> impl Strategy<Value = Vec<(Vec<f64>, bool)>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(-10.0f64..10.0, 3),
+            any::<bool>(),
+        ),
+        4..40,
+    )
+}
+
+proptest! {
+    /// Confusion counts always sum to the number of examples, and all
+    /// derived metrics stay in [0, 1].
+    #[test]
+    fn confusion_invariants(pairs in proptest::collection::vec((any::<bool>(), any::<bool>()), 0..50)) {
+        let predicted: Vec<bool> = pairs.iter().map(|(p, _)| *p).collect();
+        let actual: Vec<bool> = pairs.iter().map(|(_, a)| *a).collect();
+        let c = Confusion::from_predictions(&predicted, &actual);
+        prop_assert_eq!(c.total(), pairs.len());
+        for v in [c.precision(), c.recall(), c.f1(), c.accuracy()] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        // F1 is between min and max of P and R (harmonic mean property),
+        // except the 0/0 convention.
+        if c.tp > 0 {
+            let (p, r) = (c.precision(), c.recall());
+            prop_assert!(c.f1() <= p.max(r) + 1e-12);
+            prop_assert!(c.f1() >= p.min(r) - 1e-12);
+        }
+    }
+
+    /// Imputation is idempotent and leaves finite values untouched.
+    #[test]
+    fn imputer_idempotent(rows in proptest::collection::vec(
+        proptest::collection::vec(proptest::option::of(-100.0f64..100.0), 3), 1..20
+    )) {
+        let x: Vec<Vec<f64>> = rows.iter()
+            .map(|r| r.iter().map(|o| o.unwrap_or(f64::NAN)).collect())
+            .collect();
+        let imp = Imputer::fit(&x, 3);
+        let mut once = x.clone();
+        imp.transform(&mut once);
+        let mut twice = once.clone();
+        imp.transform(&mut twice);
+        prop_assert_eq!(&once, &twice);
+        // finite originals preserved
+        for (orig, filled) in x.iter().zip(&once) {
+            for (o, f) in orig.iter().zip(filled) {
+                if o.is_finite() {
+                    prop_assert_eq!(o, f);
+                }
+                prop_assert!(f.is_finite());
+            }
+        }
+    }
+
+    /// A decision tree perfectly memorizes training data that has no
+    /// contradictory rows (same x, different y), and always emits
+    /// probabilities in [0, 1].
+    #[test]
+    fn tree_memorizes_consistent_data(rows in labeled_rows()) {
+        // Deduplicate contradictions: keep first label per feature vector.
+        let mut seen: std::collections::HashMap<String, bool> = std::collections::HashMap::new();
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for (r, l) in &rows {
+            let key = format!("{r:?}");
+            match seen.get(&key) {
+                Some(_) => continue,
+                None => {
+                    seen.insert(key, *l);
+                    x.push(r.clone());
+                    y.push(*l);
+                }
+            }
+        }
+        let data = Dataset::new(
+            vec!["a".into(), "b".into(), "c".into()],
+            x.clone(),
+            y.clone(),
+        ).unwrap();
+        let learner = DecisionTreeLearner { max_depth: 64, ..Default::default() };
+        let model = learner.fit(&data).unwrap();
+        for (row, label) in x.iter().zip(&y) {
+            let p = model.predict_proba(row);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert_eq!(model.predict(row), *label);
+        }
+    }
+
+    /// k-fold folds partition the index range exactly, for any valid (n, k).
+    #[test]
+    fn kfold_partition(n in 2usize..200, k in 2usize..10, seed in any::<u64>()) {
+        prop_assume!(n >= k);
+        let folds = kfold_indices(n, k, seed).unwrap();
+        prop_assert_eq!(folds.len(), k);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+        let (min, max) = folds.iter().map(Vec::len)
+            .fold((usize::MAX, 0), |(lo, hi), l| (lo.min(l), hi.max(l)));
+        prop_assert!(max - min <= 1, "folds unbalanced: {min}..{max}");
+    }
+}

@@ -1,0 +1,76 @@
+//! Award-number helpers shared by rules and the case-study pipeline.
+//!
+//! UMETRICS `UniqueAwardNumber` values take the form
+//! `"XX.XXX YYYY-YYYY-YYYYY-YYYYY"` — a CFDA-style program prefix, a space,
+//! then the award identifier proper. The M1 positive rule compares that
+//! second part against USDA's `Award Number`.
+
+/// The identifier part of a UMETRICS award number: the last
+/// whitespace-separated component when there are at least two, otherwise
+/// `None` (a bare value has no extractable suffix under M1's definition).
+pub fn award_suffix(unique_award_number: &str) -> Option<&str> {
+    let mut parts = unique_award_number.split_whitespace();
+    let first = parts.next()?;
+    let last = parts.last();
+    match last {
+        Some(l) => Some(l),
+        None => {
+            let _ = first;
+            None
+        }
+    }
+}
+
+/// The program (CFDA-style) prefix of a UMETRICS award number: the first
+/// whitespace-separated component, when a suffix also exists.
+pub fn program_prefix(unique_award_number: &str) -> Option<&str> {
+    let mut parts = unique_award_number.split_whitespace();
+    let first = parts.next()?;
+    parts.next().map(|_| first)
+}
+
+/// Case-study comparison of two identifiers: trimmed, case-sensitive exact
+/// equality, with empty values never equal.
+pub fn ids_equal(a: &str, b: &str) -> bool {
+    let (a, b) = (a.trim(), b.trim());
+    !a.is_empty() && a == b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_suffix_of_federal_number() {
+        assert_eq!(award_suffix("10.200 2008-34103-19449"), Some("2008-34103-19449"));
+    }
+
+    #[test]
+    fn extracts_suffix_of_state_number() {
+        assert_eq!(award_suffix("10.203 WIS01040"), Some("WIS01040"));
+    }
+
+    #[test]
+    fn bare_value_has_no_suffix() {
+        assert_eq!(award_suffix("2008-34103-19449"), None);
+        assert_eq!(award_suffix(""), None);
+    }
+
+    #[test]
+    fn multi_space_takes_last() {
+        assert_eq!(award_suffix("10.200  extra  WIS01040"), Some("WIS01040"));
+    }
+
+    #[test]
+    fn program_prefix_extracted() {
+        assert_eq!(program_prefix("10.200 2008-34103-19449"), Some("10.200"));
+        assert_eq!(program_prefix("2008-34103-19449"), None);
+    }
+
+    #[test]
+    fn ids_equal_semantics() {
+        assert!(ids_equal(" WIS01040 ", "WIS01040"));
+        assert!(!ids_equal("", ""));
+        assert!(!ids_equal("WIS01040", "wis01040"));
+    }
+}

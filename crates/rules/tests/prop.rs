@@ -1,0 +1,73 @@
+//! Property-based tests for the pattern language and rule semantics.
+
+use em_rules::award::{award_suffix, ids_equal, program_prefix};
+use em_rules::pattern::{comparable, infer, Pattern};
+use proptest::prelude::*;
+
+/// Identifier-shaped strings: digits, letters, dashes, dots.
+fn identifier() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[A-Z0-9.-]{1,20}").expect("valid regex")
+}
+
+/// Award numbers in the UMETRICS shape: `##.### <suffix>`.
+fn unique_award_number() -> impl Strategy<Value = String> {
+    (10u32..100, 100u32..1000, identifier())
+        .prop_map(|(a, b, suffix)| format!("{a}.{b} {suffix}"))
+}
+
+proptest! {
+    /// The inferred pattern of a value always matches that value.
+    #[test]
+    fn inferred_pattern_matches_source(v in identifier()) {
+        let p = Pattern::parse(&infer(&v));
+        prop_assert!(p.matches(&v), "infer({v:?}) = {:?} does not match", infer(&v));
+    }
+
+    /// Comparability is reflexive (for non-empty values) and symmetric.
+    #[test]
+    fn comparable_is_reflexive_and_symmetric(a in identifier(), b in identifier()) {
+        prop_assert!(comparable(&a, &a));
+        prop_assert_eq!(comparable(&a, &b), comparable(&b, &a));
+    }
+
+    /// Two values with the same inferred pattern are comparable; values
+    /// with different patterns never are.
+    #[test]
+    fn comparable_iff_same_pattern(a in identifier(), b in identifier()) {
+        prop_assert_eq!(comparable(&a, &b), infer(&a) == infer(&b));
+    }
+
+    /// Pattern inference is idempotent on the pattern alphabet in the sense
+    /// that equal values infer equal patterns.
+    #[test]
+    fn equal_values_equal_patterns(a in identifier()) {
+        prop_assert_eq!(infer(&a), infer(&a.clone()));
+    }
+
+    /// The award suffix of `"<prefix> <suffix>"` is the suffix, and the
+    /// program prefix is the prefix.
+    #[test]
+    fn suffix_and_prefix_extraction(n in unique_award_number()) {
+        let suffix = award_suffix(&n).expect("two components");
+        let prefix = program_prefix(&n).expect("two components");
+        prop_assert_eq!(format!("{prefix} {suffix}"), n);
+    }
+
+    /// Bare identifiers (no whitespace) have no suffix and no prefix.
+    #[test]
+    fn bare_identifier_has_no_parts(v in identifier()) {
+        prop_assert!(award_suffix(&v).is_none());
+        prop_assert!(program_prefix(&v).is_none());
+    }
+
+    /// `ids_equal` is an equivalence on trimmed non-empty identifiers and
+    /// never equates distinct trimmed values.
+    #[test]
+    fn ids_equal_semantics(a in identifier(), b in identifier()) {
+        prop_assert!(ids_equal(&a, &a));
+        prop_assert_eq!(ids_equal(&a, &b), a.trim() == b.trim() && !a.trim().is_empty());
+        // whitespace-insensitive on the outside
+        let padded = format!("  {a} ");
+        prop_assert!(ids_equal(&padded, &a));
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type for table operations.
+
+use std::fmt;
+
+/// Errors raised by schema and table operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// A schema was built with two columns of the same name.
+    DuplicateColumn(String),
+    /// A named column does not exist.
+    NoSuchColumn(String),
+    /// A row's arity does not match the schema.
+    ArityMismatch {
+        /// Columns the schema expects.
+        expected: usize,
+        /// Values the row supplied.
+        got: usize,
+    },
+    /// A value's type is not accepted by its column.
+    TypeMismatch {
+        /// Column that rejected the value.
+        column: String,
+        /// The column's declared type (display form).
+        expected: String,
+        /// The offending value's type (display form).
+        got: String,
+    },
+    /// A column expected to be a key contains duplicates or nulls.
+    KeyViolation {
+        /// The key column.
+        column: String,
+        /// Human-readable description of the violating value.
+        detail: String,
+    },
+    /// Two tables disagree on schema where they must agree (union).
+    SchemaMismatch(String),
+    /// CSV input could not be parsed.
+    Csv {
+        /// 1-based line where parsing failed.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Underlying I/O failure (message-only so the error stays `Clone + Eq`).
+    Io(String),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::DuplicateColumn(c) => write!(f, "duplicate column name: {c:?}"),
+            TableError::NoSuchColumn(c) => write!(f, "no such column: {c:?}"),
+            TableError::ArityMismatch { expected, got } => {
+                write!(f, "row has {got} values but schema has {expected} columns")
+            }
+            TableError::TypeMismatch { column, expected, got } => {
+                write!(f, "column {column:?} expects {expected} but got {got}")
+            }
+            TableError::KeyViolation { column, detail } => {
+                write!(f, "key violation on column {column:?}: {detail}")
+            }
+            TableError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            TableError::Csv { line, message } => write!(f, "CSV parse error at line {line}: {message}"),
+            TableError::Io(m) => write!(f, "I/O error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+impl From<std::io::Error> for TableError {
+    fn from(e: std::io::Error) -> Self {
+        TableError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,237 @@
+//! Data profiling: the "understand the data" step of Section 4.
+//!
+//! The case study begins by browsing sample rows and per-column statistics
+//! (unique counts, missing counts, mean, median, …) with pandas-profiling.
+//! [`profile_table`] computes the same summaries for a [`Table`], and
+//! [`TableProfile`]'s `Display` renders the report the EM team would read.
+
+use crate::table::Table;
+use crate::value::Value;
+
+/// Summary statistics for one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnProfile {
+    /// Column name.
+    pub name: String,
+    /// Declared type (display form).
+    pub dtype: String,
+    /// Total rows.
+    pub count: usize,
+    /// Missing (null) values.
+    pub missing: usize,
+    /// Distinct non-null values.
+    pub unique: usize,
+    /// Mean of numeric values, when the column has any.
+    pub mean: Option<f64>,
+    /// Median of numeric values, when the column has any.
+    pub median: Option<f64>,
+    /// Minimum non-null value, rendered.
+    pub min: Option<String>,
+    /// Maximum non-null value, rendered.
+    pub max: Option<String>,
+    /// Up to three most frequent values with counts.
+    pub top_values: Vec<(String, usize)>,
+}
+
+impl ColumnProfile {
+    /// Missing fraction in `[0, 1]` (0 for an empty table).
+    pub fn missing_rate(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.missing as f64 / self.count as f64
+        }
+    }
+
+    /// True when every non-null value is distinct — the quick key heuristic
+    /// the team applies before running the strict key check.
+    pub fn looks_like_key(&self) -> bool {
+        self.missing == 0 && self.count > 0 && self.unique == self.count
+    }
+}
+
+/// Profile of a whole table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableProfile {
+    /// Table name.
+    pub table: String,
+    /// Rows in the table.
+    pub n_rows: usize,
+    /// Columns in the table.
+    pub n_cols: usize,
+    /// Per-column profiles, in schema order.
+    pub columns: Vec<ColumnProfile>,
+}
+
+/// Computes per-column summary statistics.
+pub fn profile_table(table: &Table) -> TableProfile {
+    let columns = table
+        .schema()
+        .columns()
+        .iter()
+        .map(|col| {
+            let values: Vec<&Value> = table
+                .column_values(&col.name)
+                .expect("column from own schema");
+            profile_column(&col.name, &col.dtype.to_string(), &values)
+        })
+        .collect();
+    TableProfile {
+        table: table.name().to_string(),
+        n_rows: table.n_rows(),
+        n_cols: table.n_cols(),
+        columns,
+    }
+}
+
+fn profile_column(name: &str, dtype: &str, values: &[&Value]) -> ColumnProfile {
+    let count = values.len();
+    let missing = values.iter().filter(|v| v.is_null()).count();
+
+    let mut counts: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    for v in values.iter().filter(|v| !v.is_null()) {
+        *counts.entry(v.dedup_key()).or_insert(0) += 1;
+    }
+    let unique = counts.len();
+
+    let mut numeric: Vec<f64> = values.iter().filter_map(|v| v.as_f64()).collect();
+    let (mean, median) = if numeric.is_empty() {
+        (None, None)
+    } else {
+        let mean = numeric.iter().sum::<f64>() / numeric.len() as f64;
+        numeric.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let mid = numeric.len() / 2;
+        let median = if numeric.len().is_multiple_of(2) {
+            (numeric[mid - 1] + numeric[mid]) / 2.0
+        } else {
+            numeric[mid]
+        };
+        (Some(mean), Some(median))
+    };
+
+    let mut non_null: Vec<&&Value> = values.iter().filter(|v| !v.is_null()).collect();
+    non_null.sort_by(|a, b| a.total_cmp(b));
+    let min = non_null.first().map(|v| v.render());
+    let max = non_null.last().map(|v| v.render());
+
+    // Most frequent rendered values (ties broken lexicographically).
+    let mut rendered: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    for v in values.iter().filter(|v| !v.is_null()) {
+        *rendered.entry(v.render()).or_insert(0) += 1;
+    }
+    let mut top: Vec<(String, usize)> = rendered.into_iter().collect();
+    top.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    top.truncate(3);
+
+    ColumnProfile {
+        name: name.to_string(),
+        dtype: dtype.to_string(),
+        count,
+        missing,
+        unique,
+        mean,
+        median,
+        min,
+        max,
+        top_values: top,
+    }
+}
+
+impl std::fmt::Display for TableProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Profile of {} ({} rows, {} cols)", self.table, self.n_rows, self.n_cols)?;
+        writeln!(
+            f,
+            "  {:<28} {:<6} {:>8} {:>8} {:>10} {:>10}",
+            "column", "type", "missing", "unique", "mean", "median"
+        )?;
+        for c in &self.columns {
+            let fmt_opt = |o: Option<f64>| o.map(|v| format!("{v:.2}")).unwrap_or_default();
+            writeln!(
+                f,
+                "  {:<28} {:<6} {:>8} {:>8} {:>10} {:>10}",
+                c.name,
+                c.dtype,
+                c.missing,
+                c.unique,
+                fmt_opt(c.mean),
+                fmt_opt(c.median)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csv::read_str;
+
+    fn sample() -> Table {
+        read_str(
+            "grants",
+            "id,amount,title\n1,10,Alpha\n2,30,Beta\n3,,Alpha\n4,20,\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn counts_missing_and_unique() {
+        let p = profile_table(&sample());
+        let amount = &p.columns[1];
+        assert_eq!(amount.count, 4);
+        assert_eq!(amount.missing, 1);
+        assert_eq!(amount.unique, 3);
+        let title = &p.columns[2];
+        assert_eq!(title.unique, 2);
+        assert_eq!(title.missing, 1);
+    }
+
+    #[test]
+    fn mean_and_median_ignore_nulls() {
+        let p = profile_table(&sample());
+        let amount = &p.columns[1];
+        assert_eq!(amount.mean, Some(20.0));
+        assert_eq!(amount.median, Some(20.0));
+        let title = &p.columns[2];
+        assert_eq!(title.mean, None);
+    }
+
+    #[test]
+    fn min_max_rendered() {
+        let p = profile_table(&sample());
+        assert_eq!(p.columns[1].min.as_deref(), Some("10"));
+        assert_eq!(p.columns[1].max.as_deref(), Some("30"));
+        assert_eq!(p.columns[2].min.as_deref(), Some("Alpha"));
+    }
+
+    #[test]
+    fn key_heuristic() {
+        let p = profile_table(&sample());
+        assert!(p.columns[0].looks_like_key()); // id
+        assert!(!p.columns[2].looks_like_key()); // title: dup + missing
+    }
+
+    #[test]
+    fn top_values_ranked() {
+        let p = profile_table(&sample());
+        assert_eq!(p.columns[2].top_values[0], ("Alpha".to_string(), 2));
+    }
+
+    #[test]
+    fn empty_table_profiles() {
+        let t = Table::new("e", crate::schema::Schema::of_strings(&["a"]));
+        let p = profile_table(&t);
+        assert_eq!(p.n_rows, 0);
+        assert_eq!(p.columns[0].missing_rate(), 0.0);
+        assert!(!p.columns[0].looks_like_key());
+    }
+
+    #[test]
+    fn display_renders() {
+        let p = profile_table(&sample());
+        let s = p.to_string();
+        assert!(s.contains("grants"));
+        assert!(s.contains("amount"));
+    }
+}

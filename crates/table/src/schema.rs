@@ -1,0 +1,241 @@
+//! Column metadata: data types, columns, and schemas.
+
+use crate::error::TableError;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The declared type of a column.
+///
+/// `Any` admits mixed or unknown content; CSV inference assigns it when a
+/// column's non-null values disagree on a narrower type, which is common in
+/// the dirty administrative data this toolkit targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Free text.
+    Str,
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Boolean.
+    Bool,
+    /// Calendar date.
+    Date,
+    /// Mixed / unknown.
+    Any,
+}
+
+impl DataType {
+    /// Whether a value of type `other` may be stored in a column of `self`.
+    /// `Any` accepts everything; `Float` accepts `Int` (lossless widening).
+    pub fn accepts(&self, other: DataType) -> bool {
+        *self == DataType::Any
+            || *self == other
+            || (*self == DataType::Float && other == DataType::Int)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Str => "str",
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Bool => "bool",
+            DataType::Date => "date",
+            DataType::Any => "any",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One column: a name and a declared type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name, unique within a schema.
+    pub name: String,
+    /// Declared type.
+    pub dtype: DataType,
+}
+
+impl Column {
+    /// Creates a column.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Column {
+        Column { name: name.into(), dtype }
+    }
+}
+
+/// An ordered set of uniquely named columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<Column>,
+    index: HashMap<String, usize>,
+}
+
+impl Schema {
+    /// Builds a schema from columns; fails on duplicate names.
+    pub fn new(columns: Vec<Column>) -> Result<Schema, TableError> {
+        let mut index = HashMap::with_capacity(columns.len());
+        for (i, c) in columns.iter().enumerate() {
+            if index.insert(c.name.clone(), i).is_some() {
+                return Err(TableError::DuplicateColumn(c.name.clone()));
+            }
+        }
+        Ok(Schema { columns, index })
+    }
+
+    /// Convenience: all-`Str` schema from names (the shape CSV data starts in).
+    pub fn of_strings(names: &[&str]) -> Schema {
+        Schema::new(names.iter().map(|n| Column::new(*n, DataType::Str)).collect())
+            .expect("caller guarantees unique names")
+    }
+
+    /// Convenience: schema from `(name, dtype)` pairs; panics on duplicates,
+    /// for use in code that constructs literal schemas.
+    pub fn of(cols: &[(&str, DataType)]) -> Schema {
+        Schema::new(cols.iter().map(|(n, t)| Column::new(*n, *t)).collect())
+            .expect("caller guarantees unique names")
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// The columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// Index of a column, as an error-carrying lookup.
+    pub fn require(&self, name: &str) -> Result<usize, TableError> {
+        self.index_of(name).ok_or_else(|| TableError::NoSuchColumn(name.to_string()))
+    }
+
+    /// Column by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// True when a column with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.index.contains_key(name)
+    }
+
+    /// New schema keeping only `names`, in the given order.
+    pub fn project(&self, names: &[&str]) -> Result<Schema, TableError> {
+        let mut cols = Vec::with_capacity(names.len());
+        for n in names {
+            cols.push(self.columns[self.require(n)?].clone());
+        }
+        Schema::new(cols)
+    }
+
+    /// New schema with one column renamed.
+    pub fn rename(&self, from: &str, to: &str) -> Result<Schema, TableError> {
+        let i = self.require(from)?;
+        let mut cols = self.columns.clone();
+        cols[i].name = to.to_string();
+        Schema::new(cols)
+    }
+
+    /// New schema with a column appended.
+    pub fn with_column(&self, col: Column) -> Result<Schema, TableError> {
+        let mut cols = self.columns.clone();
+        cols.push(col);
+        Schema::new(cols)
+    }
+
+    /// New schema without the named column.
+    pub fn without(&self, name: &str) -> Result<Schema, TableError> {
+        let i = self.require(name)?;
+        let mut cols = self.columns.clone();
+        cols.remove(i);
+        Schema::new(cols)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> =
+            self.columns.iter().map(|c| format!("{}: {}", c.name, c.dtype)).collect();
+        write!(f, "({})", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let r = Schema::new(vec![
+            Column::new("a", DataType::Str),
+            Column::new("a", DataType::Int),
+        ]);
+        assert!(matches!(r, Err(TableError::DuplicateColumn(_))));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = Schema::of(&[("a", DataType::Str), ("b", DataType::Int)]);
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("z"), None);
+        assert!(s.require("z").is_err());
+    }
+
+    #[test]
+    fn project_reorders() {
+        let s = Schema::of(&[("a", DataType::Str), ("b", DataType::Int), ("c", DataType::Date)]);
+        let p = s.project(&["c", "a"]).unwrap();
+        assert_eq!(p.names(), vec!["c", "a"]);
+        assert_eq!(p.column("c").unwrap().dtype, DataType::Date);
+    }
+
+    #[test]
+    fn rename_preserves_type_and_position() {
+        let s = Schema::of(&[("a", DataType::Str), ("b", DataType::Int)]);
+        let r = s.rename("b", "beta").unwrap();
+        assert_eq!(r.index_of("beta"), Some(1));
+        assert_eq!(r.column("beta").unwrap().dtype, DataType::Int);
+        assert!(!r.contains("b"));
+    }
+
+    #[test]
+    fn rename_to_existing_name_fails() {
+        let s = Schema::of(&[("a", DataType::Str), ("b", DataType::Int)]);
+        assert!(s.rename("b", "a").is_err());
+    }
+
+    #[test]
+    fn float_accepts_int() {
+        assert!(DataType::Float.accepts(DataType::Int));
+        assert!(!DataType::Int.accepts(DataType::Float));
+        assert!(DataType::Any.accepts(DataType::Date));
+    }
+
+    #[test]
+    fn with_and_without_column() {
+        let s = Schema::of(&[("a", DataType::Str)]);
+        let s2 = s.with_column(Column::new("b", DataType::Int)).unwrap();
+        assert_eq!(s2.len(), 2);
+        let s3 = s2.without("a").unwrap();
+        assert_eq!(s3.names(), vec!["b"]);
+        assert_eq!(s3.index_of("b"), Some(0));
+    }
+}

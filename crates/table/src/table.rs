@@ -1,0 +1,637 @@
+//! The in-memory table and its relational operations.
+//!
+//! [`Table`] is a row-oriented, schema-validated table: the Rust analogue of
+//! the pandas `DataFrame`s the case study manipulates. It deliberately offers
+//! only the operations the EM pipeline needs — projection, selection,
+//! renaming, derived columns, key validation, hash joins, unions, sampling —
+//! each validated against the schema so that pre-processing mistakes surface
+//! as typed errors instead of silent misalignment.
+
+use crate::error::TableError;
+use crate::schema::{Column, DataType, Schema};
+use crate::value::Value;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A named, schema-validated, row-oriented table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: Vec<Vec<Value>>,
+}
+
+/// A borrowed row with by-name access.
+#[derive(Debug, Clone, Copy)]
+pub struct RowRef<'a> {
+    schema: &'a Schema,
+    values: &'a [Value],
+}
+
+impl<'a> RowRef<'a> {
+    /// The value in the named column; `None` when no such column exists.
+    pub fn get(&self, column: &str) -> Option<&'a Value> {
+        self.schema.index_of(column).map(|i| &self.values[i])
+    }
+
+    /// String payload of the named column (`None` for nulls/non-strings).
+    pub fn str(&self, column: &str) -> Option<&'a str> {
+        self.get(column).and_then(Value::as_str)
+    }
+
+    /// All values in schema order.
+    pub fn values(&self) -> &'a [Value] {
+        self.values
+    }
+
+    /// The row's schema.
+    pub fn schema(&self) -> &'a Schema {
+        self.schema
+    }
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Table {
+        Table { name: name.into(), schema, rows: Vec::new() }
+    }
+
+    /// Creates a table and bulk-loads rows, validating each.
+    pub fn from_rows(
+        name: impl Into<String>,
+        schema: Schema,
+        rows: Vec<Vec<Value>>,
+    ) -> Result<Table, TableError> {
+        let mut t = Table::new(name, schema);
+        t.rows.reserve(rows.len());
+        for row in rows {
+            t.push_row(row)?;
+        }
+        Ok(t)
+    }
+
+    /// Table name (used in reports and error messages).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the table.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a row after checking arity and per-column types.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<(), TableError> {
+        if row.len() != self.schema.len() {
+            return Err(TableError::ArityMismatch { expected: self.schema.len(), got: row.len() });
+        }
+        for (col, v) in self.schema.columns().iter().zip(&row) {
+            if let Some(t) = v.data_type() {
+                if !col.dtype.accepts(t) {
+                    return Err(TableError::TypeMismatch {
+                        column: col.name.clone(),
+                        expected: col.dtype.to_string(),
+                        got: t.to_string(),
+                    });
+                }
+            }
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// The raw rows in insertion order.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Borrow row `i` with by-name access.
+    pub fn row(&self, i: usize) -> Option<RowRef<'_>> {
+        self.rows.get(i).map(|values| RowRef { schema: &self.schema, values })
+    }
+
+    /// Iterates rows with by-name access.
+    pub fn iter(&self) -> impl Iterator<Item = RowRef<'_>> {
+        self.rows.iter().map(move |values| RowRef { schema: &self.schema, values })
+    }
+
+    /// The value at `(row, column)`.
+    pub fn get(&self, row: usize, column: &str) -> Option<&Value> {
+        let i = self.schema.index_of(column)?;
+        self.rows.get(row).map(|r| &r[i])
+    }
+
+    /// Borrows an entire column, in row order.
+    pub fn column_values(&self, column: &str) -> Result<Vec<&Value>, TableError> {
+        let i = self.schema.require(column)?;
+        Ok(self.rows.iter().map(|r| &r[i]).collect())
+    }
+
+    /// Projects onto `names` (reordering allowed), keeping all rows.
+    pub fn project(&self, names: &[&str]) -> Result<Table, TableError> {
+        let idx: Vec<usize> =
+            names.iter().map(|n| self.schema.require(n)).collect::<Result<_, _>>()?;
+        let schema = self.schema.project(names)?;
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| idx.iter().map(|&i| r[i].clone()).collect())
+            .collect();
+        Ok(Table { name: self.name.clone(), schema, rows })
+    }
+
+    /// Keeps rows for which `pred` returns true.
+    pub fn select<F: FnMut(RowRef<'_>) -> bool>(&self, mut pred: F) -> Table {
+        let rows = self
+            .rows
+            .iter()
+            .filter(|values| pred(RowRef { schema: &self.schema, values }))
+            .cloned()
+            .collect();
+        Table { name: self.name.clone(), schema: self.schema.clone(), rows }
+    }
+
+    /// Renames one column.
+    pub fn rename_column(&self, from: &str, to: &str) -> Result<Table, TableError> {
+        Ok(Table {
+            name: self.name.clone(),
+            schema: self.schema.rename(from, to)?,
+            rows: self.rows.clone(),
+        })
+    }
+
+    /// Appends a derived column computed from each row.
+    pub fn add_column<F: FnMut(RowRef<'_>) -> Value>(
+        &self,
+        name: &str,
+        dtype: DataType,
+        mut f: F,
+    ) -> Result<Table, TableError> {
+        let schema = self.schema.with_column(Column::new(name, dtype))?;
+        let mut rows = Vec::with_capacity(self.rows.len());
+        for values in &self.rows {
+            let v = f(RowRef { schema: &self.schema, values });
+            if let Some(t) = v.data_type() {
+                if !dtype.accepts(t) {
+                    return Err(TableError::TypeMismatch {
+                        column: name.to_string(),
+                        expected: dtype.to_string(),
+                        got: t.to_string(),
+                    });
+                }
+            }
+            let mut row = values.clone();
+            row.push(v);
+            rows.push(row);
+        }
+        Ok(Table { name: self.name.clone(), schema, rows })
+    }
+
+    /// Removes one column.
+    pub fn drop_column(&self, name: &str) -> Result<Table, TableError> {
+        let i = self.schema.require(name)?;
+        let schema = self.schema.without(name)?;
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut row = r.clone();
+                row.remove(i);
+                row
+            })
+            .collect();
+        Ok(Table { name: self.name.clone(), schema, rows })
+    }
+
+    /// Prepends a sequential integer id column (0, 1, 2, …): the paper's
+    /// `RecordId` step (Section 6, step 4.c).
+    pub fn add_id_column(&self, name: &str) -> Result<Table, TableError> {
+        let mut cols = vec![Column::new(name, DataType::Int)];
+        cols.extend(self.schema.columns().iter().cloned());
+        let schema = Schema::new(cols)?;
+        let rows = self
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let mut row = Vec::with_capacity(r.len() + 1);
+                row.push(Value::Int(i as i64));
+                row.extend(r.iter().cloned());
+                row
+            })
+            .collect();
+        Ok(Table { name: self.name.clone(), schema, rows })
+    }
+
+    /// The first `n` rows.
+    pub fn head(&self, n: usize) -> Table {
+        Table {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            rows: self.rows.iter().take(n).cloned().collect(),
+        }
+    }
+
+    /// A uniform random sample of `n` rows without replacement (all rows if
+    /// `n >= n_rows`), deterministic in `seed`. This is the sampling step the
+    /// labeling rounds of Section 8 use.
+    pub fn sample(&self, n: usize, seed: u64) -> Table {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut idx: Vec<usize> = (0..self.rows.len()).collect();
+        idx.shuffle(&mut rng);
+        idx.truncate(n);
+        idx.sort_unstable(); // keep original row order for readability
+        Table {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            rows: idx.into_iter().map(|i| self.rows[i].clone()).collect(),
+        }
+    }
+
+    /// Sorts rows by a column using [`Value::total_cmp`] (nulls first).
+    pub fn sort_by(&self, column: &str) -> Result<Table, TableError> {
+        let i = self.schema.require(column)?;
+        let mut rows = self.rows.clone();
+        rows.sort_by(|a, b| a[i].total_cmp(&b[i]));
+        Ok(Table { name: self.name.clone(), schema: self.schema.clone(), rows })
+    }
+
+    /// Verifies that `column` is a key: non-null and unique. This is the
+    /// Section 6 validation that `UniqueAwardNumber` / `AccessionNumber`
+    /// really are keys.
+    pub fn check_key(&self, column: &str) -> Result<(), TableError> {
+        let i = self.schema.require(column)?;
+        let mut seen = HashSet::with_capacity(self.rows.len());
+        for r in &self.rows {
+            if r[i].is_null() {
+                return Err(TableError::KeyViolation {
+                    column: column.to_string(),
+                    detail: "null value".to_string(),
+                });
+            }
+            if !seen.insert(r[i].dedup_key()) {
+                return Err(TableError::KeyViolation {
+                    column: column.to_string(),
+                    detail: format!("duplicate value {:?}", r[i].render()),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies that every non-null value of `column` appears in `parent`'s
+    /// `parent_key` column: the Section 6 foreign-key validation.
+    pub fn check_foreign_key(
+        &self,
+        column: &str,
+        parent: &Table,
+        parent_key: &str,
+    ) -> Result<(), TableError> {
+        let i = self.schema.require(column)?;
+        let pi = parent.schema.require(parent_key)?;
+        let keys: HashSet<String> =
+            parent.rows.iter().map(|r| r[pi].dedup_key()).collect();
+        for r in &self.rows {
+            if !r[i].is_null() && !keys.contains(&r[i].dedup_key()) {
+                return Err(TableError::KeyViolation {
+                    column: column.to_string(),
+                    detail: format!(
+                        "value {:?} has no match in {}.{}",
+                        r[i].render(),
+                        parent.name,
+                        parent_key
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Inner hash join on `self.on_left == other.on_right`. Output columns
+    /// are all of `self`'s followed by all of `other`'s; name collisions on
+    /// the right are disambiguated with the `right_prefix`.
+    pub fn inner_join(
+        &self,
+        other: &Table,
+        on_left: &str,
+        on_right: &str,
+        right_prefix: &str,
+    ) -> Result<Table, TableError> {
+        let li = self.schema.require(on_left)?;
+        let ri = other.schema.require(on_right)?;
+
+        let mut cols = self.schema.columns().to_vec();
+        for c in other.schema.columns() {
+            let name = if self.schema.contains(&c.name) {
+                format!("{right_prefix}{}", c.name)
+            } else {
+                c.name.clone()
+            };
+            cols.push(Column::new(name, c.dtype));
+        }
+        let schema = Schema::new(cols)?;
+
+        // Build side: index the smaller conceptual build input (right).
+        let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+        for (j, r) in other.rows.iter().enumerate() {
+            if !r[ri].is_null() {
+                index.entry(r[ri].dedup_key()).or_default().push(j);
+            }
+        }
+
+        let mut rows = Vec::new();
+        for l in &self.rows {
+            if l[li].is_null() {
+                continue;
+            }
+            if let Some(matches) = index.get(&l[li].dedup_key()) {
+                for &j in matches {
+                    let mut row = Vec::with_capacity(schema.len());
+                    row.extend(l.iter().cloned());
+                    row.extend(other.rows[j].iter().cloned());
+                    rows.push(row);
+                }
+            }
+        }
+        Ok(Table { name: format!("{}⋈{}", self.name, other.name), schema, rows })
+    }
+
+    /// Concatenates two tables with identical schemas.
+    pub fn union(&self, other: &Table) -> Result<Table, TableError> {
+        if self.schema != other.schema {
+            return Err(TableError::SchemaMismatch(format!(
+                "{} vs {}",
+                self.schema, other.schema
+            )));
+        }
+        let mut rows = self.rows.clone();
+        rows.extend(other.rows.iter().cloned());
+        Ok(Table { name: self.name.clone(), schema: self.schema.clone(), rows })
+    }
+
+    /// Groups rows by `key` and concatenates the string renderings of
+    /// `value_col` within each group, separated by `sep`, in row order.
+    /// Nulls are skipped. This is the Section 6 step that folds multiple
+    /// employee names per award into one `|`-separated field.
+    pub fn group_concat(
+        &self,
+        key: &str,
+        value_col: &str,
+        sep: &str,
+    ) -> Result<HashMap<String, String>, TableError> {
+        let ki = self.schema.require(key)?;
+        let vi = self.schema.require(value_col)?;
+        let mut out: HashMap<String, String> = HashMap::new();
+        for r in &self.rows {
+            if r[ki].is_null() || r[vi].is_null() {
+                continue;
+            }
+            let entry = out.entry(r[ki].render()).or_default();
+            if !entry.is_empty() {
+                entry.push_str(sep);
+            }
+            entry.push_str(&r[vi].render());
+        }
+        Ok(out)
+    }
+
+    /// Distinct non-null rendered values of a column, with counts, most
+    /// frequent first (ties broken by value for determinism).
+    pub fn value_counts(&self, column: &str) -> Result<Vec<(String, usize)>, TableError> {
+        let i = self.schema.require(column)?;
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for r in &self.rows {
+            if !r[i].is_null() {
+                *counts.entry(r[i].render()).or_insert(0) += 1;
+            }
+        }
+        let mut out: Vec<(String, usize)> = counts.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        Ok(out)
+    }
+}
+
+impl fmt::Display for Table {
+    /// Compact preview: name, dimensions, header, and up to 5 rows.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} [{} rows x {} cols]", self.name, self.n_rows(), self.n_cols())?;
+        writeln!(f, "  {}", self.schema.names().join(" | "))?;
+        for r in self.rows.iter().take(5) {
+            let cells: Vec<String> = r.iter().map(Value::render).collect();
+            writeln!(f, "  {}", cells.join(" | "))?;
+        }
+        if self.rows.len() > 5 {
+            writeln!(f, "  … {} more rows", self.rows.len() - 5)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn people() -> Table {
+        let schema = Schema::of(&[
+            ("Name", DataType::Str),
+            ("City", DataType::Str),
+            ("Age", DataType::Int),
+        ]);
+        Table::from_rows(
+            "people",
+            schema,
+            vec![
+                vec!["Dave Smith".into(), "Madison".into(), Value::Int(40)],
+                vec!["Joe Wilson".into(), "San Jose".into(), Value::Int(35)],
+                vec!["Dan Smith".into(), "Middleton".into(), Value::Null],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn push_row_validates_arity() {
+        let mut t = people();
+        let e = t.push_row(vec!["X".into()]).unwrap_err();
+        assert!(matches!(e, TableError::ArityMismatch { expected: 3, got: 1 }));
+    }
+
+    #[test]
+    fn push_row_validates_types() {
+        let mut t = people();
+        let e = t.push_row(vec!["X".into(), "Y".into(), "not an int".into()]).unwrap_err();
+        assert!(matches!(e, TableError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn nulls_fit_any_column() {
+        let mut t = people();
+        t.push_row(vec![Value::Null, Value::Null, Value::Null]).unwrap();
+        assert_eq!(t.n_rows(), 4);
+    }
+
+    #[test]
+    fn project_and_rename() {
+        let t = people().project(&["Age", "Name"]).unwrap();
+        assert_eq!(t.schema().names(), vec!["Age", "Name"]);
+        assert_eq!(t.get(0, "Name").unwrap().as_str(), Some("Dave Smith"));
+        let t2 = t.rename_column("Name", "FullName").unwrap();
+        assert!(t2.schema().contains("FullName"));
+    }
+
+    #[test]
+    fn select_filters() {
+        let t = people().select(|r| r.str("City").is_some_and(|c| c.starts_with('M')));
+        assert_eq!(t.n_rows(), 2);
+    }
+
+    #[test]
+    fn add_column_derives() {
+        let t = people()
+            .add_column("Upper", DataType::Str, |r| {
+                r.str("Name").map(|s| s.to_uppercase()).into()
+            })
+            .unwrap();
+        assert_eq!(t.get(0, "Upper").unwrap().as_str(), Some("DAVE SMITH"));
+    }
+
+    #[test]
+    fn add_id_column_prepends() {
+        let t = people().add_id_column("RecordId").unwrap();
+        assert_eq!(t.schema().names()[0], "RecordId");
+        assert_eq!(t.get(2, "RecordId").unwrap().as_int(), Some(2));
+    }
+
+    #[test]
+    fn sample_is_deterministic_and_bounded() {
+        let t = people();
+        let a = t.sample(2, 7);
+        let b = t.sample(2, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.n_rows(), 2);
+        assert_eq!(t.sample(100, 7).n_rows(), 3);
+    }
+
+    #[test]
+    fn check_key_detects_duplicates_and_nulls() {
+        let t = people();
+        assert!(t.check_key("Name").is_ok());
+        assert!(t.check_key("Age").is_err()); // contains a null
+        let mut dup = people();
+        dup.push_row(vec!["Dave Smith".into(), "Verona".into(), Value::Int(1)]).unwrap();
+        assert!(dup.check_key("Name").is_err());
+    }
+
+    #[test]
+    fn foreign_key_checks() {
+        let parent = people();
+        let schema = Schema::of(&[("Who", DataType::Str)]);
+        let child =
+            Table::from_rows("c", schema.clone(), vec![vec!["Dan Smith".into()], vec![Value::Null]])
+                .unwrap();
+        assert!(child.check_foreign_key("Who", &parent, "Name").is_ok());
+        let bad = Table::from_rows("c", schema, vec![vec!["Nobody".into()]]).unwrap();
+        assert!(bad.check_foreign_key("Who", &parent, "Name").is_err());
+    }
+
+    #[test]
+    fn inner_join_matches_and_prefixes() {
+        let orders = Table::from_rows(
+            "orders",
+            Schema::of(&[("Name", DataType::Str), ("Total", DataType::Int)]),
+            vec![
+                vec!["Dave Smith".into(), Value::Int(10)],
+                vec!["Dave Smith".into(), Value::Int(20)],
+                vec!["Nobody".into(), Value::Int(30)],
+            ],
+        )
+        .unwrap();
+        let j = people().inner_join(&orders, "Name", "Name", "r_").unwrap();
+        assert_eq!(j.n_rows(), 2); // Dave Smith twice, Nobody drops
+        assert!(j.schema().contains("r_Name"));
+        assert!(j.schema().contains("Total"));
+    }
+
+    #[test]
+    fn join_skips_null_keys() {
+        let l = Table::from_rows(
+            "l",
+            Schema::of(&[("K", DataType::Str)]),
+            vec![vec![Value::Null], vec!["a".into()]],
+        )
+        .unwrap();
+        let r = Table::from_rows(
+            "r",
+            Schema::of(&[("K2", DataType::Str)]),
+            vec![vec![Value::Null], vec!["a".into()]],
+        )
+        .unwrap();
+        let j = l.inner_join(&r, "K", "K2", "r_").unwrap();
+        assert_eq!(j.n_rows(), 1);
+    }
+
+    #[test]
+    fn union_requires_equal_schema() {
+        let a = people();
+        let b = people();
+        assert_eq!(a.union(&b).unwrap().n_rows(), 6);
+        let c = people().project(&["Name"]).unwrap();
+        assert!(a.union(&c).is_err());
+    }
+
+    #[test]
+    fn group_concat_joins_in_order() {
+        let t = Table::from_rows(
+            "emp",
+            Schema::of(&[("Award", DataType::Str), ("Employee", DataType::Str)]),
+            vec![
+                vec!["A1".into(), "Smith, J".into()],
+                vec!["A1".into(), "Doe, K".into()],
+                vec!["A2".into(), Value::Null],
+                vec!["A2".into(), "Roe, L".into()],
+            ],
+        )
+        .unwrap();
+        let g = t.group_concat("Award", "Employee", "|").unwrap();
+        assert_eq!(g["A1"], "Smith, J|Doe, K");
+        assert_eq!(g["A2"], "Roe, L");
+    }
+
+    #[test]
+    fn value_counts_sorted() {
+        let t = people();
+        let vc = t.value_counts("City").unwrap();
+        assert_eq!(vc.len(), 3);
+        assert!(vc.iter().all(|(_, c)| *c == 1));
+    }
+
+    #[test]
+    fn sort_by_puts_nulls_first() {
+        let t = people().sort_by("Age").unwrap();
+        assert!(t.get(0, "Age").unwrap().is_null());
+        assert_eq!(t.get(1, "Age").unwrap().as_int(), Some(35));
+    }
+}

@@ -1,0 +1,367 @@
+//! Cell values and the calendar-date scalar used throughout the toolkit.
+//!
+//! A [`Value`] is one cell of a [`Table`](crate::Table). The variants mirror
+//! the column types the UMETRICS/USDA case study needs: free text, integers,
+//! floats, booleans, calendar dates, and missing data (`Null`). Values are
+//! self-describing so heterogeneous CSV data can be loaded first and typed
+//! later (see [`crate::csv`] for inference).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A calendar date with no time component.
+///
+/// The case-study data carries dates in several textual shapes
+/// (`1997-07-01`, `10/1/08`, `8/15/2008`); [`Date::parse`] accepts all of
+/// them. Only structural validity is enforced (month 1–12, day 1–31): the
+/// raw data this models is itself dirty, and EM pipelines must tolerate
+/// values like `2/30/09` rather than reject whole rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Date {
+    /// Four-digit year.
+    pub year: i32,
+    /// Month of year, 1–12.
+    pub month: u8,
+    /// Day of month, 1–31.
+    pub day: u8,
+}
+
+impl Date {
+    /// Creates a date, validating month and day ranges.
+    pub fn new(year: i32, month: u8, day: u8) -> Option<Date> {
+        if (1..=12).contains(&month) && (1..=31).contains(&day) {
+            Some(Date { year, month, day })
+        } else {
+            None
+        }
+    }
+
+    /// Parses a date from the textual shapes present in the raw data:
+    /// `YYYY-MM-DD`, `M/D/YYYY`, and `M/D/YY` (two-digit years are pivoted
+    /// at 70: `69` → 2069 is wrong for this domain, so `00–69` maps to
+    /// 2000–2069 and `70–99` to 1970–1999).
+    pub fn parse(s: &str) -> Option<Date> {
+        let s = s.trim();
+        if let Some((y, rest)) = s.split_once('-') {
+            let (m, d) = rest.split_once('-')?;
+            return Date::new(y.parse().ok()?, m.parse().ok()?, d.parse().ok()?);
+        }
+        if let Some((m, rest)) = s.split_once('/') {
+            let (d, y) = rest.split_once('/')?;
+            let month: u8 = m.parse().ok()?;
+            let day: u8 = d.parse().ok()?;
+            let year_raw: i32 = y.parse().ok()?;
+            let year = match y.len() {
+                2 if year_raw < 70 => 2000 + year_raw,
+                2 => 1900 + year_raw,
+                _ => year_raw,
+            };
+            return Date::new(year, month, day);
+        }
+        None
+    }
+
+    /// Days since 0000-03-01 using a proleptic-Gregorian day count.
+    /// Monotone in (year, month, day), which is all date arithmetic in the
+    /// pipeline needs (differences in days/years).
+    pub fn day_number(&self) -> i64 {
+        // Shift so the year starts in March; leap days then fall at the end.
+        let (y, m) = if self.month <= 2 {
+            (self.year as i64 - 1, self.month as i64 + 12)
+        } else {
+            (self.year as i64, self.month as i64)
+        };
+        365 * y + y.div_euclid(4) - y.div_euclid(100) + y.div_euclid(400)
+            + (153 * (m - 3) + 2) / 5
+            + self.day as i64
+    }
+
+    /// Whole days between `self` and `other` (positive when `self` is later).
+    pub fn days_between(&self, other: &Date) -> i64 {
+        self.day_number() - other.day_number()
+    }
+
+    /// Approximate year difference, as used by the paper's "transaction
+    /// dates within a difference of a few years" labeling fix (Section 8).
+    pub fn years_between(&self, other: &Date) -> f64 {
+        self.days_between(other) as f64 / 365.25
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// One table cell.
+///
+/// `Null` models missing data (empty CSV fields, `NaN` in the raw dumps).
+/// Equality treats `Null == Null` as true so hashing and deduplication work;
+/// code that needs SQL-style null semantics should test [`Value::is_null`]
+/// explicitly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Missing / not applicable.
+    Null,
+    /// Free text.
+    Str(String),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float. `NaN` payloads are normalised to `Null` at parse time.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Calendar date.
+    Date(Date),
+}
+
+impl Value {
+    /// True when the value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Borrows the string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: ints and floats coerce to `f64`; other types are `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view (floats are not silently truncated).
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Date view.
+    pub fn as_date(&self) -> Option<Date> {
+        match self {
+            Value::Date(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The [`DataType`](crate::schema::DataType) of this value, or `None`
+    /// for `Null` (nulls are typeless and fit any column).
+    pub fn data_type(&self) -> Option<crate::schema::DataType> {
+        use crate::schema::DataType;
+        match self {
+            Value::Null => None,
+            Value::Str(_) => Some(DataType::Str),
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Date(_) => Some(DataType::Date),
+        }
+    }
+
+    /// Renders the value the way the CSV writer and reports do: `Null`
+    /// becomes the empty string, everything else its display form.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            other => other.to_string(),
+        }
+    }
+
+    /// Total order used for sorting and medians: `Null` sorts first, then
+    /// values order within their type, then across types by type tag. This
+    /// gives profiling a deterministic order even over mixed columns.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn tag(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) => 2,
+                Value::Float(_) => 2, // ints and floats compare numerically
+                Value::Date(_) => 3,
+                Value::Str(_) => 4,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Date(a), Value::Date(b)) => a.cmp(b),
+            (a, b) if tag(a) == tag(b) && tag(a) == 2 => {
+                let (x, y) = (a.as_f64().unwrap_or(0.0), b.as_f64().unwrap_or(0.0));
+                x.partial_cmp(&y).unwrap_or(Ordering::Equal)
+            }
+            (a, b) => tag(a).cmp(&tag(b)),
+        }
+    }
+
+    /// Stable key for hashing/deduplication. Floats use their bit pattern,
+    /// so `-0.0` and `0.0` are distinct keys (acceptable for EM data, where
+    /// floats come from parsed text and are reproduced exactly).
+    pub fn dedup_key(&self) -> String {
+        match self {
+            Value::Null => "\u{0}N".to_string(),
+            Value::Str(s) => format!("S{s}"),
+            Value::Int(i) => format!("I{i}"),
+            Value::Float(f) => format!("F{:x}", f.to_bits()),
+            Value::Bool(b) => format!("B{b}"),
+            Value::Date(d) => format!("D{d}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, ""),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Date(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        if f.is_nan() {
+            Value::Null
+        } else {
+            Value::Float(f)
+        }
+    }
+}
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<Date> for Value {
+    fn from(d: Date) -> Self {
+        Value::Date(d)
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(o: Option<T>) -> Self {
+        o.map(Into::into).unwrap_or(Value::Null)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date_parses_iso() {
+        assert_eq!(Date::parse("1997-07-01"), Date::new(1997, 7, 1));
+    }
+
+    #[test]
+    fn date_parses_us_short_year() {
+        assert_eq!(Date::parse("10/1/08"), Date::new(2008, 10, 1));
+        assert_eq!(Date::parse("10/1/98"), Date::new(1998, 10, 1));
+    }
+
+    #[test]
+    fn date_parses_us_long_year() {
+        assert_eq!(Date::parse("8/15/2008"), Date::new(2008, 8, 15));
+    }
+
+    #[test]
+    fn date_rejects_garbage() {
+        assert_eq!(Date::parse("not a date"), None);
+        assert_eq!(Date::parse("2008-13-01"), None);
+        assert_eq!(Date::parse(""), None);
+    }
+
+    #[test]
+    fn date_day_number_is_monotone() {
+        let a = Date::new(2008, 10, 1).unwrap();
+        let b = Date::new(2008, 10, 2).unwrap();
+        let c = Date::new(2009, 1, 1).unwrap();
+        assert_eq!(b.days_between(&a), 1);
+        assert!(c.day_number() > b.day_number());
+    }
+
+    #[test]
+    fn date_years_between() {
+        let a = Date::new(2011, 8, 14).unwrap();
+        let b = Date::new(2008, 8, 15).unwrap();
+        let y = a.years_between(&b);
+        assert!((y - 3.0).abs() < 0.01, "{y}");
+    }
+
+    #[test]
+    fn value_coercions() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+        assert!(Value::from(f64::NAN).is_null());
+    }
+
+    #[test]
+    fn value_total_order_nulls_first() {
+        let mut vals = [Value::Int(2), Value::Null, Value::Int(1)];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert!(vals[0].is_null());
+        assert_eq!(vals[1], Value::Int(1));
+    }
+
+    #[test]
+    fn value_cross_type_numeric_order() {
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
+        assert_eq!(Value::Float(3.0).total_cmp(&Value::Int(2)), Ordering::Greater);
+    }
+
+    #[test]
+    fn dedup_key_distinguishes_types() {
+        assert_ne!(Value::Str("1".into()).dedup_key(), Value::Int(1).dedup_key());
+        assert_eq!(Value::Null.dedup_key(), Value::Null.dedup_key());
+    }
+
+    #[test]
+    fn render_null_empty() {
+        assert_eq!(Value::Null.render(), "");
+        assert_eq!(Value::Str("hi".into()).render(), "hi");
+    }
+
+    #[test]
+    fn option_into_value() {
+        assert_eq!(Value::from(None::<i64>), Value::Null);
+        assert_eq!(Value::from(Some(5i64)), Value::Int(5));
+    }
+}

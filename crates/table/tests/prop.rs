@@ -1,0 +1,99 @@
+//! Property-based tests for CSV round-tripping and table invariants.
+
+use em_table::{csv, DataType, Schema, Table, Value};
+use proptest::prelude::*;
+
+/// Arbitrary cell text, including CSV-hostile characters.
+fn cell() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~\n\"]{0,12}").expect("valid regex")
+}
+
+proptest! {
+    /// Any table of string cells survives a CSV write → read round trip,
+    /// up to the reader's canonicalizations (missing-value sentinels parse
+    /// to Null; numeric/date/bool-shaped columns re-type). To isolate the
+    /// quoting logic we compare rendered cells after re-rendering.
+    #[test]
+    fn csv_round_trip_preserves_rendered_cells(
+        rows in proptest::collection::vec(proptest::collection::vec(cell(), 3), 1..12)
+    ) {
+        let schema = Schema::of_strings(&["a", "b", "c"]);
+        let table = Table::from_rows(
+            "t",
+            schema,
+            rows.iter()
+                .map(|r| r.iter().map(|s| Value::Str(s.clone())).collect())
+                .collect(),
+        ).unwrap();
+
+        let text = csv::write_str(&table);
+        let back = csv::read_str("t", &text).unwrap();
+        prop_assert_eq!(back.n_rows(), table.n_rows());
+        prop_assert_eq!(back.n_cols(), table.n_cols());
+        // Rendering is stable across one more round trip.
+        let text2 = csv::write_str(&back);
+        let back2 = csv::read_str("t", &text2).unwrap();
+        prop_assert_eq!(back.rows(), back2.rows());
+    }
+
+    /// Sampling never invents rows, respects the bound, and is
+    /// deterministic in the seed.
+    #[test]
+    fn sample_invariants(n_rows in 0usize..40, k in 0usize..50, seed in any::<u64>()) {
+        let schema = Schema::of(&[("id", DataType::Int)]);
+        let table = Table::from_rows(
+            "t",
+            schema,
+            (0..n_rows as i64).map(|i| vec![Value::Int(i)]).collect(),
+        ).unwrap();
+        let s1 = table.sample(k, seed);
+        let s2 = table.sample(k, seed);
+        prop_assert_eq!(s1.rows(), s2.rows());
+        prop_assert_eq!(s1.n_rows(), k.min(n_rows));
+        // every sampled row exists in the source
+        for r in s1.rows() {
+            prop_assert!(table.rows().contains(r));
+        }
+        // no duplicates (ids are unique in the source)
+        let mut ids: Vec<i64> = s1.rows().iter().map(|r| r[0].as_int().unwrap()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), s1.n_rows());
+    }
+
+    /// Projection then projection composes; ordering of named columns is
+    /// honoured exactly.
+    #[test]
+    fn project_composes(perm in proptest::sample::select(vec![
+        ["a", "b", "c"], ["c", "a", "b"], ["b", "c", "a"],
+    ])) {
+        let schema = Schema::of_strings(&["a", "b", "c"]);
+        let table = Table::from_rows(
+            "t",
+            schema,
+            vec![vec!["1".into(), "2".into(), "3".into()]],
+        ).unwrap();
+        let p = table.project(&perm).unwrap();
+        prop_assert_eq!(p.schema().names(), perm.to_vec());
+        for name in &perm {
+            prop_assert_eq!(
+                p.get(0, name).unwrap().as_str(),
+                table.get(0, name).unwrap().as_str()
+            );
+        }
+        let pp = p.project(&["a", "b", "c"]).unwrap();
+        prop_assert_eq!(pp.rows(), table.rows());
+    }
+
+    /// Date day numbers are strictly monotone in (year, month, day) for
+    /// structurally valid dates.
+    #[test]
+    fn date_day_number_monotone(
+        y1 in 1900i32..2100, m1 in 1u8..=12, d1 in 1u8..=28,
+        y2 in 1900i32..2100, m2 in 1u8..=12, d2 in 1u8..=28,
+    ) {
+        let a = em_table::Date::new(y1, m1, d1).unwrap();
+        let b = em_table::Date::new(y2, m2, d2).unwrap();
+        prop_assert_eq!(a.cmp(&b), a.day_number().cmp(&b.day_number()));
+    }
+}

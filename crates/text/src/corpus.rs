@@ -1,0 +1,226 @@
+//! Corpus-weighted similarity: TF-IDF cosine and soft TF-IDF.
+//!
+//! Generic titles ("Lab Supplies") caused labeling trouble in the case study
+//! precisely because every-token-is-common pairs look similar under plain
+//! set measures. TF-IDF down-weights ubiquitous tokens so that sharing
+//! *rare* tokens counts for more; soft TF-IDF additionally credits
+//! near-matching tokens (via a secondary similarity such as Jaro-Winkler)
+//! to tolerate typos.
+
+use std::collections::HashMap;
+
+/// Token statistics over a document collection, supporting TF-IDF weights.
+///
+/// Build one corpus over the union of both tables' tokenized attribute
+/// values, then score pairs with [`TfIdfCorpus::cosine`] or
+/// [`TfIdfCorpus::soft_cosine`].
+#[derive(Debug, Clone, Default)]
+pub struct TfIdfCorpus {
+    doc_freq: HashMap<String, usize>,
+    n_docs: usize,
+}
+
+impl TfIdfCorpus {
+    /// Empty corpus (every token gets the smoothed minimum IDF).
+    pub fn new() -> TfIdfCorpus {
+        TfIdfCorpus::default()
+    }
+
+    /// Builds a corpus from tokenized documents.
+    pub fn from_documents<'a, I>(docs: I) -> TfIdfCorpus
+    where
+        I: IntoIterator<Item = &'a [String]>,
+    {
+        let mut c = TfIdfCorpus::new();
+        for d in docs {
+            c.add_document(d);
+        }
+        c
+    }
+
+    /// Adds one tokenized document to the statistics.
+    pub fn add_document(&mut self, tokens: &[String]) {
+        self.n_docs += 1;
+        let mut seen = std::collections::HashSet::new();
+        for t in tokens {
+            if seen.insert(t.as_str()) {
+                *self.doc_freq.entry(t.clone()).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Number of documents added.
+    pub fn n_docs(&self) -> usize {
+        self.n_docs
+    }
+
+    /// Smoothed inverse document frequency:
+    /// `ln((1 + N) / (1 + df)) + 1`, strictly positive, defined for unseen
+    /// tokens (df = 0).
+    pub fn idf(&self, token: &str) -> f64 {
+        let df = self.doc_freq.get(token).copied().unwrap_or(0);
+        ((1.0 + self.n_docs as f64) / (1.0 + df as f64)).ln() + 1.0
+    }
+
+    fn weight_vector<'a>(&self, tokens: &'a [String]) -> HashMap<&'a str, f64> {
+        let mut tf: HashMap<&str, f64> = HashMap::new();
+        for t in tokens {
+            *tf.entry(t.as_str()).or_insert(0.0) += 1.0;
+        }
+        for (t, w) in tf.iter_mut() {
+            *w *= self.idf(t);
+        }
+        tf
+    }
+
+    /// TF-IDF cosine similarity between two tokenized strings, in `[0, 1]`.
+    /// Two empty token lists score `1.0`; one empty scores `0.0`.
+    pub fn cosine(&self, a: &[String], b: &[String]) -> f64 {
+        if a.is_empty() && b.is_empty() {
+            return 1.0;
+        }
+        if a.is_empty() || b.is_empty() {
+            return 0.0;
+        }
+        let va = self.weight_vector(a);
+        let vb = self.weight_vector(b);
+        let dot: f64 = va
+            .iter()
+            .filter_map(|(t, wa)| vb.get(t).map(|wb| wa * wb))
+            .sum();
+        let na: f64 = va.values().map(|w| w * w).sum::<f64>().sqrt();
+        let nb: f64 = vb.values().map(|w| w * w).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+
+    /// Soft TF-IDF (Cohen et al.): like [`cosine`](Self::cosine) but tokens
+    /// of `a` are matched to their most-similar token of `b` under `inner`,
+    /// and pairs with `inner >= threshold` contribute
+    /// `w_a(t) · w_b(closest) · inner(t, closest)` to the dot product.
+    pub fn soft_cosine<F: Fn(&str, &str) -> f64>(
+        &self,
+        a: &[String],
+        b: &[String],
+        threshold: f64,
+        inner: F,
+    ) -> f64 {
+        if a.is_empty() && b.is_empty() {
+            return 1.0;
+        }
+        if a.is_empty() || b.is_empty() {
+            return 0.0;
+        }
+        let va = self.weight_vector(a);
+        let vb = self.weight_vector(b);
+        let mut dot = 0.0;
+        for (ta, wa) in &va {
+            let mut best: Option<(f64, f64)> = None; // (sim, wb)
+            for (tb, wb) in &vb {
+                let s = inner(ta, tb);
+                if s >= threshold && best.is_none_or(|(bs, _)| s > bs) {
+                    best = Some((s, *wb));
+                }
+            }
+            if let Some((s, wb)) = best {
+                dot += wa * wb * s;
+            }
+        }
+        let na: f64 = va.values().map(|w| w * w).sum::<f64>().sqrt();
+        let nb: f64 = vb.values().map(|w| w * w).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            (dot / (na * nb)).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::jaro_winkler;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    fn corpus() -> TfIdfCorpus {
+        TfIdfCorpus::from_documents(
+            [
+                toks("corn fungicide guidelines north central states"),
+                toks("swamp dodder ecology management carrot production"),
+                toks("lab supplies"),
+                toks("lab supplies"),
+                toks("lab supplies"),
+                toks("maize genetics epigenetic silencing"),
+            ]
+            .iter()
+            .map(Vec::as_slice),
+        )
+    }
+
+    #[test]
+    fn idf_orders_rare_above_common() {
+        let c = corpus();
+        assert!(c.idf("fungicide") > c.idf("lab"));
+        assert!(c.idf("unseen-token") >= c.idf("fungicide"));
+    }
+
+    #[test]
+    fn identical_docs_score_one() {
+        let c = corpus();
+        let t = toks("corn fungicide guidelines");
+        assert!((c.cosine(&t, &t) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_docs_score_zero() {
+        let c = corpus();
+        assert_eq!(c.cosine(&toks("corn"), &toks("dodder")), 0.0);
+    }
+
+    #[test]
+    fn rare_shared_token_beats_common_shared_token() {
+        let c = corpus();
+        // Both pairs share exactly one of their two tokens.
+        let rare = c.cosine(&toks("fungicide x"), &toks("fungicide y"));
+        let common = c.cosine(&toks("lab x"), &toks("lab y"));
+        assert!(rare > common, "{rare} <= {common}");
+    }
+
+    #[test]
+    fn empty_conventions() {
+        let c = corpus();
+        assert_eq!(c.cosine(&[], &[]), 1.0);
+        assert_eq!(c.cosine(&toks("a"), &[]), 0.0);
+        assert_eq!(c.soft_cosine(&[], &[], 0.9, jaro_winkler), 1.0);
+    }
+
+    #[test]
+    fn soft_cosine_tolerates_typos() {
+        let c = corpus();
+        let exact = c.cosine(&toks("fungicide guidelines"), &toks("fungicide guidelnes"));
+        let soft =
+            c.soft_cosine(&toks("fungicide guidelines"), &toks("fungicide guidelnes"), 0.9, jaro_winkler);
+        assert!(soft > exact, "{soft} <= {exact}");
+        assert!(soft <= 1.0);
+    }
+
+    #[test]
+    fn soft_cosine_threshold_blocks_weak_matches() {
+        let c = corpus();
+        let s = c.soft_cosine(&toks("corn"), &toks("dodder"), 0.9, jaro_winkler);
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn empty_corpus_still_defined() {
+        let c = TfIdfCorpus::new();
+        let s = c.cosine(&toks("a b"), &toks("a b"));
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,43 @@
+//! # em-text — tokenizers and string similarity for entity matching
+//!
+//! Hand-rolled equivalents of py_stringmatching, covering every measure the
+//! case study's feature generation and blocking use:
+//!
+//! - **Normalization** ([`normalize`]): the lowercase / strip-specials /
+//!   collapse-whitespace pipeline applied before blocking.
+//! - **Tokenizers** ([`tokenize`]): whitespace, word (alphanumeric), q-gram,
+//!   and delimiter tokenizers.
+//! - **Sequence similarity** ([`seq`]): Levenshtein, Damerau, Jaro,
+//!   Jaro-Winkler, Needleman-Wunsch, Smith-Waterman, affine gap.
+//! - **Set similarity** ([`set`]): Jaccard, overlap, overlap coefficient,
+//!   Dice, cosine, Tversky, Monge-Elkan.
+//! - **Corpus-weighted similarity** ([`corpus`]): TF-IDF and soft TF-IDF.
+//! - **Numeric comparators** ([`numeric`]): exact, absolute/relative
+//!   difference, year gaps.
+//! - **Phonetic encoding** ([`phonetic`]): American Soundex.
+//!
+//! ```
+//! use em_text::tokenize::{QgramTokenizer, Tokenizer};
+//! use em_text::set::jaccard;
+//!
+//! let t = QgramTokenizer::new(3);
+//! let a = t.tokenize("corn fungicide");
+//! let b = t.tokenize("corn fungicides");
+//! assert!(jaccard(&a, &b) > 0.8);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod normalize;
+pub mod numeric;
+pub mod phonetic;
+pub mod seq;
+pub mod set;
+pub mod tokenize;
+
+pub use corpus::TfIdfCorpus;
+pub use normalize::Normalizer;
+pub use tokenize::{
+    AlphanumericTokenizer, DelimiterTokenizer, QgramTokenizer, Tokenizer, WhitespaceTokenizer,
+};

@@ -1,0 +1,117 @@
+//! String normalization used before tokenization and blocking.
+//!
+//! Section 7 of the case study normalizes award titles by lower-casing and
+//! removing special characters before overlap blocking — but Section 9
+//! deliberately does *not* lowercase during pre-processing ("that often
+//! resulted in a loss of information"), instead lowercasing only where
+//! needed. [`Normalizer`] makes each choice explicit and composable so both
+//! behaviours (and the A-2 ablation between them) are expressible.
+
+/// A configurable string normalizer.
+///
+/// Steps are applied in a fixed order: lowercase → strip specials →
+/// collapse whitespace → trim. Each step is independently switchable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Normalizer {
+    /// ASCII-lowercase the input.
+    pub lowercase: bool,
+    /// Replace characters that are not alphanumeric or whitespace with a
+    /// space (quotes, hashes, exclamation marks, braces, … — the list the
+    /// paper removes before blocking).
+    pub strip_specials: bool,
+    /// Collapse runs of whitespace to a single space.
+    pub collapse_whitespace: bool,
+}
+
+impl Normalizer {
+    /// The paper's blocking normalization: lowercase + strip specials +
+    /// collapse whitespace.
+    pub fn for_blocking() -> Normalizer {
+        Normalizer { lowercase: true, strip_specials: true, collapse_whitespace: true }
+    }
+
+    /// Identity (no-op) normalizer.
+    pub fn none() -> Normalizer {
+        Normalizer { lowercase: false, strip_specials: false, collapse_whitespace: false }
+    }
+
+    /// Lowercase only — the case-insensitive feature variant of Section 9.
+    pub fn lowercase_only() -> Normalizer {
+        Normalizer { lowercase: true, strip_specials: false, collapse_whitespace: false }
+    }
+
+    /// Applies the configured steps.
+    pub fn apply(&self, s: &str) -> String {
+        let mut out: String = if self.strip_specials {
+            s.chars()
+                .map(|c| if c.is_alphanumeric() || c.is_whitespace() { c } else { ' ' })
+                .collect()
+        } else {
+            s.to_string()
+        };
+        if self.lowercase {
+            out = out.to_lowercase();
+        }
+        if self.collapse_whitespace {
+            let mut collapsed = String::with_capacity(out.len());
+            let mut prev_space = false;
+            for c in out.chars() {
+                if c.is_whitespace() {
+                    if !prev_space {
+                        collapsed.push(' ');
+                    }
+                    prev_space = true;
+                } else {
+                    collapsed.push(c);
+                    prev_space = false;
+                }
+            }
+            out = collapsed;
+        }
+        out.trim().to_string()
+    }
+}
+
+impl Default for Normalizer {
+    fn default() -> Self {
+        Normalizer::for_blocking()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocking_normalization() {
+        let n = Normalizer::for_blocking();
+        assert_eq!(
+            n.apply("  \"Swamp Dodder (Cuscuta gronovii)\"  Applied!  "),
+            "swamp dodder cuscuta gronovii applied"
+        );
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let n = Normalizer::none();
+        assert_eq!(n.apply("A  (b)!"), "A  (b)!");
+    }
+
+    #[test]
+    fn lowercase_only_keeps_punctuation() {
+        let n = Normalizer::lowercase_only();
+        assert_eq!(n.apply("IPM-Based Corn"), "ipm-based corn");
+    }
+
+    #[test]
+    fn collapse_handles_tabs_and_newlines() {
+        let n = Normalizer { lowercase: false, strip_specials: false, collapse_whitespace: true };
+        assert_eq!(n.apply("a\t\tb\n c"), "a b c");
+    }
+
+    #[test]
+    fn unicode_alphanumerics_survive_strip() {
+        let n = Normalizer::for_blocking();
+        assert_eq!(n.apply("café #9"), "café 9");
+    }
+}

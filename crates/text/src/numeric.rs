@@ -1,0 +1,74 @@
+//! Numeric and date comparators used as non-string features (Section 9
+//! footnote 7: "numeric features (e.g., absolute difference, exact match)").
+//!
+//! Comparators return `None` when either side is missing; the feature layer
+//! maps `None` to a missing feature value to be imputed later.
+
+/// Exact numeric equality as a 0/1 similarity.
+pub fn exact(a: Option<f64>, b: Option<f64>) -> Option<f64> {
+    Some(f64::from(a? == b?))
+}
+
+/// Absolute difference `|a - b|` (a distance, not a similarity; the model
+/// learns the direction).
+pub fn abs_diff(a: Option<f64>, b: Option<f64>) -> Option<f64> {
+    Some((a? - b?).abs())
+}
+
+/// Relative difference `|a - b| / max(|a|, |b|)`, in `[0, 1]` for same-sign
+/// inputs; `0` when both are zero.
+pub fn rel_diff(a: Option<f64>, b: Option<f64>) -> Option<f64> {
+    let (a, b) = (a?, b?);
+    let denom = a.abs().max(b.abs());
+    if denom == 0.0 {
+        Some(0.0)
+    } else {
+        Some((a - b).abs() / denom)
+    }
+}
+
+/// Relative similarity `1 - min(rel_diff, 1)`, in `[0, 1]`.
+pub fn rel_sim(a: Option<f64>, b: Option<f64>) -> Option<f64> {
+    rel_diff(a, b).map(|d| 1.0 - d.min(1.0))
+}
+
+/// Absolute difference in whole years between two day numbers (see
+/// `em_table::Date::day_number`) — the "transaction dates within a few
+/// years" comparator from the Section 8 label fixes.
+pub fn year_gap(day_a: Option<i64>, day_b: Option<i64>) -> Option<f64> {
+    Some(((day_a? - day_b?).abs() as f64) / 365.25)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_matches() {
+        assert_eq!(exact(Some(2.0), Some(2.0)), Some(1.0));
+        assert_eq!(exact(Some(2.0), Some(3.0)), Some(0.0));
+        assert_eq!(exact(None, Some(3.0)), None);
+    }
+
+    #[test]
+    fn abs_diff_basic() {
+        assert_eq!(abs_diff(Some(10.0), Some(4.0)), Some(6.0));
+        assert_eq!(abs_diff(Some(4.0), Some(10.0)), Some(6.0));
+        assert_eq!(abs_diff(Some(4.0), None), None);
+    }
+
+    #[test]
+    fn rel_diff_bounds() {
+        assert_eq!(rel_diff(Some(0.0), Some(0.0)), Some(0.0));
+        assert_eq!(rel_diff(Some(5.0), Some(10.0)), Some(0.5));
+        assert_eq!(rel_sim(Some(5.0), Some(10.0)), Some(0.5));
+        assert_eq!(rel_sim(Some(7.0), Some(7.0)), Some(1.0));
+    }
+
+    #[test]
+    fn year_gap_scales_days() {
+        let gap = year_gap(Some(0), Some(731)).unwrap();
+        assert!((gap - 2.0).abs() < 0.01);
+        assert_eq!(year_gap(None, Some(1)), None);
+    }
+}

@@ -1,0 +1,323 @@
+//! Sequence (character-level) similarity measures: edit distances and
+//! alignment scores. These back the string features PyMatcher generates
+//! automatically (edit distance, Jaro, Jaro-Winkler, Needleman-Wunsch,
+//! Smith-Waterman, affine gap).
+//!
+//! All `*_sim` functions return a similarity in `[0, 1]` with `1` meaning
+//! identical; two empty strings are defined to have similarity `1`.
+
+/// Levenshtein edit distance (insert/delete/substitute, unit costs).
+/// `O(|a|·|b|)` time, `O(min(|a|,|b|))` space.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur = vec![0usize; short.len() + 1];
+    for (i, lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// Levenshtein similarity: `1 - dist / max_len` (1.0 for two empty strings).
+pub fn levenshtein_sim(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Damerau-Levenshtein distance (restricted: adjacent transpositions count
+/// as one edit, no substring may be edited twice).
+#[allow(clippy::needless_range_loop)] // index DP reads more clearly than zipped iterators
+pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (n, m) = (a.len(), b.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    let mut d = vec![vec![0usize; m + 1]; n + 1];
+    for (i, row) in d.iter_mut().enumerate() {
+        row[0] = i;
+    }
+    for j in 0..=m {
+        d[0][j] = j;
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let mut best = (d[i - 1][j] + 1).min(d[i][j - 1] + 1).min(d[i - 1][j - 1] + cost);
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                best = best.min(d[i - 2][j - 2] + 1);
+            }
+            d[i][j] = best;
+        }
+    }
+    d[n][m]
+}
+
+/// Jaro similarity.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches_a: Vec<char> = Vec::new();
+    for (i, ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == *ca {
+                b_used[j] = true;
+                matches_a.push(*ca);
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let matches_b: Vec<char> =
+        b.iter().zip(&b_used).filter(|(_, used)| **used).map(|(c, _)| *c).collect();
+    let transpositions =
+        matches_a.iter().zip(&matches_b).filter(|(x, y)| x != y).count() / 2;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity with the standard prefix scale `p = 0.1` and a
+/// maximum rewarded prefix of 4 characters.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count();
+    j + prefix as f64 * 0.1 * (1.0 - j)
+}
+
+/// Needleman-Wunsch global alignment score with unit match reward,
+/// zero mismatch reward, and linear gap cost `gap`. Can be negative.
+pub fn needleman_wunsch(a: &str, b: &str, gap: f64) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<f64> = (0..=b.len()).map(|j| -(j as f64) * gap).collect();
+    let mut cur = vec![0.0; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = -((i + 1) as f64) * gap;
+        for (j, cb) in b.iter().enumerate() {
+            let diag = prev[j] + if ca == cb { 1.0 } else { 0.0 };
+            cur[j + 1] = diag.max(prev[j + 1] - gap).max(cur[j] - gap);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Needleman-Wunsch similarity: score with `gap = 1`, clamped at 0 and
+/// normalized by the longer length (1.0 for two empty strings).
+pub fn needleman_wunsch_sim(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    (needleman_wunsch(a, b, 1.0).max(0.0)) / max_len as f64
+}
+
+/// Smith-Waterman local alignment score with unit match reward, zero
+/// mismatch reward, and linear gap cost `gap`. Non-negative by construction.
+pub fn smith_waterman(a: &str, b: &str, gap: f64) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev = vec![0.0f64; b.len() + 1];
+    let mut cur = vec![0.0f64; b.len() + 1];
+    let mut best = 0.0f64;
+    for ca in &a {
+        for (j, cb) in b.iter().enumerate() {
+            let diag = prev[j] + if ca == cb { 1.0 } else { 0.0 };
+            cur[j + 1] = diag.max(prev[j + 1] - gap).max(cur[j] - gap).max(0.0);
+            best = best.max(cur[j + 1]);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    best
+}
+
+/// Smith-Waterman similarity: score with `gap = 1` normalized by the shorter
+/// length — the best local alignment cannot exceed it (1.0 for two empties).
+pub fn smith_waterman_sim(a: &str, b: &str) -> f64 {
+    let min_len = a.chars().count().min(b.chars().count());
+    if min_len == 0 {
+        return if a.is_empty() && b.is_empty() { 1.0 } else { 0.0 };
+    }
+    smith_waterman(a, b, 1.0) / min_len as f64
+}
+
+/// Affine-gap global alignment score (Gotoh): gap opening cost `open`,
+/// per-character continuation cost `extend`, unit match, zero mismatch.
+#[allow(clippy::needless_range_loop)] // index DP reads more clearly than zipped iterators
+pub fn affine_gap(a: &str, b: &str, open: f64, extend: f64) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let neg = f64::NEG_INFINITY;
+    let n = a.len();
+    let m = b.len();
+    // m_[j]: best score ending in a match/mismatch; x: gap in b; y: gap in a.
+    let mut m_prev = vec![neg; m + 1];
+    let mut x_prev = vec![neg; m + 1];
+    let mut y_prev = vec![neg; m + 1];
+    m_prev[0] = 0.0;
+    for j in 1..=m {
+        y_prev[j] = -open - (j - 1) as f64 * extend;
+    }
+    for i in 1..=n {
+        let mut m_cur = vec![neg; m + 1];
+        let mut x_cur = vec![neg; m + 1];
+        let mut y_cur = vec![neg; m + 1];
+        x_cur[0] = -open - (i - 1) as f64 * extend;
+        for j in 1..=m {
+            let score = if a[i - 1] == b[j - 1] { 1.0 } else { 0.0 };
+            m_cur[j] = score + m_prev[j - 1].max(x_prev[j - 1]).max(y_prev[j - 1]);
+            x_cur[j] = (m_prev[j] - open).max(x_prev[j] - extend);
+            y_cur[j] = (m_cur[j - 1] - open).max(y_cur[j - 1] - extend);
+        }
+        m_prev = m_cur;
+        x_prev = x_cur;
+        y_prev = y_cur;
+    }
+    m_prev[m].max(x_prev[m]).max(y_prev[m])
+}
+
+/// Exact string equality as a 0/1 similarity.
+pub fn exact_sim(a: &str, b: &str) -> f64 {
+    f64::from(a == b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} != {b}");
+    }
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn levenshtein_sim_bounds() {
+        close(levenshtein_sim("", ""), 1.0);
+        close(levenshtein_sim("abc", "abc"), 1.0);
+        close(levenshtein_sim("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn damerau_counts_transposition_once() {
+        assert_eq!(levenshtein("ca", "ac"), 2);
+        assert_eq!(damerau_levenshtein("ca", "ac"), 1);
+        assert_eq!(damerau_levenshtein("a cat", "a abct"), 3);
+    }
+
+    #[test]
+    fn jaro_known_values() {
+        close(jaro("MARTHA", "MARHTA"), 0.9444444444444445);
+        close(jaro("DIXON", "DICKSONX"), 0.7666666666666666);
+        close(jaro("", ""), 1.0);
+        close(jaro("a", ""), 0.0);
+        close(jaro("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_known_values() {
+        close(jaro_winkler("MARTHA", "MARHTA"), 0.9611111111111111);
+        close(jaro_winkler("DWAYNE", "DUANE"), 0.8400000000000001);
+        assert!(jaro_winkler("prefix", "pref") > jaro("prefix", "pref"));
+    }
+
+    #[test]
+    fn nw_identical_and_disjoint() {
+        close(needleman_wunsch("abc", "abc", 1.0), 3.0);
+        close(needleman_wunsch_sim("abc", "abc"), 1.0);
+        assert!(needleman_wunsch("abc", "xyz", 1.0) <= 0.0);
+        close(needleman_wunsch_sim("", ""), 1.0);
+    }
+
+    #[test]
+    fn nw_gap_cost_applied() {
+        // align "ab" with "axb": one gap → 2 matches - 1 gap = 1
+        close(needleman_wunsch("ab", "axb", 1.0), 1.0);
+    }
+
+    #[test]
+    fn sw_finds_local_match() {
+        close(smith_waterman("xxhelloyy", "zzhellozz", 1.0), 5.0);
+        close(smith_waterman_sim("abc", "abc"), 1.0);
+        close(smith_waterman_sim("", "a"), 0.0);
+        close(smith_waterman_sim("", ""), 1.0);
+    }
+
+    #[test]
+    fn affine_gap_prefers_one_long_gap() {
+        // "abcd" vs "ad": the two middle chars are one gap.
+        let one_gap = affine_gap("abcd", "ad", 1.0, 0.5);
+        close(one_gap, 2.0 - 1.0 - 0.5); // 2 matches - open - one extension
+        // identical strings score their length
+        close(affine_gap("abc", "abc", 1.0, 0.5), 3.0);
+    }
+
+    #[test]
+    fn affine_gap_empty_cases() {
+        close(affine_gap("", "", 1.0, 0.5), 0.0);
+        close(affine_gap("ab", "", 1.0, 0.5), -1.5);
+    }
+
+    #[test]
+    fn exact_sim_cases() {
+        close(exact_sim("a", "a"), 1.0);
+        close(exact_sim("a", "A"), 0.0);
+    }
+
+    #[test]
+    fn all_sims_symmetric() {
+        for (a, b) in [("grant title", "grant titel"), ("WIS01040", "WIS04059"), ("", "x")] {
+            close(levenshtein_sim(a, b), levenshtein_sim(b, a));
+            close(jaro(a, b), jaro(b, a));
+            close(jaro_winkler(a, b), jaro_winkler(b, a));
+            close(needleman_wunsch_sim(a, b), needleman_wunsch_sim(b, a));
+            close(smith_waterman_sim(a, b), smith_waterman_sim(b, a));
+        }
+    }
+
+    #[test]
+    fn unicode_safe() {
+        assert_eq!(levenshtein("café", "cafe"), 1);
+        assert!(jaro("naïve", "naive") > 0.8);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for similarity-measure invariants.
+
+use em_text::seq::*;
+use em_text::set::*;
+use em_text::tokenize::{QgramTokenizer, Tokenizer, WhitespaceTokenizer};
+use em_text::TfIdfCorpus;
+use proptest::prelude::*;
+
+fn word() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9]{0,8}").expect("valid regex")
+}
+
+fn words() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(
+        proptest::string::string_regex("[a-z]{1,5}").expect("valid regex"),
+        0..8,
+    )
+}
+
+proptest! {
+    /// Levenshtein is a metric: identity, symmetry, triangle inequality.
+    #[test]
+    fn levenshtein_is_a_metric(a in word(), b in word(), c in word()) {
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+    }
+
+    /// Levenshtein is bounded by the longer length; zero iff equal.
+    #[test]
+    fn levenshtein_bounds(a in word(), b in word()) {
+        let d = levenshtein(&a, &b);
+        prop_assert!(d <= a.chars().count().max(b.chars().count()));
+        prop_assert_eq!(d == 0, a == b);
+    }
+
+    /// Damerau never exceeds plain Levenshtein and is still symmetric.
+    #[test]
+    fn damerau_le_levenshtein(a in word(), b in word()) {
+        prop_assert!(damerau_levenshtein(&a, &b) <= levenshtein(&a, &b));
+        prop_assert_eq!(damerau_levenshtein(&a, &b), damerau_levenshtein(&b, &a));
+    }
+
+    /// Jaro and Jaro-Winkler stay in [0,1]; JW only boosts (never lowers)
+    /// and equals 1 exactly on identical strings.
+    #[test]
+    fn jaro_family_bounds(a in word(), b in word()) {
+        let j = jaro(&a, &b);
+        let jw = jaro_winkler(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert!((0.0..=1.0).contains(&jw));
+        prop_assert!(jw >= j - 1e-12);
+        if a == b {
+            prop_assert!((jw - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// Set measures live in [0,1]; identity scores 1; overlap coefficient
+    /// dominates Jaccard which is dominated by Dice.
+    #[test]
+    fn set_measure_ordering(a in words(), b in words()) {
+        let jac = jaccard(&a, &b);
+        let oc = overlap_coefficient(&a, &b);
+        let dc = dice(&a, &b);
+        let cs = cosine(&a, &b);
+        for v in [jac, oc, dc, cs] {
+            prop_assert!((0.0..=1.0).contains(&v), "{} out of range", v);
+        }
+        prop_assert!(oc >= jac - 1e-12);
+        prop_assert!(dc >= jac - 1e-12);
+        prop_assert!((jaccard(&a, &a) - 1.0).abs() < 1e-12);
+        // cosine >= jaccard (AM-GM on set sizes)
+        prop_assert!(cs >= jac - 1e-12);
+    }
+
+    /// overlap_size is consistent with the definition of Jaccard.
+    #[test]
+    fn overlap_size_consistent(a in words(), b in words()) {
+        let inter = overlap_size(&a, &b) as f64;
+        let ua: std::collections::HashSet<&str> = a.iter().map(String::as_str).collect();
+        let ub: std::collections::HashSet<&str> = b.iter().map(String::as_str).collect();
+        let union = (ua.len() + ub.len()) as f64 - inter;
+        if union > 0.0 {
+            prop_assert!((jaccard(&a, &b) - inter / union).abs() < 1e-12);
+        }
+    }
+
+    /// Q-gram tokenization of a string of length >= q yields exactly
+    /// len - q + 1 grams, each of length q, and they reconstruct the string.
+    #[test]
+    fn qgram_structure(s in proptest::string::string_regex("[a-z]{3,20}").unwrap()) {
+        let q = 3usize;
+        let grams = QgramTokenizer::new(q).tokenize(&s);
+        let n = s.chars().count();
+        prop_assert_eq!(grams.len(), n - q + 1);
+        for g in &grams {
+            prop_assert_eq!(g.chars().count(), q);
+        }
+        // overlapping reconstruction: gram i+1 shares q-1 chars with gram i
+        for w in grams.windows(2) {
+            prop_assert_eq!(&w[0][1..], &w[1][..w[1].len() - 1]);
+        }
+    }
+
+    /// Whitespace tokens never contain whitespace and join back into a
+    /// whitespace-normal form of the input.
+    #[test]
+    fn whitespace_tokens_clean(s in proptest::string::string_regex("[a-z ]{0,30}").unwrap()) {
+        let toks = WhitespaceTokenizer.tokenize(&s);
+        for t in &toks {
+            prop_assert!(!t.chars().any(char::is_whitespace));
+            prop_assert!(!t.is_empty());
+        }
+        prop_assert_eq!(toks.join(" "), s.split_whitespace().collect::<Vec<_>>().join(" "));
+    }
+
+    /// TF-IDF cosine is symmetric, bounded, and 1 on identical docs.
+    #[test]
+    fn tfidf_cosine_properties(docs in proptest::collection::vec(words(), 1..6), a in words(), b in words()) {
+        let corpus = TfIdfCorpus::from_documents(docs.iter().map(Vec::as_slice));
+        let ab = corpus.cosine(&a, &b);
+        let ba = corpus.cosine(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&ab));
+        prop_assert!((corpus.cosine(&a, &a) - 1.0).abs() < 1e-9);
+    }
+
+    /// Monge-Elkan with an exact inner function is bounded and reaches 1 on
+    /// identical token lists.
+    #[test]
+    fn monge_elkan_bounds(a in words(), b in words()) {
+        let inner = |x: &str, y: &str| f64::from(x == y);
+        let m = monge_elkan(&a, &b, inner);
+        prop_assert!((0.0..=1.0).contains(&m));
+        prop_assert!((monge_elkan(&a, &a, inner) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,88 @@
+//! Collaborative labeling logistics (Section 8 / Section 13): two teams
+//! label the same sample, the label store cross-checks them, conflicts are
+//! surfaced for the face-to-face discussion, and the settled labels are
+//! persisted as the CSV the teams actually exchange.
+//!
+//! Run with: `cargo run --release --example collaborative_labeling`
+
+use umetrics_em::core::blocking_plan::{run_blocking, BlockingPlan};
+use umetrics_em::core::labeling::{accession_of, award_of, sample_unlabeled, LabeledSet};
+use umetrics_em::core::labelstore::{LabelRecord, LabelStore, MergePolicy};
+use umetrics_em::core::preprocess::{project_umetrics, project_usda};
+use umetrics_em::datagen::{Oracle, OracleConfig, PairView, Scenario, ScenarioConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = Scenario::generate(ScenarioConfig::small())?;
+    let u = project_umetrics(&scenario.award_agg, &scenario.employees)?;
+    let s = project_usda(&scenario.usda, true)?;
+    let candidates = run_blocking(&u, &s, &BlockingPlan::default())?.consolidated;
+
+    // Sample 100 pairs, as in the paper's first labeling round.
+    let sample = sample_unlabeled(&candidates, &LabeledSet::new(), 100, 7);
+    let oracle = Oracle::new(&scenario.truth, OracleConfig::default());
+
+    // Both teams label the same pairs: the experts with their first-round
+    // behaviour (mistakes included), the EM team with its own reading.
+    let mut store = LabelStore::new();
+    for pair in &sample {
+        let award = award_of(&u, pair.left);
+        let acc = accession_of(&s, pair.right);
+        let urow = u.row(pair.left).unwrap();
+        let srow = s.row(pair.right).unwrap();
+        let view = PairView {
+            award_number: &award,
+            accession: &acc,
+            left_title: urow.str("AwardTitle").unwrap_or(""),
+            right_title: srow.str("AwardTitle").unwrap_or(""),
+            right_award_number: srow.str("AwardNumber"),
+            right_project_number: srow.str("ProjectNumber"),
+        };
+        let initial = oracle.label_initial(&view);
+        let settled = oracle.label(&view);
+        store.record(LabelRecord {
+            award: award.clone(),
+            accession: acc.clone(),
+            label: initial,
+            labeler: "umetrics-team".to_string(),
+        });
+        store.record(LabelRecord {
+            award,
+            accession: acc,
+            label: settled,
+            labeler: "em-team".to_string(),
+        });
+    }
+
+    // The cross-check of Section 8 ("we observed 22 mismatched labels").
+    let mismatches = store.cross_check("umetrics-team", "em-team");
+    println!("cross-check: {} of {} labels disagree (paper: 22 of 100)", mismatches.len(), sample.len());
+    for m in mismatches.iter().take(5) {
+        let votes: Vec<String> =
+            m.votes.iter().map(|(who, l)| format!("{who}={l}")).collect();
+        println!("  {} ↔ {}: {}", m.award, m.accession, votes.join("  "));
+    }
+    if mismatches.len() > 5 {
+        println!("  … {} more (shared via the label CSV, as the teams used Google Sheets)", mismatches.len() - 5);
+    }
+
+    // After discussion, merge conservatively: disagreements become Unsure
+    // until settled.
+    let (merged, conflicts) = store.merge(MergePolicy::UnanimousOrUnsure);
+    let unsure = merged.values().filter(|&&l| l == umetrics_em::estimate::Label::Unsure).count();
+    println!("\nmerged under unanimous-or-unsure: {} pairs, {} unsettled ({} conflicts recorded)",
+        merged.len(), unsure, conflicts.len());
+
+    // Persist: the artifact the teams exchange and re-load next session.
+    let path = std::env::temp_dir().join("umetrics-labels.csv");
+    store.save(&path)?;
+    let reloaded = LabelStore::load(&path)?;
+    assert_eq!(store, reloaded);
+    println!("\nlabel store persisted to {} and reloaded identically", path.display());
+
+    // And resolve onto table rows for training.
+    let labeled = reloaded.to_labeled_set(MergePolicy::UnanimousOrUnsure, &u, &s)?;
+    let (y, n, uns) = labeled.counts();
+    println!("training view: {y} Yes / {n} No / {uns} Unsure");
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! The Section 9 matcher bake-off: five-fold cross-validation of six
+//! learners, before and after adding case-insensitive features — the fix
+//! that changed the winner in the paper (random forest → decision tree).
+//!
+//! Run with: `cargo run --release --example matcher_bakeoff`
+
+use umetrics_em::core::blocking_plan::{run_blocking, BlockingPlan};
+use umetrics_em::core::labeling::run_labeling;
+use umetrics_em::core::matcher::{build_training_data, select_matcher, train_matcher, MatcherStage};
+use umetrics_em::core::preprocess::{project_umetrics, project_usda};
+use umetrics_em::datagen::{Oracle, OracleConfig, Scenario, ScenarioConfig};
+use umetrics_em::features::auto_features;
+use umetrics_em::rules::{EqualityRule, RuleSet};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = Scenario::generate(ScenarioConfig::small())?;
+    let u = project_umetrics(&scenario.award_agg, &scenario.employees)?;
+    let s = project_usda(&scenario.usda, false)?;
+    let candidates = run_blocking(&u, &s, &BlockingPlan::default())?.consolidated;
+
+    // Label 200 sampled pairs with the simulated expert team.
+    let oracle = Oracle::new(&scenario.truth, OracleConfig::default());
+    let (labeled, _) = run_labeling(&u, &s, &candidates, &oracle, &[100, 100], 7)?;
+    let (yes, no, unsure) = labeled.counts();
+    println!("labeled sample: {yes} Yes / {no} No / {unsure} Unsure");
+
+    // Sure-match pairs are excluded from training (rules handle them).
+    let m1 = RuleSet {
+        positive: vec![EqualityRule::suffix_equals("M1", "AwardNumber", "AwardNumber")],
+        negative: vec![],
+    };
+
+    for (title, stage) in [
+        ("round 1: case-sensitive features", MatcherStage::new(7)),
+        (
+            "round 2: + case-insensitive features",
+            MatcherStage::new(7).with_case_insensitive(),
+        ),
+    ] {
+        let features = auto_features(&u, &s, &stage.feature_opts);
+        let (data, _) = build_training_data(&u, &s, &features, &labeled, &m1)?;
+        let ranking = select_matcher(&data, &stage)?;
+        println!(
+            "\n{title}  ({} features, {} training pairs, {} positive)",
+            features.len(),
+            data.len(),
+            data.n_positive()
+        );
+        println!("  {:<22} {:>8} {:>8} {:>8}", "matcher", "P", "R", "F1");
+        for row in &ranking {
+            println!(
+                "  {:<22} {:>7.1}% {:>7.1}% {:>7.1}%",
+                row.learner,
+                100.0 * row.precision(),
+                100.0 * row.recall(),
+                100.0 * row.f1()
+            );
+        }
+        println!("  → selected: {}", ranking[0].learner);
+
+        // Explain the winner: which features carry the decision (the
+        // PyMatcher debugger's importance view, for tree-based winners).
+        let (data2, imputer) = build_training_data(&u, &s, &features, &labeled, &m1)?;
+        let matcher =
+            train_matcher(features.clone(), imputer, &data2, &ranking[0].learner, &stage)?;
+        if let Some(top) = matcher.top_features(5) {
+            println!("  top features:");
+            for (name, importance) in top {
+                println!("    {name:<28} {:>5.1}%", 100.0 * importance);
+            }
+        }
+    }
+    Ok(())
+}

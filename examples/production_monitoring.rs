@@ -1,0 +1,77 @@
+//! Packaging the workflow and monitoring it in production — the Section 12
+//! "next steps": serialize the final workflow as a reviewable spec, re-run
+//! it on new data slices, and watch estimated precision per slice, flagging
+//! slices that need a return to the development stage.
+//!
+//! Run with: `cargo run --release --example production_monitoring`
+
+use umetrics_em::core::blocking_plan::{run_blocking, BlockingPlan};
+use umetrics_em::core::labeling::run_labeling;
+use umetrics_em::core::matcher::{build_training_data, select_matcher, train_matcher};
+use umetrics_em::core::monitor::{AccuracyMonitor, MonitorConfig};
+use umetrics_em::core::preprocess::{project_umetrics, project_usda};
+use umetrics_em::core::spec::WorkflowSpec;
+use umetrics_em::datagen::{Oracle, OracleConfig, Scenario, ScenarioConfig};
+use umetrics_em::features::auto_features;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- Development stage: train the workflow on the first slice. ----
+    let dev = Scenario::generate(ScenarioConfig::small().with_seed(2015))?;
+    let u = project_umetrics(&dev.award_agg, &dev.employees)?;
+    let s = project_usda(&dev.usda, true)?;
+    let candidates = run_blocking(&u, &s, &BlockingPlan::default())?.consolidated;
+    let oracle = Oracle::new(&dev.truth, OracleConfig::default());
+    let (labeled, _) = run_labeling(&u, &s, &candidates, &oracle, &[100, 100], 7)?;
+
+    let spec = WorkflowSpec::umetrics_usda();
+    println!("packaged workflow spec (checked into the repository):\n");
+    println!("{}", spec.to_text());
+    // The spec round-trips: this is what production re-reads.
+    let spec = WorkflowSpec::parse(&spec.to_text())?;
+
+    let stage = spec.matcher_stage(7);
+    let features = auto_features(&u, &s, &stage.feature_opts);
+    let (data, imputer) = build_training_data(&u, &s, &features, &labeled, &spec.rules())?;
+    let ranking = select_matcher(&data, &stage)?;
+    let matcher = train_matcher(features, imputer, &data, &ranking[0].learner, &stage)?;
+    println!("trained matcher: {} (selection F1 {:.1}%)\n", matcher.learner_name,
+        100.0 * ranking[0].f1());
+
+    // ---- Production: monitor new slices as they arrive. ----
+    let monitor = AccuracyMonitor {
+        rules: spec.rules(),
+        plan: spec.blocking,
+        matcher: &matcher,
+        apply_negative: spec.apply_negative,
+        config: MonitorConfig { sample_size: 80, precision_floor: 0.85, seed: 3 },
+    };
+
+    println!("{:<14} {:>8} {:>8} {:>22} {:>7}", "slice", "matches", "sampled", "precision est.", "alert");
+    for (name, seed, degrade) in [
+        ("FY2016", 2016u64, false),
+        ("FY2017", 2017, false),
+        ("FY2018-dirty", 2018, true), // a slice whose identifiers went missing
+    ] {
+        let mut cfg = ScenarioConfig::small().with_seed(seed);
+        if degrade {
+            cfg.p_sibling_title = 0.85;
+            cfg.frac_federal = 0.0;
+            cfg.p_project_number_present = 0.0;
+        }
+        let slice = Scenario::generate(cfg)?;
+        let su = project_umetrics(&slice.award_agg, &slice.employees)?;
+        let ss = project_usda(&slice.usda, true)?;
+        let slice_oracle = Oracle::new(&slice.truth, OracleConfig::default());
+        let report = monitor.check_slice(name, &su, &ss, &slice_oracle)?;
+        println!(
+            "{:<14} {:>8} {:>8} {:>22} {:>7}",
+            report.slice,
+            report.n_matches,
+            report.n_sampled,
+            report.estimate.precision.to_string(),
+            if report.alert { "ALERT" } else { "ok" }
+        );
+    }
+    println!("\nan ALERT means the slice goes back to the development stage, as Section 12 prescribes.");
+    Ok(())
+}

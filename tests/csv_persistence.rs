@@ -1,0 +1,69 @@
+//! Cross-crate integration: the generated scenario survives a round trip
+//! through CSV files on disk — the form the real raw data arrives in
+//! ("We received the raw data … in a Google Drive folder") — and the
+//! pipeline front half produces identical results from the reloaded copy.
+
+use std::path::{Path, PathBuf};
+use umetrics_em::core::blocking_plan::{run_blocking, BlockingPlan};
+use umetrics_em::core::preprocess::{project_umetrics, project_usda};
+use umetrics_em::datagen::{Scenario, ScenarioConfig};
+use umetrics_em::table::{csv, Table};
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("umetrics-em-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn round_trip(dir: &Path, t: &Table) -> Table {
+    let path = dir.join(format!("{}.csv", t.name()));
+    csv::write_path(t, &path).unwrap();
+    csv::read_path(&path).unwrap()
+}
+
+#[test]
+fn scenario_round_trips_through_disk_and_pipeline_agrees() {
+    let dir = tempdir("roundtrip");
+    let s = Scenario::generate(ScenarioConfig::small()).unwrap();
+
+    let award_agg2 = round_trip(&dir, &s.award_agg);
+    let employees2 = round_trip(&dir, &s.employees);
+    let usda2 = round_trip(&dir, &s.usda);
+
+    assert_eq!(award_agg2.n_rows(), s.award_agg.n_rows());
+    assert_eq!(award_agg2.n_cols(), s.award_agg.n_cols());
+    assert_eq!(usda2.n_cols(), 78);
+
+    // The pipeline front half must behave identically on the reloaded copy.
+    let u1 = project_umetrics(&s.award_agg, &s.employees).unwrap();
+    let u2 = project_umetrics(&award_agg2, &employees2).unwrap();
+    let d1 = project_usda(&s.usda, true).unwrap();
+    let d2 = project_usda(&usda2, true).unwrap();
+
+    let b1 = run_blocking(&u1, &d1, &BlockingPlan::default()).unwrap();
+    let b2 = run_blocking(&u2, &d2, &BlockingPlan::default()).unwrap();
+    assert_eq!(b1.consolidated.to_vec(), b2.consolidated.to_vec());
+    assert_eq!(b1.c1.len(), b2.c1.len());
+    assert_eq!(b1.c2.len(), b2.c2.len());
+    assert_eq!(b1.c3.len(), b2.c3.len());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn reloaded_tables_keep_types_needed_by_features() {
+    let dir = tempdir("types");
+    let s = Scenario::generate(ScenarioConfig::small()).unwrap();
+    let usda2 = round_trip(&dir, &s.usda);
+    use umetrics_em::table::DataType;
+    // Date columns must re-infer as dates, accession as int.
+    assert_eq!(
+        usda2.schema().column("ProjectStartDate").unwrap().dtype,
+        DataType::Date
+    );
+    assert_eq!(
+        usda2.schema().column("AccessionNumber").unwrap().dtype,
+        DataType::Int
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,103 @@
+//! Cross-crate integration: the full case study through the facade crate,
+//! including shape robustness across seeds.
+
+use umetrics_em::core::pipeline::{CaseStudy, CaseStudyConfig};
+use umetrics_em::datagen::ScenarioConfig;
+
+#[test]
+fn case_study_runs_and_is_internally_consistent() {
+    let r = CaseStudy::new(CaseStudyConfig::small()).run().unwrap();
+
+    // Figure 2: seven tables, paper schemas.
+    assert_eq!(r.table_summaries.len(), 7);
+    let cols: Vec<usize> = r.table_summaries.iter().map(|(_, _, c)| *c).collect();
+    assert_eq!(cols, vec![13, 13, 3, 5, 23, 21, 78]);
+
+    // Candidate algebra.
+    assert_eq!(r.c2_and_c3 + r.c2_only, r.c2);
+    assert_eq!(r.c2_and_c3 + r.c3_only, r.c3);
+
+    // Workflow accounting.
+    assert_eq!(r.initial_total, r.initial_sure + r.initial_predicted);
+    assert_eq!(
+        r.patched.total,
+        r.patched.sure_original
+            + r.patched.sure_extra
+            + r.patched.predicted_original
+            + r.patched.predicted_extra
+    );
+
+    // Negative rules remove, never add.
+    assert!(r.final_total <= r.patched.total);
+    assert_eq!(r.final_total + r.flipped, r.patched.total);
+}
+
+#[test]
+fn headline_shape_holds_across_seeds() {
+    // The paper's qualitative result must not depend on one lucky seed.
+    for seed in [3u64, 1234, 987_654] {
+        let mut cfg = CaseStudyConfig::small();
+        cfg.scenario = ScenarioConfig::small().with_seed(seed);
+        cfg.seed = seed;
+        let r = CaseStudy::new(cfg).run().unwrap();
+        let get = |name: &str| {
+            r.truth_scores
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, s)| s.clone())
+                .unwrap()
+        };
+        let iris = get("IRIS");
+        let learning = get("learning");
+        let final_ = get("learning+rules");
+        assert!(iris.precision > 0.99, "seed {seed}: IRIS precision {}", iris.precision);
+        assert!(
+            learning.recall > iris.recall + 0.05,
+            "seed {seed}: learning recall {} vs IRIS {}",
+            learning.recall,
+            iris.recall
+        );
+        assert!(
+            final_.precision >= learning.precision - 1e-9,
+            "seed {seed}: negative rules lowered precision ({} -> {})",
+            learning.precision,
+            final_.precision
+        );
+        assert!(
+            final_.f1 > iris.f1,
+            "seed {seed}: final F1 {} should beat IRIS {}",
+            final_.f1,
+            iris.f1
+        );
+    }
+}
+
+#[test]
+fn estimation_intervals_shrink_with_labels() {
+    let r = CaseStudy::new(CaseStudyConfig::small()).run().unwrap();
+    // For each matcher, the recall interval at the larger label count must
+    // be no wider than at the smaller (precision can degenerate at 100%).
+    for matcher in ["learning", "IRIS"] {
+        let rows: Vec<_> = r.estimates.iter().filter(|e| e.matcher == matcher).collect();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].n_labels < rows[1].n_labels);
+        assert!(
+            rows[1].estimate.recall.width() <= rows[0].estimate.recall.width() + 1e-9,
+            "{matcher}: recall interval widened with more labels"
+        );
+    }
+}
+
+#[test]
+fn report_is_deterministic_through_the_facade() {
+    let a = CaseStudy::new(CaseStudyConfig::small()).run().unwrap();
+    let b = CaseStudy::new(CaseStudyConfig::small()).run().unwrap();
+    assert_eq!(a.consolidated, b.consolidated);
+    assert_eq!(a.initial_total, b.initial_total);
+    assert_eq!(a.final_total, b.final_total);
+    assert_eq!(a.label_counts, b.label_counts);
+    assert_eq!(
+        a.selection_round2.iter().map(|m| &m.name).collect::<Vec<_>>(),
+        b.selection_round2.iter().map(|m| &m.name).collect::<Vec<_>>()
+    );
+}

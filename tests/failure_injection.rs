@@ -1,0 +1,103 @@
+//! Failure injection: every stage surfaces dirty or malformed input as a
+//! typed error instead of panicking or silently mis-matching.
+
+use umetrics_em::blocking::{Blocker, OverlapBlocker};
+use umetrics_em::core::preprocess::{project_umetrics, project_usda};
+use umetrics_em::core::CoreError;
+use umetrics_em::ml::dataset::Dataset;
+use umetrics_em::ml::model::Learner;
+use umetrics_em::ml::tree::DecisionTreeLearner;
+use umetrics_em::table::{csv, Schema, Table, TableError, Value};
+
+#[test]
+fn corrupt_csv_is_rejected_with_location() {
+    for (input, fragment) in [
+        ("a,b\n1\n", "fields"),              // ragged row
+        ("a\n\"unterminated\n", "unterminated"), // open quote
+        ("a\n\"x\"tail\n", "closing quote"),  // text after quote
+        ("", "empty input"),                  // no header
+    ] {
+        let err = csv::read_str("t", input).unwrap_err();
+        match err {
+            TableError::Csv { message, .. } => {
+                assert!(
+                    message.contains(fragment),
+                    "{input:?}: message {message:?} missing {fragment:?}"
+                )
+            }
+            other => panic!("{input:?}: expected Csv error, got {other}"),
+        }
+    }
+}
+
+#[test]
+fn duplicate_award_keys_abort_preprocessing() {
+    let award = csv::read_str(
+        "UMETRICSAwardAggMatching",
+        "UniqueAwardNumber,AwardTitle,FirstTransDate,LastTransDate\nW1,T,2008-01-01,2009-01-01\nW1,T2,2008-01-01,2009-01-01\n",
+    )
+    .unwrap();
+    let employees = csv::read_str("emp", "UniqueAwardNumber,FullName\nW1,A B\n").unwrap();
+    let err = project_umetrics(&award, &employees).unwrap_err();
+    assert!(matches!(err, CoreError::Table(TableError::KeyViolation { .. })), "{err}");
+}
+
+#[test]
+fn dangling_employee_reference_is_caught() {
+    let award = csv::read_str(
+        "a",
+        "UniqueAwardNumber,AwardTitle,FirstTransDate,LastTransDate\nW1,T,2008-01-01,2009-01-01\n",
+    )
+    .unwrap();
+    let employees = csv::read_str("emp", "UniqueAwardNumber,FullName\nW999,A B\n").unwrap();
+    assert!(project_umetrics(&award, &employees).is_err());
+}
+
+#[test]
+fn usda_without_accession_key_fails() {
+    let usda = csv::read_str(
+        "u",
+        "AwardNumber,ProjectTitle,ProjectStartDate,ProjectEndDate,AccessionNumber,ProjectDirector\nX,T,2008-01-01,2009-01-01,1,D\nY,T2,2008-01-01,2009-01-01,1,D\n",
+    )
+    .unwrap();
+    assert!(project_usda(&usda, false).is_err(), "duplicate accession must fail");
+}
+
+#[test]
+fn blocker_on_missing_column_reports_it() {
+    let t = csv::read_str("t", "Title\nabc\n").unwrap();
+    let err = OverlapBlocker::new("Nope", "Title", 2).block(&t, &t).unwrap_err();
+    assert!(err.to_string().contains("Nope"), "{err}");
+}
+
+#[test]
+fn learner_rejects_nan_features_and_empty_data() {
+    let nan = Dataset::new(vec!["f".into()], vec![vec![f64::NAN]], vec![true]).unwrap();
+    assert!(DecisionTreeLearner::default().fit(&nan).is_err());
+    let empty = Dataset::new(vec!["f".into()], vec![], vec![]).unwrap();
+    assert!(DecisionTreeLearner::default().fit(&empty).is_err());
+}
+
+#[test]
+fn table_rejects_type_confusion() {
+    use umetrics_em::table::DataType;
+    let mut t = Table::new(
+        "t",
+        Schema::of(&[("n", DataType::Int)]),
+    );
+    let err = t.push_row(vec![Value::Str("not a number".into())]).unwrap_err();
+    assert!(matches!(err, TableError::TypeMismatch { .. }));
+}
+
+#[test]
+fn all_null_label_columns_still_estimate_vacuously() {
+    use umetrics_em::estimate::{estimate_accuracy, Label, SampleItem, Z95};
+    // A sample that is entirely Unsure constrains nothing but must not
+    // panic or divide by zero.
+    let sample: Vec<SampleItem> =
+        (0..10).map(|_| SampleItem { predicted: true, label: Label::Unsure }).collect();
+    let est = estimate_accuracy(&sample, Z95);
+    assert_eq!(est.n_used, 0);
+    assert_eq!(est.precision.lo, 0.0);
+    assert_eq!(est.precision.hi, 1.0);
+}
