@@ -3,13 +3,16 @@
 //!
 //! ```text
 //! cargo run --release -p em-bench --bin reproduce -- [--scale paper|small]
-//!     [--seed N] [--section <id>]...
+//!     [--seed N] [--faults] [--section <id>]...
 //! ```
 //!
 //! Sections: `fig1 fig2 fig3 fig4 fig5 fig7 blocking blockdebug labeling
-//! selection matching rule2 patch estimate final ablation` (default: all).
-//! Output is plain text with the paper's numbers quoted next to ours; tee
-//! it into EXPERIMENTS.md evidence files.
+//! selection matching rule2 patch estimate final resilience ablation`
+//! (default: all). `--faults` runs the case study under an active fault
+//! plan (flaky oracle + corrupted USDA CSV) so the resilience section shows
+//! a non-trivial ledger; the headline numbers should not move. Output is
+//! plain text with the paper's numbers quoted next to ours; tee it into
+//! EXPERIMENTS.md evidence files.
 
 use em_bench::fixtures;
 use em_blocking::{Blocker, OverlapBlocker, Pair};
@@ -17,6 +20,7 @@ use em_core::blocking_plan::{run_blocking, BlockingPlan};
 use em_core::labeling::run_labeling;
 use em_core::matcher::{build_training_data, select_matcher, train_matcher, MatcherStage};
 use em_core::pipeline::{CaseStudy, CaseStudyConfig, CaseStudyReport};
+use em_core::resilience::FaultPlan;
 use em_datagen::{Oracle, OracleConfig, ScenarioConfig};
 use em_features::{auto_features, extract_vectors, FeatureOptions};
 use em_ml::dataset::{impute_mean, Dataset};
@@ -29,16 +33,17 @@ use em_table::{csv, DataType, Table};
 struct Args {
     paper_scale: bool,
     seed: Option<u64>,
+    faults: bool,
     sections: Vec<String>,
 }
 
 const ALL_SECTIONS: &[&str] = &[
     "fig1", "fig2", "fig3", "fig4", "fig5", "fig7", "blocking", "blockdebug", "labeling",
-    "selection", "matching", "rule2", "patch", "estimate", "final", "ablation",
+    "selection", "matching", "rule2", "patch", "estimate", "final", "resilience", "ablation",
 ];
 
 fn parse_args() -> Args {
-    let mut args = Args { paper_scale: false, seed: None, sections: Vec::new() };
+    let mut args = Args { paper_scale: false, seed: None, faults: false, sections: Vec::new() };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -49,6 +54,9 @@ fn parse_args() -> Args {
             "--seed" => {
                 args.seed = it.next().and_then(|v| v.parse().ok());
             }
+            "--faults" => {
+                args.faults = true;
+            }
             "--section" => {
                 if let Some(v) = it.next() {
                     args.sections.push(v);
@@ -56,8 +64,9 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: reproduce [--scale paper|small] [--seed N] [--section <id>]...\n\
-                     sections: {} (default: all)",
+                    "usage: reproduce [--scale paper|small] [--seed N] [--faults] [--section <id>]...\n\
+                     sections: {} (default: all)\n\
+                     --faults: inject a flaky oracle and CSV corruption; the run must absorb them",
                     ALL_SECTIONS.join(" ")
                 );
                 std::process::exit(0);
@@ -132,7 +141,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Report-backed sections: run the case study once.
     let report_sections = [
         "fig2", "blocking", "blockdebug", "labeling", "selection", "matching", "rule2",
-        "patch", "estimate", "final",
+        "patch", "estimate", "final", "resilience",
     ];
     if report_sections.iter().any(|s| wants(s)) {
         let mut cfg = if args.paper_scale {
@@ -141,7 +150,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             CaseStudyConfig::small()
         };
         cfg.scenario = scenario_cfg.clone();
-        eprintln!("running the end-to-end case study…");
+        if args.faults {
+            cfg.faults = FaultPlan {
+                seed: 0xFA57,
+                p_oracle_unavailable: 0.15,
+                p_oracle_timeout: 0.05,
+                max_fault_attempts: 4,
+                p_corrupt_row: 0.03,
+                max_quarantine_fraction: 0.2,
+                crash_after: None,
+            };
+            eprintln!("running the end-to-end case study under the fault plan…");
+        } else {
+            eprintln!("running the end-to-end case study…");
+        }
         let report = CaseStudy::new(cfg).run()?;
         print_report(&report, &args);
     }
@@ -390,6 +412,29 @@ fn print_report(r: &CaseStudyReport, args: &Args) {
                 s.fp,
                 s.fn_
             );
+        }
+    }
+    if wants("resilience") {
+        let res = &r.resilience;
+        println!("\n## Resilience — faults absorbed by this run (not part of the paper)");
+        if res.is_clean() {
+            println!("  clean run: no faults injected or absorbed (try --faults)");
+        } else {
+            println!(
+                "  oracle: {} transient faults, {} retries, {} ms virtual backoff",
+                res.oracle_faults, res.oracle_retries, res.total_backoff_ms
+            );
+            println!(
+                "  labels degraded to Unsure after exhausted retries: {}",
+                res.degraded_labels
+            );
+            for (award, acc) in &res.degraded_pairs {
+                println!("    degraded pair: award={award} accession={acc}");
+            }
+            println!("  CSV rows quarantined during ingest: {}", res.quarantined_rows);
+            if !res.resumed_stages.is_empty() {
+                println!("  stages restored from checkpoint: {}", res.resumed_stages.join(", "));
+            }
         }
     }
 }

@@ -105,14 +105,14 @@ impl Blocker for AttrEquivalenceBlocker {
         let tag = self.name();
         let mut index: HashMap<String, Vec<usize>> = HashMap::new();
         for (j, rb) in b.iter().enumerate() {
-            let v = rb.get(&self.right_attr).expect("column checked above");
+            let Some(v) = rb.get(&self.right_attr) else { continue };
             if !v.is_null() {
                 index.entry(v.dedup_key()).or_default().push(j);
             }
         }
         let mut out = CandidateSet::new(tag.clone());
         for (i, ra) in a.iter().enumerate() {
-            let v = ra.get(&self.left_attr).expect("column checked above");
+            let Some(v) = ra.get(&self.left_attr) else { continue };
             if v.is_null() {
                 continue;
             }

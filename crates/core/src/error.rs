@@ -17,6 +17,11 @@ pub enum CoreError {
     Datagen(String),
     /// A pipeline-stage invariant was violated.
     Pipeline(String),
+    /// A checkpoint could not be read or parsed.
+    Checkpoint(String),
+    /// A fault plan deliberately crashed the run after the named stage
+    /// (the stage's checkpoint was written first, so the run is resumable).
+    InjectedCrash(String),
 }
 
 impl fmt::Display for CoreError {
@@ -28,6 +33,10 @@ impl fmt::Display for CoreError {
             CoreError::Ml(e) => write!(f, "ml: {e}"),
             CoreError::Datagen(m) => write!(f, "datagen: {m}"),
             CoreError::Pipeline(m) => write!(f, "pipeline: {m}"),
+            CoreError::Checkpoint(m) => write!(f, "checkpoint: {m}"),
+            CoreError::InjectedCrash(stage) => {
+                write!(f, "injected crash after stage {stage:?} (resumable)")
+            }
         }
     }
 }

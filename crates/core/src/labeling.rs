@@ -3,8 +3,9 @@
 //! bookkeeping of label counts per round.
 
 use crate::error::CoreError;
+use crate::resilience::{ResilienceReport, RetryPolicy};
 use em_blocking::{CandidateSet, Pair};
-use em_datagen::{Oracle, PairView};
+use em_datagen::{LabelSource, Oracle, PairView};
 use em_estimate::Label;
 use em_table::Table;
 use rand::rngs::StdRng;
@@ -125,14 +126,19 @@ pub fn sample_unlabeled(
     pool
 }
 
-/// Labels one pair with the oracle, using the *initial* (mistake-prone)
-/// behaviour when `first_round`, and building the view from projected rows.
-fn oracle_label(
-    oracle: &Oracle<'_>,
+/// Labels one pair through a [`LabelSource`], retrying transient faults per
+/// the [`RetryPolicy`] (backoff is *recorded* in virtual milliseconds, not
+/// slept). When retries are exhausted the labeling degrades gracefully: the
+/// pair is labeled `Unsure` — the safe "don't know" of this domain — and
+/// the degradation is recorded in the [`ResilienceReport`].
+pub(crate) fn label_with_retries(
+    source: &dyn LabelSource,
     umetrics: &Table,
     usda: &Table,
     pair: Pair,
     first_round: bool,
+    retry: &RetryPolicy,
+    resilience: &mut ResilienceReport,
 ) -> Result<(Label, Label), CoreError> {
     let u = umetrics
         .row(pair.left)
@@ -149,9 +155,26 @@ fn oracle_label(
         right_award_number: s.str("AwardNumber"),
         right_project_number: s.str("ProjectNumber"),
     };
-    let settled = oracle.label(&view);
-    let first = if first_round { oracle.label_initial(&view) } else { settled };
-    Ok((first, settled))
+    let backoff_key = format!("{}/{}", view.award_number, accession);
+    let mut attempt = 0u32;
+    loop {
+        match source.try_label(&view, first_round, attempt) {
+            Ok(labels) => return Ok(labels),
+            Err(_fault) => {
+                resilience.oracle_faults += 1;
+                if attempt >= retry.max_retries {
+                    resilience.degraded_labels += 1;
+                    resilience
+                        .degraded_pairs
+                        .push((view.award_number.to_string(), accession.clone()));
+                    return Ok((Label::Unsure, Label::Unsure));
+                }
+                resilience.oracle_retries += 1;
+                resilience.total_backoff_ms += retry.backoff_ms(&backoff_key, attempt);
+                attempt += 1;
+            }
+        }
+    }
 }
 
 /// Runs the Section 8 labeling loop: one round per entry of `round_sizes`.
@@ -169,8 +192,35 @@ pub fn run_labeling(
     round_sizes: &[usize],
     seed: u64,
 ) -> Result<(LabeledSet, Vec<LabelingRound>), CoreError> {
+    let (labeled, rounds, _res) = run_labeling_resilient(
+        umetrics,
+        usda,
+        candidates,
+        oracle,
+        round_sizes,
+        seed,
+        &RetryPolicy::none(),
+    )?;
+    Ok((labeled, rounds))
+}
+
+/// [`run_labeling`] against a fallible [`LabelSource`]: every labeling call
+/// is retried per `retry` and degrades to `Unsure` when retries run out.
+/// The third return value is the ledger of faults, retries, virtual backoff,
+/// and degraded pairs. With an infallible source (the plain [`Oracle`]) the
+/// ledger stays empty and the labels are identical to [`run_labeling`]'s.
+pub fn run_labeling_resilient(
+    umetrics: &Table,
+    usda: &Table,
+    candidates: &CandidateSet,
+    source: &dyn LabelSource,
+    round_sizes: &[usize],
+    seed: u64,
+    retry: &RetryPolicy,
+) -> Result<(LabeledSet, Vec<LabelingRound>, ResilienceReport), CoreError> {
     let mut labeled = LabeledSet::new();
     let mut rounds = Vec::with_capacity(round_sizes.len());
+    let mut resilience = ResilienceReport::default();
     for (round_idx, &n) in round_sizes.iter().enumerate() {
         let first_round = round_idx == 0;
         let pairs = sample_unlabeled(candidates, &labeled, n, seed.wrapping_add(round_idx as u64));
@@ -178,7 +228,15 @@ pub fn run_labeling(
         let mut corrections = 0usize;
         let (mut yes, mut no, mut unsure) = (0usize, 0usize, 0usize);
         for pair in pairs.iter().copied() {
-            let (first, settled) = oracle_label(oracle, umetrics, usda, pair, first_round)?;
+            let (first, settled) = label_with_retries(
+                source,
+                umetrics,
+                usda,
+                pair,
+                first_round,
+                retry,
+                &mut resilience,
+            )?;
             if first != settled {
                 mismatches += 1;
                 if settled == Label::Yes {
@@ -202,7 +260,7 @@ pub fn run_labeling(
             corrections: if first_round { corrections } else { 0 },
         });
     }
-    Ok((labeled, rounds))
+    Ok((labeled, rounds, resilience))
 }
 
 #[cfg(test)]
@@ -278,6 +336,102 @@ mod tests {
         assert!(yes > 0, "sampling the candidate set should find positives");
         // cross-check only happens in round one
         assert!(rounds[1].crosscheck_mismatches == 0 && rounds[2].crosscheck_mismatches == 0);
+    }
+
+    #[test]
+    fn flaky_source_with_retries_matches_the_clean_run() {
+        use em_datagen::{FlakyConfig, FlakyOracle};
+        let f = fixture();
+        let oracle = Oracle::new(&f.scenario.truth, OracleConfig::default());
+        let (clean, clean_rounds) =
+            run_labeling(&f.u, &f.s, &f.candidates, &oracle, &[40, 30], 7).unwrap();
+        // Fault rates low enough that the default retry budget always wins.
+        let flaky = FlakyOracle::new(
+            oracle.clone(),
+            FlakyConfig { p_unavailable: 0.2, p_timeout: 0.1, ..Default::default() },
+        );
+        let (labeled, rounds, res) = run_labeling_resilient(
+            &f.u,
+            &f.s,
+            &f.candidates,
+            &flaky,
+            &[40, 30],
+            7,
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert!(res.oracle_faults > 0, "these rates must exercise the retry path");
+        assert_eq!(res.oracle_faults, res.oracle_retries, "no degradation expected");
+        assert_eq!(res.degraded_labels, 0);
+        assert!(res.total_backoff_ms > 0);
+        assert_eq!(rounds, clean_rounds, "retries must not change any label");
+        assert_eq!(labeled.len(), clean.len());
+        for lp in clean.iter() {
+            assert_eq!(labeled.get(&lp.pair), Some(lp.label));
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_degrade_to_unsure() {
+        use em_datagen::{FlakyConfig, FlakyOracle};
+        let f = fixture();
+        let oracle = Oracle::new(&f.scenario.truth, OracleConfig::default());
+        // Always faulting, never retrying: every pair degrades.
+        let flaky = FlakyOracle::new(
+            oracle,
+            FlakyConfig {
+                p_unavailable: 1.0,
+                p_timeout: 1.0,
+                max_fault_attempts: u32::MAX,
+                ..Default::default()
+            },
+        );
+        let (labeled, rounds, res) = run_labeling_resilient(
+            &f.u,
+            &f.s,
+            &f.candidates,
+            &flaky,
+            &[25],
+            7,
+            &RetryPolicy::none(),
+        )
+        .unwrap();
+        assert_eq!(res.degraded_labels, 25);
+        assert_eq!(res.degraded_pairs.len(), 25);
+        assert_eq!(rounds[0].unsure, 25, "degraded pairs are labeled Unsure");
+        let (yes, no, unsure) = labeled.counts();
+        assert_eq!((yes, no, unsure), (0, 0, 25));
+    }
+
+    #[test]
+    fn resilient_runs_are_deterministic_under_faults() {
+        use em_datagen::{FlakyConfig, FlakyOracle};
+        let f = fixture();
+        let oracle = Oracle::new(&f.scenario.truth, OracleConfig::default());
+        let flaky = FlakyOracle::new(
+            oracle,
+            FlakyConfig { p_unavailable: 0.4, p_timeout: 0.2, ..Default::default() },
+        );
+        let run = || {
+            run_labeling_resilient(
+                &f.u,
+                &f.s,
+                &f.candidates,
+                &flaky,
+                &[30, 20],
+                7,
+                &RetryPolicy::default(),
+            )
+            .unwrap()
+        };
+        let (l1, r1, res1) = run();
+        let (l2, r2, res2) = run();
+        assert_eq!(r1, r2);
+        assert_eq!(res1, res2, "fault ledger must be reproducible");
+        assert_eq!(l1.len(), l2.len());
+        for lp in l1.iter() {
+            assert_eq!(l2.get(&lp.pair), Some(lp.label));
+        }
     }
 
     #[test]

@@ -197,6 +197,9 @@ impl LabelStore {
         let mut t = Table::new("labels", schema);
         for ((award, accession), votes) in &self.by_pair {
             for (labeler, label) in votes {
+                // Infallible: the row literal above matches the 4-column
+                // Str schema built in this function.
+                #[allow(clippy::expect_used)]
                 t.push_row(vec![
                     Value::Str(award.clone()),
                     Value::Str(accession.clone()),
@@ -362,6 +365,26 @@ mod tests {
         let mut s = LabelStore::new();
         s.record(rec("W1", "100", Label::No, "experts"));
         s.save(&path).unwrap();
+        let back = LabelStore::load(&path).unwrap();
+        assert_eq!(s, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A store CSV that took a round trip through Windows tooling — CRLF
+    /// line endings and trailing blank lines — must load identically.
+    #[test]
+    fn windows_file_round_trips() {
+        let path = std::env::temp_dir()
+            .join(format!("em-labelstore-crlf-{}.csv", std::process::id()));
+        let mut s = LabelStore::new();
+        s.record(rec("W1", "100", Label::Yes, "experts"));
+        s.record(rec("10.203 WIS01040", "200002", Label::Unsure, "em-team"));
+        s.save(&path).unwrap();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let windows = text.replace('\n', "\r\n") + "\r\n\r\n\r\n";
+        std::fs::write(&path, windows).unwrap();
+
         let back = LabelStore::load(&path).unwrap();
         assert_eq!(s, back);
         std::fs::remove_file(&path).ok();

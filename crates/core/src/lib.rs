@@ -27,9 +27,11 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod analysis;
 pub mod blocking_plan;
+pub mod checkpoint;
 pub mod error;
 pub mod guide;
 pub mod labeling;
@@ -38,6 +40,7 @@ pub mod matcher;
 pub mod monitor;
 pub mod pipeline;
 pub mod preprocess;
+pub mod resilience;
 pub mod spec;
 pub mod workflow;
 
@@ -47,9 +50,10 @@ pub use guide::{how_to_guide, GuideProgress, GuideStep};
 pub use labeling::{LabeledPair, LabeledSet, LabelingRound};
 pub use labelstore::{LabelConflict, LabelRecord, LabelStore, MergePolicy};
 pub use matcher::{MatcherStage, TrainedMatcher};
-pub use pipeline::{CaseStudy, CaseStudyConfig, CaseStudyReport};
+pub use pipeline::{CaseStudy, CaseStudyConfig, CaseStudyReport, STAGES};
 pub use preprocess::{project_umetrics, project_usda};
 pub use analysis::{analyze_multiplicity, cluster_matches, MultiplicityReport};
 pub use monitor::{AccuracyMonitor, MonitorConfig, SliceReport};
+pub use resilience::{corrupt_csv, FaultPlan, ResilienceReport, RetryPolicy};
 pub use spec::WorkflowSpec;
 pub use workflow::{EmWorkflow, MatchIds, WorkflowResult};

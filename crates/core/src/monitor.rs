@@ -14,14 +14,15 @@
 
 use crate::blocking_plan::BlockingPlan;
 use crate::error::CoreError;
-use crate::labeling::{accession_of, award_of};
+use crate::labeling::label_with_retries;
 use crate::matcher::TrainedMatcher;
+use crate::resilience::{ResilienceReport, RetryPolicy};
 use crate::workflow::EmWorkflow;
 use em_blocking::Pair;
-use em_datagen::{Oracle, PairView};
+use em_datagen::{LabelSource, Oracle};
 use em_estimate::{estimate_accuracy, AccuracyEstimate, SampleItem, Z95};
 use em_rules::RuleSet;
-use em_table::Table;
+use em_table::{csv, Table};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -35,11 +36,21 @@ pub struct MonitorConfig {
     pub precision_floor: f64,
     /// Sampling seed.
     pub seed: u64,
+    /// Quarantine-ingest abort threshold for [`AccuracyMonitor::check_slice_csv`]:
+    /// a slice file whose malformed-row fraction exceeds this is rejected
+    /// rather than monitored. Production slices are expected to be mostly
+    /// clean, so the default is stricter than the pipeline's.
+    pub max_quarantine_fraction: f64,
 }
 
 impl Default for MonitorConfig {
     fn default() -> Self {
-        MonitorConfig { sample_size: 100, precision_floor: 0.9, seed: 13 }
+        MonitorConfig {
+            sample_size: 100,
+            precision_floor: 0.9,
+            seed: 13,
+            max_quarantine_fraction: 0.2,
+        }
     }
 }
 
@@ -56,6 +67,9 @@ pub struct SliceReport {
     pub estimate: AccuracyEstimate,
     /// True when the slice breaches the precision floor.
     pub alert: bool,
+    /// Faults absorbed while monitoring this slice: labeling-rota faults,
+    /// retries, degraded labels, and quarantined ingest rows.
+    pub resilience: ResilienceReport,
 }
 
 /// A deployed workflow plus monitoring policy.
@@ -74,13 +88,30 @@ pub struct AccuracyMonitor<'m> {
 
 impl<'m> AccuracyMonitor<'m> {
     /// Runs the deployed workflow on one new slice and estimates precision
-    /// from a labeled sample of its predicted matches.
+    /// from a labeled sample of its predicted matches (reliable rota:
+    /// labeling never faults).
     pub fn check_slice(
         &self,
         slice_name: &str,
         umetrics: &Table,
         usda: &Table,
         oracle: &Oracle<'_>,
+    ) -> Result<SliceReport, CoreError> {
+        self.check_slice_source(slice_name, umetrics, usda, oracle, &RetryPolicy::none())
+    }
+
+    /// [`AccuracyMonitor::check_slice`] against a fallible labeling rota:
+    /// each labeling call is retried per `retry` (backoff recorded in
+    /// virtual milliseconds) and degrades to `Unsure` when retries run out.
+    /// Degraded labels land in the estimate's `n_unsure` — the monitor
+    /// keeps producing intervals from whatever labels it could get.
+    pub fn check_slice_source(
+        &self,
+        slice_name: &str,
+        umetrics: &Table,
+        usda: &Table,
+        source: &dyn LabelSource,
+        retry: &RetryPolicy,
     ) -> Result<SliceReport, CoreError> {
         let wf = EmWorkflow {
             rules: self.rules.clone(),
@@ -96,24 +127,20 @@ impl<'m> AccuracyMonitor<'m> {
         matches.shuffle(&mut rng);
         matches.truncate(self.config.sample_size);
 
-        let sample: Vec<SampleItem> = matches
-            .iter()
-            .map(|p| {
-                let award = award_of(umetrics, p.left);
-                let acc = accession_of(usda, p.right);
-                let u = umetrics.row(p.left).expect("pair from this table");
-                let s = usda.row(p.right).expect("pair from this table");
-                let view = PairView {
-                    award_number: &award,
-                    accession: &acc,
-                    left_title: u.str("AwardTitle").unwrap_or(""),
-                    right_title: s.str("AwardTitle").unwrap_or(""),
-                    right_award_number: s.str("AwardNumber"),
-                    right_project_number: s.str("ProjectNumber"),
-                };
-                SampleItem { predicted: true, label: oracle.label(&view) }
-            })
-            .collect();
+        let mut resilience = ResilienceReport::default();
+        let mut sample: Vec<SampleItem> = Vec::with_capacity(matches.len());
+        for p in &matches {
+            let (_, settled) = label_with_retries(
+                source,
+                umetrics,
+                usda,
+                *p,
+                false,
+                retry,
+                &mut resilience,
+            )?;
+            sample.push(SampleItem { predicted: true, label: settled });
+        }
         let estimate = estimate_accuracy(&sample, Z95);
         // With every sampled pair predicted, the precision interval is the
         // fraction labeled Yes; an empty sample stays vacuous (no alert).
@@ -124,7 +151,37 @@ impl<'m> AccuracyMonitor<'m> {
             n_sampled: sample.len(),
             estimate,
             alert,
+            resilience,
         })
+    }
+
+    /// Monitors a slice delivered as raw CSV text (the production path:
+    /// "the new data may be dirty"). Both files go through quarantine
+    /// ingest — malformed rows are diverted and counted in the report's
+    /// resilience ledger rather than failing the slice, unless they exceed
+    /// `config.max_quarantine_fraction`.
+    pub fn check_slice_csv(
+        &self,
+        slice_name: &str,
+        umetrics_csv: &str,
+        usda_csv: &str,
+        source: &dyn LabelSource,
+        retry: &RetryPolicy,
+    ) -> Result<SliceReport, CoreError> {
+        let u_out = csv::read_quarantine(
+            "UMETRICSProjected",
+            umetrics_csv,
+            self.config.max_quarantine_fraction,
+        )?;
+        let s_out = csv::read_quarantine(
+            "USDAProjected",
+            usda_csv,
+            self.config.max_quarantine_fraction,
+        )?;
+        let mut report =
+            self.check_slice_source(slice_name, &u_out.table, &s_out.table, source, retry)?;
+        report.resilience.quarantined_rows += u_out.quarantined.len() + s_out.quarantined.len();
+        Ok(report)
     }
 }
 
@@ -137,7 +194,7 @@ mod tests {
     use crate::pipeline::standard_rules;
     use crate::preprocess::{project_umetrics, project_usda};
     use crate::spec::WorkflowSpec;
-    use em_datagen::{OracleConfig, Scenario, ScenarioConfig};
+    use em_datagen::{FlakyConfig, FlakyOracle, OracleConfig, Scenario, ScenarioConfig};
     use em_features::auto_features;
 
     fn trained_matcher(
@@ -221,5 +278,62 @@ mod tests {
         let r = monitor.check_slice("empty", &empty_u, &empty_s, &oracle).unwrap();
         assert_eq!(r.n_matches, 0);
         assert!(!r.alert);
+        assert!(r.resilience.is_clean());
+    }
+
+    #[test]
+    fn flaky_rota_and_dirty_csv_slices_stay_monitorable() {
+        let scenario = Scenario::generate(ScenarioConfig::small().with_seed(31)).unwrap();
+        let u = project_umetrics(&scenario.award_agg, &scenario.employees).unwrap();
+        let s = project_usda(&scenario.usda, true).unwrap();
+        let matcher = trained_matcher(&scenario, &u, &s);
+        let monitor = AccuracyMonitor {
+            rules: standard_rules(),
+            plan: BlockingPlan::default(),
+            matcher: &matcher,
+            apply_negative: true,
+            config: MonitorConfig::default(),
+        };
+        let oracle = Oracle::new(&scenario.truth, OracleConfig::default());
+        let clean = monitor.check_slice("2018", &u, &s, &oracle).unwrap();
+        assert!(clean.resilience.is_clean());
+
+        // A flaky labeling rota with enough retries reproduces the clean
+        // numbers exactly, plus a fault ledger.
+        let flaky = FlakyOracle::new(
+            Oracle::new(&scenario.truth, OracleConfig::default()),
+            FlakyConfig { p_unavailable: 0.2, p_timeout: 0.05, ..FlakyConfig::default() },
+        );
+        let shaky = monitor
+            .check_slice_source("2018", &u, &s, &flaky, &RetryPolicy::default())
+            .unwrap();
+        assert!(shaky.resilience.oracle_faults > 0, "rates this high must fault somewhere");
+        assert!(shaky.resilience.total_backoff_ms > 0, "retries must record backoff");
+        assert_eq!(shaky.resilience.degraded_labels, 0, "retry budget should absorb all");
+        assert_eq!(shaky.estimate, clean.estimate, "absorbed faults must not move the estimate");
+        assert_eq!(shaky.alert, clean.alert);
+
+        // The same slice as dirty CSV text: corrupt USDA rows quarantine,
+        // and the slice still gets monitored.
+        let u_csv = csv::write_str(&u);
+        let s_csv = crate::resilience::corrupt_csv(&csv::write_str(&s), 7, 0.05);
+        let dirty = monitor
+            .check_slice_csv("2018-dirty", &u_csv, &s_csv, &oracle, &RetryPolicy::none())
+            .unwrap();
+        assert!(dirty.resilience.quarantined_rows > 0);
+        assert!(dirty.n_matches > 0);
+
+        // Too dirty, and the slice is rejected outright.
+        let strict = AccuracyMonitor {
+            config: MonitorConfig { max_quarantine_fraction: 0.0, ..MonitorConfig::default() },
+            rules: standard_rules(),
+            plan: BlockingPlan::default(),
+            matcher: &matcher,
+            apply_negative: true,
+        };
+        assert!(matches!(
+            strict.check_slice_csv("2018-dirty", &u_csv, &s_csv, &oracle, &RetryPolicy::none()),
+            Err(CoreError::Table(em_table::TableError::QuarantineOverflow { .. }))
+        ));
     }
 }

@@ -1,0 +1,333 @@
+//! Fault injection, retry policy, and the resilience ledger.
+//!
+//! The paper's pipeline ran against unreliable inputs and an unreliable
+//! labeling workflow (a single-user cloud tool, spreadsheets, email). This
+//! module makes those failure modes *first-class and reproducible*:
+//!
+//! - [`FaultPlan`] — a seeded description of which faults to inject where
+//!   (oracle unavailability/timeouts, corrupted CSV rows, a crash after a
+//!   named pipeline stage). The same plan always injects the same faults.
+//! - [`RetryPolicy`] — capped exponential backoff with seeded jitter. The
+//!   backoff is *recorded*, never slept: delays are accounted in virtual
+//!   milliseconds so tests stay fast and deterministic.
+//! - [`ResilienceReport`] — the ledger of everything that went wrong and
+//!   was absorbed: faults seen, retries spent, labels degraded to `Unsure`,
+//!   rows quarantined, stages resumed from checkpoint.
+//! - [`corrupt_csv`] — the deterministic CSV corruptor the fault plan uses
+//!   to dirty the USDA input before ingest.
+
+use em_datagen::FlakyConfig;
+use std::hash::{Hash, Hasher};
+
+/// A seeded, declarative description of the faults to inject into a run.
+///
+/// All injection is a pure function of `seed` and the item identity, so two
+/// runs under the same plan observe byte-identical fault sequences.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every fault draw (independent of the pipeline seed).
+    pub seed: u64,
+    /// P(the labeling oracle is unavailable) per attempt.
+    pub p_oracle_unavailable: f64,
+    /// P(a labeling call times out) per attempt.
+    pub p_oracle_timeout: f64,
+    /// Attempts at or beyond this index never fault (bounds the worst case).
+    pub max_fault_attempts: u32,
+    /// P(a USDA CSV data row is corrupted before ingest).
+    pub p_corrupt_row: f64,
+    /// Quarantine-ingest abort threshold: the run fails when more than this
+    /// fraction of rows is diverted (see
+    /// [`em_table::csv::read_quarantine`]).
+    pub max_quarantine_fraction: f64,
+    /// Crash (with [`crate::CoreError::InjectedCrash`]) right after this
+    /// named stage finishes and checkpoints — exercises resume.
+    pub crash_after: Option<String>,
+}
+
+impl FaultPlan {
+    /// The no-faults plan: every probability zero, no crash.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            p_oracle_unavailable: 0.0,
+            p_oracle_timeout: 0.0,
+            max_fault_attempts: 8,
+            p_corrupt_row: 0.0,
+            max_quarantine_fraction: 0.5,
+            crash_after: None,
+        }
+    }
+
+    /// Whether this plan injects anything at all.
+    pub fn is_active(&self) -> bool {
+        self.p_oracle_unavailable > 0.0
+            || self.p_oracle_timeout > 0.0
+            || self.p_corrupt_row > 0.0
+            || self.crash_after.is_some()
+    }
+
+    /// The oracle-side fault rates, as the datagen wrapper wants them.
+    pub fn flaky_config(&self) -> FlakyConfig {
+        FlakyConfig {
+            seed: self.seed,
+            p_unavailable: self.p_oracle_unavailable,
+            p_timeout: self.p_oracle_timeout,
+            max_fault_attempts: self.max_fault_attempts,
+        }
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// Deterministic draw in `[0, 1)` keyed by `(seed, key, channel)`.
+fn fault_draw(seed: u64, key: &str, channel: u32) -> f64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    seed.hash(&mut h);
+    key.hash(&mut h);
+    channel.hash(&mut h);
+    (h.finish() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Retry with capped exponential backoff and seeded jitter.
+///
+/// Delays are virtual: [`RetryPolicy::backoff_ms`] *computes* the wait a
+/// production system would sleep, and callers record it in the
+/// [`ResilienceReport`] instead of sleeping, keeping runs fast while the
+/// accounting stays realistic and reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (so `max_retries + 1` attempts total).
+    pub max_retries: u32,
+    /// Backoff before retry 0, in virtual milliseconds.
+    pub base_delay_ms: u64,
+    /// Ceiling on any single backoff, in virtual milliseconds.
+    pub max_delay_ms: u64,
+    /// Seed for the jitter term.
+    pub jitter_seed: u64,
+}
+
+impl RetryPolicy {
+    /// The never-retry policy with zero backoff.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy { max_retries: 0, base_delay_ms: 0, max_delay_ms: 0, jitter_seed: 0 }
+    }
+
+    /// The virtual backoff before retry `attempt` (zero-based) of the work
+    /// item identified by `key`: `min(max, base · 2^attempt)` plus up to
+    /// 25% seeded jitter. Deterministic in `(jitter_seed, key, attempt)`.
+    pub fn backoff_ms(&self, key: &str, attempt: u32) -> u64 {
+        if self.base_delay_ms == 0 {
+            return 0;
+        }
+        let exp = self.base_delay_ms.saturating_mul(1u64 << attempt.min(32));
+        let capped = exp.min(self.max_delay_ms.max(self.base_delay_ms));
+        let jitter_frac = fault_draw(self.jitter_seed, key, 7 + attempt);
+        capped + ((capped as f64) * 0.25 * jitter_frac) as u64
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_retries: 5, base_delay_ms: 100, max_delay_ms: 5_000, jitter_seed: 0x3e77 }
+    }
+}
+
+/// The ledger of absorbed failures for one run (or one monitored slice).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResilienceReport {
+    /// Transient oracle faults observed (across all attempts).
+    pub oracle_faults: usize,
+    /// Retries actually performed after faults.
+    pub oracle_retries: usize,
+    /// Pairs whose labeling exhausted retries and degraded to `Unsure`.
+    pub degraded_labels: usize,
+    /// The degraded pairs, as `(UniqueAwardNumber, AccessionNumber)`.
+    pub degraded_pairs: Vec<(String, String)>,
+    /// Total virtual backoff accounted, in milliseconds.
+    pub total_backoff_ms: u64,
+    /// Malformed CSV rows diverted into quarantine during ingest.
+    pub quarantined_rows: usize,
+    /// Stages whose outputs were restored from checkpoint instead of
+    /// recomputed (empty on an uninterrupted run).
+    pub resumed_stages: Vec<String>,
+}
+
+impl ResilienceReport {
+    /// Whether anything at all was absorbed.
+    pub fn is_clean(&self) -> bool {
+        *self == ResilienceReport::default()
+    }
+
+    /// Folds another ledger into this one (resumed stages concatenate).
+    pub fn absorb(&mut self, other: &ResilienceReport) {
+        self.oracle_faults += other.oracle_faults;
+        self.oracle_retries += other.oracle_retries;
+        self.degraded_labels += other.degraded_labels;
+        self.degraded_pairs.extend(other.degraded_pairs.iter().cloned());
+        self.total_backoff_ms += other.total_backoff_ms;
+        self.quarantined_rows += other.quarantined_rows;
+        self.resumed_stages.extend(other.resumed_stages.iter().cloned());
+    }
+}
+
+/// Fault channels for [`corrupt_csv`], offset past the oracle channels.
+const CH_CORRUPT: u32 = 201;
+const CH_CORRUPT_KIND: u32 = 202;
+
+/// Deterministically corrupts a fraction of a CSV file's data rows.
+///
+/// Each data row (never the header) is independently corrupted with
+/// probability `p`, keyed by `(seed, row text, row index)`. Corruptions are
+/// chosen so a corrupt row never swallows its neighbours under quote-parity
+/// record splitting (quote counts stay even per line):
+///
+/// 1. drop the last field → ragged row;
+/// 2. inject a doubled quote mid-field → "quote inside unquoted field";
+/// 3. append a spurious extra field → ragged row.
+pub fn corrupt_csv(text: &str, seed: u64, p: f64) -> String {
+    if p <= 0.0 {
+        return text.to_string();
+    }
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if i == 0 || line.is_empty() {
+            out.push(line.to_string());
+            continue;
+        }
+        let key = format!("{i}:{line}");
+        if fault_draw(seed, &key, CH_CORRUPT) >= p {
+            out.push(line.to_string());
+            continue;
+        }
+        let kind = (fault_draw(seed, &key, CH_CORRUPT_KIND) * 3.0) as u32;
+        let corrupted = match kind {
+            // Drop the last field — but only when the truncation keeps the
+            // line non-empty with even quote parity. Cutting inside a
+            // quoted field would leave an open quote that swallows the
+            // next row, and an empty line would be skipped on ingest;
+            // either way a neighbouring record could silently vanish.
+            0 => match line.rfind(',') {
+                Some(pos)
+                    if pos > 0 && line[..pos].matches('"').count() % 2 == 0 =>
+                {
+                    line[..pos].to_string()
+                }
+                _ => format!("{line},spurious"),
+            },
+            1 => {
+                let mid = line.len() / 2;
+                // Split at a char boundary near the middle.
+                let mid = (mid..line.len()).find(|&b| line.is_char_boundary(b)).unwrap_or(0);
+                format!("{}\"\"{}", &line[..mid], &line[mid..])
+            }
+            _ => format!("{line},spurious"),
+        };
+        out.push(corrupted);
+    }
+    let mut s = out.join("\n");
+    if text.ends_with('\n') {
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_table::csv;
+
+    #[test]
+    fn fault_plan_none_is_inactive() {
+        assert!(!FaultPlan::none().is_active());
+        assert!(FaultPlan { p_corrupt_row: 0.1, ..FaultPlan::none() }.is_active());
+        assert!(
+            FaultPlan { crash_after: Some("blocking".into()), ..FaultPlan::none() }.is_active()
+        );
+    }
+
+    #[test]
+    fn backoff_grows_caps_and_jitters_deterministically() {
+        let p = RetryPolicy::default();
+        let b0 = p.backoff_ms("pair-1", 0);
+        let b1 = p.backoff_ms("pair-1", 1);
+        let b5 = p.backoff_ms("pair-1", 5);
+        assert!(b0 >= p.base_delay_ms, "jitter only adds: {b0}");
+        assert!(b1 > b0, "backoff grows: {b0} -> {b1}");
+        assert!(
+            b5 <= p.max_delay_ms + p.max_delay_ms / 4,
+            "cap plus max jitter bounds the delay: {b5}"
+        );
+        assert_eq!(b0, p.backoff_ms("pair-1", 0), "deterministic");
+        assert_ne!(
+            p.backoff_ms("pair-1", 0),
+            p.backoff_ms("pair-2", 0),
+            "different keys draw different jitter (with these seeds)"
+        );
+        assert_eq!(RetryPolicy::none().backoff_ms("x", 3), 0);
+    }
+
+    #[test]
+    fn backoff_survives_huge_attempt_numbers() {
+        let p = RetryPolicy::default();
+        // 2^40 would overflow the shift budget without the cap.
+        assert!(p.backoff_ms("k", 40) <= p.max_delay_ms + p.max_delay_ms / 4);
+    }
+
+    #[test]
+    fn report_absorb_adds_up() {
+        let mut a = ResilienceReport {
+            oracle_faults: 2,
+            quarantined_rows: 1,
+            resumed_stages: vec!["blocking".into()],
+            ..Default::default()
+        };
+        let b = ResilienceReport {
+            oracle_faults: 3,
+            degraded_labels: 1,
+            degraded_pairs: vec![("W1".into(), "100".into())],
+            total_backoff_ms: 250,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.oracle_faults, 5);
+        assert_eq!(a.degraded_labels, 1);
+        assert_eq!(a.degraded_pairs.len(), 1);
+        assert_eq!(a.total_backoff_ms, 250);
+        assert_eq!(a.quarantined_rows, 1);
+        assert_eq!(a.resumed_stages, vec!["blocking".to_string()]);
+        assert!(!a.is_clean());
+        assert!(ResilienceReport::default().is_clean());
+    }
+
+    #[test]
+    fn corrupt_csv_is_deterministic_and_quarantinable() {
+        let mut src = String::from("a,b,c\n");
+        for i in 0..200 {
+            src.push_str(&format!("{i},x{i},y{i}\n"));
+        }
+        let dirty = corrupt_csv(&src, 99, 0.2);
+        assert_eq!(dirty, corrupt_csv(&src, 99, 0.2), "same seed, same corruption");
+        assert_ne!(dirty, src, "p=0.2 over 200 rows corrupts something");
+        assert_eq!(corrupt_csv(&src, 99, 0.0), src, "p=0 is the identity");
+
+        // Every corruption is recoverable row-by-row: quarantine ingest
+        // keeps all clean rows and diverts exactly the corrupted ones.
+        let out = csv::read_quarantine("t", &dirty, 1.0).unwrap();
+        assert!(!out.quarantined.is_empty());
+        assert_eq!(out.total_rows(), 200, "no row vanishes or merges");
+        let clean = csv::read_str("t", &src).unwrap();
+        assert_eq!(out.table.n_rows() + out.quarantined.len(), clean.n_rows());
+    }
+
+    #[test]
+    fn corrupt_csv_never_touches_the_header() {
+        let src = "a,b\n1,2\n";
+        let dirty = corrupt_csv(src, 1, 1.0);
+        assert!(dirty.starts_with("a,b\n"));
+        assert_ne!(dirty, src);
+    }
+}

@@ -19,12 +19,14 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod flaky;
 pub mod oracle;
 pub mod scenario;
 pub mod truth;
 pub mod vocab;
 
 pub use config::ScenarioConfig;
+pub use flaky::{FlakyConfig, FlakyOracle, LabelSource, OracleFault};
 pub use oracle::{Oracle, OracleConfig, PairView};
 pub use scenario::Scenario;
 pub use truth::GroundTruth;

@@ -74,7 +74,7 @@ pub struct Oracle<'a> {
 }
 
 /// Deterministic per-(pair, channel) uniform draw in `[0, 1)`.
-fn pair_draw(seed: u64, award: &str, accession: &str, channel: u32) -> f64 {
+pub(crate) fn pair_draw(seed: u64, award: &str, accession: &str, channel: u32) -> f64 {
     let mut h = std::collections::hash_map::DefaultHasher::new();
     seed.hash(&mut h);
     award.hash(&mut h);

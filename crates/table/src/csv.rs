@@ -172,6 +172,11 @@ fn infer_column_type<'a>(values: impl Iterator<Item = &'a str> + Clone) -> DataT
 
 /// Reads a table from CSV text. The first record is the header; column types
 /// are inferred per-column across all data records.
+///
+/// Fully-empty records (blank lines, including the blank artifacts Windows
+/// tools leave at the end of `\r\n` files) are skipped when the header has
+/// more than one column — a blank line cannot be a valid record then. With
+/// a single-column header an empty record stays a legitimate null row.
 pub fn read_str(name: impl Into<String>, input: &str) -> Result<Table, TableError> {
     let records = parse_records(input)?;
     let mut it = records.into_iter();
@@ -179,7 +184,10 @@ pub fn read_str(name: impl Into<String>, input: &str) -> Result<Table, TableErro
         line: 1,
         message: "empty input (no header)".to_string(),
     })?;
-    let data: Vec<Vec<String>> = it.collect();
+    let mut data: Vec<Vec<String>> = it.collect();
+    if header.len() > 1 {
+        data.retain(|rec| !(rec.len() == 1 && rec[0].is_empty()));
+    }
     for (i, rec) in data.iter().enumerate() {
         if rec.len() != header.len() {
             return Err(TableError::Csv {
@@ -212,6 +220,169 @@ pub fn read_path(path: impl AsRef<Path>) -> Result<Table, TableError> {
     let text = std::fs::read_to_string(path)?;
     let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("table").to_string();
     read_str(name, &text)
+}
+
+/// One malformed row diverted by [`read_quarantine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedRow {
+    /// 1-based line where the record starts in the input.
+    pub line: usize,
+    /// The raw record text, verbatim.
+    pub raw: String,
+    /// Why it was rejected.
+    pub reason: String,
+}
+
+/// What [`read_quarantine`] produced: the table of accepted rows plus the
+/// diverted rows with locations and reasons.
+#[derive(Debug, Clone)]
+pub struct QuarantineOutcome {
+    /// The table built from the well-formed rows.
+    pub table: Table,
+    /// The malformed rows, in input order.
+    pub quarantined: Vec<QuarantinedRow>,
+}
+
+impl QuarantineOutcome {
+    /// Total data rows seen: accepted + quarantined.
+    pub fn total_rows(&self) -> usize {
+        self.table.n_rows() + self.quarantined.len()
+    }
+}
+
+/// Splits input into logical records: newline-terminated, except that
+/// newlines inside quoted fields (odd quote parity) continue the record.
+/// Returns `(1-based start line, raw text)` per record, `\r\n` normalized
+/// at record ends only.
+fn logical_records(input: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut open = false;
+    let mut start = 1usize;
+    for (line_no, seg) in (1usize..).zip(input.split('\n')) {
+        if !open {
+            start = line_no;
+        }
+        let odd_quotes = seg.matches('"').count() % 2 == 1;
+        if open ^ odd_quotes {
+            // The record continues past this newline (inside quotes).
+            cur.push_str(seg);
+            cur.push('\n');
+            open = true;
+        } else {
+            cur.push_str(seg.strip_suffix('\r').unwrap_or(seg));
+            out.push((start, std::mem::take(&mut cur)));
+            open = false;
+        }
+    }
+    if open {
+        // A quote left open at EOF: flush what accumulated so the caller
+        // can quarantine it instead of losing the record.
+        let trimmed = cur.strip_suffix('\n').unwrap_or(&cur).to_string();
+        out.push((start, trimmed));
+    }
+    // `split` yields a final empty segment for newline-terminated input;
+    // drop the resulting phantom empty record (but keep interior blanks,
+    // which the caller classifies).
+    if let Some(last) = out.last() {
+        if last.1.is_empty() {
+            out.pop();
+        }
+    }
+    out
+}
+
+/// Reads a table from CSV text, diverting malformed rows into a quarantine
+/// instead of failing the whole load — the degraded-mode ingest path for
+/// dirty production slices.
+///
+/// A row is quarantined when it does not parse (stray or unterminated
+/// quotes) or its field count disagrees with the header. Blank records are
+/// skipped under the same rule as [`read_str`]. Column types are inferred
+/// from the accepted rows only.
+///
+/// `max_quarantine_fraction` bounds how much corruption is tolerable: when
+/// more than `⌊fraction × total⌋` rows are quarantined the whole load fails
+/// with [`TableError::QuarantineOverflow`] — past that point the surviving
+/// rows say little about the real data.
+pub fn read_quarantine(
+    name: impl Into<String>,
+    input: &str,
+    max_quarantine_fraction: f64,
+) -> Result<QuarantineOutcome, TableError> {
+    let records = logical_records(input);
+    let mut it = records.into_iter();
+    let (_, header_raw) = it.next().ok_or(TableError::Csv {
+        line: 1,
+        message: "empty input (no header)".to_string(),
+    })?;
+    let header = match parse_records(&header_raw)?.into_iter().next() {
+        Some(h) => h,
+        None => {
+            return Err(TableError::Csv { line: 1, message: "empty input (no header)".to_string() })
+        }
+    };
+
+    let mut accepted: Vec<Vec<String>> = Vec::new();
+    let mut quarantined: Vec<QuarantinedRow> = Vec::new();
+    for (line, raw) in it {
+        if raw.is_empty() && header.len() > 1 {
+            continue; // blank line, not a data row
+        }
+        match parse_records(&raw) {
+            Ok(mut recs) => {
+                let rec = if recs.is_empty() { vec![String::new()] } else { recs.remove(0) };
+                if rec.len() == header.len() {
+                    accepted.push(rec);
+                } else {
+                    quarantined.push(QuarantinedRow {
+                        line,
+                        raw,
+                        reason: format!(
+                            "record has {} fields, header has {}",
+                            rec.len(),
+                            header.len()
+                        ),
+                    });
+                }
+            }
+            Err(TableError::Csv { line: rel, message }) => {
+                quarantined.push(QuarantinedRow {
+                    line: line + rel.saturating_sub(1),
+                    raw,
+                    reason: message,
+                });
+            }
+            Err(other) => return Err(other),
+        }
+    }
+
+    let total = accepted.len() + quarantined.len();
+    let allowed = (max_quarantine_fraction.clamp(0.0, 1.0) * total as f64).floor() as usize;
+    if quarantined.len() > allowed {
+        return Err(TableError::QuarantineOverflow {
+            quarantined: quarantined.len(),
+            total,
+            allowed,
+        });
+    }
+
+    let mut cols = Vec::with_capacity(header.len());
+    for (ci, hname) in header.iter().enumerate() {
+        let dtype = infer_column_type(accepted.iter().map(move |r| r[ci].as_str()));
+        cols.push(Column::new(hname.trim(), dtype));
+    }
+    let schema = Schema::new(cols)?;
+    let mut table = Table::new(name, schema.clone());
+    for rec in &accepted {
+        let row = rec
+            .iter()
+            .zip(schema.columns())
+            .map(|(raw, col)| parse_typed(raw, col.dtype))
+            .collect();
+        table.push_row(row)?;
+    }
+    Ok(QuarantineOutcome { table, quarantined })
 }
 
 fn escape_field(s: &str) -> String {
@@ -338,5 +509,63 @@ mod tests {
     fn write_renders_nulls_empty() {
         let t = read_str("t", "a,b\n1,\n").unwrap();
         assert_eq!(write_str(&t), "a,b\n1,\n");
+    }
+
+    #[test]
+    fn quarantine_on_clean_input_matches_read_str() {
+        let src = "id,note\n1,\"line1\nline2\"\n2,\"x,y\"\n3,plain\n";
+        let strict = read_str("t", src).unwrap();
+        let out = read_quarantine("t", src, 0.0).unwrap();
+        assert!(out.quarantined.is_empty());
+        assert_eq!(out.table.rows(), strict.rows());
+        assert_eq!(out.table.schema(), strict.schema());
+    }
+
+    #[test]
+    fn quarantine_diverts_ragged_and_bad_quote_rows() {
+        let src = "a,b\n1,x\n2\nab\"\"cd,y\n3,z\n";
+        let out = read_quarantine("t", src, 0.5).unwrap();
+        assert_eq!(out.table.n_rows(), 2, "good rows survive");
+        assert_eq!(out.quarantined.len(), 2);
+        assert_eq!(out.total_rows(), 4, "accepted + quarantined = total");
+        let ragged = &out.quarantined[0];
+        assert_eq!(ragged.line, 3);
+        assert_eq!(ragged.raw, "2");
+        assert!(ragged.reason.contains("1 fields"), "reason: {}", ragged.reason);
+        let badq = &out.quarantined[1];
+        assert_eq!(badq.line, 4);
+        assert!(badq.reason.contains("quote inside unquoted field"), "reason: {}", badq.reason);
+    }
+
+    #[test]
+    fn quarantine_flushes_unterminated_quote_at_eof() {
+        let src = "a,b\n1,x\n\"oops,2\n";
+        let out = read_quarantine("t", src, 1.0).unwrap();
+        assert_eq!(out.table.n_rows(), 1);
+        assert_eq!(out.quarantined.len(), 1, "open-quote tail must not vanish");
+        assert!(out.quarantined[0].reason.contains("unterminated"));
+    }
+
+    #[test]
+    fn quarantine_overflow_aborts_the_load() {
+        let src = "a,b\n1\n2\n3,x\n4,y\n";
+        let err = read_quarantine("t", src, 0.25).unwrap_err();
+        assert_eq!(
+            err,
+            TableError::QuarantineOverflow { quarantined: 2, total: 4, allowed: 1 }
+        );
+        // A laxer threshold accepts the same file.
+        assert!(read_quarantine("t", src, 0.5).is_ok());
+    }
+
+    #[test]
+    fn quarantine_skips_blank_lines_like_read_str() {
+        let src = "a,b\n1,x\n\n2,y\n\n";
+        let out = read_quarantine("t", src, 0.0).unwrap();
+        assert_eq!(out.table.n_rows(), 2);
+        assert!(out.quarantined.is_empty());
+        // Single-column tables keep blank records as null rows.
+        let single = read_quarantine("K", "K\n\n\n", 0.0).unwrap();
+        assert_eq!(single.table.n_rows(), read_str("K", "K\n\n\n").unwrap().n_rows());
     }
 }

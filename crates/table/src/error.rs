@@ -41,6 +41,17 @@ pub enum TableError {
         /// What went wrong.
         message: String,
     },
+    /// Quarantine ingest diverted more rows than the caller allows — the
+    /// file is too corrupt to trust the surviving rows.
+    QuarantineOverflow {
+        /// Rows quarantined.
+        quarantined: usize,
+        /// Total data rows seen (accepted + quarantined).
+        total: usize,
+        /// The configured ceiling, in rows (`fraction × total`, rounded
+        /// down).
+        allowed: usize,
+    },
     /// Underlying I/O failure (message-only so the error stays `Clone + Eq`).
     Io(String),
 }
@@ -61,6 +72,10 @@ impl fmt::Display for TableError {
             }
             TableError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
             TableError::Csv { line, message } => write!(f, "CSV parse error at line {line}: {message}"),
+            TableError::QuarantineOverflow { quarantined, total, allowed } => write!(
+                f,
+                "quarantined {quarantined} of {total} rows, more than the {allowed} allowed"
+            ),
             TableError::Io(m) => write!(f, "I/O error: {m}"),
         }
     }

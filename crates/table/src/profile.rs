@@ -69,11 +69,11 @@ pub fn profile_table(table: &Table) -> TableProfile {
         .schema()
         .columns()
         .iter()
-        .map(|col| {
-            let values: Vec<&Value> = table
-                .column_values(&col.name)
-                .expect("column from own schema");
-            profile_column(&col.name, &col.dtype.to_string(), &values)
+        .filter_map(|col| {
+            // Columns come from the table's own schema, so the lookup
+            // cannot fail; `.ok()` only avoids a panic path.
+            let values: Vec<&Value> = table.column_values(&col.name).ok()?;
+            Some(profile_column(&col.name, &col.dtype.to_string(), &values))
         })
         .collect();
     TableProfile {

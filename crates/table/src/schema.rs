@@ -84,7 +84,9 @@ impl Schema {
         Ok(Schema { columns, index })
     }
 
-    /// Convenience: all-`Str` schema from names (the shape CSV data starts in).
+    /// Convenience: all-`Str` schema from names (the shape CSV data starts
+    /// in); panics on duplicate names — for literal schemas only.
+    #[allow(clippy::expect_used)] // panicking on duplicates is the documented contract
     pub fn of_strings(names: &[&str]) -> Schema {
         Schema::new(names.iter().map(|n| Column::new(*n, DataType::Str)).collect())
             .expect("caller guarantees unique names")
@@ -92,6 +94,7 @@ impl Schema {
 
     /// Convenience: schema from `(name, dtype)` pairs; panics on duplicates,
     /// for use in code that constructs literal schemas.
+    #[allow(clippy::expect_used)] // panicking on duplicates is the documented contract
     pub fn of(cols: &[(&str, DataType)]) -> Schema {
         Schema::new(cols.iter().map(|(n, t)| Column::new(*n, *t)).collect())
             .expect("caller guarantees unique names")

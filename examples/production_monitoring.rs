@@ -43,7 +43,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         plan: spec.blocking,
         matcher: &matcher,
         apply_negative: spec.apply_negative,
-        config: MonitorConfig { sample_size: 80, precision_floor: 0.85, seed: 3 },
+        config: MonitorConfig {
+            sample_size: 80,
+            precision_floor: 0.85,
+            seed: 3,
+            ..MonitorConfig::default()
+        },
     };
 
     println!("{:<14} {:>8} {:>8} {:>22} {:>7}", "slice", "matches", "sampled", "precision est.", "alert");

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Pre-PR gate: build, test, lint. All three must pass.
+#
+#   scripts/check.sh [--offline]
+#
+# Mirrors what CI runs; `--offline` (the default in the dev container)
+# forbids registry access — all dependencies are vendored.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CARGO_FLAGS=(--offline)
+if [[ "${1:-}" == "--online" ]]; then
+    CARGO_FLAGS=()
+fi
+
+echo "==> cargo build --release"
+cargo build "${CARGO_FLAGS[@]}" --release
+
+echo "==> cargo test"
+cargo test "${CARGO_FLAGS[@]}" -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy "${CARGO_FLAGS[@]}" --all-targets -- -D warnings
+
+echo "==> all checks passed"

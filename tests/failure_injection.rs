@@ -1,9 +1,12 @@
 //! Failure injection: every stage surfaces dirty or malformed input as a
-//! typed error instead of panicking or silently mis-matching.
+//! typed error instead of panicking or silently mis-matching, and the
+//! pipeline absorbs injected faults (flaky oracle, corrupted CSV, crashes
+//! between stages) without changing its answers.
 
+use proptest::prelude::*;
 use umetrics_em::blocking::{Blocker, OverlapBlocker};
 use umetrics_em::core::preprocess::{project_umetrics, project_usda};
-use umetrics_em::core::CoreError;
+use umetrics_em::core::{corrupt_csv, CaseStudy, CaseStudyConfig, CoreError, FaultPlan, STAGES};
 use umetrics_em::ml::dataset::Dataset;
 use umetrics_em::ml::model::Learner;
 use umetrics_em::ml::tree::DecisionTreeLearner;
@@ -100,4 +103,103 @@ fn all_null_label_columns_still_estimate_vacuously() {
     assert_eq!(est.n_used, 0);
     assert_eq!(est.precision.lo, 0.0);
     assert_eq!(est.precision.hi, 1.0);
+}
+
+/// A fault plan that exercises every resilience path at once: a flaky
+/// oracle, corrupted USDA CSV rows, and (per test) an injected crash.
+fn active_faults() -> FaultPlan {
+    FaultPlan {
+        seed: 0xBAD5EED,
+        p_oracle_unavailable: 0.15,
+        p_oracle_timeout: 0.05,
+        max_fault_attempts: 4,
+        p_corrupt_row: 0.03,
+        max_quarantine_fraction: 0.25,
+        crash_after: None,
+    }
+}
+
+#[test]
+fn faulty_runs_are_deterministic() {
+    let mut cfg = CaseStudyConfig::small();
+    cfg.faults = active_faults();
+    let a = CaseStudy::new(cfg.clone()).run().unwrap();
+    let b = CaseStudy::new(cfg).run().unwrap();
+    assert!(!a.resilience.is_clean(), "the fault plan should actually fire");
+    assert!(a.resilience.oracle_faults > 0);
+    assert!(a.resilience.quarantined_rows > 0);
+    assert_eq!(a, b, "two runs under the same fault plan must agree bit for bit");
+}
+
+/// Kill the pipeline after every single stage in turn; resuming from the
+/// checkpoint directory must reproduce the uninterrupted report exactly,
+/// even with the flaky oracle and CSV corruption active.
+#[test]
+fn crash_after_any_stage_resumes_to_identical_report() {
+    let mut cfg = CaseStudyConfig::small();
+    cfg.faults = active_faults();
+    let baseline = CaseStudy::new(cfg.clone()).run().unwrap();
+
+    for stage in STAGES {
+        let dir = std::env::temp_dir()
+            .join(format!("em-crash-{}-{}", stage, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut crashing = cfg.clone();
+        crashing.faults.crash_after = Some(stage.to_string());
+        let err = CaseStudy::new(crashing).run_checkpointed(&dir).unwrap_err();
+        match err {
+            CoreError::InjectedCrash(s) => assert_eq!(s, *stage),
+            other => panic!("stage {stage}: expected InjectedCrash, got {other}"),
+        }
+
+        let mut resumed = CaseStudy::resume(&dir)
+            .unwrap_or_else(|e| panic!("resume after {stage} crash failed: {e}"));
+        assert!(
+            resumed.resilience.resumed_stages.iter().any(|s| s == stage),
+            "stage {stage} should have been restored from checkpoint, \
+             resumed: {:?}",
+            resumed.resilience.resumed_stages
+        );
+        resumed.resilience.resumed_stages.clear();
+        assert_eq!(
+            resumed, baseline,
+            "crash after {stage} + resume must equal the uninterrupted run"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+proptest! {
+    /// Quarantine ingest conserves rows: however `corrupt_csv` mangles a
+    /// table, every data row ends up either accepted or quarantined, and
+    /// with corruption off nothing is quarantined at all.
+    #[test]
+    fn quarantine_conserves_rows(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(
+                proptest::string::string_regex("[a-z ,.]{0,10}").expect("valid regex"),
+                2,
+            ),
+            1..30,
+        ),
+        seed in any::<u64>(),
+        p in 0.0f64..0.6,
+    ) {
+        let table = Table::from_rows(
+            "t",
+            Schema::of_strings(&["a", "b"]),
+            rows.iter()
+                .map(|r| r.iter().map(|s| Value::Str(s.clone())).collect())
+                .collect(),
+        ).unwrap();
+        let clean = csv::write_str(&table);
+
+        let out = csv::read_quarantine("t", &corrupt_csv(&clean, seed, p), 1.0).unwrap();
+        prop_assert_eq!(out.total_rows(), table.n_rows());
+
+        let untouched = csv::read_quarantine("t", &corrupt_csv(&clean, seed, 0.0), 1.0).unwrap();
+        prop_assert!(untouched.quarantined.is_empty());
+        prop_assert_eq!(untouched.table.n_rows(), table.n_rows());
+    }
 }

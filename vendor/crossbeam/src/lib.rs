@@ -1,0 +1,92 @@
+//! Offline drop-in subset of the `crossbeam` scoped-thread API.
+//!
+//! The build environment has no access to crates.io; this crate re-creates
+//! the `crossbeam::scope` entry point on top of `std::thread::scope`
+//! (available since Rust 1.63), which provides the same borrow-from-the-
+//! enclosing-stack guarantee. Threads are real: workloads still fan out
+//! across cores.
+
+#![warn(missing_docs)]
+
+use std::any::Any;
+
+/// Result type of [`scope`]: `Err` carries a panic payload when the scope
+/// body itself panicked. (Panics in spawned threads surface through
+/// [`ScopedJoinHandle::join`], as in crossbeam.)
+pub type ScopeResult<R> = Result<R, Box<dyn Any + Send + 'static>>;
+
+/// A scope in which threads borrowing the enclosing stack can be spawned.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a spawned scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish; `Err` carries its panic payload.
+    pub fn join(self) -> std::thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread scoped to the enclosing [`scope`] call. The closure
+    /// receives the scope so it can spawn further threads.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Creates a scope for spawning threads that may borrow the caller's stack.
+/// All spawned threads are joined before this returns.
+pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// Namespaced alias mirroring `crossbeam::thread::scope`.
+pub mod thread {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4, 5, 6, 7, 8];
+        let total: u64 = super::scope(|s| {
+            let mid = data.len() / 2;
+            let (a, b) = data.split_at(mid);
+            let ha = s.spawn(move |_| a.iter().sum::<u64>());
+            let hb = s.spawn(move |_| b.iter().sum::<u64>());
+            ha.join().unwrap() + hb.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(total, 36);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = super::scope(|s| {
+            let h = s.spawn(|inner| {
+                let h2 = inner.spawn(|_| 21);
+                h2.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

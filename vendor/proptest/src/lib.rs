@@ -1,0 +1,793 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! re-creates the slice of proptest this workspace uses: the `proptest!`
+//! macro with `ident in strategy` bindings and an optional
+//! `#![proptest_config(..)]` header, `prop_assert*` / `prop_assume!` /
+//! `prop_oneof!`, `Strategy::prop_map`, `Just`, numeric range strategies,
+//! tuple strategies, `collection::vec`, `option::of`, `sample::select`,
+//! and a mini `string::string_regex` that understands character classes
+//! with `{m,n}` quantifiers (the only regex shape used in our tests).
+//!
+//! Differences from upstream, deliberately accepted:
+//! - **No shrinking.** A failing case reports the generated seed and the
+//!   assertion message, not a minimised input.
+//! - Generation is driven by a fixed per-test seed (hash of file and
+//!   line), so failures reproduce exactly across runs.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator driving all strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn seed(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n > 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Boxes the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A boxed strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn gen_value(&self, rng: &mut TestRng) -> S::Value {
+        (**self).gen_value(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn gen_value(&self, rng: &mut TestRng) -> S::Value {
+        (**self).gen_value(rng)
+    }
+}
+
+/// Strategy mapping combinator; see [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn gen_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed strategies (the `prop_oneof!` backend).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Creates a union; `options` must be non-empty.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Union<V> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn gen_value(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.options.len());
+        self.options[i].gen_value(rng)
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = ((rng.next_u64() as u128) * span) >> 64;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                let off = ((rng.next_u64() as u128) * span) >> 64;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                lo + (rng.unit_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.gen_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+
+/// Types with a canonical full-range strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Full-range strategy for a primitive type.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyPrimitive<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+macro_rules! impl_arbitrary_prim {
+    ($($t:ty => $gen:expr),* $(,)?) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let f: fn(&mut TestRng) -> $t = $gen;
+                f(rng)
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+            fn arbitrary() -> AnyPrimitive<$t> {
+                AnyPrimitive { _marker: std::marker::PhantomData }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_prim! {
+    bool => |r| r.next_u64() & 1 == 1,
+    u8 => |r| r.next_u64() as u8,
+    u16 => |r| r.next_u64() as u16,
+    u32 => |r| r.next_u64() as u32,
+    u64 => |r| r.next_u64(),
+    usize => |r| r.next_u64() as usize,
+    i8 => |r| r.next_u64() as i8,
+    i16 => |r| r.next_u64() as i16,
+    i32 => |r| r.next_u64() as i32,
+    i64 => |r| r.next_u64() as i64,
+    isize => |r| r.next_u64() as isize,
+    f64 => |r| r.unit_f64() * 2e6 - 1e6,
+}
+
+/// Returns the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specifications accepted by [`vec`].
+    pub trait IntoSizeRange {
+        /// Inclusive `(min, max)` element-count bounds.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Strategy for vectors of values from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.min == self.max {
+                self.min
+            } else {
+                self.min + rng.below(self.max - self.min + 1)
+            };
+            (0..n).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    /// Generates vectors whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing `None` a quarter of the time.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.gen_value(rng))
+            }
+        }
+    }
+
+    /// Wraps a strategy's values in `Option`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// Sampling strategies.
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Uniform choice from a fixed list.
+    pub struct Select<T: Clone> {
+        items: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            self.items[rng.below(self.items.len())].clone()
+        }
+    }
+
+    /// Picks uniformly from `items` (must be non-empty).
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select needs at least one item");
+        Select { items }
+    }
+}
+
+/// String strategies.
+pub mod string {
+    use super::{Strategy, TestRng};
+
+    /// Error from [`string_regex`] on an unsupported pattern.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "unsupported regex: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    struct Atom {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Strategy generating strings matching a simple regex.
+    pub struct RegexGeneratorStrategy {
+        atoms: Vec<Atom>,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn gen_value(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for atom in &self.atoms {
+                let n = if atom.min == atom.max {
+                    atom.min
+                } else {
+                    atom.min + rng.below(atom.max - atom.min + 1)
+                };
+                for _ in 0..n {
+                    out.push(atom.chars[rng.below(atom.chars.len())]);
+                }
+            }
+            out
+        }
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<Vec<char>, Error> {
+        let mut set: Vec<char> = Vec::new();
+        loop {
+            let c = chars.next().ok_or_else(|| Error("unterminated character class".into()))?;
+            match c {
+                ']' => break,
+                '\\' => {
+                    let e = chars.next().ok_or_else(|| Error("dangling escape".into()))?;
+                    set.push(unescape(e));
+                }
+                _ => {
+                    // Range `a-z` when '-' is followed by a non-']' char.
+                    if chars.peek() == Some(&'-') {
+                        let mut ahead = chars.clone();
+                        ahead.next();
+                        match ahead.peek() {
+                            Some(&']') | None => set.push(c),
+                            Some(&hi) => {
+                                chars.next();
+                                chars.next();
+                                if hi < c {
+                                    return Err(Error(format!("invalid range {c}-{hi}")));
+                                }
+                                for x in c as u32..=hi as u32 {
+                                    if let Some(ch) = char::from_u32(x) {
+                                        set.push(ch);
+                                    }
+                                }
+                            }
+                        }
+                    } else {
+                        set.push(c);
+                    }
+                }
+            }
+        }
+        if set.is_empty() {
+            return Err(Error("empty character class".into()));
+        }
+        Ok(set)
+    }
+
+    fn parse_quantifier(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) -> Result<(usize, usize), Error> {
+        if chars.peek() != Some(&'{') {
+            return Ok((1, 1));
+        }
+        chars.next();
+        let mut body = String::new();
+        loop {
+            match chars.next() {
+                Some('}') => break,
+                Some(c) => body.push(c),
+                None => return Err(Error("unterminated quantifier".into())),
+            }
+        }
+        let parse = |s: &str| s.trim().parse::<usize>().map_err(|_| Error(format!("bad quantifier {body:?}")));
+        match body.split_once(',') {
+            None => {
+                let n = parse(&body)?;
+                Ok((n, n))
+            }
+            Some((lo, hi)) => {
+                let lo = parse(lo)?;
+                let hi = parse(hi)?;
+                if hi < lo {
+                    return Err(Error(format!("inverted quantifier {body:?}")));
+                }
+                Ok((lo, hi))
+            }
+        }
+    }
+
+    /// Builds a generator for strings matching `pattern`. Supported syntax:
+    /// character classes (`[a-z0-9.\n-]`), single literal characters,
+    /// escapes, and `{n}` / `{m,n}` quantifiers — the shapes used by this
+    /// workspace's tests.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let mut chars = pattern.chars().peekable();
+        let mut atoms = Vec::new();
+        while let Some(c) = chars.next() {
+            let set = match c {
+                '[' => parse_class(&mut chars)?,
+                '\\' => vec![unescape(
+                    chars.next().ok_or_else(|| Error("dangling escape".into()))?,
+                )],
+                '(' | ')' | '|' | '*' | '+' | '?' | '^' | '$' => {
+                    return Err(Error(format!("unsupported regex construct {c:?} in {pattern:?}")))
+                }
+                _ => vec![c],
+            };
+            let (min, max) = parse_quantifier(&mut chars)?;
+            atoms.push(Atom { chars: set, min, max });
+        }
+        Ok(RegexGeneratorStrategy { atoms })
+    }
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property failed; the test should fail.
+    Fail(String),
+    /// The case was vetoed by `prop_assume!`; try another.
+    Reject(String),
+}
+
+/// Drives the generated cases for one property; panics on failure.
+/// The seed derives from `file`/`line`, so failures reproduce across runs.
+pub fn run_cases<F>(config: ProptestConfig, file: &str, line: u32, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut seed: u64 = 0xcbf29ce484222325;
+    for b in file.bytes() {
+        seed = (seed ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    seed = (seed ^ line as u64).wrapping_mul(0x100000001b3);
+
+    let mut rng = TestRng::seed(seed);
+    let mut passed: u32 = 0;
+    let mut rejected: u32 = 0;
+    while passed < config.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(why)) => {
+                rejected += 1;
+                if rejected > config.cases.saturating_mul(16) + 1024 {
+                    panic!(
+                        "[{file}:{line}] too many prop_assume! rejections ({rejected}); last: {why}"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "[{file}:{line}] property failed after {passed} passing case(s) \
+                     (seed {seed:#x}): {msg}"
+                );
+            }
+        }
+    }
+}
+
+/// Defines property tests. Supports an optional
+/// `#![proptest_config(expr)]` header and functions whose arguments are
+/// `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(__config, file!(), line!(), |__proptest_rng| {
+                    $(
+                        let $arg = $crate::Strategy::gen_value(&($strat), __proptest_rng);
+                    )+
+                    $body
+                    ::std::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking
+/// mid-generation) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+            stringify!($left), stringify!($right), __l, __r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), __l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}`\n  both: {:?}\n{}",
+            stringify!($left), stringify!($right), __l, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Discards the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// The glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn string_regex_matches_shape() {
+        let strat = crate::string::string_regex("[A-Z0-9.-]{1,20}").unwrap();
+        let mut rng = TestRng::seed(1);
+        for _ in 0..200 {
+            let s = Strategy::gen_value(&strat, &mut rng);
+            assert!((1..=20).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '.' || c == '-'), "{s:?}");
+        }
+        // Escapes and literals outside classes.
+        let strat = crate::string::string_regex("[ -~\n\"]{0,12}").unwrap();
+        for _ in 0..200 {
+            let s = Strategy::gen_value(&strat, &mut rng);
+            assert!(s.chars().count() <= 12);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)), "{s:?}");
+        }
+        let lit = crate::string::string_regex("ab[0-9]{2}").unwrap();
+        let s = Strategy::gen_value(&lit, &mut rng);
+        assert!(s.starts_with("ab") && s.len() == 4, "{s:?}");
+        assert!(crate::string::string_regex("(a|b)*").is_err());
+    }
+
+    #[test]
+    fn ranges_tuples_collections_in_bounds() {
+        let mut rng = TestRng::seed(2);
+        let strat = (0usize..8, -10.0f64..10.0, any::<bool>());
+        for _ in 0..200 {
+            let (a, b, _c) = Strategy::gen_value(&strat, &mut rng);
+            assert!(a < 8);
+            assert!((-10.0..10.0).contains(&b));
+        }
+        let v = Strategy::gen_value(&crate::collection::vec(0u64..5, 3usize), &mut rng);
+        assert_eq!(v.len(), 3);
+        let v = Strategy::gen_value(&crate::collection::vec(0u64..5, 1..4), &mut rng);
+        assert!((1..4).contains(&v.len()));
+        let picked = Strategy::gen_value(&crate::sample::select(vec!["x", "y"]), &mut rng);
+        assert!(picked == "x" || picked == "y");
+        let one = Strategy::gen_value(&prop_oneof![Just(0.3f64), Just(0.7f64)], &mut rng);
+        assert!(one == 0.3 || one == 0.7);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro wires bindings, assumptions and assertions together.
+        #[test]
+        fn macro_end_to_end(x in 1usize..50, y in any::<u64>(), s in crate::string::string_regex("[a-z]{1,5}").unwrap()) {
+            prop_assume!(x != 13);
+            prop_assert!(x >= 1 && x < 50);
+            prop_assert_eq!(x + 1, 1 + x);
+            prop_assert_ne!(s.len(), 0);
+            let _ = y;
+        }
+    }
+
+    proptest! {
+        /// Default-config arm compiles and runs too.
+        #[test]
+        fn macro_default_config(pair in (any::<bool>(), 0i64..3).prop_map(|(b, i)| (b, i * 2))) {
+            prop_assert!(pair.1 % 2 == 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_panics_with_seed() {
+        crate::run_cases(ProptestConfig::with_cases(8), file!(), line!(), |rng| {
+            let v = Strategy::gen_value(&(0usize..100), rng);
+            crate::prop_assert!(v < 2, "v was {}", v);
+            Ok(())
+        });
+    }
+}
