@@ -1,0 +1,84 @@
+//! Performance-engine microbenchmarks: the interned-token cache and the
+//! deterministic parallel executor's fan-out points (tokenize/intern,
+//! overlap blocking, feature extraction, forest fit) at 1 thread vs the
+//! hardware thread count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use em_bench::fixtures;
+use em_blocking::{Blocker, OverlapBlocker};
+use em_features::{auto_features, extract_vectors, FeatureOptions};
+use em_ml::dataset::{impute_mean, Dataset};
+use em_ml::forest::RandomForestLearner;
+use em_text::intern::{TokenCache, TokenCorpus};
+
+fn bench_perf_engine(c: &mut Criterion) {
+    let fx = fixtures(true); // paper scale: 1336 × 1915
+    let u = &fx.umetrics;
+    let s = &fx.usda;
+    let hw = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let mut g = c.benchmark_group("perf_engine");
+    g.sample_size(10);
+
+    // Interning: tokenize both AwardTitle columns into id lists.
+    g.bench_function("tokenize_intern_columns", |b| {
+        b.iter(|| {
+            let cache = TokenCache::for_blocking();
+            let left = TokenCorpus::from_column(&cache, u.iter().map(|r| r.str("AwardTitle")));
+            let right = TokenCorpus::from_column(&cache, s.iter().map(|r| r.str("AwardTitle")));
+            (left.len(), right.len(), cache.n_tokens())
+        })
+    });
+
+    // Overlap blocking at 1 thread and at the hardware count.
+    for threads in [1, hw] {
+        g.bench_function(format!("overlap_block_k3_t{threads}"), |b| {
+            em_parallel::set_threads(threads);
+            let blocker = OverlapBlocker::new("AwardTitle", "AwardTitle", 3);
+            b.iter(|| blocker.block(u, s).unwrap());
+            em_parallel::set_threads(0);
+        });
+    }
+
+    // Feature extraction over the K=3 candidates.
+    let pairs = OverlapBlocker::new("AwardTitle", "AwardTitle", 3).block(u, s).unwrap().to_vec();
+    let features = auto_features(
+        u,
+        s,
+        &FeatureOptions::excluding(&["RecordId", "AccessionNumber"]).with_case_insensitive(),
+    );
+    for threads in [1, hw] {
+        g.bench_function(format!("extract_vectors_t{threads}"), |b| {
+            em_parallel::set_threads(threads);
+            b.iter(|| extract_vectors(&features, u, s, &pairs).unwrap());
+            em_parallel::set_threads(0);
+        });
+    }
+
+    // Forest fit on truth-labeled candidates.
+    let x = extract_vectors(&features, u, s, &pairs).unwrap();
+    let y: Vec<bool> = pairs
+        .iter()
+        .map(|p| {
+            fx.scenario.truth.is_match(
+                &u.get(p.left, "AwardNumber").map(|v| v.render()).unwrap_or_default(),
+                &s.get(p.right, "AccessionNumber").map(|v| v.render()).unwrap_or_default(),
+            )
+        })
+        .collect();
+    let mut data = Dataset::new(features.names(), x, y).unwrap();
+    let _ = impute_mean(&mut data);
+    for threads in [1, hw] {
+        g.bench_function(format!("forest_fit_t{threads}"), |b| {
+            em_parallel::set_threads(threads);
+            let forest = RandomForestLearner::default();
+            b.iter(|| forest.fit_forest(&data).unwrap());
+            em_parallel::set_threads(0);
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_perf_engine);
+criterion_main!(benches);

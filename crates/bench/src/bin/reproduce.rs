@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run --release -p em-bench --bin reproduce -- [--scale paper|small]
-//!     [--seed N] [--faults] [--section <id>]...
+//!     [--seed N] [--faults] [--threads N] [--bench] [--section <id>]...
 //! ```
 //!
 //! Sections: `fig1 fig2 fig3 fig4 fig5 fig7 blocking blockdebug labeling
@@ -13,6 +13,13 @@
 //! a non-trivial ledger; the headline numbers should not move. Output is
 //! plain text with the paper's numbers quoted next to ours; tee it into
 //! EXPERIMENTS.md evidence files.
+//!
+//! `--threads N` pins the parallel executor's worker count (default:
+//! `EM_THREADS` or the hardware); results never depend on it. `--bench`
+//! times the parallel pipeline stages at 1 thread and at N threads,
+//! verifies the outputs are bit-identical, writes `BENCH_pipeline.json`,
+//! and skips the report sections. Every run ends with its total wall time
+//! and thread count.
 
 use em_bench::fixtures;
 use em_blocking::{Blocker, OverlapBlocker, Pair};
@@ -34,6 +41,8 @@ struct Args {
     paper_scale: bool,
     seed: Option<u64>,
     faults: bool,
+    threads: Option<usize>,
+    bench: bool,
     sections: Vec<String>,
 }
 
@@ -43,7 +52,14 @@ const ALL_SECTIONS: &[&str] = &[
 ];
 
 fn parse_args() -> Args {
-    let mut args = Args { paper_scale: false, seed: None, faults: false, sections: Vec::new() };
+    let mut args = Args {
+        paper_scale: false,
+        seed: None,
+        faults: false,
+        threads: None,
+        bench: false,
+        sections: Vec::new(),
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -57,6 +73,12 @@ fn parse_args() -> Args {
             "--faults" => {
                 args.faults = true;
             }
+            "--threads" => {
+                args.threads = it.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0);
+            }
+            "--bench" => {
+                args.bench = true;
+            }
             "--section" => {
                 if let Some(v) = it.next() {
                     args.sections.push(v);
@@ -64,9 +86,11 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: reproduce [--scale paper|small] [--seed N] [--faults] [--section <id>]...\n\
+                    "usage: reproduce [--scale paper|small] [--seed N] [--faults] [--threads N] [--bench] [--section <id>]...\n\
                      sections: {} (default: all)\n\
-                     --faults: inject a flaky oracle and CSV corruption; the run must absorb them",
+                     --faults: inject a flaky oracle and CSV corruption; the run must absorb them\n\
+                     --threads N: pin the parallel executor's worker count (results never change)\n\
+                     --bench: time pipeline stages at 1 vs N threads, write BENCH_pipeline.json",
                     ALL_SECTIONS.join(" ")
                 );
                 std::process::exit(0);
@@ -84,7 +108,16 @@ fn parse_args() -> Args {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let started = std::time::Instant::now();
     let args = parse_args();
+    if let Some(n) = args.threads {
+        em_parallel::set_threads(n);
+    }
+    if args.bench {
+        bench_pipeline(&args)?;
+        print_wall_time(started);
+        return Ok(());
+    }
     let wants = |s: &str| args.sections.iter().any(|x| x == s);
 
     let mut scenario_cfg =
@@ -171,6 +204,193 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if wants("ablation") {
         ablations(&fx.umetrics, &fx.usda, &fx.scenario)?;
     }
+    print_wall_time(started);
+    Ok(())
+}
+
+/// Stderr, not stdout: stdout is the deterministic report (the checked-in
+/// `reproduce_paper_output.txt` must byte-match a fresh run), timing is not.
+fn print_wall_time(started: std::time::Instant) {
+    eprintln!(
+        "\nTotal wall time: {:.2}s using {} thread(s)",
+        started.elapsed().as_secs_f64(),
+        em_parallel::threads()
+    );
+}
+
+/// Times `f` once, returning its result and elapsed milliseconds.
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = std::time::Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+/// One benchmark stage: wall time at 1 thread and at the requested count.
+struct StageTiming {
+    name: &'static str,
+    items: usize,
+    ms_1t: f64,
+    ms_nt: f64,
+}
+
+impl StageTiming {
+    fn speedup(&self) -> f64 {
+        self.ms_1t / self.ms_nt.max(1e-9)
+    }
+    fn throughput(&self) -> f64 {
+        self.items as f64 / (self.ms_nt.max(1e-9) / 1e3)
+    }
+}
+
+/// `--bench`: run the parallel pipeline stages (blocking, feature
+/// extraction, forest fit, batch prediction) at 1 thread and at the
+/// requested thread count, assert the outputs are bit-identical, and write
+/// `BENCH_pipeline.json`.
+fn bench_pipeline(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let requested = em_parallel::threads().max(1);
+    println!("\n## Pipeline benchmark — 1 thread vs {requested} thread(s)");
+    let fx = fixtures(args.paper_scale);
+    let (u, s) = (&fx.umetrics, &fx.usda);
+    let mut stages: Vec<StageTiming> = Vec::new();
+
+    // Stage 1: the Section 7 blocking plan (C1 ∪ C2 ∪ C3).
+    let plan = BlockingPlan::default();
+    em_parallel::set_threads(1);
+    let (r1, blk_1t) = timed(|| run_blocking(u, s, &plan));
+    let r1 = r1?;
+    em_parallel::set_threads(requested);
+    let (rn, blk_nt) = timed(|| run_blocking(u, s, &plan));
+    let rn = rn?;
+    assert_eq!(
+        r1.consolidated.to_vec(),
+        rn.consolidated.to_vec(),
+        "blocking must be thread-count invariant"
+    );
+    let pairs: Vec<Pair> = rn.consolidated.to_vec();
+    stages.push(StageTiming { name: "blocking", items: pairs.len(), ms_1t: blk_1t, ms_nt: blk_nt });
+
+    // Stage 2: feature extraction over every candidate pair.
+    let features = auto_features(
+        u,
+        s,
+        &FeatureOptions::excluding(&["RecordId", "AccessionNumber"]).with_case_insensitive(),
+    );
+    em_parallel::set_threads(1);
+    let (x1, ext_1t) = timed(|| extract_vectors(&features, u, s, &pairs));
+    let x1 = x1?;
+    em_parallel::set_threads(requested);
+    let (xn, ext_nt) = timed(|| extract_vectors(&features, u, s, &pairs));
+    let xn = xn?;
+    assert!(
+        x1.iter().flatten().map(|v| v.to_bits()).eq(xn.iter().flatten().map(|v| v.to_bits())),
+        "feature extraction must be thread-count invariant"
+    );
+    stages.push(StageTiming {
+        name: "feature_extraction",
+        items: pairs.len(),
+        ms_1t: ext_1t,
+        ms_nt: ext_nt,
+    });
+
+    // Stage 3: random-forest fit on truth-labeled candidates.
+    let y: Vec<bool> = pairs
+        .iter()
+        .map(|p| {
+            fx.scenario.truth.is_match(
+                &u.get(p.left, "AwardNumber").map(|v| v.render()).unwrap_or_default(),
+                &s.get(p.right, "AccessionNumber").map(|v| v.render()).unwrap_or_default(),
+            )
+        })
+        .collect();
+    let mut data = Dataset::new(features.names(), xn, y)?;
+    let _imputer = impute_mean(&mut data);
+    let forest = em_ml::forest::RandomForestLearner::default();
+    em_parallel::set_threads(1);
+    let (m1, fit_1t) = timed(|| forest.fit_forest(&data));
+    let m1 = m1?;
+    em_parallel::set_threads(requested);
+    let (mn, fit_nt) = timed(|| forest.fit_forest(&data));
+    let mn = mn?;
+    stages.push(StageTiming {
+        name: "forest_fit",
+        items: forest.n_trees,
+        ms_1t: fit_1t,
+        ms_nt: fit_nt,
+    });
+
+    // Stage 4: batch probability prediction over the extracted matrix.
+    use em_ml::model::Model;
+    em_parallel::set_threads(1);
+    let (p1, prd_1t) = timed(|| {
+        em_parallel::Executor::current().map_slice(&data.x, 64, |row| m1.predict_proba(row))
+    });
+    em_parallel::set_threads(requested);
+    let (pn, prd_nt) = timed(|| {
+        em_parallel::Executor::current().map_slice(&data.x, 64, |row| mn.predict_proba(row))
+    });
+    assert!(
+        p1.iter().map(|v| v.to_bits()).eq(pn.iter().map(|v| v.to_bits())),
+        "batch prediction must be thread-count invariant"
+    );
+    stages.push(StageTiming {
+        name: "batch_predict",
+        items: data.x.len(),
+        ms_1t: prd_1t,
+        ms_nt: prd_nt,
+    });
+
+    // Console summary + JSON artifact.
+    println!(
+        "  {:<20} {:>8} {:>12} {:>12} {:>9} {:>14}",
+        "stage", "items", "1-thread ms", "N-thread ms", "speedup", "items/s"
+    );
+    for st in &stages {
+        println!(
+            "  {:<20} {:>8} {:>12.1} {:>12.1} {:>8.2}x {:>14.0}",
+            st.name,
+            st.items,
+            st.ms_1t,
+            st.ms_nt,
+            st.speedup(),
+            st.throughput()
+        );
+    }
+    let total_1t: f64 = stages.iter().map(|s| s.ms_1t).sum();
+    let total_nt: f64 = stages.iter().map(|s| s.ms_nt).sum();
+    let combined = total_1t / total_nt.max(1e-9);
+    println!("  combined: {total_1t:.1} ms → {total_nt:.1} ms ({combined:.2}x)");
+
+    let stage_json: Vec<String> = stages
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"name\": \"{}\", \"items\": {}, \"wall_ms_1t\": {:.3}, \"wall_ms_nt\": {:.3}, \"speedup\": {:.3}, \"throughput_per_s\": {:.1}}}",
+                s.name,
+                s.items,
+                s.ms_1t,
+                s.ms_nt,
+                s.speedup(),
+                s.throughput()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"scale\": \"{}\",\n  \"seed\": {},\n  \"threads\": {},\n  \"candidate_pairs\": {},\n  \"stages\": [\n{}\n  ],\n  \"total_wall_ms_1t\": {:.3},\n  \"total_wall_ms_nt\": {:.3},\n  \"combined_speedup\": {:.3}\n}}\n",
+        if args.paper_scale { "paper" } else { "small" },
+        args.seed.unwrap_or_else(|| if args.paper_scale {
+            em_datagen::ScenarioConfig::paper().seed
+        } else {
+            em_datagen::ScenarioConfig::small().seed
+        }),
+        requested,
+        pairs.len(),
+        stage_json.join(",\n"),
+        total_1t,
+        total_nt,
+        combined
+    );
+    std::fs::write("BENCH_pipeline.json", &json)?;
+    println!("  wrote BENCH_pipeline.json");
     Ok(())
 }
 

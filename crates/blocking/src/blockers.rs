@@ -6,13 +6,29 @@
 //! index-based where possible) and pair-level [`Blocker::accepts`] (used to
 //! re-check single pairs and to filter an existing candidate set with
 //! [`Blocker::block_candidates`], PyMatcher's `block_candset`).
+//!
+//! The token blockers run on the shared performance layer: each attribute
+//! is tokenized **once** into interned `u32` id lists through a memoizing
+//! [`TokenCache`] (shareable across blockers, so a whole blocking plan
+//! tokenizes each column a single time), and table-level probing fans out
+//! over left-row chunks on [`em_parallel::Executor`]. Candidate sets are
+//! ordered maps and every probe is a pure function of its row index, so
+//! output is bit-identical at any thread count.
 
 use crate::candidate::{CandidateSet, Pair};
 use crate::error::BlockError;
+use em_parallel::Executor;
 use em_table::{RowRef, Table};
-use em_text::tokenize::{AlphanumericTokenizer, Tokenizer};
-use em_text::Normalizer;
-use std::collections::{HashMap, HashSet};
+use em_text::intern::{overlap_size_sorted, TokenCache, TokenCorpus, TokenIds};
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+/// Minimum left rows per probing thread; below this the fan-out cost
+/// dominates and table-level blocking stays single-threaded.
+const PROBE_GRAIN: usize = 64;
+
+/// Minimum candidate pairs per thread in `block_candidates`.
+const PAIR_GRAIN: usize = 256;
 
 /// A blocking scheme over two tables.
 pub trait Blocker {
@@ -126,36 +142,82 @@ impl Blocker for AttrEquivalenceBlocker {
     }
 }
 
-/// Shared tokenization used by the token blockers: normalize then word
-/// tokenize, returning the *distinct* token set.
-fn distinct_tokens(text: Option<&str>, normalizer: &Normalizer) -> Vec<String> {
-    let Some(text) = text else { return Vec::new() };
-    let toks = AlphanumericTokenizer.tokenize(&normalizer.apply(text));
-    let mut seen = HashSet::with_capacity(toks.len());
-    toks.into_iter().filter(|t| seen.insert(t.clone())).collect()
-}
-
-/// Orders tokens by ascending global frequency (rarest first), lexical tie
-/// break — the canonical order prefix filtering requires. Keys borrow from
-/// the token lists, so no strings are copied.
-fn canonical_ranks<'a>(token_lists: &[&'a [String]]) -> HashMap<&'a str, usize> {
-    let mut freq: HashMap<&str, usize> = HashMap::new();
-    for list in token_lists {
-        for t in *list {
-            *freq.entry(t).or_insert(0) += 1;
+/// Orders token ids by ascending global frequency (rarest first), id tie
+/// break — the canonical order prefix filtering requires. Returns a dense
+/// rank array indexed by token id.
+fn canonical_ranks(width: usize, corpora: [&TokenCorpus; 2]) -> Vec<u32> {
+    let mut freq = vec![0u32; width];
+    for corpus in corpora {
+        for (_, ids) in corpus.iter() {
+            for &t in ids {
+                freq[t as usize] += 1;
+            }
         }
     }
-    let mut order: Vec<(&str, usize)> = freq.into_iter().collect();
-    order.sort_unstable_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(b.0)));
-    order.into_iter().enumerate().map(|(rank, (tok, _))| (tok, rank)).collect()
+    let mut order: Vec<u32> = (0..width as u32).filter(|&t| freq[t as usize] > 0).collect();
+    order.sort_unstable_by_key(|&t| (freq[t as usize], t));
+    let mut ranks = vec![0u32; width];
+    for (rank, &t) in order.iter().enumerate() {
+        ranks[t as usize] = rank as u32;
+    }
+    ranks
+}
+
+/// Tokenizes the blocking column of each table through the shared cache.
+/// The pass is sequential so id assignment stays deterministic.
+fn tokenize_columns(
+    cache: &TokenCache,
+    a: &Table,
+    left_attr: &str,
+    b: &Table,
+    right_attr: &str,
+) -> (TokenCorpus, TokenCorpus) {
+    let left = TokenCorpus::from_column(cache, a.iter().map(|r| r.str(left_attr)));
+    let right = TokenCorpus::from_column(cache, b.iter().map(|r| r.str(right_attr)));
+    (left, right)
+}
+
+/// Dense inverted index: token id → right-row indices holding it.
+fn inverted_index(right: &TokenCorpus) -> Vec<Vec<u32>> {
+    let width = right.max_id().map_or(0, |m| m as usize + 1);
+    let mut index: Vec<Vec<u32>> = vec![Vec::new(); width];
+    for (j, ids) in right.iter() {
+        for &t in ids {
+            index[t as usize].push(j as u32);
+        }
+    }
+    index
+}
+
+/// Side-specific memo of token ids for the rows a candidate set touches.
+type SideTokens = HashMap<usize, TokenIds>;
+
+/// Memoized token-id lookups for the rows a candidate set touches, so the
+/// parallel verification pass reads without locking the cache.
+fn pair_tokens(
+    cache: &TokenCache,
+    a: &Table,
+    left_attr: &str,
+    b: &Table,
+    right_attr: &str,
+    list: &[Pair],
+) -> Result<(SideTokens, SideTokens), BlockError> {
+    let mut left = SideTokens::new();
+    let mut right = SideTokens::new();
+    for p in list {
+        let (ra, rb) = rows(a, b, *p)?;
+        left.entry(p.left).or_insert_with(|| cache.token_ids(ra.str(left_attr)));
+        right.entry(p.right).or_insert_with(|| cache.token_ids(rb.str(right_attr)));
+    }
+    Ok((left, right))
 }
 
 /// Token-overlap blocker: admit `(a, b)` iff the blocking attributes share
 /// at least `threshold` distinct word tokens (Section 7, step 2; the paper
 /// used threshold 3 after sweeping 1 and 7).
 ///
-/// Table-level blocking uses an inverted index; with
-/// `use_prefix_filter = true` only each record's canonical prefix
+/// Table-level blocking uses an inverted index over interned token ids;
+/// with `use_prefix_filter = true` only each record's canonical prefix
 /// (`n − K + 1` rarest tokens) is indexed/probed, then survivors are
 /// verified exactly — the "string filtering techniques" of footnote 4.
 #[derive(Debug, Clone)]
@@ -166,10 +228,10 @@ pub struct OverlapBlocker {
     pub right_attr: String,
     /// Minimum number of shared distinct tokens (≥ 1).
     pub threshold: usize,
-    /// Normalization applied before tokenizing.
-    pub normalizer: Normalizer,
     /// Enable prefix filtering.
     pub use_prefix_filter: bool,
+    cache: Arc<TokenCache>,
+    validated: OnceLock<Result<(), String>>,
 }
 
 impl OverlapBlocker {
@@ -188,8 +250,9 @@ impl OverlapBlocker {
             left_attr: left_attr.into(),
             right_attr: right_attr.into(),
             threshold,
-            normalizer: Normalizer::for_blocking(),
             use_prefix_filter: false,
+            cache: Arc::new(TokenCache::for_blocking()),
+            validated: OnceLock::new(),
         }
     }
 
@@ -199,13 +262,26 @@ impl OverlapBlocker {
         self
     }
 
-    fn check_params(&self) -> Result<(), BlockError> {
-        if self.threshold == 0 {
-            return Err(BlockError::BadParameter(
-                "overlap threshold must be >= 1".to_string(),
-            ));
-        }
-        Ok(())
+    /// Shares a token cache with other blockers (builder style), so one
+    /// blocking plan tokenizes each column once. The cache's normalizer
+    /// replaces this blocker's default.
+    pub fn with_cache(mut self, cache: Arc<TokenCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Parameter validation, memoized on first use.
+    fn ensure_valid(&self) -> Result<(), BlockError> {
+        self.validated
+            .get_or_init(|| {
+                if self.threshold == 0 {
+                    Err("overlap threshold must be >= 1".to_string())
+                } else {
+                    Ok(())
+                }
+            })
+            .clone()
+            .map_err(BlockError::BadParameter)
     }
 }
 
@@ -215,108 +291,118 @@ impl Blocker for OverlapBlocker {
     }
 
     fn accepts(&self, a: RowRef<'_>, b: RowRef<'_>) -> Result<bool, BlockError> {
-        self.check_params()?;
+        self.ensure_valid()?;
         require_attr(a, &self.left_attr)?;
         require_attr(b, &self.right_attr)?;
-        let ta = distinct_tokens(a.str(&self.left_attr), &self.normalizer);
-        let tb = distinct_tokens(b.str(&self.right_attr), &self.normalizer);
-        Ok(em_text::set::overlap_size(&ta, &tb) >= self.threshold)
+        let ta = self.cache.token_ids(a.str(&self.left_attr));
+        let tb = self.cache.token_ids(b.str(&self.right_attr));
+        Ok(overlap_size_sorted(&ta, &tb) >= self.threshold)
     }
 
     fn block(&self, a: &Table, b: &Table) -> Result<CandidateSet, BlockError> {
-        self.check_params()?;
+        self.ensure_valid()?;
         a.schema().require(&self.left_attr)?;
         b.schema().require(&self.right_attr)?;
         let tag = self.name();
         let k = self.threshold;
 
-        let left_tokens: Vec<Vec<String>> = a
-            .iter()
-            .map(|r| distinct_tokens(r.str(&self.left_attr), &self.normalizer))
-            .collect();
-        let right_tokens: Vec<Vec<String>> = b
-            .iter()
-            .map(|r| distinct_tokens(r.str(&self.right_attr), &self.normalizer))
-            .collect();
+        let (left, right) =
+            tokenize_columns(&self.cache, a, &self.left_attr, b, &self.right_attr);
+        let exec = Executor::current();
 
-        let mut out = CandidateSet::new(tag.clone());
-        if self.use_prefix_filter {
-            // Canonical order: rarest token first. Ranks borrow from the
-            // token lists; records are re-ordered in place as index lists.
-            let all: Vec<&[String]> = left_tokens
-                .iter()
-                .map(Vec::as_slice)
-                .chain(right_tokens.iter().map(Vec::as_slice))
-                .collect();
-            let ranks = canonical_ranks(&all);
-            fn sorted_refs<'t>(
-                toks: &'t [String],
-                ranks: &HashMap<&str, usize>,
-            ) -> Vec<&'t str> {
-                let mut v: Vec<&str> = toks.iter().map(String::as_str).collect();
-                v.sort_unstable_by_key(|t| ranks[*t]);
+        // Per left row, the accepted right rows — a pure function of the
+        // row index over read-only indexes, so chunks join in row order
+        // and output is thread-count independent.
+        let accepted: Vec<Vec<u32>> = if self.use_prefix_filter {
+            // Canonical order: rarest token first, over both columns.
+            let width = left
+                .max_id()
+                .max(right.max_id())
+                .map_or(0, |m| m as usize + 1);
+            let ranks = canonical_ranks(width, [&left, &right]);
+            let by_rank = |ids: &[u32]| -> Vec<u32> {
+                let mut v = ids.to_vec();
+                v.sort_unstable_by_key(|&t| ranks[t as usize]);
                 v
-            }
+            };
 
-            // Right side: pre-sorted token refs, prefix index, and hash
-            // sets for O(1) verification probes.
-            let right_sets: Vec<HashSet<&str>> = right_tokens
-                .iter()
-                .map(|toks| toks.iter().map(String::as_str).collect())
-                .collect();
-            let mut index: HashMap<&str, Vec<usize>> = HashMap::new();
-            for (j, toks) in right_tokens.iter().enumerate() {
-                if toks.len() < k {
+            // Right side: index only each record's canonical prefix.
+            let mut index: Vec<Vec<u32>> = vec![Vec::new(); width];
+            for (j, ids) in right.iter() {
+                if ids.len() < k {
                     continue; // cannot reach K distinct shared tokens
                 }
-                let sorted = sorted_refs(toks, &ranks);
-                for t in &sorted[..sorted.len() - k + 1] {
-                    index.entry(t).or_default().push(j);
+                let sorted = by_rank(ids);
+                for &t in &sorted[..sorted.len() - k + 1] {
+                    index[t as usize].push(j as u32);
                 }
             }
-            for (i, toks) in left_tokens.iter().enumerate() {
-                if toks.len() < k {
-                    continue;
+            exec.map_indexed(left.len(), PROBE_GRAIN, |i| {
+                let ids = left.row(i);
+                if ids.len() < k {
+                    return Vec::new();
                 }
-                let sorted = sorted_refs(toks, &ranks);
-                let mut seen: HashSet<usize> = HashSet::new();
-                for t in &sorted[..sorted.len() - k + 1] {
-                    if let Some(js) = index.get(t) {
-                        seen.extend(js.iter().copied());
-                    }
+                let sorted = by_rank(ids);
+                let mut seen: Vec<u32> = Vec::new();
+                for &t in &sorted[..sorted.len() - k + 1] {
+                    seen.extend_from_slice(&index[t as usize]);
                 }
-                for j in seen {
-                    // Verify: count left tokens present in the right set.
-                    let overlap =
-                        toks.iter().filter(|t| right_sets[j].contains(t.as_str())).count();
-                    if overlap >= k {
-                        out.add(Pair::new(i, j), &tag);
-                    }
-                }
-            }
+                seen.sort_unstable();
+                seen.dedup();
+                // Verify survivors exactly on the full id lists.
+                seen.retain(|&j| overlap_size_sorted(ids, right.row(j as usize)) >= k);
+                seen
+            })
         } else {
-            // Exact counting over a full inverted index: since token lists
-            // are distinct per record, per-pair counts equal the overlap.
-            let mut index: HashMap<&str, Vec<usize>> = HashMap::new();
-            for (j, toks) in right_tokens.iter().enumerate() {
-                for t in toks {
-                    index.entry(t).or_default().push(j);
-                }
-            }
-            for (i, toks) in left_tokens.iter().enumerate() {
-                let mut counts: HashMap<usize, usize> = HashMap::new();
-                for t in toks {
-                    if let Some(js) = index.get(t.as_str()) {
+            // Exact counting over a full inverted index: since id lists are
+            // distinct per record, per-pair counts equal the overlap.
+            let index = inverted_index(&right);
+            exec.map_indexed(left.len(), PROBE_GRAIN, |i| {
+                let mut counts: HashMap<u32, usize> = HashMap::new();
+                for &t in left.row(i) {
+                    if let Some(js) = index.get(t as usize) {
                         for &j in js {
                             *counts.entry(j).or_insert(0) += 1;
                         }
                     }
                 }
-                for (j, c) in counts {
-                    if c >= k {
-                        out.add(Pair::new(i, j), &tag);
-                    }
-                }
+                let mut js: Vec<u32> =
+                    counts.into_iter().filter(|&(_, c)| c >= k).map(|(j, _)| j).collect();
+                js.sort_unstable();
+                js
+            })
+        };
+
+        let mut out = CandidateSet::new(tag.clone());
+        for (i, js) in accepted.iter().enumerate() {
+            for &j in js {
+                out.add(Pair::new(i, j as usize), &tag);
+            }
+        }
+        Ok(out)
+    }
+
+    fn block_candidates(
+        &self,
+        a: &Table,
+        b: &Table,
+        candidates: &CandidateSet,
+    ) -> Result<CandidateSet, BlockError> {
+        self.ensure_valid()?;
+        a.schema().require(&self.left_attr)?;
+        b.schema().require(&self.right_attr)?;
+        let list: Vec<Pair> = candidates.to_vec();
+        let (lt, rt) =
+            pair_tokens(&self.cache, a, &self.left_attr, b, &self.right_attr, &list)?;
+        let k = self.threshold;
+        let flags = Executor::current().map_slice(&list, PAIR_GRAIN, |p| {
+            overlap_size_sorted(&lt[&p.left], &rt[&p.right]) >= k
+        });
+        let tag = self.name();
+        let mut out = CandidateSet::new(tag.clone());
+        for (pair, ok) in list.iter().zip(flags) {
+            if ok {
+                out.add(*pair, &tag);
             }
         }
         Ok(out)
@@ -345,8 +431,8 @@ pub struct SetSimBlocker {
     pub measure: SetMeasure,
     /// Admission threshold in `(0, 1]`.
     pub threshold: f64,
-    /// Normalization applied before tokenizing.
-    pub normalizer: Normalizer,
+    cache: Arc<TokenCache>,
+    validated: OnceLock<Result<(), String>>,
 }
 
 /// The set measure a [`SetSimBlocker`] thresholds.
@@ -356,6 +442,15 @@ pub enum SetMeasure {
     OverlapCoefficient,
     /// `|A∩B| / |A∪B|`.
     Jaccard,
+}
+
+impl SetMeasure {
+    fn score(self, inter: usize, na: usize, nb: usize) -> f64 {
+        match self {
+            SetMeasure::OverlapCoefficient => inter as f64 / na.min(nb) as f64,
+            SetMeasure::Jaccard => inter as f64 / (na + nb - inter) as f64,
+        }
+    }
 }
 
 impl SetSimBlocker {
@@ -371,7 +466,8 @@ impl SetSimBlocker {
             right_attr: right_attr.into(),
             measure: SetMeasure::OverlapCoefficient,
             threshold,
-            normalizer: Normalizer::for_blocking(),
+            cache: Arc::new(TokenCache::for_blocking()),
+            validated: OnceLock::new(),
         }
     }
 
@@ -386,25 +482,32 @@ impl SetSimBlocker {
             right_attr: right_attr.into(),
             measure: SetMeasure::Jaccard,
             threshold,
-            normalizer: Normalizer::for_blocking(),
+            cache: Arc::new(TokenCache::for_blocking()),
+            validated: OnceLock::new(),
         }
     }
 
-    fn check_params(&self) -> Result<(), BlockError> {
-        if !(self.threshold > 0.0 && self.threshold <= 1.0) {
-            return Err(BlockError::BadParameter(format!(
-                "set-similarity threshold must be in (0, 1], got {}",
-                self.threshold
-            )));
-        }
-        Ok(())
+    /// Shares a token cache with other blockers (builder style).
+    pub fn with_cache(mut self, cache: Arc<TokenCache>) -> Self {
+        self.cache = cache;
+        self
     }
 
-    fn score(&self, ta: &[String], tb: &[String]) -> f64 {
-        match self.measure {
-            SetMeasure::OverlapCoefficient => em_text::set::overlap_coefficient(ta, tb),
-            SetMeasure::Jaccard => em_text::set::jaccard(ta, tb),
-        }
+    /// Parameter validation, memoized on first use.
+    fn ensure_valid(&self) -> Result<(), BlockError> {
+        self.validated
+            .get_or_init(|| {
+                if self.threshold > 0.0 && self.threshold <= 1.0 {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "set-similarity threshold must be in (0, 1], got {}",
+                        self.threshold
+                    ))
+                }
+            })
+            .clone()
+            .map_err(BlockError::BadParameter)
     }
 }
 
@@ -418,58 +521,88 @@ impl Blocker for SetSimBlocker {
     }
 
     fn accepts(&self, a: RowRef<'_>, b: RowRef<'_>) -> Result<bool, BlockError> {
-        self.check_params()?;
+        self.ensure_valid()?;
         require_attr(a, &self.left_attr)?;
         require_attr(b, &self.right_attr)?;
-        let ta = distinct_tokens(a.str(&self.left_attr), &self.normalizer);
-        let tb = distinct_tokens(b.str(&self.right_attr), &self.normalizer);
+        let ta = self.cache.token_ids(a.str(&self.left_attr));
+        let tb = self.cache.token_ids(b.str(&self.right_attr));
         if ta.is_empty() || tb.is_empty() {
             return Ok(false); // missing titles cannot be admitted by similarity
         }
-        Ok(self.score(&ta, &tb) >= self.threshold)
+        let inter = overlap_size_sorted(&ta, &tb);
+        Ok(self.measure.score(inter, ta.len(), tb.len()) >= self.threshold)
     }
 
     fn block(&self, a: &Table, b: &Table) -> Result<CandidateSet, BlockError> {
-        self.check_params()?;
+        self.ensure_valid()?;
         a.schema().require(&self.left_attr)?;
         b.schema().require(&self.right_attr)?;
         let tag = self.name();
-        let left_tokens: Vec<Vec<String>> = a
-            .iter()
-            .map(|r| distinct_tokens(r.str(&self.left_attr), &self.normalizer))
-            .collect();
-        let right_tokens: Vec<Vec<String>> = b
-            .iter()
-            .map(|r| distinct_tokens(r.str(&self.right_attr), &self.normalizer))
-            .collect();
-        let mut index: HashMap<&str, Vec<usize>> = HashMap::new();
-        for (j, toks) in right_tokens.iter().enumerate() {
-            for t in toks {
-                index.entry(t).or_default().push(j);
-            }
-        }
-        let mut out = CandidateSet::new(tag.clone());
-        for (i, toks) in left_tokens.iter().enumerate() {
-            if toks.is_empty() {
-                continue;
-            }
-            let mut counts: HashMap<usize, usize> = HashMap::new();
-            for t in toks {
-                if let Some(js) = index.get(t.as_str()) {
-                    for &j in js {
-                        *counts.entry(j).or_insert(0) += 1;
+        let (left, right) =
+            tokenize_columns(&self.cache, a, &self.left_attr, b, &self.right_attr);
+        let index = inverted_index(&right);
+        let threshold = self.threshold;
+        let measure = self.measure;
+        let accepted: Vec<Vec<u32>> =
+            Executor::current().map_indexed(left.len(), PROBE_GRAIN, |i| {
+                let ids = left.row(i);
+                if ids.is_empty() {
+                    return Vec::new();
+                }
+                let mut counts: HashMap<u32, usize> = HashMap::new();
+                for &t in ids {
+                    if let Some(js) = index.get(t as usize) {
+                        for &j in js {
+                            *counts.entry(j).or_insert(0) += 1;
+                        }
                     }
                 }
+                let mut js: Vec<u32> = counts
+                    .into_iter()
+                    .filter(|&(j, inter)| {
+                        measure.score(inter, ids.len(), right.row(j as usize).len())
+                            >= threshold
+                    })
+                    .map(|(j, _)| j)
+                    .collect();
+                js.sort_unstable();
+                js
+            });
+        let mut out = CandidateSet::new(tag.clone());
+        for (i, js) in accepted.iter().enumerate() {
+            for &j in js {
+                out.add(Pair::new(i, j as usize), &tag);
             }
-            for (j, inter) in counts {
-                let (na, nb) = (toks.len(), right_tokens[j].len());
-                let score = match self.measure {
-                    SetMeasure::OverlapCoefficient => inter as f64 / na.min(nb) as f64,
-                    SetMeasure::Jaccard => inter as f64 / (na + nb - inter) as f64,
-                };
-                if score >= self.threshold {
-                    out.add(Pair::new(i, j), &tag);
-                }
+        }
+        Ok(out)
+    }
+
+    fn block_candidates(
+        &self,
+        a: &Table,
+        b: &Table,
+        candidates: &CandidateSet,
+    ) -> Result<CandidateSet, BlockError> {
+        self.ensure_valid()?;
+        a.schema().require(&self.left_attr)?;
+        b.schema().require(&self.right_attr)?;
+        let list: Vec<Pair> = candidates.to_vec();
+        let (lt, rt) =
+            pair_tokens(&self.cache, a, &self.left_attr, b, &self.right_attr, &list)?;
+        let threshold = self.threshold;
+        let measure = self.measure;
+        let flags = Executor::current().map_slice(&list, PAIR_GRAIN, |p| {
+            let (ta, tb) = (&lt[&p.left], &rt[&p.right]);
+            if ta.is_empty() || tb.is_empty() {
+                return false;
+            }
+            measure.score(overlap_size_sorted(ta, tb), ta.len(), tb.len()) >= threshold
+        });
+        let tag = self.name();
+        let mut out = CandidateSet::new(tag.clone());
+        for (pair, ok) in list.iter().zip(flags) {
+            if ok {
+                out.add(*pair, &tag);
             }
         }
         Ok(out)
@@ -600,6 +733,9 @@ mod tests {
     fn overlap_rejects_zero_threshold() {
         let b = OverlapBlocker::new("AwardTitle", "AwardTitle", 0);
         assert!(b.block(&left(), &right()).is_err());
+        // accepts must reject too (validated once, still surfaced per call).
+        let (a, t) = (left(), right());
+        assert!(b.accepts(a.row(0).unwrap(), t.row(0).unwrap()).is_err());
     }
 
     #[test]
@@ -664,6 +800,51 @@ mod tests {
         let refined = narrow.block_candidates(&a, &b, &wide).unwrap();
         let direct = narrow.block(&a, &b).unwrap();
         assert_eq!(refined.to_vec(), direct.to_vec());
+    }
+
+    #[test]
+    fn setsim_block_candidates_composes() {
+        let (a, b) = (left(), right());
+        let wide = OverlapBlocker::new("AwardTitle", "AwardTitle", 1).block(&a, &b).unwrap();
+        let oc = SetSimBlocker::overlap_coefficient("AwardTitle", "AwardTitle", 0.7);
+        let refined = oc.block_candidates(&a, &b, &wide).unwrap();
+        for p in refined.iter() {
+            assert!(oc.accepts(a.row(p.left).unwrap(), b.row(p.right).unwrap()).unwrap());
+        }
+        // Every directly-blocked pair that survives the wide set appears.
+        let direct = oc.block(&a, &b).unwrap();
+        for p in direct.iter() {
+            if wide.contains(&p) {
+                assert!(refined.contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn shared_cache_reproduces_unshared_results() {
+        let (a, b) = (left(), right());
+        let cache = Arc::new(TokenCache::for_blocking());
+        let shared2 = OverlapBlocker::new("AwardTitle", "AwardTitle", 3)
+            .with_cache(Arc::clone(&cache));
+        let shared3 = SetSimBlocker::overlap_coefficient("AwardTitle", "AwardTitle", 0.7)
+            .with_cache(Arc::clone(&cache));
+        let own2 = OverlapBlocker::new("AwardTitle", "AwardTitle", 3);
+        let own3 = SetSimBlocker::overlap_coefficient("AwardTitle", "AwardTitle", 0.7);
+        assert_eq!(shared2.block(&a, &b).unwrap().to_vec(), own2.block(&a, &b).unwrap().to_vec());
+        assert_eq!(shared3.block(&a, &b).unwrap().to_vec(), own3.block(&a, &b).unwrap().to_vec());
+    }
+
+    #[test]
+    fn block_is_thread_count_invariant() {
+        let (a, b) = (left(), right());
+        let blocker = OverlapBlocker::new("AwardTitle", "AwardTitle", 2);
+        let baseline = Executor::new(1); // document the executor is in play
+        assert_eq!(baseline.threads(), 1);
+        let c1 = blocker.block(&a, &b).unwrap();
+        em_parallel::set_threads(4);
+        let c4 = blocker.block(&a, &b).unwrap();
+        em_parallel::set_threads(0);
+        assert_eq!(c1.to_vec(), c4.to_vec());
     }
 
     #[test]

@@ -45,10 +45,8 @@ proptest! {
         filter in any::<bool>(),
     ) {
         let (a, b) = (table(la), table(lb));
-        let blocker = OverlapBlocker {
-            use_prefix_filter: filter,
-            ..OverlapBlocker::new("Title", "Title", k)
-        };
+        let mut blocker = OverlapBlocker::new("Title", "Title", k);
+        blocker.use_prefix_filter = filter;
         let fast = blocker.block(&a, &b).unwrap();
         for i in 0..a.n_rows() {
             for j in 0..b.n_rows() {

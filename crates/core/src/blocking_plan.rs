@@ -15,6 +15,8 @@ use crate::error::CoreError;
 use em_blocking::{AttrEquivalenceBlocker, Blocker, CandidateSet, OverlapBlocker, SetSimBlocker};
 use em_rules::award::award_suffix;
 use em_table::{DataType, Table, Value};
+use em_text::TokenCache;
+use std::sync::Arc;
 
 /// Parameters of the blocking plan.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -80,11 +82,17 @@ pub fn run_blocking(
     c1.set_name("C1");
     let _restored = with_temp.drop_column(TEMP_COL)?; // paper step: remove temp
 
-    let overlap = OverlapBlocker::new("AwardTitle", "AwardTitle", plan.overlap_k);
+    // C2 and C3 block on the same column, so they share one token cache:
+    // each AwardTitle value is normalized + tokenized + interned exactly
+    // once for the whole plan.
+    let cache = Arc::new(TokenCache::for_blocking());
+    let overlap = OverlapBlocker::new("AwardTitle", "AwardTitle", plan.overlap_k)
+        .with_cache(Arc::clone(&cache));
     let mut c2 = overlap.block(umetrics, usda)?;
     c2.set_name("C2");
 
-    let oc = SetSimBlocker::overlap_coefficient("AwardTitle", "AwardTitle", plan.oc_threshold);
+    let oc = SetSimBlocker::overlap_coefficient("AwardTitle", "AwardTitle", plan.oc_threshold)
+        .with_cache(cache);
     let mut c3 = oc.block(umetrics, usda)?;
     c3.set_name("C3");
 
@@ -101,9 +109,13 @@ pub fn overlap_threshold_sweep(
     usda: &Table,
     thresholds: &[usize],
 ) -> Result<Vec<(usize, usize)>, CoreError> {
+    // One cache across the sweep: the column tokenizes once, each K only
+    // re-probes the interned ids.
+    let cache = Arc::new(TokenCache::for_blocking());
     let mut out = Vec::with_capacity(thresholds.len());
     for &k in thresholds {
-        let blocker = OverlapBlocker::new("AwardTitle", "AwardTitle", k);
+        let blocker = OverlapBlocker::new("AwardTitle", "AwardTitle", k)
+            .with_cache(Arc::clone(&cache));
         out.push((k, blocker.block(umetrics, usda)?.len()));
     }
     Ok(out)

@@ -11,8 +11,12 @@ use em_features::{extract_vectors, FeatureOptions, FeatureSet};
 use em_ml::cv::{cross_validate, leave_one_out_predictions, CvResult};
 use em_ml::dataset::{impute_mean, Dataset, Imputer};
 use em_ml::model::{Learner, Model};
+use em_parallel::Executor;
 use em_rules::RuleSet;
 use em_table::Table;
+
+/// Minimum feature rows per thread for batch prediction.
+const PREDICT_GRAIN: usize = 64;
 
 /// Configuration of the matching stage.
 #[derive(Debug, Clone)]
@@ -182,9 +186,13 @@ impl TrainedMatcher {
         let mut x = extract_vectors(&self.features, umetrics, usda, &list)?;
         self.imputer.transform(&mut x);
         let tag = format!("model:{}", self.learner_name);
+        // Rows predict independently; ordered merge keeps the set identical
+        // to the sequential loop at any thread count.
+        let verdicts = Executor::current()
+            .map_slice(&x, PREDICT_GRAIN, |row| self.model.predict(row));
         let mut out = CandidateSet::new("predicted");
-        for (pair, row) in list.iter().zip(&x) {
-            if self.model.predict(row) {
+        for (pair, hit) in list.iter().zip(verdicts) {
+            if hit {
                 out.add(*pair, &tag);
             }
         }
@@ -201,10 +209,9 @@ impl TrainedMatcher {
         let list: Vec<Pair> = pairs.to_vec();
         let mut x = extract_vectors(&self.features, umetrics, usda, &list)?;
         self.imputer.transform(&mut x);
-        Ok(list
-            .into_iter()
-            .zip(x.iter().map(|row| self.model.predict_proba(row)))
-            .collect())
+        let probas = Executor::current()
+            .map_slice(&x, PREDICT_GRAIN, |row| self.model.predict_proba(row));
+        Ok(list.into_iter().zip(probas).collect())
     }
 
     /// Match probability for one pair.

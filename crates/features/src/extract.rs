@@ -1,15 +1,155 @@
 //! Feature-vector extraction: turning candidate pairs into the matrix the
-//! matchers consume. Extraction is embarrassingly parallel across pairs, so
-//! it fans out over scoped threads (crossbeam) when the workload is large
-//! enough to pay for them.
+//! matchers consume.
+//!
+//! Two layers of the performance engine meet here. First, every set-based
+//! string feature (word/q-gram Jaccard, cosine, overlap coefficient, Dice)
+//! is rewired onto interned token ids: each referenced column is tokenized
+//! **once** up front into sorted distinct `u32` id lists (shared across
+//! features that use the same column/tokenizer/case plan), and the hot loop
+//! compares integers. Second, extraction is embarrassingly parallel across
+//! pairs, so it fans out over [`em_parallel::Executor`] when the workload
+//! is large enough to pay for threads. Both layers are bit-for-bit neutral:
+//! the `*_sorted` id measures reproduce `em_text::set` exactly, and chunked
+//! results join in pair order.
 
+use crate::feature::FeatureKind;
 use crate::generate::FeatureSet;
 use em_blocking::Pair;
+use em_parallel::Executor;
 use em_table::{Table, TableError, Value};
+use em_text::intern::{self, Interner, TokenIds};
+use em_text::tokenize::{AlphanumericTokenizer, QgramTokenizer, Tokenizer};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Below this many (pair × feature) computations, extraction stays
 /// single-threaded — thread setup would dominate.
 const PARALLEL_THRESHOLD: usize = 20_000;
+
+/// The set measure an interned feature computes on sorted id lists.
+#[derive(Debug, Clone, Copy)]
+enum SetOp {
+    Jaccard,
+    Cosine,
+    OverlapCoeff,
+    Dice,
+}
+
+impl SetOp {
+    fn score(self, a: &[u32], b: &[u32]) -> f64 {
+        match self {
+            SetOp::Jaccard => intern::jaccard_sorted(a, b),
+            SetOp::Cosine => intern::cosine_sorted(a, b),
+            SetOp::OverlapCoeff => intern::overlap_coefficient_sorted(a, b),
+            SetOp::Dice => intern::dice_sorted(a, b),
+        }
+    }
+}
+
+/// Which feature kinds run on interned ids, and how they tokenize
+/// (`true` → 3-grams, `false` → word tokens).
+fn set_op(kind: FeatureKind) -> Option<(bool, SetOp)> {
+    match kind {
+        FeatureKind::JaccardWord => Some((false, SetOp::Jaccard)),
+        FeatureKind::CosineWord => Some((false, SetOp::Cosine)),
+        FeatureKind::OverlapCoeffWord => Some((false, SetOp::OverlapCoeff)),
+        FeatureKind::JaccardQgram3 => Some((true, SetOp::Jaccard)),
+        FeatureKind::DiceQgram3 => Some((true, SetOp::Dice)),
+        _ => None,
+    }
+}
+
+/// One tokenization plan's id lists for both tables; `None` marks a null
+/// cell (feature value `NaN`, as always).
+struct ColumnIds {
+    left: Vec<Option<TokenIds>>,
+    right: Vec<Option<TokenIds>>,
+}
+
+/// Per-feature routing into the shared tokenized columns. Features sharing
+/// a `(left column, right column, tokenizer, case)` plan share one entry,
+/// so e.g. word Jaccard/cosine/overlap-coefficient on the same attribute
+/// tokenize that attribute exactly once.
+struct SetCaches {
+    feature_plan: Vec<Option<(usize, SetOp)>>,
+    columns: Vec<ColumnIds>,
+}
+
+fn tokenize_col(
+    t: &Table,
+    col: usize,
+    qgram: bool,
+    lowercase: bool,
+    interner: &mut Interner,
+    memo: &mut HashMap<String, TokenIds>,
+) -> Vec<Option<TokenIds>> {
+    t.rows()
+        .iter()
+        .map(|row| {
+            let v: &Value = &row[col];
+            if v.is_null() {
+                return None;
+            }
+            let mut s = v.render();
+            if lowercase {
+                s = s.to_lowercase();
+            }
+            if let Some(ids) = memo.get(&s) {
+                return Some(Arc::clone(ids));
+            }
+            let toks = if qgram {
+                QgramTokenizer::new(3).tokenize(&s)
+            } else {
+                AlphanumericTokenizer.tokenize(&s)
+            };
+            let mut ids: Vec<u32> = toks.iter().map(|tok| interner.intern(tok)).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            let ids: TokenIds = Arc::from(ids);
+            memo.insert(s, Arc::clone(&ids));
+            Some(ids)
+        })
+        .collect()
+}
+
+fn build_set_caches(
+    features: &FeatureSet,
+    a: &Table,
+    b: &Table,
+    left_idx: &[usize],
+    right_idx: &[usize],
+) -> SetCaches {
+    let mut plan_index: HashMap<(usize, usize, bool, bool), usize> = HashMap::new();
+    let mut columns: Vec<ColumnIds> = Vec::new();
+    let mut feature_plan = Vec::with_capacity(features.len());
+    for (k, f) in features.features.iter().enumerate() {
+        let Some((qgram, op)) = set_op(f.kind) else {
+            feature_plan.push(None);
+            continue;
+        };
+        let key = (left_idx[k], right_idx[k], qgram, f.lowercase);
+        let plan = match plan_index.get(&key) {
+            Some(&p) => p,
+            None => {
+                // One interner + memo spans both columns so ids compare
+                // across tables; the pass is sequential and runs once per
+                // distinct plan.
+                let mut interner = Interner::new();
+                let mut memo: HashMap<String, TokenIds> = HashMap::new();
+                let left =
+                    tokenize_col(a, left_idx[k], qgram, f.lowercase, &mut interner, &mut memo);
+                let right =
+                    tokenize_col(b, right_idx[k], qgram, f.lowercase, &mut interner, &mut memo);
+                columns.push(ColumnIds { left, right });
+                let p = columns.len() - 1;
+                plan_index.insert(key, p);
+                p
+            }
+        };
+        feature_plan.push(Some((plan, op)));
+    }
+    SetCaches { feature_plan, columns }
+}
 
 /// Extracts the feature matrix for `pairs`: one row per pair, one column
 /// per feature, `NaN` for missing values.
@@ -38,46 +178,31 @@ pub fn extract_vectors(
         }
     }
 
-    let compute_chunk = |chunk: &[Pair]| -> Vec<Vec<f64>> {
-        chunk
+    let caches = build_set_caches(features, a, b, &left_idx, &right_idx);
+
+    // Grain in pairs such that one thread's chunk is at least
+    // PARALLEL_THRESHOLD (pair × feature) computations.
+    let grain = (PARALLEL_THRESHOLD / features.len().max(1)).max(1);
+    let rows = Executor::current().map_slice(pairs, grain, |p| {
+        let ra = &a.rows()[p.left];
+        let rb = &b.rows()[p.right];
+        features
+            .features
             .iter()
-            .map(|p| {
-                let ra = &a.rows()[p.left];
-                let rb = &b.rows()[p.right];
-                features
-                    .features
-                    .iter()
-                    .enumerate()
-                    .map(|(k, f)| {
-                        let va: &Value = &ra[left_idx[k]];
-                        let vb: &Value = &rb[right_idx[k]];
-                        f.compute(va, vb)
-                    })
-                    .collect()
+            .enumerate()
+            .map(|(k, f)| match caches.feature_plan[k] {
+                Some((plan, op)) => {
+                    let col = &caches.columns[plan];
+                    match (&col.left[p.left], &col.right[p.right]) {
+                        (Some(ta), Some(tb)) => op.score(ta, tb),
+                        _ => f64::NAN,
+                    }
+                }
+                None => f.compute(&ra[left_idx[k]], &rb[right_idx[k]]),
             })
             .collect()
-    };
-
-    let work = pairs.len().saturating_mul(features.len());
-    let threads = std::thread::available_parallelism().map_or(1, usize::from);
-    if work < PARALLEL_THRESHOLD || threads < 2 || pairs.len() < 2 * threads {
-        return Ok(compute_chunk(pairs));
-    }
-
-    let chunk_size = pairs.len().div_ceil(threads);
-    let chunks: Vec<&[Pair]> = pairs.chunks(chunk_size).collect();
-    let mut results: Vec<Vec<Vec<f64>>> = Vec::with_capacity(chunks.len());
-    crossbeam::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|chunk| scope.spawn(move |_| compute_chunk(chunk)))
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("extraction worker panicked"));
-        }
-    })
-    .expect("crossbeam scope");
-    Ok(results.into_iter().flatten().collect())
+    });
+    Ok(rows)
 }
 
 #[cfg(test)]
@@ -131,6 +256,30 @@ mod tests {
     }
 
     #[test]
+    fn interned_set_features_match_direct_compute() {
+        // Every feature value must equal Feature::compute run directly on
+        // the cell values — the interned fast path is bit-for-bit neutral.
+        let (a, b) = tables();
+        let fs = auto_features(&a, &b, &FeatureOptions::default().with_case_insensitive());
+        let pairs = [Pair::new(0, 0), Pair::new(0, 1), Pair::new(1, 0), Pair::new(1, 1)];
+        let x = extract_vectors(&fs, &a, &b, &pairs).unwrap();
+        for (r, p) in pairs.iter().enumerate() {
+            for (k, f) in fs.features.iter().enumerate() {
+                let va = a.row(p.left).unwrap().get(&f.left_attr).unwrap();
+                let vb = b.row(p.right).unwrap().get(&f.right_attr).unwrap();
+                let direct = f.compute(va, vb);
+                let got = x[r][k];
+                assert!(
+                    got.to_bits() == direct.to_bits() || (got.is_nan() && direct.is_nan()),
+                    "{} on pair {:?}: got {got}, direct {direct}",
+                    f.name,
+                    p
+                );
+            }
+        }
+    }
+
+    #[test]
     fn parallel_path_matches_serial() {
         // Build enough pairs to cross the parallel threshold.
         let (a, b) = tables();
@@ -142,7 +291,9 @@ mod tests {
             pairs.push(Pair::new(1, 0));
             pairs.push(Pair::new(1, 1));
         }
+        em_parallel::set_threads(4);
         let x = extract_vectors(&fs, &a, &b, &pairs).unwrap();
+        em_parallel::set_threads(0);
         let serial = extract_vectors(&fs, &a, &b, &pairs[..4]).unwrap();
         assert_eq!(x.len(), pairs.len());
         for k in 0..4 {

@@ -11,6 +11,7 @@ use crate::dataset::Dataset;
 use crate::error::MlError;
 use crate::metrics::Confusion;
 use crate::model::Learner;
+use em_parallel::Executor;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -107,21 +108,26 @@ pub fn cross_validate(
     seed: u64,
 ) -> Result<CvResult, MlError> {
     let folds = stratified_kfold_indices(&data.y, k, seed)?;
-    let mut results = Vec::with_capacity(k);
-    for test_fold in &folds {
-        let train_idx: Vec<usize> = folds
-            .iter()
-            .filter(|f| !std::ptr::eq(*f, test_fold))
-            .flatten()
-            .copied()
-            .collect();
-        let train = data.subset(&train_idx);
-        let model = learner.fit(&train)?;
-        let predicted: Vec<bool> =
-            test_fold.iter().map(|&i| model.predict(&data.x[i])).collect();
-        let actual: Vec<bool> = test_fold.iter().map(|&i| data.y[i]).collect();
-        results.push(Confusion::from_predictions(&predicted, &actual));
-    }
+    // Folds are independent fits over precomputed index sets, so they fan
+    // out one fold per work item; collecting in fold order (and surfacing
+    // the first error in fold order) keeps output identical to the
+    // sequential loop.
+    let results: Vec<Result<Confusion, MlError>> =
+        Executor::current().map_indexed(folds.len(), 1, |fold| {
+            let test_fold = &folds[fold];
+            let train_idx: Vec<usize> = folds
+                .iter()
+                .enumerate()
+                .filter(|&(f, _)| f != fold)
+                .flat_map(|(_, idx)| idx.iter().copied())
+                .collect();
+            let model = learner.fit(&data.subset(&train_idx))?;
+            let predicted: Vec<bool> =
+                test_fold.iter().map(|&i| model.predict(&data.x[i])).collect();
+            let actual: Vec<bool> = test_fold.iter().map(|&i| data.y[i]).collect();
+            Ok(Confusion::from_predictions(&predicted, &actual))
+        });
+    let results: Vec<Confusion> = results.into_iter().collect::<Result<_, _>>()?;
     Ok(CvResult { learner: learner.name(), folds: results })
 }
 
@@ -158,13 +164,15 @@ pub fn leave_one_out_predictions(
     if data.len() < 2 {
         return Err(MlError::BadParameter("leave-one-out needs >= 2 examples".to_string()));
     }
-    let mut out = Vec::with_capacity(data.len());
-    for i in 0..data.len() {
-        let train_idx: Vec<usize> = (0..data.len()).filter(|&j| j != i).collect();
-        let model = learner.fit(&data.subset(&train_idx))?;
-        out.push(model.predict(&data.x[i]));
-    }
-    Ok(out)
+    // One independent fit per held-out example — the heaviest trivially
+    // parallel loop in the crate.
+    let out: Vec<Result<bool, MlError>> =
+        Executor::current().map_indexed(data.len(), 1, |i| {
+            let train_idx: Vec<usize> = (0..data.len()).filter(|&j| j != i).collect();
+            let model = learner.fit(&data.subset(&train_idx))?;
+            Ok(model.predict(&data.x[i]))
+        });
+    out.into_iter().collect()
 }
 
 #[cfg(test)]

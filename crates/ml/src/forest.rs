@@ -6,7 +6,16 @@ use crate::dataset::Dataset;
 use crate::error::MlError;
 use crate::model::{validate_training, Learner, Model};
 use crate::tree::{seeded_rng, DecisionTreeLearner, DecisionTreeModel};
+use em_parallel::Executor;
 use rand::Rng;
+
+/// Derives an independent per-tree seed from the forest seed, so every tree
+/// owns its RNG stream and trees can fit in parallel with results identical
+/// to the sequential order at any thread count.
+fn tree_seed(forest_seed: u64, tree: usize) -> u64 {
+    // Golden-ratio (Weyl) increment: distinct, well-mixed streams per tree.
+    forest_seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(tree as u64 + 1)
+}
 
 /// Hyper-parameters for a random forest.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,14 +94,16 @@ impl RandomForestLearner {
             .mtry
             .unwrap_or_else(|| (d as f64).sqrt().ceil() as usize)
             .clamp(1, d.max(1));
-        let mut rng = seeded_rng(self.seed);
         let n = data.len();
-        let mut trees = Vec::with_capacity(self.n_trees);
-        for _ in 0..self.n_trees {
+        // Each tree draws its bootstrap and splits from its own derived RNG
+        // stream — a pure function of (forest seed, tree index) — so the
+        // fan-out is bit-identical to a sequential fit at any thread count.
+        let trees = Executor::current().map_indexed(self.n_trees, 1, |t| {
+            let mut rng = seeded_rng(tree_seed(self.seed, t));
             // Bootstrap sample: n draws with replacement.
             let idx: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
-            trees.push(self.tree.fit_on_indices(&data.x, &data.y, &idx, mtry, &mut rng));
-        }
+            self.tree.fit_on_indices(&data.x, &data.y, &idx, mtry, &mut rng)
+        });
         Ok(RandomForestModel { trees })
     }
 }
@@ -152,6 +163,25 @@ mod tests {
         let m2 = l.fit(&d).unwrap();
         for v in [0.1, 0.4, 0.6, 0.9] {
             assert_eq!(m1.predict_proba(&[v, 0.3]), m2.predict_proba(&[v, 0.3]));
+        }
+    }
+
+    #[test]
+    fn forest_is_thread_count_invariant() {
+        let d = noisy_threshold_data(120, 5);
+        let l = RandomForestLearner { seed: 11, ..Default::default() };
+        em_parallel::set_threads(1);
+        let m1 = l.fit(&d).unwrap();
+        em_parallel::set_threads(4);
+        let m4 = l.fit(&d).unwrap();
+        em_parallel::set_threads(0);
+        for i in 0..=20 {
+            let v = i as f64 / 20.0;
+            assert_eq!(
+                m1.predict_proba(&[v, 0.3]).to_bits(),
+                m4.predict_proba(&[v, 0.3]).to_bits(),
+                "v={v}"
+            );
         }
     }
 

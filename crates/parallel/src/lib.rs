@@ -1,0 +1,198 @@
+//! # em-parallel — a small deterministic fork-join executor
+//!
+//! Every parallel hot path of the pipeline (overlap-index probing, feature
+//! extraction, random-forest tree fitting, cross-validation folds, batch
+//! prediction) fans out through [`Executor::map_indexed`]: the index space
+//! `0..n` is split into contiguous chunks, one scoped thread per chunk, and
+//! the per-index results are joined back **in index order**. Because every
+//! work item is a pure function of its index, output is bit-identical to
+//! the single-threaded run at any thread count — parallelism only changes
+//! wall time, never results.
+//!
+//! The thread count is a process-wide knob, deliberately *outside* every
+//! config struct that is serialized into checkpoints: resuming a checkpoint
+//! on a machine with a different core count must not invalidate it.
+//! Resolution order: [`set_threads`] override → `EM_THREADS` env var →
+//! `std::thread::available_parallelism()`.
+//!
+//! ```
+//! use em_parallel::Executor;
+//!
+//! let squares = Executor::new(4).map_indexed(8, 1, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Process-wide thread-count override; 0 means "not set, use the default".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Default thread count resolved once from `EM_THREADS` or the hardware.
+static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
+
+fn default_threads() -> usize {
+    *DEFAULT_THREADS.get_or_init(|| {
+        std::env::var("EM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from))
+    })
+}
+
+/// Sets the process-wide thread count. `0` clears the override, restoring
+/// the `EM_THREADS`-or-hardware default. Changing the thread count never
+/// changes results, only wall time.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// The thread count parallel stages currently run with.
+pub fn threads() -> usize {
+    match THREAD_OVERRIDE.load(Ordering::SeqCst) {
+        0 => default_threads(),
+        n => n,
+    }
+}
+
+/// A fork-join executor with a fixed worker count.
+///
+/// Cheap to construct per call site; [`Executor::current`] picks up the
+/// process-wide setting so library code stays knob-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Executor {
+    /// An executor with exactly `threads` workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Executor {
+        Executor { threads: threads.max(1) }
+    }
+
+    /// An executor with the process-wide thread count (see [`threads`]).
+    pub fn current() -> Executor {
+        Executor::new(threads())
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `0..n`, returning results in index order.
+    ///
+    /// `grain` is the minimum number of indices worth one thread: the
+    /// effective worker count is `min(threads, n / grain)`, so small inputs
+    /// run inline without spawn overhead. `f` must be a pure function of
+    /// its index for the bit-identical-at-any-thread-count guarantee to
+    /// hold (shared read-only state is fine).
+    pub fn map_indexed<R, F>(&self, n: usize, grain: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let workers = self.threads.min(n / grain.max(1)).max(1);
+        if workers < 2 {
+            return (0..n).map(f).collect();
+        }
+        let chunk = n.div_ceil(workers);
+        let ranges: Vec<std::ops::Range<usize>> = (0..workers)
+            .map(|w| (w * chunk).min(n)..((w + 1) * chunk).min(n))
+            .filter(|r| !r.is_empty())
+            .collect();
+        let f = &f;
+        let mut results: Vec<Vec<R>> = Vec::with_capacity(ranges.len());
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|r| {
+                    let r = r.clone();
+                    scope.spawn(move |_| r.map(f).collect::<Vec<R>>())
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("parallel worker panicked"));
+            }
+        })
+        .expect("crossbeam scope");
+        results.into_iter().flatten().collect()
+    }
+
+    /// Maps `f` over a slice, returning results in element order. Chunking
+    /// semantics are those of [`Executor::map_indexed`].
+    pub fn map_slice<'a, T, R, F>(&self, items: &'a [T], grain: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        self.map_indexed(items.len(), grain, |i| f(&items[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_indexed_preserves_order() {
+        for threads in [1, 2, 3, 8] {
+            let out = Executor::new(threads).map_indexed(100, 1, |i| i * 2);
+            assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let baseline = Executor::new(1).map_indexed(1000, 1, |i| (i as f64).sqrt().to_bits());
+        for threads in [2, 4, 7] {
+            let out = Executor::new(threads).map_indexed(1000, 1, |i| (i as f64).sqrt().to_bits());
+            assert_eq!(out, baseline, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn grain_keeps_small_inputs_inline() {
+        // 10 items at grain 100 → one worker, no spawn; result still correct.
+        let out = Executor::new(8).map_indexed(10, 100, |i| i + 1);
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        let out: Vec<usize> = Executor::new(4).map_indexed(0, 1, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = Executor::new(64).map_indexed(3, 1, |i| i);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn map_slice_borrows() {
+        let words = vec!["a".to_string(), "bb".to_string(), "ccc".to_string()];
+        let lens = Executor::new(2).map_slice(&words, 1, |w| w.len());
+        assert_eq!(lens, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_threads_clamped() {
+        assert_eq!(Executor::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn override_round_trips() {
+        let before = threads();
+        set_threads(3);
+        assert_eq!(threads(), 3);
+        assert_eq!(Executor::current().threads(), 3);
+        set_threads(0);
+        assert_eq!(threads(), before);
+    }
+}

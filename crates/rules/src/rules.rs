@@ -16,9 +16,14 @@ use crate::award::award_suffix;
 use crate::error::RuleError;
 use crate::pattern::comparable;
 use em_blocking::{CandidateSet, Pair};
+use em_parallel::Executor;
 use em_table::{RowRef, Table};
+use em_text::intern::Interner;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Minimum rows (or pairs) per thread when rule probing fans out.
+const RULE_GRAIN: usize = 256;
 
 /// Derives the comparison key for one side of a rule. `None` / empty keys
 /// never fire a rule.
@@ -85,22 +90,29 @@ impl EqualityRule {
     }
 
     /// All pairs of `A × B` on which the rule fires, via hash join on the
-    /// derived keys.
+    /// derived keys. Right-side keys are interned to dense ids once while
+    /// building the index; left rows then probe in parallel (each probe is
+    /// a pure function of its row index, so output is thread-count
+    /// independent).
     pub fn find_all(&self, a: &Table, b: &Table) -> Result<CandidateSet, RuleError> {
-        let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut interner = Interner::new();
+        let mut index: HashMap<u32, Vec<usize>> = HashMap::new();
         for (j, rb) in b.iter().enumerate() {
             if let Some(k) = (self.right_key)(rb) {
-                index.entry(k).or_default().push(j);
+                index.entry(interner.intern(&k)).or_default().push(j);
             }
         }
+        let hits: Vec<Option<&Vec<usize>>> =
+            Executor::current().map_indexed(a.n_rows(), RULE_GRAIN, |i| {
+                a.row(i)
+                    .and_then(|ra| (self.left_key)(ra))
+                    .and_then(|k| interner.get(&k))
+                    .and_then(|id| index.get(&id))
+            });
         let mut out = CandidateSet::new(self.name.clone());
-        for (i, ra) in a.iter().enumerate() {
-            if let Some(k) = (self.left_key)(ra) {
-                if let Some(js) = index.get(&k) {
-                    for &j in js {
-                        out.add(Pair::new(i, j), &self.name);
-                    }
-                }
+        for (i, js) in hits.into_iter().enumerate() {
+            for &j in js.into_iter().flatten() {
+                out.add(Pair::new(i, j), &self.name);
             }
         }
         Ok(out)
@@ -203,18 +215,26 @@ impl RuleSet {
     ) -> Result<(CandidateSet, CandidateSet), RuleError> {
         let mut kept = CandidateSet::new(format!("{}·kept", matches.name()));
         let mut flipped = CandidateSet::new(format!("{}·flipped", matches.name()));
-        for pair in matches.iter() {
-            let ra = a
-                .row(pair.left)
-                .ok_or(RuleError::BadPair(pair.left, pair.right))?;
-            let rb = b
-                .row(pair.right)
-                .ok_or(RuleError::BadPair(pair.left, pair.right))?;
-            if self.any_negative_fires(ra, rb) {
-                flipped.add(pair, "negative-rule");
+        // Each pair's verdict is independent, so evaluation fans out; the
+        // ordered merge below preserves provenance exactly as the
+        // sequential loop did.
+        let pairs: Vec<Pair> = matches.to_vec();
+        let verdicts: Vec<Result<bool, RuleError>> =
+            Executor::current().map_slice(&pairs, RULE_GRAIN, |pair| {
+                let ra = a
+                    .row(pair.left)
+                    .ok_or(RuleError::BadPair(pair.left, pair.right))?;
+                let rb = b
+                    .row(pair.right)
+                    .ok_or(RuleError::BadPair(pair.left, pair.right))?;
+                Ok(self.any_negative_fires(ra, rb))
+            });
+        for (pair, verdict) in pairs.iter().zip(verdicts) {
+            if verdict? {
+                flipped.add(*pair, "negative-rule");
             } else {
-                for src in matches.provenance(&pair).unwrap_or(&[]) {
-                    kept.add(pair, src);
+                for src in matches.provenance(pair).unwrap_or(&[]) {
+                    kept.add(*pair, src);
                 }
             }
         }

@@ -1,0 +1,356 @@
+//! Token interning: tokenize once, compare integers forever.
+//!
+//! The blockers and set-similarity features spend most of their time
+//! re-tokenizing the same strings into owned `Vec<String>` and comparing
+//! heap-allocated tokens. This module fixes both costs:
+//!
+//! - [`Interner`] maps each distinct token string to a dense `u32` id.
+//! - [`TokenCache`] memoizes *raw text → sorted distinct token ids* behind
+//!   a mutex, so each distinct cell value is normalized + tokenized +
+//!   interned exactly once per cache, no matter how many pairs touch it.
+//! - [`TokenCorpus`] tokenizes a whole column up front into per-row id
+//!   lists (the "tokenize each column once" layout blockers consume).
+//! - The `*_sorted` set measures compute overlap/Jaccard/… on sorted id
+//!   slices with a linear merge — no hash sets, no string comparisons.
+//!
+//! Id assignment depends on insertion order, so ids are only meaningful
+//! within one `Interner`/`TokenCache`; all set measures are invariant to
+//! the id assignment, which keeps results independent of interning order.
+
+use crate::normalize::Normalizer;
+use crate::tokenize::{AlphanumericTokenizer, Tokenizer};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Maps token strings to dense `u32` ids.
+#[derive(Debug, Default)]
+pub struct Interner {
+    map: HashMap<String, u32>,
+    strings: Vec<String>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Returns the id of `tok`, assigning the next free id on first sight.
+    pub fn intern(&mut self, tok: &str) -> u32 {
+        if let Some(&id) = self.map.get(tok) {
+            return id;
+        }
+        let id = self.strings.len() as u32;
+        self.map.insert(tok.to_string(), id);
+        self.strings.push(tok.to_string());
+        id
+    }
+
+    /// The id of `tok` if it has been interned.
+    pub fn get(&self, tok: &str) -> Option<u32> {
+        self.map.get(tok).copied()
+    }
+
+    /// The string for an id assigned by this interner.
+    pub fn resolve(&self, id: u32) -> Option<&str> {
+        self.strings.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct interned tokens.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+/// Sorted distinct token ids of one text value. Cheap to clone and share.
+pub type TokenIds = Arc<[u32]>;
+
+struct CacheInner {
+    interner: Interner,
+    memo: HashMap<String, TokenIds>,
+    empty: TokenIds,
+}
+
+/// Memoizing normalizer + word tokenizer + interner.
+///
+/// `token_ids` returns the **sorted distinct** token ids of a text value,
+/// computing them at most once per distinct input string. Shareable across
+/// blockers via `Arc` so one table column is tokenized once for the whole
+/// blocking plan.
+pub struct TokenCache {
+    normalizer: Normalizer,
+    inner: Mutex<CacheInner>,
+}
+
+impl std::fmt::Debug for TokenCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        f.debug_struct("TokenCache")
+            .field("normalizer", &self.normalizer)
+            .field("distinct_texts", &inner.memo.len())
+            .field("distinct_tokens", &inner.interner.len())
+            .finish()
+    }
+}
+
+impl TokenCache {
+    /// A cache applying `normalizer` before word tokenization.
+    pub fn new(normalizer: Normalizer) -> TokenCache {
+        TokenCache {
+            normalizer,
+            inner: Mutex::new(CacheInner {
+                interner: Interner::new(),
+                memo: HashMap::new(),
+                empty: Arc::from(Vec::new()),
+            }),
+        }
+    }
+
+    /// A cache with the paper's blocking normalization.
+    pub fn for_blocking() -> TokenCache {
+        TokenCache::new(Normalizer::for_blocking())
+    }
+
+    /// Sorted distinct token ids for `text`; `None` and empty inputs map to
+    /// the shared empty list.
+    pub fn token_ids(&self, text: Option<&str>) -> TokenIds {
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let Some(text) = text else { return Arc::clone(&inner.empty) };
+        if let Some(ids) = inner.memo.get(text) {
+            return Arc::clone(ids);
+        }
+        let toks = AlphanumericTokenizer.tokenize(&self.normalizer.apply(text));
+        let mut ids: Vec<u32> = toks.iter().map(|t| inner.interner.intern(t)).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let ids: TokenIds = Arc::from(ids);
+        inner.memo.insert(text.to_string(), Arc::clone(&ids));
+        ids
+    }
+
+    /// The token string behind an id (allocates; debugging/reporting only).
+    pub fn resolve(&self, id: u32) -> Option<String> {
+        let inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        inner.interner.resolve(id).map(str::to_string)
+    }
+
+    /// Number of distinct tokens interned so far.
+    pub fn n_tokens(&self) -> usize {
+        let inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        inner.interner.len()
+    }
+}
+
+/// One table column tokenized up front: sorted distinct token ids per row,
+/// all interned in a shared cache. This is the layout the blockers probe.
+#[derive(Debug, Clone)]
+pub struct TokenCorpus {
+    rows: Vec<TokenIds>,
+    max_id: Option<u32>,
+}
+
+impl TokenCorpus {
+    /// Tokenizes every row of a column (an iterator of optional cell texts)
+    /// through `cache`, in row order — interning stays deterministic
+    /// because this pass is sequential.
+    pub fn from_column<'a, I>(cache: &TokenCache, column: I) -> TokenCorpus
+    where
+        I: IntoIterator<Item = Option<&'a str>>,
+    {
+        let rows: Vec<TokenIds> = column.into_iter().map(|t| cache.token_ids(t)).collect();
+        let max_id = rows.iter().filter_map(|ids| ids.last().copied()).max();
+        TokenCorpus { rows, max_id }
+    }
+
+    /// Sorted distinct token ids of row `i`.
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.rows[i]
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the corpus has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Largest token id appearing in any row, if any — the bound dense
+    /// inverted indexes are sized by.
+    pub fn max_id(&self) -> Option<u32> {
+        self.max_id
+    }
+
+    /// Iterates `(row_index, token_ids)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[u32])> {
+        self.rows.iter().enumerate().map(|(i, ids)| (i, ids.as_ref()))
+    }
+}
+
+/// `|A ∩ B|` of two sorted distinct id slices via linear merge.
+pub fn overlap_size_sorted(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Jaccard `|A∩B| / |A∪B|` on sorted distinct id slices. Two empty inputs
+/// are identical (`1.0`), matching [`crate::set::jaccard`].
+pub fn jaccard_sorted(a: &[u32], b: &[u32]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = overlap_size_sorted(a, b);
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Overlap coefficient `|A∩B| / min(|A|,|B|)` on sorted distinct id slices,
+/// matching [`crate::set::overlap_coefficient`]'s degenerate conventions.
+pub fn overlap_coefficient_sorted(a: &[u32], b: &[u32]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    overlap_size_sorted(a, b) as f64 / a.len().min(b.len()) as f64
+}
+
+/// Dice `2|A∩B| / (|A|+|B|)` on sorted distinct id slices.
+pub fn dice_sorted(a: &[u32], b: &[u32]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let denom = a.len() + b.len();
+    if denom == 0 {
+        1.0
+    } else {
+        2.0 * overlap_size_sorted(a, b) as f64 / denom as f64
+    }
+}
+
+/// Set cosine `|A∩B| / sqrt(|A|·|B|)` on sorted distinct id slices.
+pub fn cosine_sorted(a: &[u32], b: &[u32]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    overlap_size_sorted(a, b) as f64 / ((a.len() * b.len()) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    fn ids_of(cache: &TokenCache, s: &str) -> TokenIds {
+        cache.token_ids(Some(s))
+    }
+
+    #[test]
+    fn interner_round_trips() {
+        let mut i = Interner::new();
+        let a = i.intern("corn");
+        let b = i.intern("fungicide");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("corn"), a, "re-interning is idempotent");
+        assert_eq!(i.resolve(a), Some("corn"));
+        assert_eq!(i.get("fungicide"), Some(b));
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn cache_memoizes_and_dedups() {
+        let cache = TokenCache::for_blocking();
+        let a = ids_of(&cache, "Corn corn CORN fungicide");
+        assert_eq!(a.len(), 2, "distinct after lowercasing: {a:?}");
+        let b = ids_of(&cache, "Corn corn CORN fungicide");
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the memo");
+        assert!(cache.token_ids(None).is_empty());
+    }
+
+    #[test]
+    fn ids_are_sorted() {
+        let cache = TokenCache::for_blocking();
+        // Interning order differs from sorted order here on purpose.
+        ids_of(&cache, "zebra");
+        let ids = ids_of(&cache, "zebra apple mango");
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "{ids:?}");
+    }
+
+    #[test]
+    fn corpus_tokenizes_each_row() {
+        let cache = TokenCache::for_blocking();
+        let col = [Some("Corn Fungicide"), None, Some("corn")];
+        let corpus = TokenCorpus::from_column(&cache, col);
+        assert_eq!(corpus.len(), 3);
+        assert_eq!(corpus.row(0).len(), 2);
+        assert!(corpus.row(1).is_empty());
+        assert_eq!(overlap_size_sorted(corpus.row(0), corpus.row(2)), 1);
+        assert!(corpus.max_id().is_some());
+    }
+
+    #[test]
+    fn sorted_measures_match_string_measures() {
+        let cache = TokenCache::new(Normalizer::none());
+        let pairs = [
+            ("a b c", "b c d"),
+            ("lab supplies", "lab supplies extra"),
+            ("x", "x"),
+            ("one two", "three four"),
+        ];
+        for (x, y) in pairs {
+            let (ia, ib) = (ids_of(&cache, x), ids_of(&cache, y));
+            let (ta, tb) = (toks(x), toks(y));
+            assert_eq!(overlap_size_sorted(&ia, &ib), set::overlap_size(&ta, &tb), "({x},{y})");
+            assert_eq!(jaccard_sorted(&ia, &ib), set::jaccard(&ta, &tb), "({x},{y})");
+            assert_eq!(
+                overlap_coefficient_sorted(&ia, &ib),
+                set::overlap_coefficient(&ta, &tb),
+                "({x},{y})"
+            );
+            assert_eq!(dice_sorted(&ia, &ib), set::dice(&ta, &tb), "({x},{y})");
+            assert_eq!(cosine_sorted(&ia, &ib), set::cosine(&ta, &tb), "({x},{y})");
+        }
+    }
+
+    #[test]
+    fn degenerate_conventions_preserved() {
+        let empty: &[u32] = &[];
+        let one: &[u32] = &[1];
+        assert_eq!(jaccard_sorted(empty, empty), 1.0);
+        assert_eq!(jaccard_sorted(empty, one), 0.0);
+        assert_eq!(overlap_coefficient_sorted(empty, empty), 1.0);
+        assert_eq!(overlap_coefficient_sorted(empty, one), 0.0);
+        assert_eq!(dice_sorted(empty, empty), 1.0);
+        assert_eq!(cosine_sorted(one, empty), 0.0);
+    }
+}

@@ -12,6 +12,8 @@
 //! - **Set similarity** ([`set`]): Jaccard, overlap, overlap coefficient,
 //!   Dice, cosine, Tversky, Monge-Elkan.
 //! - **Corpus-weighted similarity** ([`corpus`]): TF-IDF and soft TF-IDF.
+//! - **Token interning** ([`intern`]): tokenize-once caches and `u32`
+//!   token-id set measures backing the blockers' and features' hot paths.
 //! - **Numeric comparators** ([`numeric`]): exact, absolute/relative
 //!   difference, year gaps.
 //! - **Phonetic encoding** ([`phonetic`]): American Soundex.
@@ -29,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod intern;
 pub mod normalize;
 pub mod numeric;
 pub mod phonetic;
@@ -37,6 +40,7 @@ pub mod set;
 pub mod tokenize;
 
 pub use corpus::TfIdfCorpus;
+pub use intern::{TokenCache, TokenCorpus};
 pub use normalize::Normalizer;
 pub use tokenize::{
     AlphanumericTokenizer, DelimiterTokenizer, QgramTokenizer, Tokenizer, WhitespaceTokenizer,

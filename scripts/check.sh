@@ -22,4 +22,30 @@ cargo test "${CARGO_FLAGS[@]}" -q
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy "${CARGO_FLAGS[@]}" --all-targets -- -D warnings
 
+echo "==> reproduce --bench smoke (small scale, 2 threads)"
+BENCH_DIR=$(mktemp -d)
+trap 'rm -rf "$BENCH_DIR"' EXIT
+(cd "$BENCH_DIR" && "$OLDPWD/target/release/reproduce" --bench --threads 2 >/dev/null)
+python3 - "$BENCH_DIR/BENCH_pipeline.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+for key, kind in [("scale", str), ("seed", int), ("threads", int),
+                  ("candidate_pairs", int), ("stages", list),
+                  ("total_wall_ms_1t", float), ("total_wall_ms_nt", float),
+                  ("combined_speedup", float)]:
+    assert isinstance(doc.get(key), kind), f"bad/missing {key!r}"
+assert doc["stages"], "no stages timed"
+for stage in doc["stages"]:
+    for key, kind in [("name", str), ("items", int), ("wall_ms_1t", float),
+                      ("wall_ms_nt", float), ("speedup", float),
+                      ("throughput_per_s", float)]:
+        assert isinstance(stage.get(key), kind), f"stage missing {key!r}: {stage}"
+    assert stage["wall_ms_1t"] > 0 and stage["wall_ms_nt"] > 0, f"non-positive timing: {stage}"
+print(f"    BENCH_pipeline.json ok: {len(doc['stages'])} stages, "
+      f"combined speedup {doc['combined_speedup']:.2f}x at {doc['threads']} threads")
+EOF
+
 echo "==> all checks passed"

@@ -16,6 +16,8 @@
 //! - [`estimate`] — labels and Corleone-style accuracy estimation
 //! - [`datagen`] — the synthetic UMETRICS/USDA scenario and labeling oracle
 //! - [`core`] — the end-to-end pipeline and workflow engine
+//! - [`parallel`] — the deterministic scoped-thread executor behind the
+//!   blocking, feature-extraction, and ML hot loops
 //!
 //! ## Quickstart
 //!
@@ -39,6 +41,7 @@ pub use em_datagen as datagen;
 pub use em_estimate as estimate;
 pub use em_features as features;
 pub use em_ml as ml;
+pub use em_parallel as parallel;
 pub use em_rules as rules;
 pub use em_table as table;
 pub use em_text as text;

@@ -1,0 +1,143 @@
+//! Thread-count invariance of the performance engine.
+//!
+//! The parallel executor partitions index ranges into contiguous chunks and
+//! joins them in order, so every fan-out point (blocking probes, feature
+//! extraction, forest fitting, CV folds, batch prediction) must produce
+//! *bit-identical* results at any thread count. These tests pin that
+//! guarantee at each layer and for the full case study, including a
+//! checkpointed resume at a different thread count than the original run.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use umetrics_em::blocking::{Blocker, OverlapBlocker, SetSimBlocker};
+use umetrics_em::core::pipeline::{CaseStudy, CaseStudyConfig, CaseStudyReport};
+use umetrics_em::core::{project_umetrics, project_usda};
+use umetrics_em::datagen::{Scenario, ScenarioConfig};
+use umetrics_em::features::{auto_features, extract_vectors, FeatureOptions};
+use umetrics_em::ml::forest::RandomForestLearner;
+use umetrics_em::ml::{impute_mean, Dataset, Model};
+use umetrics_em::table::Table;
+
+/// `set_threads` is process-global, so tests that flip it must not
+/// interleave. (Results are thread-count-invariant either way — the guard
+/// keeps the *requested* counts honest, not the outputs.)
+fn thread_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn at_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    umetrics_em::parallel::set_threads(n);
+    let out = f();
+    umetrics_em::parallel::set_threads(0);
+    out
+}
+
+fn projected_tables() -> (Table, Table, Scenario) {
+    let s = Scenario::generate(ScenarioConfig::small()).unwrap();
+    let u = project_umetrics(&s.award_agg, &s.employees).unwrap();
+    let d = project_usda(&s.usda, false).unwrap();
+    (u, d, s)
+}
+
+#[test]
+fn candidate_sets_are_thread_count_invariant() {
+    let _guard = thread_lock();
+    let (u, d, _) = projected_tables();
+    let overlap = OverlapBlocker::new("AwardTitle", "AwardTitle", 3);
+    let oc = SetSimBlocker::overlap_coefficient("AwardTitle", "AwardTitle", 0.7);
+
+    let base_overlap = at_threads(1, || overlap.block(&u, &d).unwrap().to_vec());
+    let base_oc = at_threads(1, || oc.block(&u, &d).unwrap().to_vec());
+    assert!(!base_overlap.is_empty());
+
+    for threads in [2, 5, 16] {
+        let ov = at_threads(threads, || overlap.block(&u, &d).unwrap().to_vec());
+        assert_eq!(ov, base_overlap, "overlap blocker diverged at {threads} threads");
+        let oc_pairs = at_threads(threads, || oc.block(&u, &d).unwrap().to_vec());
+        assert_eq!(oc_pairs, base_oc, "set-sim blocker diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn forest_probabilities_are_thread_count_invariant() {
+    let _guard = thread_lock();
+    let (u, d, s) = projected_tables();
+    let pairs = OverlapBlocker::new("AwardTitle", "AwardTitle", 3).block(&u, &d).unwrap().to_vec();
+    let features = auto_features(
+        &u,
+        &d,
+        &FeatureOptions::excluding(&["RecordId", "AccessionNumber"]).with_case_insensitive(),
+    );
+
+    // Extraction itself must be invariant (bitwise, including NaN slots).
+    let x1 = at_threads(1, || extract_vectors(&features, &u, &d, &pairs).unwrap());
+    for threads in [2, 7] {
+        let xn = at_threads(threads, || extract_vectors(&features, &u, &d, &pairs).unwrap());
+        let a: Vec<u64> = x1.iter().flatten().map(|v| v.to_bits()).collect();
+        let b: Vec<u64> = xn.iter().flatten().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b, "feature vectors diverged at {threads} threads");
+    }
+
+    let y: Vec<bool> = pairs
+        .iter()
+        .map(|p| {
+            s.truth.is_match(
+                &u.get(p.left, "AwardNumber").map(|v| v.render()).unwrap_or_default(),
+                &d.get(p.right, "AccessionNumber").map(|v| v.render()).unwrap_or_default(),
+            )
+        })
+        .collect();
+    let mut data = Dataset::new(features.names(), x1, y).unwrap();
+    let _ = impute_mean(&mut data);
+
+    let probe: Vec<&[f64]> = data.x.iter().map(Vec::as_slice).collect();
+    let base: Vec<u64> = {
+        let model = at_threads(1, || RandomForestLearner::default().fit_forest(&data).unwrap());
+        probe.iter().map(|row| model.predict_proba(row).to_bits()).collect()
+    };
+    for threads in [2, 4, 16] {
+        let model =
+            at_threads(threads, || RandomForestLearner::default().fit_forest(&data).unwrap());
+        let got: Vec<u64> = probe.iter().map(|row| model.predict_proba(row).to_bits()).collect();
+        assert_eq!(got, base, "forest probabilities diverged at {threads} threads");
+    }
+}
+
+/// Strips per-run wall-clock noise so reports compare on content alone.
+fn canonical(mut r: CaseStudyReport) -> CaseStudyReport {
+    r.resilience.resumed_stages.clear();
+    r
+}
+
+#[test]
+fn full_report_is_thread_count_invariant() {
+    let _guard = thread_lock();
+    let study = CaseStudy::new(CaseStudyConfig::small());
+    let base = at_threads(1, || study.run().unwrap());
+    for threads in [2, 6] {
+        let got = at_threads(threads, || study.run().unwrap());
+        assert_eq!(got, base, "case-study report diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn checkpoint_resume_is_thread_count_invariant() {
+    let _guard = thread_lock();
+    let dir = std::env::temp_dir().join(format!("em-determinism-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let study = CaseStudy::new(CaseStudyConfig::small());
+    // Fresh single-threaded reference, no checkpointing involved.
+    let reference = at_threads(1, || study.run().unwrap());
+    // Checkpoint at 2 threads, then resume the same directory at 4: every
+    // stage loads from disk and the stitched report must match the clean
+    // single-threaded run bit for bit.
+    let first = at_threads(2, || study.run_checkpointed(&dir).unwrap());
+    assert_eq!(canonical(first), canonical(reference.clone()));
+    let resumed = at_threads(4, || study.run_checkpointed(&dir).unwrap());
+    assert!(!resumed.resilience.resumed_stages.is_empty(), "second run must resume from disk");
+    assert_eq!(canonical(resumed), canonical(reference));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
