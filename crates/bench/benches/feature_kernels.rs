@@ -1,0 +1,84 @@
+//! Similarity-kernel microbenchmarks: per-pair cost of each character
+//! kernel, before (naive reference) vs after (engine), plus the engine on
+//! pre-decoded chars — the configuration feature extraction actually runs.
+//!
+//! Feeds the EXPERIMENTS.md kernel-throughput table: divide a mean sample
+//! time by the pair count printed at startup to get ns/pair.
+//!
+//! Set `EM_BENCH_SMOKE=1` to run a tiny sample count (used by
+//! `scripts/check.sh` to keep the bench compiling and running in CI).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use em_bench::fixtures;
+use em_blocking::{Blocker, OverlapBlocker};
+use em_text::{naive, seq, with_scratch};
+use std::sync::Arc;
+
+#[allow(clippy::disallowed_methods)] // cache-build site: lowercase once per row
+fn decoded_titles(t: &em_table::Table) -> (Vec<String>, Vec<Arc<[char]>>) {
+    let strings: Vec<String> = t
+        .iter()
+        .map(|r| r.get("AwardTitle").map(|v| v.render()).unwrap_or_default().to_lowercase())
+        .collect();
+    let chars = strings.iter().map(|s| s.chars().collect()).collect();
+    (strings, chars)
+}
+
+fn bench_feature_kernels(c: &mut Criterion) {
+    let smoke = std::env::var("EM_BENCH_SMOKE").is_ok();
+    let fx = fixtures(!smoke); // paper scale unless smoking
+    let (u, s) = (&fx.umetrics, &fx.usda);
+    let pairs = OverlapBlocker::new("AwardTitle", "AwardTitle", 3).block(u, s).unwrap().to_vec();
+    let (us, uc) = decoded_titles(u);
+    let (ss, sc) = decoded_titles(s);
+    println!("feature_kernels: {} candidate pairs per sample", pairs.len());
+
+    let mut g = c.benchmark_group("feature_kernels");
+    g.sample_size(if smoke { 2 } else { 10 });
+
+    // (name, naive &str fn, engine &str fn, engine chars fn)
+    type StrKernel = fn(&str, &str) -> f64;
+    let kernels: Vec<(&str, StrKernel, StrKernel)> = vec![
+        ("lev_sim", naive::levenshtein_sim, seq::levenshtein_sim),
+        ("jaro", naive::jaro, seq::jaro),
+        ("jaro_winkler", naive::jaro_winkler, seq::jaro_winkler),
+        ("nw_sim", naive::needleman_wunsch_sim, seq::needleman_wunsch_sim),
+        ("sw_sim", naive::smith_waterman_sim, seq::smith_waterman_sim),
+    ];
+    for (name, naive_fn, engine_fn) in &kernels {
+        g.bench_function(format!("{name}_naive"), |b| {
+            b.iter(|| {
+                pairs.iter().map(|p| naive_fn(&us[p.left], &ss[p.right])).sum::<f64>()
+            })
+        });
+        g.bench_function(format!("{name}_engine"), |b| {
+            b.iter(|| {
+                pairs.iter().map(|p| engine_fn(&us[p.left], &ss[p.right])).sum::<f64>()
+            })
+        });
+    }
+
+    // The chars path: what extraction feeds after the normalization cache.
+    g.bench_function("all5_engine_chars", |b| {
+        b.iter(|| {
+            with_scratch(|scr| {
+                pairs
+                    .iter()
+                    .map(|p| {
+                        let (a, bs) = (&uc[p.left], &sc[p.right]);
+                        seq::levenshtein_sim_chars(scr, a, bs)
+                            + seq::jaro_chars(scr, a, bs)
+                            + seq::jaro_winkler_chars(scr, a, bs)
+                            + seq::needleman_wunsch_sim_chars(scr, a, bs)
+                            + seq::smith_waterman_sim_chars(scr, a, bs)
+                    })
+                    .sum::<f64>()
+            })
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_feature_kernels);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Quick breakdown of where feature-extraction time goes: per feature
+//! kind, at the small-scale bench fixture. Development aid for the
+//! similarity-kernel engine; not part of the reproduction output.
+
+use em_bench::fixtures_cfg;
+use em_blocking::Pair;
+use em_core::blocking_plan::{run_blocking, BlockingPlan};
+use em_datagen::ScenarioConfig;
+use em_features::{auto_features, extract_vectors, FeatureOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    em_parallel::set_threads(1);
+    let fx = fixtures_cfg(ScenarioConfig::small());
+    let (u, s) = (&fx.umetrics, &fx.usda);
+    let pairs: Vec<Pair> = run_blocking(u, s, &BlockingPlan::default())?.consolidated.to_vec();
+    let features = auto_features(
+        u,
+        s,
+        &FeatureOptions::excluding(&["RecordId", "AccessionNumber"]).with_case_insensitive(),
+    );
+    eprintln!("{} pairs, {} features, tables {}x{}", pairs.len(), features.len(), u.n_rows(), s.n_rows());
+
+    // Whole extraction, repeated to stabilize.
+    for _ in 0..3 {
+        let t0 = std::time::Instant::now();
+        let x = extract_vectors(&features, u, s, &pairs)?;
+        eprintln!("extract_vectors: {:.2} ms ({} rows)", t0.elapsed().as_secs_f64() * 1e3, x.len());
+    }
+
+    // One-pair call: near-pure cache-build cost for the used rows of one pair.
+    let one = [pairs[0]];
+    let t0 = std::time::Instant::now();
+    let _ = extract_vectors(&features, u, s, &one)?;
+    eprintln!("one pair: {:.2} ms", t0.elapsed().as_secs_f64() * 1e3);
+
+    // Doubled pairs: marginal per-pair cost is memoized away, so the delta
+    // vs the 73-pair call shows memo-hit overhead only.
+    let mut doubled = pairs.clone();
+    doubled.extend(pairs.iter().copied());
+    let t0 = std::time::Instant::now();
+    let _ = extract_vectors(&features, u, s, &doubled)?;
+    eprintln!("doubled pairs ({}): {:.2} ms", doubled.len(), t0.elapsed().as_secs_f64() * 1e3);
+
+    // Empty-pairs call: isolates the cache-build cost.
+    let t0 = std::time::Instant::now();
+    let _ = extract_vectors(&features, u, s, &[])?;
+    eprintln!("cache build only (0 pairs): {:.2} ms", t0.elapsed().as_secs_f64() * 1e3);
+
+    // Per-kind: direct Feature::compute over all pairs, one kind at a time.
+    let mut by_kind: Vec<(String, f64)> = Vec::new();
+    for f in &features.features {
+        let t0 = std::time::Instant::now();
+        let mut acc = 0.0;
+        for p in &pairs {
+            let va = u.row(p.left).unwrap().get(&f.left_attr).unwrap();
+            let vb = s.row(p.right).unwrap().get(&f.right_attr).unwrap();
+            let v = f.compute(va, vb);
+            if v.is_finite() {
+                acc += v;
+            }
+        }
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box(acc);
+        by_kind.push((f.name.clone(), ms));
+    }
+    by_kind.sort_by(|a, b| b.1.total_cmp(&a.1));
+    eprintln!("\ndirect Feature::compute per feature (top 15):");
+    for (name, ms) in by_kind.iter().take(15) {
+        eprintln!("  {name:<40} {ms:>8.3} ms");
+    }
+    let total: f64 = by_kind.iter().map(|(_, ms)| ms).sum();
+    eprintln!("  total direct: {total:.2} ms");
+    Ok(())
+}

@@ -31,6 +31,12 @@ pub struct Fixtures {
 /// Builds fixtures at the given scale (`true` = paper scale).
 pub fn fixtures(paper_scale: bool) -> Fixtures {
     let cfg = if paper_scale { ScenarioConfig::paper() } else { ScenarioConfig::small() };
+    fixtures_cfg(cfg)
+}
+
+/// Builds fixtures from an explicit scenario config — e.g. one produced by
+/// [`ScenarioConfig::scaled`] for `reproduce --scale-factor` runs.
+pub fn fixtures_cfg(cfg: ScenarioConfig) -> Fixtures {
     let scenario = Scenario::generate(cfg).expect("valid preset");
     let umetrics = project_umetrics(&scenario.award_agg, &scenario.employees)
         .expect("generated tables are consistent");

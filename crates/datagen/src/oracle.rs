@@ -83,6 +83,7 @@ pub(crate) fn pair_draw(seed: u64, award: &str, accession: &str, channel: u32) -
     (h.finish() >> 11) as f64 / (1u64 << 53) as f64
 }
 
+#[allow(clippy::disallowed_methods)] // data generation, not a matching hot path
 fn normalize_title(t: &str) -> String {
     t.split_whitespace().collect::<Vec<_>>().join(" ").to_lowercase()
 }

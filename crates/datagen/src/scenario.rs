@@ -65,6 +65,7 @@ struct Project {
     extra: bool,
 }
 
+#[allow(clippy::disallowed_methods)] // data generation, not a matching hot path
 fn title_case(s: &str) -> String {
     s.split_whitespace()
         .map(|w| {

@@ -1,25 +1,37 @@
 //! Feature-vector extraction: turning candidate pairs into the matrix the
 //! matchers consume.
 //!
-//! Two layers of the performance engine meet here. First, every set-based
+//! Three layers of the performance engine meet here. First, every set-based
 //! string feature (word/q-gram Jaccard, cosine, overlap coefficient, Dice)
 //! is rewired onto interned token ids: each referenced column is tokenized
 //! **once** up front into sorted distinct `u32` id lists (shared across
 //! features that use the same column/tokenizer/case plan), and the hot loop
-//! compares integers. Second, extraction is embarrassingly parallel across
-//! pairs, so it fans out over [`em_parallel::Executor`] when the workload
-//! is large enough to pay for threads. Both layers are bit-for-bit neutral:
-//! the `*_sorted` id measures reproduce `em_text::set` exactly, and chunked
-//! results join in pair order.
+//! compares integers. Second, every sequence (character-level) feature runs
+//! through a **row-level normalization cache**: each referenced column is
+//! rendered and lowercased once into interned [`NormCell`]s — pre-decoded
+//! `Arc<[char]>` slices plus word tokens — so per-pair work feeds the
+//! allocation-free `*_chars` kernels of `em_text::seq` and never touches
+//! `to_lowercase()` or `chars().collect()`; a per-thread **pair memo**
+//! keyed on `(feature, left string id, right string id)` skips kernels
+//! entirely for the heavy value repetition real tables exhibit. Third,
+//! extraction is embarrassingly parallel across pairs, so it fans out over
+//! [`em_parallel::Executor`] when the workload is large enough to pay for
+//! threads. All layers are bit-for-bit neutral: the `*_sorted` id measures
+//! reproduce `em_text::set` exactly, the `*_chars` kernels are
+//! property-tested equal to the naive reference, and chunked results join
+//! in pair order.
 
 use crate::feature::FeatureKind;
 use crate::generate::FeatureSet;
 use em_blocking::Pair;
 use em_parallel::Executor;
 use em_table::{Table, TableError, Value};
-use em_text::intern::{self, Interner, TokenIds};
-use em_text::tokenize::{AlphanumericTokenizer, QgramTokenizer, Tokenizer};
+use em_text::intern::{self, TokenIds};
+use em_text::tokenize::{AlphanumericTokenizer, Tokenizer};
+use em_text::{phonetic, seq, with_scratch, FastMap};
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Below this many (pair × feature) computations, extraction stays
@@ -59,6 +71,287 @@ fn set_op(kind: FeatureKind) -> Option<(bool, SetOp)> {
     }
 }
 
+/// The character-level measure a sequence feature computes on cached,
+/// pre-decoded cells.
+#[derive(Debug, Clone, Copy)]
+enum SeqOp {
+    Exact,
+    LevSim,
+    Jaro,
+    JaroWinkler,
+    NeedlemanWunsch,
+    SmithWaterman,
+    MongeElkanJw,
+    MongeElkanSoundex,
+}
+
+/// Directed Monge-Elkan over interned word ids — the exact computation of
+/// `em_text::set::monge_elkan`, with the inner measure resolved through the
+/// call-wide word table instead of re-deriving it from `&str` every call.
+/// Same iteration order, same fold, same mean: bit-identical results.
+fn monge_elkan_ids(a: &[u32], b: &[u32], inner: &mut impl FnMut(u32, u32) -> f64) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = a
+        .iter()
+        .map(|&ta| b.iter().map(|&tb| inner(ta, tb)).fold(f64::NEG_INFINITY, f64::max))
+        .sum();
+    total / a.len() as f64
+}
+
+/// Symmetric mean of both directed scores, mirroring
+/// `em_text::set::monge_elkan_sym` (argument order of the second direction
+/// included, so inner memo keys stay call-order faithful).
+fn monge_elkan_sym_ids(a: &[u32], b: &[u32], mut inner: impl FnMut(u32, u32) -> f64) -> f64 {
+    (monge_elkan_ids(a, b, &mut inner) + monge_elkan_ids(b, a, &mut inner)) / 2.0
+}
+
+impl SeqOp {
+    fn score(
+        self,
+        ca: &NormCell,
+        cb: &NormCell,
+        words: &[WordData],
+        jw_memo: &mut WordMemoMap,
+    ) -> f64 {
+        use SeqOp::*;
+        match self {
+            // Cells are interned: equal string ids ⇔ equal strings.
+            Exact => f64::from(ca.sid == cb.sid),
+            // Monge-Elkan runs on interned word ids: the inner
+            // Jaro-Winkler reads pre-decoded word chars (memoized per
+            // ordered word pair), the inner Soundex compares codes
+            // precomputed once per distinct word.
+            MongeElkanJw => with_scratch(|s| {
+                let mut inner = |x: u32, y: u32| {
+                    if let Some(&v) = jw_memo.get(&(x, y)) {
+                        return v;
+                    }
+                    let v = seq::jaro_winkler_chars(
+                        s,
+                        &words[x as usize].chars,
+                        &words[y as usize].chars,
+                    );
+                    jw_memo.insert((x, y), v);
+                    v
+                };
+                monge_elkan_sym_ids(&ca.word_ids, &cb.word_ids, &mut inner)
+            }),
+            MongeElkanSoundex => {
+                // Exactly `phonetic::soundex_sim`: 1.0 iff both words have
+                // a code and the codes agree.
+                let inner = |x: u32, y: u32| match (words[x as usize].sdx, words[y as usize].sdx) {
+                    (Some(cx), Some(cy)) if cx == cy => 1.0,
+                    _ => 0.0,
+                };
+                monge_elkan_sym_ids(&ca.word_ids, &cb.word_ids, inner)
+            }
+            _ => with_scratch(|s| match self {
+                LevSim => seq::levenshtein_sim_chars(s, &ca.chars, &cb.chars),
+                Jaro => seq::jaro_chars(s, &ca.chars, &cb.chars),
+                JaroWinkler => seq::jaro_winkler_chars(s, &ca.chars, &cb.chars),
+                NeedlemanWunsch => seq::needleman_wunsch_sim_chars(s, &ca.chars, &cb.chars),
+                SmithWaterman => seq::smith_waterman_sim_chars(s, &ca.chars, &cb.chars),
+                _ => unreachable!("handled above"),
+            }),
+        }
+    }
+}
+
+/// Which feature kinds run on the normalization cache.
+fn seq_op(kind: FeatureKind) -> Option<SeqOp> {
+    match kind {
+        FeatureKind::ExactStr => Some(SeqOp::Exact),
+        FeatureKind::LevSim => Some(SeqOp::LevSim),
+        FeatureKind::Jaro => Some(SeqOp::Jaro),
+        FeatureKind::JaroWinkler => Some(SeqOp::JaroWinkler),
+        FeatureKind::NeedlemanWunsch => Some(SeqOp::NeedlemanWunsch),
+        FeatureKind::SmithWaterman => Some(SeqOp::SmithWaterman),
+        FeatureKind::MongeElkanJw => Some(SeqOp::MongeElkanJw),
+        FeatureKind::MongeElkanSoundex => Some(SeqOp::MongeElkanSoundex),
+        _ => None,
+    }
+}
+
+/// One normalized cell: the rendered (and possibly lowercased) string,
+/// decoded exactly once. `sid` is a call-wide interned string id — equal
+/// ids mean equal normalized strings across both tables and all plans —
+/// so it doubles as the exact-match answer and the pair-memo key.
+#[derive(Clone)]
+struct NormCell {
+    sid: u32,
+    chars: Arc<[char]>,
+    word_ids: Arc<[u32]>,
+}
+
+/// One distinct word across the whole call: chars decoded once for the
+/// Monge-Elkan inner Jaro-Winkler, Soundex code computed once for the inner
+/// phonetic measure (`None` = no letters, scores 0 against everything).
+struct WordData {
+    chars: Arc<[char]>,
+    sdx: Option<[u8; 4]>,
+}
+
+/// Call-wide word interner: every distinct word token is decoded and
+/// Soundex-encoded exactly once, shared by all Monge-Elkan features.
+#[derive(Default)]
+struct WordTable {
+    index: FastMap<String, u32>,
+    data: Vec<WordData>,
+}
+
+impl WordTable {
+    fn intern(&mut self, w: &str) -> u32 {
+        if let Some(&id) = self.index.get(w) {
+            return id;
+        }
+        let id = u32::try_from(self.data.len()).expect("more than u32::MAX distinct words");
+        let sdx = phonetic::soundex(w).map(|code| {
+            let b = code.into_bytes();
+            [b[0], b[1], b[2], b[3]]
+        });
+        self.data.push(WordData { chars: w.chars().collect(), sdx });
+        self.index.insert(w.to_string(), id);
+        id
+    }
+}
+
+/// One normalization plan's cells for both tables; `None` marks a null
+/// cell (feature value `NaN`, as always).
+struct NormColumns {
+    left: Vec<Option<NormCell>>,
+    right: Vec<Option<NormCell>>,
+}
+
+/// Per-feature routing of sequence measures into the shared normalized
+/// columns. Features sharing a `(left column, right column, case)` plan
+/// share one entry, so every seq measure on the same attribute decodes it
+/// exactly once.
+struct SeqCaches {
+    feature_plan: Vec<Option<(usize, SeqOp)>>,
+    columns: Vec<NormColumns>,
+    words: Vec<WordData>,
+}
+
+fn normalize_col(
+    t: &Table,
+    col: usize,
+    lowercase: bool,
+    used: &[bool],
+    memo: &mut FastMap<String, NormCell>,
+    words: &mut WordTable,
+) -> Vec<Option<NormCell>> {
+    t.rows()
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            // Rows no candidate pair references are never read in the hot
+            // loop, so they are not normalized at all.
+            if !used[i] {
+                return None;
+            }
+            let v: &Value = &row[col];
+            if v.is_null() {
+                return None;
+            }
+            let mut s = v.render();
+            if lowercase {
+                // Allow-listed cache-build site: this runs once per row, not
+                // per pair.
+                #[allow(clippy::disallowed_methods)]
+                {
+                    s = s.to_lowercase();
+                }
+            }
+            if let Some(cell) = memo.get(&s) {
+                return Some(cell.clone());
+            }
+            let sid = u32::try_from(memo.len()).expect("more than u32::MAX distinct strings");
+            let chars: Arc<[char]> = s.chars().collect();
+            let word_ids: Arc<[u32]> = AlphanumericTokenizer
+                .tokenize(&s)
+                .iter()
+                .map(|w| words.intern(w))
+                .collect();
+            let cell = NormCell { sid, chars, word_ids };
+            memo.insert(s, cell.clone());
+            Some(cell)
+        })
+        .collect()
+}
+
+fn build_seq_caches(
+    features: &FeatureSet,
+    a: &Table,
+    b: &Table,
+    left_idx: &[usize],
+    right_idx: &[usize],
+    used_left: &[bool],
+    used_right: &[bool],
+) -> SeqCaches {
+    let mut plan_index: HashMap<(usize, usize, bool), usize> = HashMap::new();
+    let mut columns: Vec<NormColumns> = Vec::new();
+    let mut feature_plan = Vec::with_capacity(features.len());
+    // One memo spans both tables and every plan so string ids are global to
+    // the call: sid equality ⇔ string equality everywhere.
+    let mut memo: FastMap<String, NormCell> = FastMap::default();
+    let mut words = WordTable::default();
+    for (k, f) in features.features.iter().enumerate() {
+        let Some(op) = seq_op(f.kind) else {
+            feature_plan.push(None);
+            continue;
+        };
+        let key = (left_idx[k], right_idx[k], f.lowercase);
+        let plan = match plan_index.get(&key) {
+            Some(&p) => p,
+            None => {
+                let left =
+                    normalize_col(a, left_idx[k], f.lowercase, used_left, &mut memo, &mut words);
+                let right =
+                    normalize_col(b, right_idx[k], f.lowercase, used_right, &mut memo, &mut words);
+                columns.push(NormColumns { left, right });
+                let p = columns.len() - 1;
+                plan_index.insert(key, p);
+                p
+            }
+        };
+        feature_plan.push(Some((plan, op)));
+    }
+    SeqCaches { feature_plan, columns, words: words.data }
+}
+
+/// Monotone stamp distinguishing [`extract_vectors`] calls: string ids are
+/// per-call, so each thread's pair memo must be invalidated when a new call
+/// begins.
+static EXTRACT_GENERATION: AtomicU64 = AtomicU64::new(0);
+
+/// Memoized sequence-feature values, keyed on
+/// `(feature index, left string id, right string id)`.
+type PairMemoMap = FastMap<(u32, u32, u32), f64>;
+
+/// Memoized inner word-pair measures (ordered word ids).
+type WordMemoMap = FastMap<(u32, u32), f64>;
+
+/// Per-thread extraction memos, tagged with the generation they belong to
+/// (string/word ids are per-call).
+#[derive(Default)]
+struct ExtractMemo {
+    generation: u64,
+    pairs: PairMemoMap,
+    jw_words: WordMemoMap,
+}
+
+thread_local! {
+    /// Per-thread memo of computed sequence-feature values. Exploits value
+    /// repetition: recurring titles ("Lab Supplies", multi-year sub-awards)
+    /// cost one kernel call, and recurring words one Jaro-Winkler.
+    static PAIR_MEMO: RefCell<ExtractMemo> = RefCell::new(ExtractMemo::default());
+}
+
 /// One tokenization plan's id lists for both tables; `None` marks a null
 /// cell (feature value `NaN`, as always).
 struct ColumnIds {
@@ -75,34 +368,91 @@ struct SetCaches {
     columns: Vec<ColumnIds>,
 }
 
+/// Token-id assignment for one tokenization plan. Grams are keyed by their
+/// three chars directly — no heap key, no per-gram string building — while
+/// words and shorter-than-q whole strings key by string. The namespaces
+/// can't collide (a gram is exactly 3 chars, a short string fewer), so ids
+/// from one shared counter preserve token identity exactly as a single
+/// string interner would.
+#[derive(Default)]
+struct PlanInterner {
+    grams: FastMap<[char; 3], u32>,
+    strings: FastMap<String, u32>,
+    next: u32,
+}
+
+impl PlanInterner {
+    fn gram(&mut self, g: [char; 3]) -> u32 {
+        *self.grams.entry(g).or_insert_with(|| {
+            let id = self.next;
+            self.next += 1;
+            id
+        })
+    }
+
+    fn string(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.strings.get(s) {
+            return id;
+        }
+        let id = self.next;
+        self.next += 1;
+        self.strings.insert(s.to_string(), id);
+        id
+    }
+}
+
 fn tokenize_col(
     t: &Table,
     col: usize,
     qgram: bool,
     lowercase: bool,
-    interner: &mut Interner,
-    memo: &mut HashMap<String, TokenIds>,
+    used: &[bool],
+    interner: &mut PlanInterner,
+    memo: &mut FastMap<String, TokenIds>,
 ) -> Vec<Option<TokenIds>> {
+    // Reused across rows: the decoded chars of the current string.
+    let mut cbuf: Vec<char> = Vec::new();
     t.rows()
         .iter()
-        .map(|row| {
+        .enumerate()
+        .map(|(i, row)| {
+            // Rows no candidate pair references are never read in the hot
+            // loop, so they are not tokenized at all.
+            if !used[i] {
+                return None;
+            }
             let v: &Value = &row[col];
             if v.is_null() {
                 return None;
             }
             let mut s = v.render();
             if lowercase {
-                s = s.to_lowercase();
+                // Allow-listed cache-build site: runs once per row.
+                #[allow(clippy::disallowed_methods)]
+                {
+                    s = s.to_lowercase();
+                }
             }
             if let Some(ids) = memo.get(&s) {
                 return Some(Arc::clone(ids));
             }
-            let toks = if qgram {
-                QgramTokenizer::new(3).tokenize(&s)
+            let mut ids: Vec<u32> = if qgram {
+                // The exact token stream of `QgramTokenizer::new(3)`
+                // (empty → none, shorter than q → the whole string, else
+                // char windows), with each gram interned straight from its
+                // window — no `String` is ever built per gram.
+                cbuf.clear();
+                cbuf.extend(s.chars());
+                if cbuf.is_empty() {
+                    Vec::new()
+                } else if cbuf.len() < 3 {
+                    vec![interner.string(&s)]
+                } else {
+                    cbuf.windows(3).map(|w| interner.gram([w[0], w[1], w[2]])).collect()
+                }
             } else {
-                AlphanumericTokenizer.tokenize(&s)
+                AlphanumericTokenizer.tokenize(&s).iter().map(|tok| interner.string(tok)).collect()
             };
-            let mut ids: Vec<u32> = toks.iter().map(|tok| interner.intern(tok)).collect();
             ids.sort_unstable();
             ids.dedup();
             let ids: TokenIds = Arc::from(ids);
@@ -118,6 +468,8 @@ fn build_set_caches(
     b: &Table,
     left_idx: &[usize],
     right_idx: &[usize],
+    used_left: &[bool],
+    used_right: &[bool],
 ) -> SetCaches {
     let mut plan_index: HashMap<(usize, usize, bool, bool), usize> = HashMap::new();
     let mut columns: Vec<ColumnIds> = Vec::new();
@@ -134,12 +486,26 @@ fn build_set_caches(
                 // One interner + memo spans both columns so ids compare
                 // across tables; the pass is sequential and runs once per
                 // distinct plan.
-                let mut interner = Interner::new();
-                let mut memo: HashMap<String, TokenIds> = HashMap::new();
-                let left =
-                    tokenize_col(a, left_idx[k], qgram, f.lowercase, &mut interner, &mut memo);
-                let right =
-                    tokenize_col(b, right_idx[k], qgram, f.lowercase, &mut interner, &mut memo);
+                let mut interner = PlanInterner::default();
+                let mut memo: FastMap<String, TokenIds> = FastMap::default();
+                let left = tokenize_col(
+                    a,
+                    left_idx[k],
+                    qgram,
+                    f.lowercase,
+                    used_left,
+                    &mut interner,
+                    &mut memo,
+                );
+                let right = tokenize_col(
+                    b,
+                    right_idx[k],
+                    qgram,
+                    f.lowercase,
+                    used_right,
+                    &mut interner,
+                    &mut memo,
+                );
                 columns.push(ColumnIds { left, right });
                 let p = columns.len() - 1;
                 plan_index.insert(key, p);
@@ -178,7 +544,20 @@ pub fn extract_vectors(
         }
     }
 
-    let caches = build_set_caches(features, a, b, &left_idx, &right_idx);
+    // Caches are built only for rows some candidate pair actually
+    // references — after blocking, that is often a small slice of either
+    // table.
+    let mut used_left = vec![false; a.n_rows()];
+    let mut used_right = vec![false; b.n_rows()];
+    for p in pairs {
+        used_left[p.left] = true;
+        used_right[p.right] = true;
+    }
+
+    let caches = build_set_caches(features, a, b, &left_idx, &right_idx, &used_left, &used_right);
+    let seq_caches =
+        build_seq_caches(features, a, b, &left_idx, &right_idx, &used_left, &used_right);
+    let generation = EXTRACT_GENERATION.fetch_add(1, Ordering::Relaxed) + 1;
 
     // Grain in pairs such that one thread's chunk is at least
     // PARALLEL_THRESHOLD (pair × feature) computations.
@@ -186,21 +565,46 @@ pub fn extract_vectors(
     let rows = Executor::current().map_slice(pairs, grain, |p| {
         let ra = &a.rows()[p.left];
         let rb = &b.rows()[p.right];
-        features
-            .features
-            .iter()
-            .enumerate()
-            .map(|(k, f)| match caches.feature_plan[k] {
-                Some((plan, op)) => {
-                    let col = &caches.columns[plan];
-                    match (&col.left[p.left], &col.right[p.right]) {
-                        (Some(ta), Some(tb)) => op.score(ta, tb),
-                        _ => f64::NAN,
+        PAIR_MEMO.with(|cell| {
+            let memo = &mut *cell.borrow_mut();
+            if memo.generation != generation {
+                memo.generation = generation;
+                memo.pairs.clear();
+                memo.jw_words.clear();
+            }
+            features
+                .features
+                .iter()
+                .enumerate()
+                .map(|(k, f)| {
+                    if let Some((plan, op)) = caches.feature_plan[k] {
+                        let col = &caches.columns[plan];
+                        return match (&col.left[p.left], &col.right[p.right]) {
+                            (Some(ta), Some(tb)) => op.score(ta, tb),
+                            _ => f64::NAN,
+                        };
                     }
-                }
-                None => f.compute(&ra[left_idx[k]], &rb[right_idx[k]]),
-            })
-            .collect()
+                    if let Some((plan, op)) = seq_caches.feature_plan[k] {
+                        let col = &seq_caches.columns[plan];
+                        return match (&col.left[p.left], &col.right[p.right]) {
+                            (Some(ca), Some(cb)) => {
+                                let key = (k as u32, ca.sid, cb.sid);
+                                if let Some(&v) = memo.pairs.get(&key) {
+                                    v
+                                } else {
+                                    let v =
+                                        op.score(ca, cb, &seq_caches.words, &mut memo.jw_words);
+                                    memo.pairs.insert(key, v);
+                                    v
+                                }
+                            }
+                            _ => f64::NAN,
+                        };
+                    }
+                    f.compute(&ra[left_idx[k]], &rb[right_idx[k]])
+                })
+                .collect()
+        })
     });
     Ok(rows)
 }
@@ -299,6 +703,38 @@ mod tests {
         for k in 0..4 {
             for (u, v) in x[k].iter().zip(&serial[k]) {
                 assert!(u == v || (u.is_nan() && v.is_nan()));
+            }
+        }
+    }
+
+    #[test]
+    fn pair_memo_invalidated_between_calls() {
+        // String ids are assigned per call; a stale memo entry from a prior
+        // extraction must never leak into the next one. Run two extractions
+        // whose sid spaces collide but whose strings differ, then check both
+        // against the direct compute path.
+        let (a, b) = tables();
+        let a2 = read_str("A", "Title,Amount\nZebra Grazing Study,10\nRiver Silt Survey,2\n")
+            .unwrap();
+        let b2 = read_str("B", "Title,Amount\nzebra grazing study,10\nUnrelated Topic,5\n")
+            .unwrap();
+        let fs = auto_features(&a, &b, &FeatureOptions::default().with_case_insensitive());
+        let pairs = [Pair::new(0, 0), Pair::new(0, 1), Pair::new(1, 0), Pair::new(1, 1)];
+        for (ta, tb) in [(&a, &b), (&a2, &b2), (&a, &b)] {
+            let x = extract_vectors(&fs, ta, tb, &pairs).unwrap();
+            for (r, p) in pairs.iter().enumerate() {
+                for (k, f) in fs.features.iter().enumerate() {
+                    let va = ta.row(p.left).unwrap().get(&f.left_attr).unwrap();
+                    let vb = tb.row(p.right).unwrap().get(&f.right_attr).unwrap();
+                    let direct = f.compute(va, vb);
+                    let got = x[r][k];
+                    assert!(
+                        got.to_bits() == direct.to_bits() || (got.is_nan() && direct.is_nan()),
+                        "{} on pair {:?}: got {got}, direct {direct}",
+                        f.name,
+                        p
+                    );
+                }
             }
         }
     }

@@ -143,6 +143,11 @@ impl Feature {
 
     /// Computes the feature value; `NaN` when either side is missing or not
     /// of a usable type.
+    ///
+    /// This is the direct (reference) path: it renders, lowercases, and
+    /// tokenizes per call. Batch extraction in [`crate::extract`] routes
+    /// string measures through cached interned/normalized columns instead
+    /// and is bit-for-bit equal to this function.
     pub fn compute(&self, a: &Value, b: &Value) -> f64 {
         if a.is_null() || b.is_null() {
             return f64::NAN;
@@ -170,6 +175,9 @@ impl Feature {
                 // String measures operate on rendered text so that numeric
                 // identifiers stored as ints still compare as strings.
                 let (sa, sb) = (a.render(), b.render());
+                // Allow-listed: the per-pair hot path uses the cached
+                // columns in `extract`; this direct path is the reference.
+                #[allow(clippy::disallowed_methods)]
                 let (sa, sb) = if self.lowercase {
                     (sa.to_lowercase(), sb.to_lowercase())
                 } else {

@@ -16,6 +16,10 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+/// Minimum total work (work items × training rows each re-scans) worth
+/// paying thread spawn cost for; below it the loop runs inline.
+const SPAWN_CELLS: usize = 10_000;
+
 /// Splits `0..n` into `k` near-equal shuffled folds.
 pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Result<Vec<Vec<usize>>, MlError> {
     if k < 2 {
@@ -111,9 +115,11 @@ pub fn cross_validate(
     // Folds are independent fits over precomputed index sets, so they fan
     // out one fold per work item; collecting in fold order (and surfacing
     // the first error in fold order) keeps output identical to the
-    // sequential loop.
+    // sequential loop. Each fold fits on ~the whole set, so the spawn
+    // floor scales inversely with the training-set size.
+    let min_folds = SPAWN_CELLS.div_ceil(data.len().max(1));
     let results: Vec<Result<Confusion, MlError>> =
-        Executor::current().map_indexed(folds.len(), 1, |fold| {
+        Executor::current().with_min_items(min_folds).map_indexed(folds.len(), 1, |fold| {
             let test_fold = &folds[fold];
             let train_idx: Vec<usize> = folds
                 .iter()
@@ -165,9 +171,11 @@ pub fn leave_one_out_predictions(
         return Err(MlError::BadParameter("leave-one-out needs >= 2 examples".to_string()));
     }
     // One independent fit per held-out example — the heaviest trivially
-    // parallel loop in the crate.
+    // parallel loop in the crate. Each item refits on n-1 rows, so the
+    // spawn floor is SPAWN_CELLS total refitted rows.
+    let min_fits = SPAWN_CELLS.div_ceil(data.len().max(1));
     let out: Vec<Result<bool, MlError>> =
-        Executor::current().map_indexed(data.len(), 1, |i| {
+        Executor::current().with_min_items(min_fits).map_indexed(data.len(), 1, |i| {
             let train_idx: Vec<usize> = (0..data.len()).filter(|&j| j != i).collect();
             let model = learner.fit(&data.subset(&train_idx))?;
             Ok(model.predict(&data.x[i]))

@@ -98,12 +98,18 @@ impl RandomForestLearner {
         // Each tree draws its bootstrap and splits from its own derived RNG
         // stream — a pure function of (forest seed, tree index) — so the
         // fan-out is bit-identical to a sequential fit at any thread count.
-        let trees = Executor::current().map_indexed(self.n_trees, 1, |t| {
-            let mut rng = seeded_rng(tree_seed(self.seed, t));
-            // Bootstrap sample: n draws with replacement.
-            let idx: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
-            self.tree.fit_on_indices(&data.x, &data.y, &idx, mtry, &mut rng)
-        });
+        // A tree costs O(n) per work item, so the spawn floor is expressed
+        // in trees-per-training-set-size: spawn only when the forest scans
+        // at least SPAWN_CELLS training rows in total.
+        const SPAWN_CELLS: usize = 10_000;
+        let min_trees = SPAWN_CELLS.div_ceil(n.max(1));
+        let trees =
+            Executor::current().with_min_items(min_trees).map_indexed(self.n_trees, 1, |t| {
+                let mut rng = seeded_rng(tree_seed(self.seed, t));
+                // Bootstrap sample: n draws with replacement.
+                let idx: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+                self.tree.fit_on_indices(&data.x, &data.y, &idx, mtry, &mut rng)
+            });
         Ok(RandomForestModel { trees })
     }
 }

@@ -65,17 +65,28 @@ pub fn threads() -> usize {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Executor {
     threads: usize,
+    min_items: usize,
 }
 
 impl Executor {
     /// An executor with exactly `threads` workers (clamped to ≥ 1).
     pub fn new(threads: usize) -> Executor {
-        Executor { threads: threads.max(1) }
+        Executor { threads: threads.max(1), min_items: 0 }
     }
 
     /// An executor with the process-wide thread count (see [`threads`]).
     pub fn current() -> Executor {
         Executor::new(threads())
+    }
+
+    /// Sets a floor on the input size worth spawning for: any map over
+    /// fewer than `min_items` items runs inline on the calling thread,
+    /// regardless of grain. Call sites whose per-item cost varies with the
+    /// workload (e.g. tree fitting, where each item scans the whole
+    /// training set) use this to express "spawn only if the total work
+    /// covers thread start-up cost".
+    pub fn with_min_items(self, min_items: usize) -> Executor {
+        Executor { min_items, ..self }
     }
 
     /// The worker count.
@@ -87,14 +98,18 @@ impl Executor {
     ///
     /// `grain` is the minimum number of indices worth one thread: the
     /// effective worker count is `min(threads, n / grain)`, so small inputs
-    /// run inline without spawn overhead. `f` must be a pure function of
-    /// its index for the bit-identical-at-any-thread-count guarantee to
-    /// hold (shared read-only state is fine).
+    /// run inline without spawn overhead (see also
+    /// [`Executor::with_min_items`]). `f` must be a pure function of its
+    /// index for the bit-identical-at-any-thread-count guarantee to hold
+    /// (shared read-only state is fine).
     pub fn map_indexed<R, F>(&self, n: usize, grain: usize, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
+        if n < self.min_items {
+            return (0..n).map(f).collect();
+        }
         let workers = self.threads.min(n / grain.max(1)).max(1);
         if workers < 2 {
             return (0..n).map(f).collect();
@@ -184,6 +199,24 @@ mod tests {
     #[test]
     fn zero_threads_clamped() {
         assert_eq!(Executor::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn min_items_forces_inline() {
+        // Below the floor the calling thread does all the work (observable
+        // via thread-locality of a Cell), above it results stay correct.
+        use std::cell::Cell;
+        thread_local! { static LOCAL: Cell<usize> = const { Cell::new(0) }; }
+        LOCAL.with(|c| c.set(0));
+        let ex = Executor::new(4).with_min_items(100);
+        let out = ex.map_indexed(50, 1, |i| {
+            LOCAL.with(|c| c.set(c.get() + 1));
+            i
+        });
+        assert_eq!(out, (0..50).collect::<Vec<_>>());
+        assert_eq!(LOCAL.with(Cell::get), 50, "all 50 items must run inline");
+        let out = ex.map_indexed(200, 1, |i| i * 3);
+        assert_eq!(out, (0..200).map(|i| i * 3).collect::<Vec<_>>());
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! A small, fast, non-cryptographic hasher for interner and memo tables.
+//!
+//! The std `HashMap` defaults to SipHash-1-3, whose DoS resistance costs
+//! real time on the tiny keys the similarity engine hashes millions of
+//! times (3-gram windows, `(u32, u32)` memo keys, short word tokens). This
+//! multiply-rotate hasher — the same shape rustc uses internally — is
+//! several times cheaper on such keys. It is **only** for tables keyed by
+//! trusted, pipeline-internal data; never hash attacker-controlled input
+//! with it.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-rotate hasher state. Deterministic (no per-process seed), which
+/// also keeps interner id assignment reproducible run to run.
+#[derive(Default, Clone)]
+pub struct FastHasher {
+    hash: u64,
+}
+
+/// Odd multiplier with high entropy; the rotate spreads low-order entropy
+/// into the bits `HashMap` uses for bucket selection.
+const K: u64 = 0xf135_7aea_2e62_a9c5;
+
+impl FastHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            // Length in the top byte so "ab" and "ab\0" hash differently.
+            buf[7] = rest.len() as u8;
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `HashMap` keyed with [`FastHasher`].
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// `HashSet` keyed with [`FastHasher`].
+pub type FastSet<T> = HashSet<T, BuildHasherDefault<FastHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of<T: std::hash::Hash>(v: &T) -> u64 {
+        let mut h = FastHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn distinguishes_close_keys() {
+        assert_ne!(hash_of(&(1u32, 2u32)), hash_of(&(2u32, 1u32)));
+        assert_ne!(hash_of(&"abc"), hash_of(&"abd"));
+        assert_ne!(hash_of(&"ab"), hash_of(&"ab\0"));
+        assert_ne!(hash_of(&['a', 'b', 'c']), hash_of(&['a', 'b', 'd']));
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_of(&"same key"), hash_of(&"same key"));
+    }
+
+    #[test]
+    fn works_as_map_hasher() {
+        let mut m: FastMap<(u32, u32), f64> = FastMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i.wrapping_mul(7)), f64::from(i));
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&(41, 287)), Some(&41.0));
+    }
+}

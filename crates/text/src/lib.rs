@@ -8,7 +8,11 @@
 //! - **Tokenizers** ([`tokenize`]): whitespace, word (alphanumeric), q-gram,
 //!   and delimiter tokenizers.
 //! - **Sequence similarity** ([`seq`]): Levenshtein, Damerau, Jaro,
-//!   Jaro-Winkler, Needleman-Wunsch, Smith-Waterman, affine gap.
+//!   Jaro-Winkler, Needleman-Wunsch, Smith-Waterman, affine gap — backed by
+//!   the similarity-kernel engine: Myers bit-parallel Levenshtein
+//!   ([`myers`]), a reusable per-thread scratch arena ([`scratch`]), and
+//!   `*_chars` kernels over pre-decoded slices. The original per-cell DPs
+//!   live on in [`naive`] as the property-test reference.
 //! - **Set similarity** ([`set`]): Jaccard, overlap, overlap coefficient,
 //!   Dice, cosine, Tversky, Monge-Elkan.
 //! - **Corpus-weighted similarity** ([`corpus`]): TF-IDF and soft TF-IDF.
@@ -31,17 +35,23 @@
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod fasthash;
 pub mod intern;
+pub mod myers;
+pub mod naive;
 pub mod normalize;
 pub mod numeric;
 pub mod phonetic;
+pub mod scratch;
 pub mod seq;
 pub mod set;
 pub mod tokenize;
 
 pub use corpus::TfIdfCorpus;
+pub use fasthash::{FastMap, FastSet};
 pub use intern::{TokenCache, TokenCorpus};
 pub use normalize::Normalizer;
+pub use scratch::{with_scratch, KernelScratch};
 pub use tokenize::{
     AlphanumericTokenizer, DelimiterTokenizer, QgramTokenizer, Tokenizer, WhitespaceTokenizer,
 };

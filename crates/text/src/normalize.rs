@@ -50,7 +50,12 @@ impl Normalizer {
             s.to_string()
         };
         if self.lowercase {
-            out = out.to_lowercase();
+            // Allow-listed: normalization is the once-per-value pipeline
+            // stage, not a per-pair hot path.
+            #[allow(clippy::disallowed_methods)]
+            {
+                out = out.to_lowercase();
+            }
         }
         if self.collapse_whitespace {
             let mut collapsed = String::with_capacity(out.len());

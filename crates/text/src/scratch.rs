@@ -1,0 +1,127 @@
+//! Thread-local scratch arena for the allocation-free sequence kernels.
+//!
+//! Every [`crate::seq`] kernel needs working memory — DP rows, Jaro match
+//! flags, Myers pattern masks, decoded `char` buffers. Allocating those per
+//! call dominates the cost of comparing short strings (a feature-extraction
+//! run makes millions of kernel calls on ~40-char titles). A
+//! [`KernelScratch`] owns one reusable copy of every buffer; kernels
+//! `clear()`/`resize()` what they use, so after the first call at a given
+//! string length the hot path touches the allocator not at all.
+//!
+//! Lifetime rules:
+//!
+//! - A scratch is **not** a cache: no kernel result may depend on what a
+//!   previous call left behind. Every kernel fully re-initializes the
+//!   buffers it reads.
+//! - Buffers only grow; dropping the scratch frees everything. One scratch
+//!   sized by the longest string seen is the steady state.
+//! - `KernelScratch` is `Send` but not `Sync`: share one per thread, never
+//!   across threads. [`with_scratch`] hands out the calling thread's
+//!   instance; re-entrant use (a kernel invoked from inside another
+//!   kernel's closure, e.g. a Monge-Elkan inner measure) falls back to a
+//!   fresh arena instead of panicking.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Reusable working memory for the sequence kernels. See the module docs
+/// for lifetime rules; construct one per thread (or use [`with_scratch`]).
+#[derive(Debug, Default)]
+pub struct KernelScratch {
+    /// Decoded-char buffers backing the `&str` kernel wrappers.
+    chars_a: Vec<char>,
+    chars_b: Vec<char>,
+    /// Integer DP rows (Damerau-Levenshtein keeps three alive).
+    pub(crate) urow0: Vec<usize>,
+    pub(crate) urow1: Vec<usize>,
+    pub(crate) urow2: Vec<usize>,
+    /// Float DP rows (Needleman-Wunsch/Smith-Waterman use two, the affine
+    /// gap kernel all six: previous + current of the M/X/Y matrices).
+    pub(crate) frow0: Vec<f64>,
+    pub(crate) frow1: Vec<f64>,
+    pub(crate) frow2: Vec<f64>,
+    pub(crate) frow3: Vec<f64>,
+    pub(crate) frow4: Vec<f64>,
+    pub(crate) frow5: Vec<f64>,
+    /// Jaro match flags (one per right-hand char) and matched-char buffer.
+    pub(crate) flags: Vec<bool>,
+    pub(crate) matches: Vec<char>,
+    /// Myers pattern-mask table for ASCII chars: `peq_ascii[c * words + w]`.
+    pub(crate) peq_ascii: Vec<u64>,
+    /// Slot assignment and masks for non-ASCII pattern chars.
+    pub(crate) peq_other: HashMap<char, usize>,
+    pub(crate) peq_other_bits: Vec<u64>,
+    /// Multi-block Myers vertical delta vectors.
+    pub(crate) vp: Vec<u64>,
+    pub(crate) vn: Vec<u64>,
+}
+
+impl KernelScratch {
+    /// An empty arena; buffers grow on first use and are then reused.
+    pub fn new() -> KernelScratch {
+        KernelScratch::default()
+    }
+
+    /// Moves the two decode buffers out, filled with the chars of `a`/`b`.
+    /// Taking them (rather than borrowing) lets the caller keep using the
+    /// rest of the scratch mutably; pair with [`KernelScratch::return_decoded`].
+    pub(crate) fn take_decoded(&mut self, a: &str, b: &str) -> (Vec<char>, Vec<char>) {
+        let mut ca = std::mem::take(&mut self.chars_a);
+        let mut cb = std::mem::take(&mut self.chars_b);
+        ca.clear();
+        ca.extend(a.chars());
+        cb.clear();
+        cb.extend(b.chars());
+        (ca, cb)
+    }
+
+    /// Returns buffers taken by [`KernelScratch::take_decoded`] so their
+    /// capacity is reused by the next call.
+    pub(crate) fn return_decoded(&mut self, ca: Vec<char>, cb: Vec<char>) {
+        self.chars_a = ca;
+        self.chars_b = cb;
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<KernelScratch> = RefCell::new(KernelScratch::new());
+}
+
+/// Runs `f` with the calling thread's [`KernelScratch`].
+///
+/// Re-entrant calls (e.g. a composite measure whose inner function is a
+/// kernel wrapper) get a fresh, short-lived arena rather than a panic.
+pub fn with_scratch<R>(f: impl FnOnce(&mut KernelScratch) -> R) -> R {
+    SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut KernelScratch::new()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_round_trip_reuses_capacity() {
+        let mut s = KernelScratch::new();
+        let (ca, cb) = s.take_decoded("abc", "de");
+        assert_eq!(ca, vec!['a', 'b', 'c']);
+        assert_eq!(cb, vec!['d', 'e']);
+        s.return_decoded(ca, cb);
+        let (ca2, _cb2) = s.take_decoded("x", "yz");
+        assert_eq!(ca2, vec!['x']);
+        assert!(ca2.capacity() >= 3, "capacity must be retained");
+    }
+
+    #[test]
+    fn with_scratch_is_reentrant() {
+        let out = with_scratch(|outer| {
+            let (ca, cb) = outer.take_decoded("aa", "ab");
+            let inner = with_scratch(|s| crate::seq::levenshtein_chars(s, &ca, &cb));
+            outer.return_decoded(ca, cb);
+            inner
+        });
+        assert_eq!(out, 1);
+    }
+}

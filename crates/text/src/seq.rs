@@ -5,43 +5,84 @@
 //!
 //! All `*_sim` functions return a similarity in `[0, 1]` with `1` meaning
 //! identical; two empty strings are defined to have similarity `1`.
+//!
+//! Every measure comes in three tiers of the similarity-kernel engine:
+//!
+//! - `f(a: &str, b: &str)` — the original signature, now a thin wrapper
+//!   that borrows the calling thread's [`KernelScratch`];
+//! - `f_with(scratch, a, b)` — same inputs, explicit scratch, for callers
+//!   holding their own arena (parallel workers, benches);
+//! - `f_chars(scratch, a, b)` — the real kernel on pre-decoded `&[char]`
+//!   slices, what the feature extractor's per-row normalization cache
+//!   feeds so per-pair work never decodes or allocates.
+//!
+//! Levenshtein runs on the Myers bit-parallel engine ([`crate::myers`]);
+//! the DP kernels reuse scratch rows instead of allocating. All of them
+//! are bit-for-bit equivalent to the retained reference implementations
+//! in [`crate::naive`], enforced by the property suite in `tests/prop.rs`.
+
+use crate::myers;
+use crate::scratch::{with_scratch, KernelScratch};
 
 /// Levenshtein edit distance (insert/delete/substitute, unit costs).
-/// `O(|a|·|b|)` time, `O(min(|a|,|b|))` space.
+/// Myers bit-parallel: `O(⌈min(n,m)/64⌉·max(n,m))` time after prefix/suffix
+/// trimming, no allocation on the hot path.
 pub fn levenshtein(a: &str, b: &str) -> usize {
-    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
-    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
-    if short.is_empty() {
-        return long.len();
-    }
-    let mut prev: Vec<usize> = (0..=short.len()).collect();
-    let mut cur = vec![0usize; short.len() + 1];
-    for (i, lc) in long.iter().enumerate() {
-        cur[0] = i + 1;
-        for (j, sc) in short.iter().enumerate() {
-            let cost = usize::from(lc != sc);
-            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
-        }
-        std::mem::swap(&mut prev, &mut cur);
-    }
-    prev[short.len()]
+    with_scratch(|s| levenshtein_with(s, a, b))
+}
+
+/// [`levenshtein`] with an explicit scratch arena.
+pub fn levenshtein_with(scratch: &mut KernelScratch, a: &str, b: &str) -> usize {
+    let (ca, cb) = scratch.take_decoded(a, b);
+    let out = levenshtein_chars(scratch, &ca, &cb);
+    scratch.return_decoded(ca, cb);
+    out
+}
+
+/// [`levenshtein`] on pre-decoded char slices.
+pub fn levenshtein_chars(scratch: &mut KernelScratch, a: &[char], b: &[char]) -> usize {
+    myers::distance(scratch, a, b)
 }
 
 /// Levenshtein similarity: `1 - dist / max_len` (1.0 for two empty strings).
 pub fn levenshtein_sim(a: &str, b: &str) -> f64 {
-    let max_len = a.chars().count().max(b.chars().count());
+    with_scratch(|s| levenshtein_sim_with(s, a, b))
+}
+
+/// [`levenshtein_sim`] with an explicit scratch arena.
+pub fn levenshtein_sim_with(scratch: &mut KernelScratch, a: &str, b: &str) -> f64 {
+    let (ca, cb) = scratch.take_decoded(a, b);
+    let out = levenshtein_sim_chars(scratch, &ca, &cb);
+    scratch.return_decoded(ca, cb);
+    out
+}
+
+/// [`levenshtein_sim`] on pre-decoded char slices.
+pub fn levenshtein_sim_chars(scratch: &mut KernelScratch, a: &[char], b: &[char]) -> f64 {
+    let max_len = a.len().max(b.len());
     if max_len == 0 {
         return 1.0;
     }
-    1.0 - levenshtein(a, b) as f64 / max_len as f64
+    1.0 - levenshtein_chars(scratch, a, b) as f64 / max_len as f64
 }
 
 /// Damerau-Levenshtein distance (restricted: adjacent transpositions count
 /// as one edit, no substring may be edited twice).
-#[allow(clippy::needless_range_loop)] // index DP reads more clearly than zipped iterators
 pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
+    with_scratch(|s| damerau_levenshtein_with(s, a, b))
+}
+
+/// [`damerau_levenshtein`] with an explicit scratch arena.
+pub fn damerau_levenshtein_with(scratch: &mut KernelScratch, a: &str, b: &str) -> usize {
+    let (ca, cb) = scratch.take_decoded(a, b);
+    let out = damerau_levenshtein_chars(scratch, &ca, &cb);
+    scratch.return_decoded(ca, cb);
+    out
+}
+
+/// [`damerau_levenshtein`] on pre-decoded char slices: three rotating
+/// scratch rows instead of the reference implementation's full matrix.
+pub fn damerau_levenshtein_chars(scratch: &mut KernelScratch, a: &[char], b: &[char]) -> usize {
     let (n, m) = (a.len(), b.len());
     if n == 0 {
         return m;
@@ -49,30 +90,53 @@ pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
     if m == 0 {
         return n;
     }
-    let mut d = vec![vec![0usize; m + 1]; n + 1];
-    for (i, row) in d.iter_mut().enumerate() {
-        row[0] = i;
-    }
-    for j in 0..=m {
-        d[0][j] = j;
-    }
+    // prev2 = row i-2, prev = row i-1, cur = row i of the reference DP.
+    let mut prev2 = std::mem::take(&mut scratch.urow0);
+    let mut prev = std::mem::take(&mut scratch.urow1);
+    let mut cur = std::mem::take(&mut scratch.urow2);
+    prev2.clear();
+    prev2.resize(m + 1, 0);
+    prev.clear();
+    prev.extend(0..=m);
+    cur.clear();
+    cur.resize(m + 1, 0);
     for i in 1..=n {
+        cur[0] = i;
         for j in 1..=m {
             let cost = usize::from(a[i - 1] != b[j - 1]);
-            let mut best = (d[i - 1][j] + 1).min(d[i][j - 1] + 1).min(d[i - 1][j - 1] + cost);
+            let mut best = (prev[j] + 1).min(cur[j - 1] + 1).min(prev[j - 1] + cost);
             if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
-                best = best.min(d[i - 2][j - 2] + 1);
+                best = best.min(prev2[j - 2] + 1);
             }
-            d[i][j] = best;
+            cur[j] = best;
         }
+        // Rotate: i-1 becomes i-2, i becomes i-1, the old i-2 row is reused.
+        std::mem::swap(&mut prev2, &mut prev);
+        std::mem::swap(&mut prev, &mut cur);
     }
-    d[n][m]
+    let out = prev[m];
+    scratch.urow0 = prev2;
+    scratch.urow1 = prev;
+    scratch.urow2 = cur;
+    out
 }
 
 /// Jaro similarity.
 pub fn jaro(a: &str, b: &str) -> f64 {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
+    with_scratch(|s| jaro_with(s, a, b))
+}
+
+/// [`jaro`] with an explicit scratch arena.
+pub fn jaro_with(scratch: &mut KernelScratch, a: &str, b: &str) -> f64 {
+    let (ca, cb) = scratch.take_decoded(a, b);
+    let out = jaro_chars(scratch, &ca, &cb);
+    scratch.return_decoded(ca, cb);
+    out
+}
+
+/// [`jaro`] on pre-decoded char slices, using scratch match flags/buffers.
+#[allow(clippy::needless_range_loop)] // windowed index scan reads more clearly than iterators
+pub fn jaro_chars(scratch: &mut KernelScratch, a: &[char], b: &[char]) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
@@ -80,27 +144,29 @@ pub fn jaro(a: &str, b: &str) -> f64 {
         return 0.0;
     }
     let window = (a.len().max(b.len()) / 2).saturating_sub(1);
-    let mut b_used = vec![false; b.len()];
-    let mut matches_a: Vec<char> = Vec::new();
+    scratch.flags.clear();
+    scratch.flags.resize(b.len(), false);
+    scratch.matches.clear();
     for (i, ca) in a.iter().enumerate() {
         let lo = i.saturating_sub(window);
         let hi = (i + window + 1).min(b.len());
         for j in lo..hi {
-            if !b_used[j] && b[j] == *ca {
-                b_used[j] = true;
-                matches_a.push(*ca);
+            if !scratch.flags[j] && b[j] == *ca {
+                scratch.flags[j] = true;
+                scratch.matches.push(*ca);
                 break;
             }
         }
     }
-    let m = matches_a.len();
+    let m = scratch.matches.len();
     if m == 0 {
         return 0.0;
     }
-    let matches_b: Vec<char> =
-        b.iter().zip(&b_used).filter(|(_, used)| **used).map(|(c, _)| *c).collect();
+    // Matched chars of `b` in order, streamed off the flags — identical to
+    // materializing the reference implementation's `matches_b` vector.
+    let matches_b = b.iter().zip(&scratch.flags).filter(|(_, used)| **used).map(|(c, _)| *c);
     let transpositions =
-        matches_a.iter().zip(&matches_b).filter(|(x, y)| x != y).count() / 2;
+        scratch.matches.iter().zip(matches_b).filter(|(x, y)| *x != y).count() / 2;
     let m = m as f64;
     (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
 }
@@ -108,10 +174,23 @@ pub fn jaro(a: &str, b: &str) -> f64 {
 /// Jaro-Winkler similarity with the standard prefix scale `p = 0.1` and a
 /// maximum rewarded prefix of 4 characters.
 pub fn jaro_winkler(a: &str, b: &str) -> f64 {
-    let j = jaro(a, b);
+    with_scratch(|s| jaro_winkler_with(s, a, b))
+}
+
+/// [`jaro_winkler`] with an explicit scratch arena.
+pub fn jaro_winkler_with(scratch: &mut KernelScratch, a: &str, b: &str) -> f64 {
+    let (ca, cb) = scratch.take_decoded(a, b);
+    let out = jaro_winkler_chars(scratch, &ca, &cb);
+    scratch.return_decoded(ca, cb);
+    out
+}
+
+/// [`jaro_winkler`] on pre-decoded char slices.
+pub fn jaro_winkler_chars(scratch: &mut KernelScratch, a: &[char], b: &[char]) -> f64 {
+    let j = jaro_chars(scratch, a, b);
     let prefix = a
-        .chars()
-        .zip(b.chars())
+        .iter()
+        .zip(b.iter())
         .take(4)
         .take_while(|(x, y)| x == y)
         .count();
@@ -121,10 +200,30 @@ pub fn jaro_winkler(a: &str, b: &str) -> f64 {
 /// Needleman-Wunsch global alignment score with unit match reward,
 /// zero mismatch reward, and linear gap cost `gap`. Can be negative.
 pub fn needleman_wunsch(a: &str, b: &str, gap: f64) -> f64 {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
-    let mut prev: Vec<f64> = (0..=b.len()).map(|j| -(j as f64) * gap).collect();
-    let mut cur = vec![0.0; b.len() + 1];
+    with_scratch(|s| needleman_wunsch_with(s, a, b, gap))
+}
+
+/// [`needleman_wunsch`] with an explicit scratch arena.
+pub fn needleman_wunsch_with(scratch: &mut KernelScratch, a: &str, b: &str, gap: f64) -> f64 {
+    let (ca, cb) = scratch.take_decoded(a, b);
+    let out = needleman_wunsch_chars(scratch, &ca, &cb, gap);
+    scratch.return_decoded(ca, cb);
+    out
+}
+
+/// [`needleman_wunsch`] on pre-decoded char slices using scratch DP rows.
+pub fn needleman_wunsch_chars(
+    scratch: &mut KernelScratch,
+    a: &[char],
+    b: &[char],
+    gap: f64,
+) -> f64 {
+    let mut prev = std::mem::take(&mut scratch.frow0);
+    let mut cur = std::mem::take(&mut scratch.frow1);
+    prev.clear();
+    prev.extend((0..=b.len()).map(|j| -(j as f64) * gap));
+    cur.clear();
+    cur.resize(b.len() + 1, 0.0);
     for (i, ca) in a.iter().enumerate() {
         cur[0] = -((i + 1) as f64) * gap;
         for (j, cb) in b.iter().enumerate() {
@@ -133,28 +232,59 @@ pub fn needleman_wunsch(a: &str, b: &str, gap: f64) -> f64 {
         }
         std::mem::swap(&mut prev, &mut cur);
     }
-    prev[b.len()]
+    let out = prev[b.len()];
+    scratch.frow0 = prev;
+    scratch.frow1 = cur;
+    out
 }
 
 /// Needleman-Wunsch similarity: score with `gap = 1`, clamped at 0 and
 /// normalized by the longer length (1.0 for two empty strings).
 pub fn needleman_wunsch_sim(a: &str, b: &str) -> f64 {
-    let max_len = a.chars().count().max(b.chars().count());
+    with_scratch(|s| needleman_wunsch_sim_with(s, a, b))
+}
+
+/// [`needleman_wunsch_sim`] with an explicit scratch arena.
+pub fn needleman_wunsch_sim_with(scratch: &mut KernelScratch, a: &str, b: &str) -> f64 {
+    let (ca, cb) = scratch.take_decoded(a, b);
+    let out = needleman_wunsch_sim_chars(scratch, &ca, &cb);
+    scratch.return_decoded(ca, cb);
+    out
+}
+
+/// [`needleman_wunsch_sim`] on pre-decoded char slices.
+pub fn needleman_wunsch_sim_chars(scratch: &mut KernelScratch, a: &[char], b: &[char]) -> f64 {
+    let max_len = a.len().max(b.len());
     if max_len == 0 {
         return 1.0;
     }
-    (needleman_wunsch(a, b, 1.0).max(0.0)) / max_len as f64
+    (needleman_wunsch_chars(scratch, a, b, 1.0).max(0.0)) / max_len as f64
 }
 
 /// Smith-Waterman local alignment score with unit match reward, zero
 /// mismatch reward, and linear gap cost `gap`. Non-negative by construction.
 pub fn smith_waterman(a: &str, b: &str, gap: f64) -> f64 {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
-    let mut prev = vec![0.0f64; b.len() + 1];
-    let mut cur = vec![0.0f64; b.len() + 1];
+    with_scratch(|s| smith_waterman_with(s, a, b, gap))
+}
+
+/// [`smith_waterman`] with an explicit scratch arena.
+pub fn smith_waterman_with(scratch: &mut KernelScratch, a: &str, b: &str, gap: f64) -> f64 {
+    let (ca, cb) = scratch.take_decoded(a, b);
+    let out = smith_waterman_chars(scratch, &ca, &cb, gap);
+    scratch.return_decoded(ca, cb);
+    out
+}
+
+/// [`smith_waterman`] on pre-decoded char slices using scratch DP rows.
+pub fn smith_waterman_chars(scratch: &mut KernelScratch, a: &[char], b: &[char], gap: f64) -> f64 {
+    let mut prev = std::mem::take(&mut scratch.frow0);
+    let mut cur = std::mem::take(&mut scratch.frow1);
+    prev.clear();
+    prev.resize(b.len() + 1, 0.0);
+    cur.clear();
+    cur.resize(b.len() + 1, 0.0);
     let mut best = 0.0f64;
-    for ca in &a {
+    for ca in a {
         for (j, cb) in b.iter().enumerate() {
             let diag = prev[j] + if ca == cb { 1.0 } else { 0.0 };
             cur[j + 1] = diag.max(prev[j + 1] - gap).max(cur[j] - gap).max(0.0);
@@ -162,40 +292,87 @@ pub fn smith_waterman(a: &str, b: &str, gap: f64) -> f64 {
         }
         std::mem::swap(&mut prev, &mut cur);
     }
+    scratch.frow0 = prev;
+    scratch.frow1 = cur;
     best
 }
 
 /// Smith-Waterman similarity: score with `gap = 1` normalized by the shorter
 /// length — the best local alignment cannot exceed it (1.0 for two empties).
 pub fn smith_waterman_sim(a: &str, b: &str) -> f64 {
-    let min_len = a.chars().count().min(b.chars().count());
+    with_scratch(|s| smith_waterman_sim_with(s, a, b))
+}
+
+/// [`smith_waterman_sim`] with an explicit scratch arena.
+pub fn smith_waterman_sim_with(scratch: &mut KernelScratch, a: &str, b: &str) -> f64 {
+    let (ca, cb) = scratch.take_decoded(a, b);
+    let out = smith_waterman_sim_chars(scratch, &ca, &cb);
+    scratch.return_decoded(ca, cb);
+    out
+}
+
+/// [`smith_waterman_sim`] on pre-decoded char slices.
+pub fn smith_waterman_sim_chars(scratch: &mut KernelScratch, a: &[char], b: &[char]) -> f64 {
+    let min_len = a.len().min(b.len());
     if min_len == 0 {
         return if a.is_empty() && b.is_empty() { 1.0 } else { 0.0 };
     }
-    smith_waterman(a, b, 1.0) / min_len as f64
+    smith_waterman_chars(scratch, a, b, 1.0) / min_len as f64
 }
 
 /// Affine-gap global alignment score (Gotoh): gap opening cost `open`,
 /// per-character continuation cost `extend`, unit match, zero mismatch.
-#[allow(clippy::needless_range_loop)] // index DP reads more clearly than zipped iterators
 pub fn affine_gap(a: &str, b: &str, open: f64, extend: f64) -> f64 {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
+    with_scratch(|s| affine_gap_with(s, a, b, open, extend))
+}
+
+/// [`affine_gap`] with an explicit scratch arena.
+pub fn affine_gap_with(
+    scratch: &mut KernelScratch,
+    a: &str,
+    b: &str,
+    open: f64,
+    extend: f64,
+) -> f64 {
+    let (ca, cb) = scratch.take_decoded(a, b);
+    let out = affine_gap_chars(scratch, &ca, &cb, open, extend);
+    scratch.return_decoded(ca, cb);
+    out
+}
+
+/// [`affine_gap`] on pre-decoded char slices: six scratch rows (previous +
+/// current of the M/X/Y matrices) instead of fresh vectors per row.
+#[allow(clippy::needless_range_loop)] // index DP reads more clearly than zipped iterators
+pub fn affine_gap_chars(
+    scratch: &mut KernelScratch,
+    a: &[char],
+    b: &[char],
+    open: f64,
+    extend: f64,
+) -> f64 {
     let neg = f64::NEG_INFINITY;
     let n = a.len();
     let m = b.len();
     // m_[j]: best score ending in a match/mismatch; x: gap in b; y: gap in a.
-    let mut m_prev = vec![neg; m + 1];
-    let mut x_prev = vec![neg; m + 1];
-    let mut y_prev = vec![neg; m + 1];
+    let mut m_prev = std::mem::take(&mut scratch.frow0);
+    let mut x_prev = std::mem::take(&mut scratch.frow1);
+    let mut y_prev = std::mem::take(&mut scratch.frow2);
+    let mut m_cur = std::mem::take(&mut scratch.frow3);
+    let mut x_cur = std::mem::take(&mut scratch.frow4);
+    let mut y_cur = std::mem::take(&mut scratch.frow5);
+    for row in [&mut m_prev, &mut x_prev, &mut y_prev] {
+        row.clear();
+        row.resize(m + 1, neg);
+    }
     m_prev[0] = 0.0;
     for j in 1..=m {
         y_prev[j] = -open - (j - 1) as f64 * extend;
     }
     for i in 1..=n {
-        let mut m_cur = vec![neg; m + 1];
-        let mut x_cur = vec![neg; m + 1];
-        let mut y_cur = vec![neg; m + 1];
+        for row in [&mut m_cur, &mut x_cur, &mut y_cur] {
+            row.clear();
+            row.resize(m + 1, neg);
+        }
         x_cur[0] = -open - (i - 1) as f64 * extend;
         for j in 1..=m {
             let score = if a[i - 1] == b[j - 1] { 1.0 } else { 0.0 };
@@ -203,11 +380,18 @@ pub fn affine_gap(a: &str, b: &str, open: f64, extend: f64) -> f64 {
             x_cur[j] = (m_prev[j] - open).max(x_prev[j] - extend);
             y_cur[j] = (m_cur[j - 1] - open).max(y_cur[j - 1] - extend);
         }
-        m_prev = m_cur;
-        x_prev = x_cur;
-        y_prev = y_cur;
+        std::mem::swap(&mut m_prev, &mut m_cur);
+        std::mem::swap(&mut x_prev, &mut x_cur);
+        std::mem::swap(&mut y_prev, &mut y_cur);
     }
-    m_prev[m].max(x_prev[m]).max(y_prev[m])
+    let out = m_prev[m].max(x_prev[m]).max(y_prev[m]);
+    scratch.frow0 = m_prev;
+    scratch.frow1 = x_prev;
+    scratch.frow2 = y_prev;
+    scratch.frow3 = m_cur;
+    scratch.frow4 = x_cur;
+    scratch.frow5 = y_cur;
+    out
 }
 
 /// Exact string equality as a 0/1 similarity.
@@ -319,5 +503,28 @@ mod tests {
     fn unicode_safe() {
         assert_eq!(levenshtein("café", "cafe"), 1);
         assert!(jaro("naïve", "naive") > 0.8);
+    }
+
+    #[test]
+    fn explicit_scratch_matches_wrappers() {
+        let mut s = KernelScratch::new();
+        for (a, b) in [("corn fungicide", "corn fungicides"), ("", "x"), ("Lab Supplies", "Lab Supplies")] {
+            assert_eq!(levenshtein_with(&mut s, a, b), levenshtein(a, b));
+            assert_eq!(damerau_levenshtein_with(&mut s, a, b), damerau_levenshtein(a, b));
+            assert_eq!(jaro_with(&mut s, a, b).to_bits(), jaro(a, b).to_bits());
+            assert_eq!(jaro_winkler_with(&mut s, a, b).to_bits(), jaro_winkler(a, b).to_bits());
+            assert_eq!(
+                needleman_wunsch_sim_with(&mut s, a, b).to_bits(),
+                needleman_wunsch_sim(a, b).to_bits()
+            );
+            assert_eq!(
+                smith_waterman_sim_with(&mut s, a, b).to_bits(),
+                smith_waterman_sim(a, b).to_bits()
+            );
+            assert_eq!(
+                affine_gap_with(&mut s, a, b, 1.0, 0.5).to_bits(),
+                affine_gap(a, b, 1.0, 0.5).to_bits()
+            );
+        }
     }
 }

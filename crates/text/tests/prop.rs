@@ -1,13 +1,27 @@
-//! Property-based tests for similarity-measure invariants.
+//! Property-based tests for similarity-measure invariants, plus the
+//! equivalence suite pinning the similarity-kernel engine ([`em_text::seq`],
+//! [`em_text::myers`]) bit-for-bit against the retained reference
+//! implementations in [`em_text::naive`].
 
 use em_text::seq::*;
 use em_text::set::*;
 use em_text::tokenize::{QgramTokenizer, Tokenizer, WhitespaceTokenizer};
-use em_text::TfIdfCorpus;
+use em_text::{naive, KernelScratch, TfIdfCorpus};
 use proptest::prelude::*;
 
 fn word() -> impl Strategy<Value = String> {
     proptest::string::string_regex("[a-z0-9]{0,8}").expect("valid regex")
+}
+
+/// Arbitrary strings drawn from a mixed ASCII / multi-byte alphabet, with
+/// lengths up to 150 chars — past the 64-char Myers block boundary and into
+/// the multi-block path. Repeated letters keep match/transposition cases hot.
+fn any_string() -> impl Strategy<Value = String> {
+    let alphabet = vec![
+        'a', 'b', 'c', 'a', 'b', 'z', '0', '9', ' ', '-', 'é', 'ß', '日', '本', '語', '🦀',
+    ];
+    proptest::collection::vec(proptest::sample::select(alphabet), 0..150)
+        .prop_map(|cs| cs.into_iter().collect())
 }
 
 fn words() -> impl Strategy<Value = Vec<String>> {
@@ -134,4 +148,98 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&m));
         prop_assert!((monge_elkan(&a, &a, inner) - 1.0).abs() < 1e-12);
     }
+
+    /// Myers bit-parallel Levenshtein equals the reference DP on arbitrary
+    /// strings, including multi-byte unicode and >64-char (multi-block) ones.
+    #[test]
+    fn myers_matches_naive_levenshtein(a in any_string(), b in any_string()) {
+        prop_assert_eq!(levenshtein(&a, &b), naive::levenshtein(&a, &b));
+    }
+
+    /// Every engine kernel is bit-identical to its naive reference — f64
+    /// results compared via `to_bits`, not a tolerance.
+    #[test]
+    fn engine_kernels_match_naive(a in any_string(), b in any_string()) {
+        prop_assert_eq!(levenshtein_sim(&a, &b).to_bits(), naive::levenshtein_sim(&a, &b).to_bits());
+        prop_assert_eq!(damerau_levenshtein(&a, &b), naive::damerau_levenshtein(&a, &b));
+        prop_assert_eq!(jaro(&a, &b).to_bits(), naive::jaro(&a, &b).to_bits());
+        prop_assert_eq!(jaro_winkler(&a, &b).to_bits(), naive::jaro_winkler(&a, &b).to_bits());
+        prop_assert_eq!(
+            needleman_wunsch(&a, &b, 0.5).to_bits(),
+            naive::needleman_wunsch(&a, &b, 0.5).to_bits()
+        );
+        prop_assert_eq!(
+            needleman_wunsch_sim(&a, &b).to_bits(),
+            naive::needleman_wunsch_sim(&a, &b).to_bits()
+        );
+        prop_assert_eq!(
+            smith_waterman(&a, &b, 0.5).to_bits(),
+            naive::smith_waterman(&a, &b, 0.5).to_bits()
+        );
+        prop_assert_eq!(
+            smith_waterman_sim(&a, &b).to_bits(),
+            naive::smith_waterman_sim(&a, &b).to_bits()
+        );
+        prop_assert_eq!(
+            affine_gap(&a, &b, 1.0, 0.5).to_bits(),
+            naive::affine_gap(&a, &b, 1.0, 0.5).to_bits()
+        );
+    }
+
+    /// The explicit-scratch variants agree with the thread-local wrappers —
+    /// a reused arena never leaks state between calls.
+    #[test]
+    fn with_scratch_matches_wrappers(a in any_string(), b in any_string()) {
+        let mut s = KernelScratch::new();
+        // Warm the scratch with a first pass, then compare a second pass so
+        // any stale-buffer bug would surface.
+        let _ = levenshtein_with(&mut s, &a, &b);
+        prop_assert_eq!(levenshtein_with(&mut s, &a, &b), levenshtein(&a, &b));
+        prop_assert_eq!(
+            levenshtein_sim_with(&mut s, &a, &b).to_bits(),
+            levenshtein_sim(&a, &b).to_bits()
+        );
+        prop_assert_eq!(damerau_levenshtein_with(&mut s, &a, &b), damerau_levenshtein(&a, &b));
+        prop_assert_eq!(jaro_with(&mut s, &a, &b).to_bits(), jaro(&a, &b).to_bits());
+        prop_assert_eq!(
+            jaro_winkler_with(&mut s, &a, &b).to_bits(),
+            jaro_winkler(&a, &b).to_bits()
+        );
+        prop_assert_eq!(
+            needleman_wunsch_with(&mut s, &a, &b, 1.0).to_bits(),
+            needleman_wunsch(&a, &b, 1.0).to_bits()
+        );
+        prop_assert_eq!(
+            needleman_wunsch_sim_with(&mut s, &a, &b).to_bits(),
+            needleman_wunsch_sim(&a, &b).to_bits()
+        );
+        prop_assert_eq!(
+            smith_waterman_with(&mut s, &a, &b, 1.0).to_bits(),
+            smith_waterman(&a, &b, 1.0).to_bits()
+        );
+        prop_assert_eq!(
+            smith_waterman_sim_with(&mut s, &a, &b).to_bits(),
+            smith_waterman_sim(&a, &b).to_bits()
+        );
+        prop_assert_eq!(
+            affine_gap_with(&mut s, &a, &b, 1.0, 0.5).to_bits(),
+            affine_gap(&a, &b, 1.0, 0.5).to_bits()
+        );
+    }
+}
+
+/// Known-value pins cross-checked against the naive reference module, so a
+/// regression in *either* implementation trips the suite.
+#[test]
+fn known_values_pinned_against_naive() {
+    assert_eq!(naive::jaro("MARTHA", "MARHTA").to_bits(), 0.9444444444444445f64.to_bits());
+    assert_eq!(jaro("MARTHA", "MARHTA").to_bits(), 0.9444444444444445f64.to_bits());
+    assert_eq!(naive::jaro("DIXON", "DICKSONX").to_bits(), 0.7666666666666666f64.to_bits());
+    assert_eq!(jaro("DIXON", "DICKSONX").to_bits(), 0.7666666666666666f64.to_bits());
+    assert_eq!(naive::jaro_winkler("MARTHA", "MARHTA").to_bits(), 0.9611111111111111f64.to_bits());
+    assert_eq!(jaro_winkler("MARTHA", "MARHTA").to_bits(), 0.9611111111111111f64.to_bits());
+    assert_eq!(naive::damerau_levenshtein("ca", "ac"), 1);
+    assert_eq!(damerau_levenshtein("ca", "ac"), 1);
+    assert_eq!(naive::damerau_levenshtein("a cat", "a abct"), 3);
+    assert_eq!(damerau_levenshtein("a cat", "a abct"), 3);
 }

@@ -22,6 +22,21 @@ cargo test "${CARGO_FLAGS[@]}" -q
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy "${CARGO_FLAGS[@]}" --all-targets -- -D warnings
 
+echo "==> kernel hot-path purity (no per-pair decode/lowercase)"
+for f in crates/text/src/seq.rs crates/text/src/myers.rs crates/text/src/scratch.rs; do
+    # Non-test code only: stop at the #[cfg(test)] module.
+    if awk '/#\[cfg\(test\)\]/{exit} {print}' "$f" \
+        | grep -nE 'chars\(\)\.collect|to_lowercase'; then
+        echo "    FAIL: per-pair decode/lowercase in $f" >&2
+        exit 1
+    fi
+done
+echo "    kernel modules clean"
+
+echo "==> feature_kernels criterion bench (smoke)"
+EM_BENCH_SMOKE=1 cargo bench "${CARGO_FLAGS[@]}" -p em-bench --bench feature_kernels >/dev/null
+echo "    feature_kernels bench ran"
+
 echo "==> reproduce --bench smoke (small scale, 2 threads)"
 BENCH_DIR=$(mktemp -d)
 trap 'rm -rf "$BENCH_DIR"' EXIT
@@ -44,6 +59,9 @@ for stage in doc["stages"]:
                       ("throughput_per_s", float)]:
         assert isinstance(stage.get(key), kind), f"stage missing {key!r}: {stage}"
     assert stage["wall_ms_1t"] > 0 and stage["wall_ms_nt"] > 0, f"non-positive timing: {stage}"
+names = {stage["name"] for stage in doc["stages"]}
+for required in ("feature_extraction", "feature_kernels"):
+    assert required in names, f"stage {required!r} missing from bench JSON (got {sorted(names)})"
 print(f"    BENCH_pipeline.json ok: {len(doc['stages'])} stages, "
       f"combined speedup {doc['combined_speedup']:.2f}x at {doc['threads']} threads")
 EOF
