@@ -44,6 +44,7 @@ struct Args {
     faults: bool,
     threads: Option<usize>,
     bench: bool,
+    serve: bool,
     sections: Vec<String>,
 }
 
@@ -81,6 +82,7 @@ fn parse_args() -> Args {
         faults: false,
         threads: None,
         bench: false,
+        serve: false,
         sections: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -106,6 +108,9 @@ fn parse_args() -> Args {
             "--bench" => {
                 args.bench = true;
             }
+            "--serve" => {
+                args.serve = true;
+            }
             "--section" => {
                 if let Some(v) = it.next() {
                     args.sections.push(v);
@@ -113,12 +118,13 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: reproduce [--scale paper|small] [--scale-factor F] [--seed N] [--faults] [--threads N] [--bench] [--section <id>]...\n\
+                    "usage: reproduce [--scale paper|small] [--scale-factor F] [--seed N] [--faults] [--threads N] [--bench] [--serve] [--section <id>]...\n\
                      sections: {} (default: all)\n\
                      --scale-factor F: generate the scenario at F times paper scale (overrides --scale)\n\
                      --faults: inject a flaky oracle and CSV corruption; the run must absorb them\n\
                      --threads N: pin the parallel executor's worker count (results never change)\n\
-                     --bench: time pipeline stages at 1 vs N threads, write BENCH_pipeline.json",
+                     --bench: time pipeline stages at 1 vs N threads, write BENCH_pipeline.json\n\
+                     --serve: also time online serving (serve_batch/serve_single); implies --bench",
                     ALL_SECTIONS.join(" ")
                 );
                 std::process::exit(0);
@@ -141,7 +147,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(n) = args.threads {
         em_parallel::set_threads(n);
     }
-    if args.bench {
+    if args.bench || args.serve {
         bench_pipeline(&args)?;
         print_wall_time(started);
         return Ok(());
@@ -283,7 +289,11 @@ impl StageTiming {
 /// `--bench`: run the parallel pipeline stages (blocking, feature
 /// extraction, forest fit, batch prediction) at 1 thread and at the
 /// requested thread count, assert the outputs are bit-identical, and write
-/// `BENCH_pipeline.json`.
+/// `BENCH_pipeline.json`. With `--serve`, also time the online
+/// [`MatchService`] over the scenario's extra UMETRICS records: one
+/// deterministic micro-batch (`serve_batch`) and a one-record-at-a-time
+/// replay (`serve_single`), both under the same warmup + min-of-3
+/// estimator and the same 1-vs-N-thread bit-identity check.
 fn bench_pipeline(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let requested = em_parallel::threads().max(1);
     println!("\n## Pipeline benchmark — 1 thread vs {requested} thread(s)");
@@ -292,7 +302,7 @@ fn bench_pipeline(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         cfg = cfg.with_seed(seed);
     }
     let bench_seed = cfg.seed;
-    let fx = fixtures_cfg(cfg);
+    let fx = fixtures_cfg(cfg.clone());
     let (u, s) = (&fx.umetrics, &fx.usda);
     let mut stages: Vec<StageTiming> = Vec::new();
 
@@ -415,6 +425,58 @@ fn bench_pipeline(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         ms_1t: prd_1t,
         ms_nt: prd_nt,
     });
+
+    // Stages 5–6 (`--serve`): the online service over the scenario's extra
+    // UMETRICS arrivals — a deterministic micro-batch and a
+    // one-record-at-a-time replay. Both must be thread-count invariant and
+    // agree with each other (the em-serve integration tests additionally
+    // pin them to the batch pipeline's patch stage).
+    if args.serve {
+        use em_serve::MatchService;
+        eprintln!("training the serving artifacts for --serve…");
+        let mut cs_cfg =
+            if args.paper_scale { CaseStudyConfig::paper() } else { CaseStudyConfig::small() };
+        cs_cfg.scenario = cfg;
+        let artifacts = CaseStudy::new(cs_cfg).train_serving_artifacts()?;
+        let service = MatchService::from_artifacts(&artifacts)?;
+        let extra = &artifacts.extra_umetrics;
+
+        em_parallel::set_threads(1);
+        let (b1, sb_1t) = timed(|| service.match_batch(extra));
+        let b1 = b1?;
+        em_parallel::set_threads(requested);
+        let (bn, sb_nt) = timed(|| service.match_batch(extra));
+        let bn = bn?;
+        assert_eq!(b1.ids, bn.ids, "micro-batch serving must be thread-count invariant");
+        stages.push(StageTiming {
+            name: "serve_batch",
+            items: extra.n_rows(),
+            ms_1t: sb_1t,
+            ms_nt: sb_nt,
+        });
+
+        let run_single = || {
+            let mut ids = em_core::MatchIds::default();
+            for i in 0..extra.n_rows() {
+                ids = ids.union(&service.match_on_arrival(extra, i)?.ids);
+            }
+            Ok::<_, em_serve::ServeError>(ids)
+        };
+        em_parallel::set_threads(1);
+        let (s1, ss_1t) = timed(run_single);
+        let s1 = s1?;
+        em_parallel::set_threads(requested);
+        let (sn, ss_nt) = timed(run_single);
+        let sn = sn?;
+        assert_eq!(s1, sn, "one-at-a-time serving must be thread-count invariant");
+        assert_eq!(s1, bn.ids, "one-at-a-time serving must equal the micro-batch");
+        stages.push(StageTiming {
+            name: "serve_single",
+            items: extra.n_rows(),
+            ms_1t: ss_1t,
+            ms_nt: ss_nt,
+        });
+    }
 
     // Console summary + JSON artifact.
     println!(

@@ -445,7 +445,10 @@ pub enum SetMeasure {
 }
 
 impl SetMeasure {
-    fn score(self, inter: usize, na: usize, nb: usize) -> f64 {
+    /// The measure's value from intersection and set sizes — shared with
+    /// [`crate::incremental::IncrementalIndex`] so index probes reproduce
+    /// blocker arithmetic bit for bit.
+    pub(crate) fn score(self, inter: usize, na: usize, nb: usize) -> f64 {
         match self {
             SetMeasure::OverlapCoefficient => inter as f64 / na.min(nb) as f64,
             SetMeasure::Jaccard => inter as f64 / (na + nb - inter) as f64,

@@ -1,0 +1,265 @@
+//! An incremental inverted token index for online blocking.
+//!
+//! Batch blocking ([`OverlapBlocker`](crate::OverlapBlocker) /
+//! [`SetSimBlocker`](crate::SetSimBlocker)) rebuilds its inverted index from
+//! scratch on every call. An online matching service cannot afford that: the
+//! indexed corpus changes one record at a time. [`IncrementalIndex`]
+//! maintains the same token → rows postings under single-record
+//! [`insert`](IncrementalIndex::insert) / [`remove`](IncrementalIndex::remove)
+//! / [`upsert`](IncrementalIndex::upsert), and its probes reproduce the
+//! batch blockers' arithmetic exactly: overlap counts are identical integer
+//! counts, and set-similarity scores call the very same
+//! [`SetMeasure::score`](crate::SetMeasure) f64 expression. A property test
+//! (`tests/incremental_prop.rs`) pins probe results to from-scratch blocking
+//! over the surviving rows under arbitrary interleavings of edits.
+
+use crate::blockers::SetMeasure;
+use em_text::intern::{overlap_size_sorted, TokenCache, TokenIds};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// Inverted token index over one text column of an evolving record corpus.
+///
+/// Rows are addressed by caller-chosen `usize` keys (e.g. row indices of a
+/// backing table). Tokenization and normalization run through a shared
+/// [`TokenCache`], so an index can reuse the cache of the batch blockers it
+/// mirrors.
+#[derive(Debug, Clone)]
+pub struct IncrementalIndex {
+    cache: Arc<TokenCache>,
+    /// Key → distinct sorted token ids of that row's indexed text.
+    rows: BTreeMap<usize, TokenIds>,
+    /// Token id → keys of rows containing the token. `BTreeSet` keeps
+    /// postings ordered, so probe output is deterministic irrespective of
+    /// edit history.
+    postings: HashMap<u32, BTreeSet<usize>>,
+}
+
+impl IncrementalIndex {
+    /// An empty index with the paper's blocking normalization
+    /// ([`TokenCache::for_blocking`]).
+    pub fn new() -> IncrementalIndex {
+        IncrementalIndex::with_cache(Arc::new(TokenCache::for_blocking()))
+    }
+
+    /// An empty index sharing an existing token cache (so ids agree with
+    /// other users of the cache).
+    pub fn with_cache(cache: Arc<TokenCache>) -> IncrementalIndex {
+        IncrementalIndex { cache, rows: BTreeMap::new(), postings: HashMap::new() }
+    }
+
+    /// The shared token cache.
+    pub fn cache(&self) -> &Arc<TokenCache> {
+        &self.cache
+    }
+
+    /// Number of indexed rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// True when `key` is currently indexed.
+    pub fn contains_key(&self, key: usize) -> bool {
+        self.rows.contains_key(&key)
+    }
+
+    /// Indexes `text` under `key`. Returns `false` (and leaves the index
+    /// unchanged) if the key is already present — use
+    /// [`upsert`](IncrementalIndex::upsert) to replace.
+    pub fn insert(&mut self, key: usize, text: Option<&str>) -> bool {
+        if self.rows.contains_key(&key) {
+            return false;
+        }
+        let ids = self.cache.token_ids(text);
+        for &t in ids.iter() {
+            self.postings.entry(t).or_default().insert(key);
+        }
+        self.rows.insert(key, ids);
+        true
+    }
+
+    /// Removes `key` from the index. Returns `false` if it was not present.
+    pub fn remove(&mut self, key: usize) -> bool {
+        let Some(ids) = self.rows.remove(&key) else {
+            return false;
+        };
+        for t in ids.iter() {
+            if let Some(set) = self.postings.get_mut(t) {
+                set.remove(&key);
+                if set.is_empty() {
+                    self.postings.remove(t);
+                }
+            }
+        }
+        true
+    }
+
+    /// Replaces (or creates) the row under `key`.
+    pub fn upsert(&mut self, key: usize, text: Option<&str>) {
+        self.remove(key);
+        self.insert(key, text);
+    }
+
+    /// Counts shared distinct tokens per indexed row, exactly as the batch
+    /// overlap/set-sim blockers do over their inverted index: only rows
+    /// sharing at least one token appear.
+    fn overlap_counts(&self, query: &TokenIds) -> HashMap<usize, usize> {
+        let mut counts: HashMap<usize, usize> = HashMap::new();
+        for t in query.iter() {
+            if let Some(keys) = self.postings.get(t) {
+                for &k in keys {
+                    *counts.entry(k).or_insert(0) += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Keys of rows sharing at least `k` distinct tokens with `text`, in
+    /// ascending key order — [`OverlapBlocker`](crate::OverlapBlocker)
+    /// semantics for one probe record.
+    pub fn probe_overlap(&self, text: Option<&str>, k: usize) -> Vec<usize> {
+        let query = self.cache.token_ids(text);
+        let mut keys: Vec<usize> = self
+            .overlap_counts(&query)
+            .into_iter()
+            .filter(|&(_, c)| c >= k)
+            .map(|(key, _)| key)
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Keys of rows whose set-similarity with `text` reaches `threshold`,
+    /// in ascending key order — [`SetSimBlocker`](crate::SetSimBlocker)
+    /// semantics for one probe record (empty probe text admits nothing; the
+    /// score is the identical f64 expression the batch blocker evaluates).
+    pub fn probe_set_sim(
+        &self,
+        text: Option<&str>,
+        measure: SetMeasure,
+        threshold: f64,
+    ) -> Vec<usize> {
+        let query = self.cache.token_ids(text);
+        if query.is_empty() {
+            return Vec::new();
+        }
+        let mut keys: Vec<usize> = self
+            .overlap_counts(&query)
+            .into_iter()
+            .filter(|&(key, inter)| {
+                measure.score(inter, query.len(), self.rows[&key].len()) >= threshold
+            })
+            .map(|(key, _)| key)
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Reference probe, for differential testing: recomputes each overlap
+    /// with [`overlap_size_sorted`] over the stored id lists instead of the
+    /// postings walk.
+    pub fn probe_overlap_scan(&self, text: Option<&str>, k: usize) -> Vec<usize> {
+        let query = self.cache.token_ids(text);
+        self.rows
+            .iter()
+            .filter(|(_, ids)| overlap_size_sorted(&query, ids) >= k)
+            .map(|(&key, _)| key)
+            .collect()
+    }
+}
+
+impl Default for IncrementalIndex {
+    fn default() -> Self {
+        IncrementalIndex::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> IncrementalIndex {
+        let mut idx = IncrementalIndex::new();
+        idx.insert(0, Some("Development of Corn Fungicide Guidelines"));
+        idx.insert(1, Some("Swamp Dodder Applied Ecology and Management"));
+        idx.insert(2, Some("Lab Supplies"));
+        idx.insert(3, None);
+        idx
+    }
+
+    #[test]
+    fn insert_probe_overlap_counts_distinct_shared_tokens() {
+        let idx = sample();
+        assert_eq!(idx.probe_overlap(Some("corn fungicide guidelines"), 3), vec![0]);
+        assert_eq!(idx.probe_overlap(Some("corn fungicide guidelines"), 4), Vec::<usize>::new());
+        // Normalization lowercases: case differences do not matter.
+        assert_eq!(idx.probe_overlap(Some("LAB SUPPLIES"), 2), vec![2]);
+    }
+
+    #[test]
+    fn remove_unindexes_row() {
+        let mut idx = sample();
+        assert!(idx.remove(0));
+        assert!(!idx.remove(0));
+        assert!(idx.probe_overlap(Some("corn fungicide guidelines"), 1).is_empty());
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn upsert_replaces_tokens() {
+        let mut idx = sample();
+        idx.upsert(2, Some("Maize Genetics"));
+        assert!(idx.probe_overlap(Some("lab supplies"), 1).is_empty());
+        assert_eq!(idx.probe_overlap(Some("maize genetics"), 2), vec![2]);
+        assert_eq!(idx.len(), 4);
+    }
+
+    #[test]
+    fn insert_refuses_duplicate_keys() {
+        let mut idx = sample();
+        assert!(!idx.insert(2, Some("Something Else")));
+        assert_eq!(idx.probe_overlap(Some("lab supplies"), 2), vec![2]);
+    }
+
+    #[test]
+    fn null_text_rows_never_match() {
+        let idx = sample();
+        for k in 1..3 {
+            assert!(!idx.probe_overlap(Some("anything at all"), k).contains(&3));
+        }
+        assert!(idx.probe_set_sim(Some("anything"), SetMeasure::OverlapCoefficient, 0.1).is_empty());
+    }
+
+    #[test]
+    fn set_sim_probe_matches_measure_semantics() {
+        let idx = sample();
+        // "lab supplies" vs "Lab Supplies": inter 2, min 2 → oc = 1.0.
+        assert_eq!(
+            idx.probe_set_sim(Some("lab supplies"), SetMeasure::OverlapCoefficient, 0.7),
+            vec![2]
+        );
+        // Jaccard 2/2 = 1.0 as well.
+        assert_eq!(idx.probe_set_sim(Some("supplies lab"), SetMeasure::Jaccard, 0.99), vec![2]);
+        // Empty probe admits nothing.
+        assert!(idx.probe_set_sim(None, SetMeasure::Jaccard, 0.01).is_empty());
+        assert!(idx.probe_set_sim(Some("  "), SetMeasure::Jaccard, 0.01).is_empty());
+    }
+
+    #[test]
+    fn postings_probe_agrees_with_scan_probe() {
+        let mut idx = sample();
+        idx.insert(7, Some("corn genetics lab"));
+        idx.remove(1);
+        for k in 1..=4 {
+            for probe in [Some("corn fungicide lab supplies"), Some("swamp dodder"), None] {
+                assert_eq!(idx.probe_overlap(probe, k), idx.probe_overlap_scan(probe, k));
+            }
+        }
+    }
+}

@@ -28,6 +28,7 @@ pub mod blockers;
 pub mod candidate;
 pub mod debugger;
 pub mod error;
+pub mod incremental;
 
 pub use blockers::{
     AttrEquivalenceBlocker, BlackboxBlocker, Blocker, OverlapBlocker, SetMeasure, SetSimBlocker,
@@ -35,3 +36,4 @@ pub use blockers::{
 pub use candidate::{CandidateSet, Pair};
 pub use debugger::{debug_blocking, BlockingDebugger, DebugPair};
 pub use error::BlockError;
+pub use incremental::IncrementalIndex;

@@ -1,0 +1,152 @@
+//! Property tests for [`em_blocking::IncrementalIndex`]: under ANY
+//! interleaving of inserts, removes, and upserts, probing the index yields
+//! exactly the candidate rows that from-scratch batch blocking produces over
+//! a table of the surviving rows.
+
+use em_blocking::blockers::{Blocker, OverlapBlocker, SetSimBlocker};
+use em_blocking::{IncrementalIndex, SetMeasure};
+use em_table::{Schema, Table, Value};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// One mutation of the evolving corpus.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(usize, Option<String>),
+    Remove(usize),
+    Upsert(usize, Option<String>),
+}
+
+fn title() -> impl Strategy<Value = Option<String>> {
+    // Small vocabulary so overlaps actually occur; None exercises null text.
+    prop_oneof![
+        Just(None),
+        proptest::collection::vec(
+            proptest::sample::select(vec![
+                "corn", "fungicide", "guidelines", "lab", "supplies", "maize", "gene", "study",
+            ]),
+            0..6,
+        )
+        .prop_map(|ws| Some(ws.join(" "))),
+    ]
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..10, title()).prop_map(|(k, t)| Op::Insert(k, t)),
+        (0usize..10).prop_map(Op::Remove),
+        (0usize..10, title()).prop_map(|(k, t)| Op::Upsert(k, t)),
+    ]
+}
+
+/// Applies the ops to both the index and a plain map (the reference model
+/// of the surviving corpus).
+fn run_ops(ops: &[Op]) -> (IncrementalIndex, BTreeMap<usize, Option<String>>) {
+    let mut idx = IncrementalIndex::new();
+    let mut model: BTreeMap<usize, Option<String>> = BTreeMap::new();
+    for op in ops {
+        match op {
+            Op::Insert(k, t) => {
+                let inserted = idx.insert(*k, t.as_deref());
+                assert_eq!(inserted, !model.contains_key(k));
+                model.entry(*k).or_insert_with(|| t.clone());
+            }
+            Op::Remove(k) => {
+                let removed = idx.remove(*k);
+                assert_eq!(removed, model.remove(k).is_some());
+            }
+            Op::Upsert(k, t) => {
+                idx.upsert(*k, t.as_deref());
+                model.insert(*k, t.clone());
+            }
+        }
+    }
+    (idx, model)
+}
+
+/// The surviving rows as a table (row position → key mapping returned
+/// alongside), for from-scratch batch blocking.
+fn model_table(model: &BTreeMap<usize, Option<String>>) -> (Table, Vec<usize>) {
+    let keys: Vec<usize> = model.keys().copied().collect();
+    let table = Table::from_rows(
+        "corpus",
+        Schema::of_strings(&["Title"]),
+        keys.iter()
+            .map(|k| vec![model[k].clone().map_or(Value::Null, Value::Str)])
+            .collect(),
+    )
+    .unwrap();
+    (table, keys)
+}
+
+fn probe_table(text: &Option<String>) -> Table {
+    Table::from_rows(
+        "probe",
+        Schema::of_strings(&["Title"]),
+        vec![vec![text.clone().map_or(Value::Null, Value::Str)]],
+    )
+    .unwrap()
+}
+
+proptest! {
+    /// Overlap probing after any edit interleaving equals from-scratch
+    /// `OverlapBlocker::block` with the probe as a one-row left table.
+    #[test]
+    fn overlap_probe_equals_from_scratch_blocking(
+        ops in proptest::collection::vec(op(), 0..25),
+        probe in title(),
+        k in 1usize..4,
+    ) {
+        let (idx, model) = run_ops(&ops);
+        let (corpus, keys) = model_table(&model);
+        let left = probe_table(&probe);
+        let batch = OverlapBlocker::new("Title", "Title", k).block(&left, &corpus).unwrap();
+        let expected: Vec<usize> = batch.iter().map(|p| keys[p.right]).collect();
+        prop_assert_eq!(idx.probe_overlap(probe.as_deref(), k), expected);
+    }
+
+    /// Set-similarity probing equals from-scratch `SetSimBlocker::block`
+    /// for both measures across thresholds.
+    #[test]
+    fn set_sim_probe_equals_from_scratch_blocking(
+        ops in proptest::collection::vec(op(), 0..25),
+        probe in title(),
+        t in prop_oneof![Just(0.3), Just(0.5), Just(0.7), Just(1.0)],
+        jaccard in any::<bool>(),
+    ) {
+        let (idx, model) = run_ops(&ops);
+        let (corpus, keys) = model_table(&model);
+        let left = probe_table(&probe);
+        let (blocker, measure) = if jaccard {
+            (SetSimBlocker::jaccard("Title", "Title", t), SetMeasure::Jaccard)
+        } else {
+            (
+                SetSimBlocker::overlap_coefficient("Title", "Title", t),
+                SetMeasure::OverlapCoefficient,
+            )
+        };
+        let batch = blocker.block(&left, &corpus).unwrap();
+        let expected: Vec<usize> = batch.iter().map(|p| keys[p.right]).collect();
+        prop_assert_eq!(idx.probe_set_sim(probe.as_deref(), measure, t), expected);
+    }
+
+    /// An index rebuilt from the surviving rows is observationally equal to
+    /// the incrementally-maintained one.
+    #[test]
+    fn incremental_index_equals_rebuilt_index(
+        ops in proptest::collection::vec(op(), 0..25),
+        probe in title(),
+        k in 1usize..4,
+    ) {
+        let (idx, model) = run_ops(&ops);
+        let mut rebuilt = IncrementalIndex::new();
+        for (key, text) in &model {
+            rebuilt.insert(*key, text.as_deref());
+        }
+        prop_assert_eq!(idx.len(), rebuilt.len());
+        prop_assert_eq!(
+            idx.probe_overlap(probe.as_deref(), k),
+            rebuilt.probe_overlap(probe.as_deref(), k)
+        );
+    }
+}

@@ -50,7 +50,10 @@ pub use guide::{how_to_guide, GuideProgress, GuideStep};
 pub use labeling::{LabeledPair, LabeledSet, LabelingRound};
 pub use labelstore::{LabelConflict, LabelRecord, LabelStore, MergePolicy};
 pub use matcher::{MatcherStage, TrainedMatcher};
-pub use pipeline::{CaseStudy, CaseStudyConfig, CaseStudyReport, STAGES};
+pub use pipeline::{
+    standard_rule_descs, standard_rules, CaseStudy, CaseStudyConfig, CaseStudyReport,
+    ServingArtifacts, STAGES,
+};
 pub use preprocess::{project_umetrics, project_usda};
 pub use analysis::{analyze_multiplicity, cluster_matches, MultiplicityReport};
 pub use monitor::{AccuracyMonitor, MonitorConfig, SliceReport};

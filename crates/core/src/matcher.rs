@@ -54,8 +54,9 @@ pub struct TrainedMatcher {
     pub features: FeatureSet,
     /// Mean imputer fitted on the training matrix.
     pub imputer: Imputer,
-    /// The trained model.
-    pub model: Box<dyn Model>,
+    /// The trained model, in its concrete serializable form so workflow
+    /// snapshots can persist it.
+    pub model: em_ml::FittedModel,
     /// Which learner won selection.
     pub learner_name: String,
     /// Normalized Gini feature importances, when the winning learner is
@@ -132,7 +133,7 @@ pub fn train_matcher(
         .iter()
         .find(|l| l.name() == learner_name)
         .ok_or_else(|| CoreError::Pipeline(format!("unknown learner {learner_name:?}")))?;
-    let model = learner.fit(data)?;
+    let model = learner.fit_model(data)?;
     // Tree-based winners expose Gini importances for the debugging view.
     let feature_importance = match learner_name {
         "Decision Tree" => Some(

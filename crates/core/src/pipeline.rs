@@ -24,7 +24,7 @@ use crate::workflow::{EmWorkflow, MatchIds};
 use em_blocking::{debug_blocking, BlockingDebugger, CandidateSet, Pair};
 use em_datagen::{FlakyOracle, Oracle, OracleConfig, PairView, Scenario, ScenarioConfig};
 use em_estimate::{estimate_accuracy, AccuracyEstimate, Interval, Label, SampleItem, Z95};
-use em_rules::{EqualityRule, IrisMatcher, NegativeRule, RuleSet};
+use em_rules::{EqualityRule, IrisMatcher, RuleKeyKind, RuleSet, RuleSetDesc};
 use em_table::{csv, Table};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -226,18 +226,20 @@ pub struct CaseStudyReport {
     pub resilience: ResilienceReport,
 }
 
+/// The declarative description of the final workflow's rule set — the
+/// single source of truth for both [`standard_rules`] and the serialized
+/// form workflow snapshots persist.
+pub fn standard_rule_descs() -> RuleSetDesc {
+    RuleSetDesc::new()
+        .positive(RuleKeyKind::Suffix, "M1", "AwardNumber", "AwardNumber")
+        .positive(RuleKeyKind::Suffix, "award=project", "AwardNumber", "ProjectNumber")
+        .negative(RuleKeyKind::Suffix, "neg:award", "AwardNumber", "AwardNumber")
+        .negative(RuleKeyKind::Suffix, "neg:project", "AwardNumber", "ProjectNumber")
+}
+
 /// The standard rule set of the final workflow.
 pub fn standard_rules() -> RuleSet {
-    RuleSet {
-        positive: vec![
-            EqualityRule::suffix_equals("M1", "AwardNumber", "AwardNumber"),
-            EqualityRule::suffix_equals("award=project", "AwardNumber", "ProjectNumber"),
-        ],
-        negative: vec![
-            NegativeRule::comparable_suffix("neg:award", "AwardNumber", "AwardNumber"),
-            NegativeRule::comparable_suffix("neg:project", "AwardNumber", "ProjectNumber"),
-        ],
-    }
+    standard_rule_descs().build()
 }
 
 /// Scores a match list against ground truth. Recall counts every true
@@ -1123,8 +1125,10 @@ impl CaseStudy {
         // ---- Stage: matching — Figure 8 initial workflow, Section 10
         // revised definition + Figure 9 patch, multiplicity, IRIS, and the
         // Figure 10 negative rules. The matcher is retrained here from the
-        // checkpointed labels and winner name (deterministic), so the model
-        // itself never needs serializing. ----
+        // checkpointed labels and winner name (deterministic), so batch
+        // resume never needs the model serialized; online serving, which
+        // cannot retrain per process, snapshots the same artifacts via
+        // [`CaseStudy::train_serving_artifacts`]. ----
         let stage = "matching";
         if let Some(cp) = load_stage(dir, stage)? {
             resumed.push(stage.to_string());
@@ -1468,6 +1472,75 @@ impl CaseStudy {
         let s = project_usda(&scenario.usda, true)?;
         Ok((u, s, scenario))
     }
+
+    /// Trains the serving artifacts an online matching service needs,
+    /// replaying exactly the batch pipeline's no-fault training path:
+    /// blocking → iterative labeling → round-2 (case-insensitive) matcher
+    /// selection → training of the winner. Fault injection is ignored —
+    /// a workflow snapshot is always frozen from a clean run.
+    pub fn train_serving_artifacts(&self) -> Result<ServingArtifacts, CoreError> {
+        let cfg = &self.cfg;
+        let scenario =
+            Scenario::generate(cfg.scenario.clone()).map_err(CoreError::Datagen)?;
+        let oracle = Oracle::new(&scenario.truth, cfg.oracle);
+        let u = project_umetrics(&scenario.award_agg, &scenario.employees)?;
+        let empty_emp = Table::new("emp", scenario.employees.schema().clone());
+        let u_extra = project_umetrics(&scenario.extra_award_agg, &empty_emp)?;
+        let s = project_usda(&scenario.usda, true)?;
+        let m1_rules = RuleSet {
+            positive: vec![EqualityRule::suffix_equals("M1", "AwardNumber", "AwardNumber")],
+            negative: vec![],
+        };
+
+        let cands = run_blocking(&u, &s, &cfg.plan)?.consolidated;
+        let (labeled, _rounds, _ledger) = run_labeling_resilient(
+            &u,
+            &s,
+            &cands,
+            &oracle,
+            &cfg.label_rounds,
+            cfg.seed,
+            &RetryPolicy::none(),
+        )?;
+
+        let stage2 = MatcherStage::new(cfg.seed).with_case_insensitive();
+        let features2 = em_features::auto_features(&u, &s, &stage2.feature_opts);
+        let (data2, imp2) = build_training_data(&u, &s, &features2, &labeled, &m1_rules)?;
+        let ranking2 = select_matcher(&data2, &stage2)?;
+        let win = ranking2
+            .first()
+            .map(|r| r.learner.clone())
+            .ok_or_else(|| CoreError::Pipeline("matcher selection produced no winner".into()))?;
+        let matcher = train_matcher(features2, imp2, &data2, &win, &stage2)?;
+
+        Ok(ServingArtifacts {
+            umetrics: u,
+            extra_umetrics: u_extra,
+            usda: s,
+            matcher,
+            plan: cfg.plan,
+            rule_descs: standard_rule_descs(),
+        })
+    }
+}
+
+/// Everything an online matching service needs, frozen from one training
+/// run: the projected tables, the trained matcher, the blocking plan, and
+/// the declarative rule set of the final (Figure 10) workflow.
+pub struct ServingArtifacts {
+    /// Projected initial UMETRICS table (the batch left side).
+    pub umetrics: Table,
+    /// Projected extra-award UMETRICS table (the Section 10 arrivals the
+    /// paper patches in — an online service receives these one at a time).
+    pub extra_umetrics: Table,
+    /// Projected USDA table (the corpus the service matches against).
+    pub usda: Table,
+    /// The trained matcher (features, imputer, fitted model).
+    pub matcher: crate::matcher::TrainedMatcher,
+    /// Blocking-plan parameters.
+    pub plan: BlockingPlan,
+    /// Declarative final rule set ([`standard_rule_descs`]).
+    pub rule_descs: RuleSetDesc,
 }
 
 #[cfg(test)]

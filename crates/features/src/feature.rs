@@ -84,6 +84,35 @@ impl FeatureKind {
         }
     }
 
+    /// Inverse of [`FeatureKind::tag`]: resolves a tag back to its kind
+    /// (`None` for unknown tags). Snapshot loaders use this to rebuild
+    /// feature plans from their serialized form.
+    pub fn from_tag(tag: &str) -> Option<FeatureKind> {
+        use FeatureKind::*;
+        Some(match tag {
+            "exact" => ExactStr,
+            "lev" => LevSim,
+            "jaro" => Jaro,
+            "jw" => JaroWinkler,
+            "nw" => NeedlemanWunsch,
+            "sw" => SmithWaterman,
+            "jac_q3" => JaccardQgram3,
+            "jac_ws" => JaccardWord,
+            "cos_ws" => CosineWord,
+            "oc_ws" => OverlapCoeffWord,
+            "dice_q3" => DiceQgram3,
+            "me_jw" => MongeElkanJw,
+            "me_sdx" => MongeElkanSoundex,
+            "num_exact" => NumExact,
+            "abs_diff" => NumAbsDiff,
+            "rel_sim" => NumRelSim,
+            "year_gap" => DateYearGap,
+            "date_exact" => DateExact,
+            "bool_exact" => BoolExact,
+            _ => return None,
+        })
+    }
+
     /// True for measures computed on strings.
     pub fn is_string_measure(&self) -> bool {
         use FeatureKind::*;
@@ -240,6 +269,20 @@ mod tests {
 
     fn s(v: &str) -> Value {
         Value::Str(v.to_string())
+    }
+
+    #[test]
+    fn from_tag_inverts_tag_for_every_kind() {
+        use FeatureKind::*;
+        for kind in [
+            ExactStr, LevSim, Jaro, JaroWinkler, NeedlemanWunsch, SmithWaterman,
+            JaccardQgram3, JaccardWord, CosineWord, OverlapCoeffWord, DiceQgram3,
+            MongeElkanJw, MongeElkanSoundex, NumExact, NumAbsDiff, NumRelSim,
+            DateYearGap, DateExact, BoolExact,
+        ] {
+            assert_eq!(FeatureKind::from_tag(kind.tag()), Some(kind));
+        }
+        assert_eq!(FeatureKind::from_tag("nope"), None);
     }
 
     #[test]

@@ -22,16 +22,20 @@ impl Default for NaiveBayesLearner {
     }
 }
 
-struct ClassStats {
-    log_prior: f64,
-    means: Vec<f64>,
-    vars: Vec<f64>,
+/// Per-class Gaussian statistics of a fitted naive Bayes model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassStats {
+    pub(crate) log_prior: f64,
+    pub(crate) means: Vec<f64>,
+    pub(crate) vars: Vec<f64>,
 }
 
-/// A fitted Gaussian naive Bayes model.
-struct NaiveBayesModel {
-    pos: ClassStats,
-    neg: ClassStats,
+/// A fitted Gaussian naive Bayes model. Exposed so
+/// [`crate::fitted::FittedModel`] can carry and serialize it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaiveBayesModel {
+    pub(crate) pos: ClassStats,
+    pub(crate) neg: ClassStats,
 }
 
 impl ClassStats {
@@ -88,10 +92,11 @@ impl Learner for NaiveBayesLearner {
         "Naive Bayes".to_string()
     }
 
-    fn fit(&self, data: &Dataset) -> Result<Box<dyn Model>, MlError> {
+    fn fit_model(&self, data: &Dataset) -> Result<crate::fitted::FittedModel, MlError> {
+        use crate::fitted::FittedModel;
         let pos_rate = validate_training(data)?;
         if pos_rate == 0.0 || pos_rate == 1.0 {
-            return Ok(Box::new(ConstantModel { proba: pos_rate }));
+            return Ok(FittedModel::Constant(ConstantModel { proba: pos_rate }));
         }
         let d = data.n_features();
         let pos_idx: Vec<usize> = (0..data.len()).filter(|&i| data.y[i]).collect();
@@ -101,7 +106,7 @@ impl Learner for NaiveBayesLearner {
         let global = class_stats(&data.x, &all, d, 1.0, 0.0);
         let max_var = global.vars.iter().cloned().fold(0.0f64, f64::max);
         let smoothing = (self.var_smoothing * max_var).max(1e-12);
-        Ok(Box::new(NaiveBayesModel {
+        Ok(FittedModel::Bayes(NaiveBayesModel {
             pos: class_stats(&data.x, &pos_idx, d, pos_rate, smoothing),
             neg: class_stats(&data.x, &neg_idx, d, 1.0 - pos_rate, smoothing),
         }))

@@ -42,11 +42,22 @@ impl Default for RandomForestLearner {
 }
 
 /// A fitted forest: mean of member-tree probabilities.
+#[derive(Debug, Clone)]
 pub struct RandomForestModel {
     trees: Vec<DecisionTreeModel>,
 }
 
 impl RandomForestModel {
+    /// Rebuilds a forest from decoded member trees (snapshot loading).
+    pub(crate) fn from_trees(trees: Vec<DecisionTreeModel>) -> RandomForestModel {
+        RandomForestModel { trees }
+    }
+
+    /// The member trees (snapshot encoding).
+    pub(crate) fn trees(&self) -> &[DecisionTreeModel] {
+        &self.trees
+    }
+
     /// Number of member trees.
     pub fn n_trees(&self) -> usize {
         self.trees.len()
@@ -119,8 +130,8 @@ impl Learner for RandomForestLearner {
         "Random Forest".to_string()
     }
 
-    fn fit(&self, data: &Dataset) -> Result<Box<dyn Model>, MlError> {
-        Ok(Box::new(self.fit_forest(data)?))
+    fn fit_model(&self, data: &Dataset) -> Result<crate::fitted::FittedModel, MlError> {
+        Ok(crate::fitted::FittedModel::Forest(self.fit_forest(data)?))
     }
 }
 

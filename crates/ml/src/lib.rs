@@ -39,6 +39,7 @@ pub mod cv;
 pub mod dataset;
 pub mod debug;
 pub mod error;
+pub mod fitted;
 pub mod forest;
 pub mod linear;
 pub mod metrics;
@@ -47,6 +48,7 @@ pub mod tree;
 
 pub use dataset::{impute_mean, Dataset, Imputer};
 pub use error::MlError;
+pub use fitted::FittedModel;
 pub use metrics::Confusion;
 pub use model::{Learner, Model};
 

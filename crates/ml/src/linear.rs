@@ -16,8 +16,8 @@ use rand::SeedableRng;
 /// Per-column z-score standardizer.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) struct Standardizer {
-    means: Vec<f64>,
-    stds: Vec<f64>,
+    pub(crate) means: Vec<f64>,
+    pub(crate) stds: Vec<f64>,
 }
 
 impl Standardizer {
@@ -69,13 +69,16 @@ fn sigmoid(z: f64) -> f64 {
     }
 }
 
-/// A fitted linear scorer: `proba = link(w · z(x) + b)`.
-struct LinearModel {
-    standardizer: Standardizer,
-    weights: Vec<f64>,
-    bias: f64,
+/// A fitted linear scorer: `proba = link(w · z(x) + b)`. Fitted by all
+/// three linear learners (logistic / linear regression / SVM); exposed so
+/// [`crate::fitted::FittedModel`] can carry and serialize it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearModel {
+    pub(crate) standardizer: Standardizer,
+    pub(crate) weights: Vec<f64>,
+    pub(crate) bias: f64,
     /// `true` → sigmoid link; `false` → clamp to `[0, 1]` (linear regression).
-    sigmoid_link: bool,
+    pub(crate) sigmoid_link: bool,
 }
 
 impl Model for LinearModel {
@@ -114,10 +117,11 @@ impl Learner for LogisticRegressionLearner {
         "Logistic Regression".to_string()
     }
 
-    fn fit(&self, data: &Dataset) -> Result<Box<dyn Model>, MlError> {
+    fn fit_model(&self, data: &Dataset) -> Result<crate::fitted::FittedModel, MlError> {
+        use crate::fitted::FittedModel;
         let pos_rate = validate_training(data)?;
         if pos_rate == 0.0 || pos_rate == 1.0 {
-            return Ok(Box::new(ConstantModel { proba: pos_rate }));
+            return Ok(FittedModel::Constant(ConstantModel { proba: pos_rate }));
         }
         let d = data.n_features();
         let standardizer = Standardizer::fit(&data.x, d);
@@ -144,7 +148,7 @@ impl Learner for LogisticRegressionLearner {
             }
             bias -= self.learning_rate * gb / n;
         }
-        Ok(Box::new(LinearModel { standardizer, weights, bias, sigmoid_link: true }))
+        Ok(FittedModel::Linear(LinearModel { standardizer, weights, bias, sigmoid_link: true }))
     }
 }
 
@@ -211,10 +215,11 @@ impl Learner for LinearRegressionLearner {
     }
 
     #[allow(clippy::needless_range_loop)] // symmetric-matrix assembly is index-based
-    fn fit(&self, data: &Dataset) -> Result<Box<dyn Model>, MlError> {
+    fn fit_model(&self, data: &Dataset) -> Result<crate::fitted::FittedModel, MlError> {
+        use crate::fitted::FittedModel;
         let pos_rate = validate_training(data)?;
         if pos_rate == 0.0 || pos_rate == 1.0 {
-            return Ok(Box::new(ConstantModel { proba: pos_rate }));
+            return Ok(FittedModel::Constant(ConstantModel { proba: pos_rate }));
         }
         let d = data.n_features();
         let standardizer = Standardizer::fit(&data.x, d);
@@ -244,7 +249,7 @@ impl Learner for LinearRegressionLearner {
         let w = solve_linear_system(xtx, xty)
             .ok_or_else(|| MlError::BadParameter("singular normal equations".to_string()))?;
         let (weights, bias) = (w[..d].to_vec(), w[d]);
-        Ok(Box::new(LinearModel { standardizer, weights, bias, sigmoid_link: false }))
+        Ok(FittedModel::Linear(LinearModel { standardizer, weights, bias, sigmoid_link: false }))
     }
 }
 
@@ -272,10 +277,11 @@ impl Learner for LinearSvmLearner {
         "SVM".to_string()
     }
 
-    fn fit(&self, data: &Dataset) -> Result<Box<dyn Model>, MlError> {
+    fn fit_model(&self, data: &Dataset) -> Result<crate::fitted::FittedModel, MlError> {
+        use crate::fitted::FittedModel;
         let pos_rate = validate_training(data)?;
         if pos_rate == 0.0 || pos_rate == 1.0 {
-            return Ok(Box::new(ConstantModel { proba: pos_rate }));
+            return Ok(FittedModel::Constant(ConstantModel { proba: pos_rate }));
         }
         let d = data.n_features();
         let standardizer = Standardizer::fit(&data.x, d);
@@ -308,7 +314,7 @@ impl Learner for LinearSvmLearner {
                 }
             }
         }
-        Ok(Box::new(LinearModel { standardizer, weights, bias, sigmoid_link: true }))
+        Ok(FittedModel::Linear(LinearModel { standardizer, weights, bias, sigmoid_link: true }))
     }
 }
 

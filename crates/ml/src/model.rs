@@ -26,10 +26,19 @@ pub trait Learner: Send + Sync {
     /// Short display name ("Decision Tree", "RF", …).
     fn name(&self) -> String;
 
-    /// Fits a model on the dataset. Implementations must not mutate
-    /// `data`; they may assume `check_finite` would pass (and should fail
-    /// with [`MlError::NonFiniteFeature`] otherwise).
-    fn fit(&self, data: &Dataset) -> Result<Box<dyn Model>, MlError>;
+    /// Fits a model on the dataset, returning the concrete fitted form —
+    /// the serializable [`FittedModel`](crate::fitted::FittedModel) enum —
+    /// so callers that need to persist the artifact (workflow snapshots)
+    /// get it without downcasting. Implementations must not mutate `data`;
+    /// they may assume `check_finite` would pass (and should fail with
+    /// [`MlError::NonFiniteFeature`] otherwise).
+    fn fit_model(&self, data: &Dataset) -> Result<crate::fitted::FittedModel, MlError>;
+
+    /// Fits and type-erases — the ergonomic entry point for callers that
+    /// only score rows.
+    fn fit(&self, data: &Dataset) -> Result<Box<dyn Model>, MlError> {
+        Ok(Box::new(self.fit_model(data)?))
+    }
 }
 
 /// Applies a trained model to many rows.

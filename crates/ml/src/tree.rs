@@ -258,11 +258,8 @@ impl Learner for DecisionTreeLearner {
         "Decision Tree".to_string()
     }
 
-    fn fit(&self, data: &Dataset) -> Result<Box<dyn Model>, MlError> {
-        validate_training(data)?;
-        let idx: Vec<usize> = (0..data.len()).collect();
-        let root = build_tree(&data.x, &data.y, &idx, 0, self, None, &mut None);
-        Ok(Box::new(DecisionTreeModel { root }))
+    fn fit_model(&self, data: &Dataset) -> Result<crate::fitted::FittedModel, MlError> {
+        Ok(crate::fitted::FittedModel::Tree(self.fit_tree(data)?))
     }
 }
 
@@ -294,6 +291,65 @@ impl DecisionTreeLearner {
 /// lives in one place).
 pub(crate) fn seeded_rng(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
+}
+
+// ---- Serialization (pre-order node lines) -------------------------------
+//
+// The node format lives here because `Node` is private to this module.
+// Pre-order with fixed arity is self-delimiting, so a forest can decode N
+// trees from one shared line iterator. Floats use `{:?}`, which round-trips
+// every f64 bit pattern through `parse::<f64>()`.
+
+impl DecisionTreeModel {
+    /// Appends the tree's pre-order node lines to `out` (one node per
+    /// line: `L <proba>` / `S <feature> <threshold> <weighted_gain>`).
+    pub(crate) fn encode_lines(&self, out: &mut String) {
+        fn go(n: &Node, out: &mut String) {
+            match n {
+                Node::Leaf { proba } => {
+                    out.push_str(&format!("L {proba:?}\n"));
+                }
+                Node::Split { feature, threshold, weighted_gain, left, right } => {
+                    out.push_str(&format!("S {feature} {threshold:?} {weighted_gain:?}\n"));
+                    go(left, out);
+                    go(right, out);
+                }
+            }
+        }
+        go(&self.root, out);
+    }
+
+    /// Decodes one pre-order tree from `lines`, consuming exactly the lines
+    /// of this tree (so callers can decode several trees from one iterator).
+    pub(crate) fn decode_from<'a>(
+        lines: &mut impl Iterator<Item = &'a str>,
+    ) -> Result<DecisionTreeModel, MlError> {
+        fn bad(detail: &str) -> MlError {
+            MlError::BadParameter(format!("corrupt tree encoding: {detail}"))
+        }
+        fn num<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> Result<T, MlError> {
+            tok.ok_or_else(|| bad(&format!("missing {what}")))?
+                .parse::<T>()
+                .map_err(|_| bad(&format!("unparsable {what}")))
+        }
+        fn node<'a>(lines: &mut impl Iterator<Item = &'a str>) -> Result<Node, MlError> {
+            let line = lines.next().ok_or_else(|| bad("unexpected end of node lines"))?;
+            let mut toks = line.split_whitespace();
+            match toks.next() {
+                Some("L") => Ok(Node::Leaf { proba: num(toks.next(), "leaf proba")? }),
+                Some("S") => {
+                    let feature = num(toks.next(), "split feature")?;
+                    let threshold = num(toks.next(), "split threshold")?;
+                    let weighted_gain = num(toks.next(), "split gain")?;
+                    let left = Box::new(node(lines)?);
+                    let right = Box::new(node(lines)?);
+                    Ok(Node::Split { feature, threshold, weighted_gain, left, right })
+                }
+                other => Err(bad(&format!("unknown node tag {other:?}"))),
+            }
+        }
+        Ok(DecisionTreeModel { root: node(lines)? })
+    }
 }
 
 #[cfg(test)]

@@ -33,13 +33,32 @@ static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 /// Default thread count resolved once from `EM_THREADS` or the hardware.
 static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
 
+/// Parses an `EM_THREADS` value. `Err` carries the reason the value is
+/// unusable; silent fallback to the hardware default is deliberately *not*
+/// an option — a typo in the knob must be loud, not a mystery slowdown.
+fn parse_em_threads(raw: &str) -> Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err(format!(
+            "EM_THREADS={raw:?} is zero; use a positive thread count, or unset the \
+             variable for the hardware default"
+        )),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "EM_THREADS={raw:?} is not a positive integer; unset the variable for \
+             the hardware default"
+        )),
+    }
+}
+
 fn default_threads() -> usize {
-    *DEFAULT_THREADS.get_or_init(|| {
-        std::env::var("EM_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from))
+    *DEFAULT_THREADS.get_or_init(|| match std::env::var("EM_THREADS") {
+        Ok(raw) => match parse_em_threads(&raw) {
+            Ok(n) => n,
+            // Loud failure: an explicitly-set but invalid knob is a config
+            // error, never a silent fall-back to the hardware default.
+            Err(msg) => panic!("{msg}"),
+        },
+        Err(_) => std::thread::available_parallelism().map_or(1, usize::from),
     })
 }
 
@@ -217,6 +236,16 @@ mod tests {
         assert_eq!(LOCAL.with(Cell::get), 50, "all 50 items must run inline");
         let out = ex.map_indexed(200, 1, |i| i * 3);
         assert_eq!(out, (0..200).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn em_threads_values_parse_or_reject() {
+        assert_eq!(parse_em_threads("4"), Ok(4));
+        assert_eq!(parse_em_threads(" 16 "), Ok(16));
+        assert!(parse_em_threads("0").is_err(), "zero must be rejected");
+        assert!(parse_em_threads("two").is_err(), "non-numeric must be rejected");
+        assert!(parse_em_threads("-1").is_err(), "negative must be rejected");
+        assert!(parse_em_threads("").is_err(), "empty must be rejected");
     }
 
     #[test]

@@ -7,6 +7,8 @@ use std::fmt;
 pub enum RuleError {
     /// A candidate pair referenced a row outside its table.
     BadPair(usize, usize),
+    /// A serialized rule description did not parse.
+    BadRuleDesc(String),
     /// Underlying table error.
     Table(em_table::TableError),
 }
@@ -15,6 +17,7 @@ impl fmt::Display for RuleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RuleError::BadPair(l, r) => write!(f, "pair ({l}, {r}) is out of range"),
+            RuleError::BadRuleDesc(detail) => write!(f, "bad rule description: {detail}"),
             RuleError::Table(e) => write!(f, "table error: {e}"),
         }
     }

@@ -26,8 +26,10 @@ pub mod error;
 pub mod iris;
 pub mod pattern;
 pub mod rules;
+pub mod spec;
 
 pub use error::RuleError;
 pub use iris::IrisMatcher;
 pub use pattern::{comparable, infer, Pattern, PatternSet};
 pub use rules::{EqualityRule, KeyFn, NegativeRule, RuleSet};
+pub use spec::{RuleDesc, RuleKeyKind, RulePolarity, RuleSetDesc};

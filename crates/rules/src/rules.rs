@@ -81,6 +81,17 @@ impl EqualityRule {
         &self.name
     }
 
+    /// Derived key for a left-table row (`None` never fires). Online
+    /// serving uses this to probe a prebuilt right-side key index.
+    pub fn left_key(&self, r: RowRef<'_>) -> Option<String> {
+        (self.left_key)(r)
+    }
+
+    /// Derived key for a right-table row — the index side of the hash join.
+    pub fn right_key(&self, r: RowRef<'_>) -> Option<String> {
+        (self.right_key)(r)
+    }
+
     /// Pair-level check.
     pub fn fires(&self, a: RowRef<'_>, b: RowRef<'_>) -> bool {
         match ((self.left_key)(a), (self.right_key)(b)) {

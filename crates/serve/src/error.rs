@@ -1,0 +1,127 @@
+//! Typed errors for snapshot persistence and online serving.
+//!
+//! Loading a snapshot must never panic: a truncated file, a future format
+//! version, or hand-edited garbage each map to a distinct variant so
+//! callers can decide between quarantining the artifact and failing the
+//! request.
+
+use std::fmt;
+
+/// Errors raised by snapshot IO and the match service.
+///
+/// Every variant carries owned `String`/scalar payloads (no borrowed or
+/// non-`Send` inner errors) so results can cross the executor's worker
+/// threads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The snapshot declares a format version this build does not read.
+    VersionMismatch {
+        /// Version found in the file header.
+        found: u32,
+        /// Version this build writes and reads.
+        expected: u32,
+    },
+    /// The snapshot body is shorter than its header promised (torn write).
+    Truncated {
+        /// Byte length the header declared.
+        expected_bytes: usize,
+        /// Byte length actually present.
+        actual_bytes: usize,
+    },
+    /// The snapshot parsed as text but its contents are malformed.
+    Corrupt(String),
+    /// Underlying filesystem error (message of the `std::io::Error`).
+    Io(String),
+    /// The admission queue is at capacity; the arrival was not enqueued.
+    QueueFull {
+        /// Configured queue capacity.
+        capacity: usize,
+    },
+    /// A pipeline stage failed while serving a request.
+    Pipeline(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::VersionMismatch { found, expected } => {
+                write!(f, "snapshot version {found} is not readable (this build reads v{expected})")
+            }
+            ServeError::Truncated { expected_bytes, actual_bytes } => write!(
+                f,
+                "snapshot truncated: header declares {expected_bytes} body bytes, found {actual_bytes}"
+            ),
+            ServeError::Corrupt(detail) => write!(f, "snapshot corrupt: {detail}"),
+            ServeError::Io(detail) => write!(f, "io error: {detail}"),
+            ServeError::QueueFull { capacity } => {
+                write!(f, "admission queue full (capacity {capacity})")
+            }
+            ServeError::Pipeline(detail) => write!(f, "serving pipeline error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e.to_string())
+    }
+}
+
+impl From<em_table::TableError> for ServeError {
+    fn from(e: em_table::TableError) -> Self {
+        ServeError::Pipeline(format!("table error: {e}"))
+    }
+}
+
+impl From<em_rules::RuleError> for ServeError {
+    fn from(e: em_rules::RuleError) -> Self {
+        match e {
+            em_rules::RuleError::BadRuleDesc(d) => {
+                ServeError::Corrupt(format!("bad rule description: {d}"))
+            }
+            other => ServeError::Pipeline(format!("rule error: {other}")),
+        }
+    }
+}
+
+impl From<em_ml::MlError> for ServeError {
+    fn from(e: em_ml::MlError) -> Self {
+        ServeError::Corrupt(format!("model decode/apply error: {e}"))
+    }
+}
+
+impl From<em_blocking::BlockError> for ServeError {
+    fn from(e: em_blocking::BlockError) -> Self {
+        ServeError::Pipeline(format!("blocking error: {e}"))
+    }
+}
+
+impl From<em_core::CoreError> for ServeError {
+    fn from(e: em_core::CoreError) -> Self {
+        ServeError::Pipeline(format!("core pipeline error: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        let e = ServeError::VersionMismatch { found: 9, expected: 1 };
+        assert!(e.to_string().contains("version 9"));
+        let e = ServeError::Truncated { expected_bytes: 100, actual_bytes: 7 };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains('7'));
+        let e = ServeError::QueueFull { capacity: 4 };
+        assert!(e.to_string().contains("capacity 4"));
+    }
+
+    #[test]
+    fn serve_error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServeError>();
+    }
+}

@@ -1,0 +1,45 @@
+//! # em-serve — online matching over frozen workflow snapshots
+//!
+//! The case study ends with a *deployed* match list, but deployment is
+//! where the paper's story begins again: new UMETRICS records keep
+//! arriving (Section 10's "new data" complication), and re-running the
+//! whole batch pipeline per record is wasteful. This crate turns the
+//! trained batch workflow into an online service:
+//!
+//! - [`WorkflowSnapshot`]: the trained artifacts — blocking plan, feature
+//!   plan, fitted model, rule set, threshold, and the right-hand corpus —
+//!   frozen into one versioned text artifact. Loading a snapshot
+//!   reproduces batch predictions **bit-identically**.
+//! - [`MatchService`]: matches arriving records one at a time
+//!   ([`MatchService::match_on_arrival`]) or as deterministic
+//!   micro-batches ([`MatchService::match_batch`]), behind a bounded
+//!   admission queue, with per-request stage timings. Blocking probes an
+//!   [`em_blocking::IncrementalIndex`] plus hash-join indexes, which are
+//!   property-tested equal to from-scratch batch blocking.
+//! - [`ServeError`]: typed failures — a corrupt or truncated snapshot is
+//!   an error value (and is quarantined to `<path>.quarantined` by
+//!   [`WorkflowSnapshot::load_quarantining`]), never a panic.
+//!
+//! ```
+//! use em_serve::{MatchService, WorkflowSnapshot};
+//! use em_core::pipeline::{CaseStudy, CaseStudyConfig};
+//!
+//! let artifacts = CaseStudy::new(CaseStudyConfig::small())
+//!     .train_serving_artifacts()
+//!     .unwrap();
+//! let snapshot = WorkflowSnapshot::from_artifacts(&artifacts);
+//! let service = MatchService::from_snapshot(snapshot).unwrap();
+//! let outcome = service.match_on_arrival(&artifacts.extra_umetrics, 0).unwrap();
+//! assert!(outcome.n_blocked >= outcome.n_candidates);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod error;
+pub mod service;
+pub mod snapshot;
+
+pub use error::ServeError;
+pub use service::{BatchOutcome, MatchOutcome, MatchService, RequestTimings, ServiceStats};
+pub use snapshot::{quarantine_path, WorkflowSnapshot, SNAPSHOT_VERSION};

@@ -1,0 +1,663 @@
+//! The online match service: single-record and micro-batched matching
+//! against a frozen workflow snapshot.
+//!
+//! [`MatchService`] replays the batch pipeline's decision function for one
+//! arriving left-table record at a time. Equality with the batch pipeline
+//! is structural, not approximate — each stage mirrors the batch
+//! implementation's arithmetic over pre-built indexes:
+//!
+//! - **Blocking** probes the same three schemes `run_blocking` composes:
+//!   an attribute-equivalence index over the corpus `AwardNumber` keyed by
+//!   [`Value::dedup_key`] (the hash join the batch AE blocker builds, with
+//!   the award-suffix temp column applied on the probe side), plus an
+//!   [`IncrementalIndex`] over the corpus `AwardTitle` whose
+//!   `probe_overlap` / `probe_set_sim` methods are property-tested equal
+//!   to the batch overlap and overlap-coefficient blockers.
+//! - **Sure matches** probe one hash index per positive rule (the same
+//!   right-key join `EqualityRule::find_all` performs).
+//! - **Prediction** runs the identical `extract_vectors` → imputer →
+//!   `predict_proba ≥ threshold` chain; feature values are pure functions
+//!   of the two cell values, so a one-row probe extracts the same floats
+//!   the whole-table batch extraction does.
+//! - **Negative rules** apply per pair exactly as `apply_negative`.
+//!
+//! Because every arriving row is scored independently and
+//! [`MatchService::match_batch`] merges per-row results in row order
+//! through [`Executor::map_indexed`], results are bit-identical across
+//! thread counts and across one-at-a-time vs. batched replay.
+
+use crate::error::ServeError;
+use crate::snapshot::WorkflowSnapshot;
+use em_blocking::{IncrementalIndex, Pair, SetMeasure};
+use em_core::pipeline::ServingArtifacts;
+use em_core::{BlockingPlan, MatchIds};
+use em_features::{extract_vectors, FeatureSet};
+use em_ml::{FittedModel, Imputer, Model};
+use em_parallel::Executor;
+use em_rules::award::award_suffix;
+use em_rules::RuleSet;
+use em_table::{Table, Value};
+use em_text::TokenCache;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Rows per parallel work unit in [`MatchService::match_batch`] — small,
+/// because each row's probe already fans out over candidate pairs.
+const SERVE_GRAIN: usize = 8;
+
+/// Default bound of the admission queue.
+const DEFAULT_QUEUE_CAPACITY: usize = 1024;
+
+/// Wall-clock stage timings of one request, in milliseconds.
+///
+/// Timings are observability only: they are measured with [`Instant`] and
+/// excluded from every determinism guarantee.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RequestTimings {
+    /// Blocking-index probes (AE + overlap + set-similarity).
+    pub blocking_ms: f64,
+    /// Positive-rule probes and candidate-set subtraction.
+    pub rules_ms: f64,
+    /// Feature extraction and imputation.
+    pub features_ms: f64,
+    /// Model scoring, negative rules, and id rendering.
+    pub predict_ms: f64,
+    /// End-to-end request time.
+    pub total_ms: f64,
+}
+
+/// The result of matching one arriving record.
+#[derive(Debug, Clone)]
+pub struct MatchOutcome {
+    /// Final matches as `(UniqueAwardNumber, AccessionNumber)` pairs —
+    /// the same deliverable keying as the batch pipeline.
+    pub ids: MatchIds,
+    /// Corpus rows admitted by blocking.
+    pub n_blocked: usize,
+    /// Corpus rows decided by positive rules (sure matches).
+    pub n_sure: usize,
+    /// Matcher input size (`blocked − sure`).
+    pub n_candidates: usize,
+    /// Candidates the model predicted as matches.
+    pub n_predicted: usize,
+    /// Predictions flipped to non-match by negative rules.
+    pub n_flipped: usize,
+    /// Per-stage wall-clock timings.
+    pub timings: RequestTimings,
+}
+
+/// The result of matching a micro-batch of arrivals.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Union of all per-row match ids.
+    pub ids: MatchIds,
+    /// Per-row outcomes, in arrival (row) order.
+    pub outcomes: Vec<MatchOutcome>,
+}
+
+/// Service health/size counters.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceStats {
+    /// Rows currently in the corpus.
+    pub corpus_rows: usize,
+    /// Distinct tokens interned by the blocking token cache.
+    pub cache_tokens: usize,
+    /// Distinct texts memoized by the blocking token cache.
+    pub cache_texts: usize,
+    /// Arrivals waiting in the admission queue.
+    pub queue_len: usize,
+    /// Admission queue bound.
+    pub queue_capacity: usize,
+}
+
+/// An online matching service over a frozen workflow.
+pub struct MatchService {
+    corpus: Table,
+    features: FeatureSet,
+    imputer: Imputer,
+    model: FittedModel,
+    learner_name: String,
+    threshold: f64,
+    plan: BlockingPlan,
+    rules: RuleSet,
+    cache: Arc<TokenCache>,
+    /// Inverted token index over the corpus blocking title column.
+    title_index: IncrementalIndex,
+    /// `dedup_key(AwardNumber)` → corpus rows (the AE blocker's hash join).
+    ae_index: HashMap<String, Vec<usize>>,
+    /// Per positive rule: `right_key` → corpus rows (`find_all`'s join).
+    rule_indexes: Vec<HashMap<String, Vec<usize>>>,
+    /// Bounded admission queue of arrivals awaiting [`MatchService::drain`].
+    pending: Option<Table>,
+    queue_capacity: usize,
+}
+
+/// Left/right blocking and id columns — fixed by the case-study workflow
+/// (the snapshot's rule and feature attrs are free; these three anchor the
+/// blocking plan and the deliverable keying).
+const AWARD_COL: &str = "AwardNumber";
+const TITLE_COL: &str = "AwardTitle";
+const ACCESSION_COL: &str = "AccessionNumber";
+
+impl MatchService {
+    /// Builds a service from a (loaded or freshly frozen) snapshot.
+    pub fn from_snapshot(snapshot: WorkflowSnapshot) -> Result<MatchService, ServeError> {
+        let WorkflowSnapshot {
+            corpus,
+            features,
+            imputer,
+            model,
+            learner_name,
+            rules: rule_descs,
+            plan,
+            threshold,
+        } = snapshot;
+        for col in [AWARD_COL, TITLE_COL, ACCESSION_COL] {
+            if corpus.schema().index_of(col).is_none() {
+                return Err(ServeError::Corrupt(format!(
+                    "snapshot corpus is missing required column {col:?}"
+                )));
+            }
+        }
+        let rules = rule_descs.build();
+        let cache = Arc::new(TokenCache::for_blocking());
+        let mut service = MatchService {
+            title_index: IncrementalIndex::with_cache(Arc::clone(&cache)),
+            ae_index: HashMap::new(),
+            rule_indexes: vec![HashMap::new(); rules.positive.len()],
+            corpus: Table::new(corpus.name(), corpus.schema().clone()),
+            features,
+            imputer,
+            model,
+            learner_name,
+            threshold,
+            plan,
+            rules,
+            cache,
+            pending: None,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+        };
+        for row in corpus.iter() {
+            service.push_corpus_row(row.values().to_vec())?;
+        }
+        Ok(service)
+    }
+
+    /// Builds a service straight from batch-pipeline artifacts (equivalent
+    /// to freezing a snapshot and loading it back).
+    pub fn from_artifacts(artifacts: &ServingArtifacts) -> Result<MatchService, ServeError> {
+        MatchService::from_snapshot(WorkflowSnapshot::from_artifacts(artifacts))
+    }
+
+    /// Replaces the admission-queue bound (default 1024).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> MatchService {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// The corpus currently matched against.
+    pub fn corpus(&self) -> &Table {
+        &self.corpus
+    }
+
+    /// Which learner the frozen workflow was trained with.
+    pub fn learner_name(&self) -> &str {
+        &self.learner_name
+    }
+
+    /// The decision threshold on `predict_proba`.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Service counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            corpus_rows: self.corpus.n_rows(),
+            cache_tokens: self.cache.n_tokens(),
+            cache_texts: self.cache.n_texts(),
+            queue_len: self.queue_len(),
+            queue_capacity: self.queue_capacity,
+        }
+    }
+
+    /// Appends a row to the corpus, updating every blocking and rule index
+    /// incrementally — the online equivalent of re-running batch blocking
+    /// over the grown corpus.
+    pub fn push_corpus_row(&mut self, row: Vec<Value>) -> Result<usize, ServeError> {
+        self.corpus.push_row(row)?;
+        let j = self.corpus.n_rows() - 1;
+        let added = self
+            .corpus
+            .row(j)
+            .ok_or_else(|| ServeError::Pipeline("pushed row vanished".into()))?;
+        self.title_index.insert(j, added.str(TITLE_COL));
+        if let Some(v) = added.get(AWARD_COL) {
+            if !v.is_null() {
+                self.ae_index.entry(v.dedup_key()).or_default().push(j);
+            }
+        }
+        for (rule, index) in self.rules.positive.iter().zip(&mut self.rule_indexes) {
+            if let Some(key) = rule.right_key(added) {
+                index.entry(key).or_default().push(j);
+            }
+        }
+        Ok(j)
+    }
+
+    /// Matches one arriving record (row `i` of `arrivals`) against the
+    /// corpus, reproducing the batch workflow's verdict for that row
+    /// bit-identically.
+    pub fn match_on_arrival(
+        &self,
+        arrivals: &Table,
+        i: usize,
+    ) -> Result<MatchOutcome, ServeError> {
+        let t_start = Instant::now();
+        let row = arrivals.row(i).ok_or_else(|| {
+            ServeError::Pipeline(format!("arrival row {i} is out of range"))
+        })?;
+
+        // Blocking: C1 (award-suffix attribute equivalence) ∪ C2 (token
+        // overlap) ∪ C3 (overlap coefficient), exactly as `run_blocking`
+        // consolidates them. The probe key replicates the batch pipeline's
+        // `TempAwardNumber` derived column.
+        let mut blocked: BTreeSet<usize> = BTreeSet::new();
+        if let Some(suffix) = row.str(AWARD_COL).and_then(award_suffix) {
+            if let Some(js) = self.ae_index.get(&Value::from(suffix).dedup_key()) {
+                blocked.extend(js.iter().copied());
+            }
+        }
+        let title = row.str(TITLE_COL);
+        blocked.extend(self.title_index.probe_overlap(title, self.plan.overlap_k));
+        blocked.extend(self.title_index.probe_set_sim(
+            title,
+            SetMeasure::OverlapCoefficient,
+            self.plan.oc_threshold,
+        ));
+        let t_blocked = Instant::now();
+
+        // Sure matches: union of per-rule hash-join probes, then
+        // `candidates = blocked − sure` (the workflow's `C = C2 − C1`).
+        let mut sure: BTreeSet<usize> = BTreeSet::new();
+        for (rule, index) in self.rules.positive.iter().zip(&self.rule_indexes) {
+            if let Some(key) = rule.left_key(row) {
+                if let Some(js) = index.get(&key) {
+                    sure.extend(js.iter().copied());
+                }
+            }
+        }
+        let candidates: Vec<usize> = blocked.difference(&sure).copied().collect();
+        let t_rules = Instant::now();
+
+        // Features: per-pair values are pure functions of the two cells,
+        // so extracting against the full arrival table gives the same
+        // floats as the batch extraction over its candidate set.
+        let pairs: Vec<Pair> = candidates.iter().map(|&j| Pair::new(i, j)).collect();
+        let mut x = extract_vectors(&self.features, arrivals, &self.corpus, &pairs)?;
+        self.imputer.transform(&mut x);
+        let t_features = Instant::now();
+
+        // Predict, then apply negative rules to predicted matches only.
+        let mut n_predicted = 0usize;
+        let mut n_flipped = 0usize;
+        let mut kept: Vec<usize> = Vec::new();
+        for (&j, feats) in candidates.iter().zip(&x) {
+            if self.model.predict_proba(feats) < self.threshold {
+                continue;
+            }
+            n_predicted += 1;
+            let rb = self
+                .corpus
+                .row(j)
+                .ok_or_else(|| ServeError::Pipeline(format!("corpus row {j} vanished")))?;
+            if self.rules.any_negative_fires(row, rb) {
+                n_flipped += 1;
+            } else {
+                kept.push(j);
+            }
+        }
+
+        // Deliverable ids: `sure ∪ kept`, keyed exactly as
+        // `MatchIds::from_candidates`.
+        let award = row
+            .get(AWARD_COL)
+            .ok_or_else(|| ServeError::Pipeline(format!("row {i} missing {AWARD_COL}")))?
+            .render();
+        let mut id_pairs = Vec::new();
+        for &j in sure.iter().chain(&kept) {
+            let acc = self
+                .corpus
+                .get(j, ACCESSION_COL)
+                .ok_or_else(|| ServeError::Pipeline(format!("corpus row {j} missing")))?
+                .render();
+            id_pairs.push((award.clone(), acc));
+        }
+        let t_end = Instant::now();
+
+        let ms = |a: Instant, b: Instant| (b - a).as_secs_f64() * 1e3;
+        Ok(MatchOutcome {
+            ids: MatchIds::from_pairs(id_pairs),
+            n_blocked: blocked.len(),
+            n_sure: sure.len(),
+            n_candidates: candidates.len(),
+            n_predicted,
+            n_flipped,
+            timings: RequestTimings {
+                blocking_ms: ms(t_start, t_blocked),
+                rules_ms: ms(t_blocked, t_rules),
+                features_ms: ms(t_rules, t_features),
+                predict_ms: ms(t_features, t_end),
+                total_ms: ms(t_start, t_end),
+            },
+        })
+    }
+
+    /// Matches a whole table of arrivals as one deterministic micro-batch:
+    /// rows are scored independently on the executor and merged in row
+    /// order, so the result is bit-identical at any thread count — and
+    /// equal to replaying [`MatchService::match_on_arrival`] row by row.
+    pub fn match_batch(&self, arrivals: &Table) -> Result<BatchOutcome, ServeError> {
+        let results = Executor::current()
+            .map_indexed(arrivals.n_rows(), SERVE_GRAIN, |i| self.match_on_arrival(arrivals, i));
+        let mut ids = MatchIds::default();
+        let mut outcomes = Vec::with_capacity(results.len());
+        for r in results {
+            let outcome = r?;
+            ids = ids.union(&outcome.ids);
+            outcomes.push(outcome);
+        }
+        Ok(BatchOutcome { ids, outcomes })
+    }
+
+    /// Arrivals waiting in the admission queue.
+    pub fn queue_len(&self) -> usize {
+        self.pending.as_ref().map_or(0, Table::n_rows)
+    }
+
+    /// Enqueues row `i` of `arrivals` for the next [`MatchService::drain`].
+    /// Fails with [`ServeError::QueueFull`] at capacity — bounded
+    /// admission, so a traffic spike degrades by rejecting arrivals
+    /// instead of growing without limit. Returns the new queue length.
+    pub fn submit(&mut self, arrivals: &Table, i: usize) -> Result<usize, ServeError> {
+        if self.queue_len() >= self.queue_capacity {
+            return Err(ServeError::QueueFull { capacity: self.queue_capacity });
+        }
+        let row = arrivals.row(i).ok_or_else(|| {
+            ServeError::Pipeline(format!("arrival row {i} is out of range"))
+        })?;
+        let values = row.values().to_vec();
+        let pending = self
+            .pending
+            .get_or_insert_with(|| Table::new("pending", arrivals.schema().clone()));
+        if pending.schema() != arrivals.schema() {
+            return Err(ServeError::Pipeline(
+                "queued arrivals have a different schema than earlier submissions".into(),
+            ));
+        }
+        pending.push_row(values)?;
+        Ok(self.queue_len())
+    }
+
+    /// Matches every queued arrival as one micro-batch and empties the
+    /// queue. Queue order is submission order, so a drain is bit-identical
+    /// to batch-matching the same rows directly.
+    pub fn drain(&mut self) -> Result<BatchOutcome, ServeError> {
+        match self.pending.take() {
+            Some(batch) => self.match_batch(&batch),
+            None => Ok(BatchOutcome { ids: MatchIds::default(), outcomes: Vec::new() }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::WorkflowSnapshot;
+    use em_core::matcher::TrainedMatcher;
+    use em_core::{EmWorkflow, MatchIds};
+    use em_features::{Feature, FeatureKind};
+    use em_ml::model::ConstantModel;
+    use em_rules::{RuleKeyKind, RuleSetDesc};
+    use em_table::{DataType, Schema};
+
+    fn corpus() -> Table {
+        Table::from_rows(
+            "usda",
+            Schema::of(&[
+                (ACCESSION_COL, DataType::Str),
+                (AWARD_COL, DataType::Str),
+                ("ProjectNumber", DataType::Str),
+                (TITLE_COL, DataType::Str),
+            ]),
+            vec![
+                vec![
+                    Value::Str("ACC1".into()),
+                    Value::Str("2008-34103-19449".into()),
+                    Value::Null,
+                    Value::Str("corn fungicide guidelines for states".into()),
+                ],
+                vec![
+                    Value::Str("ACC2".into()),
+                    Value::Null,
+                    Value::Str("WIS01040".into()),
+                    Value::Str("swamp dodder ecology and biology".into()),
+                ],
+                vec![
+                    Value::Str("ACC3".into()),
+                    Value::Str("2101-22222-33333".into()),
+                    Value::Null,
+                    Value::Str("corn fungicide guidelines handbook".into()),
+                ],
+                vec![
+                    Value::Str("ACC4".into()),
+                    Value::Null,
+                    Value::Null,
+                    Value::Str("maize gene expression study".into()),
+                ],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn arrivals() -> Table {
+        Table::from_rows(
+            "umetrics",
+            Schema::of(&[(AWARD_COL, DataType::Str), (TITLE_COL, DataType::Str)]),
+            vec![
+                vec![
+                    Value::Str("10.200 2008-34103-19449".into()),
+                    Value::Str("corn fungicide guidelines for states".into()),
+                ],
+                vec![
+                    Value::Str("10.203 WIS01040".into()),
+                    Value::Str("swamp dodder ecology and biology".into()),
+                ],
+                vec![
+                    Value::Str("10.310 9999-88888-77777".into()),
+                    Value::Str("corn fungicide guidelines for whom".into()),
+                ],
+                vec![Value::Null, Value::Str("maize gene expression study".into())],
+                vec![Value::Str("10.500 NOPE".into()), Value::Null],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn rule_descs() -> RuleSetDesc {
+        RuleSetDesc::new()
+            .positive(RuleKeyKind::Suffix, "M1", AWARD_COL, AWARD_COL)
+            .positive(RuleKeyKind::Suffix, "award=project", AWARD_COL, "ProjectNumber")
+            .negative(RuleKeyKind::Suffix, "neg:award", AWARD_COL, AWARD_COL)
+            .negative(RuleKeyKind::Suffix, "neg:project", AWARD_COL, "ProjectNumber")
+    }
+
+    fn features() -> FeatureSet {
+        let mut f = FeatureSet::default();
+        f.features.push(Feature::new(TITLE_COL, TITLE_COL, FeatureKind::JaccardWord, true));
+        f
+    }
+
+    fn snapshot(proba: f64) -> WorkflowSnapshot {
+        WorkflowSnapshot {
+            corpus: corpus(),
+            features: features(),
+            imputer: Imputer { means: vec![0.0] },
+            model: FittedModel::Constant(ConstantModel { proba }),
+            learner_name: "constant".into(),
+            rules: rule_descs(),
+            plan: BlockingPlan { overlap_k: 3, oc_threshold: 0.7 },
+            threshold: 0.5,
+        }
+    }
+
+    /// The batch pipeline's verdict over the same inputs, as match ids.
+    fn batch_ids(proba: f64) -> MatchIds {
+        let snap = snapshot(proba);
+        let matcher = TrainedMatcher {
+            features: snap.features.clone(),
+            imputer: snap.imputer.clone(),
+            model: snap.model.clone(),
+            learner_name: snap.learner_name.clone(),
+            feature_importance: None,
+        };
+        let wf = EmWorkflow {
+            rules: snap.rules.build(),
+            plan: snap.plan,
+            matcher: &matcher,
+            apply_negative: true,
+        };
+        let result = wf.run(&arrivals(), &corpus()).unwrap();
+        MatchIds::from_candidates(&arrivals(), &corpus(), &result.matches).unwrap()
+    }
+
+    #[test]
+    fn one_at_a_time_equals_batch_pipeline() {
+        for proba in [1.0, 0.0] {
+            let service = MatchService::from_snapshot(snapshot(proba)).unwrap();
+            let arrivals = arrivals();
+            let mut ids = MatchIds::default();
+            for i in 0..arrivals.n_rows() {
+                let outcome = service.match_on_arrival(&arrivals, i).unwrap();
+                ids = ids.union(&outcome.ids);
+            }
+            assert_eq!(ids, batch_ids(proba), "proba {proba}");
+            // Micro-batched replay agrees with one-at-a-time replay.
+            let batch = service.match_batch(&arrivals).unwrap();
+            assert_eq!(batch.ids, ids, "proba {proba}");
+            assert_eq!(batch.outcomes.len(), arrivals.n_rows());
+        }
+    }
+
+    #[test]
+    fn accounting_is_consistent() {
+        let service = MatchService::from_snapshot(snapshot(1.0)).unwrap();
+        let arrivals = arrivals();
+        for i in 0..arrivals.n_rows() {
+            let o = service.match_on_arrival(&arrivals, i).unwrap();
+            // candidates = blocked − sure, so the removed count is bounded
+            // by the sure count.
+            assert!(o.n_candidates <= o.n_blocked, "row {i}");
+            assert!(o.n_blocked - o.n_candidates <= o.n_sure, "row {i}");
+            assert!(o.n_predicted <= o.n_candidates, "row {i}");
+            assert!(o.n_flipped <= o.n_predicted, "row {i}");
+            // Fixture accessions are unique, so ids = sure + kept exactly.
+            assert_eq!(o.ids.len(), o.n_sure + o.n_predicted - o.n_flipped, "row {i}");
+            assert!(o.timings.total_ms >= 0.0);
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trip_serves_identically() {
+        let snap = snapshot(1.0);
+        let reloaded = WorkflowSnapshot::decode(&snap.encode()).unwrap();
+        let a = MatchService::from_snapshot(snap).unwrap();
+        let b = MatchService::from_snapshot(reloaded).unwrap();
+        let arrivals = arrivals();
+        for i in 0..arrivals.n_rows() {
+            assert_eq!(
+                a.match_on_arrival(&arrivals, i).unwrap().ids,
+                b.match_on_arrival(&arrivals, i).unwrap().ids,
+                "row {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_queue_admits_then_rejects_then_drains() {
+        let mut service =
+            MatchService::from_snapshot(snapshot(1.0)).unwrap().with_queue_capacity(3);
+        let arrivals = arrivals();
+        assert_eq!(service.queue_len(), 0);
+        for i in 0..3 {
+            assert_eq!(service.submit(&arrivals, i).unwrap(), i + 1);
+        }
+        assert_eq!(
+            service.submit(&arrivals, 3),
+            Err(ServeError::QueueFull { capacity: 3 })
+        );
+        let drained = service.drain().unwrap();
+        assert_eq!(service.queue_len(), 0);
+        assert_eq!(drained.outcomes.len(), 3);
+        // Drain equals direct matching of the same rows.
+        let mut expected = MatchIds::default();
+        for i in 0..3 {
+            expected = expected.union(&service.match_on_arrival(&arrivals, i).unwrap().ids);
+        }
+        assert_eq!(drained.ids, expected);
+        // Queue is reusable after draining.
+        assert_eq!(service.submit(&arrivals, 3).unwrap(), 1);
+        assert!(service.drain().unwrap().outcomes.len() == 1);
+        assert!(service.drain().unwrap().outcomes.is_empty());
+    }
+
+    #[test]
+    fn incremental_corpus_growth_equals_rebuild() {
+        // Service A starts with a truncated corpus and learns the last row
+        // online; service B is built over the full corpus from scratch.
+        let full = corpus();
+        let mut head = Table::new(full.name(), full.schema().clone());
+        for r in full.iter().take(full.n_rows() - 1) {
+            head.push_row(r.values().to_vec()).unwrap();
+        }
+        let mut snap_head = snapshot(1.0);
+        snap_head.corpus = head;
+        let mut a = MatchService::from_snapshot(snap_head).unwrap();
+        let arrivals = arrivals();
+        // Probe before the insert so the token cache has prior state — the
+        // equivalence must not depend on interning order.
+        let _ = a.match_on_arrival(&arrivals, 0).unwrap();
+        let last = full.row(full.n_rows() - 1).unwrap().values().to_vec();
+        a.push_corpus_row(last).unwrap();
+        let b = MatchService::from_snapshot(snapshot(1.0)).unwrap();
+        for i in 0..arrivals.n_rows() {
+            let oa = a.match_on_arrival(&arrivals, i).unwrap();
+            let ob = b.match_on_arrival(&arrivals, i).unwrap();
+            assert_eq!(oa.ids, ob.ids, "row {i}");
+            assert_eq!(oa.n_blocked, ob.n_blocked, "row {i}");
+            assert_eq!(oa.n_sure, ob.n_sure, "row {i}");
+        }
+        assert_eq!(a.stats().corpus_rows, full.n_rows());
+    }
+
+    #[test]
+    fn missing_required_corpus_column_is_typed() {
+        let mut snap = snapshot(1.0);
+        snap.corpus = Table::new("usda", Schema::of(&[("Other", DataType::Str)]));
+        assert!(matches!(
+            MatchService::from_snapshot(snap),
+            Err(ServeError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn stats_reflect_cache_and_corpus() {
+        let service = MatchService::from_snapshot(snapshot(1.0)).unwrap();
+        let s = service.stats();
+        assert_eq!(s.corpus_rows, 4);
+        assert!(s.cache_tokens > 0);
+        assert!(s.cache_texts > 0);
+        assert_eq!(s.queue_len, 0);
+    }
+}

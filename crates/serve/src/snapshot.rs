@@ -1,0 +1,568 @@
+//! Frozen workflow snapshots: everything a trained EM workflow needs to
+//! serve matches, in one versioned on-disk artifact.
+//!
+//! A snapshot captures the *decision function* of the batch pipeline — the
+//! blocking plan, the generated feature plan, the fitted model, the rule
+//! set, the decision threshold — plus the right-hand corpus table it
+//! matches against. Loading the snapshot and serving a record reproduces
+//! the batch pipeline's prediction **bit-identically**: every float is
+//! written with `{:?}` (which round-trips each `f64` bit pattern through
+//! `parse::<f64>()`), and every component reconstructs through the same
+//! public constructors batch code uses.
+//!
+//! ## Format
+//!
+//! The file is text. The first line is the envelope:
+//!
+//! ```text
+//! em-snapshot v1 <body-byte-length>
+//! ```
+//!
+//! and the rest is the body — a [`Checkpoint`]-serialized `key = value`
+//! bag. The declared byte length lets loading distinguish a torn write
+//! ([`ServeError::Truncated`]) from hand-edited garbage
+//! ([`ServeError::Corrupt`]); an unknown version is
+//! [`ServeError::VersionMismatch`]. [`WorkflowSnapshot::load_quarantining`]
+//! renames bad artifacts to `<path>.quarantined` so a corrupt snapshot
+//! can never be retried in a crash loop.
+
+use crate::error::ServeError;
+use em_core::checkpoint::Checkpoint;
+use em_core::pipeline::ServingArtifacts;
+use em_core::BlockingPlan;
+use em_features::{Feature, FeatureKind, FeatureSet};
+use em_ml::{FittedModel, Imputer};
+use em_rules::RuleSetDesc;
+use em_table::{Column, DataType, Date, Schema, Table, Value};
+use std::path::{Path, PathBuf};
+
+/// Format version this build writes and reads.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Leading magic token of the envelope line.
+const MAGIC: &str = "em-snapshot";
+
+/// A frozen, serializable workflow: the trained artifacts of the batch
+/// pipeline, sufficient to serve online match requests.
+#[derive(Debug, Clone)]
+pub struct WorkflowSnapshot {
+    /// The right-hand corpus table matched against (USDA in the case
+    /// study).
+    pub corpus: Table,
+    /// The generated feature plan.
+    pub features: FeatureSet,
+    /// Mean imputer fitted on the training matrix.
+    pub imputer: Imputer,
+    /// The fitted model in its concrete serializable form.
+    pub model: FittedModel,
+    /// Which learner won selection (provenance).
+    pub learner_name: String,
+    /// Declarative rule set (rebuilt into closures on load).
+    pub rules: RuleSetDesc,
+    /// Blocking plan parameters.
+    pub plan: BlockingPlan,
+    /// Decision threshold on `predict_proba` (the batch pipeline's 0.5).
+    pub threshold: f64,
+}
+
+fn corrupt(detail: impl std::fmt::Display) -> ServeError {
+    ServeError::Corrupt(detail.to_string())
+}
+
+/// Tag for a declared column type.
+fn dtype_tag(t: DataType) -> &'static str {
+    match t {
+        DataType::Str => "str",
+        DataType::Int => "int",
+        DataType::Float => "float",
+        DataType::Bool => "bool",
+        DataType::Date => "date",
+        DataType::Any => "any",
+    }
+}
+
+fn dtype_from_tag(tag: &str) -> Result<DataType, ServeError> {
+    Ok(match tag {
+        "str" => DataType::Str,
+        "int" => DataType::Int,
+        "float" => DataType::Float,
+        "bool" => DataType::Bool,
+        "date" => DataType::Date,
+        "any" => DataType::Any,
+        other => return Err(corrupt(format!("unknown column type tag {other:?}"))),
+    })
+}
+
+/// Escapes a string cell so it cannot contain a literal tab (record field
+/// separator) or backslash ambiguity.
+fn escape_cell(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape_cell(s: &str) -> Result<String, ServeError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            other => {
+                return Err(corrupt(format!(
+                    "bad cell escape \\{}",
+                    other.map(String::from).unwrap_or_default()
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// One cell as a tagged token. Types are explicit — the CSV reader
+/// re-infers types, which would not round-trip a table whose column is
+/// declared `Str` but holds numeric-looking text.
+fn encode_cell(v: &Value) -> String {
+    match v {
+        Value::Null => String::new(),
+        Value::Str(s) => format!("s:{}", escape_cell(s)),
+        Value::Int(i) => format!("i:{i}"),
+        Value::Float(f) => format!("f:{f:?}"),
+        Value::Bool(b) => format!("b:{b}"),
+        Value::Date(d) => format!("d:{d}"),
+    }
+}
+
+fn decode_cell(s: &str) -> Result<Value, ServeError> {
+    if s.is_empty() {
+        return Ok(Value::Null);
+    }
+    let (tag, payload) =
+        s.split_once(':').ok_or_else(|| corrupt(format!("untagged cell {s:?}")))?;
+    Ok(match tag {
+        "s" => Value::Str(unescape_cell(payload)?),
+        "i" => Value::Int(
+            payload.parse().map_err(|_| corrupt(format!("bad int cell {payload:?}")))?,
+        ),
+        "f" => Value::Float(
+            payload.parse().map_err(|_| corrupt(format!("bad float cell {payload:?}")))?,
+        ),
+        "b" => Value::Bool(
+            payload.parse().map_err(|_| corrupt(format!("bad bool cell {payload:?}")))?,
+        ),
+        "d" => Value::Date(
+            Date::parse(payload).ok_or_else(|| corrupt(format!("bad date cell {payload:?}")))?,
+        ),
+        other => return Err(corrupt(format!("unknown cell tag {other:?}"))),
+    })
+}
+
+fn encode_table(cp: &mut Checkpoint, prefix: &str, table: &Table) {
+    cp.put(&format!("{prefix}.name"), table.name());
+    let schema: Vec<Vec<String>> = table
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| vec![c.name.clone(), dtype_tag(c.dtype).to_string()])
+        .collect();
+    cp.put_records(&format!("{prefix}.schema"), &schema);
+    let rows: Vec<Vec<String>> =
+        table.iter().map(|r| r.values().iter().map(encode_cell).collect()).collect();
+    cp.put_records(&format!("{prefix}.rows"), &rows);
+}
+
+fn decode_table(cp: &Checkpoint, prefix: &str) -> Result<Table, ServeError> {
+    let name = cp.get(&format!("{prefix}.name")).map_err(corrupt)?;
+    let mut columns = Vec::new();
+    for rec in cp.get_records(&format!("{prefix}.schema")).map_err(corrupt)? {
+        let [col, tag] = rec.as_slice() else {
+            return Err(corrupt(format!("schema record must have 2 fields, got {}", rec.len())));
+        };
+        columns.push(Column::new(col.clone(), dtype_from_tag(tag)?));
+    }
+    let schema = Schema::new(columns).map_err(|e| corrupt(format!("bad schema: {e}")))?;
+    let n_cols = schema.len();
+    let mut table = Table::new(name, schema);
+    for rec in cp.get_records(&format!("{prefix}.rows")).map_err(corrupt)? {
+        // A row of all-empty cells (all nulls) serializes as N-1 tabs; an
+        // entirely-null single-column row is the empty string, which
+        // `split` still yields as one field — arity stays consistent.
+        if rec.len() != n_cols {
+            return Err(corrupt(format!(
+                "row has {} cells, schema has {n_cols} columns",
+                rec.len()
+            )));
+        }
+        let row = rec.iter().map(|c| decode_cell(c)).collect::<Result<Vec<_>, _>>()?;
+        table.push_row(row).map_err(|e| corrupt(format!("bad row: {e}")))?;
+    }
+    Ok(table)
+}
+
+impl WorkflowSnapshot {
+    /// Freezes the trained artifacts of a batch pipeline run into a
+    /// serializable snapshot (decision threshold 0.5, matching
+    /// `Model::predict`).
+    pub fn from_artifacts(artifacts: &ServingArtifacts) -> WorkflowSnapshot {
+        WorkflowSnapshot {
+            corpus: artifacts.usda.clone(),
+            features: artifacts.matcher.features.clone(),
+            imputer: artifacts.matcher.imputer.clone(),
+            model: artifacts.matcher.model.clone(),
+            learner_name: artifacts.matcher.learner_name.clone(),
+            rules: artifacts.rule_descs.clone(),
+            plan: artifacts.plan,
+            threshold: 0.5,
+        }
+    }
+
+    /// Serializes to the versioned text format (envelope + checkpoint
+    /// body). Encoding is canonical: decode ∘ encode is a fixed point.
+    pub fn encode(&self) -> String {
+        let mut cp = Checkpoint::new();
+        cp.put("learner_name", &self.learner_name);
+        cp.put_f64("threshold", self.threshold);
+        cp.put_display("plan.overlap_k", self.plan.overlap_k);
+        cp.put_f64("plan.oc_threshold", self.plan.oc_threshold);
+        cp.put("model", self.model.encode());
+        cp.put("rules", self.rules.encode());
+        let means: Vec<String> = self.imputer.means.iter().map(|m| format!("{m:?}")).collect();
+        cp.put("imputer.means", means.join(" "));
+        let features: Vec<Vec<String>> = self
+            .features
+            .features
+            .iter()
+            .map(|f| {
+                vec![
+                    f.left_attr.clone(),
+                    f.right_attr.clone(),
+                    f.kind.tag().to_string(),
+                    if f.lowercase { "1".into() } else { "0".into() },
+                ]
+            })
+            .collect();
+        cp.put_records("features", &features);
+        encode_table(&mut cp, "corpus", &self.corpus);
+        let body = cp.to_text();
+        format!("{MAGIC} v{SNAPSHOT_VERSION} {}\n{body}", body.len())
+    }
+
+    /// Parses a snapshot produced by [`WorkflowSnapshot::encode`]. Every
+    /// failure is a typed [`ServeError`] — never a panic.
+    pub fn decode(text: &str) -> Result<WorkflowSnapshot, ServeError> {
+        let (header, body) = text
+            .split_once('\n')
+            .ok_or_else(|| corrupt("missing envelope line"))?;
+        let mut toks = header.split_whitespace();
+        if toks.next() != Some(MAGIC) {
+            return Err(corrupt(format!("not a snapshot (bad magic in {header:?})")));
+        }
+        let version_tok = toks.next().ok_or_else(|| corrupt("missing version token"))?;
+        let version: u32 = version_tok
+            .strip_prefix('v')
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| corrupt(format!("bad version token {version_tok:?}")))?;
+        if version != SNAPSHOT_VERSION {
+            return Err(ServeError::VersionMismatch { found: version, expected: SNAPSHOT_VERSION });
+        }
+        let declared: usize = toks
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| corrupt("missing or bad body length"))?;
+        if toks.next().is_some() {
+            return Err(corrupt("trailing tokens in envelope"));
+        }
+        if body.len() < declared {
+            return Err(ServeError::Truncated {
+                expected_bytes: declared,
+                actual_bytes: body.len(),
+            });
+        }
+        if body.len() > declared {
+            return Err(corrupt(format!(
+                "body has {} bytes, envelope declares {declared}",
+                body.len()
+            )));
+        }
+        let cp = Checkpoint::from_text(body).map_err(corrupt)?;
+        let learner_name = cp.get("learner_name").map_err(corrupt)?.to_string();
+        let threshold: f64 = cp.get_parsed("threshold").map_err(corrupt)?;
+        let plan = BlockingPlan {
+            overlap_k: cp.get_parsed("plan.overlap_k").map_err(corrupt)?,
+            oc_threshold: cp.get_parsed("plan.oc_threshold").map_err(corrupt)?,
+        };
+        let model = FittedModel::decode(cp.get("model").map_err(corrupt)?)?;
+        let rules = RuleSetDesc::decode(cp.get("rules").map_err(corrupt)?)?;
+        let means_raw = cp.get("imputer.means").map_err(corrupt)?;
+        let means = if means_raw.is_empty() {
+            Vec::new()
+        } else {
+            means_raw
+                .split(' ')
+                .map(|t| t.parse::<f64>().map_err(|_| corrupt(format!("bad mean {t:?}"))))
+                .collect::<Result<Vec<_>, _>>()?
+        };
+        let mut features = FeatureSet::default();
+        for rec in cp.get_records("features").map_err(corrupt)? {
+            let [left, right, tag, lc] = rec.as_slice() else {
+                return Err(corrupt(format!(
+                    "feature record must have 4 fields, got {}",
+                    rec.len()
+                )));
+            };
+            let kind = FeatureKind::from_tag(tag)
+                .ok_or_else(|| corrupt(format!("unknown feature tag {tag:?}")))?;
+            let lowercase = match lc.as_str() {
+                "1" => true,
+                "0" => false,
+                other => return Err(corrupt(format!("bad lowercase flag {other:?}"))),
+            };
+            // Feature::new regenerates the canonical name, so names never
+            // drift from the (attrs, kind, lowercase) triple.
+            features.features.push(Feature::new(left.clone(), right.clone(), kind, lowercase));
+        }
+        let corpus = decode_table(&cp, "corpus")?;
+        Ok(WorkflowSnapshot {
+            corpus,
+            features,
+            imputer: Imputer { means },
+            model,
+            learner_name,
+            rules,
+            plan,
+            threshold,
+        })
+    }
+
+    /// Writes the snapshot atomically (temp file + rename): a crash
+    /// mid-write leaves either the old artifact or none, never a torn one.
+    pub fn save(&self, path: &Path) -> Result<(), ServeError> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let tmp = tmp_path(path);
+        std::fs::write(&tmp, self.encode())?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads and decodes a snapshot file.
+    pub fn load(path: &Path) -> Result<WorkflowSnapshot, ServeError> {
+        let text = std::fs::read_to_string(path)?;
+        WorkflowSnapshot::decode(&text)
+    }
+
+    /// Like [`WorkflowSnapshot::load`], but a snapshot that fails to
+    /// *decode* (version mismatch, truncation, corruption) is renamed to
+    /// `<path>.quarantined` before the error is returned, so a supervisor
+    /// restarting the service cannot crash-loop on the same bad artifact.
+    /// Plain IO failures (e.g. the file does not exist) do not quarantine.
+    pub fn load_quarantining(path: &Path) -> Result<WorkflowSnapshot, ServeError> {
+        let text = std::fs::read_to_string(path)?;
+        match WorkflowSnapshot::decode(&text) {
+            Ok(snap) => Ok(snap),
+            Err(e) => {
+                // Best-effort: the decode error is the primary failure.
+                let _ = std::fs::rename(path, quarantine_path(path));
+                Err(e)
+            }
+        }
+    }
+}
+
+/// The temp-file path used by [`WorkflowSnapshot::save`].
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+/// Where [`WorkflowSnapshot::load_quarantining`] moves a corrupt artifact.
+pub fn quarantine_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".quarantined");
+    PathBuf::from(os)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_ml::model::ConstantModel;
+    use em_ml::Model;
+    use em_rules::RuleKeyKind;
+
+    fn sample_corpus() -> Table {
+        Table::from_rows(
+            "usda",
+            Schema::of(&[
+                ("AccessionNumber", DataType::Str),
+                ("AwardNumber", DataType::Str),
+                ("AwardTitle", DataType::Str),
+                ("Funds", DataType::Float),
+                ("Year", DataType::Int),
+                ("Active", DataType::Bool),
+                ("Start", DataType::Date),
+                ("Anything", DataType::Any),
+            ]),
+            vec![
+                vec![
+                    Value::Str("ACC1".into()),
+                    Value::Str("2008-34103-19449".into()),
+                    Value::Str("Corn Fungicide\tGuidelines \\ Study".into()),
+                    Value::Float(0.1 + 0.2),
+                    Value::Int(-7),
+                    Value::Bool(true),
+                    Value::Date(Date { year: 2008, month: 3, day: 1 }),
+                    Value::Int(9),
+                ],
+                vec![
+                    Value::Str("ACC2".into()),
+                    Value::Null,
+                    Value::Null,
+                    Value::Null,
+                    Value::Null,
+                    Value::Null,
+                    Value::Null,
+                    Value::Null,
+                ],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn sample_snapshot() -> WorkflowSnapshot {
+        let mut features = FeatureSet::default();
+        features.features.push(Feature::new(
+            "AwardTitle",
+            "AwardTitle",
+            FeatureKind::JaccardQgram3,
+            true,
+        ));
+        features.features.push(Feature::new(
+            "AwardNumber",
+            "AwardNumber",
+            FeatureKind::ExactStr,
+            false,
+        ));
+        WorkflowSnapshot {
+            corpus: sample_corpus(),
+            features,
+            imputer: Imputer { means: vec![0.25, std::f64::consts::PI / 3.0] },
+            model: FittedModel::Constant(ConstantModel { proba: 0.75 }),
+            learner_name: "decision_tree".into(),
+            rules: RuleSetDesc::new()
+                .positive(RuleKeyKind::Suffix, "M1", "AwardNumber", "AwardNumber")
+                .negative(RuleKeyKind::Suffix, "neg:award", "AwardNumber", "AwardNumber"),
+            plan: BlockingPlan { overlap_k: 3, oc_threshold: 0.7 },
+            threshold: 0.5,
+        }
+    }
+
+    #[test]
+    fn encode_decode_is_a_fixed_point() {
+        let snap = sample_snapshot();
+        let text = snap.encode();
+        let back = WorkflowSnapshot::decode(&text).unwrap();
+        assert_eq!(back.encode(), text);
+        assert_eq!(back.corpus, snap.corpus);
+        assert_eq!(back.features.names(), snap.features.names());
+        assert_eq!(back.rules, snap.rules);
+        assert_eq!(back.learner_name, snap.learner_name);
+        assert_eq!(back.plan.overlap_k, snap.plan.overlap_k);
+        assert_eq!(back.plan.oc_threshold.to_bits(), snap.plan.oc_threshold.to_bits());
+        assert_eq!(back.threshold.to_bits(), snap.threshold.to_bits());
+        for (a, b) in back.imputer.means.iter().zip(&snap.imputer.means) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Model predictions are bit-identical post-round-trip.
+        let row = [0.3, 0.8];
+        assert_eq!(
+            back.model.predict_proba(&row).to_bits(),
+            snap.model.predict_proba(&row).to_bits()
+        );
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let text = sample_snapshot().encode().replacen("v1", "v2", 1);
+        assert_eq!(
+            WorkflowSnapshot::decode(&text).map(|_| ()).unwrap_err(),
+            ServeError::VersionMismatch { found: 2, expected: 1 }
+        );
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let text = sample_snapshot().encode();
+        let cut = &text[..text.len() - 10];
+        match WorkflowSnapshot::decode(cut) {
+            Err(ServeError::Truncated { expected_bytes, actual_bytes }) => {
+                assert_eq!(expected_bytes, actual_bytes + 10);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_is_corrupt_not_panic() {
+        for text in [
+            "",
+            "not a snapshot\n",
+            "em-snapshot\n",
+            "em-snapshot vX 10\n",
+            "em-snapshot v1 zzz\n",
+            "em-snapshot v1 3 extra\nabc",
+        ] {
+            assert!(
+                matches!(WorkflowSnapshot::decode(text), Err(ServeError::Corrupt(_))),
+                "accepted {text:?}"
+            );
+        }
+        // Valid envelope, mangled body key.
+        let good = sample_snapshot().encode();
+        let (header, body) = good.split_once('\n').unwrap();
+        let bad_body = body.replacen("model = ", "motel = ", 1);
+        let bad = format!("{header}\n{bad_body}");
+        // Same byte length, so the envelope still matches.
+        assert!(matches!(WorkflowSnapshot::decode(&bad), Err(ServeError::Corrupt(_))), "{bad}");
+    }
+
+    #[test]
+    fn save_load_round_trips_and_quarantines_corruption() {
+        let dir = std::env::temp_dir().join(format!("em-serve-snap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("workflow.emsnap");
+        let snap = sample_snapshot();
+        snap.save(&path).unwrap();
+        let back = WorkflowSnapshot::load(&path).unwrap();
+        assert_eq!(back.encode(), snap.encode());
+
+        // Corrupt the artifact in place: load_quarantining must rename it.
+        std::fs::write(&path, "em-snapshot v9 0\n").unwrap();
+        let err = WorkflowSnapshot::load_quarantining(&path).unwrap_err();
+        assert_eq!(err, ServeError::VersionMismatch { found: 9, expected: 1 });
+        assert!(!path.exists(), "corrupt artifact still in place");
+        assert!(quarantine_path(&path).exists(), "quarantine file missing");
+
+        // A missing file is Io and does not create quarantine litter.
+        let missing = dir.join("absent.emsnap");
+        assert!(matches!(
+            WorkflowSnapshot::load_quarantining(&missing),
+            Err(ServeError::Io(_))
+        ));
+        assert!(!quarantine_path(&missing).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -144,6 +144,12 @@ impl TokenCache {
         let inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         inner.interner.len()
     }
+
+    /// Number of distinct texts memoized so far (cache hit-surface size).
+    pub fn n_texts(&self) -> usize {
+        let inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        inner.memo.len()
+    }
 }
 
 /// One table column tokenized up front: sorted distinct token ids per row,

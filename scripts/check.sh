@@ -37,10 +37,16 @@ echo "==> feature_kernels criterion bench (smoke)"
 EM_BENCH_SMOKE=1 cargo bench "${CARGO_FLAGS[@]}" -p em-bench --bench feature_kernels >/dev/null
 echo "    feature_kernels bench ran"
 
-echo "==> reproduce --bench smoke (small scale, 2 threads)"
+echo "==> em-serve snapshot round-trip gate"
+# Every test whose name mentions snapshots: encode/decode fixed point,
+# bit-identical serving after a save/load round-trip, quarantine-on-corrupt.
+cargo test "${CARGO_FLAGS[@]}" -q -p em-serve snapshot
+echo "    snapshot round-trip ok"
+
+echo "==> reproduce --bench --serve smoke (small scale, 2 threads)"
 BENCH_DIR=$(mktemp -d)
 trap 'rm -rf "$BENCH_DIR"' EXIT
-(cd "$BENCH_DIR" && "$OLDPWD/target/release/reproduce" --bench --threads 2 >/dev/null)
+(cd "$BENCH_DIR" && "$OLDPWD/target/release/reproduce" --bench --serve --threads 2 >/dev/null)
 python3 - "$BENCH_DIR/BENCH_pipeline.json" <<'EOF'
 import json, sys
 
@@ -60,7 +66,7 @@ for stage in doc["stages"]:
         assert isinstance(stage.get(key), kind), f"stage missing {key!r}: {stage}"
     assert stage["wall_ms_1t"] > 0 and stage["wall_ms_nt"] > 0, f"non-positive timing: {stage}"
 names = {stage["name"] for stage in doc["stages"]}
-for required in ("feature_extraction", "feature_kernels"):
+for required in ("feature_extraction", "feature_kernels", "serve_batch", "serve_single"):
     assert required in names, f"stage {required!r} missing from bench JSON (got {sorted(names)})"
 print(f"    BENCH_pipeline.json ok: {len(doc['stages'])} stages, "
       f"combined speedup {doc['combined_speedup']:.2f}x at {doc['threads']} threads")

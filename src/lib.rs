@@ -18,6 +18,9 @@
 //! - [`core`] — the end-to-end pipeline and workflow engine
 //! - [`parallel`] — the deterministic scoped-thread executor behind the
 //!   blocking, feature-extraction, and ML hot loops
+//! - [`serve`] — online matching over frozen workflow snapshots: versioned
+//!   snapshot artifacts, per-arrival and micro-batch serving, bounded
+//!   admission queue
 //!
 //! ## Quickstart
 //!
@@ -43,5 +46,6 @@ pub use em_features as features;
 pub use em_ml as ml;
 pub use em_parallel as parallel;
 pub use em_rules as rules;
+pub use em_serve as serve;
 pub use em_table as table;
 pub use em_text as text;
