@@ -431,8 +431,9 @@ fn bench_pipeline(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     // one-record-at-a-time replay. Both must be thread-count invariant and
     // agree with each other (the em-serve integration tests additionally
     // pin them to the batch pipeline's patch stage).
+    let mut serve_json = String::new();
     if args.serve {
-        use em_serve::MatchService;
+        use em_serve::{MatchService, ProbeScratch, ServeError};
         eprintln!("training the serving artifacts for --serve…");
         let mut cs_cfg =
             if args.paper_scale { CaseStudyConfig::paper() } else { CaseStudyConfig::small() };
@@ -440,6 +441,17 @@ fn bench_pipeline(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         let artifacts = CaseStudy::new(cs_cfg).train_serving_artifacts()?;
         let service = MatchService::from_artifacts(&artifacts)?;
         let extra = &artifacts.extra_umetrics;
+        let mask = service.feature_mask();
+        let (mask_live, mask_total) = (mask.n_live(), mask.len());
+
+        // Cold latency: the very first request against a fresh service and
+        // a fresh scratch — index probes, extractor probe cells, and
+        // scratch buffers all start empty. Everything after this is warm.
+        let mut scratch = ProbeScratch::new();
+        let t_cold = std::time::Instant::now();
+        let cold_outcome = service.match_on_arrival_with(extra, 0, &mut scratch)?;
+        let cold_ms = t_cold.elapsed().as_secs_f64() * 1e3;
+        drop(cold_outcome);
 
         em_parallel::set_threads(1);
         let (b1, sb_1t) = timed(|| service.match_batch(extra));
@@ -455,18 +467,21 @@ fn bench_pipeline(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             ms_nt: sb_nt,
         });
 
-        let run_single = || {
+        // One-at-a-time replay over ONE reused scratch — the steady-state
+        // request loop a deployed service runs, not a fresh allocation per
+        // record.
+        let run_single = |scratch: &mut ProbeScratch| {
             let mut ids = em_core::MatchIds::default();
             for i in 0..extra.n_rows() {
-                ids = ids.union(&service.match_on_arrival(extra, i)?.ids);
+                ids = ids.union(&service.match_on_arrival_with(extra, i, scratch)?.ids);
             }
-            Ok::<_, em_serve::ServeError>(ids)
+            Ok::<_, ServeError>(ids)
         };
         em_parallel::set_threads(1);
-        let (s1, ss_1t) = timed(run_single);
+        let (s1, ss_1t) = timed(|| run_single(&mut scratch));
         let s1 = s1?;
         em_parallel::set_threads(requested);
-        let (sn, ss_nt) = timed(run_single);
+        let (sn, ss_nt) = timed(|| run_single(&mut scratch));
         let sn = sn?;
         assert_eq!(s1, sn, "one-at-a-time serving must be thread-count invariant");
         assert_eq!(s1, bn.ids, "one-at-a-time serving must equal the micro-batch");
@@ -476,6 +491,43 @@ fn bench_pipeline(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             ms_1t: ss_1t,
             ms_nt: ss_nt,
         });
+
+        // Steady-state hot loop: every cache, memo, and buffer is warm and
+        // the feature mask is on — pure per-record probe → block →
+        // featurize → score → rules latency. Candidate counts come from
+        // one untimed accounting pass.
+        let mut cand_total = 0usize;
+        let mut cand_max = 0usize;
+        for i in 0..extra.n_rows() {
+            let o = service.match_on_arrival_with(extra, i, &mut scratch)?;
+            cand_total += o.n_candidates;
+            cand_max = cand_max.max(o.n_candidates);
+        }
+        em_parallel::set_threads(1);
+        let (h1, sh_1t) = timed(|| run_single(&mut scratch));
+        let h1 = h1?;
+        em_parallel::set_threads(requested);
+        let (hn, sh_nt) = timed(|| run_single(&mut scratch));
+        let hn = hn?;
+        assert_eq!(h1, hn, "hot-loop serving must be thread-count invariant");
+        assert_eq!(h1, s1, "hot-loop serving must equal the one-at-a-time replay");
+        stages.push(StageTiming {
+            name: "serve_single_hot",
+            items: extra.n_rows(),
+            ms_1t: sh_1t,
+            ms_nt: sh_nt,
+        });
+
+        let warm_per_record_ms = sh_nt / extra.n_rows().max(1) as f64;
+        println!(
+            "  serve: mask {mask_live}/{mask_total} live, cold first request {cold_ms:.2} ms, \
+             warm {warm_per_record_ms:.3} ms/record, candidates total {cand_total} (max {cand_max})"
+        );
+        serve_json = format!(
+            "  \"serve\": {{\"mask_live\": {mask_live}, \"mask_total\": {mask_total}, \
+             \"cold_first_request_ms\": {cold_ms:.3}, \"warm_per_record_ms\": {warm_per_record_ms:.4}, \
+             \"candidates_total\": {cand_total}, \"candidates_max\": {cand_max}}},\n"
+        );
     }
 
     // Console summary + JSON artifact.
@@ -513,12 +565,19 @@ fn bench_pipeline(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             )
         })
         .collect();
+    // Host parallelism context: what the machine offers vs. what the run
+    // used (`--threads` / `EM_THREADS`), so committed numbers are
+    // interpretable on other hardware.
+    let available = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
     let json = format!(
-        "{{\n  \"scale\": \"{}\",\n  \"seed\": {},\n  \"threads\": {},\n  \"candidate_pairs\": {},\n  \"stages\": [\n{}\n  ],\n  \"total_wall_ms_1t\": {:.3},\n  \"total_wall_ms_nt\": {:.3},\n  \"combined_speedup\": {:.3}\n}}\n",
+        "{{\n  \"scale\": \"{}\",\n  \"seed\": {},\n  \"threads\": {},\n  \"available_parallelism\": {},\n  \"em_threads\": {},\n  \"candidate_pairs\": {},\n{}  \"stages\": [\n{}\n  ],\n  \"total_wall_ms_1t\": {:.3},\n  \"total_wall_ms_nt\": {:.3},\n  \"combined_speedup\": {:.3}\n}}\n",
         args.scale_label(),
         bench_seed,
         requested,
+        available,
+        requested,
         pairs.len(),
+        serve_json,
         stage_json.join(",\n"),
         total_1t,
         total_nt,

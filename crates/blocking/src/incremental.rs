@@ -12,11 +12,84 @@
 //! [`SetMeasure::score`](crate::SetMeasure) f64 expression. A property test
 //! (`tests/incremental_prop.rs`) pins probe results to from-scratch blocking
 //! over the surviving rows under arbitrary interleavings of edits.
+//!
+//! # Filtered probes
+//!
+//! Postings are bucketed by indexed-row token count (`token id → |B| → keys`),
+//! which enables two classic set-similarity filters *during* the postings
+//! walk instead of scoring every row that shares a token:
+//!
+//! - **Length filter**: a bucket whose row size `|B|` can never satisfy the
+//!   probe's threshold (e.g. `|B| < k` for overlap-`k`, or a size for which
+//!   even a full intersection scores below a set-sim threshold) is skipped
+//!   outright.
+//! - **Prefix filter**: query tokens are walked in ascending document
+//!   frequency order. A row first encountered at query position `p` can share
+//!   at most `|A| - p` tokens with the probe, so once that upper bound drops
+//!   below what the threshold requires for a bucket, the walk stops
+//!   *admitting* new rows from that bucket and only increments counts of rows
+//!   already seen. Rare tokens come first, so most admissions happen against
+//!   short postings lists.
+//!
+//! Both filters only prune rows whose final score provably fails the exact
+//! predicate: the admission bound feeds the *same* [`SetMeasure::score`]
+//! expression used by the final filter (monotone in the intersection size),
+//! so no float-boundary case can diverge from the unfiltered scan. The probes
+//! also come in `_into` variants that reuse a caller-owned [`ProbeScratch`]
+//! so a steady-state serving loop performs no allocations.
 
 use crate::blockers::SetMeasure;
 use em_text::intern::{overlap_size_sorted, TokenCache, TokenIds};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
+
+/// Reusable buffers for [`IncrementalIndex`] probes. The maps and vectors
+/// retain their capacity across probes (they are `clear()`ed, not dropped),
+/// so a warmed-up serving loop probes without allocating.
+#[derive(Debug, Default)]
+pub struct ProbeScratch {
+    /// Row key → (indexed row length `|B|`, shared-token count so far).
+    counts: HashMap<usize, (usize, usize)>,
+    /// Query tokens ordered by ascending document frequency.
+    order: Vec<(usize, u32)>,
+}
+
+impl ProbeScratch {
+    /// Fresh scratch with empty buffers.
+    pub fn new() -> ProbeScratch {
+        ProbeScratch::default()
+    }
+}
+
+/// Which predicate(s) a filtered probe admits rows under.
+#[derive(Debug, Clone, Copy)]
+struct ProbeSpec {
+    /// Admit rows sharing at least `k` distinct tokens.
+    overlap_k: Option<usize>,
+    /// Admit rows whose set-similarity reaches the threshold.
+    set_sim: Option<(SetMeasure, f64)>,
+}
+
+impl ProbeSpec {
+    /// True when a row with `inter` shared tokens (of `la` query / `lb` row
+    /// tokens) satisfies at least one predicate. This is the *exact* final
+    /// filter; admission bounds call it with an upper bound on `inter`,
+    /// which is conservative because both predicates are monotone
+    /// nondecreasing in `inter`.
+    fn admits(&self, inter: usize, la: usize, lb: usize) -> bool {
+        if let Some(k) = self.overlap_k {
+            if inter >= k {
+                return true;
+            }
+        }
+        if let Some((measure, threshold)) = self.set_sim {
+            if measure.score(inter, la, lb) >= threshold {
+                return true;
+            }
+        }
+        false
+    }
+}
 
 /// Inverted token index over one text column of an evolving record corpus.
 ///
@@ -29,10 +102,11 @@ pub struct IncrementalIndex {
     cache: Arc<TokenCache>,
     /// Key → distinct sorted token ids of that row's indexed text.
     rows: BTreeMap<usize, TokenIds>,
-    /// Token id → keys of rows containing the token. `BTreeSet` keeps
-    /// postings ordered, so probe output is deterministic irrespective of
-    /// edit history.
-    postings: HashMap<u32, BTreeSet<usize>>,
+    /// Token id → row token count `|B|` → keys of rows of that size
+    /// containing the token. `BTreeSet` keeps postings ordered, so probe
+    /// output is deterministic irrespective of edit history; the size
+    /// bucketing powers the length filter.
+    postings: HashMap<u32, BTreeMap<u32, BTreeSet<usize>>>,
 }
 
 impl IncrementalIndex {
@@ -76,8 +150,9 @@ impl IncrementalIndex {
             return false;
         }
         let ids = self.cache.token_ids(text);
+        let size = ids.len() as u32;
         for &t in ids.iter() {
-            self.postings.entry(t).or_default().insert(key);
+            self.postings.entry(t).or_default().entry(size).or_default().insert(key);
         }
         self.rows.insert(key, ids);
         true
@@ -88,10 +163,16 @@ impl IncrementalIndex {
         let Some(ids) = self.rows.remove(&key) else {
             return false;
         };
+        let size = ids.len() as u32;
         for t in ids.iter() {
-            if let Some(set) = self.postings.get_mut(t) {
-                set.remove(&key);
-                if set.is_empty() {
+            if let Some(buckets) = self.postings.get_mut(t) {
+                if let Some(set) = buckets.get_mut(&size) {
+                    set.remove(&key);
+                    if set.is_empty() {
+                        buckets.remove(&size);
+                    }
+                }
+                if buckets.is_empty() {
                     self.postings.remove(t);
                 }
             }
@@ -105,34 +186,99 @@ impl IncrementalIndex {
         self.insert(key, text);
     }
 
-    /// Counts shared distinct tokens per indexed row, exactly as the batch
-    /// overlap/set-sim blockers do over their inverted index: only rows
-    /// sharing at least one token appear.
-    fn overlap_counts(&self, query: &TokenIds) -> HashMap<usize, usize> {
-        let mut counts: HashMap<usize, usize> = HashMap::new();
-        for t in query.iter() {
-            if let Some(keys) = self.postings.get(t) {
-                for &k in keys {
-                    *counts.entry(k).or_insert(0) += 1;
+    /// Document frequency of a token: how many indexed rows contain it.
+    fn doc_freq(&self, token: u32) -> usize {
+        self.postings.get(&token).map_or(0, |b| b.values().map(BTreeSet::len).sum())
+    }
+
+    /// Filtered postings walk shared by all probes. Admits into `out`
+    /// (ascending key order) every row satisfying `spec` — exactly the rows
+    /// the unfiltered scan admits, with length/prefix filters pruning rows
+    /// that provably cannot pass.
+    fn probe_filtered_into(
+        &self,
+        query: &TokenIds,
+        spec: ProbeSpec,
+        scratch: &mut ProbeScratch,
+        out: &mut Vec<usize>,
+    ) {
+        out.clear();
+        scratch.counts.clear();
+        scratch.order.clear();
+        let la = query.len();
+        if la == 0 {
+            // No postings to walk: rows sharing zero tokens are never
+            // admitted by either predicate's postings semantics.
+            return;
+        }
+        // Prefix filter: rarest tokens first, so new-row admissions scan the
+        // shortest postings lists. Any order yields the same counts; ties
+        // break on token id for determinism of the walk (not of the result).
+        scratch.order.extend(query.iter().map(|&t| (self.doc_freq(t), t)));
+        scratch.order.sort_unstable();
+        for p in 0..la {
+            let (_, token) = scratch.order[p];
+            let Some(buckets) = self.postings.get(&token) else { continue };
+            // A row first seen at query position `p` shares at most
+            // `la - p` query tokens (and never more than its own size).
+            let remaining = la - p;
+            for (&size, keys) in buckets {
+                let lb = size as usize;
+                // Length filter: even a full intersection of this bucket's
+                // rows cannot pass → the bucket never produces candidates.
+                if !spec.admits(remaining.min(lb).min(la), la, lb) {
+                    if !spec.admits(la.min(lb), la, lb) {
+                        // Unadmittable at any position: nothing of this size
+                        // is ever inserted, so nothing needs incrementing.
+                        continue;
+                    }
+                    // Prefix filter: too late to admit new rows of this
+                    // size, but rows admitted earlier still need counting.
+                    for key in keys {
+                        if let Some((_, count)) = scratch.counts.get_mut(key) {
+                            *count += 1;
+                        }
+                    }
+                    continue;
+                }
+                for &key in keys {
+                    let entry = scratch.counts.entry(key).or_insert((lb, 0));
+                    entry.1 += 1;
                 }
             }
         }
-        counts
+        out.extend(
+            scratch
+                .counts
+                .iter()
+                .filter(|&(_, &(lb, count))| spec.admits(count, la, lb))
+                .map(|(&key, _)| key),
+        );
+        out.sort_unstable();
     }
 
     /// Keys of rows sharing at least `k` distinct tokens with `text`, in
     /// ascending key order — [`OverlapBlocker`](crate::OverlapBlocker)
     /// semantics for one probe record.
     pub fn probe_overlap(&self, text: Option<&str>, k: usize) -> Vec<usize> {
+        let mut scratch = ProbeScratch::new();
+        let mut out = Vec::new();
+        self.probe_overlap_into(text, k, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`probe_overlap`](IncrementalIndex::probe_overlap) into reusable
+    /// buffers: `out` receives the keys, `scratch` is reused across probes.
+    pub fn probe_overlap_into(
+        &self,
+        text: Option<&str>,
+        k: usize,
+        scratch: &mut ProbeScratch,
+        out: &mut Vec<usize>,
+    ) {
         let query = self.cache.token_ids(text);
-        let mut keys: Vec<usize> = self
-            .overlap_counts(&query)
-            .into_iter()
-            .filter(|&(_, c)| c >= k)
-            .map(|(key, _)| key)
-            .collect();
-        keys.sort_unstable();
-        keys
+        let spec = ProbeSpec { overlap_k: Some(k), set_sim: None };
+        self.probe_filtered_into(&query, spec, scratch, out);
     }
 
     /// Keys of rows whose set-similarity with `text` reaches `threshold`,
@@ -145,20 +291,45 @@ impl IncrementalIndex {
         measure: SetMeasure,
         threshold: f64,
     ) -> Vec<usize> {
+        let mut scratch = ProbeScratch::new();
+        let mut out = Vec::new();
+        self.probe_set_sim_into(text, measure, threshold, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`probe_set_sim`](IncrementalIndex::probe_set_sim) into reusable
+    /// buffers.
+    pub fn probe_set_sim_into(
+        &self,
+        text: Option<&str>,
+        measure: SetMeasure,
+        threshold: f64,
+        scratch: &mut ProbeScratch,
+        out: &mut Vec<usize>,
+    ) {
         let query = self.cache.token_ids(text);
-        if query.is_empty() {
-            return Vec::new();
-        }
-        let mut keys: Vec<usize> = self
-            .overlap_counts(&query)
-            .into_iter()
-            .filter(|&(key, inter)| {
-                measure.score(inter, query.len(), self.rows[&key].len()) >= threshold
-            })
-            .map(|(key, _)| key)
-            .collect();
-        keys.sort_unstable();
-        keys
+        let spec = ProbeSpec { overlap_k: None, set_sim: Some((measure, threshold)) };
+        self.probe_filtered_into(&query, spec, scratch, out);
+    }
+
+    /// Union probe: keys of rows sharing at least `k` distinct tokens with
+    /// `text` **or** whose set-similarity reaches `threshold`, in ascending
+    /// key order. One postings walk replaces the two walks of
+    /// [`probe_overlap`](IncrementalIndex::probe_overlap) +
+    /// [`probe_set_sim`](IncrementalIndex::probe_set_sim); the result equals
+    /// the union of the two (pinned by `tests/incremental_prop.rs`).
+    pub fn probe_union_into(
+        &self,
+        text: Option<&str>,
+        k: usize,
+        measure: SetMeasure,
+        threshold: f64,
+        scratch: &mut ProbeScratch,
+        out: &mut Vec<usize>,
+    ) {
+        let query = self.cache.token_ids(text);
+        let spec = ProbeSpec { overlap_k: Some(k), set_sim: Some((measure, threshold)) };
+        self.probe_filtered_into(&query, spec, scratch, out);
     }
 
     /// Reference probe, for differential testing: recomputes each overlap
@@ -169,6 +340,30 @@ impl IncrementalIndex {
         self.rows
             .iter()
             .filter(|(_, ids)| overlap_size_sorted(&query, ids) >= k)
+            .map(|(&key, _)| key)
+            .collect()
+    }
+
+    /// Reference set-sim probe, for differential testing: scores every
+    /// stored row with the exact [`SetMeasure::score`] expression over a
+    /// full linear-merge intersection (rows sharing zero tokens are skipped,
+    /// matching the postings-walk semantics; an empty probe admits nothing).
+    pub fn probe_set_sim_scan(
+        &self,
+        text: Option<&str>,
+        measure: SetMeasure,
+        threshold: f64,
+    ) -> Vec<usize> {
+        let query = self.cache.token_ids(text);
+        if query.is_empty() {
+            return Vec::new();
+        }
+        self.rows
+            .iter()
+            .filter(|(_, ids)| {
+                let inter = overlap_size_sorted(&query, ids);
+                inter > 0 && measure.score(inter, query.len(), ids.len()) >= threshold
+            })
             .map(|(&key, _)| key)
             .collect()
     }
@@ -261,5 +456,53 @@ mod tests {
                 assert_eq!(idx.probe_overlap(probe, k), idx.probe_overlap_scan(probe, k));
             }
         }
+    }
+
+    #[test]
+    fn set_sim_probe_agrees_with_scan_probe() {
+        let mut idx = sample();
+        idx.insert(7, Some("corn genetics lab"));
+        idx.insert(8, Some("corn"));
+        for threshold in [0.01, 0.3, 0.5, 0.99] {
+            for measure in [SetMeasure::OverlapCoefficient, SetMeasure::Jaccard] {
+                for probe in [Some("corn fungicide lab supplies"), Some("corn"), None] {
+                    assert_eq!(
+                        idx.probe_set_sim(probe, measure, threshold),
+                        idx.probe_set_sim_scan(probe, measure, threshold),
+                        "measure={measure:?} threshold={threshold} probe={probe:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn union_probe_equals_union_of_probes() {
+        let idx = sample();
+        let mut scratch = ProbeScratch::new();
+        let mut out = Vec::new();
+        for probe in [Some("corn fungicide lab supplies development"), Some("corn"), None] {
+            idx.probe_union_into(probe, 3, SetMeasure::OverlapCoefficient, 0.7, &mut scratch, &mut out);
+            let mut expect = idx.probe_overlap(probe, 3);
+            expect.extend(idx.probe_set_sim(probe, SetMeasure::OverlapCoefficient, 0.7));
+            expect.sort_unstable();
+            expect.dedup();
+            assert_eq!(out, expect, "probe={probe:?}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_probe_independent() {
+        let idx = sample();
+        let mut scratch = ProbeScratch::new();
+        let mut out = Vec::new();
+        // A big probe warms the buffers; a later unrelated probe must not
+        // see stale counts.
+        idx.probe_overlap_into(Some("corn fungicide guidelines development of"), 1, &mut scratch, &mut out);
+        assert!(!out.is_empty());
+        idx.probe_overlap_into(Some("swamp dodder"), 2, &mut scratch, &mut out);
+        assert_eq!(out, vec![1]);
+        idx.probe_overlap_into(None, 1, &mut scratch, &mut out);
+        assert!(out.is_empty());
     }
 }

@@ -36,4 +36,4 @@ pub use blockers::{
 pub use candidate::{CandidateSet, Pair};
 pub use debugger::{debug_blocking, BlockingDebugger, DebugPair};
 pub use error::BlockError;
-pub use incremental::IncrementalIndex;
+pub use incremental::{IncrementalIndex, ProbeScratch};

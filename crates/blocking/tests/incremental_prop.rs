@@ -4,7 +4,7 @@
 //! a table of the surviving rows.
 
 use em_blocking::blockers::{Blocker, OverlapBlocker, SetSimBlocker};
-use em_blocking::{IncrementalIndex, SetMeasure};
+use em_blocking::{IncrementalIndex, ProbeScratch, SetMeasure};
 use em_table::{Schema, Table, Value};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -128,6 +128,54 @@ proptest! {
         let batch = blocker.block(&left, &corpus).unwrap();
         let expected: Vec<usize> = batch.iter().map(|p| keys[p.right]).collect();
         prop_assert_eq!(idx.probe_set_sim(probe.as_deref(), measure, t), expected);
+    }
+
+    /// The filtered postings probes (length + frequency-ordered prefix
+    /// filters over size-bucketed postings) return exactly the candidate set
+    /// of the unfiltered full scan, for both probe kinds, across thresholds
+    /// — including under a single reused [`ProbeScratch`].
+    #[test]
+    fn filtered_probes_equal_unfiltered_scan(
+        ops in proptest::collection::vec(op(), 0..25),
+        probes in proptest::collection::vec(title(), 1..4),
+        k in 1usize..5,
+        t in prop_oneof![Just(0.3), Just(0.5), Just(0.7), Just(1.0)],
+        jaccard in any::<bool>(),
+    ) {
+        let (idx, _) = run_ops(&ops);
+        let measure = if jaccard { SetMeasure::Jaccard } else { SetMeasure::OverlapCoefficient };
+        let mut scratch = ProbeScratch::new();
+        let mut out = Vec::new();
+        // Consecutive probes share one scratch: stale state would show up
+        // as a mismatch on the second or third probe.
+        for probe in &probes {
+            idx.probe_overlap_into(probe.as_deref(), k, &mut scratch, &mut out);
+            prop_assert_eq!(&out, &idx.probe_overlap_scan(probe.as_deref(), k));
+            idx.probe_set_sim_into(probe.as_deref(), measure, t, &mut scratch, &mut out);
+            prop_assert_eq!(&out, &idx.probe_set_sim_scan(probe.as_deref(), measure, t));
+        }
+    }
+
+    /// The single-walk union probe equals the union of the two individual
+    /// probes (the serve path replaces its two C2/C3 walks with one).
+    #[test]
+    fn union_probe_equals_union_of_individual_probes(
+        ops in proptest::collection::vec(op(), 0..25),
+        probe in title(),
+        k in 1usize..4,
+        t in prop_oneof![Just(0.3), Just(0.5), Just(0.7), Just(1.0)],
+        jaccard in any::<bool>(),
+    ) {
+        let (idx, _) = run_ops(&ops);
+        let measure = if jaccard { SetMeasure::Jaccard } else { SetMeasure::OverlapCoefficient };
+        let mut scratch = ProbeScratch::new();
+        let mut out = Vec::new();
+        idx.probe_union_into(probe.as_deref(), k, measure, t, &mut scratch, &mut out);
+        let mut expected = idx.probe_overlap(probe.as_deref(), k);
+        expected.extend(idx.probe_set_sim(probe.as_deref(), measure, t));
+        expected.sort_unstable();
+        expected.dedup();
+        prop_assert_eq!(out, expected);
     }
 
     /// An index rebuilt from the surviving rows is observationally equal to

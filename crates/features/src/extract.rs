@@ -40,7 +40,7 @@ const PARALLEL_THRESHOLD: usize = 20_000;
 
 /// The set measure an interned feature computes on sorted id lists.
 #[derive(Debug, Clone, Copy)]
-enum SetOp {
+pub(crate) enum SetOp {
     Jaccard,
     Cosine,
     OverlapCoeff,
@@ -56,11 +56,25 @@ impl SetOp {
             SetOp::Dice => intern::dice_sorted(a, b),
         }
     }
+
+    /// Same measure from `(|A∩B|, |A|, |B|)` counts. The `*_sorted`
+    /// functions delegate to the `*_counts` functions, so this is the
+    /// identical f64 expression [`SetOp::score`] evaluates — the serve
+    /// extractor scores candidates against probe cells whose unknown tokens
+    /// only contribute to `|A|`.
+    pub(crate) fn score_counts(self, inter: usize, la: usize, lb: usize) -> f64 {
+        match self {
+            SetOp::Jaccard => intern::jaccard_counts(inter, la, lb),
+            SetOp::Cosine => intern::cosine_counts(inter, la, lb),
+            SetOp::OverlapCoeff => intern::overlap_coefficient_counts(inter, la, lb),
+            SetOp::Dice => intern::dice_counts(inter, la, lb),
+        }
+    }
 }
 
 /// Which feature kinds run on interned ids, and how they tokenize
 /// (`true` → 3-grams, `false` → word tokens).
-fn set_op(kind: FeatureKind) -> Option<(bool, SetOp)> {
+pub(crate) fn set_op(kind: FeatureKind) -> Option<(bool, SetOp)> {
     match kind {
         FeatureKind::JaccardWord => Some((false, SetOp::Jaccard)),
         FeatureKind::CosineWord => Some((false, SetOp::Cosine)),
@@ -74,7 +88,7 @@ fn set_op(kind: FeatureKind) -> Option<(bool, SetOp)> {
 /// The character-level measure a sequence feature computes on cached,
 /// pre-decoded cells.
 #[derive(Debug, Clone, Copy)]
-enum SeqOp {
+pub(crate) enum SeqOp {
     Exact,
     LevSim,
     Jaro,
@@ -89,7 +103,7 @@ enum SeqOp {
 /// `em_text::set::monge_elkan`, with the inner measure resolved through the
 /// call-wide word table instead of re-deriving it from `&str` every call.
 /// Same iteration order, same fold, same mean: bit-identical results.
-fn monge_elkan_ids(a: &[u32], b: &[u32], inner: &mut impl FnMut(u32, u32) -> f64) -> f64 {
+pub(crate) fn monge_elkan_ids(a: &[u32], b: &[u32], inner: &mut impl FnMut(u32, u32) -> f64) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
@@ -106,7 +120,7 @@ fn monge_elkan_ids(a: &[u32], b: &[u32], inner: &mut impl FnMut(u32, u32) -> f64
 /// Symmetric mean of both directed scores, mirroring
 /// `em_text::set::monge_elkan_sym` (argument order of the second direction
 /// included, so inner memo keys stay call-order faithful).
-fn monge_elkan_sym_ids(a: &[u32], b: &[u32], mut inner: impl FnMut(u32, u32) -> f64) -> f64 {
+pub(crate) fn monge_elkan_sym_ids(a: &[u32], b: &[u32], mut inner: impl FnMut(u32, u32) -> f64) -> f64 {
     (monge_elkan_ids(a, b, &mut inner) + monge_elkan_ids(b, a, &mut inner)) / 2.0
 }
 
@@ -163,7 +177,7 @@ impl SeqOp {
 }
 
 /// Which feature kinds run on the normalization cache.
-fn seq_op(kind: FeatureKind) -> Option<SeqOp> {
+pub(crate) fn seq_op(kind: FeatureKind) -> Option<SeqOp> {
     match kind {
         FeatureKind::ExactStr => Some(SeqOp::Exact),
         FeatureKind::LevSim => Some(SeqOp::LevSim),
@@ -182,26 +196,35 @@ fn seq_op(kind: FeatureKind) -> Option<SeqOp> {
 /// ids mean equal normalized strings across both tables and all plans —
 /// so it doubles as the exact-match answer and the pair-memo key.
 #[derive(Clone)]
-struct NormCell {
-    sid: u32,
-    chars: Arc<[char]>,
-    word_ids: Arc<[u32]>,
+pub(crate) struct NormCell {
+    pub(crate) sid: u32,
+    pub(crate) chars: Arc<[char]>,
+    pub(crate) word_ids: Arc<[u32]>,
 }
 
 /// One distinct word across the whole call: chars decoded once for the
 /// Monge-Elkan inner Jaro-Winkler, Soundex code computed once for the inner
 /// phonetic measure (`None` = no letters, scores 0 against everything).
-struct WordData {
-    chars: Arc<[char]>,
-    sdx: Option<[u8; 4]>,
+pub(crate) struct WordData {
+    pub(crate) chars: Arc<[char]>,
+    pub(crate) sdx: Option<[u8; 4]>,
+}
+
+/// Word-level Soundex code in the fixed-width form [`WordTable`] stores:
+/// `None` when the word has no letters (scores 0 against everything).
+pub(crate) fn soundex_code(w: &str) -> Option<[u8; 4]> {
+    phonetic::soundex(w).map(|code| {
+        let b = code.into_bytes();
+        [b[0], b[1], b[2], b[3]]
+    })
 }
 
 /// Call-wide word interner: every distinct word token is decoded and
 /// Soundex-encoded exactly once, shared by all Monge-Elkan features.
 #[derive(Default)]
-struct WordTable {
-    index: FastMap<String, u32>,
-    data: Vec<WordData>,
+pub(crate) struct WordTable {
+    pub(crate) index: FastMap<String, u32>,
+    pub(crate) data: Vec<WordData>,
 }
 
 impl WordTable {
@@ -210,11 +233,7 @@ impl WordTable {
             return id;
         }
         let id = u32::try_from(self.data.len()).expect("more than u32::MAX distinct words");
-        let sdx = phonetic::soundex(w).map(|code| {
-            let b = code.into_bytes();
-            [b[0], b[1], b[2], b[3]]
-        });
-        self.data.push(WordData { chars: w.chars().collect(), sdx });
+        self.data.push(WordData { chars: w.chars().collect(), sdx: soundex_code(w) });
         self.index.insert(w.to_string(), id);
         id
     }
@@ -235,6 +254,27 @@ struct SeqCaches {
     feature_plan: Vec<Option<(usize, SeqOp)>>,
     columns: Vec<NormColumns>,
     words: Vec<WordData>,
+}
+
+/// Memoized normalization of one already-rendered (and lowercased, when the
+/// plan asks) string: string id, decoded chars, interned word ids. Shared
+/// by the batch cache build and the serve extractor's corpus-push path so
+/// both produce the same cells for the same memo/word-table state.
+pub(crate) fn norm_cell(
+    s: String,
+    memo: &mut FastMap<String, NormCell>,
+    words: &mut WordTable,
+) -> NormCell {
+    if let Some(cell) = memo.get(&s) {
+        return cell.clone();
+    }
+    let sid = u32::try_from(memo.len()).expect("more than u32::MAX distinct strings");
+    let chars: Arc<[char]> = s.chars().collect();
+    let word_ids: Arc<[u32]> =
+        AlphanumericTokenizer.tokenize(&s).iter().map(|w| words.intern(w)).collect();
+    let cell = NormCell { sid, chars, word_ids };
+    memo.insert(s, cell.clone());
+    cell
 }
 
 fn normalize_col(
@@ -267,19 +307,7 @@ fn normalize_col(
                     s = s.to_lowercase();
                 }
             }
-            if let Some(cell) = memo.get(&s) {
-                return Some(cell.clone());
-            }
-            let sid = u32::try_from(memo.len()).expect("more than u32::MAX distinct strings");
-            let chars: Arc<[char]> = s.chars().collect();
-            let word_ids: Arc<[u32]> = AlphanumericTokenizer
-                .tokenize(&s)
-                .iter()
-                .map(|w| words.intern(w))
-                .collect();
-            let cell = NormCell { sid, chars, word_ids };
-            memo.insert(s, cell.clone());
-            Some(cell)
+            Some(norm_cell(s, memo, words))
         })
         .collect()
 }
@@ -375,7 +403,7 @@ struct SetCaches {
 /// from one shared counter preserve token identity exactly as a single
 /// string interner would.
 #[derive(Default)]
-struct PlanInterner {
+pub(crate) struct PlanInterner {
     grams: FastMap<[char; 3], u32>,
     strings: FastMap<String, u32>,
     next: u32,
@@ -399,6 +427,48 @@ impl PlanInterner {
         self.strings.insert(s.to_string(), id);
         id
     }
+
+    /// Read-only gram lookup (serve probe cells never grow the interner).
+    pub(crate) fn get_gram(&self, g: [char; 3]) -> Option<u32> {
+        self.grams.get(&g).copied()
+    }
+
+    /// Read-only string/word lookup.
+    pub(crate) fn get_string(&self, s: &str) -> Option<u32> {
+        self.strings.get(s).copied()
+    }
+}
+
+/// Tokenizes one normalized string under a plan (`qgram` → 3-gram windows,
+/// else word tokens) into **sorted distinct** interned ids — the exact
+/// token stream `tokenize_col` produces per row. `cbuf` is a reusable char
+/// buffer. Shared with the serve extractor's corpus-push path.
+pub(crate) fn plan_tokenize(
+    s: &str,
+    qgram: bool,
+    interner: &mut PlanInterner,
+    cbuf: &mut Vec<char>,
+) -> Vec<u32> {
+    let mut ids: Vec<u32> = if qgram {
+        // The exact token stream of `QgramTokenizer::new(3)` (empty → none,
+        // shorter than q → the whole string, else char windows), with each
+        // gram interned straight from its window — no `String` is ever
+        // built per gram.
+        cbuf.clear();
+        cbuf.extend(s.chars());
+        if cbuf.is_empty() {
+            Vec::new()
+        } else if cbuf.len() < 3 {
+            vec![interner.string(s)]
+        } else {
+            cbuf.windows(3).map(|w| interner.gram([w[0], w[1], w[2]])).collect()
+        }
+    } else {
+        AlphanumericTokenizer.tokenize(s).iter().map(|tok| interner.string(tok)).collect()
+    };
+    ids.sort_unstable();
+    ids.dedup();
+    ids
 }
 
 fn tokenize_col(
@@ -436,26 +506,7 @@ fn tokenize_col(
             if let Some(ids) = memo.get(&s) {
                 return Some(Arc::clone(ids));
             }
-            let mut ids: Vec<u32> = if qgram {
-                // The exact token stream of `QgramTokenizer::new(3)`
-                // (empty → none, shorter than q → the whole string, else
-                // char windows), with each gram interned straight from its
-                // window — no `String` is ever built per gram.
-                cbuf.clear();
-                cbuf.extend(s.chars());
-                if cbuf.is_empty() {
-                    Vec::new()
-                } else if cbuf.len() < 3 {
-                    vec![interner.string(&s)]
-                } else {
-                    cbuf.windows(3).map(|w| interner.gram([w[0], w[1], w[2]])).collect()
-                }
-            } else {
-                AlphanumericTokenizer.tokenize(&s).iter().map(|tok| interner.string(tok)).collect()
-            };
-            ids.sort_unstable();
-            ids.dedup();
-            let ids: TokenIds = Arc::from(ids);
+            let ids: TokenIds = Arc::from(plan_tokenize(&s, qgram, interner, &mut cbuf));
             memo.insert(s, Arc::clone(&ids));
             Some(ids)
         })

@@ -27,9 +27,11 @@
 pub mod extract;
 pub mod feature;
 pub mod generate;
+pub mod serve;
 pub mod types;
 
 pub use extract::extract_vectors;
 pub use feature::{Feature, FeatureKind};
 pub use generate::{auto_features, FeatureOptions, FeatureSet};
+pub use serve::{ExtractScratch, FeatureMask, ServeExtractor};
 pub use types::{infer_attr_type, joint_attr_type, AttrType};

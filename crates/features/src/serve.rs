@@ -1,0 +1,776 @@
+//! Serve-path feature extraction: persistent corpus caches, model-aware
+//! feature masks, and per-request scratch.
+//!
+//! [`extract_vectors`](crate::extract_vectors) is built for batch calls: it
+//! (re)builds its tokenization and normalization caches for **every** call,
+//! walking all rows of both tables per plan. That amortizes beautifully over
+//! tens of thousands of candidate pairs and is catastrophic for an online
+//! service extracting ~a dozen candidates per arriving record — per-record
+//! cost becomes `O(corpus × plans)` regardless of how few pairs survive
+//! blocking.
+//!
+//! [`ServeExtractor`] flips the lifecycle: the corpus-side caches (interned
+//! token-id lists per set plan, normalized cells + the word table for the
+//! sequence plans) are built **once** and grown row-by-row via
+//! [`push_right_row`](ServeExtractor::push_right_row) as the corpus evolves.
+//! A request then only normalizes the single arriving record into a
+//! [`ExtractScratch`]-backed probe cell ([`prepare`](ServeExtractor::prepare),
+//! once per record), and each surviving candidate is scored against the
+//! pre-tokenized corpus row with zero allocations
+//! ([`extract_into`](ServeExtractor::extract_into)).
+//!
+//! Bit-identity with the batch path holds feature-by-feature:
+//!
+//! - Set measures depend only on `(|A∩B|, |A|, |B|)`. Probe tokens are
+//!   looked up **read-only** in the persistent per-plan interner; a token
+//!   the corpus has never produced can intersect nothing, so it contributes
+//!   to `|A|` only. The score then runs through the same `*_counts`
+//!   functions the batch `*_sorted` measures delegate to — the identical
+//!   f64 expression on identical integers.
+//! - Sequence kernels run on the same decoded `&[char]` content through the
+//!   same `em_text::seq` kernels; exact-match compares interned string ids,
+//!   where a probe string absent from the persistent memo equals no corpus
+//!   string by construction.
+//! - Monge-Elkan folds through the same
+//!   [`monge_elkan_sym_ids`](crate::extract::monge_elkan_sym_ids) shape with
+//!   inner measures resolved over the persistent word table (probe-only
+//!   words get request-local entries).
+//!
+//! A [`FeatureMask`] (derived from the fitted model's split walk plus the
+//! rule-referenced attribute pairs — see `em-serve`) prunes extraction to
+//! the features the downstream scorer can actually read; dead slots are
+//! filled with `NaN`, which mean-imputation maps to an unread column mean.
+
+use crate::extract::{
+    monge_elkan_sym_ids, norm_cell, plan_tokenize, set_op, seq_op, soundex_code, NormCell,
+    PlanInterner, SeqOp, SetOp, WordTable,
+};
+use crate::generate::FeatureSet;
+use em_table::{Table, TableError, Value};
+use em_text::intern::{overlap_size_sorted, TokenIds};
+use em_text::tokenize::{AlphanumericTokenizer, Tokenizer};
+use em_text::{seq, with_scratch, FastMap};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which features of a plan are *live* — actually read by the fitted model
+/// or a rule-referenced attribute pair. Dead features are skipped at serve
+/// time and their slots filled with `NaN`.
+#[derive(Debug, Clone)]
+pub struct FeatureMask {
+    live: Vec<bool>,
+    n_live: usize,
+}
+
+impl FeatureMask {
+    /// A mask over `n_features` slots with exactly the given indices live.
+    /// Out-of-range indices are ignored.
+    pub fn from_live_indices(
+        n_features: usize,
+        indices: impl IntoIterator<Item = usize>,
+    ) -> FeatureMask {
+        let mut live = vec![false; n_features];
+        for i in indices {
+            if let Some(slot) = live.get_mut(i) {
+                *slot = true;
+            }
+        }
+        let n_live = live.iter().filter(|&&b| b).count();
+        FeatureMask { live, n_live }
+    }
+
+    /// The mask that keeps every feature — batch semantics.
+    pub fn full(n_features: usize) -> FeatureMask {
+        FeatureMask { live: vec![true; n_features], n_live: n_features }
+    }
+
+    /// True when feature `k` must be computed.
+    pub fn is_live(&self, k: usize) -> bool {
+        self.live.get(k).copied().unwrap_or(false)
+    }
+
+    /// Number of live features.
+    pub fn n_live(&self) -> usize {
+        self.n_live
+    }
+
+    /// Total number of feature slots.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True when the mask has no slots at all.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// True when at least one feature is dead — masking actually prunes.
+    pub fn is_strict_subset(&self) -> bool {
+        self.n_live < self.live.len()
+    }
+
+    /// Iterates the live feature indices in ascending order.
+    pub fn live_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.live.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i)
+    }
+}
+
+/// Encoded word reference: plain ids index the persistent word table;
+/// ids with [`LOCAL_BIT`] set index the request-local words of the probe
+/// cell (words the corpus has never produced).
+const LOCAL_BIT: u32 = 1 << 31;
+
+/// A probe-only word: decoded chars + Soundex code, request-local.
+#[derive(Debug, Default, Clone)]
+struct LocalWord {
+    chars: Vec<char>,
+    sdx: Option<[u8; 4]>,
+}
+
+/// Per-request probe cell of one set plan.
+#[derive(Debug, Default)]
+struct SetProbeCell {
+    present: bool,
+    /// Sorted distinct *known* token ids (plan-interner space).
+    ids: Vec<u32>,
+    /// Distinct probe tokens, known + unknown — `|A|` for the measures.
+    la: usize,
+}
+
+/// Per-request probe cell of one sequence plan.
+#[derive(Debug, Default)]
+struct SeqProbeCell {
+    present: bool,
+    /// Persistent string id when the normalized probe string is one the
+    /// corpus has produced; `None` means it equals no corpus string.
+    sid: Option<u32>,
+    chars: Vec<char>,
+    /// Encoded word ids ([`LOCAL_BIT`] marks request-local words).
+    word_ids: Vec<u32>,
+    locals: Vec<LocalWord>,
+}
+
+/// Reusable per-request buffers for [`ServeExtractor`]. All contained
+/// collections retain capacity across requests (`clear()`, not drop), so a
+/// warmed-up serving loop prepares probes and extracts candidates without
+/// allocating.
+#[derive(Default)]
+pub struct ExtractScratch {
+    set_left: Vec<SetProbeCell>,
+    seq_left: Vec<SeqProbeCell>,
+    /// Per-feature left column index in the arrival table's schema.
+    fallback_left: Vec<usize>,
+    /// Request-scoped inner Jaro-Winkler memo, keyed on ordered encoded
+    /// word-id pairs (cleared per request: local ids are request-scoped).
+    jw: FastMap<(u32, u32), f64>,
+    cbuf: Vec<char>,
+    ugrams: Vec<[char; 3]>,
+    ustrings: Vec<String>,
+}
+
+impl ExtractScratch {
+    /// Fresh scratch with empty buffers.
+    pub fn new() -> ExtractScratch {
+        ExtractScratch::default()
+    }
+}
+
+impl std::fmt::Debug for ExtractScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExtractScratch")
+            .field("set_plans", &self.set_left.len())
+            .field("seq_plans", &self.seq_left.len())
+            .field("jw_memo", &self.jw.len())
+            .finish()
+    }
+}
+
+/// Persistent state of one tokenization plan (set features).
+struct SetPlan {
+    left_attr: String,
+    right_col: usize,
+    qgram: bool,
+    lowercase: bool,
+    interner: PlanInterner,
+    memo: FastMap<String, TokenIds>,
+    /// Per corpus row: sorted distinct token ids, `None` for null cells.
+    right: Vec<Option<TokenIds>>,
+}
+
+/// Persistent state of one normalization plan (sequence features).
+struct SeqPlan {
+    left_attr: String,
+    right_col: usize,
+    lowercase: bool,
+    /// Per corpus row: normalized cell, `None` for null cells.
+    right: Vec<Option<NormCell>>,
+}
+
+/// Persistent serve-side feature extractor over an evolving corpus.
+///
+/// Construction tokenizes/normalizes every corpus row once;
+/// [`push_right_row`](ServeExtractor::push_right_row) grows the caches in
+/// place as records are admitted. Requests are read-only (`&self`), so a
+/// service can extract from multiple threads without locking.
+pub struct ServeExtractor {
+    features: FeatureSet,
+    /// Per feature: column index in the corpus schema.
+    right_idx: Vec<usize>,
+    set_route: Vec<Option<(usize, SetOp)>>,
+    seq_route: Vec<Option<(usize, SeqOp)>>,
+    set_plans: Vec<SetPlan>,
+    seq_plans: Vec<SeqPlan>,
+    /// One memo + word table spans all sequence plans, so string ids are
+    /// global: sid equality ⇔ string equality everywhere.
+    seq_memo: FastMap<String, NormCell>,
+    words: WordTable,
+    n_rows: usize,
+    /// Push-side char buffer.
+    cbuf: Vec<char>,
+}
+
+impl std::fmt::Debug for ServeExtractor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeExtractor")
+            .field("n_features", &self.features.len())
+            .field("set_plans", &self.set_plans.len())
+            .field("seq_plans", &self.seq_plans.len())
+            .field("n_rows", &self.n_rows)
+            .finish()
+    }
+}
+
+impl ServeExtractor {
+    /// Builds the extractor for `features` over the current `corpus`
+    /// (right-side) rows. Fails if a feature references a column absent
+    /// from the corpus schema.
+    pub fn new(features: &FeatureSet, corpus: &Table) -> Result<ServeExtractor, TableError> {
+        let mut right_idx = Vec::with_capacity(features.len());
+        for f in &features.features {
+            right_idx.push(corpus.schema().require(&f.right_attr)?);
+        }
+        let mut set_index: HashMap<(String, usize, bool, bool), usize> = HashMap::new();
+        let mut seq_index: HashMap<(String, usize, bool), usize> = HashMap::new();
+        let mut set_plans: Vec<SetPlan> = Vec::new();
+        let mut seq_plans: Vec<SeqPlan> = Vec::new();
+        let mut set_route = Vec::with_capacity(features.len());
+        let mut seq_route = Vec::with_capacity(features.len());
+        for (k, f) in features.features.iter().enumerate() {
+            if let Some((qgram, op)) = set_op(f.kind) {
+                let key = (f.left_attr.clone(), right_idx[k], qgram, f.lowercase);
+                let plan = *set_index.entry(key).or_insert_with(|| {
+                    set_plans.push(SetPlan {
+                        left_attr: f.left_attr.clone(),
+                        right_col: right_idx[k],
+                        qgram,
+                        lowercase: f.lowercase,
+                        interner: PlanInterner::default(),
+                        memo: FastMap::default(),
+                        right: Vec::new(),
+                    });
+                    set_plans.len() - 1
+                });
+                set_route.push(Some((plan, op)));
+            } else {
+                set_route.push(None);
+            }
+            if let Some(op) = seq_op(f.kind) {
+                let key = (f.left_attr.clone(), right_idx[k], f.lowercase);
+                let plan = *seq_index.entry(key).or_insert_with(|| {
+                    seq_plans.push(SeqPlan {
+                        left_attr: f.left_attr.clone(),
+                        right_col: right_idx[k],
+                        lowercase: f.lowercase,
+                        right: Vec::new(),
+                    });
+                    seq_plans.len() - 1
+                });
+                seq_route.push(Some((plan, op)));
+            } else {
+                seq_route.push(None);
+            }
+        }
+        let mut ex = ServeExtractor {
+            features: features.clone(),
+            right_idx,
+            set_route,
+            seq_route,
+            set_plans,
+            seq_plans,
+            seq_memo: FastMap::default(),
+            words: WordTable::default(),
+            n_rows: 0,
+            cbuf: Vec::new(),
+        };
+        for row in corpus.rows() {
+            ex.push_right_row(row);
+        }
+        Ok(ex)
+    }
+
+    /// Number of corpus rows currently cached.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// The feature plan this extractor serves.
+    pub fn features(&self) -> &FeatureSet {
+        &self.features
+    }
+
+    /// Tokenizes/normalizes one newly-admitted corpus row into every plan's
+    /// cache. Must be called for corpus rows in order (row `n_rows` next).
+    pub fn push_right_row(&mut self, row: &[Value]) {
+        for plan in &mut self.set_plans {
+            let v: &Value = &row[plan.right_col];
+            let cell = if v.is_null() {
+                None
+            } else {
+                let mut s = v.render();
+                if plan.lowercase {
+                    // Allow-listed cache-build site: once per admitted row.
+                    #[allow(clippy::disallowed_methods)]
+                    {
+                        s = s.to_lowercase();
+                    }
+                }
+                Some(match plan.memo.get(&s) {
+                    Some(ids) => Arc::clone(ids),
+                    None => {
+                        let ids: TokenIds =
+                            Arc::from(plan_tokenize(&s, plan.qgram, &mut plan.interner, &mut self.cbuf));
+                        plan.memo.insert(s, Arc::clone(&ids));
+                        ids
+                    }
+                })
+            };
+            plan.right.push(cell);
+        }
+        for plan in &mut self.seq_plans {
+            let v: &Value = &row[plan.right_col];
+            let cell = if v.is_null() {
+                None
+            } else {
+                let mut s = v.render();
+                if plan.lowercase {
+                    // Allow-listed cache-build site: once per admitted row.
+                    #[allow(clippy::disallowed_methods)]
+                    {
+                        s = s.to_lowercase();
+                    }
+                }
+                Some(norm_cell(s, &mut self.seq_memo, &mut self.words))
+            };
+            plan.right.push(cell);
+        }
+        self.n_rows += 1;
+    }
+
+    /// Normalizes the arriving record `arrivals[i]` into `scratch`'s probe
+    /// cells — once per request, before any candidate is scored. Persistent
+    /// state is only *read*: probe tokens and words absent from the corpus
+    /// caches become request-local entries. Fails if a feature's left
+    /// column is absent from the arrival schema or `i` is out of range.
+    pub fn prepare(
+        &self,
+        arrivals: &Table,
+        i: usize,
+        scratch: &mut ExtractScratch,
+    ) -> Result<(), TableError> {
+        let row = arrivals.rows().get(i).ok_or_else(|| TableError::KeyViolation {
+            column: "arrival".to_string(),
+            detail: format!("row {i} out of range"),
+        })?;
+        scratch.set_left.resize_with(self.set_plans.len(), SetProbeCell::default);
+        scratch.seq_left.resize_with(self.seq_plans.len(), SeqProbeCell::default);
+        scratch.fallback_left.clear();
+        for f in &self.features.features {
+            scratch.fallback_left.push(arrivals.schema().require(&f.left_attr)?);
+        }
+        scratch.jw.clear();
+
+        for (p, plan) in self.set_plans.iter().enumerate() {
+            let cell = &mut scratch.set_left[p];
+            cell.ids.clear();
+            cell.la = 0;
+            let col = arrivals.schema().require(&plan.left_attr)?;
+            let v: &Value = &row[col];
+            if v.is_null() {
+                cell.present = false;
+                continue;
+            }
+            cell.present = true;
+            let mut s = v.render();
+            if plan.lowercase {
+                // Allow-listed probe-normalization site: once per request.
+                #[allow(clippy::disallowed_methods)]
+                {
+                    s = s.to_lowercase();
+                }
+            }
+            if plan.qgram {
+                scratch.cbuf.clear();
+                scratch.cbuf.extend(s.chars());
+                if scratch.cbuf.is_empty() {
+                    // Empty string tokenizes to nothing: |A| = 0.
+                } else if scratch.cbuf.len() < 3 {
+                    // Whole-string token (the QgramTokenizer short-string
+                    // convention): known or not, it is one distinct token.
+                    if let Some(id) = plan.interner.get_string(&s) {
+                        cell.ids.push(id);
+                    }
+                    cell.la = 1;
+                } else {
+                    scratch.ugrams.clear();
+                    for w in scratch.cbuf.windows(3) {
+                        match plan.interner.get_gram([w[0], w[1], w[2]]) {
+                            Some(id) => cell.ids.push(id),
+                            None => scratch.ugrams.push([w[0], w[1], w[2]]),
+                        }
+                    }
+                    cell.ids.sort_unstable();
+                    cell.ids.dedup();
+                    scratch.ugrams.sort_unstable();
+                    scratch.ugrams.dedup();
+                    cell.la = cell.ids.len() + scratch.ugrams.len();
+                }
+            } else {
+                scratch.ustrings.clear();
+                for tok in AlphanumericTokenizer.tokenize(&s) {
+                    match plan.interner.get_string(&tok) {
+                        Some(id) => cell.ids.push(id),
+                        None => scratch.ustrings.push(tok),
+                    }
+                }
+                cell.ids.sort_unstable();
+                cell.ids.dedup();
+                scratch.ustrings.sort_unstable();
+                scratch.ustrings.dedup();
+                cell.la = cell.ids.len() + scratch.ustrings.len();
+            }
+        }
+
+        for (p, plan) in self.seq_plans.iter().enumerate() {
+            let cell = &mut scratch.seq_left[p];
+            cell.chars.clear();
+            cell.word_ids.clear();
+            cell.locals.clear();
+            cell.sid = None;
+            let col = arrivals.schema().require(&plan.left_attr)?;
+            let v: &Value = &row[col];
+            if v.is_null() {
+                cell.present = false;
+                continue;
+            }
+            cell.present = true;
+            let mut s = v.render();
+            if plan.lowercase {
+                // Allow-listed probe-normalization site: once per request.
+                #[allow(clippy::disallowed_methods)]
+                {
+                    s = s.to_lowercase();
+                }
+            }
+            if let Some(known) = self.seq_memo.get(&s) {
+                cell.sid = Some(known.sid);
+                cell.chars.extend_from_slice(&known.chars);
+                cell.word_ids.extend_from_slice(&known.word_ids);
+            } else {
+                cell.chars.extend(s.chars());
+                for w in AlphanumericTokenizer.tokenize(&s) {
+                    match self.words.index.get(&w) {
+                        Some(&id) => cell.word_ids.push(id),
+                        None => {
+                            let local = u32::try_from(cell.locals.len())
+                                .ok()
+                                .filter(|&n| n < LOCAL_BIT)
+                                .unwrap_or(LOCAL_BIT - 1);
+                            cell.word_ids.push(LOCAL_BIT | local);
+                            cell.locals
+                                .push(LocalWord { sdx: soundex_code(&w), chars: w.chars().collect() });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Chars of an encoded word id (persistent table or request-local).
+    fn word_chars<'a>(&'a self, locals: &'a [LocalWord], enc: u32) -> &'a [char] {
+        if enc & LOCAL_BIT != 0 {
+            &locals[(enc ^ LOCAL_BIT) as usize].chars
+        } else {
+            &self.words.data[enc as usize].chars
+        }
+    }
+
+    /// Soundex code of an encoded word id.
+    fn word_sdx(&self, locals: &[LocalWord], enc: u32) -> Option<[u8; 4]> {
+        if enc & LOCAL_BIT != 0 {
+            locals[(enc ^ LOCAL_BIT) as usize].sdx
+        } else {
+            self.words.data[enc as usize].sdx
+        }
+    }
+
+    /// Extracts the feature vector of candidate pair
+    /// `(arrivals[i], corpus[right_key])` into `out`: live features get the
+    /// batch-identical value, dead features `NaN`. The probe cells of
+    /// `scratch` must have been [`prepare`](ServeExtractor::prepare)d for
+    /// this arrival. This is the allocation-free per-candidate path.
+    #[allow(clippy::too_many_arguments)] // one hot-path entry point: tables, pair, mask, buffers
+    pub fn extract_into(
+        &self,
+        arrivals: &Table,
+        i: usize,
+        corpus: &Table,
+        right_key: usize,
+        mask: &FeatureMask,
+        scratch: &mut ExtractScratch,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        let ra = &arrivals.rows()[i];
+        let rb = &corpus.rows()[right_key];
+        let ExtractScratch { set_left, seq_left, fallback_left, jw, .. } = scratch;
+        for (k, f) in self.features.features.iter().enumerate() {
+            if !mask.is_live(k) {
+                out.push(f64::NAN);
+                continue;
+            }
+            if let Some((p, op)) = self.set_route[k] {
+                let cell = &set_left[p];
+                let val = match (cell.present, &self.set_plans[p].right[right_key]) {
+                    (true, Some(rids)) => {
+                        op.score_counts(overlap_size_sorted(&cell.ids, rids), cell.la, rids.len())
+                    }
+                    _ => f64::NAN,
+                };
+                out.push(val);
+                continue;
+            }
+            if let Some((p, op)) = self.seq_route[k] {
+                let cell = &seq_left[p];
+                let val = match (cell.present, &self.seq_plans[p].right[right_key]) {
+                    (true, Some(rc)) => self.seq_score(op, cell, rc, jw),
+                    _ => f64::NAN,
+                };
+                out.push(val);
+                continue;
+            }
+            out.push(f.compute(&ra[fallback_left[k]], &rb[self.right_idx[k]]));
+        }
+    }
+
+    /// One sequence-feature value against a cached corpus cell — the same
+    /// kernels and fold shapes as the batch path, with probe-only words
+    /// resolved through the request-local table.
+    fn seq_score(
+        &self,
+        op: SeqOp,
+        lc: &SeqProbeCell,
+        rc: &NormCell,
+        jw: &mut FastMap<(u32, u32), f64>,
+    ) -> f64 {
+        match op {
+            // Cells are interned: equal string ids ⇔ equal strings; a probe
+            // string the memo has never seen equals no corpus string.
+            SeqOp::Exact => f64::from(lc.sid == Some(rc.sid)),
+            SeqOp::MongeElkanJw => with_scratch(|s| {
+                let mut inner = |x: u32, y: u32| {
+                    if let Some(&v) = jw.get(&(x, y)) {
+                        return v;
+                    }
+                    let v = seq::jaro_winkler_chars(
+                        s,
+                        self.word_chars(&lc.locals, x),
+                        self.word_chars(&lc.locals, y),
+                    );
+                    jw.insert((x, y), v);
+                    v
+                };
+                monge_elkan_sym_ids(&lc.word_ids, &rc.word_ids, &mut inner)
+            }),
+            SeqOp::MongeElkanSoundex => {
+                let inner = |x: u32, y: u32| match (
+                    self.word_sdx(&lc.locals, x),
+                    self.word_sdx(&lc.locals, y),
+                ) {
+                    (Some(cx), Some(cy)) if cx == cy => 1.0,
+                    _ => 0.0,
+                };
+                monge_elkan_sym_ids(&lc.word_ids, &rc.word_ids, inner)
+            }
+            _ => with_scratch(|s| match op {
+                SeqOp::LevSim => seq::levenshtein_sim_chars(s, &lc.chars, &rc.chars),
+                SeqOp::Jaro => seq::jaro_chars(s, &lc.chars, &rc.chars),
+                SeqOp::JaroWinkler => seq::jaro_winkler_chars(s, &lc.chars, &rc.chars),
+                SeqOp::NeedlemanWunsch => seq::needleman_wunsch_sim_chars(s, &lc.chars, &rc.chars),
+                SeqOp::SmithWaterman => seq::smith_waterman_sim_chars(s, &lc.chars, &rc.chars),
+                _ => unreachable!("handled above"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract_vectors;
+    use crate::generate::{auto_features, FeatureOptions};
+    use em_blocking::Pair;
+    use em_table::csv::read_str;
+
+    fn corpus() -> Table {
+        read_str(
+            "B",
+            "Title,Amount\n\
+             corn fungicide guidelines,10\n\
+             Totally Different,5\n\
+             ab,\n\
+             ,7\n\
+             Swamp Dodder Applied Ecology,3\n",
+        )
+        .unwrap()
+    }
+
+    fn arrivals() -> Table {
+        // Known strings, unknown words, unknown grams, short strings, case
+        // differences, nulls, and an exact corpus duplicate.
+        read_str(
+            "A",
+            "Title,Amount\n\
+             Corn Fungicide Guidelines,10\n\
+             Zebra Quixotic Jargon,2\n\
+             ab,\n\
+             ,4\n\
+             Totally Different,5\n\
+             corn dodder xylophone,1\n",
+        )
+        .unwrap()
+    }
+
+    fn all_pairs(a: &Table, b: &Table) -> Vec<Pair> {
+        let mut pairs = Vec::new();
+        for i in 0..a.n_rows() {
+            for j in 0..b.n_rows() {
+                pairs.push(Pair::new(i, j));
+            }
+        }
+        pairs
+    }
+
+    fn assert_bits_eq(got: f64, want: f64, what: &str) {
+        assert!(
+            got.to_bits() == want.to_bits() || (got.is_nan() && want.is_nan()),
+            "{what}: got {got}, want {want}"
+        );
+    }
+
+    #[test]
+    fn full_mask_matches_batch_extraction_bitwise() {
+        let (a, b) = (arrivals(), corpus());
+        let fs = auto_features(&a, &b, &FeatureOptions::default().with_case_insensitive());
+        let pairs = all_pairs(&a, &b);
+        let batch = extract_vectors(&fs, &a, &b, &pairs).unwrap();
+        let ex = ServeExtractor::new(&fs, &b).unwrap();
+        let mask = FeatureMask::full(fs.len());
+        let mut scratch = ExtractScratch::new();
+        let mut out = Vec::new();
+        for (r, p) in pairs.iter().enumerate() {
+            ex.prepare(&a, p.left, &mut scratch).unwrap();
+            ex.extract_into(&a, p.left, &b, p.right, &mask, &mut scratch, &mut out);
+            assert_eq!(out.len(), fs.len());
+            for k in 0..fs.len() {
+                assert_bits_eq(
+                    out[k],
+                    batch[r][k],
+                    &format!("pair ({},{}) feature {}", p.left, p.right, fs.features[k].name),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn masked_extraction_nans_dead_slots_and_preserves_live() {
+        let (a, b) = (arrivals(), corpus());
+        let fs = auto_features(&a, &b, &FeatureOptions::default().with_case_insensitive());
+        let pairs = all_pairs(&a, &b);
+        let batch = extract_vectors(&fs, &a, &b, &pairs).unwrap();
+        // Every third feature live.
+        let mask =
+            FeatureMask::from_live_indices(fs.len(), (0..fs.len()).filter(|k| k % 3 == 0));
+        assert!(mask.is_strict_subset());
+        assert!(mask.n_live() > 0);
+        let ex = ServeExtractor::new(&fs, &b).unwrap();
+        let mut scratch = ExtractScratch::new();
+        let mut out = Vec::new();
+        for (r, p) in pairs.iter().enumerate() {
+            ex.prepare(&a, p.left, &mut scratch).unwrap();
+            ex.extract_into(&a, p.left, &b, p.right, &mask, &mut scratch, &mut out);
+            for k in 0..fs.len() {
+                if mask.is_live(k) {
+                    assert_bits_eq(out[k], batch[r][k], &format!("live feature {k}"));
+                } else {
+                    assert!(out[k].is_nan(), "dead feature {k} must be NaN, got {}", out[k]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_growth_equals_fresh_construction() {
+        let (a, b) = (arrivals(), corpus());
+        let fs = auto_features(&a, &b, &FeatureOptions::default().with_case_insensitive());
+        // Grow from the first two rows to all rows one by one.
+        let head = read_str("B", "Title,Amount\ncorn fungicide guidelines,10\nTotally Different,5\n")
+            .unwrap();
+        let mut grown = ServeExtractor::new(&fs, &head).unwrap();
+        for j in 2..b.n_rows() {
+            grown.push_right_row(&b.rows()[j]);
+        }
+        assert_eq!(grown.n_rows(), b.n_rows());
+        let fresh = ServeExtractor::new(&fs, &b).unwrap();
+        let mask = FeatureMask::full(fs.len());
+        let (mut s1, mut s2) = (ExtractScratch::new(), ExtractScratch::new());
+        let (mut o1, mut o2) = (Vec::new(), Vec::new());
+        for i in 0..a.n_rows() {
+            grown.prepare(&a, i, &mut s1).unwrap();
+            fresh.prepare(&a, i, &mut s2).unwrap();
+            for j in 0..b.n_rows() {
+                grown.extract_into(&a, i, &b, j, &mask, &mut s1, &mut o1);
+                fresh.extract_into(&a, i, &b, j, &mask, &mut s2, &mut o2);
+                for k in 0..fs.len() {
+                    assert_bits_eq(o1[k], o2[k], &format!("pair ({i},{j}) feature {k}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mask_accessors_are_consistent() {
+        let mask = FeatureMask::from_live_indices(5, [0, 3, 3, 9]);
+        assert_eq!(mask.len(), 5);
+        assert_eq!(mask.n_live(), 2);
+        assert!(mask.is_live(0) && mask.is_live(3));
+        assert!(!mask.is_live(1) && !mask.is_live(9));
+        assert!(mask.is_strict_subset());
+        assert_eq!(mask.live_indices().collect::<Vec<_>>(), vec![0, 3]);
+        let full = FeatureMask::full(4);
+        assert!(!full.is_strict_subset());
+        assert_eq!(full.n_live(), 4);
+        assert!(!full.is_empty());
+    }
+
+    #[test]
+    fn prepare_rejects_bad_inputs() {
+        let (a, b) = (arrivals(), corpus());
+        let fs = auto_features(&a, &b, &FeatureOptions::default());
+        let ex = ServeExtractor::new(&fs, &b).unwrap();
+        let mut scratch = ExtractScratch::new();
+        assert!(ex.prepare(&a, 999, &mut scratch).is_err());
+        let wrong = read_str("A", "Other\nx\n").unwrap();
+        assert!(ex.prepare(&wrong, 0, &mut scratch).is_err());
+    }
+}

@@ -112,6 +112,34 @@ impl FittedModel {
         }
     }
 
+    /// The set of feature indices `predict_proba` can ever read, or `None`
+    /// when the model is *dense* (reads every feature).
+    ///
+    /// Tree-shaped models visit only their split features, so serving can
+    /// skip extracting the rest. Linear and Bayes models are reported dense
+    /// even when a weight is zero: skipping a term is not bit-safe (a
+    /// masked `NaN`/`inf` input would otherwise change `0.0 × x` sums, and
+    /// the standardizer can produce non-finite values when a std is zero).
+    pub fn referenced_features(&self) -> Option<std::collections::BTreeSet<usize>> {
+        use std::collections::BTreeSet;
+        match self {
+            FittedModel::Constant(_) => Some(BTreeSet::new()),
+            FittedModel::Tree(t) => {
+                let mut set = BTreeSet::new();
+                t.collect_split_features(&mut set);
+                Some(set)
+            }
+            FittedModel::Forest(f) => {
+                let mut set = BTreeSet::new();
+                for t in f.trees() {
+                    t.collect_split_features(&mut set);
+                }
+                Some(set)
+            }
+            FittedModel::Linear(_) | FittedModel::Bayes(_) => None,
+        }
+    }
+
     /// Serializes the model to the line-based text format. The result
     /// decodes back (via [`FittedModel::decode`]) to a model whose
     /// `predict_proba` is bit-identical on every input.

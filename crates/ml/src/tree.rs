@@ -81,6 +81,19 @@ impl DecisionTreeModel {
         count(&self.root)
     }
 
+    /// Adds the feature indices read by any split of this tree to `acc` —
+    /// the exhaustive set of features `predict_proba` can ever inspect.
+    pub fn collect_split_features(&self, acc: &mut std::collections::BTreeSet<usize>) {
+        fn walk(n: &Node, acc: &mut std::collections::BTreeSet<usize>) {
+            if let Node::Split { feature, left, right, .. } = n {
+                acc.insert(*feature);
+                walk(left, acc);
+                walk(right, acc);
+            }
+        }
+        walk(&self.root, acc);
+    }
+
     /// Gini feature importances, normalized to sum to 1 (all zeros for a
     /// pure-leaf tree). Importance of a feature is the total
     /// `n_samples × impurity decrease` over the splits that use it — the

@@ -1,0 +1,370 @@
+//! The serve-path hot loop: filtered probes, model-aware feature pruning,
+//! and zero-alloc scoring.
+//!
+//! [`MatchService::match_on_arrival_with`] is the steady-state request
+//! path. Everything a request needs beyond the immutable service state
+//! lives in a caller-owned [`ProbeScratch`], so the probe → block →
+//! featurize → score → rules loop runs without heap allocation once the
+//! scratch has warmed up:
+//!
+//! - **Blocking** issues one filtered postings walk
+//!   ([`IncrementalIndex::probe_union_into`](em_blocking::IncrementalIndex::probe_union_into))
+//!   that admits the C2 ∪ C3 candidates directly — the length and prefix
+//!   filters prune rows whose best-possible overlap already fails the
+//!   plan's thresholds, and the result is property-tested equal to the two
+//!   unfiltered probes the service previously unioned.
+//! - **Features** go through the service's persistent
+//!   [`ServeExtractor`](em_features::ServeExtractor): the arriving record
+//!   is normalized once ([`prepare`](em_features::ServeExtractor::prepare)),
+//!   then each surviving candidate is scored against pre-tokenized corpus
+//!   rows. A [`FeatureMask`] derived from the fitted model and the rule
+//!   set ([`derive_feature_mask`]) skips features nothing downstream can
+//!   read; dead slots carry `NaN`, which mean-imputation replaces with an
+//!   unread column mean.
+//! - **Scoring** imputes and predicts in place over one reused feature
+//!   buffer; negative rules and id rendering run only for predicted
+//!   matches.
+//!
+//! Bit-identity with the batch pipeline is preserved stage by stage: the
+//! filtered probe admits exactly the candidate set of the unfiltered scan
+//! (proptested in `em-blocking`), live features are extracted bit-equal to
+//! `extract_vectors` (pinned in `em-features`), and tree/forest models
+//! never read a masked slot by construction. Debug builds additionally
+//! sample candidates and assert the masked vector equals the full
+//! per-feature recomputation on every live slot.
+
+use crate::error::ServeError;
+use crate::service::{MatchOutcome, MatchService, RequestTimings, ACCESSION_COL, AWARD_COL, TITLE_COL};
+use em_blocking::SetMeasure;
+use em_core::MatchIds;
+use em_features::{ExtractScratch, FeatureMask, FeatureSet};
+use em_ml::{FittedModel, Model};
+use em_rules::award::award_suffix;
+use em_rules::RuleSetDesc;
+use em_table::{Table, Value};
+use std::time::{Duration, Instant};
+
+/// Derives the serve-time [`FeatureMask`] from a frozen workflow: a
+/// feature stays live when the fitted model can read it (a split in some
+/// tree of the forest) **or** its attribute pair is referenced by a rule
+/// predicate. Models that read every feature densely (linear, bayes —
+/// [`FittedModel::referenced_features`] returns `None`) keep the full
+/// plan, preserving batch semantics exactly.
+pub fn derive_feature_mask(
+    features: &FeatureSet,
+    model: &FittedModel,
+    rules: &RuleSetDesc,
+) -> FeatureMask {
+    match model.referenced_features() {
+        None => FeatureMask::full(features.len()),
+        Some(mut live) => {
+            for (left, right) in rules.referenced_attr_pairs() {
+                for (k, f) in features.features.iter().enumerate() {
+                    if f.left_attr == left && f.right_attr == right {
+                        live.insert(k);
+                    }
+                }
+            }
+            FeatureMask::from_live_indices(features.len(), live)
+        }
+    }
+}
+
+impl MatchService {
+    /// Matches one arriving record through the allocation-free hot loop,
+    /// reusing `scratch` across calls. Equivalent to
+    /// [`MatchService::match_on_arrival`] (which wraps this over a
+    /// per-thread scratch) — callers that own a request loop should hold
+    /// one [`ProbeScratch`] and pass it here directly.
+    pub fn match_on_arrival_with(
+        &self,
+        arrivals: &Table,
+        i: usize,
+        scratch: &mut ProbeScratch,
+    ) -> Result<MatchOutcome, ServeError> {
+        let t_start = Instant::now();
+        let row = arrivals
+            .row(i)
+            .ok_or_else(|| ServeError::Pipeline(format!("arrival row {i} is out of range")))?;
+
+        // Blocking: C1 (award-suffix attribute equivalence) ∪ C2 (token
+        // overlap) ∪ C3 (overlap coefficient). C2 ∪ C3 come from a single
+        // filtered postings walk; the AE probe replicates the batch
+        // pipeline's `TempAwardNumber` derived column.
+        scratch.blocked.clear();
+        if let Some(suffix) = row.str(AWARD_COL).and_then(award_suffix) {
+            if let Some(js) = self.ae_index.get(&Value::from(suffix).dedup_key()) {
+                scratch.blocked.extend_from_slice(js);
+            }
+        }
+        let title = row.str(TITLE_COL);
+        self.title_index.probe_union_into(
+            title,
+            self.plan.overlap_k,
+            SetMeasure::OverlapCoefficient,
+            self.plan.oc_threshold,
+            &mut scratch.probe,
+            &mut scratch.union_hits,
+        );
+        scratch.blocked.extend_from_slice(&scratch.union_hits);
+        scratch.blocked.sort_unstable();
+        scratch.blocked.dedup();
+        let t_blocked = Instant::now();
+
+        // Sure matches: union of per-rule hash-join probes, then
+        // `candidates = blocked − sure` (the workflow's `C = C2 − C1`) as
+        // a sorted-merge difference over the reused buffers.
+        scratch.sure.clear();
+        for (rule, index) in self.rules.positive.iter().zip(&self.rule_indexes) {
+            if let Some(key) = rule.left_key(row) {
+                if let Some(js) = index.get(&key) {
+                    scratch.sure.extend_from_slice(js);
+                }
+            }
+        }
+        scratch.sure.sort_unstable();
+        scratch.sure.dedup();
+        scratch.candidates.clear();
+        let mut su = scratch.sure.iter().copied().peekable();
+        for &j in &scratch.blocked {
+            while su.peek().is_some_and(|&s| s < j) {
+                su.next();
+            }
+            if su.peek() != Some(&j) {
+                scratch.candidates.push(j);
+            }
+        }
+        let t_rules = Instant::now();
+
+        // Featurize + score each candidate against the persistent corpus
+        // caches. The arriving record is normalized once; per candidate,
+        // live features are written into one reused buffer, imputed in
+        // place, and scored. Negative rules run on predicted matches only.
+        self.extractor.prepare(arrivals, i, &mut scratch.extract)?;
+        let mut n_predicted = 0usize;
+        let mut n_flipped = 0usize;
+        let mut feature_time = Duration::ZERO;
+        scratch.kept.clear();
+        for (c, &j) in scratch.candidates.iter().enumerate() {
+            let t_pair = Instant::now();
+            self.extractor.extract_into(
+                arrivals,
+                i,
+                &self.corpus,
+                j,
+                &self.mask,
+                &mut scratch.extract,
+                &mut scratch.feats,
+            );
+            #[cfg(debug_assertions)]
+            if c % 64 == 0 {
+                self.debug_assert_masked_matches_full(arrivals, i, j, &scratch.feats);
+            }
+            #[cfg(not(debug_assertions))]
+            let _ = c;
+            self.imputer.transform_row(&mut scratch.feats);
+            feature_time += t_pair.elapsed();
+            if self.model.predict_proba(&scratch.feats) < self.threshold {
+                continue;
+            }
+            n_predicted += 1;
+            let rb = self
+                .corpus
+                .row(j)
+                .ok_or_else(|| ServeError::Pipeline(format!("corpus row {j} vanished")))?;
+            if self.rules.any_negative_fires(row, rb) {
+                n_flipped += 1;
+            } else {
+                scratch.kept.push(j);
+            }
+        }
+
+        // Deliverable ids: `sure ∪ kept`, keyed exactly as
+        // `MatchIds::from_candidates`. Id rendering allocates — it runs
+        // once per *match*, not per candidate.
+        let award = row
+            .get(AWARD_COL)
+            .ok_or_else(|| ServeError::Pipeline(format!("row {i} missing {AWARD_COL}")))?
+            .render();
+        let mut id_pairs = Vec::with_capacity(scratch.sure.len() + scratch.kept.len());
+        for &j in scratch.sure.iter().chain(&scratch.kept) {
+            let acc = self
+                .corpus
+                .get(j, ACCESSION_COL)
+                .ok_or_else(|| ServeError::Pipeline(format!("corpus row {j} missing")))?
+                .render();
+            id_pairs.push((award.clone(), acc));
+        }
+        let t_end = Instant::now();
+
+        let ms = |a: Instant, b: Instant| (b - a).as_secs_f64() * 1e3;
+        let features_ms = feature_time.as_secs_f64() * 1e3;
+        Ok(MatchOutcome {
+            ids: MatchIds::from_pairs(id_pairs),
+            n_blocked: scratch.blocked.len(),
+            n_sure: scratch.sure.len(),
+            n_candidates: scratch.candidates.len(),
+            n_predicted,
+            n_flipped,
+            timings: RequestTimings {
+                blocking_ms: ms(t_start, t_blocked),
+                rules_ms: ms(t_blocked, t_rules),
+                features_ms,
+                predict_ms: ms(t_rules, t_end) - features_ms,
+                total_ms: ms(t_start, t_end),
+            },
+        })
+    }
+
+    /// Debug-only oracle: recompute every **live** feature of the pair
+    /// through the batch path's per-pair function and assert bit-equality
+    /// with the masked extraction — pins masked ⊂ full on sampled pairs.
+    #[cfg(debug_assertions)]
+    fn debug_assert_masked_matches_full(
+        &self,
+        arrivals: &Table,
+        i: usize,
+        j: usize,
+        feats: &[f64],
+    ) {
+        let (Some(ra), Some(rb)) = (arrivals.row(i), self.corpus.row(j)) else {
+            return;
+        };
+        for (k, f) in self.extractor.features().features.iter().enumerate() {
+            if !self.mask.is_live(k) {
+                debug_assert!(feats[k].is_nan(), "dead feature {k} ({}) not NaN", f.name);
+                continue;
+            }
+            let (Some(a), Some(b)) = (ra.get(&f.left_attr), rb.get(&f.right_attr)) else {
+                continue;
+            };
+            let full = f.compute(a, b);
+            debug_assert!(
+                full.to_bits() == feats[k].to_bits(),
+                "masked feature {k} ({}) diverged: serve {} vs batch {}",
+                f.name,
+                feats[k],
+                full,
+            );
+        }
+    }
+}
+
+// ---- scratch construction (allocations are confined below this line) ----
+
+/// Reusable per-request buffers for the serve hot loop — the service-level
+/// mirror of `em_text`'s `KernelScratch`. One instance serves any number
+/// of sequential requests; [`MatchService::match_batch`] keeps one per
+/// executor thread.
+#[derive(Debug, Default)]
+pub struct ProbeScratch {
+    /// Postings-walk state of the filtered index probe.
+    probe: em_blocking::ProbeScratch,
+    /// Per-arrival probe cells + per-request memos of the extractor.
+    extract: ExtractScratch,
+    /// Output of the C2 ∪ C3 union probe.
+    union_hits: Vec<usize>,
+    /// Blocked corpus rows (sorted, deduped).
+    blocked: Vec<usize>,
+    /// Sure-match corpus rows (sorted, deduped).
+    sure: Vec<usize>,
+    /// `blocked − sure`, the matcher's input.
+    candidates: Vec<usize>,
+    /// Feature vector of the candidate currently being scored.
+    feats: Vec<f64>,
+    /// Predicted matches that survived the negative rules.
+    kept: Vec<usize>,
+}
+
+impl ProbeScratch {
+    /// Creates an empty scratch; buffers grow to steady-state size over
+    /// the first few requests and are then reused.
+    pub fn new() -> ProbeScratch {
+        ProbeScratch::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::WorkflowSnapshot;
+    use crate::MatchService;
+    use em_core::pipeline::{CaseStudy, CaseStudyConfig};
+
+    fn artifacts() -> em_core::pipeline::ServingArtifacts {
+        CaseStudy::new(CaseStudyConfig::small()).train_serving_artifacts().unwrap()
+    }
+
+    #[test]
+    fn mask_over_standard_rules_and_trained_forest_is_strict_nonempty_subset() {
+        use em_ml::forest::RandomForestLearner;
+        use em_ml::{Dataset, Learner};
+        let a = artifacts();
+        let d = a.matcher.features.len();
+        // A forest over the case-study feature plan, trained on data where
+        // only the first two feature columns carry signal: its split walk
+        // can reference at most those columns (plus none of the constant
+        // rest), so the mask must prune.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..60usize {
+            let mut v = vec![0.0; d];
+            v[0] = (i % 10) as f64 / 10.0;
+            v[1] = ((i * 7) % 10) as f64 / 10.0;
+            y.push(v[0] + v[1] > 0.9);
+            x.push(v);
+        }
+        let names = a.matcher.features.features.iter().map(|f| f.name.clone()).collect();
+        let data = Dataset { feature_names: names, x, y };
+        let learner = RandomForestLearner { n_trees: 4, seed: 7, ..Default::default() };
+        let forest = learner.fit_model(&data).unwrap();
+        let mask = derive_feature_mask(&a.matcher.features, &forest, &a.rule_descs);
+        assert!(mask.n_live() > 0, "mask must keep at least one feature");
+        assert!(
+            mask.is_strict_subset(),
+            "mask must prune: {} live of {}",
+            mask.n_live(),
+            mask.len()
+        );
+        assert_eq!(mask.len(), d);
+        // Every split feature of the forest is live.
+        for k in forest.referenced_features().into_iter().flatten() {
+            assert!(mask.is_live(k), "split feature {k} must stay live");
+        }
+    }
+
+    #[test]
+    fn dense_models_get_the_full_mask() {
+        use em_ml::model::ConstantModel;
+        let a = artifacts();
+        // Constant models read nothing: the mask keeps only rule-referenced
+        // attribute pairs (possibly none).
+        let m = derive_feature_mask(
+            &a.matcher.features,
+            &FittedModel::Constant(ConstantModel { proba: 1.0 }),
+            &RuleSetDesc::new(),
+        );
+        assert_eq!(m.n_live(), 0);
+        assert_eq!(m.len(), a.matcher.features.len());
+    }
+
+    #[test]
+    fn explicit_scratch_reuse_matches_per_call_path() {
+        let a = artifacts();
+        let service =
+            MatchService::from_snapshot(WorkflowSnapshot::from_artifacts(&a)).unwrap();
+        let mut scratch = ProbeScratch::new();
+        for i in 0..a.extra_umetrics.n_rows().min(40) {
+            let hot = service
+                .match_on_arrival_with(&a.extra_umetrics, i, &mut scratch)
+                .unwrap();
+            let wrapped = service.match_on_arrival(&a.extra_umetrics, i).unwrap();
+            assert_eq!(hot.ids, wrapped.ids, "row {i}");
+            assert_eq!(hot.n_blocked, wrapped.n_blocked, "row {i}");
+            assert_eq!(hot.n_sure, wrapped.n_sure, "row {i}");
+            assert_eq!(hot.n_candidates, wrapped.n_candidates, "row {i}");
+            assert_eq!(hot.n_predicted, wrapped.n_predicted, "row {i}");
+            assert_eq!(hot.n_flipped, wrapped.n_flipped, "row {i}");
+        }
+    }
+}

@@ -37,9 +37,11 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod error;
+pub mod hot;
 pub mod service;
 pub mod snapshot;
 
 pub use error::ServeError;
+pub use hot::{derive_feature_mask, ProbeScratch};
 pub use service::{BatchOutcome, MatchOutcome, MatchService, RequestTimings, ServiceStats};
 pub use snapshot::{quarantine_path, WorkflowSnapshot, SNAPSHOT_VERSION};

@@ -27,20 +27,20 @@
 //! thread counts and across one-at-a-time vs. batched replay.
 
 use crate::error::ServeError;
+use crate::hot::{derive_feature_mask, ProbeScratch};
 use crate::snapshot::WorkflowSnapshot;
-use em_blocking::{IncrementalIndex, Pair, SetMeasure};
+use em_blocking::IncrementalIndex;
 use em_core::pipeline::ServingArtifacts;
 use em_core::{BlockingPlan, MatchIds};
-use em_features::{extract_vectors, FeatureSet};
-use em_ml::{FittedModel, Imputer, Model};
+use em_features::{FeatureMask, ServeExtractor};
+use em_ml::{FittedModel, Imputer};
 use em_parallel::Executor;
-use em_rules::award::award_suffix;
 use em_rules::RuleSet;
 use em_table::{Table, Value};
 use em_text::TokenCache;
-use std::collections::{BTreeSet, HashMap};
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Rows per parallel work unit in [`MatchService::match_batch`] — small,
 /// because each row's probe already fans out over candidate pairs.
@@ -113,21 +113,24 @@ pub struct ServiceStats {
 
 /// An online matching service over a frozen workflow.
 pub struct MatchService {
-    corpus: Table,
-    features: FeatureSet,
-    imputer: Imputer,
-    model: FittedModel,
+    pub(crate) corpus: Table,
+    pub(crate) imputer: Imputer,
+    pub(crate) model: FittedModel,
     learner_name: String,
-    threshold: f64,
-    plan: BlockingPlan,
-    rules: RuleSet,
+    pub(crate) threshold: f64,
+    pub(crate) plan: BlockingPlan,
+    pub(crate) rules: RuleSet,
     cache: Arc<TokenCache>,
     /// Inverted token index over the corpus blocking title column.
-    title_index: IncrementalIndex,
+    pub(crate) title_index: IncrementalIndex,
     /// `dedup_key(AwardNumber)` → corpus rows (the AE blocker's hash join).
-    ae_index: HashMap<String, Vec<usize>>,
+    pub(crate) ae_index: HashMap<String, Vec<usize>>,
     /// Per positive rule: `right_key` → corpus rows (`find_all`'s join).
-    rule_indexes: Vec<HashMap<String, Vec<usize>>>,
+    pub(crate) rule_indexes: Vec<HashMap<String, Vec<usize>>>,
+    /// Persistent corpus-side feature caches for the serve hot path.
+    pub(crate) extractor: ServeExtractor,
+    /// Which features the fitted model / rules can actually read.
+    pub(crate) mask: FeatureMask,
     /// Bounded admission queue of arrivals awaiting [`MatchService::drain`].
     pending: Option<Table>,
     queue_capacity: usize,
@@ -136,9 +139,16 @@ pub struct MatchService {
 /// Left/right blocking and id columns — fixed by the case-study workflow
 /// (the snapshot's rule and feature attrs are free; these three anchor the
 /// blocking plan and the deliverable keying).
-const AWARD_COL: &str = "AwardNumber";
-const TITLE_COL: &str = "AwardTitle";
-const ACCESSION_COL: &str = "AccessionNumber";
+pub(crate) const AWARD_COL: &str = "AwardNumber";
+pub(crate) const TITLE_COL: &str = "AwardTitle";
+pub(crate) const ACCESSION_COL: &str = "AccessionNumber";
+
+thread_local! {
+    /// Per-thread hot-path scratch, so [`MatchService::match_on_arrival`]
+    /// and every executor worker in [`MatchService::match_batch`] reuse
+    /// buffers across requests instead of allocating per record.
+    static HOT_SCRATCH: RefCell<ProbeScratch> = RefCell::new(ProbeScratch::new());
+}
 
 impl MatchService {
     /// Builds a service from a (loaded or freshly frozen) snapshot.
@@ -160,14 +170,16 @@ impl MatchService {
                 )));
             }
         }
+        let mask = derive_feature_mask(&features, &model, &rule_descs);
         let rules = rule_descs.build();
         let cache = Arc::new(TokenCache::for_blocking());
+        let empty_corpus = Table::new(corpus.name(), corpus.schema().clone());
+        let extractor = ServeExtractor::new(&features, &empty_corpus)?;
         let mut service = MatchService {
             title_index: IncrementalIndex::with_cache(Arc::clone(&cache)),
             ae_index: HashMap::new(),
             rule_indexes: vec![HashMap::new(); rules.positive.len()],
-            corpus: Table::new(corpus.name(), corpus.schema().clone()),
-            features,
+            corpus: empty_corpus,
             imputer,
             model,
             learner_name,
@@ -175,6 +187,8 @@ impl MatchService {
             plan,
             rules,
             cache,
+            extractor,
+            mask,
             pending: None,
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
         };
@@ -211,6 +225,12 @@ impl MatchService {
         self.threshold
     }
 
+    /// The serve-time feature mask: which features of the frozen plan the
+    /// hot path actually extracts (see [`crate::derive_feature_mask`]).
+    pub fn feature_mask(&self) -> &FeatureMask {
+        &self.mask
+    }
+
     /// Service counters.
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
@@ -232,6 +252,7 @@ impl MatchService {
             .corpus
             .row(j)
             .ok_or_else(|| ServeError::Pipeline("pushed row vanished".into()))?;
+        self.extractor.push_right_row(added.values());
         self.title_index.insert(j, added.str(TITLE_COL));
         if let Some(v) = added.get(AWARD_COL) {
             if !v.is_null() {
@@ -249,109 +270,17 @@ impl MatchService {
     /// Matches one arriving record (row `i` of `arrivals`) against the
     /// corpus, reproducing the batch workflow's verdict for that row
     /// bit-identically.
+    ///
+    /// Delegates to [`MatchService::match_on_arrival_with`] over a
+    /// per-thread [`ProbeScratch`], so repeated calls (and every executor
+    /// worker inside [`MatchService::match_batch`]) run allocation-free in
+    /// the steady state.
     pub fn match_on_arrival(
         &self,
         arrivals: &Table,
         i: usize,
     ) -> Result<MatchOutcome, ServeError> {
-        let t_start = Instant::now();
-        let row = arrivals.row(i).ok_or_else(|| {
-            ServeError::Pipeline(format!("arrival row {i} is out of range"))
-        })?;
-
-        // Blocking: C1 (award-suffix attribute equivalence) ∪ C2 (token
-        // overlap) ∪ C3 (overlap coefficient), exactly as `run_blocking`
-        // consolidates them. The probe key replicates the batch pipeline's
-        // `TempAwardNumber` derived column.
-        let mut blocked: BTreeSet<usize> = BTreeSet::new();
-        if let Some(suffix) = row.str(AWARD_COL).and_then(award_suffix) {
-            if let Some(js) = self.ae_index.get(&Value::from(suffix).dedup_key()) {
-                blocked.extend(js.iter().copied());
-            }
-        }
-        let title = row.str(TITLE_COL);
-        blocked.extend(self.title_index.probe_overlap(title, self.plan.overlap_k));
-        blocked.extend(self.title_index.probe_set_sim(
-            title,
-            SetMeasure::OverlapCoefficient,
-            self.plan.oc_threshold,
-        ));
-        let t_blocked = Instant::now();
-
-        // Sure matches: union of per-rule hash-join probes, then
-        // `candidates = blocked − sure` (the workflow's `C = C2 − C1`).
-        let mut sure: BTreeSet<usize> = BTreeSet::new();
-        for (rule, index) in self.rules.positive.iter().zip(&self.rule_indexes) {
-            if let Some(key) = rule.left_key(row) {
-                if let Some(js) = index.get(&key) {
-                    sure.extend(js.iter().copied());
-                }
-            }
-        }
-        let candidates: Vec<usize> = blocked.difference(&sure).copied().collect();
-        let t_rules = Instant::now();
-
-        // Features: per-pair values are pure functions of the two cells,
-        // so extracting against the full arrival table gives the same
-        // floats as the batch extraction over its candidate set.
-        let pairs: Vec<Pair> = candidates.iter().map(|&j| Pair::new(i, j)).collect();
-        let mut x = extract_vectors(&self.features, arrivals, &self.corpus, &pairs)?;
-        self.imputer.transform(&mut x);
-        let t_features = Instant::now();
-
-        // Predict, then apply negative rules to predicted matches only.
-        let mut n_predicted = 0usize;
-        let mut n_flipped = 0usize;
-        let mut kept: Vec<usize> = Vec::new();
-        for (&j, feats) in candidates.iter().zip(&x) {
-            if self.model.predict_proba(feats) < self.threshold {
-                continue;
-            }
-            n_predicted += 1;
-            let rb = self
-                .corpus
-                .row(j)
-                .ok_or_else(|| ServeError::Pipeline(format!("corpus row {j} vanished")))?;
-            if self.rules.any_negative_fires(row, rb) {
-                n_flipped += 1;
-            } else {
-                kept.push(j);
-            }
-        }
-
-        // Deliverable ids: `sure ∪ kept`, keyed exactly as
-        // `MatchIds::from_candidates`.
-        let award = row
-            .get(AWARD_COL)
-            .ok_or_else(|| ServeError::Pipeline(format!("row {i} missing {AWARD_COL}")))?
-            .render();
-        let mut id_pairs = Vec::new();
-        for &j in sure.iter().chain(&kept) {
-            let acc = self
-                .corpus
-                .get(j, ACCESSION_COL)
-                .ok_or_else(|| ServeError::Pipeline(format!("corpus row {j} missing")))?
-                .render();
-            id_pairs.push((award.clone(), acc));
-        }
-        let t_end = Instant::now();
-
-        let ms = |a: Instant, b: Instant| (b - a).as_secs_f64() * 1e3;
-        Ok(MatchOutcome {
-            ids: MatchIds::from_pairs(id_pairs),
-            n_blocked: blocked.len(),
-            n_sure: sure.len(),
-            n_candidates: candidates.len(),
-            n_predicted,
-            n_flipped,
-            timings: RequestTimings {
-                blocking_ms: ms(t_start, t_blocked),
-                rules_ms: ms(t_blocked, t_rules),
-                features_ms: ms(t_rules, t_features),
-                predict_ms: ms(t_features, t_end),
-                total_ms: ms(t_start, t_end),
-            },
-        })
+        HOT_SCRATCH.with(|s| self.match_on_arrival_with(arrivals, i, &mut s.borrow_mut()))
     }
 
     /// Matches a whole table of arrivals as one deterministic micro-batch:
@@ -417,7 +346,7 @@ mod tests {
     use crate::snapshot::WorkflowSnapshot;
     use em_core::matcher::TrainedMatcher;
     use em_core::{EmWorkflow, MatchIds};
-    use em_features::{Feature, FeatureKind};
+    use em_features::{Feature, FeatureKind, FeatureSet};
     use em_ml::model::ConstantModel;
     use em_rules::{RuleKeyKind, RuleSetDesc};
     use em_table::{DataType, Schema};

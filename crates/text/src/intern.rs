@@ -217,14 +217,16 @@ pub fn overlap_size_sorted(a: &[u32], b: &[u32]) -> usize {
     n
 }
 
-/// Jaccard `|A∩B| / |A∪B|` on sorted distinct id slices. Two empty inputs
-/// are identical (`1.0`), matching [`crate::set::jaccard`].
-pub fn jaccard_sorted(a: &[u32], b: &[u32]) -> f64 {
-    if a.is_empty() && b.is_empty() {
+/// Jaccard from precomputed set cardinalities: `inter / (la + lb - inter)`
+/// with the same degenerate conventions as [`jaccard_sorted`]. The serve-path
+/// extractor scores candidates from `(|A∩B|, |A|, |B|)` counts without
+/// materializing both id lists; delegating the sorted variant to this
+/// function keeps the two paths bit-identical by construction.
+pub fn jaccard_counts(inter: usize, la: usize, lb: usize) -> f64 {
+    if la == 0 && lb == 0 {
         return 1.0;
     }
-    let inter = overlap_size_sorted(a, b);
-    let union = a.len() + b.len() - inter;
+    let union = la + lb - inter;
     if union == 0 {
         1.0
     } else {
@@ -232,40 +234,62 @@ pub fn jaccard_sorted(a: &[u32], b: &[u32]) -> f64 {
     }
 }
 
+/// Overlap coefficient from precomputed set cardinalities, matching
+/// [`overlap_coefficient_sorted`]'s degenerate conventions.
+pub fn overlap_coefficient_counts(inter: usize, la: usize, lb: usize) -> f64 {
+    if la == 0 && lb == 0 {
+        return 1.0;
+    }
+    if la == 0 || lb == 0 {
+        return 0.0;
+    }
+    inter as f64 / la.min(lb) as f64
+}
+
+/// Dice from precomputed set cardinalities, matching [`dice_sorted`].
+pub fn dice_counts(inter: usize, la: usize, lb: usize) -> f64 {
+    if la == 0 && lb == 0 {
+        return 1.0;
+    }
+    let denom = la + lb;
+    if denom == 0 {
+        1.0
+    } else {
+        2.0 * inter as f64 / denom as f64
+    }
+}
+
+/// Set cosine from precomputed set cardinalities, matching [`cosine_sorted`].
+pub fn cosine_counts(inter: usize, la: usize, lb: usize) -> f64 {
+    if la == 0 && lb == 0 {
+        return 1.0;
+    }
+    if la == 0 || lb == 0 {
+        return 0.0;
+    }
+    inter as f64 / ((la * lb) as f64).sqrt()
+}
+
+/// Jaccard `|A∩B| / |A∪B|` on sorted distinct id slices. Two empty inputs
+/// are identical (`1.0`), matching [`crate::set::jaccard`].
+pub fn jaccard_sorted(a: &[u32], b: &[u32]) -> f64 {
+    jaccard_counts(overlap_size_sorted(a, b), a.len(), b.len())
+}
+
 /// Overlap coefficient `|A∩B| / min(|A|,|B|)` on sorted distinct id slices,
 /// matching [`crate::set::overlap_coefficient`]'s degenerate conventions.
 pub fn overlap_coefficient_sorted(a: &[u32], b: &[u32]) -> f64 {
-    if a.is_empty() && b.is_empty() {
-        return 1.0;
-    }
-    if a.is_empty() || b.is_empty() {
-        return 0.0;
-    }
-    overlap_size_sorted(a, b) as f64 / a.len().min(b.len()) as f64
+    overlap_coefficient_counts(overlap_size_sorted(a, b), a.len(), b.len())
 }
 
 /// Dice `2|A∩B| / (|A|+|B|)` on sorted distinct id slices.
 pub fn dice_sorted(a: &[u32], b: &[u32]) -> f64 {
-    if a.is_empty() && b.is_empty() {
-        return 1.0;
-    }
-    let denom = a.len() + b.len();
-    if denom == 0 {
-        1.0
-    } else {
-        2.0 * overlap_size_sorted(a, b) as f64 / denom as f64
-    }
+    dice_counts(overlap_size_sorted(a, b), a.len(), b.len())
 }
 
 /// Set cosine `|A∩B| / sqrt(|A|·|B|)` on sorted distinct id slices.
 pub fn cosine_sorted(a: &[u32], b: &[u32]) -> f64 {
-    if a.is_empty() && b.is_empty() {
-        return 1.0;
-    }
-    if a.is_empty() || b.is_empty() {
-        return 0.0;
-    }
-    overlap_size_sorted(a, b) as f64 / ((a.len() * b.len()) as f64).sqrt()
+    cosine_counts(overlap_size_sorted(a, b), a.len(), b.len())
 }
 
 #[cfg(test)]

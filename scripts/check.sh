@@ -33,6 +33,17 @@ for f in crates/text/src/seq.rs crates/text/src/myers.rs crates/text/src/scratch
 done
 echo "    kernel modules clean"
 
+echo "==> serve hot-loop allocation purity (no Vec::new/String::from)"
+# The steady-state request loop must reuse ProbeScratch buffers; heap
+# allocation is confined to the scratch-construction section at the bottom
+# of hot.rs (and to per-match id rendering, which never names these ctors).
+if awk '/---- scratch construction/{exit} {print}' crates/serve/src/hot.rs \
+    | grep -nE 'Vec::new|String::from'; then
+    echo "    FAIL: allocation in the serve hot loop (crates/serve/src/hot.rs)" >&2
+    exit 1
+fi
+echo "    serve hot loop clean"
+
 echo "==> feature_kernels criterion bench (smoke)"
 EM_BENCH_SMOKE=1 cargo bench "${CARGO_FLAGS[@]}" -p em-bench --bench feature_kernels >/dev/null
 echo "    feature_kernels bench ran"
@@ -47,17 +58,19 @@ echo "==> reproduce --bench --serve smoke (small scale, 2 threads)"
 BENCH_DIR=$(mktemp -d)
 trap 'rm -rf "$BENCH_DIR"' EXIT
 (cd "$BENCH_DIR" && "$OLDPWD/target/release/reproduce" --bench --serve --threads 2 >/dev/null)
-python3 - "$BENCH_DIR/BENCH_pipeline.json" <<'EOF'
+python3 - "$BENCH_DIR/BENCH_pipeline.json" BENCH_pipeline.json <<'EOF'
 import json, sys
 
 with open(sys.argv[1]) as f:
     doc = json.load(f)
 
 for key, kind in [("scale", str), ("seed", int), ("threads", int),
+                  ("available_parallelism", int), ("em_threads", int),
                   ("candidate_pairs", int), ("stages", list),
                   ("total_wall_ms_1t", float), ("total_wall_ms_nt", float),
                   ("combined_speedup", float)]:
     assert isinstance(doc.get(key), kind), f"bad/missing {key!r}"
+assert doc["available_parallelism"] >= 1 and doc["em_threads"] >= 1
 assert doc["stages"], "no stages timed"
 for stage in doc["stages"]:
     for key, kind in [("name", str), ("items", int), ("wall_ms_1t", float),
@@ -66,10 +79,35 @@ for stage in doc["stages"]:
         assert isinstance(stage.get(key), kind), f"stage missing {key!r}: {stage}"
     assert stage["wall_ms_1t"] > 0 and stage["wall_ms_nt"] > 0, f"non-positive timing: {stage}"
 names = {stage["name"] for stage in doc["stages"]}
-for required in ("feature_extraction", "feature_kernels", "serve_batch", "serve_single"):
+for required in ("feature_extraction", "feature_kernels", "serve_batch",
+                 "serve_single", "serve_single_hot"):
     assert required in names, f"stage {required!r} missing from bench JSON (got {sorted(names)})"
+
+serve = doc.get("serve")
+assert isinstance(serve, dict), "missing serve summary block"
+for key, kind in [("mask_live", int), ("mask_total", int),
+                  ("cold_first_request_ms", float), ("warm_per_record_ms", float),
+                  ("candidates_total", int), ("candidates_max", int)]:
+    assert isinstance(serve.get(key), kind), f"serve block missing {key!r}"
+assert 0 < serve["mask_live"] <= serve["mask_total"], "feature mask out of range"
+
+# Throughput regression gate: the smoke run is *small* scale while the
+# committed JSON is x4, and per-record serving is strictly faster on the
+# smaller corpus — so requiring the smoke throughput to stay within 20%
+# of (in practice, far above) the committed x4 figure only ever fires on
+# a real serve-path regression, never on the scale difference.
+with open(sys.argv[2]) as f:
+    committed = json.load(f)
+def tp(d, name):
+    return next(s["throughput_per_s"] for s in d["stages"] if s["name"] == name)
+fresh, pinned = tp(doc, "serve_single"), tp(committed, "serve_single")
+assert fresh >= 0.8 * pinned, (
+    f"serve_single throughput regressed: {fresh:.0f}/s vs committed {pinned:.0f}/s")
+
 print(f"    BENCH_pipeline.json ok: {len(doc['stages'])} stages, "
-      f"combined speedup {doc['combined_speedup']:.2f}x at {doc['threads']} threads")
+      f"combined speedup {doc['combined_speedup']:.2f}x at {doc['threads']} threads, "
+      f"mask {serve['mask_live']}/{serve['mask_total']}, "
+      f"serve_single {fresh:.0f}/s (committed {pinned:.0f}/s)")
 EOF
 
 echo "==> all checks passed"
