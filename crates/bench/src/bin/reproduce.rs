@@ -45,6 +45,7 @@ struct Args {
     threads: Option<usize>,
     bench: bool,
     serve: bool,
+    serve_chaos: bool,
     sections: Vec<String>,
 }
 
@@ -83,6 +84,7 @@ fn parse_args() -> Args {
         threads: None,
         bench: false,
         serve: false,
+        serve_chaos: false,
         sections: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -111,6 +113,9 @@ fn parse_args() -> Args {
             "--serve" => {
                 args.serve = true;
             }
+            "--serve-chaos" => {
+                args.serve_chaos = true;
+            }
             "--section" => {
                 if let Some(v) = it.next() {
                     args.sections.push(v);
@@ -118,13 +123,16 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: reproduce [--scale paper|small] [--scale-factor F] [--seed N] [--faults] [--threads N] [--bench] [--serve] [--section <id>]...\n\
+                    "usage: reproduce [--scale paper|small] [--scale-factor F] [--seed N] [--faults] [--threads N] [--bench] [--serve] [--serve-chaos] [--section <id>]...\n\
                      sections: {} (default: all)\n\
                      --scale-factor F: generate the scenario at F times paper scale (overrides --scale)\n\
                      --faults: inject a flaky oracle and CSV corruption; the run must absorb them\n\
                      --threads N: pin the parallel executor's worker count (results never change)\n\
                      --bench: time pipeline stages at 1 vs N threads, write BENCH_pipeline.json\n\
-                     --serve: also time online serving (serve_batch/serve_single); implies --bench",
+                     --serve: also time online serving (serve_batch/serve_single); implies --bench\n\
+                     --serve-chaos: drive the serve tier through a seeded fault schedule (crashes,\n\
+                                    torn WAL tails, corrupt snapshots, bursts) and prove recovery is\n\
+                                    bit-identical; standalone, or a serve_chaos JSON block with --bench",
                     ALL_SECTIONS.join(" ")
                 );
                 std::process::exit(0);
@@ -146,6 +154,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args();
     if let Some(n) = args.threads {
         em_parallel::set_threads(n);
+    }
+    if args.serve_chaos && !args.bench && !args.serve {
+        serve_chaos_section(&args)?;
+        print_wall_time(started);
+        return Ok(());
     }
     if args.bench || args.serve {
         bench_pipeline(&args)?;
@@ -224,7 +237,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 max_fault_attempts: 4,
                 p_corrupt_row: 0.03,
                 max_quarantine_fraction: 0.2,
-                crash_after: None,
+                ..FaultPlan::none()
             };
             eprintln!("running the end-to-end case study under the fault plan…");
         } else {
@@ -432,14 +445,17 @@ fn bench_pipeline(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     // agree with each other (the em-serve integration tests additionally
     // pin them to the batch pipeline's patch stage).
     let mut serve_json = String::new();
-    if args.serve {
-        use em_serve::{MatchService, ProbeScratch, ServeError};
-        eprintln!("training the serving artifacts for --serve…");
+    let mut serving_artifacts = None;
+    if args.serve || args.serve_chaos {
+        eprintln!("training the serving artifacts for --serve/--serve-chaos…");
         let mut cs_cfg =
             if args.paper_scale { CaseStudyConfig::paper() } else { CaseStudyConfig::small() };
         cs_cfg.scenario = cfg;
-        let artifacts = CaseStudy::new(cs_cfg).train_serving_artifacts()?;
-        let service = MatchService::from_artifacts(&artifacts)?;
+        serving_artifacts = Some(CaseStudy::new(cs_cfg).train_serving_artifacts()?);
+    }
+    if let (true, Some(artifacts)) = (args.serve, serving_artifacts.as_ref()) {
+        use em_serve::{MatchService, ProbeScratch, ServeError};
+        let service = MatchService::from_artifacts(artifacts)?;
         let extra = &artifacts.extra_umetrics;
         let mask = service.feature_mask();
         let (mask_live, mask_total) = (mask.n_live(), mask.len());
@@ -530,6 +546,17 @@ fn bench_pipeline(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
+    // Seeded chaos schedule over the serve tier: crashes, torn WAL tails,
+    // corrupt snapshot swaps, latency spikes, and arrival bursts — the run
+    // fails unless every request terminates and every served outcome is
+    // bit-identical to the fault-free shadow run.
+    let mut serve_chaos_json = String::new();
+    if let Some(artifacts) = serving_artifacts.as_ref().filter(|_| args.serve_chaos) {
+        let report = run_serve_chaos(artifacts, bench_seed)?;
+        print_chaos_report(&report);
+        serve_chaos_json = chaos_json(&report);
+    }
+
     // Console summary + JSON artifact.
     println!(
         "  {:<20} {:>8} {:>12} {:>12} {:>9} {:>14}",
@@ -570,7 +597,7 @@ fn bench_pipeline(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     // interpretable on other hardware.
     let available = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
     let json = format!(
-        "{{\n  \"scale\": \"{}\",\n  \"seed\": {},\n  \"threads\": {},\n  \"available_parallelism\": {},\n  \"em_threads\": {},\n  \"candidate_pairs\": {},\n{}  \"stages\": [\n{}\n  ],\n  \"total_wall_ms_1t\": {:.3},\n  \"total_wall_ms_nt\": {:.3},\n  \"combined_speedup\": {:.3}\n}}\n",
+        "{{\n  \"scale\": \"{}\",\n  \"seed\": {},\n  \"threads\": {},\n  \"available_parallelism\": {},\n  \"em_threads\": {},\n  \"candidate_pairs\": {},\n{}{}  \"stages\": [\n{}\n  ],\n  \"total_wall_ms_1t\": {:.3},\n  \"total_wall_ms_nt\": {:.3},\n  \"combined_speedup\": {:.3}\n}}\n",
         args.scale_label(),
         bench_seed,
         requested,
@@ -578,6 +605,7 @@ fn bench_pipeline(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         requested,
         pairs.len(),
         serve_json,
+        serve_chaos_json,
         stage_json.join(",\n"),
         total_1t,
         total_nt,
@@ -586,6 +614,108 @@ fn bench_pipeline(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     std::fs::write("BENCH_pipeline.json", &json)?;
     println!("  wrote BENCH_pipeline.json");
     Ok(())
+}
+
+/// Standalone `--serve-chaos`: train the serving artifacts and drive the
+/// seeded fault schedule, failing the process unless the run is clean.
+fn serve_chaos_section(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let mut cfg = args.base_cfg();
+    if let Some(seed) = args.seed {
+        cfg = cfg.with_seed(seed);
+    }
+    let seed = cfg.seed;
+    let mut cs_cfg =
+        if args.paper_scale { CaseStudyConfig::paper() } else { CaseStudyConfig::small() };
+    cs_cfg.scenario = cfg;
+    eprintln!("training the serving artifacts for --serve-chaos…");
+    let artifacts = CaseStudy::new(cs_cfg).train_serving_artifacts()?;
+    let report = run_serve_chaos(&artifacts, seed)?;
+    print_chaos_report(&report);
+    Ok(())
+}
+
+/// Runs the seeded chaos schedule against a freshly frozen snapshot of
+/// the trained workflow, with the scenario's extra UMETRICS records as
+/// the open-loop arrival stream. Returns an error — a nonzero exit — if
+/// any request failed to terminate or any outcome diverged from the
+/// fault-free run.
+fn run_serve_chaos(
+    artifacts: &em_core::pipeline::ServingArtifacts,
+    seed: u64,
+) -> Result<em_serve::ChaosReport, Box<dyn std::error::Error>> {
+    use em_serve::{run_chaos, ChaosConfig, WorkflowSnapshot};
+    let dir = std::env::temp_dir().join(format!("em-serve-chaos-{seed}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let snapshot = WorkflowSnapshot::from_artifacts(artifacts);
+    let result =
+        run_chaos(snapshot, &artifacts.extra_umetrics, &ChaosConfig::new(seed, dir.clone()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let report = result?;
+    if !report.terminal_outcomes {
+        return Err("serve chaos: a request finished without a terminal outcome".into());
+    }
+    if !report.bit_identical {
+        return Err("serve chaos: served outcomes diverged from the fault-free run".into());
+    }
+    Ok(report)
+}
+
+fn print_chaos_report(r: &em_serve::ChaosReport) {
+    println!("\n## Serve chaos — seeded fault schedule (seed {})", r.seed);
+    println!(
+        "  requests: {} arrivals, {} completed ({} degraded), {} terminally shed, \
+         {} retries, {} queue-full rejections",
+        r.arrivals, r.completed, r.degraded, r.shed, r.retried, r.queue_full
+    );
+    println!(
+        "  durability: {} crashes, {} recoveries, {} WAL records replayed, {} torn tails repaired",
+        r.crashes, r.recoveries, r.wal_records_replayed, r.torn_tails_repaired
+    );
+    println!(
+        "  swaps: {} published (final epoch {}), {} rolled back, {} artifacts quarantined",
+        r.swaps, r.final_epoch, r.swap_rollbacks, r.snapshots_quarantined
+    );
+    println!(
+        "  latency: recovery total {:.2} ms (max {:.2} ms), slowest swap {:.2} ms",
+        r.recovery_ms_total, r.recovery_ms_max, r.swap_latency_ms_max
+    );
+    println!(
+        "  every request reached a terminal outcome; \
+         served outcomes bit-identical to the fault-free run"
+    );
+}
+
+/// The `serve_chaos` block of `BENCH_pipeline.json` (trailing comma
+/// included, matching the other optional blocks).
+fn chaos_json(r: &em_serve::ChaosReport) -> String {
+    format!(
+        "  \"serve_chaos\": {{\"seed\": {}, \"arrivals\": {}, \"completed\": {}, \"shed\": {}, \
+         \"retried\": {}, \"queue_full\": {}, \"degraded\": {}, \"crashes\": {}, \
+         \"recoveries\": {}, \"wal_records_replayed\": {}, \"torn_tails_repaired\": {}, \
+         \"swaps\": {}, \"swap_rollbacks\": {}, \"snapshots_quarantined\": {}, \
+         \"recovery_ms_total\": {:.3}, \"recovery_ms_max\": {:.3}, \"swap_latency_ms_max\": {:.3}, \
+         \"bit_identical\": {}, \"terminal_outcomes\": {}, \"final_epoch\": {}}},\n",
+        r.seed,
+        r.arrivals,
+        r.completed,
+        r.shed,
+        r.retried,
+        r.queue_full,
+        r.degraded,
+        r.crashes,
+        r.recoveries,
+        r.wal_records_replayed,
+        r.torn_tails_repaired,
+        r.swaps,
+        r.swap_rollbacks,
+        r.snapshots_quarantined,
+        r.recovery_ms_total,
+        r.recovery_ms_max,
+        r.swap_latency_ms_max,
+        r.bit_identical,
+        r.terminal_outcomes,
+        r.final_epoch
+    )
 }
 
 /// Pre-decodes each row's lowercased `AwardTitle` for the kernel stage —

@@ -57,6 +57,6 @@ pub use pipeline::{
 pub use preprocess::{project_umetrics, project_usda};
 pub use analysis::{analyze_multiplicity, cluster_matches, MultiplicityReport};
 pub use monitor::{AccuracyMonitor, MonitorConfig, SliceReport};
-pub use resilience::{corrupt_csv, FaultPlan, ResilienceReport, RetryPolicy};
+pub use resilience::{corrupt_csv, fault_draw, FaultPlan, ResilienceReport, RetryPolicy, ServeFaultPlan};
 pub use spec::WorkflowSpec;
 pub use workflow::{EmWorkflow, MatchIds, WorkflowResult};

@@ -19,7 +19,7 @@ use crate::error::CoreError;
 use crate::labeling::{accession_of, award_of, run_labeling_resilient, LabeledSet, LabelingRound};
 use crate::matcher::{build_training_data, debug_labels, select_matcher, train_matcher, MatcherStage};
 use crate::preprocess::{project_umetrics, project_usda};
-use crate::resilience::{corrupt_csv, FaultPlan, ResilienceReport, RetryPolicy};
+use crate::resilience::{corrupt_csv, FaultPlan, ResilienceReport, RetryPolicy, ServeFaultPlan};
 use crate::workflow::{EmWorkflow, MatchIds};
 use em_blocking::{debug_blocking, BlockingDebugger, CandidateSet, Pair};
 use em_datagen::{FlakyOracle, Oracle, OracleConfig, PairView, Scenario, ScenarioConfig};
@@ -572,6 +572,14 @@ fn config_checkpoint(cfg: &CaseStudyConfig) -> Checkpoint {
     cp.put_f64("faults.p_corrupt_row", cfg.faults.p_corrupt_row);
     cp.put_f64("faults.max_quarantine_fraction", cfg.faults.max_quarantine_fraction);
     cp.put("faults.crash_after", cfg.faults.crash_after.clone().unwrap_or_default());
+    cp.put_f64("faults.serve.p_crash", cfg.faults.serve.p_crash);
+    cp.put_f64("faults.serve.p_torn_tail", cfg.faults.serve.p_torn_tail);
+    cp.put_f64("faults.serve.p_snapshot_corrupt", cfg.faults.serve.p_snapshot_corrupt);
+    cp.put_f64("faults.serve.p_latency_spike", cfg.faults.serve.p_latency_spike);
+    cp.put_display("faults.serve.latency_spike_ms", cfg.faults.serve.latency_spike_ms);
+    cp.put_f64("faults.serve.p_burst", cfg.faults.serve.p_burst);
+    cp.put_display("faults.serve.burst_len", cfg.faults.serve.burst_len);
+    cp.put_display("faults.serve.swap_every", cfg.faults.serve.swap_every);
     cp
 }
 
@@ -634,6 +642,16 @@ fn config_from_checkpoint(cp: &Checkpoint) -> Result<CaseStudyConfig, CoreError>
             p_corrupt_row: cp.get_parsed("faults.p_corrupt_row")?,
             max_quarantine_fraction: cp.get_parsed("faults.max_quarantine_fraction")?,
             crash_after: if crash_after.is_empty() { None } else { Some(crash_after) },
+            serve: ServeFaultPlan {
+                p_crash: cp.get_parsed("faults.serve.p_crash")?,
+                p_torn_tail: cp.get_parsed("faults.serve.p_torn_tail")?,
+                p_snapshot_corrupt: cp.get_parsed("faults.serve.p_snapshot_corrupt")?,
+                p_latency_spike: cp.get_parsed("faults.serve.p_latency_spike")?,
+                latency_spike_ms: cp.get_parsed("faults.serve.latency_spike_ms")?,
+                p_burst: cp.get_parsed("faults.serve.p_burst")?,
+                burst_len: cp.get_parsed("faults.serve.burst_len")?,
+                swap_every: cp.get_parsed("faults.serve.swap_every")?,
+            },
         },
     })
 }

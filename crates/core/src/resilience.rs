@@ -42,6 +42,66 @@ pub struct FaultPlan {
     /// Crash (with [`crate::CoreError::InjectedCrash`]) right after this
     /// named stage finishes and checkpoints — exercises resume.
     pub crash_after: Option<String>,
+    /// Serve-tier fault kinds (WAL crashes, snapshot corruption, latency
+    /// spikes, arrival bursts) consumed by `em-serve`'s chaos harness.
+    pub serve: ServeFaultPlan,
+}
+
+/// Seeded serve-tier fault kinds, injected by the `em-serve` chaos
+/// harness. All draws are pure functions of the owning [`FaultPlan`]'s
+/// seed and the event identity, so the same plan always injects the same
+/// fault schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeFaultPlan {
+    /// P(the service crashes right after appending a WAL record).
+    pub p_crash: f64,
+    /// P(a crash additionally tears the tail of the WAL mid-record).
+    pub p_torn_tail: f64,
+    /// P(a candidate snapshot artifact is corrupted mid-swap, before the
+    /// swap proposal reads it).
+    pub p_snapshot_corrupt: f64,
+    /// P(a drain tick is delayed by [`ServeFaultPlan::latency_spike_ms`]).
+    pub p_latency_spike: f64,
+    /// Virtual milliseconds a latency spike adds to a drain tick.
+    pub latency_spike_ms: u64,
+    /// P(an arrival slot becomes a burst of simultaneous arrivals).
+    pub p_burst: f64,
+    /// Arrivals per burst (all at the same virtual instant).
+    pub burst_len: u32,
+    /// Propose a snapshot hot-swap every N drain ticks (0 = never).
+    pub swap_every: u32,
+}
+
+impl ServeFaultPlan {
+    /// The no-faults serve plan: no crashes, no corruption, no spikes, no
+    /// bursts, no swaps.
+    pub fn none() -> ServeFaultPlan {
+        ServeFaultPlan {
+            p_crash: 0.0,
+            p_torn_tail: 0.0,
+            p_snapshot_corrupt: 0.0,
+            p_latency_spike: 0.0,
+            latency_spike_ms: 0,
+            p_burst: 0.0,
+            burst_len: 0,
+            swap_every: 0,
+        }
+    }
+
+    /// Whether this serve plan injects anything at all.
+    pub fn is_active(&self) -> bool {
+        self.p_crash > 0.0
+            || self.p_snapshot_corrupt > 0.0
+            || self.p_latency_spike > 0.0
+            || self.p_burst > 0.0
+            || self.swap_every > 0
+    }
+}
+
+impl Default for ServeFaultPlan {
+    fn default() -> Self {
+        ServeFaultPlan::none()
+    }
 }
 
 impl FaultPlan {
@@ -55,6 +115,7 @@ impl FaultPlan {
             p_corrupt_row: 0.0,
             max_quarantine_fraction: 0.5,
             crash_after: None,
+            serve: ServeFaultPlan::none(),
         }
     }
 
@@ -64,6 +125,7 @@ impl FaultPlan {
             || self.p_oracle_timeout > 0.0
             || self.p_corrupt_row > 0.0
             || self.crash_after.is_some()
+            || self.serve.is_active()
     }
 
     /// The oracle-side fault rates, as the datagen wrapper wants them.
@@ -83,8 +145,11 @@ impl Default for FaultPlan {
     }
 }
 
-/// Deterministic draw in `[0, 1)` keyed by `(seed, key, channel)`.
-fn fault_draw(seed: u64, key: &str, channel: u32) -> f64 {
+/// Deterministic draw in `[0, 1)` keyed by `(seed, key, channel)` — the
+/// shared primitive behind every fault decision (oracle faults, CSV
+/// corruption, retry jitter, and the serve-tier chaos schedule), public so
+/// the serve chaos harness draws from the same well-mixed stream.
+pub fn fault_draw(seed: u64, key: &str, channel: u32) -> f64 {
     let mut h = std::collections::hash_map::DefaultHasher::new();
     seed.hash(&mut h);
     key.hash(&mut h);
@@ -246,6 +311,22 @@ mod tests {
         assert!(FaultPlan { p_corrupt_row: 0.1, ..FaultPlan::none() }.is_active());
         assert!(
             FaultPlan { crash_after: Some("blocking".into()), ..FaultPlan::none() }.is_active()
+        );
+    }
+
+    #[test]
+    fn serve_fault_plan_activity_propagates() {
+        assert!(!ServeFaultPlan::none().is_active());
+        let serve = ServeFaultPlan { p_crash: 0.1, ..ServeFaultPlan::none() };
+        assert!(serve.is_active());
+        assert!(FaultPlan { serve, ..FaultPlan::none() }.is_active());
+        assert!(
+            FaultPlan {
+                serve: ServeFaultPlan { swap_every: 4, ..ServeFaultPlan::none() },
+                ..FaultPlan::none()
+            }
+            .is_active(),
+            "swap cadence alone makes the plan active"
         );
     }
 

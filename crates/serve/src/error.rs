@@ -37,6 +37,35 @@ pub enum ServeError {
         /// Configured queue capacity.
         capacity: usize,
     },
+    /// The service shed the arrival to protect latency: the queue crossed
+    /// the overload watermark (distinct from [`ServeError::QueueFull`],
+    /// which is the hard capacity bound). Carries the backoff the caller
+    /// should wait before retrying, from the service's
+    /// [`RetryPolicy`](em_core::resilience::RetryPolicy).
+    Overloaded {
+        /// Queue length observed at admission time.
+        queue_len: usize,
+        /// The shed watermark that was crossed.
+        shed_watermark: usize,
+        /// Deterministic backoff (virtual milliseconds) before a retry.
+        retry_after_ms: u64,
+    },
+    /// A corrupt artifact was moved aside; `dest` is where the evidence
+    /// now lives, `cause` the decode failure that triggered quarantine.
+    Quarantined {
+        /// Path the corrupt artifact was renamed to.
+        dest: String,
+        /// The underlying decode failure.
+        cause: Box<ServeError>,
+    },
+    /// A candidate snapshot failed golden-probe validation and was not
+    /// published.
+    SwapRejected {
+        /// Index of the first golden probe whose outcome diverged.
+        probe: usize,
+        /// What diverged (or failed) on that probe.
+        detail: String,
+    },
     /// A pipeline stage failed while serving a request.
     Pipeline(String),
 }
@@ -55,6 +84,17 @@ impl fmt::Display for ServeError {
             ServeError::Io(detail) => write!(f, "io error: {detail}"),
             ServeError::QueueFull { capacity } => {
                 write!(f, "admission queue full (capacity {capacity})")
+            }
+            ServeError::Overloaded { queue_len, shed_watermark, retry_after_ms } => write!(
+                f,
+                "service overloaded: queue {queue_len} past shed watermark \
+                 {shed_watermark}, retry after {retry_after_ms}ms"
+            ),
+            ServeError::Quarantined { dest, cause } => {
+                write!(f, "artifact quarantined to {dest}: {cause}")
+            }
+            ServeError::SwapRejected { probe, detail } => {
+                write!(f, "snapshot swap rejected at golden probe {probe}: {detail}")
             }
             ServeError::Pipeline(detail) => write!(f, "serving pipeline error: {detail}"),
         }
@@ -117,6 +157,17 @@ mod tests {
         assert!(e.to_string().contains('7'));
         let e = ServeError::QueueFull { capacity: 4 };
         assert!(e.to_string().contains("capacity 4"));
+        let e = ServeError::Overloaded { queue_len: 9, shed_watermark: 8, retry_after_ms: 40 };
+        assert!(e.to_string().contains("watermark"));
+        assert!(e.to_string().contains("40ms"));
+        let e = ServeError::Quarantined {
+            dest: "/tmp/x.quarantined.2".into(),
+            cause: Box::new(ServeError::VersionMismatch { found: 9, expected: 1 }),
+        };
+        assert!(e.to_string().contains(".quarantined.2"));
+        assert!(e.to_string().contains("version 9"));
+        let e = ServeError::SwapRejected { probe: 3, detail: "ids diverged".into() };
+        assert!(e.to_string().contains("probe 3"));
     }
 
     #[test]

@@ -34,6 +34,7 @@
 //! per-feature recomputation on every live slot.
 
 use crate::error::ServeError;
+use crate::overload::ServeMode;
 use crate::service::{MatchOutcome, MatchService, RequestTimings, ACCESSION_COL, AWARD_COL, TITLE_COL};
 use em_blocking::SetMeasure;
 use em_core::MatchIds;
@@ -75,12 +76,32 @@ impl MatchService {
     /// reusing `scratch` across calls. Equivalent to
     /// [`MatchService::match_on_arrival`] (which wraps this over a
     /// per-thread scratch) — callers that own a request loop should hold
-    /// one [`ProbeScratch`] and pass it here directly.
+    /// one [`ProbeScratch`] and pass it here directly. Counts as one
+    /// admitted + completed request.
     pub fn match_on_arrival_with(
         &self,
         arrivals: &Table,
         i: usize,
         scratch: &mut ProbeScratch,
+    ) -> Result<MatchOutcome, ServeError> {
+        let outcome = self.match_inner(arrivals, i, scratch, ServeMode::Full)?;
+        self.counters.admitted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.counters.completed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(outcome)
+    }
+
+    /// The uncounted hot loop in a caller-chosen [`ServeMode`].
+    /// [`ServeMode::RulesOnly`] is the degraded tier: blocking and
+    /// positive-rule probes run as usual (hash joins over prebuilt
+    /// indexes), but the featurize → impute → score → negative-rule chain
+    /// is skipped entirely, so the outcome's ids are the sure matches
+    /// alone and the outcome is flagged `degraded`.
+    pub(crate) fn match_inner(
+        &self,
+        arrivals: &Table,
+        i: usize,
+        scratch: &mut ProbeScratch,
+        mode: ServeMode,
     ) -> Result<MatchOutcome, ServeError> {
         let t_start = Instant::now();
         let row = arrivals
@@ -140,12 +161,19 @@ impl MatchService {
         // caches. The arriving record is normalized once; per candidate,
         // live features are written into one reused buffer, imputed in
         // place, and scored. Negative rules run on predicted matches only.
-        self.extractor.prepare(arrivals, i, &mut scratch.extract)?;
+        // The rules-only degraded mode stops here: sure matches are
+        // already decided, and everything below is the expensive part.
         let mut n_predicted = 0usize;
         let mut n_flipped = 0usize;
         let mut feature_time = Duration::ZERO;
         scratch.kept.clear();
+        if mode == ServeMode::Full {
+            self.extractor.prepare(arrivals, i, &mut scratch.extract)?;
+        }
         for (c, &j) in scratch.candidates.iter().enumerate() {
+            if mode == ServeMode::RulesOnly {
+                break;
+            }
             let t_pair = Instant::now();
             self.extractor.extract_into(
                 arrivals,
@@ -206,6 +234,8 @@ impl MatchService {
             n_candidates: scratch.candidates.len(),
             n_predicted,
             n_flipped,
+            degraded: mode == ServeMode::RulesOnly,
+            epoch: self.epoch,
             timings: RequestTimings {
                 blocking_ms: ms(t_start, t_blocked),
                 rules_ms: ms(t_blocked, t_rules),

@@ -36,12 +36,24 @@
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
+pub mod chaos;
 pub mod error;
 pub mod hot;
+pub mod overload;
 pub mod service;
 pub mod snapshot;
+pub mod swap;
+#[doc(hidden)]
+pub mod testkit;
+pub mod wal;
 
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use error::ServeError;
 pub use hot::{derive_feature_mask, ProbeScratch};
-pub use service::{BatchOutcome, MatchOutcome, MatchService, RequestTimings, ServiceStats};
+pub use overload::{DrainOutcome, OverloadPolicy, ServeMode};
+pub use service::{
+    BatchOutcome, MatchOutcome, MatchService, RecoveryReport, RequestTimings, ServiceStats,
+};
 pub use snapshot::{quarantine_path, WorkflowSnapshot, SNAPSHOT_VERSION};
+pub use swap::{GoldenProbeSet, SnapshotCell, SwapReport};
+pub use wal::{read_wal, read_wal_text, WalReplay, WalWriter, WAL_VERSION};

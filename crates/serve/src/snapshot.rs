@@ -131,8 +131,10 @@ fn unescape_cell(s: &str) -> Result<String, ServeError> {
 
 /// One cell as a tagged token. Types are explicit — the CSV reader
 /// re-infers types, which would not round-trip a table whose column is
-/// declared `Str` but holds numeric-looking text.
-fn encode_cell(v: &Value) -> String {
+/// declared `Str` but holds numeric-looking text. Shared with the corpus
+/// WAL ([`crate::wal`]), which logs rows in exactly this encoding so a
+/// replayed row is byte-for-byte the snapshot row.
+pub(crate) fn encode_cell(v: &Value) -> String {
     match v {
         Value::Null => String::new(),
         Value::Str(s) => format!("s:{}", escape_cell(s)),
@@ -143,7 +145,7 @@ fn encode_cell(v: &Value) -> String {
     }
 }
 
-fn decode_cell(s: &str) -> Result<Value, ServeError> {
+pub(crate) fn decode_cell(s: &str) -> Result<Value, ServeError> {
     if s.is_empty() {
         return Ok(Value::Null);
     }
@@ -366,17 +368,25 @@ impl WorkflowSnapshot {
 
     /// Like [`WorkflowSnapshot::load`], but a snapshot that fails to
     /// *decode* (version mismatch, truncation, corruption) is renamed to
-    /// `<path>.quarantined` before the error is returned, so a supervisor
-    /// restarting the service cannot crash-loop on the same bad artifact.
-    /// Plain IO failures (e.g. the file does not exist) do not quarantine.
+    /// a fresh `<path>.quarantined[.N]` destination before the error is
+    /// returned, so a supervisor restarting the service cannot crash-loop
+    /// on the same bad artifact — and a *second* corrupt artifact cannot
+    /// silently overwrite the evidence of the first. The returned
+    /// [`ServeError::Quarantined`] carries the destination path and the
+    /// underlying decode failure. Plain IO failures (e.g. the file does
+    /// not exist) do not quarantine.
     pub fn load_quarantining(path: &Path) -> Result<WorkflowSnapshot, ServeError> {
         let text = std::fs::read_to_string(path)?;
         match WorkflowSnapshot::decode(&text) {
             Ok(snap) => Ok(snap),
             Err(e) => {
+                let dest = quarantine_path(path);
                 // Best-effort: the decode error is the primary failure.
-                let _ = std::fs::rename(path, quarantine_path(path));
-                Err(e)
+                let _ = std::fs::rename(path, &dest);
+                Err(ServeError::Quarantined {
+                    dest: dest.display().to_string(),
+                    cause: Box::new(e),
+                })
             }
         }
     }
@@ -389,11 +399,29 @@ fn tmp_path(path: &Path) -> PathBuf {
     PathBuf::from(os)
 }
 
-/// Where [`WorkflowSnapshot::load_quarantining`] moves a corrupt artifact.
+/// Where [`WorkflowSnapshot::load_quarantining`] moves a corrupt artifact:
+/// `<path>.quarantined`, or the first free `<path>.quarantined.N` when
+/// earlier quarantined artifacts already occupy the plain suffix — each
+/// corrupt artifact gets its own destination, none is overwritten.
 pub fn quarantine_path(path: &Path) -> PathBuf {
-    let mut os = path.as_os_str().to_os_string();
-    os.push(".quarantined");
-    PathBuf::from(os)
+    let base = {
+        let mut os = path.as_os_str().to_os_string();
+        os.push(".quarantined");
+        PathBuf::from(os)
+    };
+    if !base.exists() {
+        return base;
+    }
+    let mut n: u64 = 1;
+    loop {
+        let mut os = base.as_os_str().to_os_string();
+        os.push(format!(".{n}"));
+        let candidate = PathBuf::from(os);
+        if !candidate.exists() {
+            return candidate;
+        }
+        n = n.wrapping_add(1);
+    }
 }
 
 #[cfg(test)]
@@ -549,12 +577,18 @@ mod tests {
         let back = WorkflowSnapshot::load(&path).unwrap();
         assert_eq!(back.encode(), snap.encode());
 
-        // Corrupt the artifact in place: load_quarantining must rename it.
+        // Corrupt the artifact in place: load_quarantining must rename it,
+        // and the error names both the decode failure and the destination.
         std::fs::write(&path, "em-snapshot v9 0\n").unwrap();
         let err = WorkflowSnapshot::load_quarantining(&path).unwrap_err();
-        assert_eq!(err, ServeError::VersionMismatch { found: 9, expected: 1 });
+        let ServeError::Quarantined { dest, cause } = err else {
+            panic!("expected Quarantined, got {err:?}");
+        };
+        assert_eq!(*cause, ServeError::VersionMismatch { found: 9, expected: 1 });
         assert!(!path.exists(), "corrupt artifact still in place");
-        assert!(quarantine_path(&path).exists(), "quarantine file missing");
+        let first = PathBuf::from(&dest);
+        assert!(first.exists(), "quarantine file missing at {dest}");
+        assert!(dest.ends_with(".quarantined"), "unexpected destination {dest}");
 
         // A missing file is Io and does not create quarantine litter.
         let missing = dir.join("absent.emsnap");
@@ -563,6 +597,41 @@ mod tests {
             Err(ServeError::Io(_))
         ));
         assert!(!quarantine_path(&missing).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_quarantine_destinations_never_collide() {
+        let dir =
+            std::env::temp_dir().join(format!("em-serve-snapq-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("workflow.emsnap");
+        // Three corrupt artifacts in a row: each quarantine destination is
+        // fresh, and every earlier artifact survives untouched.
+        let mut dests = Vec::new();
+        for gen in 0..3u32 {
+            std::fs::write(&path, format!("em-snapshot v{} 0\n", 9 + gen)).unwrap();
+            let err = WorkflowSnapshot::load_quarantining(&path).unwrap_err();
+            let ServeError::Quarantined { dest, cause } = err else {
+                panic!("expected Quarantined");
+            };
+            assert_eq!(
+                *cause,
+                ServeError::VersionMismatch { found: 9 + gen, expected: 1 },
+                "generation {gen}"
+            );
+            assert!(!dests.contains(&dest), "destination {dest} reused");
+            dests.push(dest);
+        }
+        for (gen, dest) in dests.iter().enumerate() {
+            let text = std::fs::read_to_string(dest).unwrap();
+            assert_eq!(
+                text,
+                format!("em-snapshot v{} 0\n", 9 + gen as u32),
+                "quarantined artifact {dest} was overwritten"
+            );
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,124 @@
+//! Tiny deterministic fixtures shared by the crate's unit tests, the
+//! integration tests under `tests/`, and the property tests.
+//!
+//! Hidden from the public API surface: nothing here is part of the
+//! serving contract, it only exists so crash-recovery and chaos tests
+//! across compilation units exercise the exact same minimal workflow
+//! (4-row USDA corpus, 5 UMETRICS arrivals, constant-probability model).
+
+#![allow(clippy::unwrap_used)]
+
+use crate::service::{ACCESSION_COL, AWARD_COL, TITLE_COL};
+use crate::snapshot::WorkflowSnapshot;
+use em_core::BlockingPlan;
+use em_features::{Feature, FeatureKind, FeatureSet};
+use em_ml::model::ConstantModel;
+use em_ml::{FittedModel, Imputer};
+use em_rules::{RuleKeyKind, RuleSetDesc};
+use em_table::{DataType, Schema, Table, Value};
+
+/// The 4-row right-hand (USDA) corpus every serve test matches against.
+pub fn corpus() -> Table {
+    Table::from_rows(
+        "usda",
+        Schema::of(&[
+            (ACCESSION_COL, DataType::Str),
+            (AWARD_COL, DataType::Str),
+            ("ProjectNumber", DataType::Str),
+            (TITLE_COL, DataType::Str),
+        ]),
+        vec![
+            vec![
+                Value::Str("ACC1".into()),
+                Value::Str("2008-34103-19449".into()),
+                Value::Null,
+                Value::Str("corn fungicide guidelines for states".into()),
+            ],
+            vec![
+                Value::Str("ACC2".into()),
+                Value::Null,
+                Value::Str("WIS01040".into()),
+                Value::Str("swamp dodder ecology and biology".into()),
+            ],
+            vec![
+                Value::Str("ACC3".into()),
+                Value::Str("2101-22222-33333".into()),
+                Value::Null,
+                Value::Str("corn fungicide guidelines handbook".into()),
+            ],
+            vec![
+                Value::Str("ACC4".into()),
+                Value::Null,
+                Value::Null,
+                Value::Str("maize gene expression study".into()),
+            ],
+        ],
+    )
+    .unwrap()
+}
+
+/// Five arriving UMETRICS records: two sure matches, one near-title
+/// probe, one award-less row, one title-less row.
+pub fn arrivals() -> Table {
+    Table::from_rows(
+        "umetrics",
+        Schema::of(&[(AWARD_COL, DataType::Str), (TITLE_COL, DataType::Str)]),
+        vec![
+            vec![
+                Value::Str("10.200 2008-34103-19449".into()),
+                Value::Str("corn fungicide guidelines for states".into()),
+            ],
+            vec![
+                Value::Str("10.203 WIS01040".into()),
+                Value::Str("swamp dodder ecology and biology".into()),
+            ],
+            vec![
+                Value::Str("10.310 9999-88888-77777".into()),
+                Value::Str("corn fungicide guidelines for whom".into()),
+            ],
+            vec![Value::Null, Value::Str("maize gene expression study".into())],
+            vec![Value::Str("10.500 NOPE".into()), Value::Null],
+        ],
+    )
+    .unwrap()
+}
+
+fn rule_descs() -> RuleSetDesc {
+    RuleSetDesc::new()
+        .positive(RuleKeyKind::Suffix, "M1", AWARD_COL, AWARD_COL)
+        .positive(RuleKeyKind::Suffix, "award=project", AWARD_COL, "ProjectNumber")
+        .negative(RuleKeyKind::Suffix, "neg:award", AWARD_COL, AWARD_COL)
+        .negative(RuleKeyKind::Suffix, "neg:project", AWARD_COL, "ProjectNumber")
+}
+
+fn features() -> FeatureSet {
+    let mut f = FeatureSet::default();
+    f.features.push(Feature::new(TITLE_COL, TITLE_COL, FeatureKind::JaccardWord, true));
+    f
+}
+
+/// A complete frozen workflow over [`corpus`] whose model predicts every
+/// candidate at the given constant probability.
+pub fn snapshot(proba: f64) -> WorkflowSnapshot {
+    WorkflowSnapshot {
+        corpus: corpus(),
+        features: features(),
+        imputer: Imputer { means: vec![0.0] },
+        model: FittedModel::Constant(ConstantModel { proba }),
+        learner_name: "constant".into(),
+        rules: rule_descs(),
+        plan: BlockingPlan { overlap_k: 3, oc_threshold: 0.7 },
+        threshold: 0.5,
+    }
+}
+
+/// A pushable clone of corpus row `p % corpus.n_rows()` under the fresh
+/// accession number `"<tag>-<p>"` — blocks and joins like a real row
+/// without colliding with any existing deliverable id.
+pub fn push_variant(corpus: &Table, tag: &str, p: usize) -> Vec<Value> {
+    let acc = corpus.schema().index_of(ACCESSION_COL).unwrap();
+    let src = corpus.row(p % corpus.n_rows()).unwrap();
+    let mut vals = src.values().to_vec();
+    vals[acc] = Value::Str(format!("{tag}-{p}"));
+    vals
+}

@@ -1,0 +1,183 @@
+//! Property tests for WAL-based crash recovery: for *arbitrary*
+//! interleavings of corpus pushes and arrival matches, a crash at any
+//! WAL record boundary — or mid-append, at any byte of the final record —
+//! recovers a service whose replay of the remaining operations is
+//! bit-identical to the run that never crashed.
+
+use em_core::MatchIds;
+use em_serve::testkit::{arrivals, push_variant, snapshot};
+use em_serve::{read_wal, MatchService};
+use em_table::{Table, Value};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Push(usize),
+    Match(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![(0usize..12).prop_map(Op::Push), (0usize..5).prop_map(Op::Match)]
+}
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let case = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "em-wal-prop-{tag}-{}-{case}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Applies `ops`; returns one `Some(ids)` per match op. `rows` is
+/// slot-aligned with `ops`: `rows[i]` is the row `ops[i]` pushes (unused
+/// for match ops).
+fn run_ops(
+    service: &mut MatchService,
+    ops: &[Op],
+    arr: &Table,
+    rows: &[Vec<Value>],
+) -> Vec<Option<MatchIds>> {
+    ops.iter()
+        .zip(rows)
+        .map(|(op, row)| match op {
+            Op::Push(_) => {
+                service.push_corpus_row(row.clone()).expect("push");
+                None
+            }
+            Op::Match(i) => Some(service.match_on_arrival(arr, *i).expect("match").ids),
+        })
+        .collect()
+}
+
+/// Reference run over `ops`: checkpointed service, per-op outcomes, the
+/// finished WAL, and the op index resuming each record prefix.
+struct Reference {
+    dir: PathBuf,
+    snap: PathBuf,
+    wal: PathBuf,
+    rows: Vec<Vec<Value>>,
+    arr: Table,
+    outcomes: Vec<Option<MatchIds>>,
+    offsets: Vec<u64>,
+    header_len: u64,
+    resume_at: Vec<usize>,
+    base_rows: usize,
+}
+
+fn reference(tag: &str, ops: &[Op]) -> Reference {
+    let dir = scratch_dir(tag);
+    let snap = dir.join("ref.emsnap");
+    let wal = dir.join("ref.wal");
+    let arr = arrivals();
+    let mut service = MatchService::from_snapshot(snapshot(1.0)).expect("service");
+    let base_rows = service.corpus().n_rows();
+    // Push rows get per-op-slot accessions so repeated Push(p) of the same
+    // source row still inserts distinct corpus rows.
+    let rows: Vec<Vec<Value>> = ops
+        .iter()
+        .enumerate()
+        .map(|(slot, op)| {
+            let p = if let Op::Push(p) = op { *p } else { 0 };
+            push_variant(service.corpus(), &format!("{tag}-{slot}"), p)
+        })
+        .collect();
+    service.checkpoint(&snap, &wal).expect("checkpoint");
+    let outcomes = run_ops(&mut service, ops, &arr, &rows);
+    let replay = read_wal(&wal).expect("read wal");
+    let n_pushes = ops.iter().filter(|o| matches!(o, Op::Push(_))).count();
+    assert_eq!(replay.records.len(), n_pushes);
+    let header_len = {
+        let bytes = std::fs::read(&wal).expect("read wal bytes");
+        bytes.iter().position(|&b| b == b'\n').expect("header") as u64 + 1
+    };
+    let mut resume_at = vec![0usize];
+    for (idx, op) in ops.iter().enumerate() {
+        if matches!(op, Op::Push(_)) {
+            resume_at.push(idx + 1);
+        }
+    }
+    Reference {
+        dir,
+        snap,
+        wal,
+        rows,
+        arr,
+        outcomes,
+        offsets: replay.record_end_offsets,
+        header_len,
+        resume_at,
+        base_rows,
+    }
+}
+
+fn truncate_copy(r: &Reference, name: &str, len: u64) -> PathBuf {
+    let bytes = std::fs::read(&r.wal).expect("read wal");
+    let dest = r.dir.join(name);
+    std::fs::write(&dest, &bytes[..bytes.len().min(len as usize)]).expect("write copy");
+    dest
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Crash at every record boundary of an arbitrary interleaving: the
+    /// recovered service replays the remaining ops bit-identically.
+    #[test]
+    fn recovery_replays_any_interleaving(ops in proptest::collection::vec(op_strategy(), 1..28)) {
+        let r = reference("interleave", &ops);
+        let n_records = r.offsets.len();
+        for k in 0..=n_records {
+            let len = if k == 0 { r.header_len } else { r.offsets[k - 1] };
+            let wal_copy = truncate_copy(&r, &format!("crash-{k}.wal"), len);
+            let (mut service, report) =
+                MatchService::recover(&r.snap, &wal_copy).expect("recover");
+            prop_assert_eq!(report.replayed, k, "prefix {}", k);
+            prop_assert!(!report.torn_tail_repaired, "clean cut misread as tear at {}", k);
+            prop_assert_eq!(service.corpus().n_rows(), r.base_rows + k, "prefix {}", k);
+            let resume = r.resume_at[k];
+            let tail = run_ops(&mut service, &ops[resume..], &r.arr, &r.rows[resume..]);
+            prop_assert_eq!(
+                tail,
+                r.outcomes[resume..].to_vec(),
+                "prefix {}: replay diverged from the uninterrupted run",
+                k
+            );
+        }
+        let _ = std::fs::remove_dir_all(&r.dir);
+    }
+
+    /// Torn tail at every byte prefix of the final record: recovery always
+    /// lands on the longest clean prefix, records the repair, and replays
+    /// the rest bit-identically.
+    #[test]
+    fn torn_final_record_recovers_the_prefix_at_every_byte(
+        ops in proptest::collection::vec(op_strategy(), 1..20),
+        last_push in 0usize..12,
+    ) {
+        let mut ops = ops;
+        ops.push(Op::Push(last_push)); // guarantee a final record to tear
+        let r = reference("torn", &ops);
+        let n_records = r.offsets.len();
+        let start = if n_records >= 2 { r.offsets[n_records - 2] } else { r.header_len };
+        let end = r.offsets[n_records - 1];
+        let resume = r.resume_at[n_records - 1];
+        for cut in (start + 1)..end {
+            let wal_copy = truncate_copy(&r, &format!("tear-{cut}.wal"), cut);
+            let (mut service, report) =
+                MatchService::recover(&r.snap, &wal_copy).expect("recover");
+            prop_assert_eq!(report.replayed, n_records - 1, "cut {}", cut);
+            prop_assert!(report.torn_tail_repaired, "cut {} not recorded as a tear", cut);
+            prop_assert_eq!(service.corpus().n_rows(), r.base_rows + n_records - 1);
+            let tail = run_ops(&mut service, &ops[resume..], &r.arr, &r.rows[resume..]);
+            prop_assert_eq!(tail, r.outcomes[resume..].to_vec(), "cut {}", cut);
+        }
+        let _ = std::fs::remove_dir_all(&r.dir);
+    }
+}

@@ -1,0 +1,232 @@
+//! Crash-recovery equivalence: a service killed after *any* WAL record —
+//! including mid-append, leaving a torn tail — and recovered from its
+//! checkpoint + WAL serves the rest of its event trace bit-identically
+//! to a service that never crashed.
+//!
+//! The trace interleaves 110 corpus pushes with 110 arrival matches
+//! (220 events, above the 200-event floor). Because matches between push
+//! `k` and push `k+1` depend only on the corpus prefix `0..=k`, a crash
+//! right after WAL record `k` must recover a service whose replay of the
+//! remaining events reproduces the uninterrupted run's outcomes exactly —
+//! at every prefix, at 1 and at 4 threads, with byte-identical
+//! [`ServiceStats`] across thread counts.
+
+use em_core::MatchIds;
+use em_serve::testkit::{arrivals, push_variant, snapshot};
+use em_serve::{read_wal, MatchService, ServiceStats};
+use em_table::{Table, Value};
+use std::path::{Path, PathBuf};
+
+#[derive(Clone, Copy)]
+enum Event {
+    Push(usize),
+    Match(usize),
+}
+
+const N_PUSHES: usize = 110;
+
+/// Pushes and matches, strictly alternating: 220 events.
+fn trace(n_arrivals: usize) -> Vec<Event> {
+    (0..2 * N_PUSHES)
+        .map(|s| if s % 2 == 0 { Event::Push(s / 2) } else { Event::Match((s / 2) % n_arrivals) })
+        .collect()
+}
+
+fn push_rows(base: &Table) -> Vec<Vec<Value>> {
+    (0..N_PUSHES).map(|p| push_variant(base, "WAL", p)).collect()
+}
+
+/// Applies `events`, returning one `Some(ids)` per slot for match events.
+fn run_events(
+    service: &mut MatchService,
+    events: &[Event],
+    arr: &Table,
+    rows: &[Vec<Value>],
+) -> Vec<Option<MatchIds>> {
+    events
+        .iter()
+        .map(|e| match e {
+            Event::Push(p) => {
+                service.push_corpus_row(rows[*p].clone()).expect("push");
+                None
+            }
+            Event::Match(i) => Some(service.match_on_arrival(arr, *i).expect("match").ids),
+        })
+        .collect()
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("em-wal-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Copies the reference WAL truncated to `len` bytes.
+fn truncated_wal(full_wal: &Path, dest: &Path, len: u64) -> PathBuf {
+    let bytes = std::fs::read(full_wal).expect("read full wal");
+    let cut = bytes.len().min(len as usize);
+    std::fs::write(dest, &bytes[..cut]).expect("write truncated wal");
+    dest.to_path_buf()
+}
+
+struct Reference {
+    dir: PathBuf,
+    snap_path: PathBuf,
+    wal_path: PathBuf,
+    events: Vec<Event>,
+    rows: Vec<Vec<Value>>,
+    arrivals: Table,
+    outcomes: Vec<Option<MatchIds>>,
+    /// `record_end_offsets` of the finished WAL (one per push).
+    offsets: Vec<u64>,
+    /// Event index right after each push: `resume_at[k]` is where a crash
+    /// that persisted exactly `k` WAL records resumes the trace.
+    resume_at: Vec<usize>,
+    base_rows: usize,
+}
+
+/// The uninterrupted run: checkpoint, apply all 220 events, keep the
+/// per-event outcomes and the final WAL as the oracle.
+fn reference(tag: &str) -> Reference {
+    let dir = scratch_dir(tag);
+    let snap_path = dir.join("ref.emsnap");
+    let wal_path = dir.join("ref.wal");
+    let arrivals = arrivals();
+    let events = trace(arrivals.n_rows());
+    let mut service = MatchService::from_snapshot(snapshot(1.0)).expect("service");
+    let base_rows = service.corpus().n_rows();
+    let rows = push_rows(service.corpus());
+    service.checkpoint(&snap_path, &wal_path).expect("checkpoint");
+    let outcomes = run_events(&mut service, &events, &arrivals, &rows);
+    let replay = read_wal(&wal_path).expect("read reference wal");
+    assert_eq!(replay.records.len(), N_PUSHES);
+    assert!(!replay.torn_tail);
+    let mut resume_at = vec![0usize];
+    for (idx, e) in events.iter().enumerate() {
+        if let Event::Push(_) = e {
+            resume_at.push(idx + 1);
+        }
+    }
+    assert_eq!(resume_at.len(), N_PUSHES + 1);
+    Reference {
+        dir,
+        snap_path,
+        wal_path,
+        events,
+        rows,
+        arrivals,
+        outcomes,
+        offsets: replay.record_end_offsets,
+        resume_at,
+        base_rows,
+    }
+}
+
+/// WAL length (bytes) that persists exactly `k` records: the header alone
+/// for `k == 0`, else the end of record `k - 1`.
+fn prefix_len(r: &Reference, k: usize) -> u64 {
+    if k == 0 {
+        let bytes = std::fs::read(&r.wal_path).expect("read wal");
+        let header_end = bytes.iter().position(|&b| b == b'\n').expect("header line");
+        header_end as u64 + 1
+    } else {
+        r.offsets[k - 1]
+    }
+}
+
+/// Recovers from a WAL truncated to `len` bytes and replays the trace
+/// from `resume`; returns the replayed outcomes and the final stats.
+fn recover_and_replay(
+    r: &Reference,
+    len: u64,
+    resume: usize,
+    tag: &str,
+) -> (usize, Vec<Option<MatchIds>>, ServiceStats) {
+    let wal_copy = truncated_wal(&r.wal_path, &r.dir.join(format!("crash-{tag}.wal")), len);
+    let (mut service, report) = MatchService::recover(&r.snap_path, &wal_copy).expect("recover");
+    let replayed = report.replayed;
+    let tail = run_events(&mut service, &r.events[resume..], &r.arrivals, &r.rows);
+    (replayed, tail, service.stats())
+}
+
+#[test]
+fn crash_after_every_wal_record_replays_bit_identically() {
+    let r = reference("every-record");
+    for k in 0..=N_PUSHES {
+        let len = prefix_len(&r, k);
+        let resume = r.resume_at[k];
+
+        em_parallel::set_threads(1);
+        let (replayed_1, tail_1, stats_1) = recover_and_replay(&r, len, resume, &format!("{k}-t1"));
+        em_parallel::set_threads(4);
+        let (replayed_4, tail_4, stats_4) = recover_and_replay(&r, len, resume, &format!("{k}-t4"));
+        em_parallel::set_threads(0);
+
+        assert_eq!(replayed_1, k, "prefix {k}: wrong replay count");
+        assert_eq!(replayed_4, k, "prefix {k}: wrong replay count at 4 threads");
+        assert_eq!(
+            tail_1,
+            r.outcomes[resume..].to_vec(),
+            "prefix {k}: post-recovery outcomes diverged from the uninterrupted run"
+        );
+        assert_eq!(tail_4, tail_1, "prefix {k}: thread count changed outcomes");
+        assert_eq!(stats_1, stats_4, "prefix {k}: ServiceStats not byte-identical across threads");
+        assert_eq!(stats_1.corpus_rows, r.base_rows + N_PUSHES, "prefix {k}");
+        assert_eq!(stats_1.wal_replayed, k as u64, "prefix {k}");
+        assert_eq!(stats_1.torn_tail_repairs, 0, "prefix {k}: clean cut is not a tear");
+    }
+    let _ = std::fs::remove_dir_all(&r.dir);
+}
+
+#[test]
+fn crash_mid_append_drops_the_torn_tail_and_recovers_the_prefix() {
+    let r = reference("torn-tail");
+    // Tear inside the first, a middle, and the last record — every byte
+    // position strictly inside the record's line.
+    for &k in &[1usize, N_PUSHES / 2, N_PUSHES] {
+        let start = prefix_len(&r, k - 1);
+        let end = prefix_len(&r, k);
+        let resume = r.resume_at[k - 1];
+        for cut in (start + 1)..end {
+            let (replayed, tail, stats) =
+                recover_and_replay(&r, cut, resume, &format!("tear-{k}-{cut}"));
+            assert_eq!(replayed, k - 1, "cut {cut} in record {k}: tear must drop the tail");
+            assert_eq!(
+                stats.torn_tail_repairs, 1,
+                "cut {cut} in record {k}: repair not recorded"
+            );
+            assert_eq!(
+                tail,
+                r.outcomes[resume..].to_vec(),
+                "cut {cut} in record {k}: replay from the repaired prefix diverged"
+            );
+            assert_eq!(stats.corpus_rows, r.base_rows + N_PUSHES);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&r.dir);
+}
+
+#[test]
+fn recovered_service_keeps_appending_on_the_repaired_wal() {
+    let r = reference("resume-append");
+    // Tear the final record, recover, and verify the repaired WAL is a
+    // live log again: new pushes append with continuous sequence numbers
+    // and a second recovery sees them.
+    let cut = prefix_len(&r, N_PUSHES) - 1;
+    let wal_copy = truncated_wal(&r.wal_path, &r.dir.join("resume.wal"), cut);
+    let (mut service, report) = MatchService::recover(&r.snap_path, &wal_copy).expect("recover");
+    assert_eq!(report.replayed, N_PUSHES - 1);
+    assert!(report.torn_tail_repaired);
+    service.push_corpus_row(push_variant(service.corpus(), "POST", 0)).expect("push");
+    service.push_corpus_row(push_variant(service.corpus(), "POST", 1)).expect("push");
+    drop(service);
+    let replay = read_wal(&wal_copy).expect("read repaired wal");
+    assert!(!replay.torn_tail, "repair must leave a clean log");
+    assert_eq!(replay.records.len(), N_PUSHES + 1, "N-1 survivors + 2 fresh appends");
+    let (service2, report2) = MatchService::recover(&r.snap_path, &wal_copy).expect("re-recover");
+    assert_eq!(report2.replayed, N_PUSHES + 1);
+    assert!(!report2.torn_tail_repaired);
+    assert_eq!(service2.corpus().n_rows(), r.base_rows + N_PUSHES + 1);
+    let _ = std::fs::remove_dir_all(&r.dir);
+}

@@ -44,6 +44,20 @@ if awk '/---- scratch construction/{exit} {print}' crates/serve/src/hot.rs \
 fi
 echo "    serve hot loop clean"
 
+echo "==> serve fault-path panic hygiene (no unwrap/expect/panic! outside tests)"
+# The WAL, swap, overload, and chaos modules are the crash-recovery
+# surface: every failure must be a typed ServeError, never a panic.
+for f in crates/serve/src/wal.rs crates/serve/src/swap.rs \
+         crates/serve/src/overload.rs crates/serve/src/chaos.rs; do
+    # Non-test code only: stop at the #[cfg(test)] module.
+    if awk '/#\[cfg\(test\)\]/{exit} {print}' "$f" \
+        | grep -nE '\.unwrap\(|\.expect\(|panic!'; then
+        echo "    FAIL: panic path in fault-handling module $f" >&2
+        exit 1
+    fi
+done
+echo "    serve fault modules panic-free"
+
 echo "==> feature_kernels criterion bench (smoke)"
 EM_BENCH_SMOKE=1 cargo bench "${CARGO_FLAGS[@]}" -p em-bench --bench feature_kernels >/dev/null
 echo "    feature_kernels bench ran"
@@ -54,10 +68,22 @@ echo "==> em-serve snapshot round-trip gate"
 cargo test "${CARGO_FLAGS[@]}" -q -p em-serve snapshot
 echo "    snapshot round-trip ok"
 
-echo "==> reproduce --bench --serve smoke (small scale, 2 threads)"
+echo "==> seeded serve-chaos gate (2 fixed seeds, bit-identity + zero panics)"
+# Each run must exit 0 (any panic or divergence is a nonzero exit) and
+# print the bit-identity marker line from the post-run audit.
+for seed in 7 20190326; do
+    CHAOS_OUT=$(target/release/reproduce --serve-chaos --seed "$seed" 2>/dev/null)
+    if ! grep -q "bit-identical to the fault-free run" <<<"$CHAOS_OUT"; then
+        echo "    FAIL: chaos run at seed $seed did not certify bit-identity" >&2
+        exit 1
+    fi
+done
+echo "    chaos schedules clean at both seeds"
+
+echo "==> reproduce --bench --serve --serve-chaos smoke (small scale, 2 threads)"
 BENCH_DIR=$(mktemp -d)
 trap 'rm -rf "$BENCH_DIR"' EXIT
-(cd "$BENCH_DIR" && "$OLDPWD/target/release/reproduce" --bench --serve --threads 2 >/dev/null)
+(cd "$BENCH_DIR" && "$OLDPWD/target/release/reproduce" --bench --serve --serve-chaos --threads 2 >/dev/null)
 python3 - "$BENCH_DIR/BENCH_pipeline.json" BENCH_pipeline.json <<'EOF'
 import json, sys
 
@@ -90,6 +116,25 @@ for key, kind in [("mask_live", int), ("mask_total", int),
                   ("candidates_total", int), ("candidates_max", int)]:
     assert isinstance(serve.get(key), kind), f"serve block missing {key!r}"
 assert 0 < serve["mask_live"] <= serve["mask_total"], "feature mask out of range"
+
+chaos = doc.get("serve_chaos")
+assert isinstance(chaos, dict), "missing serve_chaos block"
+for key, kind in [("seed", int), ("arrivals", int), ("completed", int),
+                  ("shed", int), ("retried", int), ("queue_full", int),
+                  ("degraded", int), ("crashes", int), ("recoveries", int),
+                  ("wal_records_replayed", int), ("torn_tails_repaired", int),
+                  ("swaps", int), ("swap_rollbacks", int),
+                  ("snapshots_quarantined", int), ("recovery_ms_total", float),
+                  ("recovery_ms_max", float), ("swap_latency_ms_max", float),
+                  ("bit_identical", bool), ("terminal_outcomes", bool),
+                  ("final_epoch", int)]:
+    assert isinstance(chaos.get(key), kind), f"serve_chaos block missing {key!r}"
+assert chaos["bit_identical"], "chaos outcomes diverged from the fault-free run"
+assert chaos["terminal_outcomes"], "a chaos request never reached a terminal outcome"
+assert chaos["completed"] + chaos["shed"] == chaos["arrivals"], \
+    "chaos accounting identity violated: completed + shed != arrivals"
+assert chaos["recoveries"] == chaos["crashes"] + 1, \
+    "every crash plus the final audit must recover exactly once"
 
 # Throughput regression gate: the smoke run is *small* scale while the
 # committed JSON is x4, and per-record serving is strictly faster on the

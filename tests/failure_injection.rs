@@ -116,6 +116,7 @@ fn active_faults() -> FaultPlan {
         p_corrupt_row: 0.03,
         max_quarantine_fraction: 0.25,
         crash_after: None,
+        ..FaultPlan::none()
     }
 }
 
