@@ -46,6 +46,8 @@ struct Args {
     bench: bool,
     serve: bool,
     serve_chaos: bool,
+    scaling: Vec<f64>,
+    explicit_sections: bool,
     sections: Vec<String>,
 }
 
@@ -85,6 +87,8 @@ fn parse_args() -> Args {
         bench: false,
         serve: false,
         serve_chaos: false,
+        scaling: Vec::new(),
+        explicit_sections: false,
         sections: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -116,8 +120,18 @@ fn parse_args() -> Args {
             "--serve-chaos" => {
                 args.serve_chaos = true;
             }
+            "--scaling" => {
+                args.scaling = it
+                    .next()
+                    .unwrap_or_default()
+                    .split(',')
+                    .filter_map(|v| v.trim().parse().ok())
+                    .filter(|&f: &f64| f > 0.0)
+                    .collect();
+            }
             "--section" => {
                 if let Some(v) = it.next() {
+                    args.explicit_sections = true;
                     args.sections.push(v);
                 }
             }
@@ -132,7 +146,13 @@ fn parse_args() -> Args {
                      --serve: also time online serving (serve_batch/serve_single); implies --bench\n\
                      --serve-chaos: drive the serve tier through a seeded fault schedule (crashes,\n\
                                     torn WAL tails, corrupt snapshots, bursts) and prove recovery is\n\
-                                    bit-identical; standalone, or a serve_chaos JSON block with --bench",
+                                    bit-identical; standalone, or a serve_chaos JSON block with --bench\n\
+                     --scaling F1,F2,...: run the corpus-scale blocking stages at each factor\n\
+                                    (streaming set-similarity join; records candidates/sec, wall\n\
+                                    time, and peak RSS). With --bench this adds a `scaling` block\n\
+                                    to BENCH_pipeline.json; standalone it writes BENCH_scaling.json.\n\
+                                    A bare --scale-factor F (no --bench, no --section) is shorthand\n\
+                                    for --scaling F",
                     ALL_SECTIONS.join(" ")
                 );
                 std::process::exit(0);
@@ -162,6 +182,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if args.bench || args.serve {
         bench_pipeline(&args)?;
+        print_wall_time(started);
+        return Ok(());
+    }
+    // Scaling-only modes: an explicit `--scaling` list, or a bare
+    // `--scale-factor F` with no sections requested — running the full
+    // report at x64/x256 is not meaningful (the paper's numbers are
+    // x1-scale), so a bare factor means "measure the corpus-scale blocking
+    // stage there".
+    if !args.scaling.is_empty() || (args.scale_factor.is_some() && !args.explicit_sections) {
+        let factors = if args.scaling.is_empty() {
+            vec![args.scale_factor.unwrap_or(1.0)]
+        } else {
+            args.scaling.clone()
+        };
+        let seed = args.base_cfg().seed;
+        let seed = args.seed.unwrap_or(seed);
+        let block = scaling_stages(&factors, seed)?;
+        let json = format!("{{\n{block}  \"seed\": {seed}\n}}\n");
+        std::fs::write("BENCH_scaling.json", &json)?;
+        println!("  wrote BENCH_scaling.json");
         print_wall_time(started);
         return Ok(());
     }
@@ -557,6 +597,14 @@ fn bench_pipeline(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         serve_chaos_json = chaos_json(&report);
     }
 
+    // `--scaling`: the corpus-scale blocking stages ride along in the same
+    // artifact so one bench run captures both the x1-scale stage table and
+    // the x64/x256 scalability record.
+    let mut scaling_json = String::new();
+    if !args.scaling.is_empty() {
+        scaling_json = scaling_stages(&args.scaling, bench_seed)?;
+    }
+
     // Console summary + JSON artifact.
     println!(
         "  {:<20} {:>8} {:>12} {:>12} {:>9} {:>14}",
@@ -597,7 +645,7 @@ fn bench_pipeline(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     // interpretable on other hardware.
     let available = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
     let json = format!(
-        "{{\n  \"scale\": \"{}\",\n  \"seed\": {},\n  \"threads\": {},\n  \"available_parallelism\": {},\n  \"em_threads\": {},\n  \"candidate_pairs\": {},\n{}{}  \"stages\": [\n{}\n  ],\n  \"total_wall_ms_1t\": {:.3},\n  \"total_wall_ms_nt\": {:.3},\n  \"combined_speedup\": {:.3}\n}}\n",
+        "{{\n  \"scale\": \"{}\",\n  \"seed\": {},\n  \"threads\": {},\n  \"available_parallelism\": {},\n  \"em_threads\": {},\n  \"candidate_pairs\": {},\n{}{}{}  \"stages\": [\n{}\n  ],\n  \"total_wall_ms_1t\": {:.3},\n  \"total_wall_ms_nt\": {:.3},\n  \"combined_speedup\": {:.3}\n}}\n",
         args.scale_label(),
         bench_seed,
         requested,
@@ -606,6 +654,7 @@ fn bench_pipeline(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         pairs.len(),
         serve_json,
         serve_chaos_json,
+        scaling_json,
         stage_json.join(",\n"),
         total_1t,
         total_nt,
@@ -614,6 +663,163 @@ fn bench_pipeline(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     std::fs::write("BENCH_pipeline.json", &json)?;
     println!("  wrote BENCH_pipeline.json");
     Ok(())
+}
+
+/// Peak resident-set size of this process in MiB (`VmHWM` from
+/// `/proc/self/status`); 0.0 where procfs is unavailable. A high-water
+/// mark, so per-stage readings are meaningful when stages run in
+/// ascending-cost order.
+fn peak_rss_mib() -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else { return 0.0 };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: f64 =
+                rest.trim().trim_end_matches("kB").trim().parse().unwrap_or(0.0);
+            return kb / 1024.0;
+        }
+    }
+    0.0
+}
+
+/// One corpus-scale blocking measurement.
+struct ScaleStage {
+    factor: f64,
+    left_rows: usize,
+    right_rows: usize,
+    gen_ms: f64,
+    wall_ms: f64,
+    join_pairs: u64,
+    consolidated: u64,
+    checksum: u64,
+    peak_rss_mib: f64,
+}
+
+impl ScaleStage {
+    fn cand_per_s(&self) -> f64 {
+        self.join_pairs as f64 / (self.wall_ms.max(1e-9) / 1e3)
+    }
+}
+
+/// `--scaling F1,F2,...`: the corpus-scale blocking stages. Each factor
+/// generates the scenario at that scale (auxiliary tables capped at paper
+/// size — they never feed the blocking columns, verified by the x4
+/// cross-check below), runs C1 as a hash join, and **streams** the
+/// `C2 ∪ C3` title join through [`em_blocking::join_stats`]: candidate
+/// counts, an order-invariant checksum of the exact pair stream, and a
+/// C1-membership flag per pair, so `|C1 ∪ C2 ∪ C3|` falls out of
+/// inclusion–exclusion without ever materializing a corpus-scale candidate
+/// set. Factors run in ascending order so the `VmHWM` high-water mark read
+/// after each stage approximates that stage's peak.
+fn scaling_stages(factors: &[f64], seed: u64) -> Result<String, Box<dyn std::error::Error>> {
+    use em_core::blocking_plan::c1_scheme;
+    use em_text::intern::{TokenCache, TokenCorpus};
+
+    let mut factors: Vec<f64> = factors.to_vec();
+    factors.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    println!("\n## Corpus-scale blocking — streaming set-similarity join");
+    println!(
+        "  {:>7} {:>9} {:>9} {:>9} {:>12} {:>12} {:>13} {:>9}",
+        "factor", "left", "right", "wall ms", "join pairs", "|C1∪C2∪C3|", "cand/s", "RSS MiB"
+    );
+    let plan = BlockingPlan::default();
+    let spec = plan.union_spec();
+    let mut stages = Vec::new();
+    for &factor in &factors {
+        // Cap the auxiliary tables (employees, vendors, sub-awards, object
+        // codes) at paper size: each table draws from its own RNG stream,
+        // so the blocking inputs are unchanged, and generation stays
+        // proportional to the tables blocking actually reads.
+        let mut cfg = ScenarioConfig::scaled(factor).with_seed(seed);
+        let paper = ScenarioConfig::paper();
+        cfg.n_employees = paper.n_employees;
+        cfg.n_vendors = paper.n_vendors;
+        cfg.n_subawards = paper.n_subawards;
+        cfg.n_object_codes = paper.n_object_codes;
+
+        let t0 = std::time::Instant::now();
+        let scenario = em_datagen::Scenario::generate(cfg)?;
+        let u = em_core::preprocess::project_umetrics(&scenario.award_agg, &scenario.employees)?;
+        let d = em_core::preprocess::project_usda(&scenario.usda, true)?;
+        let gen_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let t0 = std::time::Instant::now();
+        let c1 = c1_scheme(&u, &d)?;
+        let c1_pairs: std::collections::HashSet<(usize, usize)> =
+            c1.iter().map(|p| (p.left, p.right)).collect();
+        let cache = TokenCache::for_blocking();
+        let left = TokenCorpus::from_column(
+            &cache,
+            (0..u.n_rows()).map(|i| u.get(i, "AwardTitle").and_then(|v| v.as_str())),
+        );
+        let right = TokenCorpus::from_column(
+            &cache,
+            (0..d.n_rows()).map(|i| d.get(i, "AwardTitle").and_then(|v| v.as_str())),
+        );
+        let index = em_blocking::JoinIndex::build(right);
+        let stats =
+            em_blocking::join_stats(&left, &index, &spec, |i, j| c1_pairs.contains(&(i, j)));
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        // |C1 ∪ (C2 ∪ C3)| by inclusion–exclusion over the streamed flags.
+        let consolidated = c1.len() as u64 + stats.pairs - stats.flagged;
+        let stage = ScaleStage {
+            factor,
+            left_rows: u.n_rows(),
+            right_rows: d.n_rows(),
+            gen_ms,
+            wall_ms,
+            join_pairs: stats.pairs,
+            consolidated,
+            checksum: stats.checksum,
+            peak_rss_mib: peak_rss_mib(),
+        };
+        println!(
+            "  {:>7} {:>9} {:>9} {:>9.1} {:>12} {:>12} {:>13.0} {:>9.0}",
+            format!("x{factor}"),
+            stage.left_rows,
+            stage.right_rows,
+            stage.wall_ms,
+            stage.join_pairs,
+            stage.consolidated,
+            stage.cand_per_s(),
+            stage.peak_rss_mib
+        );
+
+        // Small factors double as a correctness gate: the streamed count
+        // must equal the materialized plan's consolidated set.
+        if factor <= 8.0 {
+            let out = run_blocking(&u, &d, &plan)?;
+            assert_eq!(
+                consolidated,
+                out.consolidated.len() as u64,
+                "streamed consolidated count diverged from run_blocking at x{factor}"
+            );
+        }
+        stages.push(stage);
+    }
+
+    let stage_json: Vec<String> = stages
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"factor\": {}, \"left_rows\": {}, \"right_rows\": {}, \
+                 \"gen_ms\": {:.3}, \"wall_ms\": {:.3}, \"join_pairs\": {}, \
+                 \"consolidated\": {}, \"checksum\": \"{:#018x}\", \
+                 \"cand_per_s\": {:.1}, \"peak_rss_mib\": {:.1}}}",
+                s.factor,
+                s.left_rows,
+                s.right_rows,
+                s.gen_ms,
+                s.wall_ms,
+                s.join_pairs,
+                s.consolidated,
+                s.checksum,
+                s.cand_per_s(),
+                s.peak_rss_mib
+            )
+        })
+        .collect();
+    Ok(format!("  \"scaling\": [\n{}\n  ],\n", stage_json.join(",\n")))
 }
 
 /// Standalone `--serve-chaos`: train the serving artifacts and drive the

@@ -4,8 +4,9 @@
 //!   regenerates every table and figure of the paper (see EXPERIMENTS.md for
 //!   the paper-vs-measured record).
 //! - `cargo bench -p em-bench` runs the Criterion suites: tokenizer and
-//!   similarity microbenchmarks, blocking with and without string filtering
-//!   (ablation A-3), feature extraction, matcher fit/predict, and the
+//!   similarity microbenchmarks, set-similarity-join blocking (ablation
+//!   A-3 reduces to a no-op toggle now that the join engine always runs
+//!   its exact filters), feature extraction, matcher fit/predict, and the
 //!   blocking debugger.
 //!
 //! This crate exposes small shared helpers for the benches; the binary

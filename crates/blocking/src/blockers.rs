@@ -10,22 +10,34 @@
 //! The token blockers run on the shared performance layer: each attribute
 //! is tokenized **once** into interned `u32` id lists through a memoizing
 //! [`TokenCache`] (shareable across blockers, so a whole blocking plan
-//! tokenizes each column a single time), and table-level probing fans out
-//! over left-row chunks on [`em_parallel::Executor`]. Candidate sets are
-//! ordered maps and every probe is a pure function of its row index, so
-//! output is bit-identical at any thread count.
+//! tokenizes each column a single time), and table-level blocking runs the
+//! batch set-similarity join of [`crate::join`] — df-ordered, size-bucketed
+//! postings over the right column, prefix + length filtered probes, exact
+//! verification — fanned out over left-row chunks on
+//! [`em_parallel::Executor`]. Candidate sets are ordered maps and every
+//! probe is a pure function of its row index, so output is bit-identical at
+//! any thread count.
+//!
+//! # Which blockers take which path
+//!
+//! [`OverlapBlocker`] and [`SetSimBlocker`] block tables through the join
+//! engine; [`AttrEquivalenceBlocker`] is a hash join. Only
+//! [`BlackboxBlocker`] — an opaque user predicate, with nothing to index —
+//! scans the Cartesian product, via the shared [`block_pairwise`] helper
+//! that also backs the [`Blocker::block`] trait default. Keeping the
+//! pairwise path in exactly one named function means an indexed blocker
+//! can't silently regress to it: the fast paths never call
+//! `block_pairwise`, and the debugger/tests that *want* exhaustive
+//! semantics call it by name.
 
 use crate::candidate::{CandidateSet, Pair};
 use crate::error::BlockError;
+use crate::join::{join_pairs_multi, JoinIndex, JoinSpec};
 use em_parallel::Executor;
 use em_table::{RowRef, Table};
 use em_text::intern::{overlap_size_sorted, TokenCache, TokenCorpus, TokenIds};
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
-
-/// Minimum left rows per probing thread; below this the fan-out cost
-/// dominates and table-level blocking stays single-threaded.
-const PROBE_GRAIN: usize = 64;
 
 /// Minimum candidate pairs per thread in `block_candidates`.
 const PAIR_GRAIN: usize = 256;
@@ -39,18 +51,9 @@ pub trait Blocker {
     fn accepts(&self, a: RowRef<'_>, b: RowRef<'_>) -> Result<bool, BlockError>;
 
     /// Blocks two whole tables. The default scans the Cartesian product
-    /// with [`accepts`](Self::accepts); index-based blockers override it.
+    /// through [`block_pairwise`]; index-based blockers override it.
     fn block(&self, a: &Table, b: &Table) -> Result<CandidateSet, BlockError> {
-        let mut out = CandidateSet::new(self.name());
-        let tag = self.name();
-        for (i, ra) in a.iter().enumerate() {
-            for (j, rb) in b.iter().enumerate() {
-                if self.accepts(ra, rb)? {
-                    out.add(Pair::new(i, j), &tag);
-                }
-            }
-        }
-        Ok(out)
+        block_pairwise(self, a, b)
     }
 
     /// Filters an existing candidate set down to the pairs this blocker
@@ -71,6 +74,29 @@ pub trait Blocker {
         }
         Ok(out)
     }
+}
+
+/// Exhaustive O(|A|·|B|) blocking: every pair through
+/// [`Blocker::accepts`]. This is the *only* Cartesian-product scan in the
+/// crate — the fallback for blockers with nothing to index
+/// ([`BlackboxBlocker`], and any [`Blocker`] that doesn't override
+/// [`Blocker::block`]) and the reference the join-backed paths are
+/// differential-tested against (`tests/join_prop.rs`).
+pub fn block_pairwise<B: Blocker + ?Sized>(
+    blocker: &B,
+    a: &Table,
+    b: &Table,
+) -> Result<CandidateSet, BlockError> {
+    let tag = blocker.name();
+    let mut out = CandidateSet::new(tag.clone());
+    for (i, ra) in a.iter().enumerate() {
+        for (j, rb) in b.iter().enumerate() {
+            if blocker.accepts(ra, rb)? {
+                out.add(Pair::new(i, j), &tag);
+            }
+        }
+    }
+    Ok(out)
 }
 
 fn rows<'t>(a: &'t Table, b: &'t Table, pair: Pair) -> Result<(RowRef<'t>, RowRef<'t>), BlockError> {
@@ -142,27 +168,6 @@ impl Blocker for AttrEquivalenceBlocker {
     }
 }
 
-/// Orders token ids by ascending global frequency (rarest first), id tie
-/// break — the canonical order prefix filtering requires. Returns a dense
-/// rank array indexed by token id.
-fn canonical_ranks(width: usize, corpora: [&TokenCorpus; 2]) -> Vec<u32> {
-    let mut freq = vec![0u32; width];
-    for corpus in corpora {
-        for (_, ids) in corpus.iter() {
-            for &t in ids {
-                freq[t as usize] += 1;
-            }
-        }
-    }
-    let mut order: Vec<u32> = (0..width as u32).filter(|&t| freq[t as usize] > 0).collect();
-    order.sort_unstable_by_key(|&t| (freq[t as usize], t));
-    let mut ranks = vec![0u32; width];
-    for (rank, &t) in order.iter().enumerate() {
-        ranks[t as usize] = rank as u32;
-    }
-    ranks
-}
-
 /// Tokenizes the blocking column of each table through the shared cache.
 /// The pass is sequential so id assignment stays deterministic.
 fn tokenize_columns(
@@ -177,16 +182,57 @@ fn tokenize_columns(
     (left, right)
 }
 
-/// Dense inverted index: token id → right-row indices holding it.
-fn inverted_index(right: &TokenCorpus) -> Vec<Vec<u32>> {
-    let width = right.max_id().map_or(0, |m| m as usize + 1);
-    let mut index: Vec<Vec<u32>> = vec![Vec::new(); width];
-    for (j, ids) in right.iter() {
-        for &t in ids {
-            index[t as usize].push(j as u32);
+/// Blocks several join predicates over one column pair, sharing a single
+/// tokenization pass and postings index across all of them. This is the
+/// plan-level entry point: `run_blocking`'s C2 (overlap) and C3 (overlap
+/// coefficient) both block `AwardTitle`, so running them through one call
+/// halves the corpus work. Each `(spec, tag)` yields one candidate set
+/// (in input order) whose pairs carry `tag` as provenance.
+///
+/// Callers are responsible for spec validation (the blockers validate
+/// before delegating here; see [`OverlapBlocker::join_spec`] and
+/// [`SetSimBlocker::join_spec`]).
+pub fn block_specs(
+    cache: &TokenCache,
+    a: &Table,
+    left_attr: &str,
+    b: &Table,
+    right_attr: &str,
+    specs: &[(JoinSpec, String)],
+) -> Result<Vec<CandidateSet>, BlockError> {
+    a.schema().require(left_attr)?;
+    b.schema().require(right_attr)?;
+    let (left, right) = tokenize_columns(cache, a, left_attr, b, right_attr);
+    let index = JoinIndex::build(right);
+    let only_specs: Vec<JoinSpec> = specs.iter().map(|(spec, _)| *spec).collect();
+    let by_spec = join_pairs_multi(&left, &index, &only_specs);
+    let mut sets = Vec::with_capacity(specs.len());
+    for ((_, tag), accepted) in specs.iter().zip(by_spec) {
+        let mut out = CandidateSet::new(tag.clone());
+        for (i, js) in accepted.iter().enumerate() {
+            for &j in js {
+                out.add(Pair::new(i, j as usize), tag);
+            }
         }
+        sets.push(out);
     }
-    index
+    Ok(sets)
+}
+
+/// Runs the batch join and folds the per-left-row admissions into a
+/// candidate set — the table-level path of a single token blocker.
+fn block_via_join(
+    cache: &TokenCache,
+    a: &Table,
+    left_attr: &str,
+    b: &Table,
+    right_attr: &str,
+    spec: &JoinSpec,
+    tag: &str,
+) -> Result<CandidateSet, BlockError> {
+    let mut sets =
+        block_specs(cache, a, left_attr, b, right_attr, &[(*spec, tag.to_string())])?;
+    sets.pop().ok_or_else(|| BlockError::BadParameter("empty spec list".to_string()))
 }
 
 /// Side-specific memo of token ids for the rows a candidate set touches.
@@ -216,10 +262,10 @@ fn pair_tokens(
 /// at least `threshold` distinct word tokens (Section 7, step 2; the paper
 /// used threshold 3 after sweeping 1 and 7).
 ///
-/// Table-level blocking uses an inverted index over interned token ids;
-/// with `use_prefix_filter = true` only each record's canonical prefix
-/// (`n − K + 1` rarest tokens) is indexed/probed, then survivors are
-/// verified exactly — the "string filtering techniques" of footnote 4.
+/// Table-level blocking runs the [`crate::join`] engine — the "string
+/// filtering techniques" of footnote 4 (prefix + length filters over
+/// df-ordered postings) with exact verification, so the result equals the
+/// unfiltered scan bit for bit.
 #[derive(Debug, Clone)]
 pub struct OverlapBlocker {
     /// Blocking attribute in the left table.
@@ -228,19 +274,16 @@ pub struct OverlapBlocker {
     pub right_attr: String,
     /// Minimum number of shared distinct tokens (≥ 1).
     pub threshold: usize,
-    /// Enable prefix filtering.
+    /// Retained for API compatibility; the join engine always applies
+    /// prefix + length filtering, so this flag no longer changes the
+    /// execution path (and never changed results).
     pub use_prefix_filter: bool,
     cache: Arc<TokenCache>,
     validated: OnceLock<Result<(), String>>,
 }
 
 impl OverlapBlocker {
-    /// Overlap blocker with the paper's normalization. Prefix filtering is
-    /// off by default: at low thresholds over short titles the canonical
-    /// prefix covers almost every token, so the filter generates nearly as
-    /// many candidates as the plain inverted index while paying an extra
-    /// verification pass (measured in `bench_blocking`; see EXPERIMENTS.md
-    /// ablation A-3). Enable it for high thresholds on long token lists.
+    /// Overlap blocker with the paper's normalization.
     pub fn new(
         left_attr: impl Into<String>,
         right_attr: impl Into<String>,
@@ -256,10 +299,18 @@ impl OverlapBlocker {
         }
     }
 
-    /// Enables canonical prefix filtering (builder style).
+    /// Historical builder for the opt-in prefix-filter path; kept so
+    /// existing call sites compile. The join engine filters always.
     pub fn with_prefix_filter(mut self) -> Self {
         self.use_prefix_filter = true;
         self
+    }
+
+    /// This blocker's join predicate, validated — for plan-level batching
+    /// through [`block_specs`].
+    pub fn join_spec(&self) -> Result<JoinSpec, BlockError> {
+        self.ensure_valid()?;
+        Ok(JoinSpec::overlap(self.threshold))
     }
 
     /// Shares a token cache with other blockers (builder style), so one
@@ -300,86 +351,8 @@ impl Blocker for OverlapBlocker {
     }
 
     fn block(&self, a: &Table, b: &Table) -> Result<CandidateSet, BlockError> {
-        self.ensure_valid()?;
-        a.schema().require(&self.left_attr)?;
-        b.schema().require(&self.right_attr)?;
-        let tag = self.name();
-        let k = self.threshold;
-
-        let (left, right) =
-            tokenize_columns(&self.cache, a, &self.left_attr, b, &self.right_attr);
-        let exec = Executor::current();
-
-        // Per left row, the accepted right rows — a pure function of the
-        // row index over read-only indexes, so chunks join in row order
-        // and output is thread-count independent.
-        let accepted: Vec<Vec<u32>> = if self.use_prefix_filter {
-            // Canonical order: rarest token first, over both columns.
-            let width = left
-                .max_id()
-                .max(right.max_id())
-                .map_or(0, |m| m as usize + 1);
-            let ranks = canonical_ranks(width, [&left, &right]);
-            let by_rank = |ids: &[u32]| -> Vec<u32> {
-                let mut v = ids.to_vec();
-                v.sort_unstable_by_key(|&t| ranks[t as usize]);
-                v
-            };
-
-            // Right side: index only each record's canonical prefix.
-            let mut index: Vec<Vec<u32>> = vec![Vec::new(); width];
-            for (j, ids) in right.iter() {
-                if ids.len() < k {
-                    continue; // cannot reach K distinct shared tokens
-                }
-                let sorted = by_rank(ids);
-                for &t in &sorted[..sorted.len() - k + 1] {
-                    index[t as usize].push(j as u32);
-                }
-            }
-            exec.map_indexed(left.len(), PROBE_GRAIN, |i| {
-                let ids = left.row(i);
-                if ids.len() < k {
-                    return Vec::new();
-                }
-                let sorted = by_rank(ids);
-                let mut seen: Vec<u32> = Vec::new();
-                for &t in &sorted[..sorted.len() - k + 1] {
-                    seen.extend_from_slice(&index[t as usize]);
-                }
-                seen.sort_unstable();
-                seen.dedup();
-                // Verify survivors exactly on the full id lists.
-                seen.retain(|&j| overlap_size_sorted(ids, right.row(j as usize)) >= k);
-                seen
-            })
-        } else {
-            // Exact counting over a full inverted index: since id lists are
-            // distinct per record, per-pair counts equal the overlap.
-            let index = inverted_index(&right);
-            exec.map_indexed(left.len(), PROBE_GRAIN, |i| {
-                let mut counts: HashMap<u32, usize> = HashMap::new();
-                for &t in left.row(i) {
-                    if let Some(js) = index.get(t as usize) {
-                        for &j in js {
-                            *counts.entry(j).or_insert(0) += 1;
-                        }
-                    }
-                }
-                let mut js: Vec<u32> =
-                    counts.into_iter().filter(|&(_, c)| c >= k).map(|(j, _)| j).collect();
-                js.sort_unstable();
-                js
-            })
-        };
-
-        let mut out = CandidateSet::new(tag.clone());
-        for (i, js) in accepted.iter().enumerate() {
-            for &j in js {
-                out.add(Pair::new(i, j as usize), &tag);
-            }
-        }
-        Ok(out)
+        let spec = self.join_spec()?;
+        block_via_join(&self.cache, a, &self.left_attr, b, &self.right_attr, &spec, &self.name())
     }
 
     fn block_candidates(
@@ -496,6 +469,13 @@ impl SetSimBlocker {
         self
     }
 
+    /// This blocker's join predicate, validated — for plan-level batching
+    /// through [`block_specs`].
+    pub fn join_spec(&self) -> Result<JoinSpec, BlockError> {
+        self.ensure_valid()?;
+        Ok(JoinSpec::set_sim(self.measure, self.threshold))
+    }
+
     /// Parameter validation, memoized on first use.
     fn ensure_valid(&self) -> Result<(), BlockError> {
         self.validated
@@ -537,47 +517,8 @@ impl Blocker for SetSimBlocker {
     }
 
     fn block(&self, a: &Table, b: &Table) -> Result<CandidateSet, BlockError> {
-        self.ensure_valid()?;
-        a.schema().require(&self.left_attr)?;
-        b.schema().require(&self.right_attr)?;
-        let tag = self.name();
-        let (left, right) =
-            tokenize_columns(&self.cache, a, &self.left_attr, b, &self.right_attr);
-        let index = inverted_index(&right);
-        let threshold = self.threshold;
-        let measure = self.measure;
-        let accepted: Vec<Vec<u32>> =
-            Executor::current().map_indexed(left.len(), PROBE_GRAIN, |i| {
-                let ids = left.row(i);
-                if ids.is_empty() {
-                    return Vec::new();
-                }
-                let mut counts: HashMap<u32, usize> = HashMap::new();
-                for &t in ids {
-                    if let Some(js) = index.get(t as usize) {
-                        for &j in js {
-                            *counts.entry(j).or_insert(0) += 1;
-                        }
-                    }
-                }
-                let mut js: Vec<u32> = counts
-                    .into_iter()
-                    .filter(|&(j, inter)| {
-                        measure.score(inter, ids.len(), right.row(j as usize).len())
-                            >= threshold
-                    })
-                    .map(|(j, _)| j)
-                    .collect();
-                js.sort_unstable();
-                js
-            });
-        let mut out = CandidateSet::new(tag.clone());
-        for (i, js) in accepted.iter().enumerate() {
-            for &j in js {
-                out.add(Pair::new(i, j as usize), &tag);
-            }
-        }
-        Ok(out)
+        let spec = self.join_spec()?;
+        block_via_join(&self.cache, a, &self.left_attr, b, &self.right_attr, &spec, &self.name())
     }
 
     fn block_candidates(

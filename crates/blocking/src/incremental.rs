@@ -32,13 +32,16 @@
 //!   short postings lists.
 //!
 //! Both filters only prune rows whose final score provably fails the exact
-//! predicate: the admission bound feeds the *same* [`SetMeasure::score`]
-//! expression used by the final filter (monotone in the intersection size),
-//! so no float-boundary case can diverge from the unfiltered scan. The probes
-//! also come in `_into` variants that reuse a caller-owned [`ProbeScratch`]
-//! so a steady-state serving loop performs no allocations.
+//! predicate: admission bounds and the final filter evaluate the *same*
+//! [`JoinSpec::admits`](crate::JoinSpec::admits) predicate — shared with
+//! the batch join of [`crate::join`], whose [`SetMeasure::score`] arm is
+//! monotone in the intersection size — so no float-boundary case can
+//! diverge from the unfiltered scan. The probes also come in `_into`
+//! variants that reuse a caller-owned [`ProbeScratch`] so a steady-state
+//! serving loop performs no allocations.
 
 use crate::blockers::SetMeasure;
+use crate::join::JoinSpec;
 use em_text::intern::{overlap_size_sorted, TokenCache, TokenIds};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
@@ -58,36 +61,6 @@ impl ProbeScratch {
     /// Fresh scratch with empty buffers.
     pub fn new() -> ProbeScratch {
         ProbeScratch::default()
-    }
-}
-
-/// Which predicate(s) a filtered probe admits rows under.
-#[derive(Debug, Clone, Copy)]
-struct ProbeSpec {
-    /// Admit rows sharing at least `k` distinct tokens.
-    overlap_k: Option<usize>,
-    /// Admit rows whose set-similarity reaches the threshold.
-    set_sim: Option<(SetMeasure, f64)>,
-}
-
-impl ProbeSpec {
-    /// True when a row with `inter` shared tokens (of `la` query / `lb` row
-    /// tokens) satisfies at least one predicate. This is the *exact* final
-    /// filter; admission bounds call it with an upper bound on `inter`,
-    /// which is conservative because both predicates are monotone
-    /// nondecreasing in `inter`.
-    fn admits(&self, inter: usize, la: usize, lb: usize) -> bool {
-        if let Some(k) = self.overlap_k {
-            if inter >= k {
-                return true;
-            }
-        }
-        if let Some((measure, threshold)) = self.set_sim {
-            if measure.score(inter, la, lb) >= threshold {
-                return true;
-            }
-        }
-        false
     }
 }
 
@@ -198,7 +171,7 @@ impl IncrementalIndex {
     fn probe_filtered_into(
         &self,
         query: &TokenIds,
-        spec: ProbeSpec,
+        spec: JoinSpec,
         scratch: &mut ProbeScratch,
         out: &mut Vec<usize>,
     ) {
@@ -277,7 +250,7 @@ impl IncrementalIndex {
         out: &mut Vec<usize>,
     ) {
         let query = self.cache.token_ids(text);
-        let spec = ProbeSpec { overlap_k: Some(k), set_sim: None };
+        let spec = JoinSpec::overlap(k);
         self.probe_filtered_into(&query, spec, scratch, out);
     }
 
@@ -308,7 +281,7 @@ impl IncrementalIndex {
         out: &mut Vec<usize>,
     ) {
         let query = self.cache.token_ids(text);
-        let spec = ProbeSpec { overlap_k: None, set_sim: Some((measure, threshold)) };
+        let spec = JoinSpec::set_sim(measure, threshold);
         self.probe_filtered_into(&query, spec, scratch, out);
     }
 
@@ -328,7 +301,7 @@ impl IncrementalIndex {
         out: &mut Vec<usize>,
     ) {
         let query = self.cache.token_ids(text);
-        let spec = ProbeSpec { overlap_k: Some(k), set_sim: Some((measure, threshold)) };
+        let spec = JoinSpec::union(k, measure, threshold);
         self.probe_filtered_into(&query, spec, scratch, out);
     }
 

@@ -1,0 +1,657 @@
+//! Batch set-similarity join: the corpus-scale engine behind the token
+//! blockers.
+//!
+//! [`OverlapBlocker`](crate::OverlapBlocker) and
+//! [`SetSimBlocker`](crate::SetSimBlocker) used to probe a plain inverted
+//! index with a per-row `HashMap` counter — O(total postings touched) hash
+//! traffic per left row, and the slowest batch stage at x4. This module is
+//! the batch analogue of the serve tier's
+//! [`IncrementalIndex`](crate::IncrementalIndex) filtered probes: postings
+//! over the **right** table are built once, bucketed by row token count and
+//! walked in ascending document-frequency order, so two classic filters
+//! prune almost all of that traffic:
+//!
+//! - **Length filter**: a posting run whose row size `lb` can never satisfy
+//!   the predicate (e.g. `lb < k` for overlap-`k`) is skipped outright.
+//! - **Prefix filter**: query tokens are walked rarest-first. A row first
+//!   encountered at filtered-walk position `p` shares at most `lq - p`
+//!   query tokens (`lq` = query tokens that occur in the right corpus at
+//!   all), so late walk positions stop admitting new rows from runs whose
+//!   upper bound fails.
+//!
+//! The walk keeps an **exact** shared-token count for every admitted row
+//! (dense epoch-stamped arrays, O(1) per posting visit), then the final
+//! filter evaluates the same [`JoinSpec::admits`] predicate on those
+//! counts. Because `admits` is monotone nondecreasing in the intersection
+//! size and the admission bound is a true upper bound that only shrinks as
+//! the walk advances, a row skipped by either filter provably fails the
+//! exact predicate, and a row admitted anywhere was tracked from its first
+//! shared token — filtered output equals the unfiltered nested-loop scan
+//! **exactly**, float boundaries included (pinned by
+//! `tests/join_prop.rs`).
+//!
+//! Layout is columnar throughout: postings are one flat `u64` arena
+//! (`size << 32 | row`, so a per-token slice sorts by size then row with a
+//! plain integer sort) indexed by a token-offset table, and the right
+//! corpus rides along as the [`TokenCorpus`] id arena verification merges
+//! run over. Probes reuse a [`JoinScratch`] whose epoch-stamped `seen`
+//! array dedups admissions without clearing; the steady-state probe loop
+//! performs no heap allocation (gated by the purity grep in
+//! `scripts/check.sh`).
+//!
+//! Table-scale drivers fan left rows out over
+//! [`em_parallel::Executor::map_indexed_with`] — scratch per worker,
+//! output a pure function of the row index, so candidate sets are
+//! bit-identical at any thread count. [`join_stats`] is the streaming
+//! variant for x64–x256 scale benchmarking: it folds per-row results into
+//! counts and an order-chained checksum over **fixed-size** row chunks
+//! ([`JOIN_CHUNK`], independent of the thread count), never materializing
+//! the candidate set.
+
+use crate::blockers::SetMeasure;
+use em_parallel::Executor;
+use em_text::intern::TokenCorpus;
+
+/// Minimum left rows per probing thread in the table-scale drivers.
+const JOIN_GRAIN: usize = 64;
+
+/// The predicate(s) a join admits pairs under. Mirrors the batch blockers
+/// bit for bit: the overlap arm compares integer counts, the set-similarity
+/// arm evaluates the identical [`SetMeasure::score`] f64 expression.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinSpec {
+    /// Admit pairs sharing at least `k` distinct tokens.
+    overlap_k: Option<usize>,
+    /// Admit pairs whose set-similarity reaches the threshold.
+    set_sim: Option<(SetMeasure, f64)>,
+}
+
+impl JoinSpec {
+    /// Overlap-`k` predicate ([`crate::OverlapBlocker`] semantics).
+    pub fn overlap(k: usize) -> JoinSpec {
+        JoinSpec { overlap_k: Some(k), set_sim: None }
+    }
+
+    /// Set-similarity predicate ([`crate::SetSimBlocker`] semantics).
+    pub fn set_sim(measure: SetMeasure, threshold: f64) -> JoinSpec {
+        JoinSpec { overlap_k: None, set_sim: Some((measure, threshold)) }
+    }
+
+    /// Union predicate: overlap-`k` **or** set-similarity — one postings
+    /// walk for a `C2 ∪ C3`-style consolidated plan.
+    pub fn union(k: usize, measure: SetMeasure, threshold: f64) -> JoinSpec {
+        JoinSpec { overlap_k: Some(k), set_sim: Some((measure, threshold)) }
+    }
+
+    /// True when a pair with `inter` shared tokens (of `la` query / `lb`
+    /// row tokens) satisfies at least one predicate. This is the *exact*
+    /// final filter; admission bounds call it with an upper bound on
+    /// `inter`, which is conservative because both predicates are monotone
+    /// nondecreasing in `inter`.
+    pub fn admits(&self, inter: usize, la: usize, lb: usize) -> bool {
+        if let Some(k) = self.overlap_k {
+            if inter >= k {
+                return true;
+            }
+        }
+        if let Some((measure, threshold)) = self.set_sim {
+            if measure.score(inter, la, lb) >= threshold {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Df-ordered, size-bucketed postings over one tokenized column of the
+/// right table, built once per join. Owns the right [`TokenCorpus`] so
+/// verification merges always run against the rows the postings describe.
+#[derive(Debug, Clone)]
+pub struct JoinIndex {
+    /// Token id → number of right rows containing it (ids are distinct per
+    /// row, so this is a document frequency).
+    df: Vec<u32>,
+    /// Token id → postings range: token `t` owns
+    /// `postings[starts[t] as usize..starts[t + 1] as usize]`.
+    starts: Vec<u32>,
+    /// Packed `(row token count << 32) | row index`, sorted ascending per
+    /// token — i.e. by (size, row), which is what the length filter walks.
+    postings: Vec<u64>,
+    /// The indexed corpus; `postings` row indices point into it.
+    right: TokenCorpus,
+}
+
+impl JoinIndex {
+    /// Streams `query` (sorted distinct token ids of one left row) through
+    /// the postings, collecting into `out` (ascending row order) exactly
+    /// the right rows the unfiltered scan admits under `spec`. `out` and
+    /// `scratch` are caller-owned so a warmed-up probe loop allocates
+    /// nothing.
+    pub fn probe_into(
+        &self,
+        query: &[u32],
+        spec: &JoinSpec,
+        scratch: &mut JoinScratch,
+        out: &mut Vec<u32>,
+    ) {
+        self.probe_multi_into(
+            query,
+            std::slice::from_ref(spec),
+            scratch,
+            std::slice::from_mut(out),
+        );
+    }
+
+    /// Fused multi-predicate probe: **one** postings walk answers every
+    /// spec in `specs`, writing each spec's admissions to the matching
+    /// entry of `outs`. The walk admits a run when *any* spec could accept
+    /// it (the union predicate), so the exact counts cover every row any
+    /// spec needs; the per-spec final filters then apply each exact
+    /// predicate independently — each `outs[s]` equals a standalone
+    /// [`JoinIndex::probe_into`] under `specs[s]` bit for bit. This is how
+    /// a C2 ∪ C3-style plan shares the dominant walk cost across blockers.
+    pub fn probe_multi_into(
+        &self,
+        query: &[u32],
+        specs: &[JoinSpec],
+        scratch: &mut JoinScratch,
+        outs: &mut [Vec<u32>],
+    ) {
+        debug_assert_eq!(specs.len(), outs.len());
+        for out in outs.iter_mut() {
+            out.clear();
+        }
+        let la = query.len();
+        if la == 0 {
+            // No postings to walk: rows sharing zero tokens are never
+            // admitted by either predicate's postings semantics.
+            return;
+        }
+        scratch.epoch += 1;
+        let epoch = scratch.epoch;
+        scratch.order.clear();
+        scratch.touched.clear();
+        for &t in query {
+            let df = self.df.get(t as usize).copied().unwrap_or(0);
+            if df > 0 {
+                scratch.order.push((df, t));
+            }
+        }
+        // Prefix filter order: rarest token first, id tie break. Query
+        // tokens absent from the right corpus are dropped up front, which
+        // *tightens* the positional bound: a row first seen at position
+        // `p` of this filtered order shares none of the `p` earlier (or
+        // any dropped) query tokens, so at most `lq - p` remain.
+        scratch.order.sort_unstable();
+        let lq = scratch.order.len();
+        for p in 0..lq {
+            let (_, token) = scratch.order[p];
+            let s = self.starts[token as usize] as usize;
+            let e = self.starts[token as usize + 1] as usize;
+            let remaining = lq - p;
+            // Postings sort by (size, row), so the filters resolve once per
+            // size run; a fully-skipped run is *jumped* with a binary
+            // search for the next size instead of walked entry by entry.
+            //
+            // Counts stay exact under the prefix filter because the
+            // admission bound is antitone in `p`: if a row's first
+            // containing run failed admission, every later bound for that
+            // row is smaller still, so the row can never be admitted with
+            // missed increments — a row is either tracked from its first
+            // containing token or provably fails the predicate.
+            let slice = &self.postings[s..e];
+            let mut i = 0;
+            while i < slice.len() {
+                let size = slice[i] >> 32;
+                let run_end = i + slice[i..].partition_point(|&q| q >> 32 == size);
+                let lb = size as usize;
+                if specs.iter().any(|spec| spec.admits(remaining.min(lb), la, lb)) {
+                    // Admitting run: first sight epoch-stamps the row into
+                    // `touched`; every sight counts one shared token.
+                    for &packed in &slice[i..run_end] {
+                        let row = packed as u32;
+                        if scratch.seen[row as usize] == epoch {
+                            scratch.counts[row as usize] += 1;
+                        } else {
+                            scratch.seen[row as usize] = epoch;
+                            scratch.counts[row as usize] = 1;
+                            scratch.touched.push(row);
+                        }
+                    }
+                } else if specs.iter().any(|spec| spec.admits(la.min(lb), la, lb)) {
+                    // Prefix filter: too late to admit new rows of this
+                    // size, but earlier admissions keep accumulating.
+                    for &packed in &slice[i..run_end] {
+                        let row = packed as u32;
+                        if scratch.seen[row as usize] == epoch {
+                            scratch.counts[row as usize] += 1;
+                        }
+                    }
+                }
+                // Length filter: a size failing even at full intersection
+                // admits nothing and counts toward nothing — jumped.
+                i = run_end;
+            }
+        }
+        // Final filter: counts are exact intersection sizes for every
+        // tracked row, so this is the unfiltered predicate verbatim —
+        // applied per spec, since a row tracked for one predicate's sake
+        // may fail another's.
+        for &row in &scratch.touched {
+            let inter = scratch.counts[row as usize] as usize;
+            let lb = self.right.row(row as usize).len();
+            for (spec, out) in specs.iter().zip(outs.iter_mut()) {
+                if spec.admits(inter, la, lb) {
+                    out.push(row);
+                }
+            }
+        }
+        for out in outs.iter_mut() {
+            out.sort_unstable();
+        }
+    }
+
+    // ---- scratch construction and index building (cold path) ------------
+
+    /// Builds the index over the tokenized right column. Two counting
+    /// passes fill the flat postings arena, then each per-token slice is
+    /// sorted — packed values order by (size, row) natively.
+    pub fn build(right: TokenCorpus) -> JoinIndex {
+        let width = right.max_id().map_or(0, |m| m as usize + 1);
+        let mut df = vec![0u32; width];
+        for (_, ids) in right.iter() {
+            for &t in ids {
+                df[t as usize] += 1;
+            }
+        }
+        // Offsets are u32 like the corpus arena's: a 4G-token corpus is two
+        // orders of magnitude past the x256 target.
+        let mut starts = vec![0u32; width + 1];
+        for t in 0..width {
+            starts[t + 1] = starts[t] + df[t];
+        }
+        let mut cursor = starts.clone();
+        let mut postings = vec![0u64; right.n_tokens_total()];
+        for (j, ids) in right.iter() {
+            let packed_base = (ids.len() as u64) << 32;
+            for &t in ids {
+                postings[cursor[t as usize] as usize] = packed_base | j as u64;
+                cursor[t as usize] += 1;
+            }
+        }
+        for t in 0..width {
+            postings[starts[t] as usize..starts[t + 1] as usize].sort_unstable();
+        }
+        JoinIndex { df, starts, postings, right }
+    }
+
+    /// The indexed right corpus.
+    pub fn right(&self) -> &TokenCorpus {
+        &self.right
+    }
+
+    /// Number of indexed right rows.
+    pub fn len(&self) -> usize {
+        self.right.len()
+    }
+
+    /// True when the indexed corpus has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.right.is_empty()
+    }
+
+    /// Probe without caller-owned buffers (tests/one-shot use).
+    pub fn probe(&self, query: &[u32], spec: &JoinSpec) -> Vec<u32> {
+        let mut scratch = JoinScratch::for_index(self);
+        let mut out = Vec::new();
+        self.probe_into(query, spec, &mut scratch, &mut out);
+        out
+    }
+}
+
+/// Reusable probe buffers for one worker thread. The `seen` array is
+/// epoch-stamped: bumping `epoch` invalidates every stamp (and thereby
+/// every count) at once, so probes never pay an O(rows) clear.
+#[derive(Debug)]
+pub struct JoinScratch {
+    /// Per right row, the epoch it was last admitted in.
+    seen: Vec<u64>,
+    /// Per right row, shared-token count — valid only while
+    /// `seen[row] == epoch`.
+    counts: Vec<u32>,
+    /// Current probe epoch (strictly increasing, one per probe).
+    epoch: u64,
+    /// Query tokens as (document frequency, token id), sorted ascending.
+    order: Vec<(u32, u32)>,
+    /// Rows admitted by the current probe, in admission order.
+    touched: Vec<u32>,
+}
+
+impl JoinScratch {
+    /// Scratch sized for `index` (the `seen`/`counts` arrays span its rows).
+    pub fn for_index(index: &JoinIndex) -> JoinScratch {
+        JoinScratch {
+            seen: vec![0; index.len()],
+            counts: vec![0; index.len()],
+            epoch: 0,
+            order: Vec::new(),
+            touched: Vec::new(),
+        }
+    }
+}
+
+/// Fixed row-chunk width of [`join_stats`]'s checksum fold. Independent of
+/// the thread count on purpose: per-chunk digests combine in chunk order,
+/// so the stats are bit-identical however the chunks land on workers.
+pub const JOIN_CHUNK: usize = 1024;
+
+/// Streaming join summary: candidate count, an order-sensitive checksum of
+/// the full pair stream, and how many pairs a caller-supplied predicate
+/// (e.g. "already in C1") matched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinStats {
+    /// Total admitted pairs.
+    pub pairs: u64,
+    /// FNV-1a over every admitted `(left, right)` pair, folded per
+    /// [`JOIN_CHUNK`] then chained in chunk order.
+    pub checksum: u64,
+    /// Pairs for which the caller's predicate returned true.
+    pub flagged: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_u64(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Joins every left row against the index, returning the admitted right
+/// rows per left row (ascending within each row). Fans out over left-row
+/// chunks with per-worker scratch; the per-row result is a pure function
+/// of the row index, so output is bit-identical at any thread count.
+pub fn join_pairs(left: &TokenCorpus, index: &JoinIndex, spec: &JoinSpec) -> Vec<Vec<u32>> {
+    Executor::current().map_indexed_with(
+        left.len(),
+        JOIN_GRAIN,
+        || JoinScratch::for_index(index),
+        |scratch, i| {
+            let mut out = Vec::new();
+            index.probe_into(left.row(i), spec, scratch, &mut out);
+            out
+        },
+    )
+}
+
+/// Fused multi-spec variant of [`join_pairs`]: one postings walk per left
+/// row answers every spec, returning `result[spec][left_row] -> admitted
+/// right rows`. Each `result[s]` is bit-identical to
+/// `join_pairs(left, index, &specs[s])`; the walk cost — the dominant term
+/// — is paid once instead of once per spec.
+pub fn join_pairs_multi(
+    left: &TokenCorpus,
+    index: &JoinIndex,
+    specs: &[JoinSpec],
+) -> Vec<Vec<Vec<u32>>> {
+    let per_row: Vec<Vec<Vec<u32>>> = Executor::current().map_indexed_with(
+        left.len(),
+        JOIN_GRAIN,
+        || JoinScratch::for_index(index),
+        |scratch, i| {
+            let mut outs: Vec<Vec<u32>> = specs.iter().map(|_| Vec::new()).collect();
+            index.probe_multi_into(left.row(i), specs, scratch, &mut outs);
+            outs
+        },
+    );
+    // Transpose row-major results to spec-major without cloning row lists.
+    let mut by_spec: Vec<Vec<Vec<u32>>> =
+        specs.iter().map(|_| Vec::with_capacity(per_row.len())).collect();
+    for outs in per_row {
+        for (s, out) in outs.into_iter().enumerate() {
+            by_spec[s].push(out);
+        }
+    }
+    by_spec
+}
+
+/// Streaming variant of [`join_pairs`] for corpus-scale benchmarking:
+/// counts and checksums the candidate stream without materializing it.
+/// `flag(left_row, right_row)` is evaluated on every admitted pair — the
+/// scaling harness passes a C1-membership test so `|C1 ∪ join|` falls out
+/// of the counts by inclusion–exclusion.
+pub fn join_stats<F>(left: &TokenCorpus, index: &JoinIndex, spec: &JoinSpec, flag: F) -> JoinStats
+where
+    F: Fn(usize, usize) -> bool + Sync,
+{
+    let n = left.len();
+    let chunks = n.div_ceil(JOIN_CHUNK);
+    let per_chunk: Vec<(u64, u64, u64)> = Executor::current().map_indexed_with(
+        chunks,
+        1,
+        || (JoinScratch::for_index(index), Vec::new()),
+        |(scratch, out), c| {
+            let (mut pairs, mut digest, mut flagged) = (0u64, FNV_OFFSET, 0u64);
+            for i in c * JOIN_CHUNK..((c + 1) * JOIN_CHUNK).min(n) {
+                index.probe_into(left.row(i), spec, scratch, out);
+                pairs += out.len() as u64;
+                for &j in out.iter() {
+                    digest = fnv_u64(fnv_u64(digest, i as u64), u64::from(j));
+                    if flag(i, j as usize) {
+                        flagged += 1;
+                    }
+                }
+            }
+            (pairs, digest, flagged)
+        },
+    );
+    let mut stats = JoinStats { pairs: 0, checksum: FNV_OFFSET, flagged: 0 };
+    for (pairs, digest, flagged) in per_chunk {
+        stats.pairs += pairs;
+        stats.checksum = fnv_u64(stats.checksum, digest);
+        stats.flagged += flagged;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_text::intern::{overlap_size_sorted, TokenCache};
+
+    fn corpus(texts: &[&str]) -> TokenCorpus {
+        corpus_with(&TokenCache::for_blocking(), texts)
+    }
+
+    fn corpus_with(cache: &TokenCache, texts: &[&str]) -> TokenCorpus {
+        TokenCorpus::from_column(
+            cache,
+            texts.iter().map(|t| if t.is_empty() { None } else { Some(*t) }),
+        )
+    }
+
+    /// Unfiltered reference: scan every right row with the exact predicate.
+    fn scan(left: &TokenCorpus, right: &TokenCorpus, spec: &JoinSpec) -> Vec<Vec<u32>> {
+        left.iter()
+            .map(|(_, q)| {
+                right
+                    .iter()
+                    .filter(|(_, r)| {
+                        let inter = overlap_size_sorted(q, r);
+                        inter > 0 && spec.admits(inter, q.len(), r.len())
+                    })
+                    .map(|(j, _)| j as u32)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn sample() -> (TokenCorpus, TokenCorpus) {
+        let cache = TokenCache::for_blocking();
+        let l = corpus_with(
+            &cache,
+            &[
+                "development of ipm based corn fungicide guidelines",
+                "swamp dodder applied ecology and management",
+                "lab supplies",
+                "",
+                "corn",
+            ],
+        );
+        let r = corpus_with(
+            &cache,
+            &[
+                "Development of IPM-Based Corn Fungicide Guidelines",
+                "swamp dodder ecology in carrot production",
+                "Lab Supplies",
+                "unrelated title entirely different words",
+                "",
+            ],
+        );
+        (l, r)
+    }
+
+    #[test]
+    fn overlap_join_matches_scan() {
+        let (l, r) = sample();
+        let index = JoinIndex::build(r.clone());
+        for k in 1..=5 {
+            let spec = JoinSpec::overlap(k);
+            assert_eq!(join_pairs(&l, &index, &spec), scan(&l, &r, &spec), "k={k}");
+        }
+    }
+
+    #[test]
+    fn set_sim_join_matches_scan() {
+        let (l, r) = sample();
+        let index = JoinIndex::build(r.clone());
+        for measure in [SetMeasure::OverlapCoefficient, SetMeasure::Jaccard] {
+            for threshold in [0.01, 0.5, 0.7, 1.0] {
+                let spec = JoinSpec::set_sim(measure, threshold);
+                assert_eq!(
+                    join_pairs(&l, &index, &spec),
+                    scan(&l, &r, &spec),
+                    "{measure:?} t={threshold}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn union_join_is_union_of_joins() {
+        let (l, r) = sample();
+        let index = JoinIndex::build(r);
+        let u = join_pairs(&l, &index, &JoinSpec::union(3, SetMeasure::OverlapCoefficient, 0.7));
+        let a = join_pairs(&l, &index, &JoinSpec::overlap(3));
+        let b = join_pairs(&l, &index, &JoinSpec::set_sim(SetMeasure::OverlapCoefficient, 0.7));
+        for i in 0..u.len() {
+            let mut expect = a[i].clone();
+            expect.extend_from_slice(&b[i]);
+            expect.sort_unstable();
+            expect.dedup();
+            assert_eq!(u[i], expect, "row {i}");
+        }
+    }
+
+    #[test]
+    fn multi_spec_join_matches_per_spec_joins() {
+        // The fused walk admits under the union of bounds; each output must
+        // still equal its standalone join exactly — including specs that
+        // admit nothing on their own.
+        let (l, r) = sample();
+        let index = JoinIndex::build(r);
+        let specs = [
+            JoinSpec::overlap(3),
+            JoinSpec::set_sim(SetMeasure::OverlapCoefficient, 0.7),
+            JoinSpec::overlap(100),
+        ];
+        let fused = join_pairs_multi(&l, &index, &specs);
+        assert_eq!(fused.len(), specs.len());
+        for (s, spec) in specs.iter().enumerate() {
+            assert_eq!(fused[s], join_pairs(&l, &index, spec), "spec {s}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_probe_independent() {
+        let (l, r) = sample();
+        let index = JoinIndex::build(r);
+        let spec = JoinSpec::overlap(2);
+        let mut scratch = JoinScratch::for_index(&index);
+        let mut out = Vec::new();
+        let mut fresh = Vec::new();
+        // Probe every left row twice through one scratch; each result must
+        // equal a fresh-scratch probe (no stale epochs or counts).
+        for _ in 0..2 {
+            for (i, q) in l.iter() {
+                index.probe_into(q, &spec, &mut scratch, &mut out);
+                index.probe_into(q, &spec, &mut JoinScratch::for_index(&index), &mut fresh);
+                assert_eq!(out, fresh, "row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn join_is_thread_count_invariant() {
+        let (l, r) = sample();
+        let index = JoinIndex::build(r);
+        let spec = JoinSpec::union(2, SetMeasure::Jaccard, 0.4);
+        em_parallel::set_threads(1);
+        let one = join_pairs(&l, &index, &spec);
+        let stats_one = join_stats(&l, &index, &spec, |_, _| false);
+        em_parallel::set_threads(4);
+        let four = join_pairs(&l, &index, &spec);
+        let stats_four = join_stats(&l, &index, &spec, |_, _| false);
+        em_parallel::set_threads(0);
+        assert_eq!(one, four);
+        assert_eq!(stats_one, stats_four);
+    }
+
+    #[test]
+    fn stats_agree_with_pairs() {
+        let (l, r) = sample();
+        let index = JoinIndex::build(r);
+        let spec = JoinSpec::union(3, SetMeasure::OverlapCoefficient, 0.7);
+        let pairs = join_pairs(&l, &index, &spec);
+        let total: u64 = pairs.iter().map(|p| p.len() as u64).sum();
+        let stats = join_stats(&l, &index, &spec, |i, _| i == 0);
+        assert_eq!(stats.pairs, total);
+        assert_eq!(stats.flagged, pairs[0].len() as u64);
+        // The checksum is a function of the exact pair stream.
+        let mut digest = FNV_OFFSET;
+        for (i, js) in pairs.iter().enumerate() {
+            for &j in js {
+                digest = fnv_u64(fnv_u64(digest, i as u64), u64::from(j));
+            }
+        }
+        assert_eq!(stats.checksum, fnv_u64(FNV_OFFSET, digest), "single chunk chains once");
+    }
+
+    #[test]
+    fn empty_sides_are_empty_joins() {
+        let empty = corpus(&[]);
+        let (l, r) = sample();
+        let index = JoinIndex::build(r);
+        assert!(join_pairs(&empty, &index, &JoinSpec::overlap(1)).is_empty());
+        let empty_index = JoinIndex::build(empty);
+        assert!(empty_index.is_empty());
+        for js in join_pairs(&l, &empty_index, &JoinSpec::overlap(1)) {
+            assert!(js.is_empty());
+        }
+    }
+
+    #[test]
+    fn left_only_tokens_are_ignored() {
+        // Left tokenized first: its ids exceed anything in the right
+        // corpus, exercising the df bounds check.
+        let cache = TokenCache::for_blocking();
+        let l = corpus_with(&cache, &["zig zag zog corn"]);
+        let r = corpus_with(&cache, &["corn maze", "zag only here"]);
+        let index = JoinIndex::build(r.clone());
+        let spec = JoinSpec::overlap(1);
+        assert_eq!(join_pairs(&l, &index, &spec), scan(&l, &r, &spec));
+    }
+}

@@ -5,9 +5,13 @@
 //! - [`candidate::CandidateSet`]: deduplicated pairs with provenance, plus
 //!   the union / intersection / difference algebra the paper's candidate-set
 //!   accounting uses (`C = C1 ∪ C2 ∪ C3`, `C − sure matches`, …).
-//! - [`blockers`]: attribute equivalence (hash join), token overlap
-//!   (inverted index + prefix filter), overlap-coefficient and Jaccard
-//!   set-similarity blockers, and a black-box predicate blocker.
+//! - [`blockers`]: attribute equivalence (hash join), token overlap,
+//!   overlap-coefficient and Jaccard set-similarity blockers (all three
+//!   token blockers run on the [`join`] engine), and a black-box predicate
+//!   blocker.
+//! - [`join`]: the batch set-similarity join — df-ordered, size-bucketed
+//!   postings with prefix + length filtering and exact verification, the
+//!   corpus-scale path behind the token blockers.
 //! - [`debugger`]: a MatchCatcher-style audit that ranks the most
 //!   match-like pairs *excluded* by blocking.
 //!
@@ -29,11 +33,17 @@ pub mod candidate;
 pub mod debugger;
 pub mod error;
 pub mod incremental;
+pub mod join;
 
 pub use blockers::{
-    AttrEquivalenceBlocker, BlackboxBlocker, Blocker, OverlapBlocker, SetMeasure, SetSimBlocker,
+    block_pairwise, block_specs, AttrEquivalenceBlocker, BlackboxBlocker, Blocker, OverlapBlocker,
+    SetMeasure, SetSimBlocker,
 };
 pub use candidate::{CandidateSet, Pair};
 pub use debugger::{debug_blocking, BlockingDebugger, DebugPair};
 pub use error::BlockError;
 pub use incremental::{IncrementalIndex, ProbeScratch};
+pub use join::{
+    join_pairs, join_pairs_multi, join_stats, JoinIndex, JoinScratch, JoinSpec, JoinStats,
+    JOIN_CHUNK,
+};

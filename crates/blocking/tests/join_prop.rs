@@ -1,0 +1,113 @@
+//! Property-based tests for the batch set-similarity join: the filtered,
+//! index-based table path must equal the naive pairwise scan **bit for
+//! bit** over random corpora — unicode titles, empty and degenerate token
+//! sets (punctuation-only cells tokenize to nothing), and thresholds that
+//! sit exactly on float boundaries such as `1/3` and `2/3`.
+
+use em_blocking::blockers::{block_pairwise, Blocker, OverlapBlocker, SetSimBlocker};
+use em_table::{Schema, Table, Value};
+use proptest::prelude::*;
+
+/// Random award-title strings over a small vocabulary so overlaps occur,
+/// salted with multi-byte scripts, digits, punctuation-only tokens (which
+/// normalize away), and whitespace padding.
+fn title() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        proptest::sample::select(vec![
+            "corn", "fungicide", "guidelines", "café", "σίτος", "玉米", "研究", "ipm", "42",
+            "x1b", "--", "!!", "",
+        ]),
+        0..7,
+    )
+    .prop_map(|ws| ws.join(" "))
+}
+
+fn table(rows: Vec<String>) -> Table {
+    Table::from_rows(
+        "t",
+        Schema::of_strings(&["Title"]),
+        rows.into_iter().map(|s| vec![Value::Str(s)]).collect(),
+    )
+    .unwrap()
+}
+
+/// Thresholds chosen to land on exact float boundaries of small-set
+/// similarities: `k/min(|A|,|B|)` and `k/|A∪B|` values hit `1/3`, `1/2`,
+/// `2/3`, … dead on, so any filter that diverges from the pairwise
+/// predicate by one ULP fails here.
+fn threshold() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(0.25),
+        Just(1.0 / 3.0),
+        Just(0.5),
+        Just(2.0 / 3.0),
+        Just(0.7),
+        Just(0.75),
+        Just(1.0),
+    ]
+}
+
+proptest! {
+    /// The join-engine overlap blocker equals the pairwise Cartesian scan.
+    #[test]
+    fn overlap_join_equals_pairwise(
+        la in proptest::collection::vec(title(), 0..9),
+        lb in proptest::collection::vec(title(), 0..9),
+        k in 1usize..5,
+    ) {
+        let (a, b) = (table(la), table(lb));
+        let blocker = OverlapBlocker::new("Title", "Title", k);
+        let joined = blocker.block(&a, &b).unwrap();
+        let scanned = block_pairwise(&blocker, &a, &b).unwrap();
+        prop_assert_eq!(joined.to_vec(), scanned.to_vec(), "K={}", k);
+    }
+
+    /// The join-engine set-similarity blocker equals the pairwise scan for
+    /// both measures at boundary thresholds.
+    #[test]
+    fn set_sim_join_equals_pairwise(
+        la in proptest::collection::vec(title(), 0..9),
+        lb in proptest::collection::vec(title(), 0..9),
+        jaccard in any::<bool>(),
+        t in threshold(),
+    ) {
+        let (a, b) = (table(la), table(lb));
+        let blocker = if jaccard {
+            SetSimBlocker::jaccard("Title", "Title", t)
+        } else {
+            SetSimBlocker::overlap_coefficient("Title", "Title", t)
+        };
+        let joined = blocker.block(&a, &b).unwrap();
+        let scanned = block_pairwise(&blocker, &a, &b).unwrap();
+        prop_assert_eq!(joined.to_vec(), scanned.to_vec(), "jaccard={} t={}", jaccard, t);
+    }
+
+    /// Running both predicates through one shared index (the plan-level
+    /// `block_specs` path) changes nothing about either output.
+    #[test]
+    fn block_specs_equals_individual_blocks(
+        la in proptest::collection::vec(title(), 0..9),
+        lb in proptest::collection::vec(title(), 0..9),
+        k in 1usize..4,
+        t in threshold(),
+    ) {
+        let (a, b) = (table(la), table(lb));
+        let overlap = OverlapBlocker::new("Title", "Title", k);
+        let oc = SetSimBlocker::overlap_coefficient("Title", "Title", t);
+        let cache = em_text::TokenCache::for_blocking();
+        let sets = em_blocking::block_specs(
+            &cache,
+            &a,
+            "Title",
+            &b,
+            "Title",
+            &[
+                (overlap.join_spec().unwrap(), overlap.name()),
+                (oc.join_spec().unwrap(), oc.name()),
+            ],
+        )
+        .unwrap();
+        prop_assert_eq!(sets[0].to_vec(), overlap.block(&a, &b).unwrap().to_vec());
+        prop_assert_eq!(sets[1].to_vec(), oc.block(&a, &b).unwrap().to_vec());
+    }
+}

@@ -33,6 +33,20 @@ impl Default for BlockingPlan {
     }
 }
 
+impl BlockingPlan {
+    /// The `C2 ∪ C3` union predicate as a single join spec: one postings
+    /// walk admits a pair if overlap-`K` *or* the overlap coefficient
+    /// passes. The streaming scaling harness counts the title-join
+    /// candidates under this spec without materializing either set.
+    pub fn union_spec(&self) -> em_blocking::JoinSpec {
+        em_blocking::JoinSpec::union(
+            self.overlap_k,
+            em_blocking::SetMeasure::OverlapCoefficient,
+            self.oc_threshold,
+        )
+    }
+}
+
 /// The plan's outputs, with the per-scheme sets kept for the footnote-3
 /// accounting.
 #[derive(Debug, Clone)]
@@ -66,14 +80,15 @@ impl BlockingOutcome {
 /// the paper).
 const TEMP_COL: &str = "TempAwardNumber";
 
-/// Runs the blocking plan over the projected tables.
-pub fn run_blocking(
-    umetrics: &Table,
-    usda: &Table,
-    plan: &BlockingPlan,
-) -> Result<BlockingOutcome, CoreError> {
-    // C1: suffix-extract into a temp column, AE-block, then drop the column
-    // (pair indices are row indices, so they remain valid after the drop).
+/// Runs the C1 attribute-equivalence scheme alone: suffix-extract the M1
+/// key into a temporary column, AE-block it against the USDA
+/// `AwardNumber`, drop the column (pair indices are row indices, so they
+/// remain valid after the drop). Shared by [`run_blocking`] and the
+/// streaming scaling harness, which combines it with a [`join`]-engine
+/// count of `C2 ∪ C3` instead of materialized candidate sets.
+///
+/// [`join`]: em_blocking::join
+pub fn c1_scheme(umetrics: &Table, usda: &Table) -> Result<CandidateSet, CoreError> {
     let with_temp = umetrics.add_column(TEMP_COL, DataType::Str, |r| {
         r.str("AwardNumber").and_then(award_suffix).map(Value::from).into()
     })?;
@@ -81,19 +96,34 @@ pub fn run_blocking(
     let mut c1 = ae.block(&with_temp, usda)?;
     c1.set_name("C1");
     let _restored = with_temp.drop_column(TEMP_COL)?; // paper step: remove temp
+    Ok(c1)
+}
 
-    // C2 and C3 block on the same column, so they share one token cache:
-    // each AwardTitle value is normalized + tokenized + interned exactly
-    // once for the whole plan.
-    let cache = Arc::new(TokenCache::for_blocking());
-    let overlap = OverlapBlocker::new("AwardTitle", "AwardTitle", plan.overlap_k)
-        .with_cache(Arc::clone(&cache));
-    let mut c2 = overlap.block(umetrics, usda)?;
+/// Runs the blocking plan over the projected tables.
+pub fn run_blocking(
+    umetrics: &Table,
+    usda: &Table,
+    plan: &BlockingPlan,
+) -> Result<BlockingOutcome, CoreError> {
+    let c1 = c1_scheme(umetrics, usda)?;
+
+    // C2 and C3 block on the same column, so they share one tokenization
+    // pass and one postings index: `block_specs` tokenizes AwardTitle once,
+    // builds the join index once, and runs both predicates over it.
+    let cache = TokenCache::for_blocking();
+    let overlap = OverlapBlocker::new("AwardTitle", "AwardTitle", plan.overlap_k);
+    let oc = SetSimBlocker::overlap_coefficient("AwardTitle", "AwardTitle", plan.oc_threshold);
+    let mut sets = em_blocking::block_specs(
+        &cache,
+        umetrics,
+        "AwardTitle",
+        usda,
+        "AwardTitle",
+        &[(overlap.join_spec()?, overlap.name()), (oc.join_spec()?, oc.name())],
+    )?;
+    let mut c3 = sets.pop().ok_or_else(|| CoreError::Pipeline("missing C3".to_string()))?;
+    let mut c2 = sets.pop().ok_or_else(|| CoreError::Pipeline("missing C2".to_string()))?;
     c2.set_name("C2");
-
-    let oc = SetSimBlocker::overlap_coefficient("AwardTitle", "AwardTitle", plan.oc_threshold)
-        .with_cache(cache);
-    let mut c3 = oc.block(umetrics, usda)?;
     c3.set_name("C3");
 
     let mut consolidated = c1.union(&c2).union(&c3);

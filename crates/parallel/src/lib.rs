@@ -126,12 +126,35 @@ impl Executor {
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
+        self.map_indexed_with(n, grain, || (), |(), i| f(i))
+    }
+
+    /// [`Executor::map_indexed`] with a per-worker scratch state: each
+    /// worker thread calls `init` exactly once and threads the resulting
+    /// state through every index it owns. This is the chunked join driver
+    /// the batch set-similarity join runs on — probe scratch (dense seen
+    /// arrays, token-order buffers) is allocated once per worker instead of
+    /// once per row, while the output stays a pure function of the index.
+    ///
+    /// `f` must produce a result that depends only on its index and
+    /// read-only captures, never on the state's history — the state is for
+    /// buffer *reuse*, not for carrying information between indices. Under
+    /// that contract the output is bit-identical at any thread count, even
+    /// though worker chunk boundaries move with the worker count.
+    pub fn map_indexed_with<S, R, I, F>(&self, n: usize, grain: usize, init: I, f: F) -> Vec<R>
+    where
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> R + Sync,
+    {
         if n < self.min_items {
-            return (0..n).map(f).collect();
+            let mut state = init();
+            return (0..n).map(|i| f(&mut state, i)).collect();
         }
         let workers = self.threads.min(n / grain.max(1)).max(1);
         if workers < 2 {
-            return (0..n).map(f).collect();
+            let mut state = init();
+            return (0..n).map(|i| f(&mut state, i)).collect();
         }
         let chunk = n.div_ceil(workers);
         let ranges: Vec<std::ops::Range<usize>> = (0..workers)
@@ -139,13 +162,17 @@ impl Executor {
             .filter(|r| !r.is_empty())
             .collect();
         let f = &f;
+        let init = &init;
         let mut results: Vec<Vec<R>> = Vec::with_capacity(ranges.len());
         crossbeam::scope(|scope| {
             let handles: Vec<_> = ranges
                 .iter()
                 .map(|r| {
                     let r = r.clone();
-                    scope.spawn(move |_| r.map(f).collect::<Vec<R>>())
+                    scope.spawn(move |_| {
+                        let mut state = init();
+                        r.map(|i| f(&mut state, i)).collect::<Vec<R>>()
+                    })
                 })
                 .collect();
             for h in handles {

@@ -36,20 +36,31 @@ impl Tokenizer for WhitespaceTokenizer {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AlphanumericTokenizer;
 
+impl AlphanumericTokenizer {
+    /// Visits each token as a borrowed slice of `s` without allocating.
+    /// Tokens are maximal alphanumeric runs, so each one is a contiguous
+    /// byte range of the input. This is the bulk-tokenization hot path
+    /// ([`Tokenizer::tokenize`] delegates to it), kept in one place so the
+    /// allocating and borrowing views can never disagree.
+    pub fn for_each_token<'a>(&self, s: &'a str, mut f: impl FnMut(&'a str)) {
+        let mut start = None;
+        for (i, c) in s.char_indices() {
+            if c.is_alphanumeric() {
+                start.get_or_insert(i);
+            } else if let Some(b) = start.take() {
+                f(&s[b..i]);
+            }
+        }
+        if let Some(b) = start {
+            f(&s[b..]);
+        }
+    }
+}
+
 impl Tokenizer for AlphanumericTokenizer {
     fn tokenize(&self, s: &str) -> Vec<String> {
         let mut tokens = Vec::new();
-        let mut cur = String::new();
-        for c in s.chars() {
-            if c.is_alphanumeric() {
-                cur.push(c);
-            } else if !cur.is_empty() {
-                tokens.push(std::mem::take(&mut cur));
-            }
-        }
-        if !cur.is_empty() {
-            tokens.push(cur);
-        }
+        self.for_each_token(s, |t| tokens.push(t.to_string()));
         tokens
     }
     fn name(&self) -> String {
@@ -156,6 +167,17 @@ mod tests {
             AlphanumericTokenizer.tokenize("IPM-Based (Corn)"),
             vec!["IPM", "Based", "Corn"]
         );
+    }
+
+    #[test]
+    fn alnum_for_each_matches_tokenize() {
+        // Multi-byte chars, leading/trailing runs, and empty inputs all
+        // agree between the borrowing and allocating views.
+        for s in ["IPM-Based (Corn)", "café σ12!end", "", "---", "a", " x "] {
+            let mut seen = Vec::new();
+            AlphanumericTokenizer.for_each_token(s, |t| seen.push(t.to_string()));
+            assert_eq!(seen, AlphanumericTokenizer.tokenize(s), "{s:?}");
+        }
     }
 
     #[test]

@@ -44,6 +44,17 @@ if awk '/---- scratch construction/{exit} {print}' crates/serve/src/hot.rs \
 fi
 echo "    serve hot loop clean"
 
+echo "==> join probe allocation purity (no Vec::new/String::from)"
+# The counting-walk probe must run entirely on reusable JoinScratch
+# buffers; heap allocation is confined to the scratch-construction and
+# index-build section at the bottom of join.rs.
+if awk '/---- scratch construction/{exit} {print}' crates/blocking/src/join.rs \
+    | grep -nE 'Vec::new|String::from'; then
+    echo "    FAIL: allocation in the join probe hot loop (crates/blocking/src/join.rs)" >&2
+    exit 1
+fi
+echo "    join probe hot loop clean"
+
 echo "==> serve fault-path panic hygiene (no unwrap/expect/panic! outside tests)"
 # The WAL, swap, overload, and chaos modules are the crash-recovery
 # surface: every failure must be a typed ServeError, never a panic.
@@ -83,7 +94,7 @@ echo "    chaos schedules clean at both seeds"
 echo "==> reproduce --bench --serve --serve-chaos smoke (small scale, 2 threads)"
 BENCH_DIR=$(mktemp -d)
 trap 'rm -rf "$BENCH_DIR"' EXIT
-(cd "$BENCH_DIR" && "$OLDPWD/target/release/reproduce" --bench --serve --serve-chaos --threads 2 >/dev/null)
+(cd "$BENCH_DIR" && "$OLDPWD/target/release/reproduce" --bench --serve --serve-chaos --scaling 1 --threads 2 >/dev/null)
 python3 - "$BENCH_DIR/BENCH_pipeline.json" BENCH_pipeline.json <<'EOF'
 import json, sys
 
@@ -105,7 +116,7 @@ for stage in doc["stages"]:
         assert isinstance(stage.get(key), kind), f"stage missing {key!r}: {stage}"
     assert stage["wall_ms_1t"] > 0 and stage["wall_ms_nt"] > 0, f"non-positive timing: {stage}"
 names = {stage["name"] for stage in doc["stages"]}
-for required in ("feature_extraction", "feature_kernels", "serve_batch",
+for required in ("blocking", "feature_extraction", "feature_kernels", "serve_batch",
                  "serve_single", "serve_single_hot"):
     assert required in names, f"stage {required!r} missing from bench JSON (got {sorted(names)})"
 
@@ -149,10 +160,48 @@ fresh, pinned = tp(doc, "serve_single"), tp(committed, "serve_single")
 assert fresh >= 0.8 * pinned, (
     f"serve_single throughput regressed: {fresh:.0f}/s vs committed {pinned:.0f}/s")
 
+# Corpus-scale blocking: both the smoke run (--scaling 1) and the committed
+# artifact (x1..x256) must carry a well-formed scaling block with strictly
+# ascending factors.
+def check_scaling(d, where):
+    sc = d.get("scaling")
+    assert isinstance(sc, list) and sc, f"missing scaling block in {where}"
+    prev = 0.0
+    for st in sc:
+        for key, kind in [("factor", (int, float)), ("left_rows", int),
+                          ("right_rows", int), ("gen_ms", float), ("wall_ms", float),
+                          ("join_pairs", int), ("consolidated", int),
+                          ("checksum", str), ("cand_per_s", float),
+                          ("peak_rss_mib", float)]:
+            assert isinstance(st.get(key), kind), f"scaling stage bad {key!r} in {where}: {st}"
+        assert st["factor"] > prev, f"scaling factors not ascending in {where}"
+        prev = st["factor"]
+        assert st["checksum"].startswith("0x") and int(st["checksum"], 16) >= 0, \
+            f"malformed candidate-set checksum in {where}: {st['checksum']!r}"
+        assert st["left_rows"] > 0 and st["right_rows"] > 0
+        assert st["wall_ms"] > 0 and st["cand_per_s"] > 0 and st["peak_rss_mib"] > 0
+        assert st["consolidated"] >= st["join_pairs"], \
+            f"consolidated |C1∪C2∪C3| below the C2∪C3 join-pair count in {where}"
+check_scaling(doc, "smoke run")
+check_scaling(committed, "committed BENCH_pipeline.json")
+
+# Blocking perf gates on the committed x4 artifact. The join rewrite must
+# hold >= 5x over the pre-rewrite 697.058 ms single-thread baseline, and
+# the deterministic parallel split must keep 2 threads within 5% of the
+# single-thread run (this box has one core, so speedup > 1 is unreachable;
+# the gate catches a split that *costs* more than it can ever win back).
+blocking = next(s for s in committed["stages"] if s["name"] == "blocking")
+assert blocking["wall_ms_1t"] <= 139.4, (
+    f"blocking regressed below 5x: {blocking['wall_ms_1t']:.1f} ms vs 139.4 ms budget")
+assert blocking["speedup"] >= 0.95, (
+    f"blocking 2-thread speedup gate: {blocking['speedup']:.3f} < 0.95")
+
 print(f"    BENCH_pipeline.json ok: {len(doc['stages'])} stages, "
       f"combined speedup {doc['combined_speedup']:.2f}x at {doc['threads']} threads, "
       f"mask {serve['mask_live']}/{serve['mask_total']}, "
-      f"serve_single {fresh:.0f}/s (committed {pinned:.0f}/s)")
+      f"serve_single {fresh:.0f}/s (committed {pinned:.0f}/s), "
+      f"blocking 1t {blocking['wall_ms_1t']:.1f} ms at x4, "
+      f"scaling stages x{'/x'.join(str(s['factor']) for s in committed['scaling'])}")
 EOF
 
 echo "==> all checks passed"
