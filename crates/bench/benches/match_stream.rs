@@ -1,0 +1,70 @@
+//! End-to-end match executor benchmarks: the fused streaming path
+//! (`em_core::stream::StreamMatcher`) against the materialized
+//! blocking → extract → predict workflow it is pinned bit-equal to.
+//!
+//! Three measurements:
+//! - `stream_build`: freezing the workflow into the executor (tokenize
+//!   both corpora once, build the join index, derive the feature mask,
+//!   build the masked batch extractor, flatten the model);
+//! - `stream_run`: driving every left row through the fused
+//!   probe → extract → impute → score → rules loop;
+//! - `materialized_workflow`: the classic path with its candidate set,
+//!   feature matrix, and prediction vector fully materialized.
+//!
+//! Set `EM_BENCH_SMOKE=1` to run a tiny scenario with minimal samples
+//! (used by `scripts/check.sh` to keep the bench compiling and running).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use em_core::pipeline::{CaseStudy, CaseStudyConfig};
+use em_core::stream::StreamMatcher;
+use em_core::EmWorkflow;
+use em_datagen::ScenarioConfig;
+
+fn bench_match_stream(c: &mut Criterion) {
+    let smoke = std::env::var("EM_BENCH_SMOKE").is_ok();
+    let mut cfg = CaseStudyConfig::small();
+    cfg.scenario = if smoke {
+        ScenarioConfig::small().with_seed(20190326)
+    } else {
+        ScenarioConfig::scaled(1.0).with_seed(20190326)
+    };
+    let artifacts = CaseStudy::new(cfg).train_serving_artifacts().unwrap();
+    let (u, s) = (&artifacts.umetrics, &artifacts.usda);
+    println!(
+        "match_stream: {} x {} rows, learner {:?}",
+        u.n_rows(),
+        s.n_rows(),
+        artifacts.matcher.learner_name
+    );
+
+    let mut g = c.benchmark_group("match_stream");
+    g.sample_size(if smoke { 2 } else { 10 });
+
+    g.bench_function("stream_build", |b| {
+        b.iter(|| {
+            StreamMatcher::new(u, s, &artifacts.matcher, &artifacts.rule_descs, &artifacts.plan)
+                .unwrap()
+        })
+    });
+
+    let sm = StreamMatcher::new(u, s, &artifacts.matcher, &artifacts.rule_descs, &artifacts.plan)
+        .unwrap();
+    g.bench_function("stream_run", |b| b.iter(|| sm.run()));
+
+    g.bench_function("materialized_workflow", |b| {
+        b.iter(|| {
+            EmWorkflow {
+                rules: artifacts.rule_descs.build(),
+                plan: artifacts.plan,
+                matcher: &artifacts.matcher,
+                apply_negative: true,
+            }
+            .run(u, s)
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_match_stream);
+criterion_main!(benches);

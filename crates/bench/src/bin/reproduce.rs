@@ -47,6 +47,7 @@ struct Args {
     serve: bool,
     serve_chaos: bool,
     scaling: Vec<f64>,
+    scaling_match: Vec<f64>,
     explicit_sections: bool,
     sections: Vec<String>,
 }
@@ -88,6 +89,7 @@ fn parse_args() -> Args {
         serve: false,
         serve_chaos: false,
         scaling: Vec::new(),
+        scaling_match: Vec::new(),
         explicit_sections: false,
         sections: Vec::new(),
     };
@@ -129,6 +131,15 @@ fn parse_args() -> Args {
                     .filter(|&f: &f64| f > 0.0)
                     .collect();
             }
+            "--scaling-match" => {
+                args.scaling_match = it
+                    .next()
+                    .unwrap_or_default()
+                    .split(',')
+                    .filter_map(|v| v.trim().parse().ok())
+                    .filter(|&f: &f64| f > 0.0)
+                    .collect();
+            }
             "--section" => {
                 if let Some(v) = it.next() {
                     args.explicit_sections = true;
@@ -152,7 +163,14 @@ fn parse_args() -> Args {
                                     time, and peak RSS). With --bench this adds a `scaling` block\n\
                                     to BENCH_pipeline.json; standalone it writes BENCH_scaling.json.\n\
                                     A bare --scale-factor F (no --bench, no --section) is shorthand\n\
-                                    for --scaling F",
+                                    for --scaling F\n\
+                     --scaling-match F1,F2,...: run the fused end-to-end streaming match at each\n\
+                                    factor (blocking -> features -> forest -> rules, no\n\
+                                    materialized candidate set); trains the frozen workflow once\n\
+                                    at x1, then records matched pairs, pairs/s, a thread-invariant\n\
+                                    checksum, and peak RSS per factor. With --bench this adds a\n\
+                                    scaling_match block to BENCH_pipeline.json; standalone it\n\
+                                    writes BENCH_scaling.json",
                     ALL_SECTIONS.join(" ")
                 );
                 std::process::exit(0);
@@ -190,15 +208,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // report at x64/x256 is not meaningful (the paper's numbers are
     // x1-scale), so a bare factor means "measure the corpus-scale blocking
     // stage there".
-    if !args.scaling.is_empty() || (args.scale_factor.is_some() && !args.explicit_sections) {
-        let factors = if args.scaling.is_empty() {
-            vec![args.scale_factor.unwrap_or(1.0)]
-        } else {
-            args.scaling.clone()
-        };
+    if !args.scaling.is_empty()
+        || !args.scaling_match.is_empty()
+        || (args.scale_factor.is_some() && !args.explicit_sections)
+    {
         let seed = args.base_cfg().seed;
         let seed = args.seed.unwrap_or(seed);
-        let block = scaling_stages(&factors, seed)?;
+        // The match sweep runs first so its peak-RSS readings (`VmHWM`
+        // high-water) are not masked by the blocking sweep's footprint.
+        let match_block = if args.scaling_match.is_empty() {
+            String::new()
+        } else {
+            scaling_match_stages(&args.scaling_match, seed)?
+        };
+        let mut block = String::new();
+        // A bare `--scale-factor F` keeps its blocking-scaling shorthand
+        // meaning unless an explicit `--scaling-match` list was given.
+        if !args.scaling.is_empty() || args.scaling_match.is_empty() {
+            let factors = if args.scaling.is_empty() {
+                vec![args.scale_factor.unwrap_or(1.0)]
+            } else {
+                args.scaling.clone()
+            };
+            block.push_str(&scaling_stages(&factors, seed)?);
+        }
+        block.push_str(&match_block);
         let json = format!("{{\n{block}  \"seed\": {seed}\n}}\n");
         std::fs::write("BENCH_scaling.json", &json)?;
         println!("  wrote BENCH_scaling.json");
@@ -375,28 +409,20 @@ fn bench_pipeline(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let pairs: Vec<Pair> = rn.consolidated.to_vec();
     stages.push(StageTiming { name: "blocking", items: pairs.len(), ms_1t: blk_1t, ms_nt: blk_nt });
 
-    // Stage 2: feature extraction over every candidate pair.
+    // Stage 2 (timed below, after the forest fit): feature extraction is
+    // the production *masked* batched path — the model+rules feature mask
+    // over [`em_features::BatchExtractor`], the exact kernel the fused
+    // streaming executor (`em_core::stream`) and the serve tier run. The
+    // mask needs a fitted model, so the timing block sits after
+    // `forest_fit` and is inserted at its historical position in the
+    // stage table. This full (unmasked) extraction runs once, untimed, to
+    // feed the forest fit and the live-slot cross-check.
     let features = auto_features(
         u,
         s,
         &FeatureOptions::excluding(&["RecordId", "AccessionNumber"]).with_case_insensitive(),
     );
-    em_parallel::set_threads(1);
-    let (x1, ext_1t) = timed(|| extract_vectors(&features, u, s, &pairs));
-    let x1 = x1?;
-    em_parallel::set_threads(requested);
-    let (xn, ext_nt) = timed(|| extract_vectors(&features, u, s, &pairs));
-    let xn = xn?;
-    assert!(
-        x1.iter().flatten().map(|v| v.to_bits()).eq(xn.iter().flatten().map(|v| v.to_bits())),
-        "feature extraction must be thread-count invariant"
-    );
-    stages.push(StageTiming {
-        name: "feature_extraction",
-        items: pairs.len(),
-        ms_1t: ext_1t,
-        ms_nt: ext_nt,
-    });
+    let x_full = extract_vectors(&features, u, s, &pairs)?;
 
     // Stage 2b: the raw similarity-kernel engine — five character kernels
     // per candidate title pair on pre-decoded chars, with no pair memo, so
@@ -442,7 +468,7 @@ fn bench_pipeline(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             )
         })
         .collect();
-    let mut data = Dataset::new(features.names(), xn, y)?;
+    let mut data = Dataset::new(features.names(), x_full.clone(), y)?;
     let _imputer = impute_mean(&mut data);
     let forest = em_ml::forest::RandomForestLearner::default();
     em_parallel::set_threads(1);
@@ -479,12 +505,10 @@ fn bench_pipeline(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         ms_nt: prd_nt,
     });
 
-    // Stages 5–6 (`--serve`): the online service over the scenario's extra
-    // UMETRICS arrivals — a deterministic micro-batch and a
-    // one-record-at-a-time replay. Both must be thread-count invariant and
-    // agree with each other (the em-serve integration tests additionally
-    // pin them to the batch pipeline's patch stage).
-    let mut serve_json = String::new();
+    // The serving artifacts train here (not with the serve stages below)
+    // because the masked extraction stage wants the *deployed* matcher:
+    // the CV-selected model the workflow, the serve tier, and the
+    // streaming executor all score with.
     let mut serving_artifacts = None;
     if args.serve || args.serve_chaos {
         eprintln!("training the serving artifacts for --serve/--serve-chaos…");
@@ -493,6 +517,60 @@ fn bench_pipeline(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         cs_cfg.scenario = cfg;
         serving_artifacts = Some(CaseStudy::new(cs_cfg).train_serving_artifacts()?);
     }
+
+    // Stage 2 (deferred): masked batched feature extraction — the
+    // model+rules mask over the SoA `BatchExtractor`, timed at 1 and N
+    // threads with the usual bit-identity check, plus a live-slot
+    // cross-check against the full per-pair extraction above. The mask
+    // comes from the CV-selected pipeline matcher (what matching actually
+    // reads — 18/46 at the committed x4); the 25-tree bench forest above
+    // exists to time `forest_fit` and would artificially widen the mask
+    // (41/46), so it is only the fallback when no artifacts are trained.
+    let rule_descs = em_core::pipeline::standard_rule_descs();
+    let bench_fitted;
+    let mask_model = match serving_artifacts.as_ref() {
+        Some(artifacts) => &artifacts.matcher.model,
+        None => {
+            bench_fitted = em_ml::FittedModel::Forest(mn.clone());
+            &bench_fitted
+        }
+    };
+    let mask = em_core::derive_feature_mask(&features, mask_model, &rule_descs);
+    println!(
+        "  feature_extraction mask: {}/{} features live (model splits + rule attributes)",
+        mask.n_live(),
+        mask.len()
+    );
+    let extractor = em_features::BatchExtractor::for_pairs(&features, u, s, &mask, &pairs)?;
+    em_parallel::set_threads(1);
+    let (mx1, ext_1t) = timed(|| extractor.extract_matrix(u, s, &pairs));
+    em_parallel::set_threads(requested);
+    let (mxn, ext_nt) = timed(|| extractor.extract_matrix(u, s, &pairs));
+    assert!(
+        mx1.iter().map(|v| v.to_bits()).eq(mxn.iter().map(|v| v.to_bits())),
+        "masked feature extraction must be thread-count invariant"
+    );
+    let nf = features.len();
+    for (r, full_row) in x_full.iter().enumerate() {
+        for k in mask.live_indices() {
+            assert_eq!(
+                mx1[r * nf + k].to_bits(),
+                full_row[k].to_bits(),
+                "masked extraction diverged from the full path at pair {r}, feature {k}"
+            );
+        }
+    }
+    stages.insert(
+        1,
+        StageTiming { name: "feature_extraction", items: pairs.len(), ms_1t: ext_1t, ms_nt: ext_nt },
+    );
+
+    // Stages 5–6 (`--serve`): the online service over the scenario's extra
+    // UMETRICS arrivals — a deterministic micro-batch and a
+    // one-record-at-a-time replay. Both must be thread-count invariant and
+    // agree with each other (the em-serve integration tests additionally
+    // pin them to the batch pipeline's patch stage).
+    let mut serve_json = String::new();
     if let (true, Some(artifacts)) = (args.serve, serving_artifacts.as_ref()) {
         use em_serve::{MatchService, ProbeScratch, ServeError};
         let service = MatchService::from_artifacts(artifacts)?;
@@ -600,6 +678,16 @@ fn bench_pipeline(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     // `--scaling`: the corpus-scale blocking stages ride along in the same
     // artifact so one bench run captures both the x1-scale stage table and
     // the x64/x256 scalability record.
+    // `--scaling-match` rides along the same way, so one artifact carries
+    // the x1 stage table and the full-pipeline x64/x256 record. It runs
+    // *before* the blocking-only scaling: peak RSS comes from the `VmHWM`
+    // high-water mark, and the blocking sweep's largest factor would
+    // otherwise mask the streaming executor's (much lower) footprint.
+    let mut scaling_match_json = String::new();
+    if !args.scaling_match.is_empty() {
+        scaling_match_json = scaling_match_stages(&args.scaling_match, bench_seed)?;
+    }
+
     let mut scaling_json = String::new();
     if !args.scaling.is_empty() {
         scaling_json = scaling_stages(&args.scaling, bench_seed)?;
@@ -645,7 +733,7 @@ fn bench_pipeline(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     // interpretable on other hardware.
     let available = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
     let json = format!(
-        "{{\n  \"scale\": \"{}\",\n  \"seed\": {},\n  \"threads\": {},\n  \"available_parallelism\": {},\n  \"em_threads\": {},\n  \"candidate_pairs\": {},\n{}{}{}  \"stages\": [\n{}\n  ],\n  \"total_wall_ms_1t\": {:.3},\n  \"total_wall_ms_nt\": {:.3},\n  \"combined_speedup\": {:.3}\n}}\n",
+        "{{\n  \"scale\": \"{}\",\n  \"seed\": {},\n  \"threads\": {},\n  \"available_parallelism\": {},\n  \"em_threads\": {},\n  \"candidate_pairs\": {},\n{}{}{}{}  \"stages\": [\n{}\n  ],\n  \"total_wall_ms_1t\": {:.3},\n  \"total_wall_ms_nt\": {:.3},\n  \"combined_speedup\": {:.3}\n}}\n",
         args.scale_label(),
         bench_seed,
         requested,
@@ -655,6 +743,7 @@ fn bench_pipeline(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         serve_json,
         serve_chaos_json,
         scaling_json,
+        scaling_match_json,
         stage_json.join(",\n"),
         total_1t,
         total_nt,
@@ -820,6 +909,180 @@ fn scaling_stages(factors: &[f64], seed: u64) -> Result<String, Box<dyn std::err
         })
         .collect();
     Ok(format!("  \"scaling\": [\n{}\n  ],\n", stage_json.join(",\n")))
+}
+
+/// One corpus-scale end-to-end match measurement.
+struct ScaleMatchStage {
+    factor: f64,
+    left_rows: usize,
+    right_rows: usize,
+    gen_ms: f64,
+    wall_ms: f64,
+    candidates: usize,
+    predicted: usize,
+    flipped: usize,
+    matched: usize,
+    checksum: u64,
+    peak_rss_mib: f64,
+}
+
+impl ScaleMatchStage {
+    /// Candidate pairs driven through extract+impute+score per second —
+    /// the full-pipeline analogue of the blocking table's `cand/s`.
+    fn pairs_per_s(&self) -> f64 {
+        self.candidates as f64 / (self.wall_ms.max(1e-9) / 1e3)
+    }
+}
+
+/// `--scaling-match F1,F2,...`: the fused end-to-end streaming match.
+/// The frozen workflow (features, imputer, CV-selected model, rules,
+/// plan) trains **once** at x1 — scaling varies the corpus the executor
+/// streams over, not the artifact under test. Each factor generates the
+/// scenario with auxiliary tables capped at paper size (identical
+/// blocking inputs, as in [`scaling_stages`]), then drives every left row
+/// through [`em_core::stream::StreamMatcher`]: join-probe candidates →
+/// masked batch features → mean imputation → blocked forest scoring →
+/// negative rules, keeping only streamed accounting in memory. Factors
+/// run ascending so the `VmHWM` high-water read after each stage
+/// approximates that stage's peak; at small factors the stream is
+/// cross-checked against the materialized [`em_core::EmWorkflow`].
+fn scaling_match_stages(factors: &[f64], seed: u64) -> Result<String, Box<dyn std::error::Error>> {
+    use em_core::stream::StreamMatcher;
+    use em_core::EmWorkflow;
+
+    let mut factors: Vec<f64> = factors.to_vec();
+    factors.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    println!("\n## Corpus-scale end-to-end matching — fused streaming executor");
+
+    // Train the frozen workflow once at x1 (the case study's own scale;
+    // auxiliary tables uncapped so the artifact is exactly the one the
+    // paper-scale pipeline produces).
+    eprintln!("training the frozen x1 workflow for --scaling-match…");
+    let t0 = std::time::Instant::now();
+    let mut cs_cfg = CaseStudyConfig::small();
+    cs_cfg.scenario = ScenarioConfig::scaled(1.0).with_seed(seed);
+    let artifacts = CaseStudy::new(cs_cfg).train_serving_artifacts()?;
+    eprintln!(
+        "trained in {:.1}s: {} ({} features)",
+        t0.elapsed().as_secs_f64(),
+        artifacts.matcher.learner_name,
+        artifacts.matcher.features.len()
+    );
+
+    println!(
+        "  {:>7} {:>9} {:>9} {:>10} {:>12} {:>9} {:>13} {:>9}",
+        "factor", "left", "right", "wall ms", "candidates", "matched", "pairs/s", "RSS MiB"
+    );
+    let mut stages = Vec::new();
+    let mut mask_live = 0usize;
+    let mut mask_total = 0usize;
+    for &factor in &factors {
+        // Same auxiliary-table cap as the blocking scaling: employees,
+        // vendors, sub-awards, and object codes never feed the matcher's
+        // columns, so generation stays proportional to what matching reads.
+        let mut cfg = ScenarioConfig::scaled(factor).with_seed(seed);
+        let paper = ScenarioConfig::paper();
+        cfg.n_employees = paper.n_employees;
+        cfg.n_vendors = paper.n_vendors;
+        cfg.n_subawards = paper.n_subawards;
+        cfg.n_object_codes = paper.n_object_codes;
+
+        let t0 = std::time::Instant::now();
+        let scenario = em_datagen::Scenario::generate(cfg)?;
+        let u = em_core::preprocess::project_umetrics(&scenario.award_agg, &scenario.employees)?;
+        let d = em_core::preprocess::project_usda(&scenario.usda, true)?;
+        let gen_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let t0 = std::time::Instant::now();
+        let sm = StreamMatcher::new(
+            &u,
+            &d,
+            &artifacts.matcher,
+            &artifacts.rule_descs,
+            &artifacts.plan,
+        )?;
+        let out = sm.run();
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        mask_live = sm.mask().n_live();
+        mask_total = sm.mask().len();
+
+        let stage = ScaleMatchStage {
+            factor,
+            left_rows: out.left_rows,
+            right_rows: out.right_rows,
+            gen_ms,
+            wall_ms,
+            candidates: out.candidates,
+            predicted: out.predicted,
+            flipped: out.flipped,
+            matched: out.matched,
+            checksum: out.checksum,
+            peak_rss_mib: peak_rss_mib(),
+        };
+        println!(
+            "  {:>7} {:>9} {:>9} {:>10.1} {:>12} {:>9} {:>13.0} {:>9.0}",
+            format!("x{factor}"),
+            stage.left_rows,
+            stage.right_rows,
+            stage.wall_ms,
+            stage.candidates,
+            stage.matched,
+            stage.pairs_per_s(),
+            stage.peak_rss_mib
+        );
+
+        // Small factors double as a correctness gate: the stream must
+        // reproduce the materialized workflow's accounting exactly.
+        if factor <= 4.0 {
+            let wf = EmWorkflow {
+                rules: artifacts.rule_descs.build(),
+                plan: artifacts.plan,
+                matcher: &artifacts.matcher,
+                apply_negative: true,
+            };
+            let r = wf.run(&u, &d)?;
+            assert_eq!(
+                out.candidates,
+                r.candidates.len(),
+                "streamed candidate count diverged from the workflow at x{factor}"
+            );
+            assert_eq!(
+                out.matched,
+                r.matches.len(),
+                "streamed match count diverged from the workflow at x{factor}"
+            );
+        }
+        stages.push(stage);
+    }
+    println!("  mask: {mask_live}/{mask_total} features live");
+
+    let stage_json: Vec<String> = stages
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"factor\": {}, \"left_rows\": {}, \"right_rows\": {}, \
+                 \"gen_ms\": {:.3}, \"wall_ms\": {:.3}, \"candidates\": {}, \
+                 \"predicted\": {}, \"flipped\": {}, \"matched\": {}, \
+                 \"pairs_per_s\": {:.1}, \"checksum\": \"{:#018x}\", \
+                 \"mask_live\": {}, \"mask_total\": {}, \"peak_rss_mib\": {:.1}}}",
+                s.factor,
+                s.left_rows,
+                s.right_rows,
+                s.gen_ms,
+                s.wall_ms,
+                s.candidates,
+                s.predicted,
+                s.flipped,
+                s.matched,
+                s.pairs_per_s(),
+                s.checksum,
+                mask_live,
+                mask_total,
+                s.peak_rss_mib
+            )
+        })
+        .collect();
+    Ok(format!("  \"scaling_match\": [\n{}\n  ],\n", stage_json.join(",\n")))
 }
 
 /// Standalone `--serve-chaos`: train the serving artifacts and drive the

@@ -1,0 +1,96 @@
+//! Pins the fused streaming executor's x4 corpus-scale run: the exact
+//! accounting `reproduce --scaling-match` commits to
+//! `BENCH_pipeline.json` (candidates, predicted, flipped, matched, and
+//! the chunk-chained FNV checksum), thread-invariant at 1 and 4 threads,
+//! and bit-identical to the materialized blocking → extract → predict
+//! workflow. The setup mirrors `scaling_match_stages` in
+//! `src/bin/reproduce.rs`: the workflow trains once at x1 (uncapped),
+//! then streams over the x4 scenario with auxiliary tables capped at
+//! paper size.
+
+use em_core::pipeline::{CaseStudy, CaseStudyConfig};
+use em_core::preprocess::{project_umetrics, project_usda};
+use em_core::stream::StreamMatcher;
+use em_core::EmWorkflow;
+use em_datagen::{Scenario, ScenarioConfig};
+
+/// The committed bench seed (`reproduce --seed 20190326`).
+const SEED: u64 = 20190326;
+
+/// Tests that flip the global `em_parallel` thread override must not run
+/// concurrently with each other.
+static THREADS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[test]
+fn x4_stream_is_pinned_and_matches_materialized_workflow() {
+    let _guard = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+
+    // Frozen x1 workflow — exactly the artifact `--scaling-match` trains.
+    let mut cs_cfg = CaseStudyConfig::small();
+    cs_cfg.scenario = ScenarioConfig::scaled(1.0).with_seed(SEED);
+    let artifacts = CaseStudy::new(cs_cfg).train_serving_artifacts().unwrap();
+
+    // x4 corpus with auxiliary tables capped at paper size, as in the
+    // blocking scaling sweep: employees / vendors / sub-awards / object
+    // codes never feed the matcher's columns.
+    let mut cfg = ScenarioConfig::scaled(4.0).with_seed(SEED);
+    let paper = ScenarioConfig::paper();
+    cfg.n_employees = paper.n_employees;
+    cfg.n_vendors = paper.n_vendors;
+    cfg.n_subawards = paper.n_subawards;
+    cfg.n_object_codes = paper.n_object_codes;
+    let scenario = Scenario::generate(cfg).unwrap();
+    let u = project_umetrics(&scenario.award_agg, &scenario.employees).unwrap();
+    let d = project_usda(&scenario.usda, true).unwrap();
+
+    let sm = StreamMatcher::new(&u, &d, &artifacts.matcher, &artifacts.rule_descs, &artifacts.plan)
+        .unwrap();
+    em_parallel::set_threads(1);
+    let (o1, scored1, matches1) = sm.run_collecting();
+    em_parallel::set_threads(4);
+    let (o4, scored4, matches4) = sm.run_collecting();
+    em_parallel::set_threads(0);
+
+    // Thread invariance, checksum included.
+    assert_eq!(o1, o4, "x4 outcome depends on thread count");
+    assert_eq!(scored1.len(), scored4.len());
+    for (a, b) in scored1.iter().zip(scored4.iter()) {
+        assert_eq!(a.0, b.0, "scored pair order depends on threads");
+        assert_eq!(a.1.to_bits(), b.1.to_bits(), "score depends on threads at {:?}", a.0);
+    }
+    assert_eq!(matches1, matches4);
+
+    // The committed x4 row of `BENCH_pipeline.json`'s `scaling_match`
+    // block, pinned value for value. A change here is a semantic change
+    // to blocking, features, imputation, the model, or the rules — not
+    // noise — and the committed artifact must be regenerated with it.
+    assert_eq!(o1.left_rows, 5344, "x4 left rows");
+    assert_eq!(o1.right_rows, 7660, "x4 right rows");
+    assert_eq!(o1.candidates, 23260, "x4 streamed candidates");
+    assert_eq!(o1.predicted, 1815, "x4 predicted matches");
+    assert_eq!(o1.flipped, 390, "x4 negative-rule flips");
+    assert_eq!(o1.matched, 3909, "x4 final matches");
+    assert_eq!(o1.checksum, 0xa59b_62b4_b38e_4195, "x4 match checksum");
+    assert_eq!(o1.histogram.iter().sum::<u64>(), o1.candidates as u64);
+
+    // Bit-identity with the materialized path on the same corpus: same
+    // candidate probabilities in the same order, same final match list.
+    let wf = EmWorkflow {
+        rules: artifacts.rule_descs.build(),
+        plan: artifacts.plan,
+        matcher: &artifacts.matcher,
+        apply_negative: true,
+    };
+    let r = wf.run(&u, &d).unwrap();
+    let probs = artifacts.matcher.probabilities(&u, &d, &r.candidates).unwrap();
+    assert_eq!(o1.sure, r.sure.len(), "sure count");
+    assert_eq!(o1.candidates, r.candidates.len(), "candidate count");
+    assert_eq!(o1.predicted, r.predicted.len(), "predicted count");
+    assert_eq!(o1.flipped, r.flipped.len(), "flipped count");
+    assert_eq!(scored1.len(), probs.len(), "scored-pair count");
+    for ((sp, sv), (mp, mv)) in scored1.iter().zip(probs.iter()) {
+        assert_eq!(sp, mp, "scored pair order vs materialized");
+        assert_eq!(sv.to_bits(), mv.to_bits(), "probability mismatch at {sp:?}: {sv} vs {mv}");
+    }
+    assert_eq!(matches1, r.matches.to_vec(), "match list vs materialized");
+}

@@ -359,10 +359,19 @@ pub struct JoinStats {
     pub flagged: u64,
 }
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit offset basis. Seed for both per-chunk digests and the
+/// chunk-order chain; public so downstream streaming executors (the fused
+/// match path in `em-core`) can reproduce [`join_stats`]-compatible
+/// checksums over their own pair streams.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
-fn fnv_u64(mut h: u64, v: u64) -> u64 {
+/// Folds one `u64` into an FNV-1a hash state byte-wise (little-endian).
+/// The checksum primitive behind [`JoinStats::checksum`]: chunk digests
+/// start from [`FNV_OFFSET`] and absorb `left` then `right` per pair; the
+/// final chain starts from [`FNV_OFFSET`] and absorbs digests in chunk
+/// order.
+pub fn fnv_u64(mut h: u64, v: u64) -> u64 {
     for b in v.to_le_bytes() {
         h ^= u64::from(b);
         h = h.wrapping_mul(FNV_PRIME);

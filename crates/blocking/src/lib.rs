@@ -44,6 +44,6 @@ pub use debugger::{debug_blocking, BlockingDebugger, DebugPair};
 pub use error::BlockError;
 pub use incremental::{IncrementalIndex, ProbeScratch};
 pub use join::{
-    join_pairs, join_pairs_multi, join_stats, JoinIndex, JoinScratch, JoinSpec, JoinStats,
-    JOIN_CHUNK,
+    fnv_u64, join_pairs, join_pairs_multi, join_stats, JoinIndex, JoinScratch, JoinSpec,
+    JoinStats, FNV_OFFSET, JOIN_CHUNK,
 };

@@ -42,6 +42,7 @@ pub mod pipeline;
 pub mod preprocess;
 pub mod resilience;
 pub mod spec;
+pub mod stream;
 pub mod workflow;
 
 pub use blocking_plan::{run_blocking, BlockingOutcome, BlockingPlan};
@@ -59,4 +60,5 @@ pub use analysis::{analyze_multiplicity, cluster_matches, MultiplicityReport};
 pub use monitor::{AccuracyMonitor, MonitorConfig, SliceReport};
 pub use resilience::{corrupt_csv, fault_draw, FaultPlan, ResilienceReport, RetryPolicy, ServeFaultPlan};
 pub use spec::WorkflowSpec;
+pub use stream::{derive_feature_mask, StreamMatcher, StreamOutcome, HIST_BINS, STREAM_CHUNK};
 pub use workflow::{EmWorkflow, MatchIds, WorkflowResult};

@@ -1,0 +1,564 @@
+//! Fused streaming match executor: blocking → features → scoring → rules
+//! without materializing the candidate set.
+//!
+//! The batch path ([`EmWorkflow::run`](crate::workflow::EmWorkflow::run))
+//! materializes three full intermediates — the consolidated candidate set,
+//! the feature matrix, and the prediction vector — before a single match
+//! emerges. At corpus scale (x64–x256) the candidate set alone dominates
+//! memory. [`StreamMatcher`] fuses the stages instead: each left row's
+//! candidates come straight off the [`join`] index probe, flow through
+//! masked batch feature extraction into a reusable SoA block, get mean
+//! imputed and forest-scored in place, and only the above-threshold
+//! survivors (minus negative-rule flips, plus the rule-driven sure
+//! matches) are counted into the streamed accounting. Nothing
+//! proportional to the candidate count is ever resident.
+//!
+//! **Bit identity.** The stream is not an approximation: every stage
+//! reuses the exact batch kernels, so counts, per-pair probabilities, and
+//! the final match set equal the materialized workflow bit for bit.
+//! Candidate equality holds because the join-spec union is proptested
+//! equal to `C2 ∪ C3` in `em-blocking` and `C1`/sure sets come from the
+//! same code paths ([`c1_scheme`], [`RuleSet::sure_matches`]); feature
+//! equality because [`BatchExtractor`] is pinned bit-equal to
+//! `extract_vectors` in `em-features` and dead (masked) slots are imputed
+//! to the same column means the batch path imputes; score equality
+//! because [`BlockScorer`] flattens the fitted model without reordering
+//! its float accumulation.
+//!
+//! **Thread invariance.** Left rows are processed in fixed
+//! [`STREAM_CHUNK`]-row chunks — the chunk grid is the parallel index
+//! space, so each chunk's result is a pure function of its index — and
+//! chunk results merge in chunk order. Output is bit-identical at any
+//! thread count, including the chunk-chained FNV checksum, which absorbs
+//! per-chunk digests exactly like [`em_blocking::join_stats`] does.
+//!
+//! [`join`]: em_blocking::JoinIndex
+
+use crate::blocking_plan::{c1_scheme, BlockingPlan};
+use crate::error::CoreError;
+use crate::matcher::TrainedMatcher;
+use em_blocking::{fnv_u64, CandidateSet, JoinIndex, JoinScratch, JoinSpec, Pair, FNV_OFFSET};
+use em_features::{BatchExtractor, BatchScratch, FeatureMask, FeatureSet, SharedWordColumns};
+use em_ml::dataset::Imputer;
+use em_ml::{BlockScorer, FittedModel};
+use em_parallel::Executor;
+use em_rules::{RuleSet, RuleSetDesc};
+use em_table::Table;
+use em_text::{TokenCache, TokenCorpus};
+
+/// Left rows per parallel chunk. Fixed (not derived from the thread
+/// count) so the chunk grid — and therefore every per-chunk digest — is
+/// identical at any parallelism.
+pub const STREAM_CHUNK: usize = 1024;
+
+/// Candidate pairs extracted + scored per SoA slab. Bounds the feature
+/// block at `SCORE_SLAB × n_live_features` doubles per worker regardless
+/// of how many candidates a chunk emits.
+pub const SCORE_SLAB: usize = 4096;
+
+/// Score histogram resolution: bin `b` covers `[b/20, (b+1)/20)`.
+pub const HIST_BINS: usize = 20;
+
+/// The model decision threshold (`predict` = `predict_proba >= 0.5`).
+const MATCH_THRESHOLD: f64 = 0.5;
+
+/// The blocking column both join schemes read (fixed by the case study's
+/// plan, as in [`run_blocking`](crate::blocking_plan::run_blocking)).
+const BLOCK_COL: &str = "AwardTitle";
+
+/// Streamed accounting for one fused match run — everything the batch
+/// workflow reports, without the sets themselves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamOutcome {
+    /// Left (UMETRICS) rows driven through the stream.
+    pub left_rows: usize,
+    /// Right (USDA) rows probed against.
+    pub right_rows: usize,
+    /// Rule-driven sure matches (`C1`-rule union), counted once up front.
+    pub sure: usize,
+    /// Candidates scored: `|blocked − sure|` summed over left rows.
+    pub candidates: usize,
+    /// Candidates the model scored at or above the threshold.
+    pub predicted: usize,
+    /// Predictions the negative rules flipped to non-match.
+    pub flipped: usize,
+    /// Final matches: `sure ∪ (predicted − flipped)`.
+    pub matched: usize,
+    /// Chunk-chained FNV-1a digest of the final match stream in
+    /// `(left, right)` order — [`em_blocking::JoinStats`]-style: each
+    /// chunk hashes its own matches from [`FNV_OFFSET`], and the chain
+    /// absorbs chunk digests in chunk order.
+    pub checksum: u64,
+    /// Score histogram over all scored candidates ([`HIST_BINS`] bins of
+    /// width `1/HIST_BINS`; the last bin also catches `p = 1.0`).
+    pub histogram: [u64; HIST_BINS],
+}
+
+/// A frozen workflow fused into a streaming executor over one table pair.
+///
+/// Construction does all sizable work that is *not* proportional to the
+/// candidate count: tokenize the blocking column once into shared corpora
+/// (reused by both the join probes and the word-level set features),
+/// build the join index, derive the model+rule feature mask, build the
+/// masked [`BatchExtractor`], flatten the fitted model into a
+/// [`BlockScorer`], and materialize the two *small* per-left-row
+/// adjacencies (C1 scheme, rule sure matches) as CSR. [`run`] then
+/// streams the unbounded part.
+///
+/// [`run`]: StreamMatcher::run
+pub struct StreamMatcher<'a> {
+    u: &'a Table,
+    s: &'a Table,
+    imputer: &'a Imputer,
+    rules: RuleSet,
+    scorer: BlockScorer,
+    extractor: BatchExtractor,
+    join: JoinIndex,
+    left_corpus: TokenCorpus,
+    spec: JoinSpec,
+    c1: Csr,
+    sure: Csr,
+    mask: FeatureMask,
+    n_features: usize,
+}
+
+/// Per-left-row sorted adjacency (compressed sparse rows over right-row
+/// ids) for the two small materialized sets.
+struct Csr {
+    starts: Vec<usize>,
+    rows: Vec<u32>,
+}
+
+/// Per-worker reusable state: join probe scratch, the row-merge buffers,
+/// the pending pair slab with its SoA feature block, and the extraction
+/// memos.
+struct StreamScratch {
+    probe: JoinScratch,
+    hits: Vec<u32>,
+    blocked: Vec<u32>,
+    candidates: Vec<u32>,
+    pending: Vec<(u32, u32)>,
+    block: Vec<f64>,
+    scores: Vec<f64>,
+    kept: Vec<(u32, u32)>,
+    batch: BatchScratch,
+}
+
+/// One chunk's accounting; merged in chunk order by the fold.
+#[derive(Default)]
+struct ChunkResult {
+    candidates: usize,
+    predicted: usize,
+    flipped: usize,
+    matched: usize,
+    digest: u64,
+    histogram: [u64; HIST_BINS],
+    scored: Vec<(Pair, f64)>,
+    matches: Vec<Pair>,
+}
+
+impl Csr {
+    /// The sorted right-row ids adjacent to left row `i`.
+    #[inline]
+    fn row(&self, i: usize) -> &[u32] {
+        &self.rows[self.starts[i]..self.starts[i + 1]]
+    }
+}
+
+/// Sorted-set union of two ascending id slices into `out`.
+fn merge_union(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    out.clear();
+    let (mut x, mut y) = (0usize, 0usize);
+    while x < a.len() && y < b.len() {
+        match a[x].cmp(&b[y]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[x]);
+                x += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[y]);
+                y += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[x]);
+                x += 1;
+                y += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[x..]);
+    out.extend_from_slice(&b[y..]);
+}
+
+/// Sorted-set difference `a − b` of two ascending id slices into `out`.
+fn merge_difference(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    out.clear();
+    let mut y = 0usize;
+    for &v in a {
+        while y < b.len() && b[y] < v {
+            y += 1;
+        }
+        if b.get(y) != Some(&v) {
+            out.push(v);
+        }
+    }
+}
+
+impl StreamMatcher<'_> {
+    /// Streams one [`STREAM_CHUNK`] of left rows: probe, merge, extract,
+    /// impute, score, apply negative rules, digest. Pure function of the
+    /// chunk index (given the frozen matcher), which is what makes the
+    /// chunk-ordered fold thread-invariant.
+    fn run_chunk(&self, c: usize, ws: &mut StreamScratch, collect: bool) -> ChunkResult {
+        let lo = c * STREAM_CHUNK;
+        let hi = ((c + 1) * STREAM_CHUNK).min(self.u.n_rows());
+        let mut res = ChunkResult { digest: FNV_OFFSET, ..ChunkResult::default() };
+        ws.pending.clear();
+        ws.kept.clear();
+        for i in lo..hi {
+            // blocked(i) = C1(i) ∪ join-probe(i); candidates = blocked − sure.
+            self.join.probe_into(self.left_corpus.row(i), &self.spec, &mut ws.probe, &mut ws.hits);
+            merge_union(self.c1.row(i), &ws.hits, &mut ws.blocked);
+            merge_difference(&ws.blocked, self.sure.row(i), &mut ws.candidates);
+            res.candidates += ws.candidates.len();
+            ws.pending.extend(ws.candidates.iter().map(|&j| (i as u32, j)));
+            if ws.pending.len() >= SCORE_SLAB {
+                self.flush_pending(ws, &mut res, collect);
+            }
+        }
+        self.flush_pending(ws, &mut res, collect);
+        // Digest the chunk's final matches — sure ∪ kept, merged per left
+        // row in (left, right) order. The two streams are disjoint (kept ⊆
+        // blocked − sure) and each is sorted, so this is a plain merge.
+        let mut k = 0usize;
+        for i in lo..hi {
+            let sure_row = self.sure.row(i);
+            let start = k;
+            while k < ws.kept.len() && ws.kept[k].0 == i as u32 {
+                k += 1;
+            }
+            let kept_row = &ws.kept[start..k];
+            let (mut x, mut y) = (0usize, 0usize);
+            while x < sure_row.len() || y < kept_row.len() {
+                let j = match (sure_row.get(x), kept_row.get(y)) {
+                    (Some(&a), Some(&(_, b))) => {
+                        if a < b {
+                            x += 1;
+                            a
+                        } else {
+                            y += 1;
+                            b
+                        }
+                    }
+                    (Some(&a), None) => {
+                        x += 1;
+                        a
+                    }
+                    (None, Some(&(_, b))) => {
+                        y += 1;
+                        b
+                    }
+                    (None, None) => break,
+                };
+                res.digest = fnv_u64(fnv_u64(res.digest, i as u64), u64::from(j));
+                res.matched += 1;
+                if collect {
+                    res.matches.push(Pair::new(i, j as usize));
+                }
+            }
+        }
+        res
+    }
+
+    /// Extracts, imputes, and scores the pending slab, folding verdicts
+    /// into `res` and surviving matches into the worker's `kept` list.
+    fn flush_pending(&self, ws: &mut StreamScratch, res: &mut ChunkResult, collect: bool) {
+        let nf = self.n_features;
+        let StreamScratch { pending, block, scores, batch, kept, .. } = ws;
+        for slab in pending.chunks(SCORE_SLAB) {
+            let n = slab.len();
+            for (row, &(i, j)) in block.chunks_exact_mut(nf).zip(slab.iter()) {
+                self.extractor.extract_into(self.u, self.s, Pair::new(i as usize, j as usize), batch, row);
+                self.imputer.transform_row(row);
+            }
+            self.scorer.score_block(&block[..n * nf], nf, &mut scores[..n]);
+            for (&(i, j), &p) in slab.iter().zip(scores.iter()) {
+                let bin = ((p * HIST_BINS as f64) as usize).min(HIST_BINS - 1);
+                res.histogram[bin] += 1;
+                if collect {
+                    res.scored.push((Pair::new(i as usize, j as usize), p));
+                }
+                if p >= MATCH_THRESHOLD {
+                    res.predicted += 1;
+                    let neg = match (self.u.row(i as usize), self.s.row(j as usize)) {
+                        (Some(ra), Some(rb)) => self.rules.any_negative_fires(ra, rb),
+                        _ => false,
+                    };
+                    if neg {
+                        res.flipped += 1;
+                    } else {
+                        kept.push((i, j));
+                    }
+                }
+            }
+        }
+        pending.clear();
+    }
+}
+
+// ---- scratch construction (allocations are confined below this line) ----
+
+impl<'a> StreamMatcher<'a> {
+    /// Fuses a frozen workflow (tables + trained matcher + rules + plan)
+    /// into a streaming executor. See the type docs for what construction
+    /// materializes; errors surface schema problems (missing blocking /
+    /// rule columns) and degenerate models (empty feature set).
+    pub fn new(
+        umetrics: &'a Table,
+        usda: &'a Table,
+        matcher: &'a TrainedMatcher,
+        rule_descs: &RuleSetDesc,
+        plan: &BlockingPlan,
+    ) -> Result<StreamMatcher<'a>, CoreError> {
+        if matcher.features.is_empty() {
+            return Err(CoreError::Pipeline("streaming matcher needs a non-empty feature set".to_string()));
+        }
+        umetrics.schema().require(BLOCK_COL)?;
+        usda.schema().require(BLOCK_COL)?;
+        let rules = rule_descs.build();
+        let sure = Csr::from_set(&rules.sure_matches(umetrics, usda)?, umetrics.n_rows());
+        let c1 = Csr::from_set(&c1_scheme(umetrics, usda)?, umetrics.n_rows());
+        let mask = derive_feature_mask(&matcher.features, &matcher.model, rule_descs);
+        // One tokenization pass per column feeds both the join probes and
+        // the word-level set features (shared-corpus satellite): ids are
+        // interned once, and the extractor keeps only Arc clones.
+        let cache = TokenCache::for_blocking();
+        let left_corpus =
+            TokenCorpus::from_column(&cache, umetrics.iter().map(|r| r.str(BLOCK_COL)));
+        let right_corpus = TokenCorpus::from_column(&cache, usda.iter().map(|r| r.str(BLOCK_COL)));
+        let join = JoinIndex::build(right_corpus);
+        let extractor = BatchExtractor::new(
+            &matcher.features,
+            umetrics,
+            usda,
+            &mask,
+            Some(SharedWordColumns {
+                left_attr: BLOCK_COL,
+                right_attr: BLOCK_COL,
+                left: &left_corpus,
+                right: join.right(),
+            }),
+        )?;
+        Ok(StreamMatcher {
+            u: umetrics,
+            s: usda,
+            imputer: &matcher.imputer,
+            rules,
+            scorer: matcher.model.block_scorer(),
+            n_features: matcher.features.len(),
+            extractor,
+            join,
+            left_corpus,
+            spec: plan.union_spec(),
+            c1,
+            sure,
+            mask,
+        })
+    }
+
+    /// The derived feature mask (model splits ∪ rule attributes).
+    pub fn mask(&self) -> &FeatureMask {
+        &self.mask
+    }
+
+    /// Runs the fused stream, returning only the accounting — memory
+    /// stays bounded by `workers × (scratch + slab)` regardless of how
+    /// many candidates the blocking admits.
+    pub fn run(&self) -> StreamOutcome {
+        self.run_inner(false).0
+    }
+
+    /// [`run`](StreamMatcher::run), additionally collecting every scored
+    /// `(pair, probability)` and the final match list, both in
+    /// `(left, right)` order — the equivalence tests' hook for bit-exact
+    /// comparison against the materialized workflow. Memory is
+    /// proportional to the candidate count again, so this is for tests
+    /// and small factors, not the scaling path.
+    pub fn run_collecting(&self) -> (StreamOutcome, Vec<(Pair, f64)>, Vec<Pair>) {
+        self.run_inner(true)
+    }
+
+    /// Chunked parallel drive + chunk-ordered merge.
+    fn run_inner(&self, collect: bool) -> (StreamOutcome, Vec<(Pair, f64)>, Vec<Pair>) {
+        let n_left = self.u.n_rows();
+        let chunks = n_left.div_ceil(STREAM_CHUNK);
+        let results = Executor::current().map_indexed_with(
+            chunks,
+            1,
+            || StreamScratch::for_matcher(self),
+            |ws, c| self.run_chunk(c, ws, collect),
+        );
+        let mut out = StreamOutcome {
+            left_rows: n_left,
+            right_rows: self.s.n_rows(),
+            sure: self.sure.rows.len(),
+            candidates: 0,
+            predicted: 0,
+            flipped: 0,
+            matched: 0,
+            checksum: FNV_OFFSET,
+            histogram: [0; HIST_BINS],
+        };
+        let mut scored = Vec::new();
+        let mut matches = Vec::new();
+        for r in results {
+            out.candidates += r.candidates;
+            out.predicted += r.predicted;
+            out.flipped += r.flipped;
+            out.matched += r.matched;
+            out.checksum = fnv_u64(out.checksum, r.digest);
+            for (h, c) in out.histogram.iter_mut().zip(r.histogram.iter()) {
+                *h += c;
+            }
+            scored.extend(r.scored);
+            matches.extend(r.matches);
+        }
+        (out, scored, matches)
+    }
+}
+
+impl Csr {
+    /// Builds the adjacency from a materialized candidate set;
+    /// [`CandidateSet::iter`] yields `(left, right)` order, so each row's
+    /// ids land sorted.
+    fn from_set(set: &CandidateSet, n_left: usize) -> Csr {
+        let mut starts = vec![0usize; n_left + 1];
+        for p in set.iter() {
+            starts[p.left + 1] += 1;
+        }
+        for i in 1..starts.len() {
+            starts[i] += starts[i - 1];
+        }
+        let mut rows = vec![0u32; set.len()];
+        let mut next = starts.clone();
+        for p in set.iter() {
+            rows[next[p.left]] = p.right as u32;
+            next[p.left] += 1;
+        }
+        Csr { starts, rows }
+    }
+}
+
+impl StreamScratch {
+    /// Scratch sized for one worker of `m`'s stream.
+    fn for_matcher(m: &StreamMatcher<'_>) -> StreamScratch {
+        StreamScratch {
+            probe: JoinScratch::for_index(&m.join),
+            hits: Vec::new(),
+            blocked: Vec::new(),
+            candidates: Vec::new(),
+            pending: Vec::with_capacity(SCORE_SLAB),
+            block: vec![0.0; SCORE_SLAB * m.n_features],
+            scores: vec![0.0; SCORE_SLAB],
+            kept: Vec::new(),
+            batch: BatchScratch::new(),
+        }
+    }
+}
+
+/// Derives the streaming/serving [`FeatureMask`] from a frozen workflow:
+/// a feature stays live when the fitted model can read it (a split in
+/// some tree of the forest) **or** its attribute pair is referenced by a
+/// rule predicate. Models that read every feature densely (linear, bayes
+/// — [`FittedModel::referenced_features`] returns `None`) keep the full
+/// plan, preserving batch semantics exactly. (Moved here from `em-serve`,
+/// which re-exports it, so the batch and serve tiers share one
+/// definition.)
+pub fn derive_feature_mask(
+    features: &FeatureSet,
+    model: &FittedModel,
+    rules: &RuleSetDesc,
+) -> FeatureMask {
+    match model.referenced_features() {
+        None => FeatureMask::full(features.len()),
+        Some(mut live) => {
+            for (left, right) in rules.referenced_attr_pairs() {
+                for (k, f) in features.features.iter().enumerate() {
+                    if f.left_attr == left && f.right_attr == right {
+                        live.insert(k);
+                    }
+                }
+            }
+            FeatureMask::from_live_indices(features.len(), live)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    fn set_from(pairs: &[(usize, usize)]) -> CandidateSet {
+        let mut s = CandidateSet::new("t");
+        for &(l, r) in pairs {
+            s.add(Pair::new(l, r), "t");
+        }
+        s
+    }
+
+    fn sorted_set(v: Vec<u32>) -> (BTreeSet<u32>, Vec<u32>) {
+        let set: BTreeSet<u32> = v.into_iter().collect();
+        let flat = set.iter().copied().collect();
+        (set, flat)
+    }
+
+    proptest! {
+        #[test]
+        fn merge_union_matches_btreeset(
+            a in proptest::collection::vec(0u32..64, 0..24),
+            b in proptest::collection::vec(0u32..64, 0..24),
+        ) {
+            let (aset, av) = sorted_set(a);
+            let (bset, bv) = sorted_set(b);
+            let mut out = Vec::new();
+            merge_union(&av, &bv, &mut out);
+            let want: Vec<u32> = aset.union(&bset).copied().collect();
+            prop_assert_eq!(out, want);
+        }
+
+        #[test]
+        fn merge_difference_matches_btreeset(
+            a in proptest::collection::vec(0u32..64, 0..24),
+            b in proptest::collection::vec(0u32..64, 0..24),
+        ) {
+            let (aset, av) = sorted_set(a);
+            let (bset, bv) = sorted_set(b);
+            let mut out = Vec::new();
+            merge_difference(&av, &bv, &mut out);
+            let want: Vec<u32> = aset.difference(&bset).copied().collect();
+            prop_assert_eq!(out, want);
+        }
+
+        #[test]
+        fn csr_groups_candidate_sets_by_left_row(
+            raw in proptest::collection::vec((0usize..20, 0usize..40), 0..60),
+        ) {
+            let pairs: BTreeSet<(usize, usize)> = raw.into_iter().collect();
+            let list: Vec<(usize, usize)> = pairs.iter().copied().collect();
+            let set = set_from(&list);
+            let csr = Csr::from_set(&set, 20);
+            let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+            for i in 0..20 {
+                let row = csr.row(i);
+                // sorted, deduplicated within each left row
+                prop_assert!(row.windows(2).all(|w| w[0] < w[1]));
+                for &j in row {
+                    seen.insert((i, j as usize));
+                }
+            }
+            prop_assert_eq!(seen, pairs);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! The fused streaming executor is the materialized workflow, bit for bit:
+//! same counts, same per-pair probabilities (`f64::to_bits` equality),
+//! same final match list — and all of it thread-invariant, checksum
+//! included.
+
+use em_core::blocking_plan::{run_blocking, BlockingPlan};
+use em_core::labeling::run_labeling;
+use em_core::matcher::{build_training_data, train_matcher, MatcherStage, TrainedMatcher};
+use em_core::pipeline::standard_rule_descs;
+use em_core::preprocess::{project_umetrics, project_usda};
+use em_core::stream::StreamMatcher;
+use em_core::workflow::EmWorkflow;
+use em_datagen::{Oracle, OracleConfig, Scenario, ScenarioConfig};
+use em_features::auto_features;
+use em_table::Table;
+
+/// Tests that flip the global `em_parallel` thread override must not run
+/// concurrently with each other.
+static THREADS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Small-scenario tables plus a matcher trained with the named learner
+/// (forced, not CV-selected, so both the masked tree/forest path and the
+/// dense-model path get exercised deterministically).
+fn fixture(learner: &str) -> (Table, Table, TrainedMatcher) {
+    let scenario = Scenario::generate(ScenarioConfig::small().with_seed(5)).unwrap();
+    let u = project_umetrics(&scenario.award_agg, &scenario.employees).unwrap();
+    let s = project_usda(&scenario.usda, true).unwrap();
+    let candidates = run_blocking(&u, &s, &BlockingPlan::default()).unwrap().consolidated;
+    let oracle = Oracle::new(&scenario.truth, OracleConfig::default());
+    let (labeled, _) = run_labeling(&u, &s, &candidates, &oracle, &[100, 100], 5).unwrap();
+    let stage = MatcherStage::new(1).with_case_insensitive();
+    let features = auto_features(&u, &s, &stage.feature_opts);
+    let rules = standard_rule_descs().build();
+    let (data, imputer) = build_training_data(&u, &s, &features, &labeled, &rules).unwrap();
+    let matcher = train_matcher(features, imputer, &data, learner, &stage).unwrap();
+    (u, s, matcher)
+}
+
+#[test]
+fn fused_stream_matches_materialized_workflow_bitwise() {
+    let _guard = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // Random Forest exercises the masked extraction + flattened block
+    // scorer; Logistic Regression exercises the dense (full-mask) path.
+    for learner in ["Random Forest", "Logistic Regression"] {
+        let (u, s, matcher) = fixture(learner);
+        let descs = standard_rule_descs();
+        let plan = BlockingPlan::default();
+        let wf = EmWorkflow {
+            rules: descs.build(),
+            plan: BlockingPlan::default(),
+            matcher: &matcher,
+            apply_negative: true,
+        };
+        let r = wf.run(&u, &s).unwrap();
+        let probs = matcher.probabilities(&u, &s, &r.candidates).unwrap();
+
+        let sm = StreamMatcher::new(&u, &s, &matcher, &descs, &plan).unwrap();
+        em_parallel::set_threads(1);
+        let (o1, scored1, matches1) = sm.run_collecting();
+        em_parallel::set_threads(4);
+        let (o4, scored4, matches4) = sm.run_collecting();
+        em_parallel::set_threads(0);
+
+        // Thread invariance: accounting (checksum included), scores, and
+        // matches identical at 1 and 4 threads.
+        assert_eq!(o1, o4, "[{learner}] outcome depends on thread count");
+        assert_eq!(scored1.len(), scored4.len());
+        for (a, b) in scored1.iter().zip(scored4.iter()) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits(), "[{learner}] score depends on threads");
+        }
+        assert_eq!(matches1, matches4);
+
+        // The fixture must be non-trivial for the comparison to mean much.
+        assert!(o1.candidates > 0, "[{learner}] no candidates streamed");
+        assert!(o1.matched > 0, "[{learner}] no matches streamed");
+
+        // Accounting equals the materialized workflow's set sizes.
+        assert_eq!(o1.sure, r.sure.len(), "[{learner}] sure count");
+        assert_eq!(o1.candidates, r.candidates.len(), "[{learner}] candidate count");
+        assert_eq!(o1.predicted, r.predicted.len(), "[{learner}] predicted count");
+        assert_eq!(o1.flipped, r.flipped.len(), "[{learner}] flipped count");
+        assert_eq!(o1.matched, r.matches.len(), "[{learner}] match count");
+        assert_eq!(
+            o1.histogram.iter().sum::<u64>(),
+            o1.candidates as u64,
+            "[{learner}] histogram does not cover every scored candidate"
+        );
+
+        // Per-pair probabilities: same pairs in the same (left, right)
+        // order, bit-identical scores.
+        assert_eq!(scored1.len(), probs.len(), "[{learner}] scored-pair count");
+        for ((sp, sv), (mp, mv)) in scored1.iter().zip(probs.iter()) {
+            assert_eq!(sp, mp, "[{learner}] scored pair order");
+            assert_eq!(
+                sv.to_bits(),
+                mv.to_bits(),
+                "[{learner}] probability mismatch at {sp:?}: {sv} vs {mv}"
+            );
+        }
+
+        // The final match list is the workflow's, pair for pair.
+        assert_eq!(matches1, r.matches.to_vec(), "[{learner}] match list");
+    }
+}

@@ -1,0 +1,502 @@
+//! Batched, maskable feature extraction — the match path's workhorse.
+//!
+//! [`BatchExtractor`] builds the call-wide interned caches of
+//! [`extract_vectors`](crate::extract::extract_vectors) (set-feature token
+//! columns, sequence-feature normalization columns, the word table) **once**
+//! and then extracts any number of pairs through them, restricted to a
+//! [`FeatureMask`]'s live subset: dead features get no cache plan, their
+//! columns are never tokenized, and their output slots are `NaN` — exactly
+//! what downstream mean imputation replaces with the column mean, so a
+//! tree-shaped model that never reads those columns scores bit-identically
+//! to full extraction (the PR 5 serving argument, now available to batch).
+//!
+//! Memory is bounded by design: the per-worker [`BatchScratch`] carries the
+//! `(feature, sid, sid)` pair memo and the Monge-Elkan word-pair
+//! Jaro-Winkler memo with **size-capped epoch eviction** (the maps clear
+//! wholesale at their cap), so streaming millions of candidates holds RSS
+//! flat. Memoized values are pure functions of their keys; eviction can
+//! only cost recomputation, never change a bit.
+//!
+//! The extractor can also *borrow* the blocking join's [`TokenCorpus`]
+//! pair for lowercase word-level set features (one tokenization pass per
+//! column per run, shared across stages) — see
+//! [`BatchExtractor::with_shared_word_corpora`].
+
+use crate::extract::{
+    build_seq_caches, build_set_caches, BoundedMemo, CacheBuild, SeqCaches, SetCaches,
+    SharedWordCorpora,
+    PARALLEL_THRESHOLD,
+};
+use crate::generate::FeatureSet;
+use crate::serve::FeatureMask;
+use em_blocking::Pair;
+use em_parallel::Executor;
+use em_table::{Table, TableError};
+use em_text::TokenCorpus;
+
+/// Default cap on the `(feature, left sid, right sid)` pair memo of one
+/// [`BatchScratch`]. At ~28 bytes a slot this bounds the memo near 30 MB
+/// per worker before an epoch clears it.
+pub const PAIR_MEMO_CAP: usize = 1 << 20;
+
+/// Default cap on the word-pair Jaro-Winkler memo (Monge-Elkan inner
+/// measure). Distinct word pairs grow much slower than distinct cell
+/// pairs, so a smaller cap suffices.
+pub const JW_MEMO_CAP: usize = 1 << 18;
+
+/// Fixed pair-chunk width of [`BatchExtractor::extract_matrix`]. Chunks
+/// are the parallel index space, so the split is independent of the thread
+/// count; per-pair values are pure, so output is bit-identical regardless.
+pub const BATCH_CHUNK: usize = 1024;
+
+/// Per-worker extraction memos with size-capped epoch eviction.
+///
+/// One scratch per worker (or one reused across sequential calls): the
+/// memos exploit value repetition — recurring titles cost one kernel call,
+/// recurring words one Jaro-Winkler — and clear wholesale when they hit
+/// their cap, holding memory flat on unbounded candidate streams.
+pub struct BatchScratch {
+    pub(crate) pairs: BoundedMemo<(u32, u32, u32)>,
+    pub(crate) jw_words: BoundedMemo<(u32, u32)>,
+}
+
+impl BatchScratch {
+    /// A scratch with the default [`PAIR_MEMO_CAP`] / [`JW_MEMO_CAP`] caps.
+    pub fn new() -> BatchScratch {
+        BatchScratch::with_caps(PAIR_MEMO_CAP, JW_MEMO_CAP)
+    }
+
+    /// A scratch with explicit caps (tests pin eviction behavior with tiny
+    /// caps; 0 disables a memo entirely).
+    pub fn with_caps(pair_cap: usize, jw_cap: usize) -> BatchScratch {
+        BatchScratch {
+            pairs: BoundedMemo::with_cap(pair_cap),
+            jw_words: BoundedMemo::with_cap(jw_cap),
+        }
+    }
+
+    /// How many times the pair memo hit its cap and was cleared.
+    pub fn pair_memo_epochs(&self) -> u64 {
+        self.pairs.epochs()
+    }
+
+    /// Current pair-memo occupancy (always ≤ its cap).
+    pub fn pair_memo_len(&self) -> usize {
+        self.pairs.len()
+    }
+}
+
+impl Default for BatchScratch {
+    fn default() -> BatchScratch {
+        BatchScratch::new()
+    }
+}
+
+/// A reusable batched extractor: caches built once, pairs extracted many
+/// times (optionally restricted to a live-feature mask).
+pub struct BatchExtractor {
+    features: FeatureSet,
+    live: Vec<bool>,
+    left_idx: Vec<usize>,
+    right_idx: Vec<usize>,
+    set_caches: SetCaches,
+    seq_caches: SeqCaches,
+}
+
+/// Builder input distinguishing "every row" from "rows these pairs touch".
+enum UsedRows<'p> {
+    All,
+    FromPairs(&'p [Pair]),
+}
+
+impl BatchExtractor {
+    /// An extractor over **all** rows of both tables — the streaming match
+    /// path, where every left row is driven through the join and any right
+    /// row can surface as a candidate. `shared`, when given, lets
+    /// lowercase word-level set features borrow the blocking join's
+    /// already-tokenized corpora (falls back to owned tokenization per
+    /// plan if a referenced cell is not a string).
+    pub fn new(
+        features: &FeatureSet,
+        a: &Table,
+        b: &Table,
+        mask: &FeatureMask,
+        shared: Option<SharedWordColumns<'_>>,
+    ) -> Result<BatchExtractor, TableError> {
+        BatchExtractor::build(features, a, b, mask, UsedRows::All, shared)
+    }
+
+    /// An extractor whose caches cover only the rows `pairs` reference —
+    /// the materialized-candidate-set path ([`extract_vectors`]
+    /// (crate::extract::extract_vectors) and the bench's masked stage).
+    /// Validates every pair's range up front.
+    pub fn for_pairs(
+        features: &FeatureSet,
+        a: &Table,
+        b: &Table,
+        mask: &FeatureMask,
+        pairs: &[Pair],
+    ) -> Result<BatchExtractor, TableError> {
+        for p in pairs {
+            if p.left >= a.n_rows() || p.right >= b.n_rows() {
+                return Err(TableError::KeyViolation {
+                    column: "pair".to_string(),
+                    detail: format!("pair ({}, {}) out of range", p.left, p.right),
+                });
+            }
+        }
+        BatchExtractor::build(features, a, b, mask, UsedRows::FromPairs(pairs), None)
+    }
+
+    fn build(
+        features: &FeatureSet,
+        a: &Table,
+        b: &Table,
+        mask: &FeatureMask,
+        used: UsedRows<'_>,
+        shared: Option<SharedWordColumns<'_>>,
+    ) -> Result<BatchExtractor, TableError> {
+        // Pre-resolve column indices so the hot loop is index math only.
+        let mut left_idx = Vec::with_capacity(features.len());
+        let mut right_idx = Vec::with_capacity(features.len());
+        for f in &features.features {
+            left_idx.push(a.schema().require(&f.left_attr)?);
+            right_idx.push(b.schema().require(&f.right_attr)?);
+        }
+        let live: Vec<bool> = (0..features.len()).map(|k| mask.is_live(k)).collect();
+        let (used_left, used_right) = match used {
+            UsedRows::All => (vec![true; a.n_rows()], vec![true; b.n_rows()]),
+            UsedRows::FromPairs(pairs) => {
+                // Caches are built only for rows some candidate pair
+                // actually references — after blocking, that is often a
+                // small slice of either table.
+                let mut ul = vec![false; a.n_rows()];
+                let mut ur = vec![false; b.n_rows()];
+                for p in pairs {
+                    ul[p.left] = true;
+                    ur[p.right] = true;
+                }
+                (ul, ur)
+            }
+        };
+        let shared = match &shared {
+            Some(sh) => {
+                if sh.left.len() != a.n_rows() || sh.right.len() != b.n_rows() {
+                    return Err(TableError::KeyViolation {
+                        column: "shared word corpus".to_string(),
+                        detail: format!(
+                            "corpus rows ({}, {}) do not match table rows ({}, {})",
+                            sh.left.len(),
+                            sh.right.len(),
+                            a.n_rows(),
+                            b.n_rows()
+                        ),
+                    });
+                }
+                Some(SharedWordCorpora {
+                    left_attr: sh.left_attr,
+                    right_attr: sh.right_attr,
+                    left: sh.left,
+                    right: sh.right,
+                })
+            }
+            None => None,
+        };
+        let cb = CacheBuild {
+            features,
+            a,
+            b,
+            left_idx: &left_idx,
+            right_idx: &right_idx,
+            used_left: &used_left,
+            used_right: &used_right,
+            live: &live,
+        };
+        let set_caches = build_set_caches(&cb, shared.as_ref());
+        let seq_caches = build_seq_caches(&cb);
+        Ok(BatchExtractor {
+            features: features.clone(),
+            live,
+            left_idx,
+            right_idx,
+            set_caches,
+            seq_caches,
+        })
+    }
+
+    /// Number of feature slots (live and dead).
+    pub fn n_features(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Extracts one pair into `out` (length must equal
+    /// [`n_features`](BatchExtractor::n_features)): live features get
+    /// their value, dead features `NaN`. Allocation-free apart from memo
+    /// growth inside `scratch`.
+    ///
+    /// # Panics
+    /// If `pair` indexes past a table or a referenced row was not covered
+    /// by the constructor's `pairs`.
+    #[inline]
+    pub fn extract_into(
+        &self,
+        a: &Table,
+        b: &Table,
+        p: Pair,
+        scratch: &mut BatchScratch,
+        out: &mut [f64],
+    ) {
+        debug_assert_eq!(out.len(), self.features.len());
+        let ra = &a.rows()[p.left];
+        let rb = &b.rows()[p.right];
+        for (k, f) in self.features.features.iter().enumerate() {
+            out[k] = if !self.live[k] {
+                f64::NAN
+            } else if let Some((plan, op)) = self.set_caches.feature_plan[k] {
+                let col = &self.set_caches.columns[plan];
+                match (&col.left[p.left], &col.right[p.right]) {
+                    (Some(ta), Some(tb)) => op.score(ta, tb),
+                    _ => f64::NAN,
+                }
+            } else if let Some((plan, op)) = self.seq_caches.feature_plan[k] {
+                let col = &self.seq_caches.columns[plan];
+                match (&col.left[p.left], &col.right[p.right]) {
+                    (Some(ca), Some(cb)) => {
+                        let key = (k as u32, ca.sid, cb.sid);
+                        if let Some(v) = scratch.pairs.get(&key) {
+                            v
+                        } else {
+                            let v =
+                                op.score(ca, cb, &self.seq_caches.words, &mut scratch.jw_words);
+                            scratch.pairs.insert(key, v);
+                            v
+                        }
+                    }
+                    _ => f64::NAN,
+                }
+            } else {
+                f.compute(&ra[self.left_idx[k]], &rb[self.right_idx[k]])
+            };
+        }
+    }
+
+    /// Extracts every pair into one row-major matrix
+    /// (`pairs.len() × n_features`), fanned out over fixed
+    /// [`BATCH_CHUNK`]-pair chunks with a per-worker scratch. Bit-identical
+    /// at any thread count.
+    pub fn extract_matrix(&self, a: &Table, b: &Table, pairs: &[Pair]) -> Vec<f64> {
+        let nf = self.features.len();
+        if nf == 0 || pairs.is_empty() {
+            return Vec::new();
+        }
+        let chunks = pairs.len().div_ceil(BATCH_CHUNK);
+        // Grain in chunks so one worker holds at least PARALLEL_THRESHOLD
+        // (pair × feature) computations.
+        let grain = (PARALLEL_THRESHOLD / (nf * BATCH_CHUNK)).max(1);
+        let blocks = Executor::current().map_indexed_with(
+            chunks,
+            grain,
+            BatchScratch::new,
+            |scratch, c| {
+                let lo = c * BATCH_CHUNK;
+                let hi = (lo + BATCH_CHUNK).min(pairs.len());
+                let mut block = vec![0.0; (hi - lo) * nf];
+                for (i, p) in pairs[lo..hi].iter().enumerate() {
+                    self.extract_into(a, b, *p, scratch, &mut block[i * nf..(i + 1) * nf]);
+                }
+                block
+            },
+        );
+        blocks.concat()
+    }
+}
+
+/// An already-tokenized column pair to share with set-feature extraction:
+/// the blocking join's left/right [`TokenCorpus`] over `(left_attr,
+/// right_attr)`. Corpora must cover every row of their table.
+#[derive(Clone, Copy)]
+pub struct SharedWordColumns<'c> {
+    /// Left-table attribute the corpora tokenize.
+    pub left_attr: &'c str,
+    /// Right-table attribute the corpora tokenize.
+    pub right_attr: &'c str,
+    /// Tokenized left column (one row per table row).
+    pub left: &'c TokenCorpus,
+    /// Tokenized right column (one row per table row).
+    pub right: &'c TokenCorpus,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::extract_vectors;
+    use crate::generate::{auto_features, FeatureOptions};
+    use em_table::csv::read_str;
+    use em_text::TokenCache;
+
+    fn tables() -> (Table, Table) {
+        let a = read_str(
+            "A",
+            "Title,Amount\nCorn Fungicide Guidelines,10\nSwamp Dodder Ecology,\nCorn  Fungicide?Guidelines,3\n,7\n",
+        )
+        .unwrap();
+        let b = read_str(
+            "B",
+            "Title,Amount\ncorn fungicide guidelines,10\nTotally Different,5\n,\nDodder-ecology (swamp),1\n",
+        )
+        .unwrap();
+        (a, b)
+    }
+
+    fn all_pairs(a: &Table, b: &Table) -> Vec<Pair> {
+        (0..a.n_rows())
+            .flat_map(|i| (0..b.n_rows()).map(move |j| Pair::new(i, j)))
+            .collect()
+    }
+
+    #[test]
+    fn full_mask_matches_extract_vectors_bitwise() {
+        let (a, b) = tables();
+        let fs = auto_features(&a, &b, &FeatureOptions::default().with_case_insensitive());
+        let pairs = all_pairs(&a, &b);
+        let reference = extract_vectors(&fs, &a, &b, &pairs).unwrap();
+        let ex =
+            BatchExtractor::new(&fs, &a, &b, &FeatureMask::full(fs.len()), None).unwrap();
+        let mut scratch = BatchScratch::new();
+        let mut out = vec![0.0; fs.len()];
+        for (r, p) in pairs.iter().enumerate() {
+            ex.extract_into(&a, &b, *p, &mut scratch, &mut out);
+            for k in 0..fs.len() {
+                assert!(
+                    out[k].to_bits() == reference[r][k].to_bits()
+                        || (out[k].is_nan() && reference[r][k].is_nan()),
+                    "{} on {:?}: {} vs {}",
+                    fs.features[k].name,
+                    p,
+                    out[k],
+                    reference[r][k]
+                );
+            }
+        }
+        // The matrix form agrees too, at 1 and 4 threads.
+        let m1 = ex.extract_matrix(&a, &b, &pairs);
+        em_parallel::set_threads(4);
+        let m4 = ex.extract_matrix(&a, &b, &pairs);
+        em_parallel::set_threads(0);
+        assert_eq!(m1.len(), pairs.len() * fs.len());
+        for (u, v) in m1.iter().zip(&m4) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn masked_slots_are_nan_and_live_slots_exact() {
+        let (a, b) = tables();
+        let fs = auto_features(&a, &b, &FeatureOptions::default().with_case_insensitive());
+        let pairs = all_pairs(&a, &b);
+        let reference = extract_vectors(&fs, &a, &b, &pairs).unwrap();
+        // Keep every third feature live.
+        let live: Vec<usize> = (0..fs.len()).step_by(3).collect();
+        let mask = FeatureMask::from_live_indices(fs.len(), live.iter().copied());
+        let ex = BatchExtractor::for_pairs(&fs, &a, &b, &mask, &pairs).unwrap();
+        let mut scratch = BatchScratch::new();
+        let mut out = vec![0.0; fs.len()];
+        for (r, p) in pairs.iter().enumerate() {
+            ex.extract_into(&a, &b, *p, &mut scratch, &mut out);
+            for k in 0..fs.len() {
+                if mask.is_live(k) {
+                    assert!(
+                        out[k].to_bits() == reference[r][k].to_bits()
+                            || (out[k].is_nan() && reference[r][k].is_nan())
+                    );
+                } else {
+                    assert!(out[k].is_nan(), "dead slot must be NaN");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_memo_caps_change_nothing_but_cycle_epochs() {
+        let (a, b) = tables();
+        let fs = auto_features(&a, &b, &FeatureOptions::default().with_case_insensitive());
+        let pairs = all_pairs(&a, &b);
+        let ex =
+            BatchExtractor::for_pairs(&fs, &a, &b, &FeatureMask::full(fs.len()), &pairs).unwrap();
+        let mut big = BatchScratch::new();
+        let mut tiny = BatchScratch::with_caps(2, 1);
+        let mut off = BatchScratch::with_caps(0, 0);
+        let mut o1 = vec![0.0; fs.len()];
+        let mut o2 = vec![0.0; fs.len()];
+        let mut o3 = vec![0.0; fs.len()];
+        for _ in 0..3 {
+            for p in &pairs {
+                ex.extract_into(&a, &b, *p, &mut big, &mut o1);
+                ex.extract_into(&a, &b, *p, &mut tiny, &mut o2);
+                ex.extract_into(&a, &b, *p, &mut off, &mut o3);
+                for k in 0..fs.len() {
+                    assert!(
+                        (o1[k].to_bits() == o2[k].to_bits()
+                            || (o1[k].is_nan() && o2[k].is_nan()))
+                            && (o1[k].to_bits() == o3[k].to_bits()
+                                || (o1[k].is_nan() && o3[k].is_nan())),
+                        "memo caps must be value-neutral ({})",
+                        fs.features[k].name
+                    );
+                }
+            }
+        }
+        assert!(tiny.pair_memo_epochs() > 0, "tiny cap must have evicted");
+        assert!(tiny.pair_memo_len() <= 2);
+        assert_eq!(off.pair_memo_len(), 0);
+    }
+
+    #[test]
+    fn shared_word_corpora_match_owned_tokenization() {
+        let (a, b) = tables();
+        let fs = auto_features(&a, &b, &FeatureOptions::default().with_case_insensitive());
+        let pairs = all_pairs(&a, &b);
+        let cache = TokenCache::for_blocking();
+        let left = TokenCorpus::from_column(
+            &cache,
+            (0..a.n_rows()).map(|i| a.get(i, "Title").and_then(|v| v.as_str())),
+        );
+        let right = TokenCorpus::from_column(
+            &cache,
+            (0..b.n_rows()).map(|i| b.get(i, "Title").and_then(|v| v.as_str())),
+        );
+        let shared = SharedWordColumns {
+            left_attr: "Title",
+            right_attr: "Title",
+            left: &left,
+            right: &right,
+        };
+        let mask = FeatureMask::full(fs.len());
+        let owned = BatchExtractor::new(&fs, &a, &b, &mask, None).unwrap();
+        let borrowed = BatchExtractor::new(&fs, &a, &b, &mask, Some(shared)).unwrap();
+        let mo = owned.extract_matrix(&a, &b, &pairs);
+        let mb = borrowed.extract_matrix(&a, &b, &pairs);
+        for (k, (u, v)) in mo.iter().zip(&mb).enumerate() {
+            assert!(
+                u.to_bits() == v.to_bits() || (u.is_nan() && v.is_nan()),
+                "slot {k}: owned {u} vs shared {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_corpora_shape_mismatch_is_an_error() {
+        let (a, b) = tables();
+        let fs = auto_features(&a, &b, &FeatureOptions::default().with_case_insensitive());
+        let cache = TokenCache::for_blocking();
+        let too_short = TokenCorpus::from_column(&cache, [Some("corn")].into_iter());
+        let shared = SharedWordColumns {
+            left_attr: "Title",
+            right_attr: "Title",
+            left: &too_short,
+            right: &too_short,
+        };
+        assert!(BatchExtractor::new(&fs, &a, &b, &FeatureMask::full(fs.len()), Some(shared))
+            .is_err());
+    }
+}

@@ -21,22 +21,65 @@
 //! property-tested equal to the naive reference, and chunked results join
 //! in pair order.
 
+use crate::batch::{BatchExtractor, BatchScratch};
 use crate::feature::FeatureKind;
 use crate::generate::FeatureSet;
+use crate::serve::FeatureMask;
 use em_blocking::Pair;
 use em_parallel::Executor;
 use em_table::{Table, TableError, Value};
 use em_text::intern::{self, TokenIds};
 use em_text::tokenize::{AlphanumericTokenizer, Tokenizer};
 use em_text::{phonetic, seq, with_scratch, FastMap};
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Below this many (pair × feature) computations, extraction stays
 /// single-threaded — thread setup would dominate.
-const PARALLEL_THRESHOLD: usize = 20_000;
+pub(crate) const PARALLEL_THRESHOLD: usize = 20_000;
+
+/// A memoized `f64` map with **size-capped epoch eviction**: when the map
+/// reaches its cap it is cleared wholesale and an epoch counter ticks, so
+/// long candidate streams hold memory flat instead of growing with the
+/// number of distinct keys. Values must be pure functions of their key
+/// (every memo here is), so eviction can only cost recomputation — never
+/// change a result. A cap of 0 disables memoization entirely.
+pub(crate) struct BoundedMemo<K> {
+    map: FastMap<K, f64>,
+    cap: usize,
+    epochs: u64,
+}
+
+impl<K: std::hash::Hash + Eq> BoundedMemo<K> {
+    pub(crate) fn with_cap(cap: usize) -> BoundedMemo<K> {
+        BoundedMemo { map: FastMap::default(), cap, epochs: 0 }
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, k: &K) -> Option<f64> {
+        self.map.get(k).copied()
+    }
+
+    #[inline]
+    pub(crate) fn insert(&mut self, k: K, v: f64) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.map.len() >= self.cap {
+            self.map.clear();
+            self.epochs += 1;
+        }
+        self.map.insert(k, v);
+    }
+
+    pub(crate) fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+}
 
 /// The set measure an interned feature computes on sorted id lists.
 #[derive(Debug, Clone, Copy)]
@@ -48,7 +91,7 @@ pub(crate) enum SetOp {
 }
 
 impl SetOp {
-    fn score(self, a: &[u32], b: &[u32]) -> f64 {
+    pub(crate) fn score(self, a: &[u32], b: &[u32]) -> f64 {
         match self {
             SetOp::Jaccard => intern::jaccard_sorted(a, b),
             SetOp::Cosine => intern::cosine_sorted(a, b),
@@ -125,12 +168,12 @@ pub(crate) fn monge_elkan_sym_ids(a: &[u32], b: &[u32], mut inner: impl FnMut(u3
 }
 
 impl SeqOp {
-    fn score(
+    pub(crate) fn score(
         self,
         ca: &NormCell,
         cb: &NormCell,
         words: &[WordData],
-        jw_memo: &mut WordMemoMap,
+        jw_memo: &mut BoundedMemo<(u32, u32)>,
     ) -> f64 {
         use SeqOp::*;
         match self {
@@ -142,7 +185,7 @@ impl SeqOp {
             // precomputed once per distinct word.
             MongeElkanJw => with_scratch(|s| {
                 let mut inner = |x: u32, y: u32| {
-                    if let Some(&v) = jw_memo.get(&(x, y)) {
+                    if let Some(v) = jw_memo.get(&(x, y)) {
                         return v;
                     }
                     let v = seq::jaro_winkler_chars(
@@ -241,19 +284,19 @@ impl WordTable {
 
 /// One normalization plan's cells for both tables; `None` marks a null
 /// cell (feature value `NaN`, as always).
-struct NormColumns {
-    left: Vec<Option<NormCell>>,
-    right: Vec<Option<NormCell>>,
+pub(crate) struct NormColumns {
+    pub(crate) left: Vec<Option<NormCell>>,
+    pub(crate) right: Vec<Option<NormCell>>,
 }
 
 /// Per-feature routing of sequence measures into the shared normalized
 /// columns. Features sharing a `(left column, right column, case)` plan
 /// share one entry, so every seq measure on the same attribute decodes it
 /// exactly once.
-struct SeqCaches {
-    feature_plan: Vec<Option<(usize, SeqOp)>>,
-    columns: Vec<NormColumns>,
-    words: Vec<WordData>,
+pub(crate) struct SeqCaches {
+    pub(crate) feature_plan: Vec<Option<(usize, SeqOp)>>,
+    pub(crate) columns: Vec<NormColumns>,
+    pub(crate) words: Vec<WordData>,
 }
 
 /// Memoized normalization of one already-rendered (and lowercased, when the
@@ -312,15 +355,25 @@ fn normalize_col(
         .collect()
 }
 
-fn build_seq_caches(
-    features: &FeatureSet,
-    a: &Table,
-    b: &Table,
-    left_idx: &[usize],
-    right_idx: &[usize],
-    used_left: &[bool],
-    used_right: &[bool],
-) -> SeqCaches {
+/// Shared inputs to the cache builders: the feature set, both tables,
+/// pre-resolved column indices, the used-row masks, and the live-feature
+/// mask — one context instead of eight parallel arguments.
+pub(crate) struct CacheBuild<'a> {
+    pub(crate) features: &'a FeatureSet,
+    pub(crate) a: &'a Table,
+    pub(crate) b: &'a Table,
+    pub(crate) left_idx: &'a [usize],
+    pub(crate) right_idx: &'a [usize],
+    pub(crate) used_left: &'a [bool],
+    pub(crate) used_right: &'a [bool],
+    pub(crate) live: &'a [bool],
+}
+
+/// Builds the sequence-measure caches for the features marked live;
+/// dead features get no plan (their slots extract as `NaN`), and columns
+/// only dead features reference are never normalized at all.
+pub(crate) fn build_seq_caches(cb: &CacheBuild<'_>) -> SeqCaches {
+    let CacheBuild { features, a, b, left_idx, right_idx, used_left, used_right, live } = *cb;
     let mut plan_index: HashMap<(usize, usize, bool), usize> = HashMap::new();
     let mut columns: Vec<NormColumns> = Vec::new();
     let mut feature_plan = Vec::with_capacity(features.len());
@@ -329,6 +382,10 @@ fn build_seq_caches(
     let mut memo: FastMap<String, NormCell> = FastMap::default();
     let mut words = WordTable::default();
     for (k, f) in features.features.iter().enumerate() {
+        if !live[k] {
+            feature_plan.push(None);
+            continue;
+        }
         let Some(op) = seq_op(f.kind) else {
             feature_plan.push(None);
             continue;
@@ -352,48 +409,20 @@ fn build_seq_caches(
     SeqCaches { feature_plan, columns, words: words.data }
 }
 
-/// Monotone stamp distinguishing [`extract_vectors`] calls: string ids are
-/// per-call, so each thread's pair memo must be invalidated when a new call
-/// begins.
-static EXTRACT_GENERATION: AtomicU64 = AtomicU64::new(0);
-
-/// Memoized sequence-feature values, keyed on
-/// `(feature index, left string id, right string id)`.
-type PairMemoMap = FastMap<(u32, u32, u32), f64>;
-
-/// Memoized inner word-pair measures (ordered word ids).
-type WordMemoMap = FastMap<(u32, u32), f64>;
-
-/// Per-thread extraction memos, tagged with the generation they belong to
-/// (string/word ids are per-call).
-#[derive(Default)]
-struct ExtractMemo {
-    generation: u64,
-    pairs: PairMemoMap,
-    jw_words: WordMemoMap,
-}
-
-thread_local! {
-    /// Per-thread memo of computed sequence-feature values. Exploits value
-    /// repetition: recurring titles ("Lab Supplies", multi-year sub-awards)
-    /// cost one kernel call, and recurring words one Jaro-Winkler.
-    static PAIR_MEMO: RefCell<ExtractMemo> = RefCell::new(ExtractMemo::default());
-}
-
 /// One tokenization plan's id lists for both tables; `None` marks a null
 /// cell (feature value `NaN`, as always).
-struct ColumnIds {
-    left: Vec<Option<TokenIds>>,
-    right: Vec<Option<TokenIds>>,
+pub(crate) struct ColumnIds {
+    pub(crate) left: Vec<Option<TokenIds>>,
+    pub(crate) right: Vec<Option<TokenIds>>,
 }
 
 /// Per-feature routing into the shared tokenized columns. Features sharing
 /// a `(left column, right column, tokenizer, case)` plan share one entry,
 /// so e.g. word Jaccard/cosine/overlap-coefficient on the same attribute
 /// tokenize that attribute exactly once.
-struct SetCaches {
-    feature_plan: Vec<Option<(usize, SetOp)>>,
-    columns: Vec<ColumnIds>,
+pub(crate) struct SetCaches {
+    pub(crate) feature_plan: Vec<Option<(usize, SetOp)>>,
+    pub(crate) columns: Vec<ColumnIds>,
 }
 
 /// Token-id assignment for one tokenization plan. Grams are keyed by their
@@ -513,19 +542,79 @@ fn tokenize_col(
         .collect()
 }
 
-fn build_set_caches(
-    features: &FeatureSet,
-    a: &Table,
-    b: &Table,
-    left_idx: &[usize],
-    right_idx: &[usize],
-    used_left: &[bool],
-    used_right: &[bool],
+/// Borrows an already-tokenized [`TokenCorpus`] pair as a set-feature
+/// plan's id columns, instead of re-tokenizing the column from scratch.
+///
+/// Eligibility and bit-safety: the corpus rows are sorted distinct ids of
+/// the `AlphanumericTokenizer` stream over `Normalizer::for_blocking`
+/// output (strip specials → lowercase → collapse whitespace). For a
+/// **lowercase word-level** plan the owned path tokenizes the lowercased
+/// render with the same tokenizer — and since the tokenizer splits on
+/// every non-alphanumeric char anyway, the strip/collapse steps cannot
+/// change the token stream. Set measures depend only on
+/// `(|A∩B|, |A|, |B|)` of sorted distinct sets, so scores are bit-equal
+/// under either interner's id space.
+///
+/// Nullness comes from the *table* (the corpus maps null and empty rows
+/// both to an empty slice): a null cell stays `None` → `NaN`, a non-null
+/// cell with no tokens stays `Some(empty)`. Returns `None` (caller falls
+/// back to owned tokenization) if any used non-null cell is not a string —
+/// `render()` would tokenize the formatted value, which the corpus never
+/// saw.
+fn shared_column_ids(
+    t: &Table,
+    col: usize,
+    corpus: &em_text::TokenCorpus,
+    used: &[bool],
+) -> Option<Vec<Option<TokenIds>>> {
+    let rows = t.rows();
+    debug_assert_eq!(corpus.len(), rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        if used[i] && !row[col].is_null() && row[col].as_str().is_none() {
+            return None;
+        }
+    }
+    Some(
+        rows.iter()
+            .enumerate()
+            .map(|(i, row)| {
+                if !used[i] || row[col].is_null() {
+                    return None;
+                }
+                Some(Arc::from(corpus.row(i)))
+            })
+            .collect(),
+    )
+}
+
+/// An already-tokenized column pair offered to [`build_set_caches`]:
+/// lowercase word-level set features on `(left_attr, right_attr)` borrow
+/// these corpora instead of re-tokenizing — sharing one tokenization pass
+/// between the blocking join and set-feature extraction.
+pub(crate) struct SharedWordCorpora<'c> {
+    pub(crate) left_attr: &'c str,
+    pub(crate) right_attr: &'c str,
+    pub(crate) left: &'c em_text::TokenCorpus,
+    pub(crate) right: &'c em_text::TokenCorpus,
+}
+
+/// Builds the set-measure caches for the features marked `live`; dead
+/// features get no plan, and columns only dead features reference are
+/// never tokenized. When `shared` matches a plan's attributes (lowercase
+/// word-level only), the plan borrows the corpora instead of tokenizing.
+pub(crate) fn build_set_caches(
+    cb: &CacheBuild<'_>,
+    shared: Option<&SharedWordCorpora<'_>>,
 ) -> SetCaches {
+    let CacheBuild { features, a, b, left_idx, right_idx, used_left, used_right, live } = *cb;
     let mut plan_index: HashMap<(usize, usize, bool, bool), usize> = HashMap::new();
     let mut columns: Vec<ColumnIds> = Vec::new();
     let mut feature_plan = Vec::with_capacity(features.len());
     for (k, f) in features.features.iter().enumerate() {
+        if !live[k] {
+            feature_plan.push(None);
+            continue;
+        }
         let Some((qgram, op)) = set_op(f.kind) else {
             feature_plan.push(None);
             continue;
@@ -534,30 +623,55 @@ fn build_set_caches(
         let plan = match plan_index.get(&key) {
             Some(&p) => p,
             None => {
-                // One interner + memo spans both columns so ids compare
-                // across tables; the pass is sequential and runs once per
-                // distinct plan.
-                let mut interner = PlanInterner::default();
-                let mut memo: FastMap<String, TokenIds> = FastMap::default();
-                let left = tokenize_col(
-                    a,
-                    left_idx[k],
-                    qgram,
-                    f.lowercase,
-                    used_left,
-                    &mut interner,
-                    &mut memo,
-                );
-                let right = tokenize_col(
-                    b,
-                    right_idx[k],
-                    qgram,
-                    f.lowercase,
-                    used_right,
-                    &mut interner,
-                    &mut memo,
-                );
-                columns.push(ColumnIds { left, right });
+                let borrowed = match shared {
+                    Some(sh)
+                        if !qgram
+                            && f.lowercase
+                            && f.left_attr == sh.left_attr
+                            && f.right_attr == sh.right_attr
+                            && sh.left.len() == a.n_rows()
+                            && sh.right.len() == b.n_rows() =>
+                    {
+                        match (
+                            shared_column_ids(a, left_idx[k], sh.left, used_left),
+                            shared_column_ids(b, right_idx[k], sh.right, used_right),
+                        ) {
+                            (Some(left), Some(right)) => Some(ColumnIds { left, right }),
+                            _ => None,
+                        }
+                    }
+                    _ => None,
+                };
+                let cols = match borrowed {
+                    Some(cols) => cols,
+                    None => {
+                        // One interner + memo spans both columns so ids
+                        // compare across tables; the pass is sequential and
+                        // runs once per distinct plan.
+                        let mut interner = PlanInterner::default();
+                        let mut memo: FastMap<String, TokenIds> = FastMap::default();
+                        let left = tokenize_col(
+                            a,
+                            left_idx[k],
+                            qgram,
+                            f.lowercase,
+                            used_left,
+                            &mut interner,
+                            &mut memo,
+                        );
+                        let right = tokenize_col(
+                            b,
+                            right_idx[k],
+                            qgram,
+                            f.lowercase,
+                            used_right,
+                            &mut interner,
+                            &mut memo,
+                        );
+                        ColumnIds { left, right }
+                    }
+                };
+                columns.push(cols);
                 let p = columns.len() - 1;
                 plan_index.insert(key, p);
                 p
@@ -571,6 +685,13 @@ fn build_set_caches(
 /// Extracts the feature matrix for `pairs`: one row per pair, one column
 /// per feature, `NaN` for missing values.
 ///
+/// Implemented on [`BatchExtractor`] with a full feature mask: caches are
+/// built once for the rows `pairs` actually reference, then extraction
+/// fans out over [`em_parallel::Executor`] with an explicit per-worker
+/// [`BatchScratch`] (size-capped pair/word memos). Per-pair values are
+/// pure functions of the cell contents, so results are bit-identical at
+/// any thread count — and to the pre-batched implementation.
+///
 /// Fails fast if any feature references a column absent from its table or
 /// any pair indexes past a table.
 pub fn extract_vectors(
@@ -579,84 +700,20 @@ pub fn extract_vectors(
     b: &Table,
     pairs: &[Pair],
 ) -> Result<Vec<Vec<f64>>, TableError> {
-    // Pre-resolve column indices so the hot loop is index math only.
-    let mut left_idx = Vec::with_capacity(features.len());
-    let mut right_idx = Vec::with_capacity(features.len());
-    for f in &features.features {
-        left_idx.push(a.schema().require(&f.left_attr)?);
-        right_idx.push(b.schema().require(&f.right_attr)?);
-    }
-    for p in pairs {
-        if p.left >= a.n_rows() || p.right >= b.n_rows() {
-            return Err(TableError::KeyViolation {
-                column: "pair".to_string(),
-                detail: format!("pair ({}, {}) out of range", p.left, p.right),
-            });
-        }
-    }
-
-    // Caches are built only for rows some candidate pair actually
-    // references — after blocking, that is often a small slice of either
-    // table.
-    let mut used_left = vec![false; a.n_rows()];
-    let mut used_right = vec![false; b.n_rows()];
-    for p in pairs {
-        used_left[p.left] = true;
-        used_right[p.right] = true;
-    }
-
-    let caches = build_set_caches(features, a, b, &left_idx, &right_idx, &used_left, &used_right);
-    let seq_caches =
-        build_seq_caches(features, a, b, &left_idx, &right_idx, &used_left, &used_right);
-    let generation = EXTRACT_GENERATION.fetch_add(1, Ordering::Relaxed) + 1;
-
+    let ex = BatchExtractor::for_pairs(features, a, b, &FeatureMask::full(features.len()), pairs)?;
     // Grain in pairs such that one thread's chunk is at least
     // PARALLEL_THRESHOLD (pair × feature) computations.
     let grain = (PARALLEL_THRESHOLD / features.len().max(1)).max(1);
-    let rows = Executor::current().map_slice(pairs, grain, |p| {
-        let ra = &a.rows()[p.left];
-        let rb = &b.rows()[p.right];
-        PAIR_MEMO.with(|cell| {
-            let memo = &mut *cell.borrow_mut();
-            if memo.generation != generation {
-                memo.generation = generation;
-                memo.pairs.clear();
-                memo.jw_words.clear();
-            }
-            features
-                .features
-                .iter()
-                .enumerate()
-                .map(|(k, f)| {
-                    if let Some((plan, op)) = caches.feature_plan[k] {
-                        let col = &caches.columns[plan];
-                        return match (&col.left[p.left], &col.right[p.right]) {
-                            (Some(ta), Some(tb)) => op.score(ta, tb),
-                            _ => f64::NAN,
-                        };
-                    }
-                    if let Some((plan, op)) = seq_caches.feature_plan[k] {
-                        let col = &seq_caches.columns[plan];
-                        return match (&col.left[p.left], &col.right[p.right]) {
-                            (Some(ca), Some(cb)) => {
-                                let key = (k as u32, ca.sid, cb.sid);
-                                if let Some(&v) = memo.pairs.get(&key) {
-                                    v
-                                } else {
-                                    let v =
-                                        op.score(ca, cb, &seq_caches.words, &mut memo.jw_words);
-                                    memo.pairs.insert(key, v);
-                                    v
-                                }
-                            }
-                            _ => f64::NAN,
-                        };
-                    }
-                    f.compute(&ra[left_idx[k]], &rb[right_idx[k]])
-                })
-                .collect()
-        })
-    });
+    let rows = Executor::current().map_indexed_with(
+        pairs.len(),
+        grain,
+        BatchScratch::new,
+        |scratch, i| {
+            let mut out = vec![0.0; features.len()];
+            ex.extract_into(a, b, pairs[i], scratch, &mut out);
+            out
+        },
+    );
     Ok(rows)
 }
 

@@ -24,12 +24,16 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod extract;
 pub mod feature;
 pub mod generate;
 pub mod serve;
 pub mod types;
 
+pub use batch::{
+    BatchExtractor, BatchScratch, SharedWordColumns, BATCH_CHUNK, JW_MEMO_CAP, PAIR_MEMO_CAP,
+};
 pub use extract::extract_vectors;
 pub use feature::{Feature, FeatureKind};
 pub use generate::{auto_features, FeatureOptions, FeatureSet};

@@ -13,8 +13,8 @@ use crate::bayes::{ClassStats, NaiveBayesModel};
 use crate::error::MlError;
 use crate::linear::{LinearModel, Standardizer};
 use crate::model::{ConstantModel, Model};
-use crate::tree::DecisionTreeModel;
-use crate::forest::RandomForestModel;
+use crate::tree::{DecisionTreeModel, FlatTree};
+use crate::forest::{FlatForest, RandomForestModel};
 
 /// A fitted model in its concrete (serializable) form.
 ///
@@ -43,6 +43,65 @@ impl Model for FittedModel {
             FittedModel::Forest(m) => m.predict_proba(row),
             FittedModel::Linear(m) => m.predict_proba(row),
             FittedModel::Bayes(m) => m.predict_proba(row),
+        }
+    }
+}
+
+/// A fitted model prepared for cache-friendly block scoring: tree-shaped
+/// models are flattened into array form (scored trees-outer over a
+/// contiguous row block), everything else falls back to per-row
+/// `predict_proba`. Scores are bit-identical to the source model on every
+/// input — the flat walk performs the same comparisons in the same order,
+/// and the forest mean uses the same left fold and single division.
+#[derive(Debug, Clone)]
+pub enum BlockScorer {
+    /// A flattened decision tree (no mean fold — a bare walk per row).
+    Tree(FlatTree),
+    /// A flattened forest, scored trees-outer / rows-inner.
+    Forest(FlatForest),
+    /// Dense models (constant / linear / Bayes): per-row delegation.
+    Dense(FittedModel),
+}
+
+impl BlockScorer {
+    /// Scores every row of a row-major `block` (row `r` is
+    /// `block[r * stride..][..stride]`) into `out`; `out.len()` must equal
+    /// the row count.
+    pub fn score_block(&self, block: &[f64], stride: usize, out: &mut [f64]) {
+        debug_assert!(stride > 0 && block.len() == out.len() * stride);
+        match self {
+            BlockScorer::Tree(t) => {
+                for (slot, row) in out.iter_mut().zip(block.chunks_exact(stride)) {
+                    *slot = t.score(row);
+                }
+            }
+            BlockScorer::Forest(f) => f.score_block(block, stride, out),
+            BlockScorer::Dense(m) => {
+                for (slot, row) in out.iter_mut().zip(block.chunks_exact(stride)) {
+                    *slot = m.predict_proba(row);
+                }
+            }
+        }
+    }
+
+    /// Scores a single row (bit-identical to `predict_proba` on the
+    /// source model).
+    pub fn score_row(&self, row: &[f64]) -> f64 {
+        match self {
+            BlockScorer::Tree(t) => t.score(row),
+            BlockScorer::Forest(f) => f.score_row(row),
+            BlockScorer::Dense(m) => m.predict_proba(row),
+        }
+    }
+}
+
+impl FittedModel {
+    /// Prepares this model for [`BlockScorer::score_block`].
+    pub fn block_scorer(&self) -> BlockScorer {
+        match self {
+            FittedModel::Tree(t) => BlockScorer::Tree(t.flatten()),
+            FittedModel::Forest(f) => BlockScorer::Forest(f.flatten()),
+            other => BlockScorer::Dense(other.clone()),
         }
     }
 }

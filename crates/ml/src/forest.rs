@@ -5,7 +5,7 @@
 use crate::dataset::Dataset;
 use crate::error::MlError;
 use crate::model::{validate_training, Learner, Model};
-use crate::tree::{seeded_rng, DecisionTreeLearner, DecisionTreeModel};
+use crate::tree::{seeded_rng, DecisionTreeLearner, DecisionTreeModel, FlatTree};
 use em_parallel::Executor;
 use rand::Rng;
 
@@ -89,6 +89,66 @@ impl Model for RandomForestModel {
         }
         let sum: f64 = self.trees.iter().map(|t| t.predict_proba(row)).sum();
         sum / self.trees.len() as f64
+    }
+}
+
+/// A forest flattened into [`FlatTree`]s for cache-friendly block scoring:
+/// trees on the outer loop, a contiguous row block on the inner loop, so
+/// each tree's node arrays stay hot while it sweeps the block.
+///
+/// Bit-identity with [`RandomForestModel::predict_proba`]: per row the
+/// accumulator starts at `0.0` and absorbs tree probabilities in tree
+/// order — the same left fold as `iter().sum::<f64>()` — then divides by
+/// the tree count once. An empty forest scores `0.0`, matching the
+/// explicit empty branch above.
+#[derive(Debug, Clone)]
+pub struct FlatForest {
+    trees: Vec<FlatTree>,
+}
+
+impl FlatForest {
+    /// Number of member trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Scores every row of a row-major `block` (row `r` is
+    /// `block[r * stride..][..stride]`) into `out`. `out.len()` must equal
+    /// the row count; `stride` must divide `block.len()`.
+    pub fn score_block(&self, block: &[f64], stride: usize, out: &mut [f64]) {
+        debug_assert!(stride > 0 && block.len() == out.len() * stride);
+        out.fill(0.0);
+        if self.trees.is_empty() {
+            return;
+        }
+        for tree in &self.trees {
+            for (slot, row) in out.iter_mut().zip(block.chunks_exact(stride)) {
+                *slot += tree.score(row);
+            }
+        }
+        let n = self.trees.len() as f64;
+        for slot in out.iter_mut() {
+            *slot /= n;
+        }
+    }
+
+    /// Scores one row; bit-identical to the boxed forest's `predict_proba`.
+    pub fn score_row(&self, row: &[f64]) -> f64 {
+        if self.trees.is_empty() {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for tree in &self.trees {
+            sum += tree.score(row);
+        }
+        sum / self.trees.len() as f64
+    }
+}
+
+impl RandomForestModel {
+    /// Flattens every member tree for [`FlatForest::score_block`].
+    pub fn flatten(&self) -> FlatForest {
+        FlatForest { trees: self.trees.iter().map(DecisionTreeModel::flatten).collect() }
     }
 }
 
@@ -200,6 +260,43 @@ mod tests {
                 "v={v}"
             );
         }
+    }
+
+    #[test]
+    fn flat_forest_matches_boxed_forest_bitwise() {
+        let d = noisy_threshold_data(200, 7);
+        let m = RandomForestLearner { n_trees: 7, ..Default::default() }.fit_forest(&d).unwrap();
+        let flat = m.flatten();
+        // Random rows, plus NaN, short, long, and empty rows: every input
+        // predict_proba accepts must score bit-identically.
+        let mut rng = seeded_rng(99);
+        let mut rows: Vec<Vec<f64>> = (0..64)
+            .map(|_| vec![rng.gen_range(-1.0..2.0), rng.gen_range(-1.0..2.0)])
+            .collect();
+        rows.push(vec![f64::NAN, 0.3]);
+        rows.push(vec![0.5, f64::NAN]);
+        rows.push(vec![0.5]);
+        rows.push(vec![0.5, 0.5, 9.0]);
+        rows.push(vec![]);
+        for row in &rows {
+            assert_eq!(m.predict_proba(row).to_bits(), flat.score_row(row).to_bits());
+        }
+        // Block scoring over a uniform-stride slab agrees too.
+        let stride = 2;
+        let block: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.len() == stride)
+            .flat_map(|r| r.iter().copied())
+            .collect();
+        let n = block.len() / stride;
+        let mut out = vec![0.0; n];
+        flat.score_block(&block, stride, &mut out);
+        for (r, got) in block.chunks_exact(stride).zip(&out) {
+            assert_eq!(m.predict_proba(r).to_bits(), got.to_bits());
+        }
+        // Empty forest convention: score 0.0, matching predict_proba.
+        let empty = RandomForestModel::from_trees(Vec::new());
+        assert_eq!(empty.predict_proba(&[0.5]).to_bits(), empty.flatten().score_row(&[0.5]).to_bits());
     }
 
     #[test]

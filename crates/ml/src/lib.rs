@@ -48,7 +48,9 @@ pub mod tree;
 
 pub use dataset::{impute_mean, Dataset, Imputer};
 pub use error::MlError;
-pub use fitted::FittedModel;
+pub use fitted::{BlockScorer, FittedModel};
+pub use forest::FlatForest;
+pub use tree::FlatTree;
 pub use metrics::Confusion;
 pub use model::{Learner, Model};
 

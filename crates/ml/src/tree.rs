@@ -68,6 +68,80 @@ impl Model for DecisionTreeModel {
     }
 }
 
+/// A decision tree flattened into pre-order parallel arrays for
+/// cache-friendly block scoring. Node `n` is a leaf when `feature[n] ==
+/// LEAF`; then `value[n]` is the leaf probability. Otherwise `value[n]` is
+/// the split threshold, the left child is `n + 1` (pre-order), and the
+/// right child is `right[n]`.
+///
+/// [`FlatTree::score`] walks exactly the same comparisons as
+/// [`DecisionTreeModel::predict_proba`] — `row.get(feature)` defaulting to
+/// `0.0`, `<= threshold` goes left — so scores are bit-identical,
+/// `NaN`/short rows included (a `NaN` comparison is false, taking the
+/// right branch in both).
+#[derive(Debug, Clone, Default)]
+pub struct FlatTree {
+    feature: Vec<u32>,
+    value: Vec<f64>,
+    right: Vec<u32>,
+}
+
+/// Sentinel in `FlatTree::feature` marking a leaf node.
+const LEAF: u32 = u32::MAX;
+
+impl FlatTree {
+    /// Scores one row; bit-identical to the boxed tree's `predict_proba`.
+    #[inline]
+    pub fn score(&self, row: &[f64]) -> f64 {
+        let mut n = 0usize;
+        loop {
+            let f = self.feature[n];
+            if f == LEAF {
+                return self.value[n];
+            }
+            n = if row.get(f as usize).copied().unwrap_or(0.0) <= self.value[n] {
+                n + 1
+            } else {
+                self.right[n] as usize
+            };
+        }
+    }
+
+    /// Number of nodes (splits + leaves).
+    pub fn n_nodes(&self) -> usize {
+        self.feature.len()
+    }
+
+    fn push(&mut self, node: &Node) {
+        match node {
+            Node::Leaf { proba } => {
+                self.feature.push(LEAF);
+                self.value.push(*proba);
+                self.right.push(0);
+            }
+            Node::Split { feature, threshold, left, right, .. } => {
+                debug_assert!(*feature < LEAF as usize, "feature index collides with sentinel");
+                let slot = self.feature.len();
+                self.feature.push(*feature as u32);
+                self.value.push(*threshold);
+                self.right.push(0);
+                self.push(left);
+                self.right[slot] = self.feature.len() as u32;
+                self.push(right);
+            }
+        }
+    }
+}
+
+impl DecisionTreeModel {
+    /// Flattens the boxed node tree into a [`FlatTree`] for block scoring.
+    pub fn flatten(&self) -> FlatTree {
+        let mut flat = FlatTree::default();
+        flat.push(&self.root);
+        flat
+    }
+}
+
 impl DecisionTreeModel {
     /// Number of decision (split) nodes — used by tests and the tree
     /// debugger to reason about model complexity.

@@ -50,25 +50,15 @@ use std::time::{Duration, Instant};
 /// tree of the forest) **or** its attribute pair is referenced by a rule
 /// predicate. Models that read every feature densely (linear, bayes —
 /// [`FittedModel::referenced_features`] returns `None`) keep the full
-/// plan, preserving batch semantics exactly.
+/// plan, preserving batch semantics exactly. The definition lives in
+/// [`em_core::stream`] (shared with the streaming match executor); this
+/// re-export keeps the serve tier's established entry point.
 pub fn derive_feature_mask(
     features: &FeatureSet,
     model: &FittedModel,
     rules: &RuleSetDesc,
 ) -> FeatureMask {
-    match model.referenced_features() {
-        None => FeatureMask::full(features.len()),
-        Some(mut live) => {
-            for (left, right) in rules.referenced_attr_pairs() {
-                for (k, f) in features.features.iter().enumerate() {
-                    if f.left_attr == left && f.right_attr == right {
-                        live.insert(k);
-                    }
-                }
-            }
-            FeatureMask::from_live_indices(features.len(), live)
-        }
-    }
+    em_core::stream::derive_feature_mask(features, model, rules)
 }
 
 impl MatchService {

@@ -72,10 +72,20 @@ impl Interner {
 /// Sorted distinct token ids of one text value. Cheap to clone and share.
 pub type TokenIds = Arc<[u32]>;
 
+/// Default cap on the text→ids memo of a [`TokenCache`]. When the memo
+/// reaches the cap it is cleared wholesale (an *epoch*), so long-running
+/// streams of distinct texts hold RSS flat instead of growing without
+/// bound. Interner ids are **never** evicted — they must stay stable for
+/// every [`TokenCorpus`] already built against the cache — and re-tokenized
+/// texts re-intern to the same ids, so eviction never changes results.
+pub const TEXT_MEMO_CAP: usize = 1 << 20;
+
 struct CacheInner {
     interner: Interner,
     memo: FastMap<String, TokenIds>,
     empty: TokenIds,
+    memo_cap: usize,
+    memo_epochs: u64,
 }
 
 /// Memoizing normalizer + word tokenizer + interner.
@@ -101,14 +111,24 @@ impl std::fmt::Debug for TokenCache {
 }
 
 impl TokenCache {
-    /// A cache applying `normalizer` before word tokenization.
+    /// A cache applying `normalizer` before word tokenization, with the
+    /// default [`TEXT_MEMO_CAP`] memo bound.
     pub fn new(normalizer: Normalizer) -> TokenCache {
+        TokenCache::with_memo_cap(normalizer, TEXT_MEMO_CAP)
+    }
+
+    /// Like [`TokenCache::new`] with an explicit memo cap (tests exercise
+    /// tiny caps to pin eviction behavior). A cap of 0 disables memoization
+    /// entirely; interning is unaffected either way.
+    pub fn with_memo_cap(normalizer: Normalizer, memo_cap: usize) -> TokenCache {
         TokenCache {
             normalizer,
             inner: Mutex::new(CacheInner {
                 interner: Interner::new(),
                 memo: FastMap::default(),
                 empty: Arc::from(Vec::new()),
+                memo_cap,
+                memo_epochs: 0,
             }),
         }
     }
@@ -131,8 +151,23 @@ impl TokenCache {
         ids.sort_unstable();
         ids.dedup();
         let ids: TokenIds = Arc::from(ids);
-        inner.memo.insert(text.to_string(), Arc::clone(&ids));
+        if inner.memo_cap > 0 && inner.memo.len() >= inner.memo_cap {
+            // Size-capped epoch eviction: drop the whole memo rather than
+            // track per-entry recency. Ids are stable, so a re-miss just
+            // recomputes the identical value.
+            inner.memo.clear();
+            inner.memo_epochs += 1;
+        }
+        if inner.memo_cap > 0 {
+            inner.memo.insert(text.to_string(), Arc::clone(&ids));
+        }
         ids
+    }
+
+    /// How many times the text memo hit its cap and was cleared.
+    pub fn memo_epochs(&self) -> u64 {
+        let inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        inner.memo_epochs
     }
 
     /// The token string behind an id (allocates; debugging/reporting only).
@@ -363,6 +398,34 @@ mod tests {
         assert_eq!(i.resolve(a), Some("corn"));
         assert_eq!(i.get("fungicide"), Some(b));
         assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn capped_memo_evicts_in_epochs_without_changing_ids() {
+        let capped = TokenCache::with_memo_cap(crate::Normalizer::for_blocking(), 4);
+        let unbounded = TokenCache::for_blocking();
+        let texts: Vec<String> = (0..40).map(|i| format!("grant corn {i}")).collect();
+        // Two interleaved passes so evicted entries get re-missed.
+        for _ in 0..2 {
+            for t in &texts {
+                assert_eq!(
+                    capped.token_ids(Some(t)).as_ref(),
+                    unbounded.token_ids(Some(t)).as_ref(),
+                    "eviction must never change token ids"
+                );
+            }
+        }
+        assert!(capped.memo_epochs() > 0, "tiny cap must have cycled epochs");
+        assert!(capped.n_texts() <= 4, "memo stays within its cap");
+        assert_eq!(capped.n_tokens(), unbounded.n_tokens(), "interner is never evicted");
+        // Cap 0 disables memoization but still tokenizes correctly.
+        let off = TokenCache::with_memo_cap(crate::Normalizer::for_blocking(), 0);
+        let ids = off.token_ids(Some("Corn GRANT"));
+        let words: Vec<String> = ids.iter().map(|&id| off.resolve(id).unwrap()).collect();
+        assert_eq!(words, ["corn", "grant"]);
+        assert_eq!(off.token_ids(Some("Corn GRANT")).as_ref(), ids.as_ref());
+        assert_eq!(off.n_texts(), 0);
+        assert_eq!(off.memo_epochs(), 0);
     }
 
     #[test]

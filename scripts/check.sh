@@ -55,6 +55,18 @@ if awk '/---- scratch construction/{exit} {print}' crates/blocking/src/join.rs \
 fi
 echo "    join probe hot loop clean"
 
+echo "==> stream executor allocation purity (no Vec::new/String::from)"
+# The fused probe -> extract -> impute -> score -> rules loop must run
+# entirely on reusable StreamScratch buffers; heap allocation is confined
+# to the scratch-construction and executor-build section at the bottom of
+# stream.rs.
+if awk '/---- scratch construction/{exit} {print}' crates/core/src/stream.rs \
+    | grep -nE 'Vec::new|String::from'; then
+    echo "    FAIL: allocation in the stream match hot loop (crates/core/src/stream.rs)" >&2
+    exit 1
+fi
+echo "    stream match hot loop clean"
+
 echo "==> serve fault-path panic hygiene (no unwrap/expect/panic! outside tests)"
 # The WAL, swap, overload, and chaos modules are the crash-recovery
 # surface: every failure must be a typed ServeError, never a panic.
@@ -72,6 +84,10 @@ echo "    serve fault modules panic-free"
 echo "==> feature_kernels criterion bench (smoke)"
 EM_BENCH_SMOKE=1 cargo bench "${CARGO_FLAGS[@]}" -p em-bench --bench feature_kernels >/dev/null
 echo "    feature_kernels bench ran"
+
+echo "==> match_stream criterion bench (smoke)"
+EM_BENCH_SMOKE=1 cargo bench "${CARGO_FLAGS[@]}" -p em-bench --bench match_stream >/dev/null
+echo "    match_stream bench ran"
 
 echo "==> em-serve snapshot round-trip gate"
 # Every test whose name mentions snapshots: encode/decode fixed point,
@@ -94,7 +110,7 @@ echo "    chaos schedules clean at both seeds"
 echo "==> reproduce --bench --serve --serve-chaos smoke (small scale, 2 threads)"
 BENCH_DIR=$(mktemp -d)
 trap 'rm -rf "$BENCH_DIR"' EXIT
-(cd "$BENCH_DIR" && "$OLDPWD/target/release/reproduce" --bench --serve --serve-chaos --scaling 1 --threads 2 >/dev/null)
+(cd "$BENCH_DIR" && "$OLDPWD/target/release/reproduce" --bench --serve --serve-chaos --scaling 1 --scaling-match 1 --threads 2 >/dev/null)
 python3 - "$BENCH_DIR/BENCH_pipeline.json" BENCH_pipeline.json <<'EOF'
 import json, sys
 
@@ -185,6 +201,43 @@ def check_scaling(d, where):
 check_scaling(doc, "smoke run")
 check_scaling(committed, "committed BENCH_pipeline.json")
 
+# Fused end-to-end streaming match: both the smoke run (--scaling-match 1)
+# and the committed artifact must carry a well-formed scaling_match block
+# with strictly ascending factors and non-trivial match output.
+def check_scaling_match(d, where):
+    sc = d.get("scaling_match")
+    assert isinstance(sc, list) and sc, f"missing scaling_match block in {where}"
+    prev = 0.0
+    for st in sc:
+        for key, kind in [("factor", (int, float)), ("left_rows", int),
+                          ("right_rows", int), ("gen_ms", float), ("wall_ms", float),
+                          ("candidates", int), ("predicted", int), ("flipped", int),
+                          ("matched", int), ("pairs_per_s", float), ("checksum", str),
+                          ("mask_live", int), ("mask_total", int),
+                          ("peak_rss_mib", float)]:
+            assert isinstance(st.get(key), kind), f"scaling_match stage bad {key!r} in {where}: {st}"
+        assert st["factor"] > prev, f"scaling_match factors not ascending in {where}"
+        prev = st["factor"]
+        assert st["checksum"].startswith("0x") and int(st["checksum"], 16) >= 0, \
+            f"malformed match checksum in {where}: {st['checksum']!r}"
+        assert st["left_rows"] > 0 and st["right_rows"] > 0
+        assert st["wall_ms"] > 0 and st["pairs_per_s"] > 0 and st["peak_rss_mib"] > 0
+        assert 0 < st["mask_live"] <= st["mask_total"], f"match feature mask out of range in {where}"
+        assert st["matched"] > 0, f"streaming match produced no matches in {where}: {st}"
+        assert st["predicted"] + st["flipped"] <= st["candidates"], \
+            f"scaling_match accounting out of range in {where}: {st}"
+    return sc
+check_scaling_match(doc, "smoke run")
+committed_match = check_scaling_match(committed, "committed BENCH_pipeline.json")
+
+# The tentpole memory bound: the committed artifact must carry an x64
+# end-to-end match row, streamed in bounded memory. (scaling_match runs
+# before the blocking sweep in-process, so VmHWM reflects the executor.)
+x64 = next((s for s in committed_match if s["factor"] == 64), None)
+assert x64 is not None, "committed scaling_match is missing the x64 row"
+assert x64["peak_rss_mib"] <= 2048.0, (
+    f"x64 streaming match exceeded the 2 GiB bound: {x64['peak_rss_mib']:.0f} MiB")
+
 # Blocking perf gates on the committed x4 artifact. The join rewrite must
 # hold >= 5x over the pre-rewrite 697.058 ms single-thread baseline, and
 # the deterministic parallel split must keep 2 threads within 5% of the
@@ -196,12 +249,22 @@ assert blocking["wall_ms_1t"] <= 139.4, (
 assert blocking["speedup"] >= 0.95, (
     f"blocking 2-thread speedup gate: {blocking['speedup']:.3f} < 0.95")
 
+# Feature-extraction perf gate on the committed x4 artifact: the masked
+# batched path (BatchExtractor + derive_feature_mask) must hold >= 3x over
+# the pre-rework 604.969 ms single-thread full-46-feature baseline.
+feat = next(s for s in committed["stages"] if s["name"] == "feature_extraction")
+assert feat["wall_ms_1t"] <= 202.0, (
+    f"feature_extraction regressed below 3x: {feat['wall_ms_1t']:.1f} ms vs 202.0 ms budget")
+
 print(f"    BENCH_pipeline.json ok: {len(doc['stages'])} stages, "
       f"combined speedup {doc['combined_speedup']:.2f}x at {doc['threads']} threads, "
       f"mask {serve['mask_live']}/{serve['mask_total']}, "
       f"serve_single {fresh:.0f}/s (committed {pinned:.0f}/s), "
       f"blocking 1t {blocking['wall_ms_1t']:.1f} ms at x4, "
-      f"scaling stages x{'/x'.join(str(s['factor']) for s in committed['scaling'])}")
+      f"feature_extraction 1t {feat['wall_ms_1t']:.1f} ms at x4, "
+      f"scaling stages x{'/x'.join(str(s['factor']) for s in committed['scaling'])}, "
+      f"scaling_match x{'/x'.join(str(s['factor']) for s in committed_match)} "
+      f"(x64 match RSS {x64['peak_rss_mib']:.0f} MiB)")
 EOF
 
 echo "==> all checks passed"
