@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! cargo run --release -p em-bench --bin reproduce -- [--scale paper|small]
-//!     [--seed N] [--faults] [--threads N] [--bench] [--section <id>]...
+//!     [--seed N] [--faults] [--threads N] [--bench] [--active] [--weak]
+//!     [--section <id>]...
 //! ```
 //!
 //! Sections: `fig1 fig2 fig3 fig4 fig5 fig7 blocking blockdebug labeling
@@ -48,6 +49,8 @@ struct Args {
     serve_chaos: bool,
     scaling: Vec<f64>,
     scaling_match: Vec<f64>,
+    active: bool,
+    weak: bool,
     explicit_sections: bool,
     sections: Vec<String>,
 }
@@ -90,6 +93,8 @@ fn parse_args() -> Args {
         serve_chaos: false,
         scaling: Vec::new(),
         scaling_match: Vec::new(),
+        active: false,
+        weak: false,
         explicit_sections: false,
         sections: Vec::new(),
     };
@@ -140,6 +145,12 @@ fn parse_args() -> Args {
                     .filter(|&f: &f64| f > 0.0)
                     .collect();
             }
+            "--active" => {
+                args.active = true;
+            }
+            "--weak" => {
+                args.weak = true;
+            }
             "--section" => {
                 if let Some(v) = it.next() {
                     args.explicit_sections = true;
@@ -164,6 +175,14 @@ fn parse_args() -> Args {
                                     to BENCH_pipeline.json; standalone it writes BENCH_scaling.json.\n\
                                     A bare --scale-factor F (no --bench, no --section) is shorthand\n\
                                     for --scaling F\n\
+                     --active: run the label-efficiency experiment (query-by-committee active\n\
+                                    learning vs random sampling on a loose quarter-scale pool);\n\
+                                    prints both curves and the labels-to-target comparison.\n\
+                                    With --bench this adds a label_efficiency block to\n\
+                                    BENCH_pipeline.json\n\
+                     --weak: train a matcher from labeling functions alone (weak supervision,\n\
+                                    zero oracle labels) and score it; combines with --active\n\
+                                    and rides along --bench the same way\n\
                      --scaling-match F1,F2,...: run the fused end-to-end streaming match at each\n\
                                     factor (blocking -> features -> forest -> rules, no\n\
                                     materialized candidate set); trains the frozen workflow once\n\
@@ -195,6 +214,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if args.serve_chaos && !args.bench && !args.serve {
         serve_chaos_section(&args)?;
+        print_wall_time(started);
+        return Ok(());
+    }
+    if (args.active || args.weak) && !args.bench && !args.serve {
+        label_efficiency_section(&args)?;
         print_wall_time(started);
         return Ok(());
     }
@@ -693,6 +717,16 @@ fn bench_pipeline(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         scaling_json = scaling_stages(&args.scaling, bench_seed)?;
     }
 
+    // `--active` / `--weak` ride along too: the label-efficiency experiment
+    // runs on its own pinned pool (see `run_label_experiment`), prints the
+    // curves, and lands as a `label_efficiency` block in the artifact.
+    let mut label_block_json = String::new();
+    if args.active || args.weak {
+        let exp = run_label_experiment(args)?;
+        print_label_report(&exp);
+        label_block_json = label_json(&exp);
+    }
+
     // Console summary + JSON artifact.
     println!(
         "  {:<20} {:>8} {:>12} {:>12} {:>9} {:>14}",
@@ -733,7 +767,7 @@ fn bench_pipeline(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     // interpretable on other hardware.
     let available = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
     let json = format!(
-        "{{\n  \"scale\": \"{}\",\n  \"seed\": {},\n  \"threads\": {},\n  \"available_parallelism\": {},\n  \"em_threads\": {},\n  \"candidate_pairs\": {},\n{}{}{}{}  \"stages\": [\n{}\n  ],\n  \"total_wall_ms_1t\": {:.3},\n  \"total_wall_ms_nt\": {:.3},\n  \"combined_speedup\": {:.3}\n}}\n",
+        "{{\n  \"scale\": \"{}\",\n  \"seed\": {},\n  \"threads\": {},\n  \"available_parallelism\": {},\n  \"em_threads\": {},\n  \"candidate_pairs\": {},\n{}{}{}{}{}  \"stages\": [\n{}\n  ],\n  \"total_wall_ms_1t\": {:.3},\n  \"total_wall_ms_nt\": {:.3},\n  \"combined_speedup\": {:.3}\n}}\n",
         args.scale_label(),
         bench_seed,
         requested,
@@ -744,6 +778,7 @@ fn bench_pipeline(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         serve_chaos_json,
         scaling_json,
         scaling_match_json,
+        label_block_json,
         stage_json.join(",\n"),
         total_1t,
         total_nt,
@@ -1087,6 +1122,241 @@ fn scaling_match_stages(factors: &[f64], seed: u64) -> Result<String, Box<dyn st
 
 /// Standalone `--serve-chaos`: train the serving artifacts and drive the
 /// seeded fault schedule, failing the process unless the run is clean.
+/// Everything one label-efficiency run produced: the experiment pool plus
+/// whichever arms (`--active` curves, `--weak` outcome) were requested.
+struct LabelExperiment {
+    seed: u64,
+    candidates_total: usize,
+    positives: usize,
+    random: Option<em_label::ActiveOutcome>,
+    committee: Option<em_label::ActiveOutcome>,
+    weak: Option<em_label::WeakOutcome>,
+}
+
+/// The experiment pool is pinned independently of `--scale`: a
+/// quarter-scale scenario blocked with a deliberately loose plan
+/// (overlap-1 at K=2, coefficient 0.5), giving ~2k candidates of which
+/// ~10% match. On the workflow's consolidated candidate set random
+/// sampling is nearly as good as querying by committee; label efficiency
+/// only matters on pools where most candidates are easy negatives.
+const LABEL_POOL_SCALE: f64 = 0.25;
+
+fn run_label_experiment(args: &Args) -> Result<LabelExperiment, Box<dyn std::error::Error>> {
+    use em_core::labeling::{accession_of, award_of};
+    use em_core::preprocess::{project_umetrics, project_usda};
+    use em_datagen::{FlakyConfig, FlakyOracle, Scenario};
+    use em_label::{ActiveConfig, Strategy, WeakConfig};
+
+    let seed = args.seed.unwrap_or_else(|| args.base_cfg().seed);
+    let scenario = Scenario::generate(ScenarioConfig::scaled(LABEL_POOL_SCALE).with_seed(seed))?;
+    let u = project_umetrics(&scenario.award_agg, &scenario.employees)?;
+    let s = project_usda(&scenario.usda, false)?;
+    let plan = BlockingPlan { overlap_k: 2, oc_threshold: 0.5 };
+    let candidates = run_blocking(&u, &s, &plan)?.consolidated;
+    let positives = candidates
+        .iter()
+        .filter(|p| scenario.truth.is_match(&award_of(&u, p.left), &accession_of(&s, p.right)))
+        .count();
+
+    let mut exp = LabelExperiment {
+        seed,
+        candidates_total: candidates.len(),
+        positives,
+        random: None,
+        committee: None,
+        weak: None,
+    };
+    if args.active {
+        for strategy in [Strategy::Random, Strategy::Committee] {
+            let oracle = FlakyOracle::new(
+                Oracle::new(&scenario.truth, OracleConfig::default()),
+                FlakyConfig { p_unavailable: 0.2, p_timeout: 0.1, ..Default::default() },
+            );
+            let out = em_label::run_active(
+                &u,
+                &s,
+                &candidates,
+                &oracle,
+                &scenario.truth,
+                &ActiveConfig::new(strategy, seed),
+                None,
+            )?;
+            match strategy {
+                Strategy::Random => exp.random = Some(out),
+                Strategy::Committee => exp.committee = Some(out),
+            }
+        }
+    }
+    if args.weak {
+        exp.weak = Some(em_label::run_weak(
+            &u,
+            &s,
+            &candidates,
+            &scenario.truth,
+            &WeakConfig::standard(seed),
+        )?);
+    }
+    Ok(exp)
+}
+
+fn print_label_curve(tag: &str, out: &em_label::ActiveOutcome) {
+    println!(
+        "  {:<10} {:>5} {:>7} {:>8} {:>7} {:>8} {:>7} {:>19} {:>19}",
+        "arm", "round", "labels", "queries", "retries", "degraded", "F1", "precision (95%)", "recall (95%)"
+    );
+    for r in &out.rounds {
+        println!(
+            "  {:<10} {:>5} {:>7} {:>8} {:>7} {:>8} {:>7.4} {:>9.4}–{:<9.4} {:>9.4}–{:<9.4}",
+            tag,
+            r.round,
+            r.distinct,
+            r.queries,
+            r.retries,
+            r.degraded,
+            r.f1,
+            r.precision.lo,
+            r.precision.hi,
+            r.recall.lo,
+            r.recall.hi
+        );
+    }
+}
+
+fn print_label_report(exp: &LabelExperiment) {
+    println!("\n## Label-efficient training — seed {}", exp.seed);
+    println!(
+        "  pool: {} candidates, {} true matches ({:.1}%) — x{} scenario, loose blocking (K=2, oc=0.5)",
+        exp.candidates_total,
+        exp.positives,
+        100.0 * exp.positives as f64 / exp.candidates_total.max(1) as f64,
+        LABEL_POOL_SCALE
+    );
+    if let (Some(random), Some(committee)) = (&exp.random, &exp.committee) {
+        println!("\n  Active learning: query-by-committee vs random sampling");
+        print_label_curve("random", random);
+        print_label_curve("committee", committee);
+        let target = random.final_f1();
+        let random_spent = random.budget.distinct_pairs();
+        let bound = (em_label::AL_TARGET_FRACTION * random_spent as f64).floor() as usize;
+        match committee.labels_to_reach(target) {
+            Some(al_spent) if al_spent <= bound => println!(
+                "  acceptance: PASS — committee reached the random arm's final F1 ({target:.4}) \
+                 with {al_spent} of {random_spent} labels (bound {bound})"
+            ),
+            Some(al_spent) => println!(
+                "  acceptance: FAILED — committee needed {al_spent} labels for F1 {target:.4} \
+                 (bound {bound} of {random_spent})"
+            ),
+            None => println!(
+                "  acceptance: FAILED — committee never reached the random arm's final F1 \
+                 ({target:.4})"
+            ),
+        }
+    }
+    if let Some(w) = &exp.weak {
+        println!("\n  Weak supervision: {} labeling functions, EM label model", w.n_lfs);
+        println!(
+            "  coverage {:.3}, conflicts {}, kept {} training rows, EM iterations {}",
+            w.coverage, w.conflicts, w.kept, w.em_iterations
+        );
+        println!("  learned LF accuracies:");
+        for (name, acc) in &w.lf_accuracies {
+            println!("    {name:<22} {acc:.4}");
+        }
+        println!(
+            "  F1: majority vote {:.4}, label model {:.4}, trained committee {:.4} \
+             (precision {:.4}–{:.4}, recall {:.4}–{:.4})",
+            w.f1_majority,
+            w.f1_label_model,
+            w.f1,
+            w.precision.lo,
+            w.precision.hi,
+            w.recall.lo,
+            w.recall.hi
+        );
+        println!("  weak supervision trained with {} oracle labels", w.oracle_labels);
+    }
+}
+
+fn label_curve_json(out: &em_label::ActiveOutcome) -> String {
+    let rows: Vec<String> = out
+        .rounds
+        .iter()
+        .map(|r| {
+            format!(
+                "      {{\"round\": {}, \"labels\": {}, \"queries\": {}, \"retries\": {}, \
+                 \"degraded\": {}, \"f1\": {:.6}, \"precision_lo\": {:.6}, \"precision_hi\": {:.6}, \
+                 \"recall_lo\": {:.6}, \"recall_hi\": {:.6}}}",
+                r.round,
+                r.distinct,
+                r.queries,
+                r.retries,
+                r.degraded,
+                r.f1,
+                r.precision.lo,
+                r.precision.hi,
+                r.recall.lo,
+                r.recall.hi
+            )
+        })
+        .collect();
+    format!("[\n{}\n    ]", rows.join(",\n"))
+}
+
+/// The `label_efficiency` block of `BENCH_pipeline.json` (trailing comma,
+/// inserted before `"stages"` like the other optional blocks).
+fn label_json(exp: &LabelExperiment) -> String {
+    let mut fields = vec![
+        format!("\"seed\": {}", exp.seed),
+        format!("\"pool_scale\": {LABEL_POOL_SCALE}"),
+        format!("\"candidates\": {}", exp.candidates_total),
+        format!("\"positives\": {}", exp.positives),
+    ];
+    if let (Some(random), Some(committee)) = (&exp.random, &exp.committee) {
+        let target = random.final_f1();
+        fields.push(format!("\"target_f1\": {target:.6}"));
+        fields.push(format!("\"random_labels_total\": {}", random.budget.distinct_pairs()));
+        fields.push(format!(
+            "\"al_labels_to_target\": {}",
+            committee
+                .labels_to_reach(target)
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "null".to_string())
+        ));
+        fields.push(format!("\"al_target_fraction\": {}", em_label::AL_TARGET_FRACTION));
+        fields.push(format!("\"random\": {}", label_curve_json(random)));
+        fields.push(format!("\"active\": {}", label_curve_json(committee)));
+    }
+    if let Some(w) = &exp.weak {
+        fields.push(format!(
+            "\"weak\": {{\"n_lfs\": {}, \"coverage\": {:.6}, \"conflicts\": {}, \"kept\": {}, \
+             \"oracle_labels\": {}, \"em_iterations\": {}, \"f1_majority\": {:.6}, \
+             \"f1_label_model\": {:.6}, \"f1\": {:.6}, \"precision_lo\": {:.6}, \
+             \"precision_hi\": {:.6}, \"recall_lo\": {:.6}, \"recall_hi\": {:.6}}}",
+            w.n_lfs,
+            w.coverage,
+            w.conflicts,
+            w.kept,
+            w.oracle_labels,
+            w.em_iterations,
+            w.f1_majority,
+            w.f1_label_model,
+            w.f1,
+            w.precision.lo,
+            w.precision.hi,
+            w.recall.lo,
+            w.recall.hi
+        ));
+    }
+    format!("  \"label_efficiency\": {{{}}},\n", fields.join(", "))
+}
+
+fn label_efficiency_section(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let exp = run_label_experiment(args)?;
+    print_label_report(&exp);
+    Ok(())
+}
+
 fn serve_chaos_section(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let mut cfg = args.base_cfg();
     if let Some(seed) = args.seed {

@@ -112,13 +112,23 @@ pub fn award_of(umetrics: &Table, row: usize) -> String {
 
 /// Samples `n` not-yet-labeled pairs from the candidate set,
 /// deterministically in `seed`.
+///
+/// Pairs already present in `already` are never re-offered, and the pool is
+/// deduplicated in first-occurrence order, so a candidate stream that
+/// repeats a pair (or a caller that samples round after round against an
+/// accumulating [`LabeledSet`]) can never charge the same pair twice. On a
+/// duplicate-free pool the selection is unchanged.
 pub fn sample_unlabeled(
     candidates: &CandidateSet,
     already: &LabeledSet,
     n: usize,
     seed: u64,
 ) -> Vec<Pair> {
-    let mut pool: Vec<Pair> = candidates.iter().filter(|p| !already.contains(p)).collect();
+    let mut seen = std::collections::HashSet::new();
+    let mut pool: Vec<Pair> = candidates
+        .iter()
+        .filter(|p| !already.contains(p) && seen.insert(*p))
+        .collect();
     let mut rng = StdRng::seed_from_u64(seed);
     pool.shuffle(&mut rng);
     pool.truncate(n);
@@ -309,6 +319,29 @@ mod tests {
         for p in &second {
             assert!(!first.contains(p), "resampled an already-labeled pair");
         }
+    }
+
+    #[test]
+    fn sampling_never_reoffers_prior_rounds() {
+        // Drain the candidate set round by round against one accumulating
+        // LabeledSet: no pair may ever be offered twice, and the rounds
+        // must partition exactly the candidate pairs.
+        let f = fixture();
+        let mut labeled = LabeledSet::new();
+        let mut offered = std::collections::HashSet::new();
+        let mut round = 0u64;
+        loop {
+            let batch = sample_unlabeled(&f.candidates, &labeled, 25, 1000 + round);
+            if batch.is_empty() {
+                break;
+            }
+            for p in &batch {
+                assert!(offered.insert(*p), "pair {p:?} re-offered in round {round}");
+                labeled.insert(*p, Label::No);
+            }
+            round += 1;
+        }
+        assert_eq!(offered.len(), f.candidates.len(), "rounds must cover every candidate once");
     }
 
     #[test]

@@ -52,8 +52,8 @@ pub use labeling::{LabeledPair, LabeledSet, LabelingRound};
 pub use labelstore::{LabelConflict, LabelRecord, LabelStore, MergePolicy};
 pub use matcher::{MatcherStage, TrainedMatcher};
 pub use pipeline::{
-    standard_rule_descs, standard_rules, CaseStudy, CaseStudyConfig, CaseStudyReport,
-    ServingArtifacts, STAGES,
+    al_stage_name, standard_rule_descs, standard_rules, CaseStudy, CaseStudyConfig,
+    CaseStudyReport, ServingArtifacts, AL_ROUND_PREFIX, STAGES,
 };
 pub use preprocess::{project_umetrics, project_usda};
 pub use analysis::{analyze_multiplicity, cluster_matches, MultiplicityReport};

@@ -340,6 +340,18 @@ pub const STAGES: [&str; 8] = [
     "setup", "blocking", "labeling", "label_debug", "selection", "matching", "estimate", "truth",
 ];
 
+/// Stage-name prefix of the label-efficient training loops layered on this
+/// pipeline (the `em-label` crate): each active-learning round checkpoints
+/// under its own stage name so a crash mid-loop resumes from the last
+/// completed round.
+pub const AL_ROUND_PREFIX: &str = "al_round_";
+
+/// The checkpoint stage name of active-learning round `round` (zero-based,
+/// fixed-width so stage files list in round order).
+pub fn al_stage_name(round: usize) -> String {
+    format!("{AL_ROUND_PREFIX}{round:04}")
+}
+
 // ---- Checkpoint (de)serialization helpers. Every decoder returns a
 // Checkpoint error naming the offending key/field, never panics. ----
 
@@ -1740,6 +1752,39 @@ mod tests {
         let other =
             CaseStudy::new(CaseStudyConfig { seed: 43, ..CaseStudyConfig::small() });
         assert!(matches!(other.run_checkpointed(&dir), Err(CoreError::Checkpoint(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sampling_seeds_survive_crash_resume() {
+        // Regression: the labeling stage's sampled pairs (a pure function
+        // of the pipeline seed) must be identical whether the run completed
+        // uninterrupted or crashed right after labeling and resumed — the
+        // resumed run restores the labeled set from the checkpoint instead
+        // of re-drawing it, so every label-derived number is bit-identical.
+        let uninterrupted = CaseStudy::new(CaseStudyConfig::small()).run().unwrap();
+
+        let dir = std::env::temp_dir()
+            .join(format!("em-pipe-crash-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = CaseStudyConfig::small();
+        cfg.faults =
+            FaultPlan { crash_after: Some("labeling".into()), ..FaultPlan::none() };
+        let crashed = CaseStudy::new(cfg).run_checkpointed(&dir);
+        assert!(matches!(crashed, Err(CoreError::InjectedCrash(_))));
+
+        // Resume from the directory alone: the labeling stage *loads* (its
+        // sampled pairs come back from the checkpoint, not a re-draw), so
+        // the crash trigger never re-fires and the numbers cannot move.
+        let mut resumed = CaseStudy::resume(&dir).unwrap();
+        assert_eq!(
+            resumed.resilience.resumed_stages,
+            vec!["setup".to_string(), "blocking".into(), "labeling".into()]
+        );
+        resumed.resilience.resumed_stages.clear();
+        assert_eq!(resumed.label_rounds, uninterrupted.label_rounds);
+        assert_eq!(resumed.label_counts, uninterrupted.label_counts);
+        assert_eq!(resumed, uninterrupted, "crash-resume must not move any number");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -256,6 +256,65 @@ mod tests {
         assert_eq!(est.recall, Interval::new(0.0, 1.0));
     }
 
+    /// Label-efficiency curves chart an interval at every point, including
+    /// the degenerate early rounds; no degenerate input may ever produce a
+    /// NaN endpoint (a NaN would serialize as `null` and silently poison
+    /// the JSON artifact downstream).
+    fn assert_finite(est: &AccuracyEstimate) {
+        for i in [est.precision, est.recall] {
+            assert!(i.lo.is_finite() && i.hi.is_finite(), "non-finite interval {i:?}");
+            assert!((0.0..=1.0).contains(&i.lo) && (0.0..=1.0).contains(&i.hi));
+            assert!(i.lo <= i.hi);
+        }
+    }
+
+    #[test]
+    fn degenerate_empty_sample_stays_finite() {
+        let est = estimate_accuracy(&[], Z95);
+        assert_finite(&est);
+        assert_eq!((est.n_used, est.n_predicted, est.n_actual, est.n_unsure), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn degenerate_all_positive_stays_finite() {
+        // Every pair predicted and labeled Yes: p̂ = r̂ = 1 with zero
+        // variance — the interval collapses to (1, 1), never NaN.
+        let sample: Vec<SampleItem> = (0..10).map(|_| item(true, Label::Yes)).collect();
+        let est = estimate_accuracy(&sample, Z95);
+        assert_finite(&est);
+        assert_eq!(est.precision, Interval::new(1.0, 1.0));
+        assert_eq!(est.recall, Interval::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn degenerate_single_item_stays_finite() {
+        for (predicted, label) in [
+            (true, Label::Yes),
+            (true, Label::No),
+            (false, Label::Yes),
+            (false, Label::No),
+            (false, Label::Unsure),
+        ] {
+            let est = estimate_accuracy(&[item(predicted, label)], Z95);
+            assert_finite(&est);
+        }
+        // n=1 with the only item predicted-and-wrong: precision (0, 0),
+        // recall vacuous (no actual matches observed).
+        let est = estimate_accuracy(&[item(true, Label::No)], Z95);
+        assert_eq!(est.precision, Interval::new(0.0, 0.0));
+        assert_eq!(est.recall, Interval::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn degenerate_all_unsure_stays_finite() {
+        let sample: Vec<SampleItem> = (0..5).map(|_| item(true, Label::Unsure)).collect();
+        let est = estimate_accuracy(&sample, Z95);
+        assert_finite(&est);
+        assert_eq!(est.n_unsure, 5);
+        assert_eq!(est.n_used, 0);
+        assert_eq!(est.precision, Interval::new(0.0, 1.0));
+    }
+
     #[test]
     fn interval_clamps_and_orders() {
         let i = Interval::new(1.2, -0.5);

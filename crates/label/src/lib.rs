@@ -1,0 +1,36 @@
+//! # em-label — label-efficient training for entity matching
+//!
+//! The case study buys its matcher with ~300 expert labels drawn uniformly
+//! from the candidate set. This crate implements the two standard ways to
+//! spend that budget better, both fully deterministic and resumable:
+//!
+//! - **Active learning** ([`active`]): an iterative
+//!   query-by-committee loop — seed batch, committee fit, vote-entropy +
+//!   margin selection, oracle query under the existing retry/backoff
+//!   policy, refit — with per-round checkpoints so a crash mid-loop
+//!   resumes bit-identically, and a label-efficiency curve (F1 vs #labels,
+//!   with [`em_estimate`] intervals) against a random-sampling baseline.
+//! - **Weak supervision** ([`weak`]): a labeling-function DSL layered on
+//!   [`em_rules::spec`] predicates (threshold, pattern, and
+//!   attr-equivalence LFs voting MATCH / NO-MATCH / ABSTAIN), resolved by
+//!   majority vote and by a seeded generative accuracy-weighted label
+//!   model fit with EM — training a matcher with **zero** oracle labels.
+//!
+//! Everything routes through [`em_parallel::Executor`], so results are
+//! bit-identical at any thread count; the active loop's checkpoints use
+//! [`em_core::checkpoint::Checkpoint`]'s bit-exact float round-trip, so a
+//! resumed curve equals the uninterrupted one to the last bit.
+
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod active;
+pub mod weak;
+
+pub use active::{
+    run_active, ActiveConfig, ActiveOutcome, ActiveRound, Strategy, AL_TARGET_FRACTION,
+};
+pub use weak::{
+    majority_vote, run_weak, standard_lfs, GenerativeModel, LabelingFunction, LfMatrix, Vote,
+    WeakConfig, WeakOutcome,
+};

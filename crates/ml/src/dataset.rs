@@ -144,6 +144,49 @@ pub fn impute_mean(data: &mut Dataset) -> Imputer {
     imputer
 }
 
+/// Builds a training set from *probabilistic* labels (a weak-supervision
+/// label model's posteriors): rows whose probability is at least `yes_min`
+/// train as matches, rows at or below `no_max` as non-matches, and rows in
+/// the uncertain band between are dropped — the probabilistic analogue of
+/// excluding `Unsure` expert labels. Returns the dataset plus the indices
+/// (into `x`/`probs`) of the rows kept, in order.
+pub fn dataset_from_probabilistic(
+    feature_names: Vec<String>,
+    x: &[Vec<f64>],
+    probs: &[f64],
+    no_max: f64,
+    yes_min: f64,
+) -> Result<(Dataset, Vec<usize>), MlError> {
+    if x.len() != probs.len() {
+        return Err(MlError::ShapeMismatch(format!(
+            "{} rows but {} probabilistic labels",
+            x.len(),
+            probs.len()
+        )));
+    }
+    if !(0.0..=1.0).contains(&no_max) || !(0.0..=1.0).contains(&yes_min) || no_max >= yes_min {
+        return Err(MlError::BadParameter(format!(
+            "probabilistic thresholds need 0 <= no_max < yes_min <= 1, got ({no_max}, {yes_min})"
+        )));
+    }
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    let mut kept = Vec::new();
+    for (i, (row, &p)) in x.iter().zip(probs).enumerate() {
+        let label = if p >= yes_min {
+            true
+        } else if p <= no_max {
+            false
+        } else {
+            continue;
+        };
+        rows.push(row.clone());
+        labels.push(label);
+        kept.push(i);
+    }
+    Ok((Dataset::new(feature_names, rows, labels)?, kept))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,6 +251,25 @@ mod tests {
             d.check_finite(),
             Err(MlError::NonFiniteFeature { row: 0, col: 1 })
         );
+    }
+
+    #[test]
+    fn probabilistic_labels_threshold_and_drop_the_uncertain_band() {
+        let x = vec![vec![1.0], vec![2.0], vec![3.0], vec![4.0]];
+        let probs = [0.95, 0.5, 0.02, 0.9];
+        let (d, kept) =
+            dataset_from_probabilistic(names(1), &x, &probs, 0.1, 0.9).unwrap();
+        assert_eq!(kept, vec![0, 2, 3]);
+        assert_eq!(d.y, vec![true, false, true]);
+        assert_eq!(d.x, vec![vec![1.0], vec![3.0], vec![4.0]]);
+    }
+
+    #[test]
+    fn probabilistic_labels_validate_inputs() {
+        let x = vec![vec![1.0]];
+        assert!(dataset_from_probabilistic(names(1), &x, &[0.5, 0.5], 0.1, 0.9).is_err());
+        assert!(dataset_from_probabilistic(names(1), &x, &[0.5], 0.9, 0.1).is_err());
+        assert!(dataset_from_probabilistic(names(1), &x, &[0.5], 0.5, 0.5).is_err());
     }
 
     #[test]

@@ -12,7 +12,7 @@ use rand::Rng;
 /// Derives an independent per-tree seed from the forest seed, so every tree
 /// owns its RNG stream and trees can fit in parallel with results identical
 /// to the sequential order at any thread count.
-fn tree_seed(forest_seed: u64, tree: usize) -> u64 {
+pub(crate) fn tree_seed(forest_seed: u64, tree: usize) -> u64 {
     // Golden-ratio (Weyl) increment: distinct, well-mixed streams per tree.
     forest_seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(tree as u64 + 1)
 }

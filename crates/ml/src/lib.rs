@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod bayes;
+pub mod committee;
 pub mod cv;
 pub mod dataset;
 pub mod debug;
@@ -46,7 +47,8 @@ pub mod metrics;
 pub mod model;
 pub mod tree;
 
-pub use dataset::{impute_mean, Dataset, Imputer};
+pub use committee::{CommitteeLearner, CommitteeModel, CommitteeScore};
+pub use dataset::{dataset_from_probabilistic, impute_mean, Dataset, Imputer};
 pub use error::MlError;
 pub use fitted::{BlockScorer, FittedModel};
 pub use forest::FlatForest;

@@ -81,6 +81,19 @@ for f in crates/serve/src/wal.rs crates/serve/src/swap.rs \
 done
 echo "    serve fault modules panic-free"
 
+echo "==> label subsystem panic hygiene (no unwrap/expect/panic! outside tests)"
+# Active learning and weak supervision sit on the fallible oracle path:
+# every failure must be a typed CoreError, never a panic.
+for f in crates/label/src/*.rs; do
+    # Non-test code only: stop at the #[cfg(test)] module.
+    if awk '/#\[cfg\(test\)\]/{exit} {print}' "$f" \
+        | grep -nE '\.unwrap\(|\.expect\(|panic!'; then
+        echo "    FAIL: panic path in label module $f" >&2
+        exit 1
+    fi
+done
+echo "    label modules panic-free"
+
 echo "==> feature_kernels criterion bench (smoke)"
 EM_BENCH_SMOKE=1 cargo bench "${CARGO_FLAGS[@]}" -p em-bench --bench feature_kernels >/dev/null
 echo "    feature_kernels bench ran"
@@ -107,10 +120,27 @@ for seed in 7 20190326; do
 done
 echo "    chaos schedules clean at both seeds"
 
+echo "==> label-efficiency gate (2 fixed seeds: AL budget bound + zero-label weak run)"
+# Each run must certify that query-by-committee reached the random arm's
+# final F1 within the 50% budget bound, and that the weak-supervision arm
+# never touched the oracle.
+for seed in 7 20190326; do
+    LABEL_OUT=$(target/release/reproduce --active --weak --seed "$seed" 2>/dev/null)
+    if ! grep -q "acceptance: PASS" <<<"$LABEL_OUT"; then
+        echo "    FAIL: active learning at seed $seed missed the label-budget bound" >&2
+        exit 1
+    fi
+    if ! grep -q "trained with 0 oracle labels" <<<"$LABEL_OUT"; then
+        echo "    FAIL: weak supervision at seed $seed consumed oracle labels" >&2
+        exit 1
+    fi
+done
+echo "    label-efficiency bounds hold at both seeds"
+
 echo "==> reproduce --bench --serve --serve-chaos smoke (small scale, 2 threads)"
 BENCH_DIR=$(mktemp -d)
 trap 'rm -rf "$BENCH_DIR"' EXIT
-(cd "$BENCH_DIR" && "$OLDPWD/target/release/reproduce" --bench --serve --serve-chaos --scaling 1 --scaling-match 1 --threads 2 >/dev/null)
+(cd "$BENCH_DIR" && "$OLDPWD/target/release/reproduce" --bench --serve --serve-chaos --scaling 1 --scaling-match 1 --active --weak --threads 2 >/dev/null)
 python3 - "$BENCH_DIR/BENCH_pipeline.json" BENCH_pipeline.json <<'EOF'
 import json, sys
 
@@ -230,6 +260,47 @@ def check_scaling_match(d, where):
 check_scaling_match(doc, "smoke run")
 committed_match = check_scaling_match(committed, "committed BENCH_pipeline.json")
 
+# Label-efficient training: the smoke run carries --active --weak, so its
+# artifact must hold a well-formed label_efficiency block with both
+# 10-round curves, the budget-bound accounting, and a zero-oracle-label
+# weak-supervision summary. (The committed x4 artifact intentionally has
+# no block: the experiment runs on its own pinned quarter-scale pool.)
+le = doc.get("label_efficiency")
+assert isinstance(le, dict), "missing label_efficiency block in smoke run"
+for key, kind in [("seed", int), ("pool_scale", float), ("candidates", int),
+                  ("positives", int), ("target_f1", float),
+                  ("random_labels_total", int), ("al_labels_to_target", int),
+                  ("al_target_fraction", float), ("random", list),
+                  ("active", list), ("weak", dict)]:
+    assert isinstance(le.get(key), kind), f"label_efficiency block missing {key!r}"
+assert 0 < le["positives"] < le["candidates"], "degenerate label pool"
+for arm in ("random", "active"):
+    prev = -1
+    for row in le[arm]:
+        for key, kind in [("round", int), ("labels", int), ("queries", int),
+                          ("retries", int), ("degraded", int), ("f1", float),
+                          ("precision_lo", float), ("precision_hi", float),
+                          ("recall_lo", float), ("recall_hi", float)]:
+            assert isinstance(row.get(key), kind), f"{arm} curve row bad {key!r}: {row}"
+        assert row["round"] == prev + 1, f"{arm} curve rounds not contiguous"
+        prev = row["round"]
+        assert 0 < row["labels"] <= row["queries"], f"{arm} ledger identity violated: {row}"
+        assert 0.0 <= row["f1"] <= 1.0
+        assert row["precision_lo"] <= row["precision_hi"], f"inverted interval: {row}"
+        assert row["recall_lo"] <= row["recall_hi"], f"inverted interval: {row}"
+assert le["al_labels_to_target"] <= le["al_target_fraction"] * le["random_labels_total"], \
+    "active learning missed the label-budget bound in the smoke run"
+weak = le["weak"]
+for key, kind in [("n_lfs", int), ("coverage", float), ("conflicts", int),
+                  ("kept", int), ("oracle_labels", int), ("em_iterations", int),
+                  ("f1_majority", float), ("f1_label_model", float), ("f1", float),
+                  ("precision_lo", float), ("precision_hi", float),
+                  ("recall_lo", float), ("recall_hi", float)]:
+    assert isinstance(weak.get(key), kind), f"weak block missing {key!r}"
+assert weak["oracle_labels"] == 0, "weak supervision consumed oracle labels"
+assert weak["kept"] > 0 and weak["coverage"] > 0.0, "weak training set is empty"
+assert weak["n_lfs"] >= 2, "fewer than two labeling functions applied"
+
 # The tentpole memory bound: the committed artifact must carry an x64
 # end-to-end match row, streamed in bounded memory. (scaling_match runs
 # before the blocking sweep in-process, so VmHWM reflects the executor.)
@@ -264,7 +335,9 @@ print(f"    BENCH_pipeline.json ok: {len(doc['stages'])} stages, "
       f"feature_extraction 1t {feat['wall_ms_1t']:.1f} ms at x4, "
       f"scaling stages x{'/x'.join(str(s['factor']) for s in committed['scaling'])}, "
       f"scaling_match x{'/x'.join(str(s['factor']) for s in committed_match)} "
-      f"(x64 match RSS {x64['peak_rss_mib']:.0f} MiB)")
+      f"(x64 match RSS {x64['peak_rss_mib']:.0f} MiB), "
+      f"AL {le['al_labels_to_target']}/{le['random_labels_total']} labels to target, "
+      f"weak f1 {weak['f1']:.2f} at 0 oracle labels")
 EOF
 
 echo "==> all checks passed"
