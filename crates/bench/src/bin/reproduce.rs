@@ -47,6 +47,7 @@ struct Args {
     bench: bool,
     serve: bool,
     serve_chaos: bool,
+    serve_load: bool,
     scaling: Vec<f64>,
     scaling_match: Vec<f64>,
     active: bool,
@@ -91,6 +92,7 @@ fn parse_args() -> Args {
         bench: false,
         serve: false,
         serve_chaos: false,
+        serve_load: false,
         scaling: Vec::new(),
         scaling_match: Vec::new(),
         active: false,
@@ -126,6 +128,9 @@ fn parse_args() -> Args {
             }
             "--serve-chaos" => {
                 args.serve_chaos = true;
+            }
+            "--serve-load" => {
+                args.serve_load = true;
             }
             "--scaling" => {
                 args.scaling = it
@@ -169,6 +174,12 @@ fn parse_args() -> Args {
                      --serve-chaos: drive the serve tier through a seeded fault schedule (crashes,\n\
                                     torn WAL tails, corrupt snapshots, bursts) and prove recovery is\n\
                                     bit-identical; standalone, or a serve_chaos JSON block with --bench\n\
+                     --serve-load: open-loop load benchmark over the sharded serve tier: seeded\n\
+                                    Poisson-style arrivals through the micro-batching scheduler at\n\
+                                    shard counts 1/2/4, rate sweep auto-calibrated from the 1-shard\n\
+                                    capacity; prints latency tables (p50/p99/p999, virtual time) and\n\
+                                    saturation throughput; standalone, or a serve_load JSON block\n\
+                                    with --bench\n\
                      --scaling F1,F2,...: run the corpus-scale blocking stages at each factor\n\
                                     (streaming set-similarity join; records candidates/sec, wall\n\
                                     time, and peak RSS). With --bench this adds a `scaling` block\n\
@@ -214,6 +225,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if args.serve_chaos && !args.bench && !args.serve {
         serve_chaos_section(&args)?;
+        print_wall_time(started);
+        return Ok(());
+    }
+    if args.serve_load && !args.bench && !args.serve {
+        serve_load_section(&args)?;
         print_wall_time(started);
         return Ok(());
     }
@@ -534,8 +550,8 @@ fn bench_pipeline(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     // the CV-selected model the workflow, the serve tier, and the
     // streaming executor all score with.
     let mut serving_artifacts = None;
-    if args.serve || args.serve_chaos {
-        eprintln!("training the serving artifacts for --serve/--serve-chaos…");
+    if args.serve || args.serve_chaos || args.serve_load {
+        eprintln!("training the serving artifacts for --serve/--serve-chaos/--serve-load…");
         let mut cs_cfg =
             if args.paper_scale { CaseStudyConfig::paper() } else { CaseStudyConfig::small() };
         cs_cfg.scenario = cfg;
@@ -699,6 +715,14 @@ fn bench_pipeline(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         serve_chaos_json = chaos_json(&report);
     }
 
+    // Open-loop load sweep over the sharded tier: seeded arrivals through
+    // the micro-batching scheduler at shard counts 1/2/4, latency
+    // percentiles on the virtual clock, saturation throughput per shape.
+    let mut serve_load_json = String::new();
+    if let Some(artifacts) = serving_artifacts.as_ref().filter(|_| args.serve_load) {
+        serve_load_json = run_serve_load(artifacts, bench_seed, requested)?;
+    }
+
     // `--scaling`: the corpus-scale blocking stages ride along in the same
     // artifact so one bench run captures both the x1-scale stage table and
     // the x64/x256 scalability record.
@@ -767,7 +791,7 @@ fn bench_pipeline(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     // interpretable on other hardware.
     let available = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
     let json = format!(
-        "{{\n  \"scale\": \"{}\",\n  \"seed\": {},\n  \"threads\": {},\n  \"available_parallelism\": {},\n  \"em_threads\": {},\n  \"candidate_pairs\": {},\n{}{}{}{}{}  \"stages\": [\n{}\n  ],\n  \"total_wall_ms_1t\": {:.3},\n  \"total_wall_ms_nt\": {:.3},\n  \"combined_speedup\": {:.3}\n}}\n",
+        "{{\n  \"scale\": \"{}\",\n  \"seed\": {},\n  \"threads\": {},\n  \"available_parallelism\": {},\n  \"em_threads\": {},\n  \"candidate_pairs\": {},\n{}{}{}{}{}{}  \"stages\": [\n{}\n  ],\n  \"total_wall_ms_1t\": {:.3},\n  \"total_wall_ms_nt\": {:.3},\n  \"combined_speedup\": {:.3}\n}}\n",
         args.scale_label(),
         bench_seed,
         requested,
@@ -776,6 +800,7 @@ fn bench_pipeline(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         pairs.len(),
         serve_json,
         serve_chaos_json,
+        serve_load_json,
         scaling_json,
         scaling_match_json,
         label_block_json,
@@ -1396,6 +1421,9 @@ fn run_serve_chaos(
     if !report.bit_identical {
         return Err("serve chaos: served outcomes diverged from the fault-free run".into());
     }
+    if !report.shard_identical {
+        return Err("serve chaos: sharded replay diverged from the fault-free run".into());
+    }
     Ok(report)
 }
 
@@ -1419,6 +1447,10 @@ fn print_chaos_report(r: &em_serve::ChaosReport) {
         r.recovery_ms_total, r.recovery_ms_max, r.swap_latency_ms_max
     );
     println!(
+        "  sharded audit: {} arrivals replayed across {} shards, bit-identical",
+        r.shard_probes, r.shards
+    );
+    println!(
         "  every request reached a terminal outcome; \
          served outcomes bit-identical to the fault-free run"
     );
@@ -1433,7 +1465,8 @@ fn chaos_json(r: &em_serve::ChaosReport) -> String {
          \"recoveries\": {}, \"wal_records_replayed\": {}, \"torn_tails_repaired\": {}, \
          \"swaps\": {}, \"swap_rollbacks\": {}, \"snapshots_quarantined\": {}, \
          \"recovery_ms_total\": {:.3}, \"recovery_ms_max\": {:.3}, \"swap_latency_ms_max\": {:.3}, \
-         \"bit_identical\": {}, \"terminal_outcomes\": {}, \"final_epoch\": {}}},\n",
+         \"bit_identical\": {}, \"terminal_outcomes\": {}, \"final_epoch\": {}, \
+         \"shards\": {}, \"shard_probes\": {}, \"shard_identical\": {}}},\n",
         r.seed,
         r.arrivals,
         r.completed,
@@ -1453,8 +1486,199 @@ fn chaos_json(r: &em_serve::ChaosReport) -> String {
         r.swap_latency_ms_max,
         r.bit_identical,
         r.terminal_outcomes,
-        r.final_epoch
+        r.final_epoch,
+        r.shards,
+        r.shard_probes,
+        r.shard_identical
     )
+}
+
+/// Standalone `--serve-load`: train the serving artifacts and run the
+/// open-loop sweep, console output only.
+fn serve_load_section(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let mut cfg = args.base_cfg();
+    if let Some(seed) = args.seed {
+        cfg = cfg.with_seed(seed);
+    }
+    let seed = cfg.seed;
+    let mut cs_cfg =
+        if args.paper_scale { CaseStudyConfig::paper() } else { CaseStudyConfig::small() };
+    cs_cfg.scenario = cfg;
+    eprintln!("training the serving artifacts for --serve-load…");
+    let artifacts = CaseStudy::new(cs_cfg).train_serving_artifacts()?;
+    let requested = em_parallel::threads().max(1);
+    let _ = run_serve_load(&artifacts, seed, requested)?;
+    Ok(())
+}
+
+/// The open-loop load benchmark over the sharded serve tier: calibrates
+/// the 1-shard capacity from a warm pass over the arrival trace, then
+/// sweeps offered rates 0.5/1/2/4/8 × C1 through the micro-batching
+/// scheduler at shard counts 1, 2, and 4. Prints the latency-vs-load
+/// tables and returns the `serve_load` JSON block (trailing comma
+/// included, matching the other optional blocks).
+///
+/// Shard service legs are measured wall-clock on a **single** executor
+/// thread — the virtual-time queueing model composes them as one core
+/// per shard (see `em_serve::loadgen`), so saturation scaling reflects
+/// the sharding itself, not the host's core count. The requested thread
+/// count is restored before returning.
+fn run_serve_load(
+    artifacts: &em_core::pipeline::ServingArtifacts,
+    seed: u64,
+    requested: usize,
+) -> Result<String, Box<dyn std::error::Error>> {
+    use em_serve::{
+        run_sweep, BatchPolicy, OverloadPolicy, ShardedMatchService, SweepConfig,
+        WorkflowSnapshot,
+    };
+
+    em_parallel::set_threads(1);
+    let out = (|| -> Result<String, Box<dyn std::error::Error>> {
+        let arrivals = &artifacts.extra_umetrics;
+        let snapshot = WorkflowSnapshot::from_artifacts(artifacts);
+        let batch = BatchPolicy::default();
+        // Finite watermark so the top offered rate visibly sheds; high
+        // enough that saturation is reached long before shedding distorts
+        // the achieved-throughput measurement.
+        let overload = OverloadPolicy { shed_watermark: 64, ..OverloadPolicy::unbounded() };
+        let n_requests = 1200usize;
+
+        // Capacity calibration: one warm-up pass (indexes, extractor
+        // probe cells, scratch), then a timed pass — the 1-shard service
+        // rate every offered rate in the sweep is a multiple of.
+        let single = ShardedMatchService::from_snapshot(snapshot.clone(), 1)?;
+        let rows: Vec<usize> = (0..arrivals.n_rows()).collect();
+        let _ = single.match_rows_timed(arrivals, &rows)?;
+        let (_, warm_ms) = single.match_rows_timed(arrivals, &rows)?;
+        let per_row_ms = warm_ms[0].max(1e-6) / arrivals.n_rows().max(1) as f64;
+        let c1 = 1e3 / per_row_ms;
+        let multipliers = [0.5, 1.0, 2.0, 4.0, 8.0];
+        let rates: Vec<f64> = multipliers.iter().map(|m| m * c1).collect();
+
+        println!("\n## Serve load — open-loop sharded sweep (seed {seed}, {n_requests} requests per rate)");
+        println!("  calibration: {per_row_ms:.4} ms/row warm on 1 shard → C1 = {c1:.0} rows/s");
+        println!(
+            "  offered rates 0.5/1/2/4/8 × C1; batch close at {} rows or {:.1} ms; \
+             shed watermark {} rows/shard",
+            batch.max_batch, batch.close_deadline_ms, overload.shed_watermark
+        );
+
+        let mut sweeps = Vec::new();
+        for shards in [1usize, 2, 4] {
+            let tier = ShardedMatchService::from_snapshot(snapshot.clone(), shards)?;
+            let sweep = run_sweep(
+                &tier,
+                arrivals,
+                &SweepConfig { seed, n_requests, rates: rates.clone(), batch, overload },
+            )?;
+            println!("  {} shard(s) — saturation {:.0} req/s", shards, sweep.saturation_per_s);
+            println!(
+                "    {:>10} {:>11} {:>9} {:>6} {:>9} {:>9} {:>9} {:>13}",
+                "offered/s", "achieved/s", "completed", "shed", "p50 ms", "p99 ms", "p999 ms",
+                "closes sz/dl"
+            );
+            for r in &sweep.runs {
+                println!(
+                    "    {:>10.0} {:>11.0} {:>9} {:>6} {:>9.2} {:>9.2} {:>9.2} {:>8}/{}",
+                    r.offered_per_s,
+                    r.achieved_per_s,
+                    r.completed,
+                    r.shed,
+                    r.p50_ms,
+                    r.p99_ms,
+                    r.p999_ms,
+                    r.size_closed,
+                    r.deadline_closed
+                );
+            }
+            sweeps.push((shards, sweep));
+        }
+
+        let sat = |n: usize| {
+            sweeps
+                .iter()
+                .find(|(s, _)| *s == n)
+                .map(|(_, sw)| sw.saturation_per_s)
+                .unwrap_or(0.0)
+        };
+        let speedup = sat(4) / sat(1).max(1e-9);
+        println!(
+            "  saturation: 1 shard {:.0}/s, 2 shards {:.0}/s, 4 shards {:.0}/s \
+             (4-shard vs 1-shard: {speedup:.2}x)",
+            sat(1),
+            sat(2),
+            sat(4)
+        );
+
+        let available = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+        let sweep_json: Vec<String> = sweeps
+            .iter()
+            .map(|(shards, sw)| {
+                let runs: Vec<String> = sw
+                    .runs
+                    .iter()
+                    .map(|r| {
+                        format!(
+                            "      {{\"offered_per_s\": {:.1}, \"achieved_per_s\": {:.1}, \
+                             \"arrivals\": {}, \"completed\": {}, \"shed\": {}, \
+                             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"p999_ms\": {:.3}, \
+                             \"max_ms\": {:.3}, \"batches\": {}, \"mean_batch_rows\": {:.2}, \
+                             \"size_closed\": {}, \"deadline_closed\": {}, \"flush_closed\": {}}}",
+                            r.offered_per_s,
+                            r.achieved_per_s,
+                            r.arrivals,
+                            r.completed,
+                            r.shed,
+                            r.p50_ms,
+                            r.p99_ms,
+                            r.p999_ms,
+                            r.max_ms,
+                            r.batches,
+                            r.mean_batch_rows,
+                            r.size_closed,
+                            r.deadline_closed,
+                            r.flush_closed
+                        )
+                    })
+                    .collect();
+                // Occupancy at the top offered rate: the fully-loaded shape.
+                let occupancy = sw
+                    .runs
+                    .last()
+                    .map(|r| {
+                        r.occupancy
+                            .iter()
+                            .map(|o| format!("{o:.3}"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    })
+                    .unwrap_or_default();
+                let size_closed: u64 = sw.runs.iter().map(|r| r.size_closed).sum();
+                let deadline_closed: u64 = sw.runs.iter().map(|r| r.deadline_closed).sum();
+                format!(
+                    "    {{\"shards\": {shards}, \"saturation_per_s\": {:.1}, \
+                     \"size_closed\": {size_closed}, \"deadline_closed\": {deadline_closed}, \
+                     \"occupancy_at_top_rate\": [{occupancy}],\n     \"runs\": [\n{}\n     ]}}",
+                    sw.saturation_per_s,
+                    runs.join(",\n")
+                )
+            })
+            .collect();
+        Ok(format!(
+            "  \"serve_load\": {{\"seed\": {seed}, \"requests_per_rate\": {n_requests}, \
+             \"available_parallelism\": {available}, \"batch_max\": {}, \
+             \"batch_deadline_ms\": {:.1}, \"shed_watermark\": {}, \
+             \"calibrated_1shard_per_s\": {c1:.1}, \"speedup_4x_vs_1x\": {speedup:.3},\n\
+             \"sweeps\": [\n{}\n  ]}},\n",
+            batch.max_batch,
+            batch.close_deadline_ms,
+            overload.shed_watermark,
+            sweep_json.join(",\n")
+        ))
+    })();
+    em_parallel::set_threads(requested);
+    out
 }
 
 /// Pre-decodes each row's lowercased `AwardTitle` for the kernel stage —

@@ -489,7 +489,7 @@ mod tests {
         let (a, b) = tables();
         let fs = auto_features(&a, &b, &FeatureOptions::default().with_case_insensitive());
         let cache = TokenCache::for_blocking();
-        let too_short = TokenCorpus::from_column(&cache, [Some("corn")].into_iter());
+        let too_short = TokenCorpus::from_column(&cache, [Some("corn")]);
         let shared = SharedWordColumns {
             left_attr: "Title",
             right_attr: "Title",

@@ -36,6 +36,7 @@
 use crate::error::ServeError;
 use crate::overload::{OverloadPolicy, ServeMode};
 use crate::service::{MatchService, ACCESSION_COL};
+use crate::shard::ShardedMatchService;
 use crate::snapshot::WorkflowSnapshot;
 use crate::swap::{GoldenProbeSet, SnapshotCell};
 use crate::wal::read_wal;
@@ -64,6 +65,11 @@ pub struct ChaosConfig {
     pub queue_capacity: usize,
     /// Overload watermarks/budgets of the service under test.
     pub policy: OverloadPolicy,
+    /// Shard count for the post-run sharded-serving audit: the recovered
+    /// state is re-partitioned across this many shards and every arrival
+    /// must match the fault-free shadow bit-identically. `0` skips the
+    /// audit.
+    pub shards: usize,
     /// Directory holding the checkpoint snapshot, WAL, and candidates.
     pub dir: PathBuf,
 }
@@ -98,6 +104,7 @@ impl ChaosConfig {
                     jitter_seed: seed,
                 },
             },
+            shards: 2,
             dir,
         }
     }
@@ -148,6 +155,13 @@ pub struct ChaosReport {
     pub terminal_outcomes: bool,
     /// Snapshot epoch at the end of the run.
     pub final_epoch: u64,
+    /// Shard count of the post-run sharded-serving audit (0 = skipped).
+    pub shards: usize,
+    /// Arrivals replayed through the sharded service during the audit.
+    pub shard_probes: u64,
+    /// Whether the sharded replay of the recovered state matched the
+    /// fault-free shadow on every arrival (vacuously true when skipped).
+    pub shard_identical: bool,
 }
 
 /// Terminal state of one arrival in the harness's own ledger.
@@ -540,6 +554,24 @@ pub fn run_chaos(
         bit_identical = false;
     }
 
+    // Sharded-serving audit: partition the recovered state across
+    // `cfg.shards` shards and replay every arrival through the
+    // scatter/gather path. The merged outcomes must equal the fault-free
+    // shadow's full-mode outcomes — the same bit-identity bar the
+    // single-instance run is held to.
+    let mut shard_identical = true;
+    let mut shard_probes = 0u64;
+    if cfg.shards > 0 {
+        let sharded = ShardedMatchService::from_snapshot(resurrected.to_snapshot(), cfg.shards)?;
+        for (i, expect) in full_expect.iter().enumerate() {
+            let outcome = sharded.match_on_arrival(arrivals, i)?;
+            shard_probes += 1;
+            if &outcome.ids != expect {
+                shard_identical = false;
+            }
+        }
+    }
+
     Ok(ChaosReport {
         seed: cfg.seed,
         arrivals: n,
@@ -561,6 +593,9 @@ pub fn run_chaos(
         bit_identical,
         terminal_outcomes,
         final_epoch,
+        shards: cfg.shards,
+        shard_probes,
+        shard_identical,
     })
 }
 
@@ -574,7 +609,7 @@ mod tests {
     }
 
     /// The deterministic slice of a report (wall-clock timings excluded).
-    fn deterministic_view(r: &ChaosReport) -> (u64, usize, [u64; 13], bool, bool) {
+    fn deterministic_view(r: &ChaosReport) -> (u64, usize, [u64; 15], [bool; 3]) {
         (
             r.seed,
             r.arrivals,
@@ -592,9 +627,10 @@ mod tests {
                 r.swap_rollbacks,
                 r.snapshots_quarantined,
                 r.final_epoch,
+                r.shards as u64,
+                r.shard_probes,
             ],
-            r.bit_identical,
-            r.terminal_outcomes,
+            [r.bit_identical, r.terminal_outcomes, r.shard_identical],
         )
     }
 
@@ -607,6 +643,9 @@ mod tests {
             let report = run_chaos(snapshot(1.0), &arrivals(), &cfg).unwrap();
             assert!(report.terminal_outcomes, "seed {seed}: request without outcome");
             assert!(report.bit_identical, "seed {seed}: diverged from fault-free run");
+            assert!(report.shard_identical, "seed {seed}: sharded audit diverged");
+            assert_eq!(report.shards, 2, "seed {seed}: default shard audit width");
+            assert_eq!(report.shard_probes, report.arrivals as u64, "seed {seed}");
             assert_eq!(
                 report.completed + report.shed,
                 report.arrivals as u64,
@@ -648,5 +687,22 @@ mod tests {
         assert!(report.swaps > 0, "clean candidates must publish");
         assert_eq!(report.final_epoch, report.swaps);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_audit_passes_at_every_shard_count() {
+        for shards in [1usize, 3, 4] {
+            let dir = temp_dir(&format!("shards-{shards}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            let mut cfg = ChaosConfig::new(11, dir.clone());
+            cfg.shards = shards;
+            let report = run_chaos(snapshot(1.0), &arrivals(), &cfg).unwrap();
+            assert!(report.shard_identical, "shards {shards}: sharded audit diverged");
+            assert_eq!(report.shards, shards);
+            assert_eq!(report.shard_probes, report.arrivals as u64);
+            // The shard knob must not perturb the fault schedule itself.
+            assert!(report.bit_identical && report.terminal_outcomes);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
     }
 }

@@ -39,8 +39,11 @@
 pub mod chaos;
 pub mod error;
 pub mod hot;
+pub mod loadgen;
 pub mod overload;
+pub mod sched;
 pub mod service;
+pub mod shard;
 pub mod snapshot;
 pub mod swap;
 #[doc(hidden)]
@@ -50,10 +53,13 @@ pub mod wal;
 pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use error::ServeError;
 pub use hot::{derive_feature_mask, ProbeScratch};
+pub use loadgen::{run_open_loop, run_sweep, LoadConfig, LoadReport, SweepConfig, SweepReport};
 pub use overload::{DrainOutcome, OverloadPolicy, ServeMode};
+pub use sched::{BatchPolicy, BatchTrigger, ClosedBatch, MicroBatcher};
 pub use service::{
     BatchOutcome, MatchOutcome, MatchService, RecoveryReport, RequestTimings, ServiceStats,
 };
+pub use shard::{shard_of_key, ShardStats, ShardedMatchService};
 pub use snapshot::{quarantine_path, WorkflowSnapshot, SNAPSHOT_VERSION};
 pub use swap::{GoldenProbeSet, SnapshotCell, SwapReport};
 pub use wal::{read_wal, read_wal_text, WalReplay, WalWriter, WAL_VERSION};

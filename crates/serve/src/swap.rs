@@ -167,6 +167,21 @@ impl SnapshotCell {
         &self.history
     }
 
+    /// Replaces the acceptance gate (e.g. re-freezing current behavior
+    /// after a corpus push made the old expectations stale).
+    pub fn set_probes(&mut self, probes: GoldenProbeSet) {
+        self.probes = probes;
+    }
+
+    /// Drops any staged candidate without publishing it — the rollback
+    /// half of an all-or-nothing multi-cell swap
+    /// ([`crate::shard::ShardedMatchService::propose_snapshot`]): when a
+    /// peer cell rejects its part of a proposal, every sibling abandons
+    /// its own validated stage so no cell can publish ahead of the group.
+    pub fn abandon_staged(&mut self) {
+        self.staged = None;
+    }
+
     /// Builds, validates, and stages a candidate snapshot. On failure the
     /// live service and any previously staged candidate are untouched
     /// (rollback is the absence of publication); the error names the

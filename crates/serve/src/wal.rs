@@ -66,7 +66,7 @@ fn corrupt(detail: impl std::fmt::Display) -> ServeError {
 /// FNV-1a over a byte string: small, dependency-free, and plenty to catch
 /// torn or bit-rotted record lines (this is an integrity check against
 /// accidental damage, not an authenticity check against an adversary).
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;

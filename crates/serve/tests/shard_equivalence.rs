@@ -1,0 +1,132 @@
+//! Sharded serving equivalence: a [`ShardedMatchService`] partitioning
+//! the corpus across N shards is bit-identical to the single-instance
+//! [`MatchService`] — pinned on the case study's 496 extra-record trace
+//! at shard counts {1, 2, 4} × executor thread counts {1, 4}, and
+//! property-tested over arbitrary interleavings of corpus pushes and
+//! arrival matches at every shard count 1..=4.
+
+use em_core::pipeline::{CaseStudy, CaseStudyConfig};
+use em_datagen::ScenarioConfig;
+use em_serve::testkit::{arrivals, push_variant, snapshot};
+use em_serve::{MatchService, ShardedMatchService, WorkflowSnapshot};
+use em_table::Value;
+use proptest::prelude::*;
+
+/// The committed bench seed (`reproduce --seed 20190326`).
+const SEED: u64 = 20190326;
+
+/// Full bit-identity between two per-row outcomes: the match ids and
+/// every stage count (wall-clock timings excluded — they are
+/// observability, not semantics).
+macro_rules! assert_outcomes_eq {
+    ($got:expr, $want:expr, $ctx:expr) => {{
+        let (g, w) = (&$got, &$want);
+        assert_eq!(g.ids, w.ids, "{}: match ids diverged", $ctx);
+        assert_eq!(
+            (g.n_blocked, g.n_sure, g.n_candidates, g.n_predicted, g.n_flipped, g.degraded),
+            (w.n_blocked, w.n_sure, w.n_candidates, w.n_predicted, w.n_flipped, w.degraded),
+            "{}: stage counts diverged",
+            $ctx
+        );
+    }};
+}
+
+/// The 496 extra UMETRICS records of Section 10, served against the
+/// paper-scale scenario's frozen workflow: sharded scatter/gather must
+/// reproduce the single-instance batch outcome row for row, id for id,
+/// count for count — at every shard count and thread count.
+#[test]
+fn sharded_496_trace_is_bit_identical_across_shards_and_threads() {
+    // Paper-scale scenario (496 extra awards), small-config labeling
+    // budget — the same shape as the committed `--scaling-match` setup.
+    let mut cs_cfg = CaseStudyConfig::small();
+    cs_cfg.scenario = ScenarioConfig::scaled(1.0).with_seed(SEED);
+    let artifacts = CaseStudy::new(cs_cfg).train_serving_artifacts().expect("training");
+    let extra = &artifacts.extra_umetrics;
+    assert_eq!(extra.n_rows(), 496, "the pinned extra-record trace drifted");
+
+    let snap = WorkflowSnapshot::from_artifacts(&artifacts);
+    let single = MatchService::from_snapshot(snap.clone()).expect("single service");
+    let reference = single.match_batch(extra).expect("single-instance batch");
+
+    for threads in [1usize, 4] {
+        em_parallel::set_threads(threads);
+        for shards in [1usize, 2, 4] {
+            let sharded =
+                ShardedMatchService::from_snapshot(snap.clone(), shards).expect("sharded service");
+            let got = sharded.match_batch(extra).expect("sharded batch");
+            let ctx = format!("shards {shards} threads {threads}");
+            assert_eq!(got.ids, reference.ids, "{ctx}: batch ids diverged");
+            assert_eq!(got.outcomes.len(), reference.outcomes.len(), "{ctx}");
+            for (k, (g, w)) in got.outcomes.iter().zip(&reference.outcomes).enumerate() {
+                assert_outcomes_eq!(*g, *w, format!("{ctx} row {k}"));
+            }
+        }
+    }
+    em_parallel::set_threads(0);
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Push(usize),
+    Match(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![(0usize..12).prop_map(Op::Push), (0usize..5).prop_map(Op::Match)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For arbitrary interleavings of corpus-row pushes and arrival
+    /// matches, the sharded service stays bit-identical to the single
+    /// instance at every shard count — growth included: each pushed row
+    /// lands on exactly one shard and is visible to the very next match.
+    #[test]
+    fn sharded_equals_single_over_random_interleavings(
+        ops in proptest::collection::vec(op_strategy(), 1..20),
+    ) {
+        let base = snapshot(1.0);
+        let arr = arrivals();
+        // Slot-aligned push rows with slot-unique accessions, so the
+        // same row stream feeds every service replica.
+        let rows: Vec<Vec<Value>> = ops
+            .iter()
+            .enumerate()
+            .map(|(k, op)| match op {
+                Op::Push(p) => push_variant(&base.corpus, &format!("S{k}"), *p),
+                Op::Match(_) => Vec::new(),
+            })
+            .collect();
+        for n_shards in 1..=4usize {
+            let mut single = MatchService::from_snapshot(base.clone()).unwrap();
+            let mut sharded = ShardedMatchService::from_snapshot(base.clone(), n_shards).unwrap();
+            let mut pushed = 0usize;
+            for (k, &op) in ops.iter().enumerate() {
+                match op {
+                    Op::Push(_) => {
+                        single.push_corpus_row(rows[k].clone()).unwrap();
+                        let (home, _local) = sharded.push_corpus_row(rows[k].clone()).unwrap();
+                        prop_assert!(home < n_shards);
+                        pushed += 1;
+                        prop_assert_eq!(
+                            sharded.stats().corpus_rows,
+                            base.corpus.n_rows() + pushed,
+                            "a pushed row vanished or duplicated across shards"
+                        );
+                    }
+                    Op::Match(i) => {
+                        let want = single.match_on_arrival(&arr, i).unwrap();
+                        let got = sharded.match_on_arrival(&arr, i).unwrap();
+                        assert_outcomes_eq!(got, want, format!("shards {n_shards} op {k}"));
+                    }
+                }
+            }
+            // The grown corpora agree as a whole batch too.
+            let want = single.match_batch(&arr).unwrap();
+            let got = sharded.match_batch(&arr).unwrap();
+            prop_assert_eq!(got.ids, want.ids, "final batch diverged at {} shards", n_shards);
+        }
+    }
+}

@@ -69,9 +69,12 @@ echo "    stream match hot loop clean"
 
 echo "==> serve fault-path panic hygiene (no unwrap/expect/panic! outside tests)"
 # The WAL, swap, overload, and chaos modules are the crash-recovery
-# surface: every failure must be a typed ServeError, never a panic.
+# surface, and the shard/sched/loadgen modules sit on the same serving
+# path: every failure must be a typed ServeError, never a panic.
 for f in crates/serve/src/wal.rs crates/serve/src/swap.rs \
-         crates/serve/src/overload.rs crates/serve/src/chaos.rs; do
+         crates/serve/src/overload.rs crates/serve/src/chaos.rs \
+         crates/serve/src/shard.rs crates/serve/src/sched.rs \
+         crates/serve/src/loadgen.rs; do
     # Non-test code only: stop at the #[cfg(test)] module.
     if awk '/#\[cfg\(test\)\]/{exit} {print}' "$f" \
         | grep -nE '\.unwrap\(|\.expect\(|panic!'; then
@@ -137,10 +140,10 @@ for seed in 7 20190326; do
 done
 echo "    label-efficiency bounds hold at both seeds"
 
-echo "==> reproduce --bench --serve --serve-chaos smoke (small scale, 2 threads)"
+echo "==> reproduce --bench --serve --serve-chaos --serve-load smoke (small scale, 2 threads)"
 BENCH_DIR=$(mktemp -d)
 trap 'rm -rf "$BENCH_DIR"' EXIT
-(cd "$BENCH_DIR" && "$OLDPWD/target/release/reproduce" --bench --serve --serve-chaos --scaling 1 --scaling-match 1 --active --weak --threads 2 >/dev/null)
+(cd "$BENCH_DIR" && "$OLDPWD/target/release/reproduce" --bench --serve --serve-chaos --serve-load --scaling 1 --scaling-match 1 --active --weak --threads 2 >/dev/null)
 python3 - "$BENCH_DIR/BENCH_pipeline.json" BENCH_pipeline.json <<'EOF'
 import json, sys
 
@@ -184,7 +187,8 @@ for key, kind in [("seed", int), ("arrivals", int), ("completed", int),
                   ("snapshots_quarantined", int), ("recovery_ms_total", float),
                   ("recovery_ms_max", float), ("swap_latency_ms_max", float),
                   ("bit_identical", bool), ("terminal_outcomes", bool),
-                  ("final_epoch", int)]:
+                  ("final_epoch", int), ("shards", int), ("shard_probes", int),
+                  ("shard_identical", bool)]:
     assert isinstance(chaos.get(key), kind), f"serve_chaos block missing {key!r}"
 assert chaos["bit_identical"], "chaos outcomes diverged from the fault-free run"
 assert chaos["terminal_outcomes"], "a chaos request never reached a terminal outcome"
@@ -192,6 +196,52 @@ assert chaos["completed"] + chaos["shed"] == chaos["arrivals"], \
     "chaos accounting identity violated: completed + shed != arrivals"
 assert chaos["recoveries"] == chaos["crashes"] + 1, \
     "every crash plus the final audit must recover exactly once"
+assert chaos["shards"] >= 1 and chaos["shard_probes"] == chaos["arrivals"], \
+    "chaos sharded audit did not replay every arrival"
+assert chaos["shard_identical"], "chaos sharded replay diverged from the fault-free run"
+
+# Sharded serve-load sweep: both the smoke run (--serve-load) and the
+# committed artifact must carry a well-formed serve_load block — the
+# seeded open-loop rate sweep at shard counts 1/2/4 with virtual-time
+# latency percentiles and per-sweep saturation throughput.
+def check_serve_load(d, where):
+    sl = d.get("serve_load")
+    assert isinstance(sl, dict), f"missing serve_load block in {where}"
+    for key, kind in [("seed", int), ("requests_per_rate", int),
+                      ("available_parallelism", int), ("batch_max", int),
+                      ("batch_deadline_ms", float), ("shed_watermark", int),
+                      ("calibrated_1shard_per_s", float),
+                      ("speedup_4x_vs_1x", float), ("sweeps", list)]:
+        assert isinstance(sl.get(key), kind), f"serve_load block bad {key!r} in {where}"
+    assert sl["requests_per_rate"] > 0 and sl["calibrated_1shard_per_s"] > 0
+    shard_counts = []
+    for sw in sl["sweeps"]:
+        for key, kind in [("shards", int), ("saturation_per_s", float),
+                          ("size_closed", int), ("deadline_closed", int),
+                          ("occupancy_at_top_rate", list), ("runs", list)]:
+            assert isinstance(sw.get(key), kind), f"serve_load sweep bad {key!r} in {where}"
+        shard_counts.append(sw["shards"])
+        assert sw["saturation_per_s"] > 0, f"non-positive saturation in {where}"
+        assert len(sw["occupancy_at_top_rate"]) == sw["shards"], \
+            f"occupancy vector does not cover every shard in {where}"
+        assert sw["size_closed"] + sw["deadline_closed"] > 0, \
+            f"no batch-close triggers attributed in {where}"
+        for r in sw["runs"]:
+            for key, kind in [("offered_per_s", float), ("achieved_per_s", float),
+                              ("arrivals", int), ("completed", int), ("shed", int),
+                              ("p50_ms", float), ("p99_ms", float), ("p999_ms", float),
+                              ("max_ms", float), ("batches", int),
+                              ("mean_batch_rows", float), ("size_closed", int),
+                              ("deadline_closed", int), ("flush_closed", int)]:
+                assert isinstance(r.get(key), kind), f"serve_load run bad {key!r} in {where}: {r}"
+            assert r["completed"] + r["shed"] == r["arrivals"], \
+                f"serve_load admission ledger leaked in {where}: {r}"
+            assert r["p50_ms"] <= r["p99_ms"] <= r["p999_ms"] <= r["max_ms"], \
+                f"serve_load percentiles out of order in {where}: {r}"
+    assert shard_counts == [1, 2, 4], f"serve_load sweeps must cover shards 1/2/4 in {where}"
+    return sl
+def saturation(sl, shards):
+    return next(sw["saturation_per_s"] for sw in sl["sweeps"] if sw["shards"] == shards)
 
 # Throughput regression gate: the smoke run is *small* scale while the
 # committed JSON is x4, and per-record serving is strictly faster on the
@@ -200,6 +250,24 @@ assert chaos["recoveries"] == chaos["crashes"] + 1, \
 # a real serve-path regression, never on the scale difference.
 with open(sys.argv[2]) as f:
     committed = json.load(f)
+
+smoke_sl = check_serve_load(doc, "smoke run")
+committed_sl = check_serve_load(committed, "committed BENCH_pipeline.json")
+# Sharding speedup gate on the committed x4 artifact: splitting the
+# corpus 4 ways must at least halve the per-request service time, i.e.
+# 4-shard saturation >= 2x the 1-shard value.
+sat1, sat4 = saturation(committed_sl, 1), saturation(committed_sl, 4)
+assert sat4 >= 2.0 * sat1, (
+    f"committed 4-shard saturation below 2x: {sat4:.0f}/s vs 1-shard {sat1:.0f}/s")
+assert committed_sl["speedup_4x_vs_1x"] >= 2.0, (
+    f"committed serve_load speedup_4x_vs_1x below 2x: {committed_sl['speedup_4x_vs_1x']:.2f}")
+# Saturation regression gate: same small-vs-x4 logic as serve_single —
+# the smoke tier is strictly faster per record, so staying above 0.95x
+# the committed x4 saturation only ever fires on a real regression.
+smoke_sat1 = saturation(smoke_sl, 1)
+assert smoke_sat1 >= 0.95 * sat1, (
+    f"serve_load saturation regressed: smoke 1-shard {smoke_sat1:.0f}/s "
+    f"vs committed {sat1:.0f}/s")
 def tp(d, name):
     return next(s["throughput_per_s"] for s in d["stages"] if s["name"] == name)
 fresh, pinned = tp(doc, "serve_single"), tp(committed, "serve_single")
@@ -337,7 +405,11 @@ print(f"    BENCH_pipeline.json ok: {len(doc['stages'])} stages, "
       f"scaling_match x{'/x'.join(str(s['factor']) for s in committed_match)} "
       f"(x64 match RSS {x64['peak_rss_mib']:.0f} MiB), "
       f"AL {le['al_labels_to_target']}/{le['random_labels_total']} labels to target, "
-      f"weak f1 {weak['f1']:.2f} at 0 oracle labels")
+      f"weak f1 {weak['f1']:.2f} at 0 oracle labels, "
+      f"serve_load saturation 1/2/4 shards "
+      f"{saturation(committed_sl, 1):.0f}/{saturation(committed_sl, 2):.0f}/"
+      f"{saturation(committed_sl, 4):.0f} req/s "
+      f"({committed_sl['speedup_4x_vs_1x']:.2f}x at 4 shards)")
 EOF
 
 echo "==> all checks passed"
